@@ -1,0 +1,17 @@
+//! # analysis — design-time performance analysis
+//!
+//! The paper derives its initial deployment (3 replicated servers in one
+//! server group for six clients, and a 10 Kbps minimum client bandwidth) from
+//! an architecture-level queueing analysis of the client/server style
+//! (Spitznagel & Garlan, "Architecture-Based Performance Analysis"). This
+//! crate reproduces that analysis: M/M/c queueing formulas, provisioning of
+//! the replica count for a latency bound, and the minimum-bandwidth
+//! derivation used to set the `minBandwidth` threshold.
+
+#![warn(missing_docs)]
+
+pub mod mmc;
+pub mod provisioning;
+
+pub use mmc::MmcQueue;
+pub use provisioning::{provision, BandwidthRequirement, ProvisioningInput, ProvisioningPlan};

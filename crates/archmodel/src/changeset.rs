@@ -1,0 +1,587 @@
+//! Transactional model changes.
+//!
+//! Repair scripts do not mutate the architectural model directly: they build a
+//! [`Transaction`] of [`ModelOp`]s against a working copy, the style checker
+//! validates the result, and only then is the change committed to the live
+//! model and propagated to the running system. This mirrors the paper's
+//! `commit repair` / `abort` semantics (Figure 5) and its requirement that
+//! operators keep the architecture *structurally valid*.
+
+use crate::element::{ComponentId, PortId, RoleId};
+use crate::system::{ModelError, System};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A single, name-addressed change to the architectural model.
+///
+/// Operations address elements by name so a recorded change-set can be
+/// re-applied to another copy of the model (and logged in a human-readable
+/// form).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelOp {
+    /// Adds a component (optionally inside another component's
+    /// representation).
+    AddComponent {
+        /// Name of the new component.
+        name: String,
+        /// Its type in the style.
+        ctype: String,
+        /// Optional parent component name.
+        parent: Option<String>,
+    },
+    /// Removes a component (and its ports, attachments, children).
+    RemoveComponent {
+        /// Name of the component to remove.
+        name: String,
+    },
+    /// Adds a connector.
+    AddConnector {
+        /// Name of the new connector.
+        name: String,
+        /// Its type in the style.
+        ctype: String,
+    },
+    /// Removes a connector (and its roles and attachments).
+    RemoveConnector {
+        /// Name of the connector to remove.
+        name: String,
+    },
+    /// Adds a port to a component.
+    AddPort {
+        /// Owning component name.
+        component: String,
+        /// Port name (unique within the component).
+        port: String,
+        /// Port type.
+        ptype: String,
+    },
+    /// Adds a role to a connector.
+    AddRole {
+        /// Owning connector name.
+        connector: String,
+        /// Role name (unique within the connector).
+        role: String,
+        /// Role type.
+        rtype: String,
+    },
+    /// Removes a role from a connector (and any attachment it participates
+    /// in) — used when a client is moved away from a connector.
+    RemoveRole {
+        /// Owning connector name.
+        connector: String,
+        /// Role name.
+        role: String,
+    },
+    /// Removes a port from a component (and any attachment it participates
+    /// in).
+    RemovePort {
+        /// Owning component name.
+        component: String,
+        /// Port name.
+        port: String,
+    },
+    /// Attaches a component's port to a connector's role.
+    Attach {
+        /// Component name.
+        component: String,
+        /// Port name on the component.
+        port: String,
+        /// Connector name.
+        connector: String,
+        /// Role name on the connector.
+        role: String,
+    },
+    /// Detaches a component's port from a connector's role.
+    Detach {
+        /// Component name.
+        component: String,
+        /// Port name on the component.
+        port: String,
+        /// Connector name.
+        connector: String,
+        /// Role name on the connector.
+        role: String,
+    },
+    /// Sets a property on a component.
+    SetComponentProperty {
+        /// Component name.
+        component: String,
+        /// Property name.
+        property: String,
+        /// New value.
+        value: Value,
+    },
+    /// Sets a property on a connector.
+    SetConnectorProperty {
+        /// Connector name.
+        connector: String,
+        /// Property name.
+        property: String,
+        /// New value.
+        value: Value,
+    },
+    /// Sets a property on a role.
+    SetRoleProperty {
+        /// Owning connector name.
+        connector: String,
+        /// Role name.
+        role: String,
+        /// Property name.
+        property: String,
+        /// New value.
+        value: Value,
+    },
+    /// Sets a system-level property.
+    SetSystemProperty {
+        /// Property name.
+        property: String,
+        /// New value.
+        value: Value,
+    },
+}
+
+/// Errors raised while applying change operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChangeError {
+    /// The named element does not exist.
+    NotFound(String),
+    /// The underlying model rejected the operation.
+    Model(ModelError),
+}
+
+impl From<ModelError> for ChangeError {
+    fn from(e: ModelError) -> Self {
+        ChangeError::Model(e)
+    }
+}
+
+impl std::fmt::Display for ChangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChangeError::NotFound(n) => write!(f, "element not found: {n}"),
+            ChangeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChangeError {}
+
+fn find_component(system: &System, name: &str) -> Result<ComponentId, ChangeError> {
+    system
+        .component_by_name(name)
+        .ok_or_else(|| ChangeError::NotFound(format!("component {name}")))
+}
+
+fn find_port(system: &System, component: &str, port: &str) -> Result<PortId, ChangeError> {
+    let cid = find_component(system, component)?;
+    let comp = system.component(cid)?;
+    comp.ports
+        .iter()
+        .copied()
+        .find(|p| system.port(*p).map(|p| p.name == port).unwrap_or(false))
+        .ok_or_else(|| ChangeError::NotFound(format!("port {component}.{port}")))
+}
+
+fn find_role(system: &System, connector: &str, role: &str) -> Result<RoleId, ChangeError> {
+    let cid = system
+        .connector_by_name(connector)
+        .ok_or_else(|| ChangeError::NotFound(format!("connector {connector}")))?;
+    let conn = system.connector(cid)?;
+    conn.roles
+        .iter()
+        .copied()
+        .find(|r| system.role(*r).map(|r| r.name == role).unwrap_or(false))
+        .ok_or_else(|| ChangeError::NotFound(format!("role {connector}.{role}")))
+}
+
+/// Applies a single operation to a system.
+pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
+    match op {
+        ModelOp::AddComponent {
+            name,
+            ctype,
+            parent,
+        } => {
+            match parent {
+                Some(parent_name) => {
+                    let parent_id = find_component(system, parent_name)?;
+                    system.add_child_component(parent_id, name.clone(), ctype.clone())?;
+                }
+                None => {
+                    system.add_component(name.clone(), ctype.clone())?;
+                }
+            }
+            Ok(())
+        }
+        ModelOp::RemoveComponent { name } => {
+            let id = find_component(system, name)?;
+            system.remove_component(id)?;
+            Ok(())
+        }
+        ModelOp::AddConnector { name, ctype } => {
+            system.add_connector(name.clone(), ctype.clone())?;
+            Ok(())
+        }
+        ModelOp::RemoveConnector { name } => {
+            let id = system
+                .connector_by_name(name)
+                .ok_or_else(|| ChangeError::NotFound(format!("connector {name}")))?;
+            system.remove_connector(id)?;
+            Ok(())
+        }
+        ModelOp::AddPort {
+            component,
+            port,
+            ptype,
+        } => {
+            let cid = find_component(system, component)?;
+            system.add_port(cid, port.clone(), ptype.clone())?;
+            Ok(())
+        }
+        ModelOp::AddRole {
+            connector,
+            role,
+            rtype,
+        } => {
+            let cid = system
+                .connector_by_name(connector)
+                .ok_or_else(|| ChangeError::NotFound(format!("connector {connector}")))?;
+            system.add_role(cid, role.clone(), rtype.clone())?;
+            Ok(())
+        }
+        ModelOp::RemoveRole { connector, role } => {
+            let rid = find_role(system, connector, role)?;
+            system.remove_role(rid)?;
+            Ok(())
+        }
+        ModelOp::RemovePort { component, port } => {
+            let pid = find_port(system, component, port)?;
+            system.remove_port(pid)?;
+            Ok(())
+        }
+        ModelOp::Attach {
+            component,
+            port,
+            connector,
+            role,
+        } => {
+            let pid = find_port(system, component, port)?;
+            let rid = find_role(system, connector, role)?;
+            system.attach(pid, rid)?;
+            Ok(())
+        }
+        ModelOp::Detach {
+            component,
+            port,
+            connector,
+            role,
+        } => {
+            let pid = find_port(system, component, port)?;
+            let rid = find_role(system, connector, role)?;
+            system.detach(pid, rid)?;
+            Ok(())
+        }
+        ModelOp::SetComponentProperty {
+            component,
+            property,
+            value,
+        } => {
+            let cid = find_component(system, component)?;
+            system
+                .component_mut(cid)?
+                .properties
+                .set(property.clone(), value.clone());
+            Ok(())
+        }
+        ModelOp::SetConnectorProperty {
+            connector,
+            property,
+            value,
+        } => {
+            let cid = system
+                .connector_by_name(connector)
+                .ok_or_else(|| ChangeError::NotFound(format!("connector {connector}")))?;
+            system
+                .connector_mut(cid)?
+                .properties
+                .set(property.clone(), value.clone());
+            Ok(())
+        }
+        ModelOp::SetRoleProperty {
+            connector,
+            role,
+            property,
+            value,
+        } => {
+            let rid = find_role(system, connector, role)?;
+            system
+                .role_mut(rid)?
+                .properties
+                .set(property.clone(), value.clone());
+            Ok(())
+        }
+        ModelOp::SetSystemProperty { property, value } => {
+            system.properties.set(property.clone(), value.clone());
+            Ok(())
+        }
+    }
+}
+
+/// A transaction of model operations built against a working copy.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    working: System,
+    ops: Vec<ModelOp>,
+}
+
+impl Transaction {
+    /// Starts a transaction from a snapshot of `base`.
+    pub fn new(base: &System) -> Self {
+        Transaction {
+            working: base.clone(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The working copy reflecting all operations applied so far.
+    pub fn working(&self) -> &System {
+        &self.working
+    }
+
+    /// Applies an operation to the working copy and records it.
+    pub fn apply(&mut self, op: ModelOp) -> Result<(), ChangeError> {
+        apply_op(&mut self.working, &op)?;
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// The operations recorded so far.
+    pub fn ops(&self) -> &[ModelOp] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the recorded operations onto `target` (typically the live
+    /// model the transaction was started from) and returns them for
+    /// propagation to the runtime layer.
+    ///
+    /// If any replayed operation fails, `target` is left untouched.
+    pub fn commit(self, target: &mut System) -> Result<Vec<ModelOp>, ChangeError> {
+        let mut staged = target.clone();
+        for op in &self.ops {
+            apply_op(&mut staged, op)?;
+        }
+        *target = staged;
+        Ok(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_system() -> System {
+        let mut sys = System::new("storage");
+        let grp = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        sys.add_child_component(grp, "Server1", "ServerT").unwrap();
+        let client = sys.add_component("User1", "ClientT").unwrap();
+        let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
+        let cport = sys.add_port(client, "request", "RequestT").unwrap();
+        let gport = sys.add_port(grp, "serve", "ServeT").unwrap();
+        let crole = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
+        let grole = sys.add_role(conn, "serverSide", "ServerRoleT").unwrap();
+        sys.attach(cport, crole).unwrap();
+        sys.attach(gport, grole).unwrap();
+        sys
+    }
+
+    #[test]
+    fn add_server_via_transaction() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::AddComponent {
+            name: "Server2".into(),
+            ctype: "ServerT".into(),
+            parent: Some("ServerGrp1".into()),
+        })
+        .unwrap();
+        tx.apply(ModelOp::SetComponentProperty {
+            component: "ServerGrp1".into(),
+            property: "replicationCount".into(),
+            value: Value::Int(2),
+        })
+        .unwrap();
+        // The live model is untouched until commit.
+        assert_eq!(
+            live.children_of(live.component_by_name("ServerGrp1").unwrap())
+                .unwrap()
+                .len(),
+            1
+        );
+        let ops = tx.commit(&mut live).unwrap();
+        assert_eq!(ops.len(), 2);
+        let grp = live.component_by_name("ServerGrp1").unwrap();
+        assert_eq!(live.children_of(grp).unwrap().len(), 2);
+        assert_eq!(
+            live.component(grp).unwrap().properties.get_i64("replicationCount"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn move_client_between_connectors() {
+        let mut live = base_system();
+        // Add a second server group + connector to move to.
+        live.add_component("ServerGrp2", "ServerGroupT").unwrap();
+        live.add_connector("Conn2", "ServiceConnT").unwrap();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::AddRole {
+            connector: "Conn2".into(),
+            role: "clientSide".into(),
+            rtype: "ClientRoleT".into(),
+        })
+        .unwrap();
+        tx.apply(ModelOp::Detach {
+            component: "User1".into(),
+            port: "request".into(),
+            connector: "Conn1".into(),
+            role: "clientSide".into(),
+        })
+        .unwrap();
+        tx.apply(ModelOp::Attach {
+            component: "User1".into(),
+            port: "request".into(),
+            connector: "Conn2".into(),
+            role: "clientSide".into(),
+        })
+        .unwrap();
+        tx.commit(&mut live).unwrap();
+        let user = live.component_by_name("User1").unwrap();
+        let conn2 = live.connector_by_name("Conn2").unwrap();
+        assert_eq!(live.connectors_of_component(user), vec![conn2]);
+    }
+
+    #[test]
+    fn failed_op_in_transaction_reports_error() {
+        let live = base_system();
+        let mut tx = Transaction::new(&live);
+        let err = tx.apply(ModelOp::RemoveComponent {
+            name: "DoesNotExist".into(),
+        });
+        assert!(matches!(err, Err(ChangeError::NotFound(_))));
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn commit_is_atomic_when_replay_fails() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::AddComponent {
+            name: "Server2".into(),
+            ctype: "ServerT".into(),
+            parent: Some("ServerGrp1".into()),
+        })
+        .unwrap();
+        // Invalidate the target so replay fails: remove the parent group.
+        let grp = live.component_by_name("ServerGrp1").unwrap();
+        live.remove_component(grp).unwrap();
+        let before = live.clone();
+        assert!(tx.commit(&mut live).is_err());
+        assert_eq!(live, before, "failed commit must not modify the target");
+    }
+
+    #[test]
+    fn remove_component_and_connector_ops() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::RemoveComponent {
+            name: "Server1".into(),
+        })
+        .unwrap();
+        tx.apply(ModelOp::RemoveConnector {
+            name: "Conn1".into(),
+        })
+        .unwrap();
+        tx.commit(&mut live).unwrap();
+        assert!(live.component_by_name("Server1").is_none());
+        assert!(live.connector_by_name("Conn1").is_none());
+        assert!(live.integrity_errors().is_empty());
+    }
+
+    #[test]
+    fn set_properties_on_roles_and_system() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::SetRoleProperty {
+            connector: "Conn1".into(),
+            role: "clientSide".into(),
+            property: "bandwidth".into(),
+            value: Value::Float(5e6),
+        })
+        .unwrap();
+        tx.apply(ModelOp::SetSystemProperty {
+            property: "maxLatency".into(),
+            value: Value::Float(2.0),
+        })
+        .unwrap();
+        tx.apply(ModelOp::SetConnectorProperty {
+            connector: "Conn1".into(),
+            property: "protocol".into(),
+            value: Value::Str("fifo-queue".into()),
+        })
+        .unwrap();
+        tx.commit(&mut live).unwrap();
+        assert_eq!(live.properties.get_f64("maxLatency"), Some(2.0));
+        let conn = live.connector_by_name("Conn1").unwrap();
+        assert_eq!(
+            live.connector(conn).unwrap().properties.get_str("protocol"),
+            Some("fifo-queue")
+        );
+    }
+
+    #[test]
+    fn remove_role_and_port_ops() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::RemoveRole {
+            connector: "Conn1".into(),
+            role: "clientSide".into(),
+        })
+        .unwrap();
+        tx.apply(ModelOp::RemovePort {
+            component: "ServerGrp1".into(),
+            port: "serve".into(),
+        })
+        .unwrap();
+        tx.commit(&mut live).unwrap();
+        let conn = live.connector_by_name("Conn1").unwrap();
+        assert_eq!(live.connector(conn).unwrap().roles.len(), 1);
+        let grp = live.component_by_name("ServerGrp1").unwrap();
+        assert!(live.component(grp).unwrap().ports.is_empty());
+        assert!(live.integrity_errors().is_empty());
+    }
+
+    #[test]
+    fn add_port_op() {
+        let mut live = base_system();
+        let mut tx = Transaction::new(&live);
+        tx.apply(ModelOp::AddPort {
+            component: "User1".into(),
+            port: "admin".into(),
+            ptype: "AdminT".into(),
+        })
+        .unwrap();
+        tx.commit(&mut live).unwrap();
+        let user = live.component_by_name("User1").unwrap();
+        assert_eq!(live.component(user).unwrap().ports.len(), 2);
+    }
+}

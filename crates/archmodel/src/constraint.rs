@@ -1,0 +1,317 @@
+//! Invariants and constraint checking.
+//!
+//! The task layer expresses performance requirements as threshold constraints
+//! over the architectural model (e.g. `averageLatency <= maxLatency`). The
+//! architecture manager checks these constraints whenever gauge updates change
+//! model properties; a violated constraint triggers the associated repair
+//! strategy (§3.2).
+
+use crate::element::ElementRef;
+use crate::expr::{eval_bool, parse, Bindings, EvalError, EvalValue, Expr, ParseError};
+use crate::system::System;
+use serde::{Deserialize, Serialize};
+
+/// What an invariant ranges over.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintScope {
+    /// Evaluated once against the whole system (no `self` binding).
+    System,
+    /// Evaluated once per component of the given type, with `self` bound to
+    /// that component.
+    EachComponent(String),
+    /// Evaluated once per connector of the given type, with `self` bound.
+    EachConnector(String),
+    /// Evaluated once per role of the given type, with `self` bound.
+    EachRole(String),
+}
+
+/// A named invariant over the architectural model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Invariant {
+    /// Short identifier, e.g. `"latency"`.
+    pub name: String,
+    /// The elements the invariant ranges over.
+    pub scope: ConstraintScope,
+    /// The parsed constraint expression.
+    pub expression: Expr,
+    /// The original constraint text (for reporting).
+    pub source: String,
+}
+
+impl Invariant {
+    /// Parses an invariant from its textual form.
+    pub fn parse(
+        name: impl Into<String>,
+        scope: ConstraintScope,
+        text: &str,
+    ) -> Result<Self, ParseError> {
+        Ok(Invariant {
+            name: name.into(),
+            scope,
+            expression: parse(text)?,
+            source: text.to_string(),
+        })
+    }
+}
+
+/// A detected constraint violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: String,
+    /// The element the violation concerns (`None` for system-scope
+    /// invariants).
+    pub subject: Option<ElementRef>,
+    /// Human-readable name of the subject.
+    pub subject_name: String,
+    /// The constraint text that failed.
+    pub detail: String,
+}
+
+/// Result of checking a constraint set against the model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Constraints that evaluated to false.
+    pub violations: Vec<Violation>,
+    /// Constraints that could not be evaluated (e.g. a gauge has not yet
+    /// reported the property). These are *not* treated as violations.
+    pub errors: Vec<String>,
+    /// How many (invariant, element) pairs were evaluated.
+    pub evaluated: usize,
+}
+
+impl CheckReport {
+    /// True when no constraint was violated.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// A collection of invariants checked together.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    invariants: Vec<Invariant>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an invariant.
+    pub fn add(&mut self, invariant: Invariant) {
+        self.invariants.push(invariant);
+    }
+
+    /// Builder-style addition.
+    pub fn with(mut self, invariant: Invariant) -> Self {
+        self.add(invariant);
+        self
+    }
+
+    /// The invariants in this set.
+    pub fn invariants(&self) -> &[Invariant] {
+        &self.invariants
+    }
+
+    /// Number of invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// True if the set has no invariants.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Checks every invariant against the system.
+    pub fn check(&self, system: &System) -> CheckReport {
+        let mut report = CheckReport::default();
+        for invariant in &self.invariants {
+            self.check_one(invariant, system, &mut report);
+        }
+        report
+    }
+
+    /// Checks a single invariant by name; returns `None` if no invariant has
+    /// that name.
+    pub fn check_named(&self, name: &str, system: &System) -> Option<CheckReport> {
+        let invariant = self.invariants.iter().find(|i| i.name == name)?;
+        let mut report = CheckReport::default();
+        self.check_one(invariant, system, &mut report);
+        Some(report)
+    }
+
+    fn check_one(&self, invariant: &Invariant, system: &System, report: &mut CheckReport) {
+        let subjects: Vec<(Option<ElementRef>, String)> = match &invariant.scope {
+            ConstraintScope::System => vec![(None, system.name.clone())],
+            ConstraintScope::EachComponent(ctype) => system
+                .components_of_type(ctype)
+                .map(|(id, c)| (Some(ElementRef::Component(id)), c.name.clone()))
+                .collect(),
+            ConstraintScope::EachConnector(ctype) => system
+                .connectors()
+                .filter(|(_, c)| &c.ctype == ctype)
+                .map(|(id, c)| (Some(ElementRef::Connector(id)), c.name.clone()))
+                .collect(),
+            ConstraintScope::EachRole(rtype) => system
+                .roles()
+                .filter(|(_, r)| &r.rtype == rtype)
+                .map(|(id, r)| (Some(ElementRef::Role(id)), r.name.clone()))
+                .collect(),
+        };
+
+        for (subject, subject_name) in subjects {
+            let mut bindings = Bindings::new();
+            if let Some(el) = subject {
+                bindings.insert("self".to_string(), EvalValue::Element(el));
+            }
+            report.evaluated += 1;
+            match eval_bool(&invariant.expression, system, &bindings) {
+                Ok(true) => {}
+                Ok(false) => report.violations.push(Violation {
+                    invariant: invariant.name.clone(),
+                    subject,
+                    subject_name: subject_name.clone(),
+                    detail: invariant.source.clone(),
+                }),
+                Err(EvalError::MissingProperty(el, prop)) => {
+                    report.errors.push(format!(
+                        "invariant {}: property {prop} not yet observed on {el}",
+                        invariant.name
+                    ));
+                }
+                Err(e) => report
+                    .errors
+                    .push(format!("invariant {}: {e}", invariant.name)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system_with_clients() -> System {
+        let mut sys = System::new("storage");
+        sys.properties.set("maxLatency", 2.0);
+        sys.properties.set("maxServerLoad", 6i64);
+        for i in 1..=3 {
+            let c = sys
+                .add_component(format!("User{i}"), "ClientT")
+                .unwrap();
+            sys.component_mut(c)
+                .unwrap()
+                .properties
+                .set("averageLatency", 0.5 * i as f64);
+        }
+        let g = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        sys.component_mut(g).unwrap().properties.set("load", 2i64);
+        sys
+    }
+
+    fn latency_invariant() -> Invariant {
+        Invariant::parse(
+            "latency",
+            ConstraintScope::EachComponent("ClientT".into()),
+            "self.averageLatency <= maxLatency",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_system_has_no_violations() {
+        let sys = system_with_clients();
+        let set = ConstraintSet::new().with(latency_invariant());
+        let report = set.check(&sys);
+        assert!(report.is_clean());
+        assert_eq!(report.evaluated, 3);
+        assert!(report.errors.is_empty());
+    }
+
+    #[test]
+    fn violation_identifies_the_offending_client() {
+        let mut sys = system_with_clients();
+        let c3 = sys.component_by_name("User3").unwrap();
+        sys.component_mut(c3)
+            .unwrap()
+            .properties
+            .set("averageLatency", 4.2);
+        let set = ConstraintSet::new().with(latency_invariant());
+        let report = set.check(&sys);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].subject_name, "User3");
+        assert_eq!(report.violations[0].invariant, "latency");
+    }
+
+    #[test]
+    fn system_scope_invariant() {
+        let sys = system_with_clients();
+        let inv = Invariant::parse(
+            "has-groups",
+            ConstraintScope::System,
+            "size(select g : ServerGroupT in components | g.load >= 0) >= 1",
+        )
+        .unwrap();
+        let report = ConstraintSet::new().with(inv).check(&sys);
+        assert!(report.is_clean());
+        assert_eq!(report.evaluated, 1);
+    }
+
+    #[test]
+    fn missing_property_reported_as_error_not_violation() {
+        let mut sys = system_with_clients();
+        let extra = sys.add_component("User9", "ClientT").unwrap();
+        // No averageLatency property yet (gauge has not reported).
+        let _ = extra;
+        let set = ConstraintSet::new().with(latency_invariant());
+        let report = set.check(&sys);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].contains("averageLatency"));
+    }
+
+    #[test]
+    fn check_named_runs_only_that_invariant() {
+        let sys = system_with_clients();
+        let set = ConstraintSet::new()
+            .with(latency_invariant())
+            .with(
+                Invariant::parse(
+                    "load",
+                    ConstraintScope::EachComponent("ServerGroupT".into()),
+                    "self.load <= maxServerLoad",
+                )
+                .unwrap(),
+            );
+        assert_eq!(set.len(), 2);
+        let report = set.check_named("load", &sys).unwrap();
+        assert_eq!(report.evaluated, 1);
+        assert!(set.check_named("nope", &sys).is_none());
+    }
+
+    #[test]
+    fn role_scope_invariant() {
+        let mut sys = system_with_clients();
+        let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
+        let role = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
+        sys.role_mut(role).unwrap().properties.set("bandwidth", 4_000.0);
+        sys.properties.set("minBandwidth", 10_000.0);
+        let inv = Invariant::parse(
+            "bandwidth",
+            ConstraintScope::EachRole("ClientRoleT".into()),
+            "self.bandwidth >= minBandwidth",
+        )
+        .unwrap();
+        let report = ConstraintSet::new().with(inv).check(&sys);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].subject_name, "clientSide");
+    }
+
+    #[test]
+    fn parse_error_surfaces() {
+        assert!(Invariant::parse("bad", ConstraintScope::System, "a ==").is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Abstract syntax of the constraint-expression language.
+//!
+//! The language is a small subset of Armani (the Acme constraint language)
+//! sufficient to express the paper's invariants and tactic preconditions,
+//! e.g. `averageLatency <= maxLatency`, `exists sgrp : ServerGroupT in
+//! components | connected(sgrp, client) and sgrp.load > maxServerLoad`.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Logical disjunction.
+    Or,
+    /// Logical conjunction.
+    And,
+    /// Implication (`->`).
+    Implies,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-than-or-equal.
+    Ge,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Logical negation (`!` or `not`).
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Kinds of quantified expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantifierKind {
+    /// True if some element of the domain satisfies the body.
+    Exists,
+    /// True if every element of the domain satisfies the body.
+    Forall,
+    /// The set of domain elements satisfying the body.
+    Select,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// An identifier: a quantifier binding, a system property, or one of the
+    /// built-in collections `components` / `connectors`.
+    Ident(String),
+    /// Property access `target.name` (also `.name`, `.type`, `.ports`,
+    /// `.roles`, `.children`, `.size`).
+    Property(Box<Expr>, String),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A function call such as `connected(a, b)`, `attached(c, r)`,
+    /// `size(xs)`.
+    Call(String, Vec<Expr>),
+    /// A quantified expression
+    /// `exists x : TypeT in domain | body`.
+    Quantifier {
+        /// Exists / forall / select.
+        kind: QuantifierKind,
+        /// The bound variable name.
+        var: String,
+        /// Optional element-type filter (e.g. `ServerGroupT`).
+        type_filter: Option<String>,
+        /// The collection expression being quantified over.
+        domain: Box<Expr>,
+        /// The predicate applied to each element.
+        body: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a float literal.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Value::Float(v))
+    }
+
+    /// Convenience constructor for an int literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Convenience constructor for an identifier.
+    pub fn ident(name: &str) -> Expr {
+        Expr::Ident(name.to_string())
+    }
+
+    /// Convenience constructor for property access.
+    pub fn prop(target: Expr, name: &str) -> Expr {
+        Expr::Property(Box::new(target), name.to_string())
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// All identifiers referenced (free or bound) in the expression; useful
+    /// for dependency analysis of constraints.
+    pub fn referenced_idents(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_idents(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_idents(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Ident(name) => out.push(name.clone()),
+            Expr::Property(target, _) => target.collect_idents(out),
+            Expr::Unary(_, e) => e.collect_idents(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_idents(out);
+                r.collect_idents(out);
+            }
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.collect_idents(out);
+                }
+            }
+            Expr::Quantifier {
+                var, domain, body, ..
+            } => {
+                domain.collect_idents(out);
+                body.collect_idents(out);
+                out.retain(|n| n != var);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_construct_expected_shapes() {
+        let e = Expr::bin(
+            BinOp::Le,
+            Expr::prop(Expr::ident("self"), "averageLatency"),
+            Expr::ident("maxLatency"),
+        );
+        match e {
+            Expr::Binary(BinOp::Le, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Property(_, ref n) if n == "averageLatency"));
+                assert!(matches!(*rhs, Expr::Ident(ref n) if n == "maxLatency"));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+
+    #[test]
+    fn referenced_idents_excludes_bound_vars() {
+        let e = Expr::Quantifier {
+            kind: QuantifierKind::Exists,
+            var: "c".into(),
+            type_filter: Some("ClientT".into()),
+            domain: Box::new(Expr::ident("components")),
+            body: Box::new(Expr::bin(
+                BinOp::Gt,
+                Expr::prop(Expr::ident("c"), "load"),
+                Expr::ident("maxServerLoad"),
+            )),
+        };
+        let ids = e.referenced_idents();
+        assert!(ids.contains(&"components".to_string()));
+        assert!(ids.contains(&"maxServerLoad".to_string()));
+        assert!(!ids.contains(&"c".to_string()));
+    }
+}

@@ -1,0 +1,699 @@
+//! Evaluator for constraint expressions against an architectural model.
+
+use super::ast::{BinOp, Expr, QuantifierKind, UnaryOp};
+use crate::element::ElementRef;
+use crate::system::System;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// The result of evaluating an expression: either a plain value, a single
+/// architectural element, or a collection of elements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    /// A property-style value.
+    Val(Value),
+    /// A reference to one element.
+    Element(ElementRef),
+    /// A collection of elements (the result of `select`, `components`, ...).
+    Elements(Vec<ElementRef>),
+}
+
+impl EvalValue {
+    /// Interprets the result as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            EvalValue::Val(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Interprets the result as a float (coercing integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            EvalValue::Val(v) => v.as_f64(),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// An identifier could not be resolved.
+    UnknownIdentifier(String),
+    /// An element lacks the requested property.
+    MissingProperty(String, String),
+    /// The operands of an operator had incompatible types.
+    TypeMismatch(String),
+    /// An unknown function was called.
+    UnknownFunction(String),
+    /// A function was called with the wrong number or kinds of arguments.
+    BadArguments(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnknownIdentifier(n) => write!(f, "unknown identifier: {n}"),
+            EvalError::MissingProperty(el, p) => write!(f, "element {el} has no property {p}"),
+            EvalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
+            EvalError::BadArguments(m) => write!(f, "bad arguments: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A set of variable bindings used while evaluating.
+pub type Bindings = BTreeMap<String, EvalValue>;
+
+/// Evaluates `expr` against `system` with the given variable bindings.
+pub fn eval(expr: &Expr, system: &System, bindings: &Bindings) -> Result<EvalValue, EvalError> {
+    match expr {
+        Expr::Literal(v) => Ok(EvalValue::Val(v.clone())),
+        Expr::Ident(name) => resolve_ident(name, system, bindings),
+        Expr::Property(target, name) => {
+            let target = eval(target, system, bindings)?;
+            access_property(&target, name, system)
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval(inner, system, bindings)?;
+            match op {
+                UnaryOp::Not => {
+                    let b = v.as_bool().ok_or_else(|| {
+                        EvalError::TypeMismatch("'not' requires a boolean".into())
+                    })?;
+                    Ok(EvalValue::Val(Value::Bool(!b)))
+                }
+                UnaryOp::Neg => {
+                    let n = v.as_f64().ok_or_else(|| {
+                        EvalError::TypeMismatch("negation requires a number".into())
+                    })?;
+                    Ok(EvalValue::Val(Value::Float(-n)))
+                }
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, system, bindings),
+        Expr::Call(name, args) => eval_call(name, args, system, bindings),
+        Expr::Quantifier {
+            kind,
+            var,
+            type_filter,
+            domain,
+            body,
+        } => eval_quantifier(*kind, var, type_filter.as_deref(), domain, body, system, bindings),
+    }
+}
+
+/// Evaluates an expression expected to produce a boolean (the common case for
+/// invariants and tactic preconditions).
+pub fn eval_bool(expr: &Expr, system: &System, bindings: &Bindings) -> Result<bool, EvalError> {
+    let v = eval(expr, system, bindings)?;
+    v.as_bool()
+        .ok_or_else(|| EvalError::TypeMismatch("expected a boolean result".into()))
+}
+
+fn resolve_ident(
+    name: &str,
+    system: &System,
+    bindings: &Bindings,
+) -> Result<EvalValue, EvalError> {
+    if let Some(v) = bindings.get(name) {
+        return Ok(v.clone());
+    }
+    match name {
+        "components" => Ok(EvalValue::Elements(
+            system
+                .components()
+                .map(|(id, _)| ElementRef::Component(id))
+                .collect(),
+        )),
+        "connectors" => Ok(EvalValue::Elements(
+            system
+                .connectors()
+                .map(|(id, _)| ElementRef::Connector(id))
+                .collect(),
+        )),
+        _ => {
+            if let Some(v) = system.properties.get(name) {
+                return Ok(EvalValue::Val(v.clone()));
+            }
+            // Fall back to an element with that name (lets constraints say
+            // `ServerGrp1.load` or `Conn1.roles`).
+            if let Some(id) = system.component_by_name(name) {
+                return Ok(EvalValue::Element(ElementRef::Component(id)));
+            }
+            if let Some(id) = system.connector_by_name(name) {
+                return Ok(EvalValue::Element(ElementRef::Connector(id)));
+            }
+            Err(EvalError::UnknownIdentifier(name.to_string()))
+        }
+    }
+}
+
+fn access_property(
+    target: &EvalValue,
+    name: &str,
+    system: &System,
+) -> Result<EvalValue, EvalError> {
+    match target {
+        EvalValue::Element(el) => {
+            // Structural pseudo-properties first.
+            match (el, name) {
+                (_, "name") => {
+                    return Ok(EvalValue::Val(Value::Str(system.element_name(*el))));
+                }
+                (ElementRef::Component(id), "type") => {
+                    let c = system
+                        .component(*id)
+                        .map_err(|_| EvalError::MissingProperty(el.to_string(), name.into()))?;
+                    return Ok(EvalValue::Val(Value::Str(c.ctype.clone())));
+                }
+                (ElementRef::Component(id), "ports") => {
+                    let c = system
+                        .component(*id)
+                        .map_err(|_| EvalError::MissingProperty(el.to_string(), name.into()))?;
+                    return Ok(EvalValue::Elements(
+                        c.ports.iter().map(|p| ElementRef::Port(*p)).collect(),
+                    ));
+                }
+                (ElementRef::Component(id), "children") | (ElementRef::Component(id), "members") => {
+                    let c = system
+                        .component(*id)
+                        .map_err(|_| EvalError::MissingProperty(el.to_string(), name.into()))?;
+                    return Ok(EvalValue::Elements(
+                        c.children
+                            .iter()
+                            .map(|c| ElementRef::Component(*c))
+                            .collect(),
+                    ));
+                }
+                (ElementRef::Connector(id), "roles") => {
+                    let c = system
+                        .connector(*id)
+                        .map_err(|_| EvalError::MissingProperty(el.to_string(), name.into()))?;
+                    return Ok(EvalValue::Elements(
+                        c.roles.iter().map(|r| ElementRef::Role(*r)).collect(),
+                    ));
+                }
+                _ => {}
+            }
+            system
+                .get_property(*el, name)
+                .cloned()
+                .map(EvalValue::Val)
+                .ok_or_else(|| EvalError::MissingProperty(system.element_name(*el), name.into()))
+        }
+        EvalValue::Val(Value::Set(items)) if name == "size" => {
+            Ok(EvalValue::Val(Value::Int(items.len() as i64)))
+        }
+        EvalValue::Elements(items) if name == "size" => {
+            Ok(EvalValue::Val(Value::Int(items.len() as i64)))
+        }
+        other => Err(EvalError::TypeMismatch(format!(
+            "cannot access property {name} on {other:?}"
+        ))),
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    system: &System,
+    bindings: &Bindings,
+) -> Result<EvalValue, EvalError> {
+    // Short-circuit logical operators.
+    match op {
+        BinOp::And => {
+            let l = eval_bool(lhs, system, bindings)?;
+            if !l {
+                return Ok(EvalValue::Val(Value::Bool(false)));
+            }
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+        }
+        BinOp::Or => {
+            let l = eval_bool(lhs, system, bindings)?;
+            if l {
+                return Ok(EvalValue::Val(Value::Bool(true)));
+            }
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+        }
+        BinOp::Implies => {
+            let l = eval_bool(lhs, system, bindings)?;
+            if !l {
+                return Ok(EvalValue::Val(Value::Bool(true)));
+            }
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+        }
+        _ => {}
+    }
+
+    let l = eval(lhs, system, bindings)?;
+    let r = eval(rhs, system, bindings)?;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let (a, b) = numeric_operands(&l, &r, op)?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(EvalError::TypeMismatch("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(EvalValue::Val(Value::Float(out)))
+        }
+        BinOp::Eq | BinOp::Ne => {
+            let equal = match (&l, &r) {
+                (EvalValue::Val(a), EvalValue::Val(b)) => a.loosely_equals(b),
+                (EvalValue::Element(a), EvalValue::Element(b)) => a == b,
+                (EvalValue::Elements(a), EvalValue::Elements(b)) => a == b,
+                _ => false,
+            };
+            Ok(EvalValue::Val(Value::Bool(if op == BinOp::Eq {
+                equal
+            } else {
+                !equal
+            })))
+        }
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (a, b) = numeric_operands(&l, &r, op)?;
+            let result = match op {
+                BinOp::Lt => a < b,
+                BinOp::Le => a <= b,
+                BinOp::Gt => a > b,
+                BinOp::Ge => a >= b,
+                _ => unreachable!(),
+            };
+            Ok(EvalValue::Val(Value::Bool(result)))
+        }
+        BinOp::And | BinOp::Or | BinOp::Implies => unreachable!("handled above"),
+    }
+}
+
+fn numeric_operands(
+    l: &EvalValue,
+    r: &EvalValue,
+    op: BinOp,
+) -> Result<(f64, f64), EvalError> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(EvalError::TypeMismatch(format!(
+            "operator {op:?} requires numeric operands, got {l:?} and {r:?}"
+        ))),
+    }
+}
+
+fn eval_call(
+    name: &str,
+    args: &[Expr],
+    system: &System,
+    bindings: &Bindings,
+) -> Result<EvalValue, EvalError> {
+    let evaluated: Vec<EvalValue> = args
+        .iter()
+        .map(|a| eval(a, system, bindings))
+        .collect::<Result<_, _>>()?;
+    match name {
+        "size" => {
+            if evaluated.len() != 1 {
+                return Err(EvalError::BadArguments("size(x) takes one argument".into()));
+            }
+            match &evaluated[0] {
+                EvalValue::Elements(items) => Ok(EvalValue::Val(Value::Int(items.len() as i64))),
+                EvalValue::Val(Value::Set(items)) => {
+                    Ok(EvalValue::Val(Value::Int(items.len() as i64)))
+                }
+                other => Err(EvalError::BadArguments(format!(
+                    "size() expects a collection, got {other:?}"
+                ))),
+            }
+        }
+        "connected" => {
+            if evaluated.len() != 2 {
+                return Err(EvalError::BadArguments(
+                    "connected(a, b) takes two arguments".into(),
+                ));
+            }
+            match (&evaluated[0], &evaluated[1]) {
+                (
+                    EvalValue::Element(ElementRef::Component(a)),
+                    EvalValue::Element(ElementRef::Component(b)),
+                ) => Ok(EvalValue::Val(Value::Bool(system.connected(*a, *b)))),
+                _ => Err(EvalError::BadArguments(
+                    "connected() expects two components".into(),
+                )),
+            }
+        }
+        "attached" => {
+            if evaluated.len() != 2 {
+                return Err(EvalError::BadArguments(
+                    "attached(x, role) takes two arguments".into(),
+                ));
+            }
+            let result = match (&evaluated[0], &evaluated[1]) {
+                (EvalValue::Element(ElementRef::Port(p)), EvalValue::Element(ElementRef::Role(r)))
+                | (EvalValue::Element(ElementRef::Role(r)), EvalValue::Element(ElementRef::Port(p))) => {
+                    system.attached(*p, *r)
+                }
+                (
+                    EvalValue::Element(ElementRef::Component(c)),
+                    EvalValue::Element(ElementRef::Role(r)),
+                )
+                | (
+                    EvalValue::Element(ElementRef::Role(r)),
+                    EvalValue::Element(ElementRef::Component(c)),
+                ) => system.component_attached_to_role(*r) == Some(*c),
+                _ => {
+                    return Err(EvalError::BadArguments(
+                        "attached() expects (port, role) or (component, role)".into(),
+                    ))
+                }
+            };
+            Ok(EvalValue::Val(Value::Bool(result)))
+        }
+        "contains" => {
+            if evaluated.len() != 2 {
+                return Err(EvalError::BadArguments(
+                    "contains(set, x) takes two arguments".into(),
+                ));
+            }
+            match (&evaluated[0], &evaluated[1]) {
+                (EvalValue::Elements(items), EvalValue::Element(e)) => {
+                    Ok(EvalValue::Val(Value::Bool(items.contains(e))))
+                }
+                (EvalValue::Val(Value::Set(items)), EvalValue::Val(v)) => Ok(EvalValue::Val(
+                    Value::Bool(items.iter().any(|i| i.loosely_equals(v))),
+                )),
+                _ => Err(EvalError::BadArguments(
+                    "contains() expects a collection and an element".into(),
+                )),
+            }
+        }
+        "isEmpty" => {
+            if evaluated.len() != 1 {
+                return Err(EvalError::BadArguments("isEmpty(x) takes one argument".into()));
+            }
+            match &evaluated[0] {
+                EvalValue::Elements(items) => Ok(EvalValue::Val(Value::Bool(items.is_empty()))),
+                EvalValue::Val(Value::Set(items)) => {
+                    Ok(EvalValue::Val(Value::Bool(items.is_empty())))
+                }
+                other => Err(EvalError::BadArguments(format!(
+                    "isEmpty() expects a collection, got {other:?}"
+                ))),
+            }
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn element_matches_type(el: &ElementRef, ty: &str, system: &System) -> bool {
+    match el {
+        ElementRef::Component(id) => system
+            .component(*id)
+            .map(|c| c.ctype == ty)
+            .unwrap_or(false),
+        ElementRef::Connector(id) => system
+            .connector(*id)
+            .map(|c| c.ctype == ty)
+            .unwrap_or(false),
+        ElementRef::Port(id) => system.port(*id).map(|p| p.ptype == ty).unwrap_or(false),
+        ElementRef::Role(id) => system.role(*id).map(|r| r.rtype == ty).unwrap_or(false),
+    }
+}
+
+fn eval_quantifier(
+    kind: QuantifierKind,
+    var: &str,
+    type_filter: Option<&str>,
+    domain: &Expr,
+    body: &Expr,
+    system: &System,
+    bindings: &Bindings,
+) -> Result<EvalValue, EvalError> {
+    let domain_value = eval(domain, system, bindings)?;
+    let elements: Vec<ElementRef> = match domain_value {
+        EvalValue::Elements(items) => items,
+        EvalValue::Element(e) => vec![e],
+        other => {
+            return Err(EvalError::TypeMismatch(format!(
+                "quantifier domain must be a collection of elements, got {other:?}"
+            )))
+        }
+    };
+    let filtered: Vec<ElementRef> = elements
+        .into_iter()
+        .filter(|e| type_filter.map_or(true, |t| element_matches_type(e, t, system)))
+        .collect();
+
+    let mut selected = Vec::new();
+    let mut any = false;
+    let mut all = true;
+    for el in &filtered {
+        let mut inner = bindings.clone();
+        inner.insert(var.to_string(), EvalValue::Element(*el));
+        let holds = eval_bool(body, system, &inner)?;
+        any |= holds;
+        all &= holds;
+        if holds {
+            selected.push(*el);
+        }
+        // Short-circuit where possible.
+        if kind == QuantifierKind::Exists && any {
+            return Ok(EvalValue::Val(Value::Bool(true)));
+        }
+        if kind == QuantifierKind::Forall && !all {
+            return Ok(EvalValue::Val(Value::Bool(false)));
+        }
+    }
+    match kind {
+        QuantifierKind::Exists => Ok(EvalValue::Val(Value::Bool(any))),
+        QuantifierKind::Forall => Ok(EvalValue::Val(Value::Bool(all))),
+        QuantifierKind::Select => Ok(EvalValue::Elements(selected)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parser::parse;
+    use crate::value::Value;
+
+    /// Builds the paper's example system: one client connected to ServerGrp1
+    /// (3 servers), plus an unconnected ServerGrp2.
+    fn example_system() -> System {
+        let mut sys = System::new("storage");
+        sys.properties.set("maxLatency", 2.0);
+        sys.properties.set("maxServerLoad", 6i64);
+        sys.properties.set("minBandwidth", 10_000.0);
+
+        let client = sys.add_component("User1", "ClientT").unwrap();
+        let grp1 = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        let grp2 = sys.add_component("ServerGrp2", "ServerGroupT").unwrap();
+        for i in 1..=3 {
+            let s = sys
+                .add_child_component(grp1, format!("Server{i}"), "ServerT")
+                .unwrap();
+            sys.component_mut(s).unwrap().properties.set("isActive", true);
+        }
+        sys.component_mut(client)
+            .unwrap()
+            .properties
+            .set("averageLatency", 1.0);
+        sys.component_mut(grp1).unwrap().properties.set("load", 3i64);
+        sys.component_mut(grp2).unwrap().properties.set("load", 0i64);
+
+        let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
+        let cport = sys.add_port(client, "request", "RequestT").unwrap();
+        let gport = sys.add_port(grp1, "serve", "ServeT").unwrap();
+        let crole = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
+        let grole = sys.add_role(conn, "serverSide", "ServerRoleT").unwrap();
+        sys.role_mut(crole).unwrap().properties.set("bandwidth", 5.0e6);
+        sys.attach(cport, crole).unwrap();
+        sys.attach(gport, grole).unwrap();
+        sys
+    }
+
+    fn check(expr: &str, sys: &System) -> bool {
+        let parsed = parse(expr).unwrap();
+        eval_bool(&parsed, sys, &Bindings::new()).unwrap()
+    }
+
+    #[test]
+    fn latency_invariant_from_the_paper() {
+        let sys = example_system();
+        assert!(check("User1.averageLatency <= maxLatency", &sys));
+    }
+
+    #[test]
+    fn violated_invariant_detected() {
+        let mut sys = example_system();
+        let client = sys.component_by_name("User1").unwrap();
+        sys.component_mut(client)
+            .unwrap()
+            .properties
+            .set("averageLatency", 5.0);
+        assert!(!check("User1.averageLatency <= maxLatency", &sys));
+    }
+
+    #[test]
+    fn exists_overloaded_server_group() {
+        let mut sys = example_system();
+        assert!(!check(
+            "exists g : ServerGroupT in components | g.load > maxServerLoad",
+            &sys
+        ));
+        let grp = sys.component_by_name("ServerGrp1").unwrap();
+        sys.component_mut(grp).unwrap().properties.set("load", 10i64);
+        assert!(check(
+            "exists g : ServerGroupT in components | g.load > maxServerLoad",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn forall_children_active() {
+        let sys = example_system();
+        assert!(check(
+            "forall s : ServerT in ServerGrp1.children | s.isActive",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn select_and_size() {
+        let sys = example_system();
+        assert!(check(
+            "size(select s : ServerT in ServerGrp1.children | s.isActive) == 3",
+            &sys
+        ));
+        assert!(check(
+            "size(select g : ServerGroupT in components | g.load == 0) == 1",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn connected_function() {
+        let sys = example_system();
+        assert!(check("connected(User1, ServerGrp1)", &sys));
+        assert!(!check("connected(User1, ServerGrp2)", &sys));
+    }
+
+    #[test]
+    fn quantifier_with_connected_and_bound_variable() {
+        let sys = example_system();
+        assert!(check(
+            "exists g : ServerGroupT in components | connected(g, User1) and g.load <= maxServerLoad",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn role_bandwidth_constraint() {
+        let sys = example_system();
+        // The client's role has 5 Mbps, far above the 10 Kbps minimum.
+        assert!(check(
+            "forall r : ClientRoleT in Conn1.roles | r.bandwidth >= minBandwidth",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn arithmetic_and_implication() {
+        let sys = example_system();
+        assert!(check("1 + 2 * 3 == 7", &sys));
+        assert!(check("ServerGrp1.load > 10 -> false", &sys));
+        assert!(check("!(ServerGrp1.load > 10)", &sys));
+    }
+
+    #[test]
+    fn missing_property_is_an_error() {
+        let sys = example_system();
+        let parsed = parse("User1.nonexistent > 0").unwrap();
+        assert!(matches!(
+            eval_bool(&parsed, &sys, &Bindings::new()),
+            Err(EvalError::MissingProperty(_, _))
+        ));
+    }
+
+    #[test]
+    fn unknown_identifier_is_an_error() {
+        let sys = example_system();
+        let parsed = parse("nonsense > 0").unwrap();
+        assert!(matches!(
+            eval_bool(&parsed, &sys, &Bindings::new()),
+            Err(EvalError::UnknownIdentifier(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let sys = example_system();
+        let parsed = parse("frobnicate(User1)").unwrap();
+        assert!(matches!(
+            eval_bool(&parsed, &sys, &Bindings::new()),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let sys = example_system();
+        let parsed = parse("1 / 0 > 1").unwrap();
+        assert!(eval_bool(&parsed, &sys, &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn bindings_take_priority() {
+        let sys = example_system();
+        let client = sys.component_by_name("User1").unwrap();
+        let mut bindings = Bindings::new();
+        bindings.insert(
+            "self".to_string(),
+            EvalValue::Element(ElementRef::Component(client)),
+        );
+        let parsed = parse("self.averageLatency <= maxLatency").unwrap();
+        assert!(eval_bool(&parsed, &sys, &bindings).unwrap());
+    }
+
+    #[test]
+    fn pseudo_properties_name_and_type() {
+        let sys = example_system();
+        assert!(check("User1.name == \"User1\"", &sys));
+        assert!(check("User1.type == \"ClientT\"", &sys));
+        assert!(check("size(ServerGrp1.children) == 3", &sys));
+    }
+
+    #[test]
+    fn attached_component_to_role() {
+        let sys = example_system();
+        assert!(check(
+            "exists r : ClientRoleT in Conn1.roles | attached(User1, r)",
+            &sys
+        ));
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors_on_rhs() {
+        let sys = example_system();
+        // The right-hand side would fail (unknown identifier) but must not be
+        // evaluated because the left side decides.
+        assert!(check("true or nonsense > 1", &sys));
+        assert!(!check("false and nonsense > 1", &sys));
+    }
+
+    #[test]
+    fn value_semantics_of_eval_value() {
+        assert_eq!(EvalValue::Val(Value::Bool(true)).as_bool(), Some(true));
+        assert_eq!(EvalValue::Val(Value::Int(3)).as_f64(), Some(3.0));
+        assert_eq!(EvalValue::Elements(vec![]).as_bool(), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property lists attached to architectural elements.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named collection of property values.
+///
+/// Backed by a `BTreeMap` so iteration (and therefore constraint evaluation
+/// and model diffing) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PropertyMap {
+    entries: BTreeMap<String, Value>,
+}
+
+impl PropertyMap {
+    /// Creates an empty property map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or replaces) a property.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.entries.insert(name.into(), value.into());
+    }
+
+    /// Builder-style property setting.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Gets a property by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.entries.get(name)
+    }
+
+    /// Gets a numeric property, coercing ints to floats.
+    pub fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_f64)
+    }
+
+    /// Gets an integer property.
+    pub fn get_i64(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_i64)
+    }
+
+    /// Gets a boolean property.
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(Value::as_bool)
+    }
+
+    /// Gets a string property.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Removes a property, returning its previous value.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.entries.remove(name)
+    }
+
+    /// Whether a property is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Number of properties.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no properties are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over (name, value) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Names of properties present here but missing or different in `other`.
+    pub fn diff(&self, other: &PropertyMap) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(k, v)| other.get(k) != Some(*v))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut props = PropertyMap::new();
+        props.set("averageLatency", 1.5);
+        props.set("load", 7i64);
+        props.set("isActive", true);
+        props.set("host", "S1");
+        assert_eq!(props.get_f64("averageLatency"), Some(1.5));
+        assert_eq!(props.get_i64("load"), Some(7));
+        assert_eq!(props.get_bool("isActive"), Some(true));
+        assert_eq!(props.get_str("host"), Some("S1"));
+        assert_eq!(props.len(), 4);
+    }
+
+    #[test]
+    fn int_coerces_to_float() {
+        let props = PropertyMap::new().with("load", 7i64);
+        assert_eq!(props.get_f64("load"), Some(7.0));
+    }
+
+    #[test]
+    fn missing_property_is_none() {
+        let props = PropertyMap::new();
+        assert!(props.get("nothing").is_none());
+        assert!(!props.contains("nothing"));
+        assert!(props.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut props = PropertyMap::new();
+        props.set("bandwidth", 10.0e6);
+        props.set("bandwidth", 5.0e6);
+        assert_eq!(props.get_f64("bandwidth"), Some(5.0e6));
+        assert_eq!(props.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_previous() {
+        let mut props = PropertyMap::new().with("x", 1i64);
+        assert_eq!(props.remove("x"), Some(Value::Int(1)));
+        assert_eq!(props.remove("x"), None);
+    }
+
+    #[test]
+    fn diff_reports_changed_and_missing() {
+        let a = PropertyMap::new().with("x", 1i64).with("y", 2i64);
+        let b = PropertyMap::new().with("x", 1i64).with("y", 3i64);
+        assert_eq!(a.diff(&b), vec!["y".to_string()]);
+        let empty = PropertyMap::new();
+        let mut d = a.diff(&empty);
+        d.sort();
+        assert_eq!(d, vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let props = PropertyMap::new().with("b", 1i64).with("a", 2i64).with("c", 3i64);
+        let names: Vec<&str> = props.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,474 @@
+//! The client/server architectural style used by the paper's example.
+//!
+//! The evaluated system is *a storage infrastructure consisting of a set of
+//! server groups that provide information to a set of users*: each server
+//! group holds replicated servers and a FIFO request queue; users (clients)
+//! are connected to exactly one server group through a service connector. The
+//! style defines the vocabulary (component / connector / port / role types),
+//! construction helpers, and structural-validity rules that adaptation
+//! operators must preserve.
+
+use crate::element::{ComponentId, ConnectorId};
+use crate::system::{ModelError, System};
+use serde::{Deserialize, Serialize};
+
+/// Component type for users/clients.
+pub const CLIENT_T: &str = "ClientT";
+/// Component type for server groups.
+pub const SERVER_GROUP_T: &str = "ServerGroupT";
+/// Component type for replicated servers inside a group.
+pub const SERVER_T: &str = "ServerT";
+/// Connector type for the client ↔ server-group service connection (the
+/// request queue plus network links).
+pub const SERVICE_CONN_T: &str = "ServiceConnT";
+/// Port type on clients for issuing requests.
+pub const REQUEST_PORT_T: &str = "RequestT";
+/// Port type on server groups for serving requests.
+pub const SERVE_PORT_T: &str = "ServeT";
+/// Role type on the client side of a service connector.
+pub const CLIENT_ROLE_T: &str = "ClientRoleT";
+/// Role type on the server-group side of a service connector.
+pub const SERVER_ROLE_T: &str = "ServerRoleT";
+
+/// Well-known property names used by the style.
+pub mod props {
+    /// Average request-response latency observed by a client (seconds).
+    pub const AVERAGE_LATENCY: &str = "averageLatency";
+    /// Server-group load, measured as pending-request queue length.
+    pub const LOAD: &str = "load";
+    /// Bandwidth available on a client role (bits per second).
+    pub const BANDWIDTH: &str = "bandwidth";
+    /// Number of replicated servers a group is configured with.
+    pub const REPLICATION_COUNT: &str = "replicationCount";
+    /// Whether a server is currently activated.
+    pub const IS_ACTIVE: &str = "isActive";
+    /// Task-layer bound on average latency (seconds).
+    pub const MAX_LATENCY: &str = "maxLatency";
+    /// Task-layer bound on server-group load (queue length).
+    pub const MAX_SERVER_LOAD: &str = "maxServerLoad";
+    /// Task-layer minimum acceptable client bandwidth (bits per second).
+    pub const MIN_BANDWIDTH: &str = "minBandwidth";
+}
+
+/// A structural-validity problem found by [`ClientServerStyle::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StyleViolation {
+    /// The rule that was broken.
+    pub rule: String,
+    /// The offending element, by name.
+    pub subject: String,
+}
+
+impl std::fmt::Display for StyleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.subject, self.rule)
+    }
+}
+
+/// The client/server-with-replicated-server-groups style.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientServerStyle;
+
+impl ClientServerStyle {
+    /// The standard name of the request port created on clients.
+    pub const CLIENT_PORT: &'static str = "request";
+    /// The standard name of the serve port created on server groups.
+    pub const GROUP_PORT: &'static str = "serve";
+
+    /// Adds a client component with its request port.
+    pub fn add_client(system: &mut System, name: &str) -> Result<ComponentId, ModelError> {
+        let id = system.add_component(name, CLIENT_T)?;
+        system.add_port(id, Self::CLIENT_PORT, REQUEST_PORT_T)?;
+        Ok(id)
+    }
+
+    /// Adds a server group with `servers` replicated servers and the standard
+    /// serve port. The group's `replicationCount` property is kept in sync.
+    pub fn add_server_group(
+        system: &mut System,
+        name: &str,
+        servers: usize,
+    ) -> Result<ComponentId, ModelError> {
+        let id = system.add_component(name, SERVER_GROUP_T)?;
+        system.add_port(id, Self::GROUP_PORT, SERVE_PORT_T)?;
+        for i in 1..=servers {
+            let server = system.add_child_component(id, format!("{name}.Server{i}"), SERVER_T)?;
+            system
+                .component_mut(server)?
+                .properties
+                .set(props::IS_ACTIVE, true);
+        }
+        system
+            .component_mut(id)?
+            .properties
+            .set(props::REPLICATION_COUNT, servers as i64);
+        Ok(id)
+    }
+
+    /// Adds a replicated server to an existing group (the model-level effect
+    /// of the `addServer()` operator).
+    pub fn add_server_to_group(
+        system: &mut System,
+        group: ComponentId,
+        name: &str,
+    ) -> Result<ComponentId, ModelError> {
+        let server = system.add_child_component(group, name, SERVER_T)?;
+        system
+            .component_mut(server)?
+            .properties
+            .set(props::IS_ACTIVE, true);
+        let count = system.children_of(group)?.len() as i64;
+        system
+            .component_mut(group)?
+            .properties
+            .set(props::REPLICATION_COUNT, count);
+        Ok(server)
+    }
+
+    /// Creates (or finds) the service connector for a server group. The
+    /// connector is named `"<group>.Conn"` and has one server-side role
+    /// attached to the group's serve port.
+    pub fn service_connector(
+        system: &mut System,
+        group: ComponentId,
+    ) -> Result<ConnectorId, ModelError> {
+        let group_name = system.component(group)?.name.clone();
+        let conn_name = format!("{group_name}.Conn");
+        if let Some(existing) = system.connector_by_name(&conn_name) {
+            return Ok(existing);
+        }
+        let conn = system.add_connector(&conn_name, SERVICE_CONN_T)?;
+        let server_role = system.add_role(conn, "serverSide", SERVER_ROLE_T)?;
+        let serve_port = system
+            .component(group)?
+            .ports
+            .iter()
+            .copied()
+            .find(|p| {
+                system
+                    .port(*p)
+                    .map(|p| p.name == Self::GROUP_PORT)
+                    .unwrap_or(false)
+            })
+            .ok_or(ModelError::NameNotFound(format!(
+                "{group_name}.{}",
+                Self::GROUP_PORT
+            )))?;
+        system.attach(serve_port, server_role)?;
+        Ok(conn)
+    }
+
+    /// Connects a client to a server group through the group's service
+    /// connector, creating a client role named after the client.
+    pub fn connect_client(
+        system: &mut System,
+        client: ComponentId,
+        group: ComponentId,
+    ) -> Result<ConnectorId, ModelError> {
+        let conn = Self::service_connector(system, group)?;
+        let client_name = system.component(client)?.name.clone();
+        let role = system.add_role(conn, format!("{client_name}.role"), CLIENT_ROLE_T)?;
+        let port = system
+            .component(client)?
+            .ports
+            .iter()
+            .copied()
+            .find(|p| {
+                system
+                    .port(*p)
+                    .map(|p| p.name == Self::CLIENT_PORT)
+                    .unwrap_or(false)
+            })
+            .ok_or(ModelError::NameNotFound(format!(
+                "{client_name}.{}",
+                Self::CLIENT_PORT
+            )))?;
+        system.attach(port, role)?;
+        Ok(conn)
+    }
+
+    /// The server group a client is currently connected to, if any.
+    pub fn group_of_client(system: &System, client: ComponentId) -> Option<ComponentId> {
+        for conn in system.connectors_of_component(client) {
+            for comp in system.components_attached_to_connector(conn) {
+                if let Ok(c) = system.component(comp) {
+                    if c.ctype == SERVER_GROUP_T {
+                        return Some(comp);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The clients currently connected to a server group.
+    pub fn clients_of_group(system: &System, group: ComponentId) -> Vec<ComponentId> {
+        let mut out = Vec::new();
+        for conn in system.connectors_of_component(group) {
+            for comp in system.components_attached_to_connector(conn) {
+                if let Ok(c) = system.component(comp) {
+                    if c.ctype == CLIENT_T {
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Checks the structural rules of the style.
+    pub fn validate(system: &System) -> Vec<StyleViolation> {
+        let mut violations = Vec::new();
+
+        // Rule 1: every client is connected to exactly one server group.
+        for (id, comp) in system.components_of_type(CLIENT_T) {
+            let groups: Vec<ComponentId> = system
+                .connectors_of_component(id)
+                .into_iter()
+                .flat_map(|c| system.components_attached_to_connector(c))
+                .filter(|c| {
+                    system
+                        .component(*c)
+                        .map(|x| x.ctype == SERVER_GROUP_T)
+                        .unwrap_or(false)
+                })
+                .collect();
+            if groups.len() != 1 {
+                violations.push(StyleViolation {
+                    rule: format!(
+                        "client must be connected to exactly one server group (found {})",
+                        groups.len()
+                    ),
+                    subject: comp.name.clone(),
+                });
+            }
+        }
+
+        // Rule 2: every server group has at least one active server.
+        for (id, comp) in system.components_of_type(SERVER_GROUP_T) {
+            let children = system.children_of(id).unwrap_or_default();
+            let active = children
+                .iter()
+                .filter(|c| {
+                    system
+                        .component(**c)
+                        .map(|s| {
+                            s.ctype == SERVER_T
+                                && s.properties.get_bool(props::IS_ACTIVE).unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+                })
+                .count();
+            if active == 0 {
+                violations.push(StyleViolation {
+                    rule: "server group must contain at least one active server".into(),
+                    subject: comp.name.clone(),
+                });
+            }
+            // Rule 3: replicationCount matches the number of servers.
+            if let Some(count) = comp.properties.get_i64(props::REPLICATION_COUNT) {
+                let servers = children
+                    .iter()
+                    .filter(|c| {
+                        system
+                            .component(**c)
+                            .map(|s| s.ctype == SERVER_T)
+                            .unwrap_or(false)
+                    })
+                    .count() as i64;
+                if count != servers {
+                    violations.push(StyleViolation {
+                        rule: format!(
+                            "replicationCount ({count}) does not match number of servers ({servers})"
+                        ),
+                        subject: comp.name.clone(),
+                    });
+                }
+            }
+        }
+
+        // Rule 4: every server is inside a server group.
+        for (id, comp) in system.components_of_type(SERVER_T) {
+            let parent_ok = system
+                .component(id)
+                .ok()
+                .and_then(|c| c.parent)
+                .and_then(|p| system.component(p).ok())
+                .map(|p| p.ctype == SERVER_GROUP_T)
+                .unwrap_or(false);
+            if !parent_ok {
+                violations.push(StyleViolation {
+                    rule: "server must be a member of a server group".into(),
+                    subject: comp.name.clone(),
+                });
+            }
+        }
+
+        // Rule 5: every service connector has exactly one server group.
+        for (id, conn) in system.connectors() {
+            if conn.ctype != SERVICE_CONN_T {
+                continue;
+            }
+            let groups = system
+                .components_attached_to_connector(id)
+                .into_iter()
+                .filter(|c| {
+                    system
+                        .component(*c)
+                        .map(|x| x.ctype == SERVER_GROUP_T)
+                        .unwrap_or(false)
+                })
+                .count();
+            if groups != 1 {
+                violations.push(StyleViolation {
+                    rule: format!(
+                        "service connector must attach exactly one server group (found {groups})"
+                    ),
+                    subject: conn.name.clone(),
+                });
+            }
+        }
+
+        // Referential integrity of the underlying graph.
+        for problem in system.integrity_errors() {
+            violations.push(StyleViolation {
+                rule: problem,
+                subject: system.name.clone(),
+            });
+        }
+
+        violations
+    }
+
+    /// Builds the deployment architecture of the paper's example (Figure 3):
+    /// `groups` server groups with `servers_per_group` servers each, and
+    /// `clients` users spread round-robin across the groups.
+    pub fn example_system(
+        name: &str,
+        groups: usize,
+        servers_per_group: usize,
+        clients: usize,
+    ) -> Result<System, ModelError> {
+        let mut sys = System::new(name);
+        sys.properties.set(props::MAX_LATENCY, 2.0);
+        sys.properties.set(props::MAX_SERVER_LOAD, 6i64);
+        sys.properties.set(props::MIN_BANDWIDTH, 10_000.0);
+        let mut group_ids = Vec::new();
+        for g in 1..=groups {
+            let id = Self::add_server_group(&mut sys, &format!("ServerGrp{g}"), servers_per_group)?;
+            group_ids.push(id);
+        }
+        for c in 1..=clients {
+            let client = Self::add_client(&mut sys, &format!("User{c}"))?;
+            let group = group_ids[(c - 1) % group_ids.len()];
+            Self::connect_client(&mut sys, client, group)?;
+        }
+        Ok(sys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_system_is_valid() {
+        let sys = ClientServerStyle::example_system("storage", 3, 3, 6).unwrap();
+        assert_eq!(sys.components_of_type(CLIENT_T).count(), 6);
+        assert_eq!(sys.components_of_type(SERVER_GROUP_T).count(), 3);
+        assert_eq!(sys.components_of_type(SERVER_T).count(), 9);
+        assert!(ClientServerStyle::validate(&sys).is_empty());
+    }
+
+    #[test]
+    fn clients_are_spread_round_robin() {
+        let sys = ClientServerStyle::example_system("storage", 2, 1, 4).unwrap();
+        let g1 = sys.component_by_name("ServerGrp1").unwrap();
+        let g2 = sys.component_by_name("ServerGrp2").unwrap();
+        assert_eq!(ClientServerStyle::clients_of_group(&sys, g1).len(), 2);
+        assert_eq!(ClientServerStyle::clients_of_group(&sys, g2).len(), 2);
+    }
+
+    #[test]
+    fn group_of_client_resolves() {
+        let sys = ClientServerStyle::example_system("storage", 2, 1, 2).unwrap();
+        let u1 = sys.component_by_name("User1").unwrap();
+        let g1 = sys.component_by_name("ServerGrp1").unwrap();
+        assert_eq!(ClientServerStyle::group_of_client(&sys, u1), Some(g1));
+    }
+
+    #[test]
+    fn disconnected_client_is_a_style_violation() {
+        let mut sys = ClientServerStyle::example_system("storage", 1, 1, 1).unwrap();
+        ClientServerStyle::add_client(&mut sys, "Loner").unwrap();
+        let violations = ClientServerStyle::validate(&sys);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].subject, "Loner");
+    }
+
+    #[test]
+    fn empty_server_group_is_a_style_violation() {
+        let mut sys = ClientServerStyle::example_system("storage", 1, 1, 1).unwrap();
+        let grp = sys.component_by_name("ServerGrp1").unwrap();
+        let server = sys.component_by_name("ServerGrp1.Server1").unwrap();
+        sys.remove_component(server).unwrap();
+        // replicationCount now also disagrees.
+        let violations = ClientServerStyle::validate(&sys);
+        assert!(violations.iter().any(|v| v.rule.contains("at least one active server")));
+        assert!(violations
+            .iter()
+            .any(|v| v.rule.contains("replicationCount")));
+        let _ = grp;
+    }
+
+    #[test]
+    fn deactivated_servers_do_not_count() {
+        let mut sys = ClientServerStyle::example_system("storage", 1, 1, 1).unwrap();
+        let server = sys.component_by_name("ServerGrp1.Server1").unwrap();
+        sys.component_mut(server)
+            .unwrap()
+            .properties
+            .set(props::IS_ACTIVE, false);
+        let violations = ClientServerStyle::validate(&sys);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule.contains("at least one active server")));
+    }
+
+    #[test]
+    fn add_server_to_group_updates_replication_count() {
+        let mut sys = ClientServerStyle::example_system("storage", 1, 2, 1).unwrap();
+        let grp = sys.component_by_name("ServerGrp1").unwrap();
+        ClientServerStyle::add_server_to_group(&mut sys, grp, "ServerGrp1.Server3").unwrap();
+        assert_eq!(
+            sys.component(grp)
+                .unwrap()
+                .properties
+                .get_i64(props::REPLICATION_COUNT),
+            Some(3)
+        );
+        assert!(ClientServerStyle::validate(&sys).is_empty());
+    }
+
+    #[test]
+    fn orphan_server_is_a_style_violation() {
+        let mut sys = System::new("broken");
+        sys.add_component("StraySrv", SERVER_T).unwrap();
+        let violations = ClientServerStyle::validate(&sys);
+        assert!(violations
+            .iter()
+            .any(|v| v.rule.contains("member of a server group")));
+    }
+
+    #[test]
+    fn service_connector_is_reused() {
+        let mut sys = System::new("x");
+        let grp = ClientServerStyle::add_server_group(&mut sys, "G", 1).unwrap();
+        let c1 = ClientServerStyle::service_connector(&mut sys, grp).unwrap();
+        let c2 = ClientServerStyle::service_connector(&mut sys, grp).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(sys.connector_count(), 1);
+    }
+}

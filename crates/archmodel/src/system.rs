@@ -1,0 +1,733 @@
+//! The architectural model of a running system: a graph of components and
+//! connectors with attachments, properties, and hierarchy.
+
+use crate::element::{
+    Attachment, Component, ComponentId, Connector, ConnectorId, ElementRef, Port, PortId, Role,
+    RoleId,
+};
+use crate::property::PropertyMap;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Errors raised by model manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Component id not present in the system.
+    UnknownComponent(ComponentId),
+    /// Connector id not present in the system.
+    UnknownConnector(ConnectorId),
+    /// Port id not present in the system.
+    UnknownPort(PortId),
+    /// Role id not present in the system.
+    UnknownRole(RoleId),
+    /// A component with this name already exists.
+    DuplicateName(String),
+    /// The port or role is already attached.
+    AlreadyAttached(PortId, RoleId),
+    /// No such attachment exists.
+    NotAttached(PortId, RoleId),
+    /// The referenced component name was not found.
+    NameNotFound(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::UnknownComponent(id) => write!(f, "unknown component #{}", id.0),
+            ModelError::UnknownConnector(id) => write!(f, "unknown connector #{}", id.0),
+            ModelError::UnknownPort(id) => write!(f, "unknown port #{}", id.0),
+            ModelError::UnknownRole(id) => write!(f, "unknown role #{}", id.0),
+            ModelError::DuplicateName(n) => write!(f, "duplicate element name: {n}"),
+            ModelError::AlreadyAttached(p, r) => {
+                write!(f, "port #{} / role #{} already attached", p.0, r.0)
+            }
+            ModelError::NotAttached(p, r) => {
+                write!(f, "port #{} / role #{} not attached", p.0, r.0)
+            }
+            ModelError::NameNotFound(n) => write!(f, "no element named {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// The architectural model: components, connectors, ports, roles, and
+/// attachments, plus system-level properties (e.g. task-layer thresholds).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct System {
+    /// The system's name.
+    pub name: String,
+    /// System-level properties (e.g. `maxLatency`, `maxServerLoad`,
+    /// `minBandwidth` set by the task layer).
+    pub properties: PropertyMap,
+    components: BTreeMap<ComponentId, Component>,
+    connectors: BTreeMap<ConnectorId, Connector>,
+    ports: BTreeMap<PortId, Port>,
+    roles: BTreeMap<RoleId, Role>,
+    attachments: Vec<Attachment>,
+    next_id: u32,
+}
+
+impl System {
+    /// Creates an empty system with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        System {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    // ---- components ------------------------------------------------------
+
+    /// Adds a top-level component of the given type.
+    pub fn add_component(
+        &mut self,
+        name: impl Into<String>,
+        ctype: impl Into<String>,
+    ) -> Result<ComponentId, ModelError> {
+        let name = name.into();
+        if self.component_by_name(&name).is_some() {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = ComponentId(self.fresh_id());
+        self.components.insert(
+            id,
+            Component {
+                name,
+                ctype: ctype.into(),
+                properties: PropertyMap::new(),
+                ports: Vec::new(),
+                parent: None,
+                children: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Adds a component inside another component's representation (e.g. a
+    /// replicated server inside its server group).
+    pub fn add_child_component(
+        &mut self,
+        parent: ComponentId,
+        name: impl Into<String>,
+        ctype: impl Into<String>,
+    ) -> Result<ComponentId, ModelError> {
+        self.check_component(parent)?;
+        let id = self.add_component(name, ctype)?;
+        self.components
+            .get_mut(&id)
+            .expect("just inserted")
+            .parent = Some(parent);
+        self.components
+            .get_mut(&parent)
+            .expect("checked above")
+            .children
+            .push(id);
+        Ok(id)
+    }
+
+    /// Removes a component, its ports, their attachments, and (recursively)
+    /// its children.
+    pub fn remove_component(&mut self, id: ComponentId) -> Result<(), ModelError> {
+        self.check_component(id)?;
+        // Remove children first.
+        let children = self.components[&id].children.clone();
+        for child in children {
+            // A child may already have been removed explicitly.
+            if self.components.contains_key(&child) {
+                self.remove_component(child)?;
+            }
+        }
+        let comp = self.components.remove(&id).expect("checked above");
+        for port in comp.ports {
+            self.attachments.retain(|a| a.port != port);
+            self.ports.remove(&port);
+        }
+        if let Some(parent) = comp.parent {
+            if let Some(p) = self.components.get_mut(&parent) {
+                p.children.retain(|c| *c != id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a component by id.
+    pub fn component(&self, id: ComponentId) -> Result<&Component, ModelError> {
+        self.components
+            .get(&id)
+            .ok_or(ModelError::UnknownComponent(id))
+    }
+
+    /// Mutable access to a component.
+    pub fn component_mut(&mut self, id: ComponentId) -> Result<&mut Component, ModelError> {
+        self.components
+            .get_mut(&id)
+            .ok_or(ModelError::UnknownComponent(id))
+    }
+
+    fn check_component(&self, id: ComponentId) -> Result<(), ModelError> {
+        self.component(id).map(|_| ())
+    }
+
+    /// Finds a component by name.
+    pub fn component_by_name(&self, name: &str) -> Option<ComponentId> {
+        self.components
+            .iter()
+            .find(|(_, c)| c.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Iterates over all components in id order.
+    pub fn components(&self) -> impl Iterator<Item = (ComponentId, &Component)> {
+        self.components.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Components whose type matches `ctype`.
+    pub fn components_of_type<'a>(
+        &'a self,
+        ctype: &'a str,
+    ) -> impl Iterator<Item = (ComponentId, &'a Component)> + 'a {
+        self.components().filter(move |(_, c)| c.ctype == ctype)
+    }
+
+    /// The children (representation members) of a component.
+    pub fn children_of(&self, id: ComponentId) -> Result<Vec<ComponentId>, ModelError> {
+        Ok(self.component(id)?.children.clone())
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    // ---- connectors ------------------------------------------------------
+
+    /// Adds a connector of the given type.
+    pub fn add_connector(
+        &mut self,
+        name: impl Into<String>,
+        ctype: impl Into<String>,
+    ) -> Result<ConnectorId, ModelError> {
+        let name = name.into();
+        if self.connector_by_name(&name).is_some() {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = ConnectorId(self.fresh_id());
+        self.connectors.insert(
+            id,
+            Connector {
+                name,
+                ctype: ctype.into(),
+                properties: PropertyMap::new(),
+                roles: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a connector, its roles, and their attachments.
+    pub fn remove_connector(&mut self, id: ConnectorId) -> Result<(), ModelError> {
+        let conn = self
+            .connectors
+            .remove(&id)
+            .ok_or(ModelError::UnknownConnector(id))?;
+        for role in conn.roles {
+            self.attachments.retain(|a| a.role != role);
+            self.roles.remove(&role);
+        }
+        Ok(())
+    }
+
+    /// Looks up a connector by id.
+    pub fn connector(&self, id: ConnectorId) -> Result<&Connector, ModelError> {
+        self.connectors
+            .get(&id)
+            .ok_or(ModelError::UnknownConnector(id))
+    }
+
+    /// Mutable access to a connector.
+    pub fn connector_mut(&mut self, id: ConnectorId) -> Result<&mut Connector, ModelError> {
+        self.connectors
+            .get_mut(&id)
+            .ok_or(ModelError::UnknownConnector(id))
+    }
+
+    /// Finds a connector by name.
+    pub fn connector_by_name(&self, name: &str) -> Option<ConnectorId> {
+        self.connectors
+            .iter()
+            .find(|(_, c)| c.name == name)
+            .map(|(id, _)| *id)
+    }
+
+    /// Iterates over all connectors in id order.
+    pub fn connectors(&self) -> impl Iterator<Item = (ConnectorId, &Connector)> {
+        self.connectors.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Number of connectors.
+    pub fn connector_count(&self) -> usize {
+        self.connectors.len()
+    }
+
+    // ---- ports and roles -------------------------------------------------
+
+    /// Adds a port to a component.
+    pub fn add_port(
+        &mut self,
+        owner: ComponentId,
+        name: impl Into<String>,
+        ptype: impl Into<String>,
+    ) -> Result<PortId, ModelError> {
+        self.check_component(owner)?;
+        let id = PortId(self.fresh_id());
+        self.ports.insert(
+            id,
+            Port {
+                name: name.into(),
+                ptype: ptype.into(),
+                properties: PropertyMap::new(),
+                owner,
+            },
+        );
+        self.components
+            .get_mut(&owner)
+            .expect("checked above")
+            .ports
+            .push(id);
+        Ok(id)
+    }
+
+    /// Removes a port and any attachment it participates in.
+    pub fn remove_port(&mut self, id: PortId) -> Result<(), ModelError> {
+        let port = self.ports.remove(&id).ok_or(ModelError::UnknownPort(id))?;
+        if let Some(owner) = self.components.get_mut(&port.owner) {
+            owner.ports.retain(|p| *p != id);
+        }
+        self.attachments.retain(|a| a.port != id);
+        Ok(())
+    }
+
+    /// Adds a role to a connector.
+    pub fn add_role(
+        &mut self,
+        owner: ConnectorId,
+        name: impl Into<String>,
+        rtype: impl Into<String>,
+    ) -> Result<RoleId, ModelError> {
+        self.connector(owner)?;
+        let id = RoleId(self.fresh_id());
+        self.roles.insert(
+            id,
+            Role {
+                name: name.into(),
+                rtype: rtype.into(),
+                properties: PropertyMap::new(),
+                owner,
+            },
+        );
+        self.connectors
+            .get_mut(&owner)
+            .expect("checked above")
+            .roles
+            .push(id);
+        Ok(id)
+    }
+
+    /// Removes a role and any attachment it participates in.
+    pub fn remove_role(&mut self, id: RoleId) -> Result<(), ModelError> {
+        let role = self.roles.remove(&id).ok_or(ModelError::UnknownRole(id))?;
+        if let Some(owner) = self.connectors.get_mut(&role.owner) {
+            owner.roles.retain(|r| *r != id);
+        }
+        self.attachments.retain(|a| a.role != id);
+        Ok(())
+    }
+
+    /// Looks up a port by id.
+    pub fn port(&self, id: PortId) -> Result<&Port, ModelError> {
+        self.ports.get(&id).ok_or(ModelError::UnknownPort(id))
+    }
+
+    /// Mutable access to a port.
+    pub fn port_mut(&mut self, id: PortId) -> Result<&mut Port, ModelError> {
+        self.ports.get_mut(&id).ok_or(ModelError::UnknownPort(id))
+    }
+
+    /// Looks up a role by id.
+    pub fn role(&self, id: RoleId) -> Result<&Role, ModelError> {
+        self.roles.get(&id).ok_or(ModelError::UnknownRole(id))
+    }
+
+    /// Mutable access to a role.
+    pub fn role_mut(&mut self, id: RoleId) -> Result<&mut Role, ModelError> {
+        self.roles.get_mut(&id).ok_or(ModelError::UnknownRole(id))
+    }
+
+    /// Iterates over all roles in id order.
+    pub fn roles(&self) -> impl Iterator<Item = (RoleId, &Role)> {
+        self.roles.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Iterates over all ports in id order.
+    pub fn ports(&self) -> impl Iterator<Item = (PortId, &Port)> {
+        self.ports.iter().map(|(id, p)| (*id, p))
+    }
+
+    // ---- attachments -----------------------------------------------------
+
+    /// Attaches a component's port to a connector's role.
+    pub fn attach(&mut self, port: PortId, role: RoleId) -> Result<(), ModelError> {
+        self.port(port)?;
+        self.role(role)?;
+        if self.attachments.iter().any(|a| a.port == port && a.role == role) {
+            return Err(ModelError::AlreadyAttached(port, role));
+        }
+        self.attachments.push(Attachment { port, role });
+        Ok(())
+    }
+
+    /// Removes an attachment.
+    pub fn detach(&mut self, port: PortId, role: RoleId) -> Result<(), ModelError> {
+        let before = self.attachments.len();
+        self.attachments
+            .retain(|a| !(a.port == port && a.role == role));
+        if self.attachments.len() == before {
+            return Err(ModelError::NotAttached(port, role));
+        }
+        Ok(())
+    }
+
+    /// All attachments.
+    pub fn attachments(&self) -> &[Attachment] {
+        &self.attachments
+    }
+
+    /// True if the given port and role are attached.
+    pub fn attached(&self, port: PortId, role: RoleId) -> bool {
+        self.attachments
+            .iter()
+            .any(|a| a.port == port && a.role == role)
+    }
+
+    /// The component attached to the given role, if any.
+    pub fn component_attached_to_role(&self, role: RoleId) -> Option<ComponentId> {
+        self.attachments
+            .iter()
+            .find(|a| a.role == role)
+            .and_then(|a| self.ports.get(&a.port))
+            .map(|p| p.owner)
+    }
+
+    /// The roles attached to ports owned by the given component.
+    pub fn roles_of_component(&self, id: ComponentId) -> Vec<RoleId> {
+        let Ok(comp) = self.component(id) else {
+            return Vec::new();
+        };
+        self.attachments
+            .iter()
+            .filter(|a| comp.ports.contains(&a.port))
+            .map(|a| a.role)
+            .collect()
+    }
+
+    /// The connectors that the given component is attached to.
+    pub fn connectors_of_component(&self, id: ComponentId) -> Vec<ConnectorId> {
+        let mut out: Vec<ConnectorId> = self
+            .roles_of_component(id)
+            .into_iter()
+            .filter_map(|r| self.roles.get(&r).map(|role| role.owner))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Components attached (through any role) to the given connector.
+    pub fn components_attached_to_connector(&self, id: ConnectorId) -> Vec<ComponentId> {
+        let Ok(conn) = self.connector(id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ComponentId> = self
+            .attachments
+            .iter()
+            .filter(|a| conn.roles.contains(&a.role))
+            .filter_map(|a| self.ports.get(&a.port).map(|p| p.owner))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// True if two components share at least one connector.
+    pub fn connected(&self, a: ComponentId, b: ComponentId) -> bool {
+        let conns_a = self.connectors_of_component(a);
+        let conns_b = self.connectors_of_component(b);
+        conns_a.iter().any(|c| conns_b.contains(c))
+    }
+
+    // ---- property helpers ------------------------------------------------
+
+    /// Sets a property on any element.
+    pub fn set_property(
+        &mut self,
+        element: ElementRef,
+        name: &str,
+        value: Value,
+    ) -> Result<(), ModelError> {
+        match element {
+            ElementRef::Component(id) => self.component_mut(id)?.properties.set(name, value),
+            ElementRef::Connector(id) => self.connector_mut(id)?.properties.set(name, value),
+            ElementRef::Port(id) => self.port_mut(id)?.properties.set(name, value),
+            ElementRef::Role(id) => self.role_mut(id)?.properties.set(name, value),
+        }
+        Ok(())
+    }
+
+    /// Gets a property from any element.
+    pub fn get_property(&self, element: ElementRef, name: &str) -> Option<&Value> {
+        match element {
+            ElementRef::Component(id) => self.component(id).ok()?.properties.get(name),
+            ElementRef::Connector(id) => self.connector(id).ok()?.properties.get(name),
+            ElementRef::Port(id) => self.port(id).ok()?.properties.get(name),
+            ElementRef::Role(id) => self.role(id).ok()?.properties.get(name),
+        }
+    }
+
+    /// The display name of any element.
+    pub fn element_name(&self, element: ElementRef) -> String {
+        match element {
+            ElementRef::Component(id) => self
+                .component(id)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|_| element.to_string()),
+            ElementRef::Connector(id) => self
+                .connector(id)
+                .map(|c| c.name.clone())
+                .unwrap_or_else(|_| element.to_string()),
+            ElementRef::Port(id) => self
+                .port(id)
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|_| element.to_string()),
+            ElementRef::Role(id) => self
+                .role(id)
+                .map(|r| r.name.clone())
+                .unwrap_or_else(|_| element.to_string()),
+        }
+    }
+
+    /// Checks referential integrity of the whole graph (every port/role owner
+    /// exists, every attachment references live elements, parent/child links
+    /// are symmetric). Returns a list of human-readable problems.
+    pub fn integrity_errors(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for (id, port) in &self.ports {
+            if !self.components.contains_key(&port.owner) {
+                errors.push(format!("port #{} owned by missing component", id.0));
+            }
+        }
+        for (id, role) in &self.roles {
+            if !self.connectors.contains_key(&role.owner) {
+                errors.push(format!("role #{} owned by missing connector", id.0));
+            }
+        }
+        for att in &self.attachments {
+            if !self.ports.contains_key(&att.port) {
+                errors.push(format!("attachment references missing port #{}", att.port.0));
+            }
+            if !self.roles.contains_key(&att.role) {
+                errors.push(format!("attachment references missing role #{}", att.role.0));
+            }
+        }
+        for (id, comp) in &self.components {
+            for child in &comp.children {
+                match self.components.get(child) {
+                    None => errors.push(format!(
+                        "component {} lists missing child #{}",
+                        comp.name, child.0
+                    )),
+                    Some(c) if c.parent != Some(*id) => errors.push(format!(
+                        "component {} child {} does not point back to parent",
+                        comp.name, c.name
+                    )),
+                    _ => {}
+                }
+            }
+            if let Some(parent) = comp.parent {
+                if !self.components.contains_key(&parent) {
+                    errors.push(format!("component {} has missing parent", comp.name));
+                }
+            }
+        }
+        errors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_server_system() -> (System, ComponentId, ComponentId, ConnectorId) {
+        let mut sys = System::new("demo");
+        let client = sys.add_component("User1", "ClientT").unwrap();
+        let group = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
+        let cport = sys.add_port(client, "request", "RequestT").unwrap();
+        let gport = sys.add_port(group, "serve", "ServeT").unwrap();
+        let crole = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
+        let grole = sys.add_role(conn, "serverSide", "ServerRoleT").unwrap();
+        sys.attach(cport, crole).unwrap();
+        sys.attach(gport, grole).unwrap();
+        (sys, client, group, conn)
+    }
+
+    #[test]
+    fn build_and_query_graph() {
+        let (sys, client, group, conn) = client_server_system();
+        assert!(sys.connected(client, group));
+        assert_eq!(sys.connectors_of_component(client), vec![conn]);
+        let attached = sys.components_attached_to_connector(conn);
+        assert!(attached.contains(&client) && attached.contains(&group));
+        assert_eq!(sys.component_count(), 2);
+        assert_eq!(sys.connector_count(), 1);
+        assert!(sys.integrity_errors().is_empty());
+    }
+
+    #[test]
+    fn duplicate_component_names_rejected() {
+        let mut sys = System::new("demo");
+        sys.add_component("X", "ClientT").unwrap();
+        assert!(matches!(
+            sys.add_component("X", "ClientT"),
+            Err(ModelError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn children_track_representation_members() {
+        let mut sys = System::new("demo");
+        let group = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        let s1 = sys.add_child_component(group, "Server1", "ServerT").unwrap();
+        let s2 = sys.add_child_component(group, "Server2", "ServerT").unwrap();
+        assert_eq!(sys.children_of(group).unwrap(), vec![s1, s2]);
+        assert_eq!(sys.component(s1).unwrap().parent, Some(group));
+        // Removing a child updates the parent's list.
+        sys.remove_component(s1).unwrap();
+        assert_eq!(sys.children_of(group).unwrap(), vec![s2]);
+        assert!(sys.integrity_errors().is_empty());
+    }
+
+    #[test]
+    fn removing_parent_removes_children() {
+        let mut sys = System::new("demo");
+        let group = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
+        let s1 = sys.add_child_component(group, "Server1", "ServerT").unwrap();
+        sys.remove_component(group).unwrap();
+        assert!(sys.component(s1).is_err());
+        assert_eq!(sys.component_count(), 0);
+    }
+
+    #[test]
+    fn removing_component_cleans_attachments() {
+        let (mut sys, client, _group, conn) = client_server_system();
+        sys.remove_component(client).unwrap();
+        // The connector still exists but no attachment references the client.
+        assert_eq!(sys.components_attached_to_connector(conn).len(), 1);
+        assert!(sys.integrity_errors().is_empty());
+    }
+
+    #[test]
+    fn removing_connector_cleans_roles_and_attachments() {
+        let (mut sys, client, group, conn) = client_server_system();
+        sys.remove_connector(conn).unwrap();
+        assert!(!sys.connected(client, group));
+        assert!(sys.integrity_errors().is_empty());
+        assert_eq!(sys.attachments().len(), 0);
+    }
+
+    #[test]
+    fn detach_then_attach_elsewhere() {
+        let (mut sys, client, _group, conn) = client_server_system();
+        let port = sys.component(client).unwrap().ports[0];
+        let role = sys.roles_of_component(client)[0];
+        sys.detach(port, role).unwrap();
+        assert!(!sys.attached(port, role));
+        // A second detach fails.
+        assert!(matches!(
+            sys.detach(port, role),
+            Err(ModelError::NotAttached(_, _))
+        ));
+        // Attach to a new connector.
+        let conn2 = sys.add_connector("Conn2", "ServiceConnT").unwrap();
+        let role2 = sys.add_role(conn2, "clientSide", "ClientRoleT").unwrap();
+        sys.attach(port, role2).unwrap();
+        assert_eq!(sys.connectors_of_component(client), vec![conn2]);
+        assert_ne!(conn, conn2);
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let (mut sys, client, ..) = client_server_system();
+        let port = sys.component(client).unwrap().ports[0];
+        let role = sys.roles_of_component(client)[0];
+        assert!(matches!(
+            sys.attach(port, role),
+            Err(ModelError::AlreadyAttached(_, _))
+        ));
+    }
+
+    #[test]
+    fn properties_on_all_element_kinds() {
+        let (mut sys, client, _group, conn) = client_server_system();
+        let port = sys.component(client).unwrap().ports[0];
+        let role = sys.connector(conn).unwrap().roles[0];
+        sys.set_property(ElementRef::Component(client), "averageLatency", Value::Float(1.2))
+            .unwrap();
+        sys.set_property(ElementRef::Connector(conn), "delay", Value::Float(0.1))
+            .unwrap();
+        sys.set_property(ElementRef::Port(port), "protocol", Value::Str("rmi".into()))
+            .unwrap();
+        sys.set_property(ElementRef::Role(role), "bandwidth", Value::Float(5e6))
+            .unwrap();
+        assert_eq!(
+            sys.get_property(ElementRef::Component(client), "averageLatency"),
+            Some(&Value::Float(1.2))
+        );
+        assert_eq!(
+            sys.get_property(ElementRef::Role(role), "bandwidth"),
+            Some(&Value::Float(5e6))
+        );
+        assert_eq!(sys.get_property(ElementRef::Component(client), "missing"), None);
+    }
+
+    #[test]
+    fn components_of_type_filters() {
+        let (sys, ..) = client_server_system();
+        assert_eq!(sys.components_of_type("ClientT").count(), 1);
+        assert_eq!(sys.components_of_type("ServerGroupT").count(), 1);
+        assert_eq!(sys.components_of_type("ServerT").count(), 0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (sys, client, ..) = client_server_system();
+        assert_eq!(sys.component_by_name("User1"), Some(client));
+        assert_eq!(sys.component_by_name("nope"), None);
+        assert!(sys.connector_by_name("Conn1").is_some());
+        assert_eq!(sys.element_name(ElementRef::Component(client)), "User1");
+    }
+
+    #[test]
+    fn component_attached_to_role_resolves_owner() {
+        let (sys, client, ..) = client_server_system();
+        let role = sys.roles_of_component(client)[0];
+        assert_eq!(sys.component_attached_to_role(role), Some(client));
+    }
+}

@@ -1,0 +1,43 @@
+//! Figures 8–10 — the control run (no adaptation): average latency, server
+//! load (queue length), and available bandwidth over the 30-minute workload.
+//!
+//! The full-length run is executed once and its series printed; Criterion
+//! measures a reduced-length control run.
+
+use arch_adapt::framework::FrameworkConfig;
+use bench::{figure_duration, print_run_figures, run_figure7, SHORT_RUN_SECS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn reproduce_figures() {
+    let duration = figure_duration();
+    println!("[fig08-10] control run ({duration:.0} s, adaptation disabled)");
+    let run = run_figure7("control", FrameworkConfig::control(), duration);
+    print_run_figures(
+        &run,
+        "fig08-latency-control",
+        "fig09-load-control",
+        "fig10-bandwidth-control",
+    );
+    // The paper's observation: once latency exceeds 2 s (~140 s into the run
+    // for the affected clients) it never recovers in the control run.
+    let pooled = run.metrics.pooled_latency();
+    let late_fraction = pooled
+        .window(duration * 0.5, duration)
+        .fraction_above(run.latency_bound_secs);
+    println!(
+        "[fig08-latency-control] fraction above bound in the second half of the run: {late_fraction:.2}"
+    );
+}
+
+fn bench_control(c: &mut Criterion) {
+    reproduce_figures();
+    let mut group = c.benchmark_group("fig08_10");
+    group.sample_size(10);
+    group.bench_function("control_run_short", |b| {
+        b.iter(|| run_figure7("control", FrameworkConfig::control(), SHORT_RUN_SECS).summary)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_control);
+criterion_main!(benches);

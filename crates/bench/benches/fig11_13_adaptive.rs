@@ -1,0 +1,47 @@
+//! Figures 11–13 — the adaptive run: average latency, available bandwidth,
+//! and server load under repair, plus the repair-duration bars.
+//!
+//! The full-length run is executed once and its series printed; Criterion
+//! measures a reduced-length adaptive run.
+
+use arch_adapt::framework::FrameworkConfig;
+use bench::{figure_duration, print_run_figures, run_figure7, SHORT_RUN_SECS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn reproduce_figures() {
+    let duration = figure_duration();
+    println!("[fig11-13] adaptive run ({duration:.0} s, full framework)");
+    let adaptive = run_figure7("adaptive", FrameworkConfig::adaptive(), duration);
+    print_run_figures(
+        &adaptive,
+        "fig11-latency-adaptive",
+        "fig13-load-adaptive",
+        "fig12-bandwidth-adaptive",
+    );
+    println!(
+        "[fig11-13] repair intervals (the bars at the top of the paper's figures): {:?}",
+        adaptive.repair_intervals
+    );
+
+    // Headline comparison against the control run (paper §5.2): the adaptive
+    // run spends far less of the run above the 2 s bound.
+    let control = run_figure7("control", FrameworkConfig::control(), duration);
+    println!(
+        "[fig11-13] fraction of requests above the bound: control {:.1}% vs adaptive {:.1}%",
+        control.summary.fraction_latency_above_bound * 100.0,
+        adaptive.summary.fraction_latency_above_bound * 100.0
+    );
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    reproduce_figures();
+    let mut group = c.benchmark_group("fig11_13");
+    group.sample_size(10);
+    group.bench_function("adaptive_run_short", |b| {
+        b.iter(|| run_figure7("adaptive", FrameworkConfig::adaptive(), SHORT_RUN_SECS).summary)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §5 provisioning — "we calculated that an initial starting point of 3
+//! replicated servers in one server group would be sufficient to serve our
+//! six clients, and that the bandwidth between the clients and servers should
+//! not be less than 10 Kbps."
+//!
+//! Reproduces the design-time queueing analysis and benchmarks it.
+
+use analysis::{provision, MmcQueue, ProvisioningInput};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_provisioning() {
+    let input = ProvisioningInput::default();
+    let plan = provision(&input, 16).expect("feasible");
+    println!("[provisioning] paper inputs: λ=6 req/s, 0.5 KB requests, 20 KB responses, 2 s bound");
+    println!(
+        "[provisioning]   → {} replicated servers, predicted response {:.2} s, min bandwidth {:.0} bps",
+        plan.servers, plan.predicted_response_time, plan.bandwidth.min_bandwidth_bps
+    );
+    println!("[provisioning] replica count vs. arrival rate:");
+    for arrival in [3.0, 6.0, 9.0, 12.0, 18.0, 24.0] {
+        let sized = provision(
+            &ProvisioningInput {
+                arrival_rate: arrival,
+                ..input
+            },
+            32,
+        );
+        match sized {
+            Some(p) => println!("  λ={arrival:5.1} → {:2} servers", p.servers),
+            None => println!("  λ={arrival:5.1} → infeasible"),
+        }
+    }
+    println!("[provisioning] M/M/c at the stress load (12 req/s):");
+    for c in 3..=6 {
+        let q = MmcQueue::new(12.0, 2.5, c);
+        match q.expected_queue_length() {
+            Some(lq) => println!("  c={c}: ρ={:.2}, Lq={lq:.1}", q.utilization()),
+            None => println!("  c={c}: ρ={:.2} (unstable, queue grows without bound)", q.utilization()),
+        }
+    }
+}
+
+fn bench_provisioning(c: &mut Criterion) {
+    print_provisioning();
+    c.bench_function("provisioning/erlang_c_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for arrival in 1..=24 {
+                if let Some(plan) = provision(
+                    &ProvisioningInput {
+                        arrival_rate: black_box(arrival as f64),
+                        ..ProvisioningInput::default()
+                    },
+                    64,
+                ) {
+                    total += plan.servers;
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_provisioning);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table 1 — the environment-manager operators and queries.
+//!
+//! Exercises every runtime operator against a live application and benchmarks
+//! its execution, printing the operator/query inventory the table lists.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridapp::{GridApp, GridConfig, SERVER_GROUP_1, SERVER_GROUP_2};
+use simnet::SimTime;
+use std::hint::black_box;
+
+fn print_table1() {
+    println!("[table1] Environment manager operators and queries");
+    for (op, description) in [
+        ("createReqQueue()", "adds a logical request queue to the request-queue machine"),
+        ("findServer([cli_ip, bw_thresh])", "finds a spare server with at least bw_thresh bandwidth to the client"),
+        ("moveClient(ReqQ newQ)", "moves a client to the new request queue"),
+        ("connectServer(Server srv, ReqQ to)", "configures a server to pull requests from the given queue"),
+        ("activateServer()", "the server begins pulling requests"),
+        ("deactivateServer()", "the server stops pulling requests"),
+        ("remos_get_flow(clIP, svIP)", "predicted bandwidth between two machines"),
+    ] {
+        println!("  {op:36} {description}");
+    }
+}
+
+fn warmed_app() -> GridApp {
+    let mut app = GridApp::build(GridConfig::default()).expect("app builds");
+    app.advance(SimTime::from_secs(60.0));
+    app
+}
+
+fn bench_operators(c: &mut Criterion) {
+    print_table1();
+    let mut group = c.benchmark_group("table1");
+
+    group.bench_function("remos_get_flow", |b| {
+        let app = warmed_app();
+        b.iter(|| app.remos_get_flow(black_box("User3"), SERVER_GROUP_1).unwrap())
+    });
+
+    group.bench_function("find_server", |b| {
+        let app = warmed_app();
+        b.iter(|| app.find_server(Some(black_box("User3")), 10_000.0))
+    });
+
+    group.bench_function("move_client_round_trip", |b| {
+        let mut app = warmed_app();
+        b.iter(|| {
+            app.move_client("User3", SERVER_GROUP_2).unwrap();
+            app.move_client("User3", SERVER_GROUP_1).unwrap();
+        })
+    });
+
+    group.bench_function("activate_deactivate_server", |b| {
+        let mut app = warmed_app();
+        app.connect_server("S4", SERVER_GROUP_1).unwrap();
+        b.iter(|| {
+            app.activate_server("S4").unwrap();
+            app.deactivate_server("S4").unwrap();
+        })
+    });
+
+    group.bench_function("create_req_queue", |b| {
+        let mut app = warmed_app();
+        b.iter(|| app.create_req_queue(black_box("ServerGrp3")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

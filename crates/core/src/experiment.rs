@@ -1,0 +1,280 @@
+//! The experiment harness reproducing the paper's evaluation (§5).
+//!
+//! Two 30-minute runs are executed under the identical Figure 7 workload:
+//! the *control* run with adaptation disabled (Figures 8–10) and the
+//! *adaptive* run with the full framework (Figures 11–13). Both runs share
+//! the same seed so the request/response sequences match, as in the paper.
+
+use crate::framework::{AdaptationFramework, FrameworkConfig, RepairStats};
+use gridapp::{AppError, ExperimentSchedule, GridConfig, Metrics, RUN_DURATION_SECS};
+use serde::{Deserialize, Serialize};
+use simnet::{Summary, Trace};
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// The application/workload parameters.
+    pub grid: GridConfig,
+    /// The framework parameters.
+    pub framework: FrameworkConfig,
+    /// Run length in simulated seconds (paper: 1800 s).
+    pub duration_secs: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            grid: GridConfig::default(),
+            framework: FrameworkConfig::adaptive(),
+            duration_secs: RUN_DURATION_SECS,
+        }
+    }
+}
+
+/// Headline numbers extracted from one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Label of the run (`"control"` / `"adaptive"`).
+    pub label: String,
+    /// Run length (seconds).
+    pub duration_secs: f64,
+    /// Fraction of completed requests whose latency exceeded the 2 s bound.
+    pub fraction_latency_above_bound: f64,
+    /// Pooled latency statistics over all clients.
+    pub latency: Option<Summary>,
+    /// Queue-length statistics for Server Group 1 (the loaded group).
+    pub queue_sg1: Option<Summary>,
+    /// Bandwidth statistics for client User3 (one of the squeezed clients).
+    pub bandwidth_user3: Option<Summary>,
+    /// First time a latency observation exceeded the bound, if ever.
+    pub first_violation_secs: Option<f64>,
+    /// Number of repairs started / completed and related counters.
+    pub repairs_started: u64,
+    /// Repairs completed.
+    pub repairs_completed: u64,
+    /// Repairs aborted.
+    pub repairs_aborted: u64,
+    /// Mean repair duration (seconds), if any repair completed.
+    pub mean_repair_duration_secs: Option<f64>,
+    /// Servers activated over the run.
+    pub servers_activated: u64,
+    /// Client moves over the run.
+    pub client_moves: u64,
+}
+
+/// The full outcome of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Label of the run.
+    pub label: String,
+    /// Latency bound used for the headline fraction.
+    pub latency_bound_secs: f64,
+    /// The recorded figure series.
+    pub metrics: Metrics,
+    /// The framework's event trace.
+    pub trace: Trace,
+    /// Intervals during which a repair was executing (the bars at the top of
+    /// Figures 11–13).
+    pub repair_intervals: Vec<(f64, f64)>,
+    /// Repair statistics.
+    pub repair_stats: RepairStats,
+    /// Headline summary.
+    pub summary: RunSummary,
+}
+
+fn summarise(
+    label: &str,
+    duration_secs: f64,
+    latency_bound: f64,
+    metrics: &Metrics,
+    stats: &RepairStats,
+) -> RunSummary {
+    let pooled = metrics.pooled_latency();
+    RunSummary {
+        label: label.to_string(),
+        duration_secs,
+        fraction_latency_above_bound: metrics.fraction_latency_above(
+            latency_bound,
+            0.0,
+            duration_secs,
+        ),
+        latency: Summary::of(&pooled),
+        queue_sg1: metrics.queue_series(gridapp::SERVER_GROUP_1).and_then(Summary::of),
+        bandwidth_user3: metrics.bandwidth_series("User3").and_then(Summary::of),
+        first_violation_secs: pooled.first_time_above(latency_bound),
+        repairs_started: stats.started,
+        repairs_completed: stats.completed,
+        repairs_aborted: stats.aborted,
+        mean_repair_duration_secs: stats.mean_duration_secs,
+        servers_activated: stats.servers_activated,
+        client_moves: stats.client_moves,
+    }
+}
+
+/// Runs one experiment (control or adaptive, depending on the framework
+/// configuration) under the Figure 7 workload.
+pub fn run_experiment(label: &str, config: ExperimentConfig) -> Result<RunResult, AppError> {
+    let schedule = ExperimentSchedule::figure7(&config.grid);
+    run_with_schedule(label, config, Some(&schedule))
+}
+
+/// Runs one experiment under an explicit (or absent) workload schedule.
+pub fn run_with_schedule(
+    label: &str,
+    config: ExperimentConfig,
+    schedule: Option<&ExperimentSchedule>,
+) -> Result<RunResult, AppError> {
+    let mut framework = AdaptationFramework::new(config.grid, config.framework)?;
+    framework.run(config.duration_secs, schedule);
+    let metrics = framework.metrics().clone();
+    let trace = framework.trace().clone();
+    let stats = framework.repair_stats();
+    let repair_intervals = trace
+        .repair_intervals()
+        .into_iter()
+        .map(|(s, e)| (s.as_secs(), e.as_secs()))
+        .collect();
+    let summary = summarise(
+        label,
+        config.duration_secs,
+        config.grid.max_latency_secs,
+        &metrics,
+        &stats,
+    );
+    Ok(RunResult {
+        label: label.to_string(),
+        latency_bound_secs: config.grid.max_latency_secs,
+        metrics,
+        trace,
+        repair_intervals,
+        repair_stats: stats,
+        summary,
+    })
+}
+
+/// Runs the paper's control experiment (no adaptation, Figures 8–10).
+pub fn run_control(grid: GridConfig, duration_secs: f64) -> Result<RunResult, AppError> {
+    run_experiment(
+        "control",
+        ExperimentConfig {
+            grid,
+            framework: FrameworkConfig::control(),
+            duration_secs,
+        },
+    )
+}
+
+/// Runs the paper's adaptive experiment (Figures 11–13).
+pub fn run_adaptive(grid: GridConfig, duration_secs: f64) -> Result<RunResult, AppError> {
+    run_experiment(
+        "adaptive",
+        ExperimentConfig {
+            grid,
+            framework: FrameworkConfig::adaptive(),
+            duration_secs,
+        },
+    )
+}
+
+/// The control/adaptive comparison the paper's evaluation is built on.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The control run.
+    pub control: RunResult,
+    /// The adaptive run.
+    pub adaptive: RunResult,
+}
+
+impl Comparison {
+    /// Runs both experiments with the same seed and duration.
+    pub fn run(grid: GridConfig, duration_secs: f64) -> Result<Comparison, AppError> {
+        Ok(Comparison {
+            control: run_control(grid, duration_secs)?,
+            adaptive: run_adaptive(grid, duration_secs)?,
+        })
+    }
+
+    /// How much less often the adaptive run exceeded the latency bound
+    /// (control fraction divided by adaptive fraction; `None` when the
+    /// adaptive run never exceeded it).
+    pub fn violation_improvement(&self) -> Option<f64> {
+        let adaptive = self.adaptive.summary.fraction_latency_above_bound;
+        if adaptive <= 0.0 {
+            return None;
+        }
+        Some(self.control.summary.fraction_latency_above_bound / adaptive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single shortened comparison shared by the assertions below (a full
+    /// 1800 s pair of runs is exercised by the benches; 900 s covers the
+    /// quiescent, squeeze, and half the stress phase).
+    fn comparison() -> &'static Comparison {
+        use std::sync::OnceLock;
+        static COMPARISON: OnceLock<Comparison> = OnceLock::new();
+        COMPARISON.get_or_init(|| Comparison::run(GridConfig::default(), 900.0).unwrap())
+    }
+
+    #[test]
+    fn control_run_violates_and_never_recovers() {
+        let control = &comparison().control;
+        assert!(
+            control.summary.fraction_latency_above_bound > 0.1,
+            "the control run spends a substantial fraction above 2 s: {:?}",
+            control.summary.fraction_latency_above_bound
+        );
+        assert!(control.summary.first_violation_secs.is_some());
+        assert_eq!(control.summary.repairs_started, 0);
+        // Latency keeps getting worse: the late-window mean exceeds the
+        // early-window mean.
+        let pooled = control.metrics.pooled_latency();
+        let early = pooled.window(120.0, 400.0).mean().unwrap_or(0.0);
+        let late = pooled.window(600.0, 900.0).mean().unwrap_or(0.0);
+        assert!(late > early, "control latency worsens ({early} -> {late})");
+    }
+
+    #[test]
+    fn adaptive_run_repairs_and_improves_on_control() {
+        let cmp = comparison();
+        let adaptive = &cmp.adaptive;
+        assert!(adaptive.summary.repairs_completed >= 1);
+        assert!(
+            adaptive.summary.fraction_latency_above_bound
+                < cmp.control.summary.fraction_latency_above_bound,
+            "adaptive ({}) must beat control ({})",
+            adaptive.summary.fraction_latency_above_bound,
+            cmp.control.summary.fraction_latency_above_bound
+        );
+        assert!(!adaptive.repair_intervals.is_empty());
+        // Repair durations are tens of seconds (the paper's ~30 s).
+        let mean = adaptive.summary.mean_repair_duration_secs.unwrap();
+        assert!((10.0..=90.0).contains(&mean), "mean repair duration {mean}");
+    }
+
+    #[test]
+    fn both_runs_record_figure_series() {
+        let cmp = comparison();
+        for run in [&cmp.control, &cmp.adaptive] {
+            assert!(run.metrics.latency_series("User3").is_some());
+            assert!(run.metrics.queue_series(gridapp::SERVER_GROUP_1).is_some());
+            assert!(run.metrics.bandwidth_series("User3").is_some());
+            assert!(run.summary.latency.is_some());
+        }
+    }
+
+    #[test]
+    fn improvement_ratio_is_reported() {
+        let cmp = comparison();
+        match cmp.violation_improvement() {
+            Some(ratio) => assert!(ratio > 1.0, "improvement ratio {ratio}"),
+            None => {
+                // Perfect adaptive run: control must still have violations.
+                assert!(cmp.control.summary.fraction_latency_above_bound > 0.0);
+            }
+        }
+    }
+}

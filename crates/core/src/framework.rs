@@ -1,0 +1,656 @@
+//! The adaptation framework: the three-layer architecture of Figure 1.
+//!
+//! The [`AdaptationFramework`] wires the layers together over simulated time:
+//!
+//! * **Runtime layer** — the grid application on the simulated testbed plus
+//!   the probes observing it;
+//! * **Model layer** — the architectural model, the gauges that interpret
+//!   probe measurements as model properties, the constraint checker, and the
+//!   repair engine;
+//! * **Task layer** — the performance profile that parameterises the
+//!   constraints.
+//!
+//! Every control period the framework advances the application, routes probe
+//! events through the monitoring pipeline into the model, checks the
+//! constraints, and — when adaptation is enabled — plans, times, and executes
+//! repairs through the translator and the Table 1 runtime operators.
+
+use crate::model::{build_model, ModelUpdater};
+use crate::query::AppQuery;
+use crate::task::PerformanceProfile;
+use archmodel::constraint::ConstraintSet;
+use archmodel::style::ClientServerStyle;
+use archmodel::System;
+use gridapp::{
+    sample_bandwidth_probe, sample_latency_probe, sample_queue_probe, sample_server_probe,
+    AppError, ExperimentSchedule, GridApp, GridConfig, Metrics,
+};
+use monitoring::{
+    AverageLatencyGauge, BandwidthGauge, GaugeLifecycleConfig, GaugeManager, LoadGauge,
+    MonitoringPipeline,
+};
+use repair::{PlanOutcome, RepairDamping, RepairEngine, RepairPlan, SelectionPolicy};
+use simnet::{SimTime, Trace, TraceKind};
+use translator::{translate, RepairCostModel, RuntimeOp};
+
+/// Configuration of the adaptation framework.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameworkConfig {
+    /// When false the framework only monitors (the paper's control run).
+    pub adaptation_enabled: bool,
+    /// How often the control loop runs (seconds).
+    pub control_period_secs: f64,
+    /// Sliding window of the per-client latency gauges (seconds).
+    pub latency_window_secs: f64,
+    /// Gauge lifecycle costs (creation dominates repair time, §5.3).
+    pub gauge_lifecycle: GaugeLifecycleConfig,
+    /// Repair execution cost model.
+    pub cost_model: RepairCostModel,
+    /// Which outstanding violation to repair first.
+    pub selection: SelectionPolicy,
+    /// Optional repair damping window (seconds) to suppress oscillation.
+    pub damping_secs: Option<f64>,
+    /// When true, monitoring traffic shares the congested network and its
+    /// delivery delay grows as available bandwidth shrinks (§5.3).
+    pub monitoring_shares_network: bool,
+    /// When true, monitoring traffic is prioritised (QoS) and never delayed.
+    pub monitoring_qos: bool,
+    /// Tactic-ordering ablation: try the bandwidth repair before the
+    /// server-load repair.
+    pub bandwidth_first: bool,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            adaptation_enabled: true,
+            control_period_secs: 5.0,
+            latency_window_secs: 30.0,
+            gauge_lifecycle: GaugeLifecycleConfig::default(),
+            cost_model: RepairCostModel::paper_defaults(),
+            selection: SelectionPolicy::FirstReported,
+            damping_secs: Some(60.0),
+            monitoring_shares_network: true,
+            monitoring_qos: false,
+            bandwidth_first: false,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// The control configuration: monitoring only, no repairs.
+    pub fn control() -> Self {
+        FrameworkConfig {
+            adaptation_enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// The adaptive configuration used for Figures 11–13.
+    pub fn adaptive() -> Self {
+        Self::default()
+    }
+}
+
+/// A repair whose execution is in progress.
+#[derive(Debug, Clone)]
+struct PendingRepair {
+    plan: RepairPlan,
+    runtime_ops: Vec<RuntimeOp>,
+    complete_at: SimTime,
+    correlation: u64,
+}
+
+/// Statistics about the repairs performed during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairStats {
+    /// Number of repairs started.
+    pub started: u64,
+    /// Number of repairs completed.
+    pub completed: u64,
+    /// Number of repairs aborted (no applicable tactic failed hard).
+    pub aborted: u64,
+    /// Mean repair duration in seconds.
+    pub mean_duration_secs: Option<f64>,
+    /// Servers activated during the run.
+    pub servers_activated: u64,
+    /// Client moves performed during the run.
+    pub client_moves: u64,
+}
+
+/// The three-layer adaptation framework driving one run.
+pub struct AdaptationFramework {
+    config: FrameworkConfig,
+    profile: PerformanceProfile,
+    app: GridApp,
+    model: System,
+    server_map: std::collections::HashMap<String, String>,
+    constraints: ConstraintSet,
+    engine: RepairEngine,
+    pipeline: MonitoringPipeline,
+    trace: Trace,
+    pending: Option<PendingRepair>,
+    repair_seq: u64,
+    servers_activated: u64,
+    client_moves: u64,
+    now: SimTime,
+}
+
+impl AdaptationFramework {
+    /// Builds the framework around a freshly deployed grid application.
+    pub fn new(grid: GridConfig, config: FrameworkConfig) -> Result<Self, AppError> {
+        let app = GridApp::build(grid)?;
+        let profile = PerformanceProfile {
+            max_latency_secs: grid.max_latency_secs,
+            max_server_load: grid.max_server_load,
+            min_bandwidth_bps: grid.min_bandwidth_bps,
+        };
+        let (model, server_map) =
+            build_model(&app, &profile).map_err(|e| AppError::Invalid(e.to_string()))?;
+        let mut engine = RepairEngine::new();
+        let strategy_builder: fn() -> repair::RepairStrategy = if config.bandwidth_first {
+            repair::builtin::fix_latency_bandwidth_first_strategy
+        } else {
+            repair::builtin::fix_latency_strategy
+        };
+        for invariant in ["latency", "bandwidth", "serverLoad"] {
+            engine.register(invariant, strategy_builder());
+        }
+        engine.set_selection(config.selection);
+        engine.set_damping(config.damping_secs.map(RepairDamping::new));
+        let pipeline = MonitoringPipeline::new(GaugeManager::new(config.gauge_lifecycle));
+
+        let mut framework = AdaptationFramework {
+            config,
+            profile,
+            app,
+            model,
+            server_map,
+            constraints: repair::default_constraints(),
+            engine,
+            pipeline,
+            trace: Trace::new(),
+            pending: None,
+            repair_seq: 0,
+            servers_activated: 0,
+            client_moves: 0,
+            now: SimTime::ZERO,
+        };
+        framework.deploy_gauges(SimTime::ZERO);
+        Ok(framework)
+    }
+
+    /// The architectural model as currently maintained.
+    pub fn model(&self) -> &System {
+        &self.model
+    }
+
+    /// The running application.
+    pub fn app(&self) -> &GridApp {
+        &self.app
+    }
+
+    /// The event trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The metrics recorded by the application so far.
+    pub fn metrics(&self) -> &Metrics {
+        self.app.metrics()
+    }
+
+    /// The performance profile in force.
+    pub fn profile(&self) -> PerformanceProfile {
+        self.profile
+    }
+
+    /// Repair statistics for the run so far.
+    pub fn repair_stats(&self) -> RepairStats {
+        RepairStats {
+            started: self.trace.count(TraceKind::RepairStart) as u64,
+            completed: self.trace.count(TraceKind::RepairEnd) as u64,
+            aborted: self.trace.count(TraceKind::RepairAborted) as u64,
+            mean_duration_secs: self.trace.mean_repair_duration_secs(),
+            servers_activated: self.servers_activated,
+            client_moves: self.client_moves,
+        }
+    }
+
+    fn deploy_gauges(&mut self, now: SimTime) {
+        let t = now.as_secs();
+        self.trace
+            .record(now, TraceKind::Info, "deploying probes and gauges");
+        let manager = self.pipeline.manager_mut();
+        let clients = self.app.client_names();
+        let groups = self.app.group_names();
+        for client in &clients {
+            manager.create(
+                t,
+                Box::new(AverageLatencyGauge::new(
+                    client.clone(),
+                    self.config.latency_window_secs,
+                )),
+            );
+        }
+        for group in &groups {
+            manager.create(t, Box::new(LoadGauge::new(group.clone())));
+        }
+        for client in &clients {
+            let group = self.app.client_group(client).unwrap_or_default();
+            manager.create(
+                t,
+                Box::new(BandwidthGauge::new(
+                    client.clone(),
+                    group,
+                    format!("{client}.role"),
+                )),
+            );
+        }
+    }
+
+    /// Replaces the bandwidth gauge of `client` so it observes the client's
+    /// (new) current group. Part of the gauge churn that dominates repair
+    /// time.
+    fn refresh_bandwidth_gauge(&mut self, now: SimTime, client: &str) {
+        let t = now.as_secs();
+        let prefix = format!("bandwidth-gauge/{client}/");
+        let manager = self.pipeline.manager_mut();
+        for name in manager.gauge_names() {
+            if name.starts_with(&prefix) {
+                manager.delete(t, &name);
+            }
+        }
+        let group = self.app.client_group(client).unwrap_or_default();
+        manager.create(
+            t,
+            Box::new(BandwidthGauge::new(
+                client.to_string(),
+                group,
+                format!("{client}.role"),
+            )),
+        );
+    }
+
+    fn refresh_load_gauge(&mut self, now: SimTime, group: &str) {
+        let t = now.as_secs();
+        let name = format!("load-gauge/{group}");
+        let manager = self.pipeline.manager_mut();
+        if manager.has_gauge(&name) {
+            manager.delete(t, &name);
+        }
+        manager.create(t, Box::new(LoadGauge::new(group.to_string())));
+    }
+
+    /// The delivery delay monitoring traffic currently suffers: when the
+    /// monitoring system shares the (congested) network, its messages slow
+    /// down with the worst client's available bandwidth (§5.3). A monitoring
+    /// payload of ≈25 KB is assumed.
+    fn monitoring_delay(&self) -> f64 {
+        if !self.config.monitoring_shares_network || self.config.monitoring_qos {
+            return 0.0;
+        }
+        let mut min_bw = f64::INFINITY;
+        for client in self.app.client_names() {
+            if let Ok(group) = self.app.client_group(&client) {
+                if let Ok(bw) = self.app.remos_get_flow(&client, &group) {
+                    min_bw = min_bw.min(bw);
+                }
+            }
+        }
+        if !min_bw.is_finite() || min_bw <= 0.0 {
+            return 0.0;
+        }
+        (200_000.0 / min_bw).clamp(0.0, 20.0)
+    }
+
+    /// Runs one control period ending at time `t`.
+    pub fn tick(&mut self, t: SimTime) {
+        // 1. Advance the runtime layer and record figure metrics.
+        self.app.advance(t);
+        self.app.sample_metrics(t);
+
+        // 2. Probes observe the system and publish on the probe bus.
+        let delay = self.monitoring_delay();
+        self.pipeline.set_monitoring_delay(delay);
+        let mut events = sample_latency_probe(&mut self.app);
+        events.extend(sample_queue_probe(&self.app, t));
+        events.extend(sample_bandwidth_probe(&self.app, t));
+        events.extend(sample_server_probe(&self.app, t));
+        for event in events {
+            self.pipeline.publish(event);
+        }
+
+        // 3. Gauges interpret probe data; readings update the model.
+        {
+            let mut updater = ModelUpdater::new(&mut self.model);
+            self.pipeline.step(t.as_secs(), &mut updater);
+        }
+        self.now = t;
+
+        if !self.config.adaptation_enabled {
+            return;
+        }
+
+        // 4. Finish an in-flight repair whose effects are now due.
+        if let Some(pending) = self.pending.clone() {
+            if pending.complete_at <= t {
+                self.finish_repair(t, pending);
+                self.pending = None;
+            }
+            // While a repair is executing, no new repair is planned.
+            return;
+        }
+
+        // 5. Check constraints and plan a repair if necessary.
+        let report = self.constraints.check(&self.model);
+        if report.is_clean() {
+            return;
+        }
+        for violation in &report.violations {
+            self.trace.record(
+                t,
+                TraceKind::Violation,
+                format!(
+                    "{} violated for {} ({})",
+                    violation.invariant, violation.subject_name, violation.detail
+                ),
+            );
+        }
+        let outcome = {
+            let query = AppQuery::new(&self.app);
+            self.engine.plan(&self.model, &report, &query, t.as_secs())
+        };
+        match outcome {
+            PlanOutcome::Plan(plan) => self.start_repair(t, plan),
+            PlanOutcome::Aborted { invariant, reason } => {
+                self.trace.record(
+                    t,
+                    TraceKind::RepairAborted,
+                    format!("repair of {invariant} aborted: {reason}"),
+                );
+            }
+            PlanOutcome::Skipped { reason } => {
+                self.trace.record(t, TraceKind::Info, format!("repair skipped: {reason}"));
+            }
+            PlanOutcome::Nothing => {}
+        }
+    }
+
+    fn start_repair(&mut self, t: SimTime, plan: RepairPlan) {
+        let runtime_ops = match translate(&self.model, &plan.ops, self.profile.min_bandwidth_bps) {
+            Ok(ops) => ops,
+            Err(e) => {
+                self.trace.record(
+                    t,
+                    TraceKind::RepairAborted,
+                    format!("translation failed: {e}"),
+                );
+                return;
+            }
+        };
+        let duration = self.config.cost_model.total_duration(&runtime_ops);
+        self.repair_seq += 1;
+        let correlation = self.repair_seq;
+        self.trace.record_correlated(
+            t,
+            TraceKind::RepairStart,
+            correlation,
+            format!(
+                "repair #{correlation} for {} ({}): {} [{} runtime ops, ≈{duration:.0} s]",
+                plan.subject,
+                plan.invariant,
+                plan.description,
+                runtime_ops.len()
+            ),
+        );
+        self.pending = Some(PendingRepair {
+            plan,
+            runtime_ops,
+            complete_at: t + simnet::SimDuration::from_secs(duration),
+            correlation,
+        });
+    }
+
+    fn finish_repair(&mut self, t: SimTime, pending: PendingRepair) {
+        // Commit the repair to the architectural model.
+        for op in &pending.plan.ops {
+            if let Err(e) = archmodel::apply_op(&mut self.model, op) {
+                self.trace.record(
+                    t,
+                    TraceKind::Info,
+                    format!("model op could not be committed: {e}"),
+                );
+            }
+        }
+        let style_violations = ClientServerStyle::validate(&self.model);
+        if !style_violations.is_empty() {
+            self.trace.record(
+                t,
+                TraceKind::Info,
+                format!("model has {} style violations after commit", style_violations.len()),
+            );
+        }
+        // Propagate the repair to the runtime layer.
+        let ops = pending.runtime_ops.clone();
+        for op in &ops {
+            self.execute_runtime_op(t, op);
+        }
+        self.trace.record_correlated(
+            t,
+            TraceKind::RepairEnd,
+            pending.correlation,
+            format!(
+                "repair #{} for {} complete: {}",
+                pending.correlation, pending.plan.subject, pending.plan.description
+            ),
+        );
+    }
+
+    fn execute_runtime_op(&mut self, t: SimTime, op: &RuntimeOp) {
+        let result: Result<(), AppError> = match op {
+            RuntimeOp::CreateReqQueue { group } => {
+                self.app.create_req_queue(group);
+                Ok(())
+            }
+            RuntimeOp::FindServer { .. } => Ok(()),
+            RuntimeOp::ConnectServer { server, group } => {
+                let runtime = self.resolve_server(server);
+                match runtime {
+                    Some(runtime) => {
+                        self.server_map.insert(server.clone(), runtime.clone());
+                        self.app.connect_server(&runtime, group)
+                    }
+                    None => Err(AppError::Invalid(format!("no spare server available for {server}"))),
+                }
+            }
+            RuntimeOp::ActivateServer { server } => match self.server_map.get(server).cloned() {
+                Some(runtime) => {
+                    self.servers_activated += 1;
+                    self.app.activate_server(&runtime)
+                }
+                None => Err(AppError::UnknownServer(server.clone())),
+            },
+            RuntimeOp::DeactivateServer { server } => match self.server_map.get(server).cloned() {
+                Some(runtime) => {
+                    let result = self.app.deactivate_server(&runtime);
+                    let _ = self.app.disconnect_server(&runtime);
+                    self.server_map.remove(server);
+                    result
+                }
+                None => Err(AppError::UnknownServer(server.clone())),
+            },
+            RuntimeOp::MoveClient { client, to_group } => {
+                self.client_moves += 1;
+                let result = self.app.move_client(client, to_group);
+                if result.is_ok() {
+                    self.refresh_bandwidth_gauge(t, client);
+                }
+                result
+            }
+            RuntimeOp::RemosGetFlow { .. } => Ok(()),
+            RuntimeOp::DeleteGauge { .. } => Ok(()),
+            RuntimeOp::CreateGauge { gauge } => {
+                if let Some(group) = gauge.strip_prefix("load-gauge/") {
+                    let group = group.to_string();
+                    self.refresh_load_gauge(t, &group);
+                }
+                Ok(())
+            }
+        };
+        match result {
+            Ok(()) => self
+                .trace
+                .record(t, TraceKind::Reconfiguration, op.describe()),
+            Err(e) => self.trace.record(
+                t,
+                TraceKind::Info,
+                format!("runtime operation {} failed: {e}", op.describe()),
+            ),
+        }
+    }
+
+    /// Maps a model-level server name to a runtime server, recruiting a spare
+    /// if the mapping does not exist yet.
+    fn resolve_server(&self, model_name: &str) -> Option<String> {
+        if let Some(existing) = self.server_map.get(model_name) {
+            return Some(existing.clone());
+        }
+        self.app.find_server(None, 0.0)
+    }
+
+    /// Runs the framework for `duration` seconds of simulated time under an
+    /// optional scripted workload.
+    pub fn run(&mut self, duration_secs: f64, schedule: Option<&ExperimentSchedule>) {
+        let mut change_points: Vec<f64> = schedule
+            .map(|s| s.change_points())
+            .unwrap_or_default();
+        change_points.retain(|&p| p > 0.0 && p <= duration_secs);
+        if let Some(schedule) = schedule {
+            schedule
+                .apply(&mut self.app, 0.0)
+                .expect("initial schedule applies");
+        }
+        let period = self.config.control_period_secs.max(0.5);
+        let mut t = 0.0;
+        let mut next_change = 0usize;
+        while t < duration_secs {
+            t = (t + period).min(duration_secs);
+            if let Some(schedule) = schedule {
+                while next_change < change_points.len() && change_points[next_change] <= t {
+                    let point = change_points[next_change];
+                    schedule
+                        .apply(&mut self.app, point)
+                        .expect("schedule change applies");
+                    self.trace.record(
+                        SimTime::from_secs(point),
+                        TraceKind::Info,
+                        format!("workload phase change at {point:.0} s"),
+                    );
+                    next_change += 1;
+                }
+            }
+            self.tick(SimTime::from_secs(t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archmodel::style::props;
+
+    fn short_config() -> FrameworkConfig {
+        FrameworkConfig {
+            control_period_secs: 5.0,
+            ..FrameworkConfig::adaptive()
+        }
+    }
+
+    #[test]
+    fn control_framework_never_repairs() {
+        let mut fw =
+            AdaptationFramework::new(GridConfig::default(), FrameworkConfig::control()).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        fw.run(400.0, Some(&schedule));
+        let stats = fw.repair_stats();
+        assert_eq!(stats.started, 0);
+        assert_eq!(stats.completed, 0);
+        // But the model is still being maintained from gauges.
+        let user1 = fw.model().component_by_name("User1").unwrap();
+        assert!(fw
+            .model()
+            .component(user1)
+            .unwrap()
+            .properties
+            .get_f64(props::AVERAGE_LATENCY)
+            .is_some());
+    }
+
+    #[test]
+    fn gauge_readings_flow_into_the_model() {
+        let mut fw = AdaptationFramework::new(GridConfig::default(), short_config()).unwrap();
+        fw.run(120.0, None);
+        let grp = fw.model().component_by_name("ServerGrp1").unwrap();
+        assert!(fw
+            .model()
+            .component(grp)
+            .unwrap()
+            .properties
+            .get_f64(props::LOAD)
+            .is_some());
+        let role = fw
+            .model()
+            .roles()
+            .find(|(_, r)| r.name == "User3.role")
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(fw
+            .model()
+            .role(role)
+            .unwrap()
+            .properties
+            .get_f64(props::BANDWIDTH)
+            .is_some());
+    }
+
+    #[test]
+    fn bandwidth_squeeze_triggers_a_client_move_repair() {
+        let mut fw = AdaptationFramework::new(GridConfig::default(), short_config()).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        // Run through the quiescent phase and well into the squeeze phase.
+        fw.run(420.0, Some(&schedule));
+        let stats = fw.repair_stats();
+        assert!(stats.started >= 1, "at least one repair starts: {stats:?}");
+        assert!(stats.completed >= 1, "at least one repair completes: {stats:?}");
+        assert!(
+            stats.client_moves >= 1,
+            "the squeeze phase is repaired by moving a client: {stats:?}"
+        );
+        // The moved client's runtime group changed.
+        let moved = ["User3", "User4"]
+            .iter()
+            .filter(|c| fw.app().client_group(c).unwrap() == gridapp::SERVER_GROUP_2)
+            .count();
+        assert!(moved >= 1, "User3 or User4 now uses ServerGrp2");
+        // And the architectural model agrees with the runtime.
+        let model = fw.model();
+        let user = model.component_by_name("User3").unwrap();
+        let group = ClientServerStyle::group_of_client(model, user).unwrap();
+        let group_name = model.component(group).unwrap().name.clone();
+        assert_eq!(group_name, fw.app().client_group("User3").unwrap());
+    }
+
+    #[test]
+    fn repair_takes_about_thirty_seconds() {
+        let mut fw = AdaptationFramework::new(GridConfig::default(), short_config()).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        fw.run(500.0, Some(&schedule));
+        let stats = fw.repair_stats();
+        let mean = stats.mean_duration_secs.expect("some repair completed");
+        assert!(
+            (15.0..=60.0).contains(&mean),
+            "repair duration should be tens of seconds, got {mean}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # arch-adapt — the architecture-based adaptation framework
+//!
+//! A reproduction of "Software Architecture-Based Adaptation for Grid
+//! Computing" (Cheng, Garlan, Schmerl, Steenkiste, Hu — HPDC 2002). The
+//! framework keeps an architectural model of a running grid application,
+//! monitors it through a probe/gauge infrastructure, checks task-layer
+//! constraints against the model, and repairs violations with
+//! architecture-level strategies whose operators are translated into runtime
+//! reconfigurations.
+//!
+//! * [`task`] — the task layer's performance profile,
+//! * [`model`] — building the runtime architectural model and reflecting
+//!   gauge readings into it,
+//! * [`query`] — runtime queries (`findGoodSGroup`, spare-server lookup)
+//!   answered by the live application,
+//! * [`framework`] — the three-layer adaptation loop (Figure 1),
+//! * [`experiment`] — the control and adaptive experiment runs (§5),
+//! * [`report`] — figure-shaped text/JSON reporting.
+//!
+//! ```no_run
+//! use arch_adapt::experiment::Comparison;
+//! use gridapp::GridConfig;
+//!
+//! let comparison = Comparison::run(GridConfig::default(), 1800.0).unwrap();
+//! println!("{}", arch_adapt::report::render_comparison(&comparison));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod framework;
+pub mod model;
+pub mod query;
+pub mod report;
+pub mod task;
+
+pub use experiment::{
+    run_adaptive, run_control, run_experiment, Comparison, ExperimentConfig, RunResult, RunSummary,
+};
+pub use framework::{AdaptationFramework, FrameworkConfig, RepairStats};
+pub use model::{build_model, ModelUpdater};
+pub use query::AppQuery;
+pub use report::{render_comparison, render_run, run_to_json};
+pub use task::PerformanceProfile;

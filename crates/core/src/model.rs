@@ -1,0 +1,203 @@
+//! Building and maintaining the runtime architectural model.
+//!
+//! The model layer keeps an Acme-style model of the running application and
+//! updates its properties from gauge readings (Figure 1, items 2–3). This
+//! module builds the initial model mirroring the grid application's
+//! deployment and applies gauge readings to it.
+
+use crate::task::PerformanceProfile;
+use archmodel::style::{props, ClientServerStyle};
+use archmodel::{ModelError, System};
+use gridapp::GridApp;
+use monitoring::{GaugeConsumer, GaugeReading};
+use std::collections::HashMap;
+
+/// Builds the architectural model describing the application's current
+/// deployment, and the mapping from model server names
+/// (`"ServerGrp1.Server1"`) to runtime server names (`"S1"`).
+pub fn build_model(
+    app: &GridApp,
+    profile: &PerformanceProfile,
+) -> Result<(System, HashMap<String, String>), ModelError> {
+    let mut model = System::new("storage-infrastructure");
+    profile.apply_to(&mut model);
+
+    let mut server_map = HashMap::new();
+    for group_name in app.group_names() {
+        let runtime_servers = app.active_servers(&group_name);
+        let group = ClientServerStyle::add_server_group(&mut model, &group_name, runtime_servers.len())?;
+        // Record which runtime server each model replica corresponds to.
+        for (index, runtime) in runtime_servers.iter().enumerate() {
+            let model_name = format!("{group_name}.Server{}", index + 1);
+            server_map.insert(model_name, runtime.clone());
+        }
+        // Seed the group's load so constraints are evaluable immediately.
+        model
+            .component_mut(group)?
+            .properties
+            .set(props::LOAD, 0i64);
+    }
+    for client_name in app.client_names() {
+        let client = ClientServerStyle::add_client(&mut model, &client_name)?;
+        let group_name = app
+            .client_group(&client_name)
+            .map_err(|_| ModelError::NameNotFound(client_name.clone()))?;
+        let group = model
+            .component_by_name(&group_name)
+            .ok_or(ModelError::NameNotFound(group_name))?;
+        ClientServerStyle::connect_client(&mut model, client, group)?;
+    }
+    Ok((model, server_map))
+}
+
+/// A gauge consumer that reflects readings into the architectural model:
+/// `averageLatency` onto clients, `load` onto server groups, `bandwidth`
+/// onto client roles.
+pub struct ModelUpdater<'a> {
+    /// The model being maintained.
+    pub model: &'a mut System,
+    /// Readings that could not be applied (unknown target); surfaced for the
+    /// trace.
+    pub unmatched: Vec<GaugeReading>,
+}
+
+impl<'a> ModelUpdater<'a> {
+    /// Wraps a model for updating.
+    pub fn new(model: &'a mut System) -> Self {
+        ModelUpdater {
+            model,
+            unmatched: Vec::new(),
+        }
+    }
+}
+
+impl GaugeConsumer for ModelUpdater<'_> {
+    fn consume(&mut self, reading: &GaugeReading) {
+        // Component target (clients, server groups).
+        if let Some(id) = self.model.component_by_name(&reading.target) {
+            if let Ok(component) = self.model.component_mut(id) {
+                component
+                    .properties
+                    .set(reading.property.clone(), reading.value);
+                return;
+            }
+        }
+        // Role target (bandwidth readings address "<client>.role").
+        let role_id = self
+            .model
+            .roles()
+            .find(|(_, role)| role.name == reading.target)
+            .map(|(id, _)| id);
+        if let Some(id) = role_id {
+            if let Ok(role) = self.model.role_mut(id) {
+                role.properties.set(reading.property.clone(), reading.value);
+                return;
+            }
+        }
+        self.unmatched.push(reading.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridapp::GridConfig;
+
+    fn setup() -> (System, HashMap<String, String>) {
+        let app = GridApp::build(GridConfig::default()).unwrap();
+        build_model(&app, &PerformanceProfile::default()).unwrap()
+    }
+
+    #[test]
+    fn model_mirrors_the_initial_deployment() {
+        let (model, server_map) = setup();
+        assert_eq!(model.components_of_type("ClientT").count(), 6);
+        assert_eq!(model.components_of_type("ServerGroupT").count(), 2);
+        assert_eq!(model.components_of_type("ServerT").count(), 5);
+        assert!(ClientServerStyle::validate(&model).is_empty());
+        // All clients start on ServerGrp1.
+        let grp1 = model.component_by_name("ServerGrp1").unwrap();
+        assert_eq!(ClientServerStyle::clients_of_group(&model, grp1).len(), 6);
+        // Server mapping covers every replica and points at runtime names.
+        assert_eq!(server_map.len(), 5);
+        assert_eq!(server_map.get("ServerGrp1.Server1"), Some(&"S1".to_string()));
+        assert_eq!(server_map.get("ServerGrp2.Server1"), Some(&"S5".to_string()));
+    }
+
+    #[test]
+    fn thresholds_come_from_the_profile() {
+        let (model, _) = setup();
+        assert_eq!(model.properties.get_f64(props::MAX_LATENCY), Some(2.0));
+        assert_eq!(model.properties.get_f64(props::MIN_BANDWIDTH), Some(10_000.0));
+    }
+
+    #[test]
+    fn updater_routes_readings_to_components_and_roles() {
+        let (mut model, _) = setup();
+        let readings = vec![
+            GaugeReading {
+                time: 10.0,
+                gauge: "latency-gauge/User3".into(),
+                target: "User3".into(),
+                property: "averageLatency".into(),
+                value: 4.5,
+            },
+            GaugeReading {
+                time: 10.0,
+                gauge: "load-gauge/ServerGrp1".into(),
+                target: "ServerGrp1".into(),
+                property: "load".into(),
+                value: 9.0,
+            },
+            GaugeReading {
+                time: 10.0,
+                gauge: "bandwidth-gauge/User3/ServerGrp1".into(),
+                target: "User3.role".into(),
+                property: "bandwidth".into(),
+                value: 5_000.0,
+            },
+        ];
+        let mut updater = ModelUpdater::new(&mut model);
+        for r in &readings {
+            updater.consume(r);
+        }
+        assert!(updater.unmatched.is_empty());
+        let user3 = model.component_by_name("User3").unwrap();
+        assert_eq!(
+            model
+                .component(user3)
+                .unwrap()
+                .properties
+                .get_f64("averageLatency"),
+            Some(4.5)
+        );
+        let grp1 = model.component_by_name("ServerGrp1").unwrap();
+        assert_eq!(
+            model.component(grp1).unwrap().properties.get_f64("load"),
+            Some(9.0)
+        );
+        let role = model
+            .roles()
+            .find(|(_, r)| r.name == "User3.role")
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(
+            model.role(role).unwrap().properties.get_f64("bandwidth"),
+            Some(5_000.0)
+        );
+    }
+
+    #[test]
+    fn unknown_targets_are_collected_not_dropped_silently() {
+        let (mut model, _) = setup();
+        let mut updater = ModelUpdater::new(&mut model);
+        updater.consume(&GaugeReading {
+            time: 1.0,
+            gauge: "g".into(),
+            target: "Nobody".into(),
+            property: "averageLatency".into(),
+            value: 1.0,
+        });
+        assert_eq!(updater.unmatched.len(), 1);
+    }
+}

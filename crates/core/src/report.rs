@@ -1,0 +1,194 @@
+//! Rendering experiment results in the shape of the paper's figures.
+//!
+//! The harness does not plot; it prints the same series the figures show
+//! (time on the x axis, latency / queue length / bandwidth on a log-scale y
+//! axis) as text tables and serialises the full results to JSON so they can
+//! be plotted or diffed externally.
+
+use crate::experiment::{Comparison, RunResult};
+
+use simnet::TimeSeries;
+
+/// How many rows to print per series (series are downsampled to this length).
+pub const REPORT_POINTS: usize = 30;
+
+fn render_series(title: &str, series: &TimeSeries, unit: &str) -> String {
+    let mut out = format!("  {title} ({unit})\n");
+    if series.is_empty() {
+        out.push_str("    (no observations)\n");
+        return out;
+    }
+    for (t, v) in series.downsample(REPORT_POINTS).iter() {
+        out.push_str(&format!("    t={t:7.1}s  {v:12.4}\n"));
+    }
+    out
+}
+
+/// Renders one run the way the paper's figures present it: per-client
+/// latency, per-group queue length, per-client bandwidth, plus the repair
+/// intervals.
+pub fn render_run(result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== Run: {} ==\n", result.label));
+    let s = &result.summary;
+    out.push_str(&format!(
+        "  fraction of requests above {:.1}s bound: {:.3}\n",
+        result.latency_bound_secs, s.fraction_latency_above_bound
+    ));
+    if let Some(first) = s.first_violation_secs {
+        out.push_str(&format!("  first violation at t={first:.1}s\n"));
+    }
+    out.push_str(&format!(
+        "  repairs: {} started, {} completed, {} aborted",
+        s.repairs_started, s.repairs_completed, s.repairs_aborted
+    ));
+    if let Some(mean) = s.mean_repair_duration_secs {
+        out.push_str(&format!(", mean duration {mean:.1}s"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  servers activated: {}, client moves: {}\n",
+        s.servers_activated, s.client_moves
+    ));
+    if !result.repair_intervals.is_empty() {
+        out.push_str("  repair intervals (s): ");
+        for (start, end) in &result.repair_intervals {
+            out.push_str(&format!("[{start:.0}-{end:.0}] "));
+        }
+        out.push('\n');
+    }
+
+    out.push_str("-- Average latency (Figures 8/11) --\n");
+    for client in result.metrics.clients() {
+        if let Some(series) = result.metrics.latency_series(&client) {
+            out.push_str(&render_series(&client, series, "s"));
+        }
+    }
+    out.push_str("-- Server load / queue length (Figures 9/13) --\n");
+    for group in result.metrics.groups() {
+        if let Some(series) = result.metrics.queue_series(&group) {
+            out.push_str(&render_series(&group, series, "requests"));
+        }
+    }
+    out.push_str("-- Available bandwidth (Figures 10/12) --\n");
+    for client in result.metrics.clients() {
+        if let Some(series) = result.metrics.bandwidth_series(&client) {
+            out.push_str(&render_series(&client, series, "bps"));
+        }
+    }
+    out
+}
+
+/// Renders the control/adaptive comparison headline.
+pub fn render_comparison(comparison: &Comparison) -> String {
+    let mut out = String::new();
+    out.push_str("== Control vs. adaptive (paper §5.2) ==\n");
+    out.push_str(&format!(
+        "  control : {:.1}% of requests above the bound, first violation at {:?} s\n",
+        comparison.control.summary.fraction_latency_above_bound * 100.0,
+        comparison.control.summary.first_violation_secs
+    ));
+    out.push_str(&format!(
+        "  adaptive: {:.1}% of requests above the bound, {} repairs (mean {:.1} s)\n",
+        comparison.adaptive.summary.fraction_latency_above_bound * 100.0,
+        comparison.adaptive.summary.repairs_completed,
+        comparison
+            .adaptive
+            .summary
+            .mean_repair_duration_secs
+            .unwrap_or(0.0)
+    ));
+    if let Some(ratio) = comparison.violation_improvement() {
+        out.push_str(&format!("  improvement: {ratio:.1}x fewer bound violations\n"));
+    } else {
+        out.push_str("  improvement: adaptive run never exceeded the bound\n");
+    }
+    out
+}
+
+/// Serialises a run (downsampled) to JSON for external plotting.
+pub fn run_to_json(result: &RunResult) -> serde_json::Value {
+    fn collect<'a>(
+        names: Vec<String>,
+        get: impl Fn(&str) -> Option<&'a TimeSeries>,
+    ) -> Vec<(String, Vec<(f64, f64)>)> {
+        names
+            .into_iter()
+            .filter_map(|name| {
+                get(&name).map(|s| (name.clone(), s.downsample(200).iter().collect::<Vec<_>>()))
+            })
+            .collect()
+    }
+    let latency = collect(result.metrics.clients(), |c| result.metrics.latency_series(c));
+    let queue = collect(result.metrics.groups(), |g| result.metrics.queue_series(g));
+    let bandwidth = collect(result.metrics.clients(), |c| result.metrics.bandwidth_series(c));
+    serde_json::json!({
+        "label": result.label,
+        "summary": result.summary,
+        "repair_intervals": result.repair_intervals,
+        "latency": latency.iter().map(|(n, p)| serde_json::json!({"name": n, "points": p})).collect::<Vec<_>>(),
+        "queue_length": queue.iter().map(|(n, p)| serde_json::json!({"name": n, "points": p})).collect::<Vec<_>>(),
+        "bandwidth": bandwidth.iter().map(|(n, p)| serde_json::json!({"name": n, "points": p})).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_control, ExperimentConfig};
+    use crate::framework::FrameworkConfig;
+    use gridapp::GridConfig;
+
+    fn short_run() -> RunResult {
+        crate::experiment::run_experiment(
+            "control",
+            ExperimentConfig {
+                grid: GridConfig::default(),
+                framework: FrameworkConfig::control(),
+                duration_secs: 200.0,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn render_run_contains_all_figure_sections() {
+        let run = short_run();
+        let text = render_run(&run);
+        assert!(text.contains("Average latency"));
+        assert!(text.contains("Server load"));
+        assert!(text.contains("Available bandwidth"));
+        assert!(text.contains("User3"));
+        assert!(text.contains("ServerGrp1"));
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let run = short_run();
+        let json = run_to_json(&run);
+        assert_eq!(json["label"], "control");
+        assert!(json["latency"].as_array().unwrap().len() >= 6);
+        let text = serde_json::to_string(&json).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["label"], "control");
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let rendered = render_series("empty", &TimeSeries::new(), "s");
+        assert!(rendered.contains("no observations"));
+    }
+
+    #[test]
+    fn comparison_rendering_mentions_both_runs() {
+        // Build a tiny comparison from two short control-ish runs to avoid a
+        // second long simulation here; the real comparison is covered in
+        // experiment tests and benches.
+        let control = run_control(GridConfig::default(), 150.0).unwrap();
+        let adaptive = crate::experiment::run_adaptive(GridConfig::default(), 150.0).unwrap();
+        let cmp = Comparison { control, adaptive };
+        let text = render_comparison(&cmp);
+        assert!(text.contains("control"));
+        assert!(text.contains("adaptive"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Configuration of the grid application and its workload defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the client/server grid application.
+///
+/// Defaults reproduce the paper's requirements and assumptions (§5): 0.5 KB
+/// requests, 20 KB responses, an aggregate arrival rate of about six requests
+/// per second over six clients, and a 2-second latency goal served by three
+/// replicated servers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// Seed for all stochastic decisions (request timing jitter, response
+    /// size variation). Control and adaptive runs share the seed so the
+    /// request/response sequences match.
+    pub seed: u64,
+    /// Average request payload size in bytes (paper: 0.5 KB).
+    pub request_bytes: f64,
+    /// Average response payload size in bytes (paper: 20 KB).
+    pub response_bytes: f64,
+    /// Per-client request rate in requests per second (paper: ≈1/s per
+    /// client, six per second aggregate).
+    pub request_rate_per_client: f64,
+    /// Per-server CPU service time per request in seconds. Together with the
+    /// time to transmit the 20 KB reply this yields roughly 2.5 requests per
+    /// second per replica, the rate used by the provisioning analysis.
+    pub service_time_secs: f64,
+    /// Relative standard deviation of response sizes (0 = constant).
+    pub response_size_jitter: f64,
+    /// Latency bound the task layer requires (paper: 2 s).
+    pub max_latency_secs: f64,
+    /// Queue length above which a server group counts as overloaded
+    /// (paper: 6).
+    pub max_server_load: f64,
+    /// Minimum acceptable client bandwidth in bits per second (paper:
+    /// 10 Kbps).
+    pub min_bandwidth_bps: f64,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            seed: 42,
+            request_bytes: 512.0,
+            response_bytes: 20_480.0,
+            request_rate_per_client: 1.0,
+            service_time_secs: 0.25,
+            response_size_jitter: 0.1,
+            max_latency_secs: 2.0,
+            max_server_load: 6.0,
+            min_bandwidth_bps: 10_000.0,
+        }
+    }
+}
+
+impl GridConfig {
+    /// A configuration with a different seed (for replication studies).
+    pub fn with_seed(seed: u64) -> Self {
+        GridConfig {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = GridConfig::default();
+        assert_eq!(c.request_bytes, 512.0);
+        assert_eq!(c.response_bytes, 20_480.0);
+        assert_eq!(c.max_latency_secs, 2.0);
+        assert_eq!(c.max_server_load, 6.0);
+        assert_eq!(c.min_bandwidth_bps, 10_000.0);
+        assert!((c.request_rate_per_client - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_seed_changes_only_the_seed() {
+        let c = GridConfig::with_seed(7);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.response_bytes, GridConfig::default().response_bytes);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gridapp — the evaluated client/server grid application
+//!
+//! The paper evaluates its adaptation framework on *a client-server system
+//! using replicated server groups communicating over a distributed system*
+//! (§5), deployed on a dedicated testbed of five routers and eleven machines
+//! (Figure 6) and driven by a scripted 30-minute workload (Figure 7). This
+//! crate reproduces that application and testbed on the `simnet` simulator:
+//!
+//! * [`config`] — the application parameters (request/response sizes, arrival
+//!   rate, service rate, thresholds) taken from §5,
+//! * [`testbed`] — the Figure 6 topology,
+//! * [`app`] — the running application: clients, the request-queue machine,
+//!   replicated server groups, and the Table 1 runtime change operations,
+//! * [`workload`] — the Figure 7 bandwidth-competition and load schedules,
+//! * [`probes`] — concrete probes feeding the monitoring infrastructure,
+//! * [`metrics`] — the latency / queue-length / bandwidth series reported in
+//!   Figures 8–13.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod config;
+pub mod metrics;
+pub mod probes;
+pub mod testbed;
+pub mod workload;
+
+pub use app::{AppError, CompletedRequest, GridApp, SERVER_GROUP_1, SERVER_GROUP_2};
+pub use config::GridConfig;
+pub use metrics::Metrics;
+pub use probes::{
+    sample_bandwidth_probe, sample_latency_probe, sample_queue_probe, sample_server_probe,
+};
+pub use testbed::{Testbed, LINK_CAPACITY_BPS};
+pub use workload::{
+    ExperimentSchedule, PHASE_QUIESCENT_END, PHASE_STRESS_END, PHASE_STRESS_START,
+    RUN_DURATION_SECS,
+};

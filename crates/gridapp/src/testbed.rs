@@ -1,0 +1,209 @@
+//! The experimental testbed (Figure 6).
+//!
+//! The paper's experiment ran on a dedicated testbed of five routers and
+//! eleven machines connected by 10 Mbps links: clients C1–C6 (C1 and C2 share
+//! a machine, as do C5 and C6), servers S1–S7, and a request-queue machine
+//! shared with S5. Servers S4 and S7 start as spares. This module builds the
+//! equivalent simulated topology and records the handles the workload
+//! generator and the application need.
+
+use simnet::{LinkId, NodeId, SimDuration, Topology, TopologyError};
+
+/// Capacity of every testbed link (10 Mbps).
+pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
+
+/// The built testbed: the topology plus named handles to its parts.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The network topology.
+    pub topology: Topology,
+    /// Machine hosting clients C1 and C2.
+    pub host_c1c2: NodeId,
+    /// Machine hosting client C3.
+    pub host_c3: NodeId,
+    /// Machine hosting client C4.
+    pub host_c4: NodeId,
+    /// Machine hosting clients C5 and C6.
+    pub host_c5c6: NodeId,
+    /// Machines hosting servers S1..S7 (index 0 = S1).
+    pub server_hosts: Vec<NodeId>,
+    /// Machine hosting the request-queue process (shared with S5).
+    pub host_request_queue: NodeId,
+    /// The five routers R1..R5.
+    pub routers: Vec<NodeId>,
+    /// The inter-router link on the path between C3/C4's router (R2) and
+    /// Server Group 1's router (R3) — loaded by the bandwidth-competition
+    /// generator.
+    pub link_c34_sg1: LinkId,
+    /// The inter-router link on the path between C3/C4's router (R2) and
+    /// Server Group 2's router (R4).
+    pub link_c34_sg2: LinkId,
+}
+
+impl Testbed {
+    /// Builds the Figure 6 testbed.
+    pub fn build() -> Result<Testbed, TopologyError> {
+        let mut topo = Topology::new();
+        let router_latency = SimDuration::from_millis(1.0);
+        let access_latency = SimDuration::from_millis(0.5);
+
+        // Routers R1..R5. R1 serves C1/C2, R2 serves C3/C4, R3 serves Server
+        // Group 1 (S1-S4), R4 serves Server Group 2 (S5-S7) and the request
+        // queue, R5 serves C5/C6.
+        let r: Vec<NodeId> = (1..=5)
+            .map(|i| topo.add_router(&format!("R{i}")))
+            .collect::<Result<_, _>>()?;
+
+        // Inter-router links (all 10 Mbps).
+        topo.add_link(r[0], r[2], LINK_CAPACITY_BPS, router_latency)?; // R1-R3
+        let link_c34_sg1 = topo.add_link(r[1], r[2], LINK_CAPACITY_BPS, router_latency)?; // R2-R3
+        let link_c34_sg2 = topo.add_link(r[1], r[3], LINK_CAPACITY_BPS, router_latency)?; // R2-R4
+        topo.add_link(r[2], r[3], LINK_CAPACITY_BPS, router_latency)?; // R3-R4
+        topo.add_link(r[3], r[4], LINK_CAPACITY_BPS, router_latency)?; // R4-R5
+
+        // Client machines.
+        let host_c1c2 = topo.add_host("C1,C2")?;
+        topo.add_link(host_c1c2, r[0], LINK_CAPACITY_BPS, access_latency)?;
+        let host_c3 = topo.add_host("C3")?;
+        topo.add_link(host_c3, r[1], LINK_CAPACITY_BPS, access_latency)?;
+        let host_c4 = topo.add_host("C4")?;
+        topo.add_link(host_c4, r[1], LINK_CAPACITY_BPS, access_latency)?;
+        let host_c5c6 = topo.add_host("C5,C6")?;
+        topo.add_link(host_c5c6, r[4], LINK_CAPACITY_BPS, access_latency)?;
+
+        // Server machines. S1-S4 sit behind R3 (Server Group 1 + spare S4);
+        // S5-S7 sit behind R4 (Server Group 2 + spare S7). S5 shares its
+        // machine with the request queue.
+        let mut server_hosts = Vec::new();
+        for i in 1..=4 {
+            let host = topo.add_host(&format!("S{i}"))?;
+            topo.add_link(host, r[2], LINK_CAPACITY_BPS, access_latency)?;
+            server_hosts.push(host);
+        }
+        let host_s5_rq = topo.add_host("S5,RQ")?;
+        topo.add_link(host_s5_rq, r[3], LINK_CAPACITY_BPS, access_latency)?;
+        server_hosts.push(host_s5_rq);
+        for i in 6..=7 {
+            let host = topo.add_host(&format!("S{i}"))?;
+            topo.add_link(host, r[3], LINK_CAPACITY_BPS, access_latency)?;
+            server_hosts.push(host);
+        }
+
+        Ok(Testbed {
+            topology: topo,
+            host_c1c2,
+            host_c3,
+            host_c4,
+            host_c5c6,
+            server_hosts,
+            host_request_queue: host_s5_rq,
+            routers: r,
+            link_c34_sg1,
+            link_c34_sg2,
+        })
+    }
+
+    /// The machine a named client runs on (`"C1"` .. `"C6"`).
+    pub fn client_host(&self, client: &str) -> Option<NodeId> {
+        match client {
+            "C1" | "C2" => Some(self.host_c1c2),
+            "C3" => Some(self.host_c3),
+            "C4" => Some(self.host_c4),
+            "C5" | "C6" => Some(self.host_c5c6),
+            _ => None,
+        }
+    }
+
+    /// The machine a named server runs on (`"S1"` .. `"S7"`).
+    pub fn server_host(&self, server: &str) -> Option<NodeId> {
+        let idx: usize = server.strip_prefix('S')?.parse().ok()?;
+        self.server_hosts.get(idx.checked_sub(1)?).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_five_routers_and_eleven_machine_slots() {
+        let tb = Testbed::build().unwrap();
+        assert_eq!(tb.routers.len(), 5);
+        // Eleven machines, as in Figure 6: four client machines (C1/C2 and
+        // C5/C6 share theirs) plus seven server machines (S5 shares its
+        // machine with the request queue).
+        let hosts = tb
+            .topology
+            .nodes()
+            .filter(|(_, n)| n.kind == simnet::NodeKind::Host)
+            .count();
+        assert_eq!(hosts, 11);
+        assert_eq!(tb.server_hosts.len(), 7);
+    }
+
+    #[test]
+    fn every_pair_of_hosts_is_connected() {
+        let tb = Testbed::build().unwrap();
+        let hosts: Vec<NodeId> = tb
+            .topology
+            .nodes()
+            .filter(|(_, n)| n.kind == simnet::NodeKind::Host)
+            .map(|(id, _)| id)
+            .collect();
+        for &a in &hosts {
+            for &b in &hosts {
+                assert!(tb.topology.path(a, b).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn client_and_server_host_lookup() {
+        let tb = Testbed::build().unwrap();
+        assert_eq!(tb.client_host("C1"), Some(tb.host_c1c2));
+        assert_eq!(tb.client_host("C2"), Some(tb.host_c1c2));
+        assert_eq!(tb.client_host("C3"), Some(tb.host_c3));
+        assert_eq!(tb.client_host("C9"), None);
+        assert_eq!(tb.server_host("S1"), Some(tb.server_hosts[0]));
+        assert_eq!(tb.server_host("S5"), Some(tb.host_request_queue));
+        assert_eq!(tb.server_host("S8"), None);
+        assert_eq!(tb.server_host("bogus"), None);
+    }
+
+    #[test]
+    fn competition_links_lie_on_the_c34_paths() {
+        let tb = Testbed::build().unwrap();
+        // Path C3 -> S1 (Server Group 1) crosses the R2-R3 link.
+        let path_sg1 = tb
+            .topology
+            .path(tb.host_c3, tb.server_hosts[0])
+            .unwrap();
+        assert!(path_sg1.contains(&tb.link_c34_sg1));
+        // Path C3 -> S6 (Server Group 2) crosses the R2-R4 link.
+        let path_sg2 = tb
+            .topology
+            .path(tb.host_c3, tb.server_hosts[5])
+            .unwrap();
+        assert!(path_sg2.contains(&tb.link_c34_sg2));
+        // The two do not share the loaded link.
+        assert!(!path_sg2.contains(&tb.link_c34_sg1));
+    }
+
+    #[test]
+    fn c1_path_to_sg1_avoids_the_competition_link() {
+        let tb = Testbed::build().unwrap();
+        let path = tb
+            .topology
+            .path(tb.host_c1c2, tb.server_hosts[0])
+            .unwrap();
+        assert!(!path.contains(&tb.link_c34_sg1));
+    }
+
+    #[test]
+    fn links_run_at_ten_megabits() {
+        let tb = Testbed::build().unwrap();
+        for (_, link) in tb.topology.links() {
+            assert_eq!(link.capacity_bps, LINK_CAPACITY_BPS);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The experiment workload (Figure 7).
+//!
+//! The control and adaptive runs share a scripted 30-minute workload:
+//!
+//! * **0–120 s** — quiescent period, giving gauges and probes time to deploy;
+//! * **120–600 s** — the bandwidth-competition generator squeezes the path
+//!   between clients C3/C4 and Server Group 1 (their available bandwidth
+//!   collapses below the 10 Kbps minimum) while moderate (≈3 Mbps) bandwidth
+//!   remains towards Server Group 2 — the expected repair is to migrate those
+//!   clients to Server Group 2;
+//! * **600–1200 s** — every client sends 20 KB requests twice a second (the
+//!   server-load stress) while the bandwidth to Server Group 1 stays reduced;
+//! * **1200–1800 s** — the bandwidth between C3/C4 and Server Group 2 is
+//!   raised again, with moderate competition on the other path.
+//!
+//! The schedule is expressed with [`StepSchedule`]s so the same description
+//! drives the control run, the adaptive run, and the Figure 7 bench.
+
+use crate::app::{AppError, GridApp};
+use crate::config::GridConfig;
+use serde::{Deserialize, Serialize};
+use simnet::{SimTime, StepSchedule};
+
+/// Total length of an experiment run (seconds). The paper: thirty minutes.
+pub const RUN_DURATION_SECS: f64 = 1800.0;
+/// End of the quiescent deployment phase.
+pub const PHASE_QUIESCENT_END: f64 = 120.0;
+/// Start of the server-load stress phase.
+pub const PHASE_STRESS_START: f64 = 600.0;
+/// End of the server-load stress phase / start of the recovery phase.
+pub const PHASE_STRESS_END: f64 = 1200.0;
+
+/// The scripted experiment workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSchedule {
+    /// Competing background load on the C3/C4 ↔ Server Group 1 link (bps).
+    pub competition_sg1: StepSchedule,
+    /// Competing background load on the C3/C4 ↔ Server Group 2 link (bps).
+    pub competition_sg2: StepSchedule,
+    /// Per-client request rate (requests/second).
+    pub request_rate: StepSchedule,
+    /// Response size (bytes).
+    pub response_bytes: StepSchedule,
+}
+
+impl ExperimentSchedule {
+    /// The Figure 7 schedule, parameterised by the application configuration
+    /// (for the baseline rate and response size).
+    pub fn figure7(config: &GridConfig) -> Self {
+        let link = crate::testbed::LINK_CAPACITY_BPS;
+        ExperimentSchedule {
+            // Quiescent: light competition leaves ≈9 Mbps. From 120 s the
+            // generator squeezes the SG1 path hard enough to push the
+            // remaining bandwidth below the 10 Kbps minimum; during the
+            // stress phase it eases to leave ≈1 Mbps; afterwards moderate
+            // competition leaves ≈3 Mbps.
+            competition_sg1: StepSchedule::new(link - 9.0e6)
+                .step_at(PHASE_QUIESCENT_END, link - 5.0e3)
+                .step_at(PHASE_STRESS_START, link - 1.0e6)
+                .step_at(PHASE_STRESS_END, link - 3.0e6),
+            // The opposite path keeps a moderate 3 Mbps until the final phase
+            // raises it to ≈9 Mbps.
+            competition_sg2: StepSchedule::new(link - 9.0e6)
+                .step_at(PHASE_QUIESCENT_END, link - 3.0e6)
+                .step_at(PHASE_STRESS_END, link - 9.0e6),
+            // All clients switch to 20 KB requests at twice a second during
+            // the stress phase.
+            request_rate: StepSchedule::new(config.request_rate_per_client)
+                .step_at(PHASE_STRESS_START, 2.0)
+                .step_at(PHASE_STRESS_END, config.request_rate_per_client),
+            response_bytes: StepSchedule::new(config.response_bytes)
+                .step_at(PHASE_STRESS_START, 20_480.0)
+                .step_at(PHASE_STRESS_END, config.response_bytes),
+        }
+    }
+
+    /// All times at which any schedule changes value, in increasing order.
+    pub fn change_points(&self) -> Vec<f64> {
+        let mut points: Vec<f64> = self
+            .competition_sg1
+            .change_points()
+            .into_iter()
+            .chain(self.competition_sg2.change_points())
+            .chain(self.request_rate.change_points())
+            .chain(self.response_bytes.change_points())
+            .collect();
+        points.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+        points.dedup();
+        points
+    }
+
+    /// Applies the schedule values in force at time `t` to the application.
+    pub fn apply(&self, app: &mut GridApp, t: f64) -> Result<(), AppError> {
+        let now = SimTime::from_secs(t);
+        app.set_competition_sg1(now, self.competition_sg1.value_at(t))?;
+        app.set_competition_sg2(now, self.competition_sg2.value_at(t))?;
+        app.set_workload(self.request_rate.value_at(t), self.response_bytes.value_at(t));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_shape() {
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        let link = crate::testbed::LINK_CAPACITY_BPS;
+        // Quiescent phase: ≈9 Mbps available to Server Group 1.
+        assert!((link - schedule.competition_sg1.value_at(60.0) - 9.0e6).abs() < 1.0);
+        // Squeeze phase: below the 10 Kbps minimum.
+        assert!(link - schedule.competition_sg1.value_at(300.0) < 10_000.0);
+        // Stress phase: twice-a-second 20 KB requests.
+        assert_eq!(schedule.request_rate.value_at(900.0), 2.0);
+        assert_eq!(schedule.response_bytes.value_at(900.0), 20_480.0);
+        // Final phase: Server Group 2 path opens up to ≈9 Mbps.
+        assert!((link - schedule.competition_sg2.value_at(1500.0) - 9.0e6).abs() < 1.0);
+        // Baseline restored after the stress phase.
+        assert_eq!(schedule.request_rate.value_at(1500.0), 1.0);
+    }
+
+    #[test]
+    fn change_points_are_sorted_and_unique() {
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        let points = schedule.change_points();
+        assert_eq!(points, vec![120.0, 600.0, 1200.0]);
+    }
+
+    #[test]
+    fn apply_sets_workload_and_competition() {
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        let before = app.remos_get_flow("User3", crate::app::SERVER_GROUP_1).unwrap();
+        schedule.apply(&mut app, 300.0).unwrap();
+        let after = app.remos_get_flow("User3", crate::app::SERVER_GROUP_1).unwrap();
+        assert!(after < 10_000.0, "squeeze leaves under 10 Kbps, got {after}");
+        assert!(before > after);
+    }
+
+    #[test]
+    fn quiescent_phase_meets_the_latency_goal() {
+        // Sanity: under the quiescent schedule no client breaches 2 s, so any
+        // violation later in the run is caused by the scripted disturbances.
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        schedule.apply(&mut app, 0.0).unwrap();
+        app.advance(SimTime::from_secs(PHASE_QUIESCENT_END));
+        let completions = app.take_completions();
+        assert!(!completions.is_empty());
+        let above = completions.iter().filter(|c| c.latency_secs > 2.0).count();
+        assert_eq!(above, 0, "quiescent phase must not violate the bound");
+    }
+}

@@ -1,0 +1,231 @@
+//! Event buses for monitoring traffic.
+//!
+//! The paper's monitoring infrastructure disseminates observations over two
+//! wide-area event buses (implemented there with Siena): probes publish on the
+//! *probe bus*, gauges publish on the *gauge reporting bus*, and consumers
+//! subscribe with topic filters. This module provides a deterministic,
+//! in-process equivalent: subscribers register a topic prefix and drain their
+//! queue explicitly, which keeps delivery order reproducible inside the
+//! discrete-event simulation. An optional per-message delay models the fact
+//! that monitoring traffic shares the network with the application (§5.3).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifies a subscription on a bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubscriptionId(pub u64);
+
+/// A message published on a bus: a topic plus a payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusMessage<T> {
+    /// Hierarchical topic, e.g. `"probe/latency/User3"`.
+    pub topic: String,
+    /// The time the message was published (seconds).
+    pub published_at: f64,
+    /// The time the message becomes visible to subscribers (seconds); equals
+    /// `published_at` plus the bus delay in force when it was published.
+    pub deliver_at: f64,
+    /// The payload.
+    pub payload: T,
+}
+
+struct Subscription<T> {
+    id: SubscriptionId,
+    topic_prefix: String,
+    queue: VecDeque<BusMessage<T>>,
+}
+
+/// A topic-filtered publish/subscribe bus.
+pub struct Bus<T> {
+    subscriptions: Vec<Subscription<T>>,
+    next_id: u64,
+    delay_secs: f64,
+    published: u64,
+    delivered: u64,
+}
+
+impl<T: Clone> Default for Bus<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Bus<T> {
+    /// Creates a bus with zero delivery delay.
+    pub fn new() -> Self {
+        Bus {
+            subscriptions: Vec::new(),
+            next_id: 0,
+            delay_secs: 0.0,
+            published: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Sets the current delivery delay (seconds) applied to newly published
+    /// messages. The framework adjusts this to model monitoring traffic
+    /// competing with application traffic; a QoS-prioritised bus keeps it at
+    /// zero.
+    pub fn set_delay(&mut self, delay_secs: f64) {
+        self.delay_secs = delay_secs.max(0.0);
+    }
+
+    /// The delivery delay currently applied to published messages.
+    pub fn delay(&self) -> f64 {
+        self.delay_secs
+    }
+
+    /// Subscribes to every topic starting with `topic_prefix` (empty string
+    /// subscribes to everything).
+    pub fn subscribe(&mut self, topic_prefix: impl Into<String>) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.subscriptions.push(Subscription {
+            id,
+            topic_prefix: topic_prefix.into(),
+            queue: VecDeque::new(),
+        });
+        id
+    }
+
+    /// Removes a subscription. Returns true if it existed.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|s| s.id != id);
+        self.subscriptions.len() != before
+    }
+
+    /// Publishes a message at `now` (seconds). It is queued for every matching
+    /// subscription with the current delivery delay.
+    pub fn publish(&mut self, now: f64, topic: impl Into<String>, payload: T) {
+        let topic = topic.into();
+        let message = BusMessage {
+            deliver_at: now + self.delay_secs,
+            published_at: now,
+            topic,
+            payload,
+        };
+        self.published += 1;
+        for sub in &mut self.subscriptions {
+            if message.topic.starts_with(&sub.topic_prefix) {
+                sub.queue.push_back(message.clone());
+            }
+        }
+    }
+
+    /// Drains the messages visible to a subscription at time `now`
+    /// (i.e. whose delivery time has passed), in publication order.
+    pub fn drain(&mut self, id: SubscriptionId, now: f64) -> Vec<BusMessage<T>> {
+        let Some(sub) = self.subscriptions.iter_mut().find(|s| s.id == id) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while let Some(front) = sub.queue.front() {
+            if front.deliver_at <= now {
+                out.push(sub.queue.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        self.delivered += out.len() as u64;
+        out
+    }
+
+    /// Number of messages still queued (any subscription).
+    pub fn pending(&self) -> usize {
+        self.subscriptions.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Total messages published over the bus's lifetime.
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+
+    /// Total messages delivered to subscribers.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_prefix_filtering() {
+        let mut bus: Bus<i32> = Bus::new();
+        let latency = bus.subscribe("probe/latency/");
+        let all = bus.subscribe("");
+        bus.publish(0.0, "probe/latency/User1", 1);
+        bus.publish(0.0, "probe/load/ServerGrp1", 2);
+        assert_eq!(bus.drain(latency, 1.0).len(), 1);
+        assert_eq!(bus.drain(all, 1.0).len(), 2);
+    }
+
+    #[test]
+    fn delivery_respects_delay() {
+        let mut bus: Bus<&str> = Bus::new();
+        let sub = bus.subscribe("");
+        bus.set_delay(5.0);
+        bus.publish(10.0, "x", "late");
+        assert!(bus.drain(sub, 12.0).is_empty());
+        let got = bus.drain(sub, 15.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].deliver_at, 15.0);
+        assert_eq!(got[0].published_at, 10.0);
+    }
+
+    #[test]
+    fn delay_changes_only_affect_new_messages() {
+        let mut bus: Bus<u8> = Bus::new();
+        let sub = bus.subscribe("");
+        bus.publish(0.0, "a", 1);
+        bus.set_delay(100.0);
+        bus.publish(0.0, "a", 2);
+        let visible = bus.drain(sub, 1.0);
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].payload, 1);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus: Bus<u8> = Bus::new();
+        let sub = bus.subscribe("");
+        assert!(bus.unsubscribe(sub));
+        assert!(!bus.unsubscribe(sub));
+        bus.publish(0.0, "a", 1);
+        assert!(bus.drain(sub, 1.0).is_empty());
+        assert_eq!(bus.pending(), 0);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut bus: Bus<u8> = Bus::new();
+        let s1 = bus.subscribe("");
+        let _s2 = bus.subscribe("never/");
+        bus.publish(0.0, "a", 1);
+        bus.publish(0.0, "a", 2);
+        assert_eq!(bus.published_count(), 2);
+        bus.drain(s1, 1.0);
+        assert_eq!(bus.delivered_count(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_publication_order() {
+        let mut bus: Bus<u8> = Bus::new();
+        let sub = bus.subscribe("");
+        for i in 0..10u8 {
+            bus.publish(i as f64, "t", i);
+        }
+        let got: Vec<u8> = bus.drain(sub, 100.0).into_iter().map(|m| m.payload).collect();
+        assert_eq!(got, (0..10u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn negative_delay_clamped_to_zero() {
+        let mut bus: Bus<u8> = Bus::new();
+        bus.set_delay(-3.0);
+        assert_eq!(bus.delay(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Convenience plumbing between buses, gauges, and consumers.
+
+use crate::bus::{Bus, SubscriptionId};
+use crate::gauge::{GaugeConsumer, GaugeManager, GaugeReading};
+use crate::probe::ProbeEvent;
+
+/// Wires a probe bus, a gauge manager, and a gauge bus together: probes
+/// publish [`ProbeEvent`]s, the pipeline feeds active gauges and republishes
+/// their readings on the gauge bus, and registered consumers drain the gauge
+/// bus.
+///
+/// This is the in-process equivalent of the paper's two Siena buses plus the
+/// gauge infrastructure in Figure 4.
+pub struct MonitoringPipeline {
+    probe_bus: Bus<ProbeEvent>,
+    gauge_bus: Bus<GaugeReading>,
+    manager: GaugeManager,
+    probe_subscription: SubscriptionId,
+    consumer_subscription: SubscriptionId,
+}
+
+impl MonitoringPipeline {
+    /// Builds a pipeline around the given gauge manager.
+    pub fn new(manager: GaugeManager) -> Self {
+        let mut probe_bus = Bus::new();
+        let probe_subscription = probe_bus.subscribe("probe/");
+        let mut gauge_bus = Bus::new();
+        let consumer_subscription = gauge_bus.subscribe("gauge/");
+        MonitoringPipeline {
+            probe_bus,
+            gauge_bus,
+            manager,
+            probe_subscription,
+            consumer_subscription,
+        }
+    }
+
+    /// Access to the probe bus (for publishing observations).
+    pub fn probe_bus_mut(&mut self) -> &mut Bus<ProbeEvent> {
+        &mut self.probe_bus
+    }
+
+    /// Access to the gauge manager (for deploying/removing gauges).
+    pub fn manager_mut(&mut self) -> &mut GaugeManager {
+        &mut self.manager
+    }
+
+    /// Read access to the gauge manager.
+    pub fn manager(&self) -> &GaugeManager {
+        &self.manager
+    }
+
+    /// Sets the delivery delay of both buses, modelling monitoring traffic
+    /// slowed by application congestion. A QoS-prioritised deployment keeps
+    /// this at zero.
+    pub fn set_monitoring_delay(&mut self, delay_secs: f64) {
+        self.probe_bus.set_delay(delay_secs);
+        self.gauge_bus.set_delay(delay_secs);
+    }
+
+    /// Publishes a probe observation.
+    pub fn publish(&mut self, event: ProbeEvent) {
+        let now = event.time;
+        let topic = event.topic();
+        self.probe_bus.publish(now, topic, event);
+    }
+
+    /// Advances the pipeline to time `now`: delivers probe events to gauges,
+    /// collects gauge readings, publishes them on the gauge bus, and hands
+    /// everything visible to the consumer. Returns the readings delivered to
+    /// the consumer this step.
+    pub fn step(&mut self, now: f64, consumer: &mut dyn GaugeConsumer) -> Vec<GaugeReading> {
+        for message in self.probe_bus.drain(self.probe_subscription, now) {
+            self.manager.dispatch(&message.payload);
+        }
+        for reading in self.manager.collect(now) {
+            let topic = reading.topic();
+            self.gauge_bus.publish(now, topic, reading);
+        }
+        let mut delivered = Vec::new();
+        for message in self.gauge_bus.drain(self.consumer_subscription, now) {
+            consumer.consume(&message.payload);
+            delivered.push(message.payload);
+        }
+        delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gauge::{AverageLatencyGauge, GaugeLifecycleConfig, RecordingConsumer};
+    use crate::probe::Measurement;
+
+    fn pipeline_with_latency_gauge(creation_delay: f64) -> MonitoringPipeline {
+        let mut pipeline = MonitoringPipeline::new(GaugeManager::new(GaugeLifecycleConfig {
+            creation_delay_secs: creation_delay,
+            ..GaugeLifecycleConfig::default()
+        }));
+        pipeline
+            .manager_mut()
+            .create(0.0, Box::new(AverageLatencyGauge::new("User1", 30.0)));
+        pipeline
+    }
+
+    #[test]
+    fn end_to_end_probe_to_consumer() {
+        let mut pipeline = pipeline_with_latency_gauge(0.0);
+        let mut consumer = RecordingConsumer::new();
+        pipeline.publish(ProbeEvent::new(
+            1.0,
+            "aide",
+            Measurement::RequestLatency {
+                client: "User1".into(),
+                seconds: 1.5,
+            },
+        ));
+        let delivered = pipeline.step(2.0, &mut consumer);
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(consumer.readings().len(), 1);
+        assert!((consumer.readings()[0].value - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warming_gauge_does_not_report() {
+        let mut pipeline = pipeline_with_latency_gauge(100.0);
+        let mut consumer = RecordingConsumer::new();
+        pipeline.publish(ProbeEvent::new(
+            1.0,
+            "aide",
+            Measurement::RequestLatency {
+                client: "User1".into(),
+                seconds: 1.5,
+            },
+        ));
+        assert!(pipeline.step(2.0, &mut consumer).is_empty());
+    }
+
+    #[test]
+    fn monitoring_delay_postpones_delivery() {
+        let mut pipeline = pipeline_with_latency_gauge(0.0);
+        pipeline.set_monitoring_delay(10.0);
+        let mut consumer = RecordingConsumer::new();
+        pipeline.publish(ProbeEvent::new(
+            1.0,
+            "aide",
+            Measurement::RequestLatency {
+                client: "User1".into(),
+                seconds: 1.5,
+            },
+        ));
+        // At t=2 the probe event has not yet crossed the delayed bus.
+        assert!(pipeline.step(2.0, &mut consumer).is_empty());
+        // At t=12 the probe event arrives; the gauge reading goes out on the
+        // (also delayed) gauge bus, so the consumer sees it at t=22.
+        assert!(pipeline.step(12.0, &mut consumer).is_empty());
+        let delivered = pipeline.step(22.5, &mut consumer);
+        assert_eq!(delivered.len(), 1);
+    }
+}

@@ -1,0 +1,565 @@
+//! Gauges: interpreting probe measurements as model properties.
+//!
+//! Gauges consume lower-level probe measurements and report higher-level
+//! model properties (§3.1): the average latency experienced by a client, a
+//! server group's load, the bandwidth of a client's connection. Gauge
+//! creation and deletion follow a gauge protocol and — as the paper measures —
+//! dominate the time it takes to effect a repair (~30 s, §5.3). The
+//! [`GaugeManager`] models that lifecycle cost and the proposed mitigation of
+//! caching/relocating gauges instead of destroying and recreating them.
+
+use crate::probe::{Measurement, ProbeEvent};
+use crate::window::SlidingWindow;
+use serde::{Deserialize, Serialize};
+
+/// A higher-level reading reported on the gauge bus, destined for a property
+/// of the architectural model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeReading {
+    /// Simulated time of the report (seconds).
+    pub time: f64,
+    /// The reporting gauge's name.
+    pub gauge: String,
+    /// The model element the reading applies to (component, connector, or
+    /// role name).
+    pub target: String,
+    /// The property to update, e.g. `"averageLatency"`.
+    pub property: String,
+    /// The reported value.
+    pub value: f64,
+}
+
+impl GaugeReading {
+    /// The gauge-bus topic this reading is published under.
+    pub fn topic(&self) -> String {
+        format!("gauge/{}/{}", self.property, self.target)
+    }
+}
+
+/// A gauge: consumes probe events, periodically reports model properties.
+pub trait Gauge {
+    /// The gauge's unique name.
+    fn name(&self) -> &str;
+    /// The probe-bus topic prefix this gauge is interested in.
+    fn interest(&self) -> String;
+    /// Feeds one probe event to the gauge.
+    fn consume(&mut self, event: &ProbeEvent);
+    /// Produces the gauge's current readings at time `now`.
+    fn report(&mut self, now: f64) -> Vec<GaugeReading>;
+}
+
+/// Reports the sliding-window average request latency of one client as the
+/// client's `averageLatency` property.
+pub struct AverageLatencyGauge {
+    name: String,
+    client: String,
+    window: SlidingWindow,
+}
+
+impl AverageLatencyGauge {
+    /// Creates a latency gauge for `client` averaging over `window_secs`.
+    pub fn new(client: impl Into<String>, window_secs: f64) -> Self {
+        let client = client.into();
+        AverageLatencyGauge {
+            name: format!("latency-gauge/{client}"),
+            client,
+            window: SlidingWindow::new(window_secs),
+        }
+    }
+}
+
+impl Gauge for AverageLatencyGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/latency/{}", self.client)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::RequestLatency { client, seconds } = &event.measurement {
+            if client == &self.client {
+                self.window.push(event.time, *seconds);
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        self.window.advance(now);
+        match self.window.mean() {
+            Some(mean) => vec![GaugeReading {
+                time: now,
+                gauge: self.name.clone(),
+                target: self.client.clone(),
+                property: "averageLatency".to_string(),
+                value: mean,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Reports a server group's most recent queue length as its `load` property.
+pub struct LoadGauge {
+    name: String,
+    group: String,
+    last: Option<f64>,
+}
+
+impl LoadGauge {
+    /// Creates a load gauge for `group`.
+    pub fn new(group: impl Into<String>) -> Self {
+        let group = group.into();
+        LoadGauge {
+            name: format!("load-gauge/{group}"),
+            group,
+            last: None,
+        }
+    }
+}
+
+impl Gauge for LoadGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/load/{}", self.group)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::QueueLength { group, length } = &event.measurement {
+            if group == &self.group {
+                self.last = Some(*length as f64);
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        match self.last {
+            Some(value) => vec![GaugeReading {
+                time: now,
+                gauge: self.name.clone(),
+                target: self.group.clone(),
+                property: "load".to_string(),
+                value,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Reports the bandwidth between a client and its server group as the
+/// `bandwidth` property of the client's role.
+pub struct BandwidthGauge {
+    name: String,
+    client: String,
+    group: String,
+    target: String,
+    last: Option<f64>,
+}
+
+impl BandwidthGauge {
+    /// Creates a bandwidth gauge for the `client` ↔ `group` pair, reporting
+    /// onto the model element named `target` (typically the client's role).
+    pub fn new(
+        client: impl Into<String>,
+        group: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Self {
+        let client = client.into();
+        let group = group.into();
+        BandwidthGauge {
+            name: format!("bandwidth-gauge/{client}/{group}"),
+            client,
+            group,
+            target: target.into(),
+            last: None,
+        }
+    }
+
+    /// The client this gauge observes.
+    pub fn client(&self) -> &str {
+        &self.client
+    }
+
+    /// The server group this gauge observes.
+    pub fn group(&self) -> &str {
+        &self.group
+    }
+}
+
+impl Gauge for BandwidthGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/bandwidth/{}/{}", self.client, self.group)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::Bandwidth { client, group, bps } = &event.measurement {
+            if client == &self.client && group == &self.group {
+                self.last = Some(*bps);
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        match self.last {
+            Some(value) => vec![GaugeReading {
+                time: now,
+                gauge: self.name.clone(),
+                target: self.target.clone(),
+                property: "bandwidth".to_string(),
+                value,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Lifecycle costs of the gauge protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaugeLifecycleConfig {
+    /// Time between requesting a gauge and its first report being possible.
+    /// The paper attributes most of the ~30 s repair time to gauge
+    /// creation/deletion communication.
+    pub creation_delay_secs: f64,
+    /// Time to tear a gauge down.
+    pub deletion_delay_secs: f64,
+    /// When true, deleted gauges are kept in a cache and re-used by a later
+    /// creation for the same name (the paper's proposed improvement); cached
+    /// re-activation costs `reuse_delay_secs` instead of the creation delay.
+    pub cache_gauges: bool,
+    /// Re-activation cost for a cached gauge.
+    pub reuse_delay_secs: f64,
+}
+
+impl Default for GaugeLifecycleConfig {
+    fn default() -> Self {
+        GaugeLifecycleConfig {
+            creation_delay_secs: 12.0,
+            deletion_delay_secs: 3.0,
+            cache_gauges: false,
+            reuse_delay_secs: 0.5,
+        }
+    }
+}
+
+struct ManagedGauge {
+    gauge: Box<dyn Gauge>,
+    active_at: f64,
+}
+
+/// Manages gauge creation, deletion, dispatch, and reporting, charging the
+/// configured lifecycle costs.
+pub struct GaugeManager {
+    config: GaugeLifecycleConfig,
+    gauges: Vec<ManagedGauge>,
+    cache: Vec<Box<dyn Gauge>>,
+    creations: u64,
+    cache_hits: u64,
+    deletions: u64,
+}
+
+impl GaugeManager {
+    /// Creates a manager with the given lifecycle configuration.
+    pub fn new(config: GaugeLifecycleConfig) -> Self {
+        GaugeManager {
+            config,
+            gauges: Vec::new(),
+            cache: Vec::new(),
+            creations: 0,
+            cache_hits: 0,
+            deletions: 0,
+        }
+    }
+
+    /// The lifecycle configuration in force.
+    pub fn config(&self) -> GaugeLifecycleConfig {
+        self.config
+    }
+
+    /// Deploys a gauge at time `now`. Returns the time at which the gauge
+    /// becomes active (and therefore how long the deploying repair must
+    /// wait).
+    pub fn create(&mut self, now: f64, gauge: Box<dyn Gauge>) -> f64 {
+        self.creations += 1;
+        // Re-use a cached gauge with the same name if allowed.
+        let cached_idx = self
+            .config
+            .cache_gauges
+            .then(|| self.cache.iter().position(|g| g.name() == gauge.name()))
+            .flatten();
+        let (gauge, delay) = match cached_idx {
+            Some(idx) => {
+                self.cache_hits += 1;
+                (self.cache.remove(idx), self.config.reuse_delay_secs)
+            }
+            None => (gauge, self.config.creation_delay_secs),
+        };
+        let active_at = now + delay;
+        self.gauges.push(ManagedGauge { gauge, active_at });
+        active_at
+    }
+
+    /// Deletes the gauge with the given name at time `now`. Returns the time
+    /// the deletion completes, or `None` if no such gauge exists.
+    pub fn delete(&mut self, now: f64, name: &str) -> Option<f64> {
+        let idx = self.gauges.iter().position(|g| g.gauge.name() == name)?;
+        let removed = self.gauges.remove(idx);
+        self.deletions += 1;
+        if self.config.cache_gauges {
+            self.cache.push(removed.gauge);
+        }
+        Some(now + self.config.deletion_delay_secs)
+    }
+
+    /// True if a gauge with this name is deployed (possibly still warming
+    /// up).
+    pub fn has_gauge(&self, name: &str) -> bool {
+        self.gauges.iter().any(|g| g.gauge.name() == name)
+    }
+
+    /// Names of all deployed gauges (active or warming up).
+    pub fn gauge_names(&self) -> Vec<String> {
+        self.gauges
+            .iter()
+            .map(|g| g.gauge.name().to_string())
+            .collect()
+    }
+
+    /// Names of gauges that are active (past their warm-up) at `now`.
+    pub fn active_gauges(&self, now: f64) -> Vec<String> {
+        self.gauges
+            .iter()
+            .filter(|g| g.active_at <= now)
+            .map(|g| g.gauge.name().to_string())
+            .collect()
+    }
+
+    /// Dispatches a probe event to every *active* interested gauge.
+    pub fn dispatch(&mut self, event: &ProbeEvent) {
+        let topic = event.topic();
+        for managed in &mut self.gauges {
+            if event.time >= managed.active_at && topic.starts_with(&managed.gauge.interest()) {
+                managed.gauge.consume(event);
+            }
+        }
+    }
+
+    /// Collects the readings of every active gauge at time `now`.
+    pub fn collect(&mut self, now: f64) -> Vec<GaugeReading> {
+        let mut out = Vec::new();
+        for managed in &mut self.gauges {
+            if managed.active_at <= now {
+                out.extend(managed.gauge.report(now));
+            }
+        }
+        out
+    }
+
+    /// Number of gauge creations requested.
+    pub fn creation_count(&self) -> u64 {
+        self.creations
+    }
+
+    /// Number of creations satisfied from the cache.
+    pub fn cache_hit_count(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Number of gauge deletions.
+    pub fn deletion_count(&self) -> u64 {
+        self.deletions
+    }
+}
+
+/// A consumer of gauge readings (top level of Figure 4). The architecture
+/// manager is the principal consumer; [`RecordingConsumer`] is provided for
+/// tests and for logging what the gauges reported.
+pub trait GaugeConsumer {
+    /// Handles one reading.
+    fn consume(&mut self, reading: &GaugeReading);
+}
+
+/// A consumer that simply records everything it sees.
+#[derive(Debug, Default)]
+pub struct RecordingConsumer {
+    readings: Vec<GaugeReading>,
+}
+
+impl RecordingConsumer {
+    /// Creates an empty recording consumer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The readings recorded so far.
+    pub fn readings(&self) -> &[GaugeReading] {
+        &self.readings
+    }
+}
+
+impl GaugeConsumer for RecordingConsumer {
+    fn consume(&mut self, reading: &GaugeReading) {
+        self.readings.push(reading.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_event(time: f64, client: &str, seconds: f64) -> ProbeEvent {
+        ProbeEvent::new(
+            time,
+            "aide",
+            Measurement::RequestLatency {
+                client: client.into(),
+                seconds,
+            },
+        )
+    }
+
+    #[test]
+    fn average_latency_gauge_reports_window_mean() {
+        let mut gauge = AverageLatencyGauge::new("User1", 30.0);
+        gauge.consume(&latency_event(0.0, "User1", 1.0));
+        gauge.consume(&latency_event(1.0, "User1", 3.0));
+        gauge.consume(&latency_event(2.0, "User2", 100.0)); // other client: ignored
+        let readings = gauge.report(5.0);
+        assert_eq!(readings.len(), 1);
+        assert_eq!(readings[0].property, "averageLatency");
+        assert_eq!(readings[0].target, "User1");
+        assert!((readings[0].value - 2.0).abs() < 1e-12);
+        assert_eq!(readings[0].topic(), "gauge/averageLatency/User1");
+    }
+
+    #[test]
+    fn latency_gauge_forgets_old_samples() {
+        let mut gauge = AverageLatencyGauge::new("User1", 10.0);
+        gauge.consume(&latency_event(0.0, "User1", 9.0));
+        gauge.consume(&latency_event(100.0, "User1", 1.0));
+        let readings = gauge.report(100.0);
+        assert!((readings[0].value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_gauge_reports_nothing() {
+        let mut gauge = AverageLatencyGauge::new("User1", 10.0);
+        assert!(gauge.report(1.0).is_empty());
+        let mut load = LoadGauge::new("ServerGrp1");
+        assert!(load.report(1.0).is_empty());
+    }
+
+    #[test]
+    fn load_gauge_reports_latest_queue_length() {
+        let mut gauge = LoadGauge::new("ServerGrp1");
+        gauge.consume(&ProbeEvent::new(
+            1.0,
+            "queue-probe",
+            Measurement::QueueLength {
+                group: "ServerGrp1".into(),
+                length: 4,
+            },
+        ));
+        gauge.consume(&ProbeEvent::new(
+            2.0,
+            "queue-probe",
+            Measurement::QueueLength {
+                group: "ServerGrp1".into(),
+                length: 9,
+            },
+        ));
+        let readings = gauge.report(3.0);
+        assert_eq!(readings[0].value, 9.0);
+        assert_eq!(readings[0].property, "load");
+    }
+
+    #[test]
+    fn bandwidth_gauge_targets_the_role() {
+        let mut gauge = BandwidthGauge::new("User3", "ServerGrp1", "User3.role");
+        gauge.consume(&ProbeEvent::new(
+            1.0,
+            "remos",
+            Measurement::Bandwidth {
+                client: "User3".into(),
+                group: "ServerGrp1".into(),
+                bps: 9e6,
+            },
+        ));
+        let readings = gauge.report(2.0);
+        assert_eq!(readings[0].target, "User3.role");
+        assert_eq!(readings[0].property, "bandwidth");
+        assert_eq!(readings[0].value, 9e6);
+        assert_eq!(gauge.client(), "User3");
+        assert_eq!(gauge.group(), "ServerGrp1");
+    }
+
+    #[test]
+    fn gauge_manager_charges_creation_delay() {
+        let mut mgr = GaugeManager::new(GaugeLifecycleConfig::default());
+        let active_at = mgr.create(10.0, Box::new(AverageLatencyGauge::new("User1", 30.0)));
+        assert!((active_at - 22.0).abs() < 1e-12);
+        // Before warm-up the gauge neither consumes nor reports.
+        mgr.dispatch(&latency_event(11.0, "User1", 1.0));
+        assert!(mgr.collect(11.0).is_empty());
+        assert!(mgr.active_gauges(11.0).is_empty());
+        // After warm-up it does.
+        mgr.dispatch(&latency_event(23.0, "User1", 1.0));
+        assert_eq!(mgr.collect(23.0).len(), 1);
+        assert_eq!(mgr.active_gauges(23.0).len(), 1);
+    }
+
+    #[test]
+    fn gauge_manager_cache_reduces_recreation_cost() {
+        let config = GaugeLifecycleConfig {
+            cache_gauges: true,
+            ..GaugeLifecycleConfig::default()
+        };
+        let mut mgr = GaugeManager::new(config);
+        mgr.create(0.0, Box::new(LoadGauge::new("ServerGrp1")));
+        mgr.delete(20.0, "load-gauge/ServerGrp1").unwrap();
+        // Re-creating the same gauge hits the cache and is far cheaper.
+        let active_at = mgr.create(30.0, Box::new(LoadGauge::new("ServerGrp1")));
+        assert!((active_at - 30.5).abs() < 1e-12);
+        assert_eq!(mgr.cache_hit_count(), 1);
+        assert_eq!(mgr.creation_count(), 2);
+        assert_eq!(mgr.deletion_count(), 1);
+    }
+
+    #[test]
+    fn uncached_manager_pays_full_cost_every_time() {
+        let mut mgr = GaugeManager::new(GaugeLifecycleConfig::default());
+        mgr.create(0.0, Box::new(LoadGauge::new("ServerGrp1")));
+        mgr.delete(20.0, "load-gauge/ServerGrp1").unwrap();
+        let active_at = mgr.create(30.0, Box::new(LoadGauge::new("ServerGrp1")));
+        assert!((active_at - 42.0).abs() < 1e-12);
+        assert_eq!(mgr.cache_hit_count(), 0);
+    }
+
+    #[test]
+    fn delete_unknown_gauge_returns_none() {
+        let mut mgr = GaugeManager::new(GaugeLifecycleConfig::default());
+        assert!(mgr.delete(0.0, "nope").is_none());
+        assert!(!mgr.has_gauge("nope"));
+    }
+
+    #[test]
+    fn recording_consumer_captures_readings() {
+        let mut consumer = RecordingConsumer::new();
+        consumer.consume(&GaugeReading {
+            time: 1.0,
+            gauge: "g".into(),
+            target: "User1".into(),
+            property: "averageLatency".into(),
+            value: 1.5,
+        });
+        assert_eq!(consumer.readings().len(), 1);
+        assert_eq!(consumer.readings()[0].value, 1.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! # monitoring — the probe/gauge monitoring infrastructure
+//!
+//! The paper bridges system-level behaviour and architecture-level
+//! observations with a three-level monitoring infrastructure (Figure 4):
+//! *probes* deployed in the target system announce observations on a probe
+//! bus; *gauges* interpret probe measurements as higher-level model
+//! properties and disseminate them on a gauge reporting bus; *gauge
+//! consumers* (chiefly the architecture manager) use those readings to update
+//! the model and make repair decisions.
+//!
+//! This crate provides:
+//! * [`bus`] — deterministic topic-filtered publish/subscribe buses with an
+//!   optional delivery delay (monitoring traffic shares the network),
+//! * [`probe`] — the observation vocabulary probes publish,
+//! * [`gauge`] — gauges (average latency, load, bandwidth), the gauge
+//!   lifecycle with its creation/deletion costs, and gauge consumers,
+//! * [`consumer`] — a ready-made pipeline wiring buses, gauges, and consumers
+//!   together,
+//! * [`window`] — sliding-window aggregation.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod consumer;
+pub mod gauge;
+pub mod probe;
+pub mod window;
+
+pub use bus::{Bus, BusMessage, SubscriptionId};
+pub use consumer::MonitoringPipeline;
+pub use gauge::{
+    AverageLatencyGauge, BandwidthGauge, Gauge, GaugeConsumer, GaugeLifecycleConfig, GaugeManager,
+    GaugeReading, LoadGauge, RecordingConsumer,
+};
+pub use probe::{Measurement, ProbeEvent};
+pub use window::SlidingWindow;

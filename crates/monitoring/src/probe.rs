@@ -1,0 +1,174 @@
+//! Probes: low-level observations of the target system.
+//!
+//! Probes are "deployed" in the target system or physical environment and
+//! announce observations via the probe bus (§3.1). In the reproduction the
+//! concrete probes live with the grid application (crate `gridapp`), which
+//! reads simulator state; this module defines the observation vocabulary and
+//! the topics they are published under.
+
+use serde::{Deserialize, Serialize};
+
+/// A single low-level observation emitted by a probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Measurement {
+    /// A client finished a request/response exchange with the given
+    /// end-to-end latency.
+    RequestLatency {
+        /// The client's name.
+        client: String,
+        /// Observed latency in seconds.
+        seconds: f64,
+    },
+    /// The pending-request queue length of a server group (the paper's
+    /// measure of server load).
+    QueueLength {
+        /// The server group's name.
+        group: String,
+        /// Number of requests waiting.
+        length: usize,
+    },
+    /// Predicted bandwidth between a client and a server group, as returned
+    /// by the Remos-like query.
+    Bandwidth {
+        /// The client's name.
+        client: String,
+        /// The server group's name.
+        group: String,
+        /// Bandwidth in bits per second.
+        bps: f64,
+    },
+    /// Number of active servers in a group.
+    ActiveServers {
+        /// The server group's name.
+        group: String,
+        /// Active replica count.
+        count: usize,
+    },
+}
+
+impl Measurement {
+    /// The bus topic this measurement is published under.
+    pub fn topic(&self) -> String {
+        match self {
+            Measurement::RequestLatency { client, .. } => format!("probe/latency/{client}"),
+            Measurement::QueueLength { group, .. } => format!("probe/load/{group}"),
+            Measurement::Bandwidth { client, group, .. } => {
+                format!("probe/bandwidth/{client}/{group}")
+            }
+            Measurement::ActiveServers { group, .. } => format!("probe/servers/{group}"),
+        }
+    }
+
+    /// The numeric value carried by the measurement.
+    pub fn value(&self) -> f64 {
+        match self {
+            Measurement::RequestLatency { seconds, .. } => *seconds,
+            Measurement::QueueLength { length, .. } => *length as f64,
+            Measurement::Bandwidth { bps, .. } => *bps,
+            Measurement::ActiveServers { count, .. } => *count as f64,
+        }
+    }
+}
+
+/// An observation announced on the probe bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeEvent {
+    /// Simulated time of the observation (seconds).
+    pub time: f64,
+    /// The reporting probe's name (e.g. `"aide/User3"`, `"remos/R2"`).
+    pub probe: String,
+    /// The observation itself.
+    pub measurement: Measurement,
+}
+
+impl ProbeEvent {
+    /// Convenience constructor.
+    pub fn new(time: f64, probe: impl Into<String>, measurement: Measurement) -> Self {
+        ProbeEvent {
+            time,
+            probe: probe.into(),
+            measurement,
+        }
+    }
+
+    /// The topic this event is published under.
+    pub fn topic(&self) -> String {
+        self.measurement.topic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topics_follow_the_naming_scheme() {
+        assert_eq!(
+            Measurement::RequestLatency {
+                client: "User3".into(),
+                seconds: 1.2
+            }
+            .topic(),
+            "probe/latency/User3"
+        );
+        assert_eq!(
+            Measurement::QueueLength {
+                group: "ServerGrp1".into(),
+                length: 7
+            }
+            .topic(),
+            "probe/load/ServerGrp1"
+        );
+        assert_eq!(
+            Measurement::Bandwidth {
+                client: "User3".into(),
+                group: "ServerGrp2".into(),
+                bps: 1e6
+            }
+            .topic(),
+            "probe/bandwidth/User3/ServerGrp2"
+        );
+        assert_eq!(
+            Measurement::ActiveServers {
+                group: "ServerGrp1".into(),
+                count: 3
+            }
+            .topic(),
+            "probe/servers/ServerGrp1"
+        );
+    }
+
+    #[test]
+    fn values_extracted_per_variant() {
+        assert_eq!(
+            Measurement::RequestLatency {
+                client: "c".into(),
+                seconds: 2.5
+            }
+            .value(),
+            2.5
+        );
+        assert_eq!(
+            Measurement::QueueLength {
+                group: "g".into(),
+                length: 4
+            }
+            .value(),
+            4.0
+        );
+    }
+
+    #[test]
+    fn probe_event_topic_delegates_to_measurement() {
+        let e = ProbeEvent::new(
+            1.0,
+            "aide/User1",
+            Measurement::RequestLatency {
+                client: "User1".into(),
+                seconds: 0.3,
+            },
+        );
+        assert_eq!(e.topic(), "probe/latency/User1");
+        assert_eq!(e.probe, "aide/User1");
+    }
+}

@@ -1,0 +1,132 @@
+//! Sliding time windows for gauge aggregation.
+
+use std::collections::VecDeque;
+
+/// A sliding window over (time, value) samples keeping only samples newer
+/// than a fixed horizon.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    horizon_secs: f64,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl SlidingWindow {
+    /// Creates a window keeping samples from the last `horizon_secs` seconds.
+    pub fn new(horizon_secs: f64) -> Self {
+        assert!(horizon_secs > 0.0, "window horizon must be positive");
+        SlidingWindow {
+            horizon_secs,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Adds a sample and evicts samples older than the horizon.
+    pub fn push(&mut self, time_secs: f64, value: f64) {
+        self.samples.push_back((time_secs, value));
+        self.evict(time_secs);
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, _)) = self.samples.front() {
+            if now - t > self.horizon_secs {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evicts stale samples relative to `now` without adding one.
+    pub fn advance(&mut self, now: f64) {
+        self.evict(now);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the samples in the window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64)
+    }
+
+    /// Maximum sample in the window.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Most recent sample value.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.back().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_recent_samples_only() {
+        let mut w = SlidingWindow::new(10.0);
+        w.push(0.0, 100.0);
+        w.push(5.0, 2.0);
+        w.push(20.0, 4.0); // evicts both earlier samples (0.0 and 5.0)
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_window_reports_none() {
+        let w = SlidingWindow::new(5.0);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.max(), None);
+        assert_eq!(w.last(), None);
+    }
+
+    #[test]
+    fn advance_evicts_without_adding() {
+        let mut w = SlidingWindow::new(10.0);
+        w.push(0.0, 1.0);
+        w.push(1.0, 2.0);
+        w.advance(100.0);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn max_and_last() {
+        let mut w = SlidingWindow::new(100.0);
+        w.push(0.0, 3.0);
+        w.push(1.0, 7.0);
+        w.push(2.0, 5.0);
+        assert_eq!(w.max(), Some(7.0));
+        assert_eq!(w.last(), Some(5.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn boundary_sample_exactly_at_horizon_is_kept() {
+        let mut w = SlidingWindow::new(10.0);
+        w.push(0.0, 1.0);
+        w.push(10.0, 2.0);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_horizon_rejected() {
+        SlidingWindow::new(0.0);
+    }
+}

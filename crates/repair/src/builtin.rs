@@ -1,0 +1,505 @@
+//! The paper's repair strategies and tactics (Figure 5).
+//!
+//! The latency invariant `averageLatency <= maxLatency` triggers the
+//! `fixLatency` strategy, which consists of two tactics:
+//!
+//! * `fixServerLoad` — if the client's server group is overloaded (queue
+//!   length above `maxServerLoad`), add a server to every overloaded group;
+//! * `fixBandwidth` — if the client's connection bandwidth has dropped below
+//!   `minBandwidth`, move the client to the server group with the best
+//!   bandwidth (`findGoodSGrp`), aborting with `NoServerGroupFound` if none
+//!   qualifies.
+//!
+//! A third repair (mentioned but not shown in the paper) reduces the number
+//! of servers in an underutilised group: `reduceServers`.
+
+use crate::operators::{add_server, move_client, remove_server};
+use crate::query::RuntimeQuery;
+use crate::strategy::{RepairStrategy, TacticPolicy};
+use crate::tactic::{client_of_violation, RepairError, Tactic, TacticContext, TacticResult};
+use archmodel::constraint::{ConstraintScope, ConstraintSet, Invariant};
+use archmodel::style::{props, ClientServerStyle, CLIENT_ROLE_T, CLIENT_T, SERVER_GROUP_T};
+use archmodel::{System, Transaction};
+
+/// Default threshold for server-group load (pending requests). The paper: a
+/// queue of more than six waiting requests indicates overload.
+pub const DEFAULT_MAX_SERVER_LOAD: f64 = 6.0;
+/// Default minimum acceptable client bandwidth. The paper: 10 Kbps.
+pub const DEFAULT_MIN_BANDWIDTH_BPS: f64 = 10_000.0;
+/// Default latency bound. The paper: 2 seconds.
+pub const DEFAULT_MAX_LATENCY_SECS: f64 = 2.0;
+
+fn system_threshold(model: &System, name: &str, default: f64) -> f64 {
+    model.properties.get_f64(name).unwrap_or(default)
+}
+
+/// The server groups connected to `client` whose load exceeds the
+/// `maxServerLoad` threshold.
+fn overloaded_groups_of(model: &System, client: &str) -> Vec<String> {
+    let max_load = system_threshold(model, props::MAX_SERVER_LOAD, DEFAULT_MAX_SERVER_LOAD);
+    let Some(client_id) = model.component_by_name(client) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (id, comp) in model.components_of_type(SERVER_GROUP_T) {
+        if !model.connected(client_id, id) {
+            continue;
+        }
+        if comp.properties.get_f64(props::LOAD).unwrap_or(0.0) > max_load {
+            out.push(comp.name.clone());
+        }
+    }
+    out
+}
+
+/// The bandwidth currently recorded on the client's role, if known.
+fn client_role_bandwidth(model: &System, client: &str) -> Option<f64> {
+    let client_id = model.component_by_name(client)?;
+    for role_id in model.roles_of_component(client_id) {
+        let role = model.role(role_id).ok()?;
+        if role.rtype == CLIENT_ROLE_T {
+            if let Some(bw) = role.properties.get_f64(props::BANDWIDTH) {
+                return Some(bw);
+            }
+        }
+    }
+    None
+}
+
+/// `fixServerLoad` (Figure 5, lines 16–26): add a server to every overloaded
+/// server group connected to the client.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FixServerLoadTactic;
+
+impl Tactic for FixServerLoadTactic {
+    fn name(&self) -> &str {
+        "fixServerLoad"
+    }
+
+    fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+        let Some(client) = client_of_violation(ctx.model, ctx.violation) else {
+            return Ok(TacticResult::NotApplicable {
+                reason: "violation does not identify a client".into(),
+            });
+        };
+        let overloaded = overloaded_groups_of(ctx.model, &client);
+        if overloaded.is_empty() {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("no overloaded server group connected to {client}"),
+            });
+        }
+        // Only groups for which the runtime can actually recruit a spare
+        // server can be repaired this way.
+        let repairable: Vec<String> = overloaded
+            .iter()
+            .filter(|g| ctx.query.find_spare_server(g).is_some())
+            .cloned()
+            .collect();
+        if repairable.is_empty() {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!(
+                    "server groups {overloaded:?} are overloaded but no spare server is available"
+                ),
+            });
+        }
+        let mut tx = Transaction::new(ctx.model);
+        let mut added = Vec::new();
+        for group in &repairable {
+            let server = add_server(&mut tx, group)?;
+            added.push(server);
+        }
+        Ok(TacticResult::Applied {
+            ops: tx.ops().to_vec(),
+            description: format!("added servers {added:?} to overloaded groups {repairable:?}"),
+        })
+    }
+}
+
+/// `fixBandwidth` (Figure 5, lines 28–42): if the client's bandwidth is below
+/// `minBandwidth`, move it to the server group with the best bandwidth.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FixBandwidthTactic;
+
+impl Tactic for FixBandwidthTactic {
+    fn name(&self) -> &str {
+        "fixBandwidth"
+    }
+
+    fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+        let Some(client) = client_of_violation(ctx.model, ctx.violation) else {
+            return Ok(TacticResult::NotApplicable {
+                reason: "violation does not identify a client".into(),
+            });
+        };
+        let min_bandwidth =
+            system_threshold(ctx.model, props::MIN_BANDWIDTH, DEFAULT_MIN_BANDWIDTH_BPS);
+        // Precondition (lines 30–31): the role bandwidth must be below the
+        // minimum for this tactic to apply.
+        if let Some(bw) = client_role_bandwidth(ctx.model, &client) {
+            if bw >= min_bandwidth {
+                return Ok(TacticResult::NotApplicable {
+                    reason: format!(
+                        "bandwidth {bw:.0} bps for {client} is above the {min_bandwidth:.0} bps minimum"
+                    ),
+                });
+            }
+        } else {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("no bandwidth observation for {client} yet"),
+            });
+        }
+        // findGoodSGrp (lines 35–36).
+        let Some(good_group) = ctx.query.find_good_server_group(&client, min_bandwidth) else {
+            return Err(RepairError::NoServerGroupFound);
+        };
+        // Moving to the group the client already uses would be a no-op.
+        let client_id = ctx
+            .model
+            .component_by_name(&client)
+            .ok_or(RepairError::NoServerGroupFound)?;
+        let current = ClientServerStyle::group_of_client(ctx.model, client_id)
+            .and_then(|g| ctx.model.component(g).ok())
+            .map(|g| g.name.clone());
+        if current.as_deref() == Some(good_group.as_str()) {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("{client} is already connected to {good_group}"),
+            });
+        }
+        let mut tx = Transaction::new(ctx.model);
+        move_client(&mut tx, &client, &good_group)?;
+        Ok(TacticResult::Applied {
+            ops: tx.ops().to_vec(),
+            description: format!("moved {client} to {good_group}"),
+        })
+    }
+}
+
+/// The third repair (not shown in the paper's Figure 5): remove a server from
+/// an underutilised server group to keep the set of active servers minimal.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceServersTactic {
+    /// A group is underutilised when its load is at or below this value.
+    pub low_load_threshold: f64,
+    /// Never shrink a group below this many servers.
+    pub min_servers: usize,
+}
+
+impl Default for ReduceServersTactic {
+    fn default() -> Self {
+        ReduceServersTactic {
+            low_load_threshold: 1.0,
+            min_servers: 1,
+        }
+    }
+}
+
+impl Tactic for ReduceServersTactic {
+    fn name(&self) -> &str {
+        "reduceServers"
+    }
+
+    fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+        // Find any underutilised group with more than the minimum number of
+        // servers.
+        let mut candidate: Option<(String, String)> = None;
+        for (id, comp) in ctx.model.components_of_type(SERVER_GROUP_T) {
+            let load = comp.properties.get_f64(props::LOAD).unwrap_or(f64::INFINITY);
+            if load > self.low_load_threshold {
+                continue;
+            }
+            let children = ctx.model.children_of(id).unwrap_or_default();
+            if children.len() <= self.min_servers {
+                continue;
+            }
+            // Remove the most recently added server.
+            if let Some(last) = children.last() {
+                if let Ok(server) = ctx.model.component(*last) {
+                    candidate = Some((comp.name.clone(), server.name.clone()));
+                    break;
+                }
+            }
+        }
+        let Some((group, server)) = candidate else {
+            return Ok(TacticResult::NotApplicable {
+                reason: "no underutilised server group with removable servers".into(),
+            });
+        };
+        let mut tx = Transaction::new(ctx.model);
+        remove_server(&mut tx, &server)?;
+        Ok(TacticResult::Applied {
+            ops: tx.ops().to_vec(),
+            description: format!("removed {server} from underutilised group {group}"),
+        })
+    }
+}
+
+/// Builds the paper's `fixLatency` strategy: try `fixServerLoad` first, then
+/// `fixBandwidth` (the paper's experiment prioritised server-load repairs).
+pub fn fix_latency_strategy() -> RepairStrategy {
+    RepairStrategy::new("fixLatency", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(FixServerLoadTactic))
+        .with_tactic(Box::new(FixBandwidthTactic))
+}
+
+/// Builds a variant of `fixLatency` that tries the bandwidth repair first —
+/// used by the tactic-ordering ablation (§7 discusses choosing the tactic
+/// that contributes most to the latency).
+pub fn fix_latency_bandwidth_first_strategy() -> RepairStrategy {
+    RepairStrategy::new("fixLatency-bandwidthFirst", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(FixBandwidthTactic))
+        .with_tactic(Box::new(FixServerLoadTactic))
+}
+
+/// Builds the cost-reduction strategy for underutilised groups.
+pub fn reduce_servers_strategy() -> RepairStrategy {
+    RepairStrategy::new("reduceServers", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(ReduceServersTactic::default()))
+}
+
+/// The constraint set of the paper's example: the latency invariant per
+/// client (line 1 of Figure 5), plus observability constraints for load and
+/// bandwidth used by dashboards and the ablations.
+pub fn default_constraints() -> ConstraintSet {
+    ConstraintSet::new()
+        .with(
+            Invariant::parse(
+                "latency",
+                ConstraintScope::EachComponent(CLIENT_T.into()),
+                "self.averageLatency <= maxLatency",
+            )
+            .expect("latency invariant parses"),
+        )
+        .with(
+            Invariant::parse(
+                "serverLoad",
+                ConstraintScope::EachComponent(SERVER_GROUP_T.into()),
+                "self.load <= maxServerLoad",
+            )
+            .expect("load invariant parses"),
+        )
+        .with(
+            Invariant::parse(
+                "bandwidth",
+                ConstraintScope::EachRole(CLIENT_ROLE_T.into()),
+                "self.bandwidth >= minBandwidth",
+            )
+            .expect("bandwidth invariant parses"),
+        )
+}
+
+/// Resolves the strategy that should handle a violation of the given
+/// invariant, mirroring line 2 of Figure 5 (`! → fixLatency(r)`).
+pub fn strategy_for_invariant(invariant: &str) -> Option<RepairStrategy> {
+    match invariant {
+        "latency" | "bandwidth" | "serverLoad" => Some(fix_latency_strategy()),
+        "underutilised" => Some(reduce_servers_strategy()),
+        _ => None,
+    }
+}
+
+/// Convenience used by tests and the ablation benches: run `fixLatency` for a
+/// violation and return the outcome.
+pub fn run_fix_latency(
+    model: &System,
+    violation: &archmodel::constraint::Violation,
+    query: &dyn RuntimeQuery,
+) -> crate::strategy::StrategyOutcome {
+    fix_latency_strategy().run(model, violation, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::StaticQuery;
+    use crate::strategy::StrategyOutcome;
+    use archmodel::constraint::Violation;
+    use archmodel::ElementRef;
+
+    /// Paper-like model: 2 groups, 3 servers each, 6 clients; User3 violates
+    /// the latency bound. Group loads and role bandwidths are configurable.
+    fn scenario(group1_load: i64, user3_bandwidth: f64) -> (System, Violation) {
+        let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).unwrap();
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        model
+            .component_mut(g1)
+            .unwrap()
+            .properties
+            .set(props::LOAD, group1_load);
+        let g2 = model.component_by_name("ServerGrp2").unwrap();
+        model.component_mut(g2).unwrap().properties.set(props::LOAD, 0i64);
+        // User3 is on ServerGrp1 (round robin: 1→G1, 2→G2, 3→G1, ...).
+        let user3 = model.component_by_name("User3").unwrap();
+        model
+            .component_mut(user3)
+            .unwrap()
+            .properties
+            .set(props::AVERAGE_LATENCY, 5.0);
+        for role_id in model.roles_of_component(user3) {
+            model
+                .role_mut(role_id)
+                .unwrap()
+                .properties
+                .set(props::BANDWIDTH, user3_bandwidth);
+        }
+        let violation = Violation {
+            invariant: "latency".into(),
+            subject: Some(ElementRef::Component(user3)),
+            subject_name: "User3".into(),
+            detail: "self.averageLatency <= maxLatency".into(),
+        };
+        (model, violation)
+    }
+
+    #[test]
+    fn overloaded_group_triggers_add_server() {
+        let (model, violation) = scenario(20, 1e6);
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4"]);
+        let outcome = run_fix_latency(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics,
+                description,
+                ops,
+            } => {
+                assert_eq!(applied_tactics, vec!["fixServerLoad".to_string()]);
+                assert!(description.contains("ServerGrp1"));
+                assert!(!ops.is_empty());
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_bandwidth_triggers_move_when_load_is_fine() {
+        let (model, violation) = scenario(2, 3_000.0);
+        let query = StaticQuery::new()
+            .with_bandwidth("User3", "ServerGrp1", 3_000.0)
+            .with_bandwidth("User3", "ServerGrp2", 2_000_000.0);
+        let outcome = run_fix_latency(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics,
+                description,
+                ..
+            } => {
+                assert_eq!(applied_tactics, vec!["fixBandwidth".to_string()]);
+                assert!(description.contains("ServerGrp2"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_without_spares_falls_through_to_bandwidth() {
+        let (model, violation) = scenario(20, 3_000.0);
+        // No spare servers anywhere, but ServerGrp2 has good bandwidth.
+        let query = StaticQuery::new()
+            .with_bandwidth("User3", "ServerGrp2", 5_000_000.0);
+        let outcome = run_fix_latency(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics, ..
+            } => assert_eq!(applied_tactics, vec!["fixBandwidth".to_string()]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_good_group_aborts_with_no_server_group_found() {
+        let (model, violation) = scenario(2, 3_000.0);
+        // Bandwidth everywhere is terrible.
+        let query = StaticQuery::new().with_bandwidth("User3", "ServerGrp2", 1_000.0);
+        let outcome = run_fix_latency(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Aborted { reason } => assert!(reason.contains("NoServerGroupFound")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_client_yields_no_applicable_tactic() {
+        let (model, violation) = scenario(2, 5_000_000.0);
+        let query = StaticQuery::new();
+        let outcome = run_fix_latency(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::NoApplicableTactic { reasons } => assert_eq!(reasons.len(), 2),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn moving_to_the_same_group_is_not_a_repair() {
+        let (model, violation) = scenario(2, 3_000.0);
+        // Best group is the one the client is already on.
+        let query = StaticQuery::new().with_bandwidth("User3", "ServerGrp1", 9e6);
+        let outcome = run_fix_latency(&model, &violation, &query);
+        assert!(matches!(outcome, StrategyOutcome::NoApplicableTactic { .. }));
+    }
+
+    #[test]
+    fn bandwidth_first_ordering_prefers_move() {
+        let (model, violation) = scenario(20, 3_000.0);
+        let query = StaticQuery::new()
+            .with_spares("ServerGrp1", &["S4"])
+            .with_bandwidth("User3", "ServerGrp2", 5e6);
+        let outcome = fix_latency_bandwidth_first_strategy().run(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics, ..
+            } => assert_eq!(applied_tactics, vec!["fixBandwidth".to_string()]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_servers_removes_from_idle_group() {
+        let (mut model, _) = scenario(0, 1e6);
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        model.component_mut(g1).unwrap().properties.set(props::LOAD, 0i64);
+        let violation = Violation {
+            invariant: "underutilised".into(),
+            subject: None,
+            subject_name: "storage".into(),
+            detail: String::new(),
+        };
+        let outcome = reduce_servers_strategy().run(&model, &violation, &StaticQuery::new());
+        match outcome {
+            StrategyOutcome::Repaired { description, .. } => {
+                assert!(description.contains("removed"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reduce_servers_never_empties_a_group() {
+        let mut model = System::new("tiny");
+        let g = ClientServerStyle::add_server_group(&mut model, "G1", 1).unwrap();
+        let c = ClientServerStyle::add_client(&mut model, "U1").unwrap();
+        ClientServerStyle::connect_client(&mut model, c, g).unwrap();
+        model.component_mut(g).unwrap().properties.set(props::LOAD, 0i64);
+        let violation = Violation {
+            invariant: "underutilised".into(),
+            subject: None,
+            subject_name: "tiny".into(),
+            detail: String::new(),
+        };
+        let outcome = reduce_servers_strategy().run(&model, &violation, &StaticQuery::new());
+        assert!(matches!(outcome, StrategyOutcome::NoApplicableTactic { .. }));
+    }
+
+    #[test]
+    fn default_constraints_detect_latency_violation() {
+        let (model, _) = scenario(2, 1e6);
+        let report = default_constraints().check(&model);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].subject_name, "User3");
+    }
+
+    #[test]
+    fn strategy_lookup_by_invariant() {
+        assert!(strategy_for_invariant("latency").is_some());
+        assert!(strategy_for_invariant("underutilised").is_some());
+        assert!(strategy_for_invariant("unknown").is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! The repair engine: from constraint violations to committed repair plans.
+//!
+//! The engine owns the mapping from invariants to repair strategies, the
+//! policy for choosing which outstanding violation to repair, and the
+//! (optional) damping that suppresses repairs whose predecessor has not yet
+//! taken effect. It produces a [`RepairPlan`] — the list of model operations
+//! to commit and propagate to the runtime layer — without mutating the model
+//! itself, so the caller controls when the plan is applied.
+
+use crate::damping::RepairDamping;
+use crate::query::RuntimeQuery;
+use crate::selection::{select_violation, SelectionPolicy};
+use crate::strategy::{RepairStrategy, StrategyOutcome};
+use archmodel::constraint::CheckReport;
+use archmodel::{ModelOp, System};
+use std::collections::BTreeMap;
+
+/// A validated repair ready to be committed and translated to runtime
+/// operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairPlan {
+    /// The invariant whose violation triggered the repair.
+    pub invariant: String,
+    /// The subject (usually the client) being repaired.
+    pub subject: String,
+    /// The model operations making up the repair script.
+    pub ops: Vec<ModelOp>,
+    /// Names of the tactics that produced the script.
+    pub tactics: Vec<String>,
+    /// Human-readable description of the repair.
+    pub description: String,
+}
+
+/// The outcome of asking the engine for a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOutcome {
+    /// There was nothing to repair (no violations with a registered
+    /// strategy).
+    Nothing,
+    /// A violation exists but the repair was suppressed (damping window, or
+    /// no strategy could produce a repair).
+    Skipped {
+        /// Why the repair was suppressed.
+        reason: String,
+    },
+    /// A repair plan was produced.
+    Plan(RepairPlan),
+    /// The strategy aborted (e.g. `NoServerGroupFound`); human attention may
+    /// be needed.
+    Aborted {
+        /// The invariant whose repair aborted.
+        invariant: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// The repair engine.
+pub struct RepairEngine {
+    strategies: BTreeMap<String, RepairStrategy>,
+    selection: SelectionPolicy,
+    damping: Option<RepairDamping>,
+    plans_produced: u64,
+    aborts: u64,
+    suppressed: u64,
+}
+
+impl Default for RepairEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RepairEngine {
+    /// Creates an engine with no strategies, first-reported selection, and no
+    /// damping.
+    pub fn new() -> Self {
+        RepairEngine {
+            strategies: BTreeMap::new(),
+            selection: SelectionPolicy::FirstReported,
+            damping: None,
+            plans_produced: 0,
+            aborts: 0,
+            suppressed: 0,
+        }
+    }
+
+    /// Builds the paper's default engine: the `fixLatency` strategy handles
+    /// latency, bandwidth, and server-load violations.
+    pub fn with_paper_defaults() -> Self {
+        let mut engine = Self::new();
+        for invariant in ["latency", "bandwidth", "serverLoad"] {
+            engine.register(invariant, crate::builtin::fix_latency_strategy());
+        }
+        engine
+    }
+
+    /// Registers `strategy` for violations of `invariant`.
+    pub fn register(&mut self, invariant: &str, strategy: RepairStrategy) {
+        self.strategies.insert(invariant.to_string(), strategy);
+    }
+
+    /// Sets the violation-selection policy.
+    pub fn set_selection(&mut self, policy: SelectionPolicy) {
+        self.selection = policy;
+    }
+
+    /// Enables repair damping with the given settle time (seconds).
+    pub fn set_damping(&mut self, damping: Option<RepairDamping>) {
+        self.damping = damping;
+    }
+
+    /// Names of invariants with a registered strategy.
+    pub fn registered_invariants(&self) -> Vec<&str> {
+        self.strategies.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of plans produced so far.
+    pub fn plans_produced(&self) -> u64 {
+        self.plans_produced
+    }
+
+    /// Number of aborted repairs so far.
+    pub fn abort_count(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Number of repairs suppressed by damping.
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Produces a repair plan for the most urgent violation in `report`, if
+    /// any. `now` is used for damping decisions.
+    pub fn plan(
+        &mut self,
+        model: &System,
+        report: &CheckReport,
+        query: &dyn RuntimeQuery,
+        now: f64,
+    ) -> PlanOutcome {
+        // Only violations we know how to repair are considered.
+        let mut candidates: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| self.strategies.contains_key(&v.invariant))
+            .cloned()
+            .collect();
+        if candidates.is_empty() {
+            return PlanOutcome::Nothing;
+        }
+        // Consider the violations in policy order; when the most urgent one
+        // cannot be repaired right now (damping window, no applicable
+        // tactic) fall through to the next one so an unrepairable client
+        // does not starve the others.
+        let mut skip_reasons: Vec<String> = Vec::new();
+        while !candidates.is_empty() {
+            let Some(violation) = select_violation(self.selection, &candidates, model).cloned()
+            else {
+                break;
+            };
+            candidates.retain(|v| {
+                !(v.invariant == violation.invariant && v.subject_name == violation.subject_name)
+            });
+            if let Some(damping) = &self.damping {
+                if !damping.allows(&violation.subject_name, now) {
+                    self.suppressed += 1;
+                    skip_reasons.push(format!(
+                        "repair for {} suppressed for another {:.1} s (settle window)",
+                        violation.subject_name,
+                        damping.remaining(&violation.subject_name, now)
+                    ));
+                    continue;
+                }
+            }
+            let strategy = self
+                .strategies
+                .get(&violation.invariant)
+                .expect("filtered to registered invariants");
+            match strategy.run(model, &violation, query) {
+                StrategyOutcome::Repaired {
+                    ops,
+                    applied_tactics,
+                    description,
+                } => {
+                    if let Some(damping) = &mut self.damping {
+                        damping.record(&violation.subject_name, now);
+                    }
+                    self.plans_produced += 1;
+                    return PlanOutcome::Plan(RepairPlan {
+                        invariant: violation.invariant.clone(),
+                        subject: violation.subject_name.clone(),
+                        ops,
+                        tactics: applied_tactics,
+                        description,
+                    });
+                }
+                StrategyOutcome::NoApplicableTactic { reasons } => {
+                    self.suppressed += 1;
+                    skip_reasons.push(format!(
+                        "no applicable tactic for {}: {}",
+                        violation.subject_name,
+                        reasons.join("; ")
+                    ));
+                }
+                StrategyOutcome::Aborted { reason } => {
+                    self.aborts += 1;
+                    return PlanOutcome::Aborted {
+                        invariant: violation.invariant.clone(),
+                        reason,
+                    };
+                }
+            }
+        }
+        PlanOutcome::Skipped {
+            reason: skip_reasons.join(" | "),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::default_constraints;
+    use crate::query::StaticQuery;
+    use archmodel::style::{props, ClientServerStyle};
+
+    /// Model with User3 violating latency because ServerGrp1 is overloaded.
+    fn overloaded_model() -> System {
+        let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).unwrap();
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        model.component_mut(g1).unwrap().properties.set(props::LOAD, 20i64);
+        let g2 = model.component_by_name("ServerGrp2").unwrap();
+        model.component_mut(g2).unwrap().properties.set(props::LOAD, 0i64);
+        for name in ["User1", "User2", "User4", "User5", "User6"] {
+            let id = model.component_by_name(name).unwrap();
+            model
+                .component_mut(id)
+                .unwrap()
+                .properties
+                .set(props::AVERAGE_LATENCY, 0.5);
+        }
+        let user3 = model.component_by_name("User3").unwrap();
+        model
+            .component_mut(user3)
+            .unwrap()
+            .properties
+            .set(props::AVERAGE_LATENCY, 6.0);
+        for role in model.roles().map(|(id, _)| id).collect::<Vec<_>>() {
+            model
+                .role_mut(role)
+                .unwrap()
+                .properties
+                .set(props::BANDWIDTH, 5e6);
+        }
+        model
+    }
+
+    #[test]
+    fn engine_produces_plan_for_latency_violation() {
+        let model = overloaded_model();
+        let report = default_constraints().check(&model);
+        assert!(!report.is_clean());
+        let mut engine = RepairEngine::with_paper_defaults();
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4"]);
+        match engine.plan(&model, &report, &query, 100.0) {
+            PlanOutcome::Plan(plan) => {
+                // The first reported violation is User3's latency; the
+                // fixServerLoad tactic repairs it by adding a server.
+                assert_eq!(plan.invariant, "latency");
+                assert_eq!(plan.tactics, vec!["fixServerLoad".to_string()]);
+                assert!(!plan.ops.is_empty());
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(engine.plans_produced(), 1);
+    }
+
+    #[test]
+    fn clean_report_yields_nothing() {
+        let model = ClientServerStyle::example_system("storage", 1, 3, 2).unwrap();
+        let report = CheckReport::default();
+        let mut engine = RepairEngine::with_paper_defaults();
+        assert_eq!(
+            engine.plan(&model, &report, &StaticQuery::new(), 0.0),
+            PlanOutcome::Nothing
+        );
+    }
+
+    #[test]
+    fn unregistered_invariants_are_ignored() {
+        let model = overloaded_model();
+        let report = default_constraints().check(&model);
+        let mut engine = RepairEngine::new(); // nothing registered
+        assert_eq!(
+            engine.plan(&model, &report, &StaticQuery::new(), 0.0),
+            PlanOutcome::Nothing
+        );
+        assert!(engine.registered_invariants().is_empty());
+    }
+
+    #[test]
+    fn damping_suppresses_repeated_repairs() {
+        let model = overloaded_model();
+        let report = default_constraints().check(&model);
+        let mut engine = RepairEngine::with_paper_defaults();
+        engine.set_damping(Some(RepairDamping::new(120.0)));
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
+        assert!(matches!(
+            engine.plan(&model, &report, &query, 100.0),
+            PlanOutcome::Plan(_)
+        ));
+        // Immediately after, the same subject is suppressed.
+        match engine.plan(&model, &report, &query, 110.0) {
+            PlanOutcome::Skipped { reason } => assert!(reason.contains("settle")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // The damped client plus the (unrepairable) server-load violation the
+        // engine fell through to were both counted as suppressed.
+        assert!(engine.suppressed_count() >= 1);
+        // After the settle window it is allowed again.
+        assert!(matches!(
+            engine.plan(&model, &report, &query, 300.0),
+            PlanOutcome::Plan(_)
+        ));
+    }
+
+    #[test]
+    fn abort_is_reported_when_no_group_qualifies() {
+        let mut model = overloaded_model();
+        // Make it a pure bandwidth problem with no overload.
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        model.component_mut(g1).unwrap().properties.set(props::LOAD, 0i64);
+        let user3 = model.component_by_name("User3").unwrap();
+        for role in model.roles_of_component(user3) {
+            model
+                .role_mut(role)
+                .unwrap()
+                .properties
+                .set(props::BANDWIDTH, 500.0);
+        }
+        let report = default_constraints().check(&model);
+        let mut engine = RepairEngine::with_paper_defaults();
+        // No bandwidth data ⇒ findGoodSGrp fails ⇒ abort.
+        match engine.plan(&model, &report, &StaticQuery::new(), 0.0) {
+            PlanOutcome::Aborted { reason, .. } => assert!(reason.contains("NoServerGroupFound")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(engine.abort_count(), 1);
+    }
+
+    #[test]
+    fn worst_latency_selection_changes_choice() {
+        let mut model = overloaded_model();
+        // Two violating clients; User5 is worse than User3.
+        let user5 = model.component_by_name("User5").unwrap();
+        model
+            .component_mut(user5)
+            .unwrap()
+            .properties
+            .set(props::AVERAGE_LATENCY, 50.0);
+        let report = default_constraints().check(&model);
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4"]);
+
+        let mut first = RepairEngine::with_paper_defaults();
+        first.set_selection(SelectionPolicy::FirstReported);
+        let mut worst = RepairEngine::with_paper_defaults();
+        worst.set_selection(SelectionPolicy::WorstLatency);
+
+        // Restrict both engines to the per-client latency invariant so the
+        // selection policy (not the invariant order) decides.
+        let latency_only: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.invariant == "latency")
+            .cloned()
+            .collect();
+        let latency_report = CheckReport {
+            violations: latency_only,
+            errors: vec![],
+            evaluated: report.evaluated,
+        };
+        let plan_first = match first.plan(&model, &latency_report, &query, 0.0) {
+            PlanOutcome::Plan(p) => p,
+            other => panic!("unexpected: {other:?}"),
+        };
+        let plan_worst = match worst.plan(&model, &latency_report, &query, 0.0) {
+            PlanOutcome::Plan(p) => p,
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(plan_first.subject, "User3");
+        assert_eq!(plan_worst.subject, "User5");
+    }
+}

@@ -1,0 +1,391 @@
+//! Architecture adaptation operators for the client/server style (§3.3).
+//!
+//! The paper defines three style-specific operators that repair scripts use
+//! to modify the architecture:
+//!
+//! * `addServer()` — applied to a server group, adds a replicated server to
+//!   its representation while keeping the architecture structurally valid;
+//! * `move(to : ServerGroupT)` — applied to a client, deletes the role
+//!   currently connecting it and attaches it to the connector of the target
+//!   server group;
+//! * `remove()` — applied to a server, deletes it from its containing group
+//!   and updates the group's replication count.
+//!
+//! Operators work on a [`Transaction`], so a repair can be validated against
+//! the style and aborted without touching the live model.
+
+use archmodel::style::{props, ClientServerStyle, CLIENT_ROLE_T, SERVER_T};
+use archmodel::{ChangeError, ModelOp, System, Transaction, Value};
+
+/// Errors raised by adaptation operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorError {
+    /// A named element was missing or of the wrong type.
+    BadTarget(String),
+    /// The underlying change could not be applied.
+    Change(ChangeError),
+}
+
+impl From<ChangeError> for OperatorError {
+    fn from(e: ChangeError) -> Self {
+        OperatorError::Change(e)
+    }
+}
+
+impl std::fmt::Display for OperatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OperatorError::BadTarget(m) => write!(f, "bad operator target: {m}"),
+            OperatorError::Change(e) => write!(f, "change failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OperatorError {}
+
+fn next_server_name(model: &System, group_name: &str) -> String {
+    let mut index = 1;
+    loop {
+        let candidate = format!("{group_name}.Server{index}");
+        if model.component_by_name(&candidate).is_none() {
+            return candidate;
+        }
+        index += 1;
+    }
+}
+
+/// `addServer()`: adds a new replicated, active server to `group_name` and
+/// updates the group's `replicationCount`. Returns the new server's name.
+pub fn add_server(tx: &mut Transaction, group_name: &str) -> Result<String, OperatorError> {
+    let group_id = tx
+        .working()
+        .component_by_name(group_name)
+        .ok_or_else(|| OperatorError::BadTarget(format!("server group {group_name} not found")))?;
+    let group = tx.working().component(group_id).map_err(ChangeError::from)?;
+    if group.ctype != archmodel::style::SERVER_GROUP_T {
+        return Err(OperatorError::BadTarget(format!(
+            "{group_name} is a {}, not a server group",
+            group.ctype
+        )));
+    }
+    let server_name = next_server_name(tx.working(), group_name);
+    tx.apply(ModelOp::AddComponent {
+        name: server_name.clone(),
+        ctype: SERVER_T.to_string(),
+        parent: Some(group_name.to_string()),
+    })?;
+    tx.apply(ModelOp::SetComponentProperty {
+        component: server_name.clone(),
+        property: props::IS_ACTIVE.to_string(),
+        value: Value::Bool(true),
+    })?;
+    let count = tx
+        .working()
+        .children_of(group_id)
+        .map_err(ChangeError::from)?
+        .len() as i64;
+    tx.apply(ModelOp::SetComponentProperty {
+        component: group_name.to_string(),
+        property: props::REPLICATION_COUNT.to_string(),
+        value: Value::Int(count),
+    })?;
+    Ok(server_name)
+}
+
+/// `move(to)`: moves `client_name` from its current server group's connector
+/// to the connector of `to_group_name`, deleting the old client role and
+/// creating a fresh one on the target connector. Returns the name of the
+/// connector the client is now attached to.
+pub fn move_client(
+    tx: &mut Transaction,
+    client_name: &str,
+    to_group_name: &str,
+) -> Result<String, OperatorError> {
+    let model = tx.working();
+    let client_id = model
+        .component_by_name(client_name)
+        .ok_or_else(|| OperatorError::BadTarget(format!("client {client_name} not found")))?;
+    let to_group_id = model
+        .component_by_name(to_group_name)
+        .ok_or_else(|| OperatorError::BadTarget(format!("server group {to_group_name} not found")))?;
+    if model
+        .component(to_group_id)
+        .map_err(ChangeError::from)?
+        .ctype
+        != archmodel::style::SERVER_GROUP_T
+    {
+        return Err(OperatorError::BadTarget(format!(
+            "{to_group_name} is not a server group"
+        )));
+    }
+
+    // Locate the client's request port and its current attachment.
+    let port_id = model
+        .component(client_id)
+        .map_err(ChangeError::from)?
+        .ports
+        .iter()
+        .copied()
+        .find(|p| {
+            model
+                .port(*p)
+                .map(|p| p.name == ClientServerStyle::CLIENT_PORT)
+                .unwrap_or(false)
+        })
+        .ok_or_else(|| {
+            OperatorError::BadTarget(format!("client {client_name} has no request port"))
+        })?;
+    let old_role = model
+        .attachments()
+        .iter()
+        .find(|a| a.port == port_id)
+        .map(|a| a.role);
+
+    // Ensure the target group's connector exists. The connector is part of
+    // the style; if missing we create it (and its server-side attachment).
+    let target_conn_name = format!("{to_group_name}.Conn");
+    if model.connector_by_name(&target_conn_name).is_none() {
+        tx.apply(ModelOp::AddConnector {
+            name: target_conn_name.clone(),
+            ctype: archmodel::style::SERVICE_CONN_T.to_string(),
+        })?;
+        tx.apply(ModelOp::AddRole {
+            connector: target_conn_name.clone(),
+            role: "serverSide".to_string(),
+            rtype: archmodel::style::SERVER_ROLE_T.to_string(),
+        })?;
+        tx.apply(ModelOp::Attach {
+            component: to_group_name.to_string(),
+            port: ClientServerStyle::GROUP_PORT.to_string(),
+            connector: target_conn_name.clone(),
+            role: "serverSide".to_string(),
+        })?;
+    }
+
+    // Detach from the old connector and delete the stale role.
+    if let Some(old_role_id) = old_role {
+        let model = tx.working();
+        let role = model.role(old_role_id).map_err(ChangeError::from)?;
+        let old_conn = model.connector(role.owner).map_err(ChangeError::from)?;
+        let old_conn_name = old_conn.name.clone();
+        let old_role_name = role.name.clone();
+        tx.apply(ModelOp::Detach {
+            component: client_name.to_string(),
+            port: ClientServerStyle::CLIENT_PORT.to_string(),
+            connector: old_conn_name.clone(),
+            role: old_role_name.clone(),
+        })?;
+        tx.apply(ModelOp::RemoveRole {
+            connector: old_conn_name,
+            role: old_role_name,
+        })?;
+    }
+
+    // Create a fresh client role on the target connector and attach.
+    let new_role_name = format!("{client_name}.role");
+    tx.apply(ModelOp::AddRole {
+        connector: target_conn_name.clone(),
+        role: new_role_name.clone(),
+        rtype: CLIENT_ROLE_T.to_string(),
+    })?;
+    tx.apply(ModelOp::Attach {
+        component: client_name.to_string(),
+        port: ClientServerStyle::CLIENT_PORT.to_string(),
+        connector: target_conn_name.clone(),
+        role: new_role_name,
+    })?;
+    Ok(target_conn_name)
+}
+
+/// `remove()`: removes `server_name` from its containing server group and
+/// updates the group's `replicationCount`. Returns the group's name.
+pub fn remove_server(tx: &mut Transaction, server_name: &str) -> Result<String, OperatorError> {
+    let model = tx.working();
+    let server_id = model
+        .component_by_name(server_name)
+        .ok_or_else(|| OperatorError::BadTarget(format!("server {server_name} not found")))?;
+    let server = model.component(server_id).map_err(ChangeError::from)?;
+    if server.ctype != SERVER_T {
+        return Err(OperatorError::BadTarget(format!(
+            "{server_name} is a {}, not a server",
+            server.ctype
+        )));
+    }
+    let group_id = server.parent.ok_or_else(|| {
+        OperatorError::BadTarget(format!("server {server_name} has no containing group"))
+    })?;
+    let group_name = model
+        .component(group_id)
+        .map_err(ChangeError::from)?
+        .name
+        .clone();
+    tx.apply(ModelOp::RemoveComponent {
+        name: server_name.to_string(),
+    })?;
+    let count = tx
+        .working()
+        .children_of(group_id)
+        .map_err(ChangeError::from)?
+        .len() as i64;
+    tx.apply(ModelOp::SetComponentProperty {
+        component: group_name.clone(),
+        property: props::REPLICATION_COUNT.to_string(),
+        value: Value::Int(count),
+    })?;
+    Ok(group_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archmodel::style::SERVER_GROUP_T;
+
+    fn example() -> System {
+        ClientServerStyle::example_system("storage", 2, 3, 4).unwrap()
+    }
+
+    #[test]
+    fn add_server_keeps_style_valid() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        let name = add_server(&mut tx, "ServerGrp1").unwrap();
+        assert_eq!(name, "ServerGrp1.Server4");
+        assert!(ClientServerStyle::validate(tx.working()).is_empty());
+        let grp = tx.working().component_by_name("ServerGrp1").unwrap();
+        assert_eq!(
+            tx.working()
+                .component(grp)
+                .unwrap()
+                .properties
+                .get_i64(props::REPLICATION_COUNT),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn add_server_to_unknown_group_fails() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        assert!(matches!(
+            add_server(&mut tx, "Nowhere"),
+            Err(OperatorError::BadTarget(_))
+        ));
+        assert!(tx.is_empty());
+    }
+
+    #[test]
+    fn add_server_to_non_group_fails() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        assert!(matches!(
+            add_server(&mut tx, "User1"),
+            Err(OperatorError::BadTarget(_))
+        ));
+    }
+
+    #[test]
+    fn move_client_changes_group_and_cleans_old_role() {
+        let model = example();
+        // User1 starts on ServerGrp1 (round-robin).
+        let mut tx = Transaction::new(&model);
+        let conn = move_client(&mut tx, "User1", "ServerGrp2").unwrap();
+        assert_eq!(conn, "ServerGrp2.Conn");
+        let working = tx.working();
+        let user = working.component_by_name("User1").unwrap();
+        let grp2 = working.component_by_name("ServerGrp2").unwrap();
+        assert_eq!(ClientServerStyle::group_of_client(working, user), Some(grp2));
+        // The old connector no longer carries a role for User1.
+        let old_conn = working.connector_by_name("ServerGrp1.Conn").unwrap();
+        let stale = working
+            .connector(old_conn)
+            .unwrap()
+            .roles
+            .iter()
+            .filter(|r| working.role(**r).unwrap().name == "User1.role")
+            .count();
+        assert_eq!(stale, 0);
+        assert!(ClientServerStyle::validate(working).is_empty());
+    }
+
+    #[test]
+    fn move_client_creates_connector_when_missing() {
+        let mut model = System::new("min");
+        let c = ClientServerStyle::add_client(&mut model, "User1").unwrap();
+        let g1 = ClientServerStyle::add_server_group(&mut model, "G1", 1).unwrap();
+        ClientServerStyle::add_server_group(&mut model, "G2", 1).unwrap();
+        ClientServerStyle::connect_client(&mut model, c, g1).unwrap();
+        // G2 has no connector yet.
+        assert!(model.connector_by_name("G2.Conn").is_none());
+        let mut tx = Transaction::new(&model);
+        move_client(&mut tx, "User1", "G2").unwrap();
+        assert!(tx.working().connector_by_name("G2.Conn").is_some());
+        assert!(ClientServerStyle::validate(tx.working()).is_empty());
+    }
+
+    #[test]
+    fn move_to_non_group_fails() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        assert!(matches!(
+            move_client(&mut tx, "User1", "User2"),
+            Err(OperatorError::BadTarget(_))
+        ));
+    }
+
+    #[test]
+    fn remove_server_updates_replication_count() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        let group = remove_server(&mut tx, "ServerGrp1.Server3").unwrap();
+        assert_eq!(group, "ServerGrp1");
+        let working = tx.working();
+        let grp = working.component_by_name("ServerGrp1").unwrap();
+        assert_eq!(
+            working
+                .component(grp)
+                .unwrap()
+                .properties
+                .get_i64(props::REPLICATION_COUNT),
+            Some(2)
+        );
+        assert!(ClientServerStyle::validate(working).is_empty());
+    }
+
+    #[test]
+    fn remove_last_server_leaves_invalid_style_detectable() {
+        let mut model = System::new("tiny");
+        let g = ClientServerStyle::add_server_group(&mut model, "G1", 1).unwrap();
+        let c = ClientServerStyle::add_client(&mut model, "U1").unwrap();
+        ClientServerStyle::connect_client(&mut model, c, g).unwrap();
+        let mut tx = Transaction::new(&model);
+        remove_server(&mut tx, "G1.Server1").unwrap();
+        // The operator applied, but the style validator flags the empty group
+        // (the strategy layer uses this to abort the repair).
+        assert!(!ClientServerStyle::validate(tx.working()).is_empty());
+    }
+
+    #[test]
+    fn remove_non_server_fails() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        assert!(matches!(
+            remove_server(&mut tx, "User1"),
+            Err(OperatorError::BadTarget(_))
+        ));
+    }
+
+    #[test]
+    fn committed_ops_replay_onto_live_model() {
+        let mut model = example();
+        let mut tx = Transaction::new(&model);
+        add_server(&mut tx, "ServerGrp2").unwrap();
+        move_client(&mut tx, "User1", "ServerGrp2").unwrap();
+        let ops = tx.commit(&mut model).unwrap();
+        assert!(ops.len() >= 4);
+        let user = model.component_by_name("User1").unwrap();
+        let grp2 = model.component_by_name("ServerGrp2").unwrap();
+        assert_eq!(ClientServerStyle::group_of_client(&model, user), Some(grp2));
+        assert_eq!(model.components_of_type(SERVER_GROUP_T).count(), 2);
+        assert!(ClientServerStyle::validate(&model).is_empty());
+    }
+}

@@ -1,0 +1,118 @@
+//! Queries against the *running system* used by repair tactics.
+//!
+//! Besides operators that change the architectural model, the paper's repair
+//! framework needs queries answered by the runtime layer — most importantly
+//! `findGoodSGroup(cl, bw)`, which *finds the server group with the best
+//! bandwidth (above `bw`) to the client*, and `findServer`, which locates a
+//! spare server that can be activated. These are answered by the environment
+//! manager over Remos in the paper; in the reproduction the adaptation
+//! framework implements this trait over the simulated network.
+
+/// Runtime-layer queries available to repair tactics.
+pub trait RuntimeQuery {
+    /// Finds the server group with the best predicted bandwidth to `client`,
+    /// provided that bandwidth exceeds `min_bandwidth_bps`. Mirrors the
+    /// paper's `findGoodSGroup(cl : ClientT, bw : float)`.
+    fn find_good_server_group(&self, client: &str, min_bandwidth_bps: f64) -> Option<String>;
+
+    /// Predicted bandwidth between a client and a server group, mirroring
+    /// `remos_get_flow`.
+    fn predicted_bandwidth(&self, client: &str, group: &str) -> Option<f64>;
+
+    /// Finds a spare (inactive) server that could be activated for `group`,
+    /// mirroring `findServer([cli_ip, bw_thresh])`. Returns the spare
+    /// server's name.
+    fn find_spare_server(&self, group: &str) -> Option<String>;
+}
+
+/// A scripted [`RuntimeQuery`] used by tests and by model-only experiments:
+/// answers come from fixed tables instead of a live network.
+#[derive(Debug, Clone, Default)]
+pub struct StaticQuery {
+    /// `(client, group)` → predicted bandwidth in bps.
+    pub bandwidth: Vec<((String, String), f64)>,
+    /// group → spare server names available for activation.
+    pub spares: Vec<(String, Vec<String>)>,
+}
+
+impl StaticQuery {
+    /// Creates an empty table (no bandwidth information, no spares).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a predicted bandwidth for a client/group pair.
+    pub fn with_bandwidth(mut self, client: &str, group: &str, bps: f64) -> Self {
+        self.bandwidth
+            .push(((client.to_string(), group.to_string()), bps));
+        self
+    }
+
+    /// Records spare servers for a group.
+    pub fn with_spares(mut self, group: &str, spares: &[&str]) -> Self {
+        self.spares.push((
+            group.to_string(),
+            spares.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+}
+
+impl RuntimeQuery for StaticQuery {
+    fn find_good_server_group(&self, client: &str, min_bandwidth_bps: f64) -> Option<String> {
+        self.bandwidth
+            .iter()
+            .filter(|((c, _), bps)| c == client && *bps > min_bandwidth_bps)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("bandwidth is not NaN"))
+            .map(|((_, g), _)| g.clone())
+    }
+
+    fn predicted_bandwidth(&self, client: &str, group: &str) -> Option<f64> {
+        self.bandwidth
+            .iter()
+            .find(|((c, g), _)| c == client && g == group)
+            .map(|(_, bps)| *bps)
+    }
+
+    fn find_spare_server(&self, group: &str) -> Option<String> {
+        self.spares
+            .iter()
+            .find(|(g, _)| g == group)
+            .and_then(|(_, list)| list.first().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_group_above_threshold() {
+        let q = StaticQuery::new()
+            .with_bandwidth("User3", "ServerGrp1", 5_000.0)
+            .with_bandwidth("User3", "ServerGrp2", 2_000_000.0)
+            .with_bandwidth("User3", "ServerGrp3", 500_000.0);
+        assert_eq!(
+            q.find_good_server_group("User3", 10_000.0),
+            Some("ServerGrp2".to_string())
+        );
+        // Nothing exceeds an absurd threshold.
+        assert_eq!(q.find_good_server_group("User3", 1e9), None);
+        // Unknown client.
+        assert_eq!(q.find_good_server_group("User9", 10.0), None);
+    }
+
+    #[test]
+    fn predicted_bandwidth_lookup() {
+        let q = StaticQuery::new().with_bandwidth("User1", "ServerGrp1", 9e6);
+        assert_eq!(q.predicted_bandwidth("User1", "ServerGrp1"), Some(9e6));
+        assert_eq!(q.predicted_bandwidth("User1", "ServerGrp2"), None);
+    }
+
+    #[test]
+    fn spare_servers() {
+        let q = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
+        assert_eq!(q.find_spare_server("ServerGrp1"), Some("S4".to_string()));
+        assert_eq!(q.find_spare_server("ServerGrp2"), None);
+    }
+}

@@ -1,0 +1,382 @@
+//! Repair strategies: policies over sequences of tactics.
+//!
+//! When an architectural constraint violation is detected, the associated
+//! repair strategy is triggered. The strategy decides the policy for running
+//! its tactics — apply the first that succeeds, or sequence through all of
+//! them — validates the resulting model against the architectural style, and
+//! either commits the repair or aborts (§3.2, Figure 5).
+
+use crate::query::RuntimeQuery;
+use crate::tactic::{RepairError, Tactic, TacticContext, TacticResult};
+use archmodel::constraint::Violation;
+use archmodel::style::ClientServerStyle;
+use archmodel::{apply_op, ModelOp, System};
+
+/// How a strategy runs its tactics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TacticPolicy {
+    /// Apply the first applicable tactic that produces a valid repair (the
+    /// paper's `fixLatency` behaviour).
+    FirstSuccess,
+    /// Sequence through every tactic, accumulating all applicable repairs.
+    All,
+}
+
+/// The outcome of running a strategy for one violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyOutcome {
+    /// A repair script was produced and validated against the style.
+    Repaired {
+        /// The accumulated model operations.
+        ops: Vec<ModelOp>,
+        /// Names of the tactics that contributed.
+        applied_tactics: Vec<String>,
+        /// Human-readable description.
+        description: String,
+    },
+    /// No tactic was applicable — the paper's `abort ModelError`.
+    NoApplicableTactic {
+        /// The reasons each tactic reported.
+        reasons: Vec<String>,
+    },
+    /// A tactic failed outright (e.g. `NoServerGroupFound`) or the repaired
+    /// model would violate the style.
+    Aborted {
+        /// Why the repair was abandoned.
+        reason: String,
+    },
+}
+
+impl StrategyOutcome {
+    /// True when a repair script was produced.
+    pub fn is_repair(&self) -> bool {
+        matches!(self, StrategyOutcome::Repaired { .. })
+    }
+}
+
+/// A named repair strategy.
+pub struct RepairStrategy {
+    name: String,
+    policy: TacticPolicy,
+    tactics: Vec<Box<dyn Tactic>>,
+}
+
+impl RepairStrategy {
+    /// Creates a strategy with the given tactic policy.
+    pub fn new(name: impl Into<String>, policy: TacticPolicy) -> Self {
+        RepairStrategy {
+            name: name.into(),
+            policy,
+            tactics: Vec::new(),
+        }
+    }
+
+    /// Adds a tactic (tactics run in insertion order).
+    pub fn with_tactic(mut self, tactic: Box<dyn Tactic>) -> Self {
+        self.tactics.push(tactic);
+        self
+    }
+
+    /// The strategy's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The names of the tactics, in order.
+    pub fn tactic_names(&self) -> Vec<&str> {
+        self.tactics.iter().map(|t| t.name()).collect()
+    }
+
+    /// Runs the strategy for `violation` against `model`.
+    pub fn run(
+        &self,
+        model: &System,
+        violation: &Violation,
+        query: &dyn RuntimeQuery,
+    ) -> StrategyOutcome {
+        let mut accumulated_ops: Vec<ModelOp> = Vec::new();
+        let mut applied: Vec<String> = Vec::new();
+        let mut descriptions: Vec<String> = Vec::new();
+        let mut reasons: Vec<String> = Vec::new();
+        // Working copy reflecting ops applied by earlier tactics, so later
+        // tactics see the partially repaired architecture.
+        let mut working = model.clone();
+
+        for tactic in &self.tactics {
+            let ctx = TacticContext {
+                model: &working,
+                violation,
+                query,
+            };
+            match tactic.attempt(&ctx) {
+                Ok(TacticResult::NotApplicable { reason }) => {
+                    reasons.push(format!("{}: {reason}", tactic.name()));
+                }
+                Ok(TacticResult::Applied { ops, description }) => {
+                    // Validate: the ops must apply cleanly and the result must
+                    // satisfy the style.
+                    let mut candidate = working.clone();
+                    let mut apply_failed = None;
+                    for op in &ops {
+                        if let Err(e) = apply_op(&mut candidate, op) {
+                            apply_failed = Some(e);
+                            break;
+                        }
+                    }
+                    if let Some(e) = apply_failed {
+                        return StrategyOutcome::Aborted {
+                            reason: format!("{}: repair script failed to apply: {e}", tactic.name()),
+                        };
+                    }
+                    let style_violations = ClientServerStyle::validate(&candidate);
+                    if !style_violations.is_empty() {
+                        return StrategyOutcome::Aborted {
+                            reason: format!(
+                                "{}: repair would violate the style: {}",
+                                tactic.name(),
+                                style_violations
+                                    .iter()
+                                    .map(|v| v.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join("; ")
+                            ),
+                        };
+                    }
+                    working = candidate;
+                    accumulated_ops.extend(ops);
+                    applied.push(tactic.name().to_string());
+                    descriptions.push(description);
+                    if self.policy == TacticPolicy::FirstSuccess {
+                        break;
+                    }
+                }
+                Err(RepairError::NoServerGroupFound) => {
+                    return StrategyOutcome::Aborted {
+                        reason: format!("{}: NoServerGroupFound", tactic.name()),
+                    };
+                }
+                Err(e) => {
+                    return StrategyOutcome::Aborted {
+                        reason: format!("{}: {e}", tactic.name()),
+                    };
+                }
+            }
+        }
+
+        if applied.is_empty() {
+            StrategyOutcome::NoApplicableTactic { reasons }
+        } else {
+            StrategyOutcome::Repaired {
+                ops: accumulated_ops,
+                applied_tactics: applied,
+                description: descriptions.join("; "),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::StaticQuery;
+    use archmodel::ElementRef;
+
+    /// A tactic whose applicability and effect are scripted, for testing the
+    /// strategy machinery in isolation.
+    struct ScriptedTactic {
+        name: String,
+        result: Result<TacticResult, RepairError>,
+    }
+
+    impl Tactic for ScriptedTactic {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn attempt(&self, _ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+            self.result.clone()
+        }
+    }
+
+    fn model() -> System {
+        ClientServerStyle::example_system("s", 2, 2, 2).unwrap()
+    }
+
+    fn violation(model: &System) -> Violation {
+        let id = model.component_by_name("User1").unwrap();
+        Violation {
+            invariant: "latency".into(),
+            subject: Some(ElementRef::Component(id)),
+            subject_name: "User1".into(),
+            detail: "averageLatency <= maxLatency".into(),
+        }
+    }
+
+    fn applied(ops: Vec<ModelOp>) -> Result<TacticResult, RepairError> {
+        Ok(TacticResult::Applied {
+            ops,
+            description: "scripted".into(),
+        })
+    }
+
+    fn not_applicable() -> Result<TacticResult, RepairError> {
+        Ok(TacticResult::NotApplicable {
+            reason: "precondition failed".into(),
+        })
+    }
+
+    fn add_server_op() -> Vec<ModelOp> {
+        vec![
+            ModelOp::AddComponent {
+                name: "ServerGrp1.Server9".into(),
+                ctype: archmodel::style::SERVER_T.into(),
+                parent: Some("ServerGrp1".into()),
+            },
+            ModelOp::SetComponentProperty {
+                component: "ServerGrp1".into(),
+                property: archmodel::style::props::REPLICATION_COUNT.into(),
+                value: archmodel::Value::Int(3),
+            },
+        ]
+    }
+
+    #[test]
+    fn first_success_stops_after_one_applied_tactic() {
+        let m = model();
+        let v = violation(&m);
+        let strategy = RepairStrategy::new("fixLatency", TacticPolicy::FirstSuccess)
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "skip".into(),
+                result: not_applicable(),
+            }))
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "first".into(),
+                result: applied(add_server_op()),
+            }))
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "never-reached".into(),
+                result: applied(add_server_op()),
+            }));
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::Repaired {
+                applied_tactics, ..
+            } => assert_eq!(applied_tactics, vec!["first".to_string()]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_policy_accumulates_every_applicable_tactic() {
+        let m = model();
+        let v = violation(&m);
+        let strategy = RepairStrategy::new("fixAll", TacticPolicy::All)
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "a".into(),
+                result: applied(add_server_op()),
+            }))
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "b".into(),
+                result: applied(vec![ModelOp::SetSystemProperty {
+                    property: "note".into(),
+                    value: archmodel::Value::Str("second".into()),
+                }]),
+            }));
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::Repaired {
+                ops,
+                applied_tactics,
+                ..
+            } => {
+                assert_eq!(applied_tactics.len(), 2);
+                assert_eq!(ops.len(), 3);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_applicable_tactic_reports_reasons() {
+        let m = model();
+        let v = violation(&m);
+        let strategy = RepairStrategy::new("fixLatency", TacticPolicy::FirstSuccess)
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "a".into(),
+                result: not_applicable(),
+            }))
+            .with_tactic(Box::new(ScriptedTactic {
+                name: "b".into(),
+                result: not_applicable(),
+            }));
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::NoApplicableTactic { reasons } => assert_eq!(reasons.len(), 2),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(strategy.tactic_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn style_breaking_repair_is_aborted() {
+        let m = model();
+        let v = violation(&m);
+        // Removing the whole server group leaves its clients dangling.
+        let strategy = RepairStrategy::new("bad", TacticPolicy::FirstSuccess).with_tactic(Box::new(
+            ScriptedTactic {
+                name: "break-style".into(),
+                result: applied(vec![ModelOp::RemoveComponent {
+                    name: "ServerGrp1".into(),
+                }]),
+            },
+        ));
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::Aborted { reason } => assert!(reason.contains("style")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tactic_error_aborts_strategy() {
+        let m = model();
+        let v = violation(&m);
+        let strategy = RepairStrategy::new("fixBandwidth", TacticPolicy::FirstSuccess).with_tactic(
+            Box::new(ScriptedTactic {
+                name: "move".into(),
+                result: Err(RepairError::NoServerGroupFound),
+            }),
+        );
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::Aborted { reason } => assert!(reason.contains("NoServerGroupFound")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_ops_abort_with_explanation() {
+        let m = model();
+        let v = violation(&m);
+        let strategy = RepairStrategy::new("broken", TacticPolicy::FirstSuccess).with_tactic(
+            Box::new(ScriptedTactic {
+                name: "bad-op".into(),
+                result: applied(vec![ModelOp::RemoveComponent {
+                    name: "DoesNotExist".into(),
+                }]),
+            }),
+        );
+        match strategy.run(&m, &v, &StaticQuery::new()) {
+            StrategyOutcome::Aborted { reason } => assert!(reason.contains("failed to apply")),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn outcome_is_repair_helper() {
+        assert!(StrategyOutcome::Repaired {
+            ops: vec![],
+            applied_tactics: vec![],
+            description: String::new()
+        }
+        .is_repair());
+        assert!(!StrategyOutcome::Aborted {
+            reason: String::new()
+        }
+        .is_repair());
+    }
+}

@@ -1,0 +1,218 @@
+//! Remos-style predicted-bandwidth queries.
+//!
+//! The paper's probes use the Remos resource-query system; its
+//! `remos_get_flow(clIP, svIP)` call returns the predicted bandwidth between
+//! two IP addresses. The paper notes that *the first Remos query for a pair of
+//! nodes takes several minutes* because Remos must collect and analyse data,
+//! and that pre-querying removes this cost. [`RemosOracle`] reproduces exactly
+//! that: a per-pair cold-start delay, a small warm-query delay, and a
+//! `prequery` operation that warms the cache.
+
+use crate::network::{NetError, Network};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+use std::collections::HashMap;
+
+/// Result of a bandwidth query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthEstimate {
+    /// Predicted bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Time at which the answer becomes available to the caller.
+    pub available_at: SimTime,
+    /// Whether this query hit the warm cache.
+    pub cache_hit: bool,
+}
+
+/// Configuration for the Remos-like oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemosConfig {
+    /// Delay of the first query for a node pair (the paper reports
+    /// "several minutes"; we default to 150 s).
+    pub cold_query_delay: SimDuration,
+    /// Delay of subsequent (warm) queries.
+    pub warm_query_delay: SimDuration,
+    /// How long a collected measurement stays warm before another cold
+    /// collection is needed.
+    pub cache_ttl: SimDuration,
+}
+
+impl Default for RemosConfig {
+    fn default() -> Self {
+        RemosConfig {
+            cold_query_delay: SimDuration::from_secs(150.0),
+            warm_query_delay: SimDuration::from_secs(0.2),
+            cache_ttl: SimDuration::from_secs(3_600.0),
+        }
+    }
+}
+
+/// A bandwidth-prediction service over the simulated network.
+#[derive(Debug)]
+pub struct RemosOracle {
+    config: RemosConfig,
+    warmed: HashMap<(NodeId, NodeId), SimTime>,
+    queries: u64,
+    cold_queries: u64,
+}
+
+impl RemosOracle {
+    /// Creates an oracle with the given configuration.
+    pub fn new(config: RemosConfig) -> Self {
+        RemosOracle {
+            config,
+            warmed: HashMap::new(),
+            queries: 0,
+            cold_queries: 0,
+        }
+    }
+
+    /// Creates an oracle with the default (paper-like) configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(RemosConfig::default())
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Queries the predicted bandwidth between two nodes, mirroring
+    /// `remos_get_flow`. The estimate's `available_at` reflects the cold or
+    /// warm query delay.
+    pub fn query(
+        &mut self,
+        network: &Network,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<BandwidthEstimate, NetError> {
+        self.queries += 1;
+        let bandwidth_bps = network.available_bandwidth(src, dst)?;
+        let key = Self::key(src, dst);
+        let warm = match self.warmed.get(&key) {
+            Some(&warmed_at) => now.since(warmed_at).as_secs() <= self.config.cache_ttl.as_secs(),
+            None => false,
+        };
+        let delay = if warm {
+            self.config.warm_query_delay
+        } else {
+            self.cold_queries += 1;
+            self.config.cold_query_delay
+        };
+        let available_at = now + delay;
+        self.warmed.insert(key, available_at);
+        Ok(BandwidthEstimate {
+            bandwidth_bps,
+            available_at,
+            cache_hit: warm,
+        })
+    }
+
+    /// Pre-queries a set of node pairs so later queries are warm — the
+    /// mitigation the paper applied before its experiment runs.
+    pub fn prequery(&mut self, now: SimTime, pairs: &[(NodeId, NodeId)]) {
+        for &(a, b) in pairs {
+            let done = now + self.config.cold_query_delay;
+            self.warmed.insert(Self::key(a, b), done);
+            self.cold_queries += 1;
+            self.queries += 1;
+        }
+    }
+
+    /// Total number of queries issued.
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of cold (slow) queries issued.
+    pub fn cold_query_count(&self) -> u64 {
+        self.cold_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn net() -> (Network, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_host("a").unwrap();
+        let b = topo.add_host("b").unwrap();
+        topo.add_link(a, b, 10e6, SimDuration::from_millis(1.0))
+            .unwrap();
+        (Network::new(topo), a, b)
+    }
+
+    #[test]
+    fn first_query_is_cold_then_warm() {
+        let (network, a, b) = net();
+        let mut oracle = RemosOracle::with_defaults();
+        let first = oracle.query(&network, SimTime::ZERO, a, b).unwrap();
+        assert!(!first.cache_hit);
+        assert!((first.available_at.as_secs() - 150.0).abs() < 1e-9);
+        let second = oracle
+            .query(&network, SimTime::from_secs(200.0), a, b)
+            .unwrap();
+        assert!(second.cache_hit);
+        assert!((second.available_at.as_secs() - 200.2).abs() < 1e-9);
+        assert_eq!(oracle.cold_query_count(), 1);
+        assert_eq!(oracle.query_count(), 2);
+    }
+
+    #[test]
+    fn direction_does_not_matter_for_warmth() {
+        let (network, a, b) = net();
+        let mut oracle = RemosOracle::with_defaults();
+        oracle.query(&network, SimTime::ZERO, a, b).unwrap();
+        let rev = oracle
+            .query(&network, SimTime::from_secs(300.0), b, a)
+            .unwrap();
+        assert!(rev.cache_hit);
+    }
+
+    #[test]
+    fn prequery_warms_the_cache() {
+        let (network, a, b) = net();
+        let mut oracle = RemosOracle::with_defaults();
+        oracle.prequery(SimTime::ZERO, &[(a, b)]);
+        let q = oracle
+            .query(&network, SimTime::from_secs(10.0), a, b)
+            .unwrap();
+        assert!(q.cache_hit);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let (network, a, b) = net();
+        let mut oracle = RemosOracle::new(RemosConfig {
+            cold_query_delay: SimDuration::from_secs(100.0),
+            warm_query_delay: SimDuration::from_secs(0.1),
+            cache_ttl: SimDuration::from_secs(50.0),
+        });
+        oracle.query(&network, SimTime::ZERO, a, b).unwrap();
+        let late = oracle
+            .query(&network, SimTime::from_secs(1_000.0), a, b)
+            .unwrap();
+        assert!(!late.cache_hit);
+        assert_eq!(oracle.cold_query_count(), 2);
+    }
+
+    #[test]
+    fn estimate_tracks_network_state() {
+        let (mut network, a, b) = net();
+        let mut oracle = RemosOracle::with_defaults();
+        let before = oracle.query(&network, SimTime::ZERO, a, b).unwrap();
+        network
+            .set_background_between(SimTime::from_secs(1.0), a, b, 8e6)
+            .unwrap();
+        let after = oracle
+            .query(&network, SimTime::from_secs(2.0), a, b)
+            .unwrap();
+        assert!(after.bandwidth_bps < before.bandwidth_bps);
+    }
+}

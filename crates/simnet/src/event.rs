@@ -1,0 +1,204 @@
+//! The pending-event set of the discrete-event simulator.
+//!
+//! Events are ordered by simulated time; ties are broken by insertion order so
+//! that a run is fully deterministic. Events can be cancelled by handle, which
+//! is used for timers that are superseded (e.g. a client's next request when
+//! the client is moved to a different server group).
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    handle: EventHandle,
+    event: Option<E>,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of pending events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<EventHandle>,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` at `time` and returns a cancellation handle.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let handle = EventHandle(seq);
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            handle,
+            event: Some(event),
+        });
+        self.live += 1;
+        handle
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event was
+    /// still pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(handle) {
+            if self.live > 0 {
+                self.live -= 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(mut entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.handle) {
+                continue;
+            }
+            self.live -= 1;
+            let event = entry.event.take().expect("event present until popped");
+            return Some((entry.time, event));
+        }
+        None
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let cancelled = match self.heap.peek() {
+                None => return None,
+                Some(entry) => self.cancelled.contains(&entry.handle),
+            };
+            if cancelled {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.handle);
+            } else {
+                return self.heap.peek().map(|e| e.time);
+            }
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), 1);
+        q.schedule(t(1.0), 2);
+        q.schedule(t(1.0), 3);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1.0), "dropped");
+        q.schedule(t(2.0), "kept");
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("kept"));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1.0), "x");
+        q.schedule(t(5.0), "y");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn empty_after_draining() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1.0), ());
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(99)));
+    }
+}

@@ -1,0 +1,537 @@
+//! The fluid-flow network model.
+//!
+//! A [`Network`] tracks active data transfers over a [`Topology`]. Each
+//! transfer drains its remaining bytes at the max-min fair rate of its path;
+//! whenever the set of transfers or the background competition changes, the
+//! rates are recomputed. The owner of the network (the simulation model) polls
+//! [`Network::poll_completions`] and schedules a wake-up at
+//! [`Network::next_event_time`], which is how transfer completions turn into
+//! discrete events.
+
+use crate::flow::{max_min_fair_rates, FlowDemand, FlowKey};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkId, NodeId, Topology, TopologyError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a transfer in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TransferId(pub u64);
+
+/// Errors raised by network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The underlying topology reported a problem.
+    Topology(TopologyError),
+    /// The transfer id is unknown (already completed or cancelled).
+    UnknownTransfer(TransferId),
+}
+
+impl From<TopologyError> for NetError {
+    fn from(e: TopologyError) -> Self {
+        NetError::Topology(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Topology(e) => write!(f, "topology error: {e}"),
+            NetError::UnknownTransfer(id) => write!(f, "unknown transfer: {:?}", id),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[derive(Debug, Clone)]
+struct ActiveTransfer {
+    id: TransferId,
+    src: NodeId,
+    dst: NodeId,
+    size_bits: f64,
+    remaining_bits: f64,
+    path: Vec<LinkId>,
+    rate_bps: f64,
+    started: SimTime,
+    extra_latency: SimDuration,
+    tag: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingDelivery {
+    completed: CompletedTransfer,
+    deliver_at: SimTime,
+}
+
+/// A transfer that has finished draining and been delivered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompletedTransfer {
+    /// The transfer's id.
+    pub id: TransferId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Payload size in bytes.
+    pub size_bytes: f64,
+    /// When the transfer started.
+    pub started: SimTime,
+    /// When the last byte arrived at the destination.
+    pub delivered: SimTime,
+    /// Caller-supplied tag (e.g. request id) for correlation.
+    pub tag: u64,
+}
+
+impl CompletedTransfer {
+    /// End-to-end duration of the transfer.
+    pub fn duration(&self) -> SimDuration {
+        self.delivered.since(self.started)
+    }
+}
+
+/// The fluid-flow network simulation.
+#[derive(Debug)]
+pub struct Network {
+    topology: Topology,
+    active: HashMap<TransferId, ActiveTransfer>,
+    pending: Vec<PendingDelivery>,
+    background: HashMap<(NodeId, NodeId), f64>,
+    next_id: u64,
+    last_advance: SimTime,
+}
+
+impl Network {
+    /// Wraps a topology in a network with no active transfers.
+    pub fn new(topology: Topology) -> Self {
+        Network {
+            topology,
+            active: HashMap::new(),
+            pending: Vec::new(),
+            background: HashMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+        }
+    }
+
+    /// The underlying topology (read-only; use the dedicated mutators so rate
+    /// recomputation stays consistent).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of transfers currently draining.
+    pub fn active_transfers(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Starts a transfer of `size_bytes` from `src` to `dst` at time `now`.
+    pub fn start_transfer(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        size_bytes: f64,
+        tag: u64,
+    ) -> Result<TransferId, NetError> {
+        self.advance(now);
+        let path = self.topology.path(src, dst)?;
+        let extra_latency = self.topology.path_latency(&path);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.active.insert(
+            id,
+            ActiveTransfer {
+                id,
+                src,
+                dst,
+                size_bits: size_bytes * 8.0,
+                remaining_bits: (size_bytes * 8.0).max(1.0),
+                path,
+                rate_bps: 0.0,
+                started: now,
+                extra_latency,
+                tag,
+            },
+        );
+        self.recompute_rates();
+        Ok(id)
+    }
+
+    /// Cancels an in-flight transfer. Returns `Ok(true)` if it was still
+    /// active.
+    pub fn cancel_transfer(&mut self, now: SimTime, id: TransferId) -> Result<bool, NetError> {
+        self.advance(now);
+        let removed = self.active.remove(&id).is_some();
+        if removed {
+            self.recompute_rates();
+        }
+        Ok(removed)
+    }
+
+    /// Sets the competing background traffic between two hosts (in bits per
+    /// second). The load is spread over every link of the path between them,
+    /// replacing any previous demand for the same pair.
+    pub fn set_background_between(
+        &mut self,
+        now: SimTime,
+        a: NodeId,
+        b: NodeId,
+        bps: f64,
+    ) -> Result<(), NetError> {
+        self.advance(now);
+        if bps <= 0.0 {
+            self.background.remove(&(a, b));
+        } else {
+            self.background.insert((a, b), bps);
+        }
+        self.apply_background()?;
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Sets competing background traffic directly on a single link (e.g. an
+    /// inter-router link loaded by the experiment's competition generator),
+    /// without touching host access links.
+    pub fn set_background_on_link(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        bps: f64,
+    ) -> Result<(), NetError> {
+        self.advance(now);
+        self.topology.set_background_load(link, bps)?;
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Clears all background competition.
+    pub fn clear_background(&mut self, now: SimTime) -> Result<(), NetError> {
+        self.advance(now);
+        self.background.clear();
+        self.apply_background()?;
+        self.recompute_rates();
+        Ok(())
+    }
+
+    fn apply_background(&mut self) -> Result<(), NetError> {
+        // Recompute per-link background as the sum of all pair demands whose
+        // path crosses the link.
+        let mut per_link: HashMap<LinkId, f64> = HashMap::new();
+        for (&(a, b), &bps) in &self.background {
+            let path = self.topology.path(a, b)?;
+            for link in path {
+                *per_link.entry(link).or_insert(0.0) += bps;
+            }
+        }
+        let link_ids: Vec<LinkId> = self.topology.links().map(|(id, _)| id).collect();
+        for id in link_ids {
+            let load = per_link.get(&id).copied().unwrap_or(0.0);
+            self.topology.set_background_load(id, load)?;
+        }
+        Ok(())
+    }
+
+    /// Advances the fluid model to `now`, draining transfers at their current
+    /// rates and collecting completions (handles multiple completions within
+    /// the window in chronological order).
+    pub fn advance(&mut self, now: SimTime) {
+        let mut current = self.last_advance;
+        if now <= current {
+            return;
+        }
+        loop {
+            // Next drain completion under current rates.
+            let next_drain: Option<(TransferId, SimTime)> = self
+                .active
+                .values()
+                .map(|t| {
+                    let secs = if t.rate_bps > 0.0 {
+                        t.remaining_bits / t.rate_bps
+                    } else {
+                        f64::INFINITY
+                    };
+                    (t.id, current + SimDuration::from_secs(secs.min(1.0e12)))
+                })
+                .min_by(|a, b| a.1.cmp(&b.1));
+
+            match next_drain {
+                Some((id, drain_at)) if drain_at <= now => {
+                    // Drain every transfer up to the completion instant.
+                    let dt = drain_at.since(current).as_secs();
+                    for t in self.active.values_mut() {
+                        t.remaining_bits = (t.remaining_bits - t.rate_bps * dt).max(0.0);
+                    }
+                    current = drain_at;
+                    if let Some(done) = self.active.remove(&id) {
+                        let deliver_at = drain_at + done.extra_latency;
+                        self.pending.push(PendingDelivery {
+                            completed: CompletedTransfer {
+                                id: done.id,
+                                src: done.src,
+                                dst: done.dst,
+                                size_bytes: done.size_bits / 8.0,
+                                started: done.started,
+                                delivered: deliver_at,
+                                tag: done.tag,
+                            },
+                            deliver_at,
+                        });
+                    }
+                    self.recompute_rates();
+                }
+                _ => {
+                    // No completion before `now`; drain partially and stop.
+                    let dt = now.since(current).as_secs();
+                    for t in self.active.values_mut() {
+                        t.remaining_bits = (t.remaining_bits - t.rate_bps * dt).max(0.0);
+                    }
+                    current = now;
+                    break;
+                }
+            }
+        }
+        self.last_advance = current;
+    }
+
+    fn recompute_rates(&mut self) {
+        let capacities: HashMap<LinkId, f64> = self
+            .topology
+            .links()
+            .map(|(id, l)| (id, l.effective_capacity_bps()))
+            .collect();
+        let demands: Vec<FlowDemand> = self
+            .active
+            .values()
+            .map(|t| FlowDemand {
+                key: FlowKey(t.id.0),
+                links: t.path.clone(),
+                weight: 1.0,
+            })
+            .collect();
+        let rates = max_min_fair_rates(&capacities, &demands);
+        for t in self.active.values_mut() {
+            t.rate_bps = rates.get(&FlowKey(t.id.0)).copied().unwrap_or(1.0);
+        }
+    }
+
+    /// The earliest future time at which something observable happens: a
+    /// transfer finishing its drain or a pending delivery arriving.
+    pub fn next_event_time(&self, now: SimTime) -> Option<SimTime> {
+        let drain = self
+            .active
+            .values()
+            .filter(|t| t.rate_bps > 0.0)
+            .map(|t| now + SimDuration::from_secs((t.remaining_bits / t.rate_bps).min(1.0e12)))
+            .min();
+        let deliver = self.pending.iter().map(|p| p.deliver_at).min();
+        match (drain, deliver) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Returns transfers whose last byte has arrived by `now` (advancing the
+    /// fluid model first).
+    pub fn poll_completions(&mut self, now: SimTime) -> Vec<CompletedTransfer> {
+        self.advance(now);
+        let (ready, waiting): (Vec<_>, Vec<_>) = self
+            .pending
+            .drain(..)
+            .partition(|p| p.deliver_at <= now);
+        self.pending = waiting;
+        let mut done: Vec<CompletedTransfer> = ready.into_iter().map(|p| p.completed).collect();
+        done.sort_by(|a, b| a.delivered.cmp(&b.delivered).then(a.id.cmp(&b.id)));
+        done
+    }
+
+    /// Predicted bandwidth (bits/second) a *new* flow between `src` and `dst`
+    /// would receive right now — the quantity the paper obtains from Remos'
+    /// `remos_get_flow` query.
+    pub fn available_bandwidth(&self, src: NodeId, dst: NodeId) -> Result<f64, NetError> {
+        let path = self.topology.path(src, dst)?;
+        if path.is_empty() {
+            return Ok(crate::flow::LOCAL_RATE_BPS);
+        }
+        let capacities: HashMap<LinkId, f64> = self
+            .topology
+            .links()
+            .map(|(id, l)| (id, l.effective_capacity_bps()))
+            .collect();
+        let probe_key = FlowKey(u64::MAX);
+        let mut demands: Vec<FlowDemand> = self
+            .active
+            .values()
+            .map(|t| FlowDemand {
+                key: FlowKey(t.id.0),
+                links: t.path.clone(),
+                weight: 1.0,
+            })
+            .collect();
+        demands.push(FlowDemand {
+            key: probe_key,
+            links: path,
+            weight: 1.0,
+        });
+        let rates = max_min_fair_rates(&capacities, &demands);
+        Ok(rates.get(&probe_key).copied().unwrap_or(1.0))
+    }
+
+    /// The current drain rate of a transfer, if it is still active.
+    pub fn transfer_rate(&self, id: TransferId) -> Option<f64> {
+        self.active.get(&id).map(|t| t.rate_bps)
+    }
+
+    /// Remaining bytes of a transfer, if still active.
+    pub fn transfer_remaining_bytes(&self, id: TransferId) -> Option<f64> {
+        self.active.get(&id).map(|t| t.remaining_bits / 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+    fn t(v: f64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    /// Two hosts joined through one router; both links 10 Mbps, 1 ms latency.
+    fn two_host_net() -> (Network, NodeId, NodeId) {
+        let mut topo = Topology::new();
+        let a = topo.add_host("a").unwrap();
+        let r = topo.add_router("r").unwrap();
+        let b = topo.add_host("b").unwrap();
+        topo.add_link(a, r, 10e6, ms(1.0)).unwrap();
+        topo.add_link(r, b, 10e6, ms(1.0)).unwrap();
+        (Network::new(topo), a, b)
+    }
+
+    #[test]
+    fn single_transfer_completes_at_expected_time() {
+        let (mut net, a, b) = two_host_net();
+        // 10 Mbit payload over a 10 Mbps bottleneck: ~1 s + 2 ms latency.
+        let id = net
+            .start_transfer(t(0.0), a, b, 10e6 / 8.0, 42)
+            .unwrap();
+        assert!(net.poll_completions(t(0.5)).is_empty());
+        let done = net.poll_completions(t(1.1));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, id);
+        assert_eq!(done[0].tag, 42);
+        let dur = done[0].duration().as_secs();
+        assert!((dur - 1.002).abs() < 1e-3, "duration={dur}");
+    }
+
+    #[test]
+    fn two_transfers_share_bandwidth() {
+        let (mut net, a, b) = two_host_net();
+        // Two 5 Mbit transfers on a 10 Mbps path: each gets 5 Mbps, ~1 s each.
+        net.start_transfer(t(0.0), a, b, 5e6 / 8.0, 1).unwrap();
+        net.start_transfer(t(0.0), a, b, 5e6 / 8.0, 2).unwrap();
+        assert!(net.poll_completions(t(0.9)).is_empty());
+        let done = net.poll_completions(t(1.1));
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn second_transfer_speeds_up_after_first_finishes() {
+        let (mut net, a, b) = two_host_net();
+        // First: 2.5 Mbit, second: 10 Mbit, started together.
+        // Phase 1: both at 5 Mbps until first finishes at 0.5 s.
+        // Phase 2: second alone at 10 Mbps for its remaining 7.5 Mbit = 0.75 s.
+        // Total for the second: ~1.25 s (+latency).
+        net.start_transfer(t(0.0), a, b, 2.5e6 / 8.0, 1).unwrap();
+        net.start_transfer(t(0.0), a, b, 10e6 / 8.0, 2).unwrap();
+        let first = net.poll_completions(t(0.6));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].tag, 1);
+        let second = net.poll_completions(t(1.3));
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].tag, 2);
+        let dur = second[0].duration().as_secs();
+        assert!((dur - 1.252).abs() < 5e-3, "duration={dur}");
+    }
+
+    #[test]
+    fn background_competition_slows_transfers() {
+        let (mut net, a, b) = two_host_net();
+        net.set_background_between(t(0.0), a, b, 9e6).unwrap();
+        // Only 1 Mbps left: a 1 Mbit transfer takes ~1 s instead of ~0.1 s.
+        net.start_transfer(t(0.0), a, b, 1e6 / 8.0, 1).unwrap();
+        assert!(net.poll_completions(t(0.5)).is_empty());
+        assert_eq!(net.poll_completions(t(1.1)).len(), 1);
+    }
+
+    #[test]
+    fn link_level_background_load() {
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        net.set_background_on_link(t(0.0), link, 9.5e6).unwrap();
+        let avail = net.available_bandwidth(a, b).unwrap();
+        assert!((avail - 0.5e6).abs() < 1.0, "avail={avail}");
+    }
+
+    #[test]
+    fn clearing_background_restores_bandwidth() {
+        let (mut net, a, b) = two_host_net();
+        net.set_background_between(t(0.0), a, b, 9e6).unwrap();
+        assert!(net.available_bandwidth(a, b).unwrap() < 2e6);
+        net.clear_background(t(1.0)).unwrap();
+        assert!((net.available_bandwidth(a, b).unwrap() - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn available_bandwidth_accounts_for_active_flows() {
+        let (mut net, a, b) = two_host_net();
+        assert!((net.available_bandwidth(a, b).unwrap() - 10e6).abs() < 1.0);
+        net.start_transfer(t(0.0), a, b, 100e6, 1).unwrap();
+        // A new flow would share the 10 Mbps path with the existing one.
+        let avail = net.available_bandwidth(a, b).unwrap();
+        assert!((avail - 5e6).abs() < 1.0, "avail={avail}");
+    }
+
+    #[test]
+    fn cancel_removes_transfer_and_frees_bandwidth() {
+        let (mut net, a, b) = two_host_net();
+        let id = net.start_transfer(t(0.0), a, b, 100e6, 1).unwrap();
+        assert_eq!(net.active_transfers(), 1);
+        assert!(net.cancel_transfer(t(0.1), id).unwrap());
+        assert_eq!(net.active_transfers(), 0);
+        assert!(!net.cancel_transfer(t(0.2), id).unwrap());
+        assert!((net.available_bandwidth(a, b).unwrap() - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn next_event_time_predicts_completion() {
+        let (mut net, a, b) = two_host_net();
+        net.start_transfer(t(0.0), a, b, 10e6 / 8.0, 1).unwrap();
+        let next = net.next_event_time(t(0.0)).unwrap();
+        assert!((next.as_secs() - 1.0).abs() < 1e-6, "next={next}");
+        assert!(net.next_event_time(t(0.0)).is_some());
+    }
+
+    #[test]
+    fn local_transfer_is_effectively_instant() {
+        let (mut net, a, _b) = two_host_net();
+        net.start_transfer(t(0.0), a, a, 20_000.0, 9).unwrap();
+        let done = net.poll_completions(t(0.01));
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn completions_are_ordered_by_delivery_time() {
+        let (mut net, a, b) = two_host_net();
+        net.start_transfer(t(0.0), a, b, 1e6 / 8.0, 1).unwrap();
+        net.start_transfer(t(0.0), a, b, 4e6 / 8.0, 2).unwrap();
+        let done = net.poll_completions(t(10.0));
+        assert_eq!(done.len(), 2);
+        assert!(done[0].delivered <= done[1].delivered);
+        assert_eq!(done[0].tag, 1);
+    }
+}

@@ -1,0 +1,401 @@
+//! Network topology: hosts, routers, and links.
+//!
+//! The paper's testbed (Figure 6) consists of five routers and eleven
+//! machines connected by 10 Mbps links. The topology here is an undirected
+//! graph; each link has a capacity (bits/second), a propagation latency, and
+//! an optional *background load* that models competing traffic injected by the
+//! experiment's bandwidth-competition program.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifies a node (host or router) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifies a link in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// The role a node plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host running application processes.
+    Host,
+    /// A router forwarding traffic (runs a Remos collector in the testbed).
+    Router,
+}
+
+/// A node in the topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name, e.g. `"C1"`, `"S5,RQ"`, `"R3"`.
+    pub name: String,
+    /// Host or router.
+    pub kind: NodeKind,
+}
+
+/// An undirected link between two nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Raw capacity in bits per second.
+    pub capacity_bps: f64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth consumed by competing background traffic (bits per second).
+    pub background_bps: f64,
+}
+
+impl Link {
+    /// Capacity left over after background competition, never below a small
+    /// positive floor so transfers always make progress.
+    pub fn effective_capacity_bps(&self) -> f64 {
+        (self.capacity_bps - self.background_bps).max(1.0)
+    }
+
+    /// The endpoint opposite `node`, if `node` is an endpoint.
+    pub fn other_end(&self, node: NodeId) -> Option<NodeId> {
+        if self.a == node {
+            Some(self.b)
+        } else if self.b == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors raised while building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A node name was used twice.
+    DuplicateNode(String),
+    /// A node id does not exist.
+    UnknownNode(usize),
+    /// A link id does not exist.
+    UnknownLink(usize),
+    /// No path exists between the requested endpoints.
+    NoPath(String, String),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::DuplicateNode(n) => write!(f, "duplicate node name: {n}"),
+            TopologyError::UnknownNode(i) => write!(f, "unknown node id: {i}"),
+            TopologyError::UnknownLink(i) => write!(f, "unknown link id: {i}"),
+            TopologyError::NoPath(a, b) => write!(f, "no path between {a} and {b}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An undirected network graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind) -> Result<NodeId, TopologyError> {
+        if self.by_name.contains_key(name) {
+            return Err(TopologyError::DuplicateNode(name.to_string()));
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.to_string(),
+            kind,
+        });
+        self.adjacency.push(Vec::new());
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds an end host.
+    pub fn add_host(&mut self, name: &str) -> Result<NodeId, TopologyError> {
+        self.add_node(name, NodeKind::Host)
+    }
+
+    /// Adds a router.
+    pub fn add_router(&mut self, name: &str) -> Result<NodeId, TopologyError> {
+        self.add_node(name, NodeKind::Router)
+    }
+
+    /// Adds an undirected link between `a` and `b`.
+    pub fn add_link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity_bps: f64,
+        latency: SimDuration,
+    ) -> Result<LinkId, TopologyError> {
+        self.check_node(a)?;
+        self.check_node(b)?;
+        let id = LinkId(self.links.len());
+        self.links.push(Link {
+            a,
+            b,
+            capacity_bps,
+            latency,
+            background_bps: 0.0,
+        });
+        self.adjacency[a.0].push((b, id));
+        self.adjacency[b.0].push((a, id));
+        Ok(id)
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), TopologyError> {
+        if id.0 < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownNode(id.0))
+        }
+    }
+
+    /// Looks up a node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The node with the given id.
+    pub fn node(&self, id: NodeId) -> Result<&Node, TopologyError> {
+        self.nodes.get(id.0).ok_or(TopologyError::UnknownNode(id.0))
+    }
+
+    /// The link with the given id.
+    pub fn link(&self, id: LinkId) -> Result<&Link, TopologyError> {
+        self.links.get(id.0).ok_or(TopologyError::UnknownLink(id.0))
+    }
+
+    /// Mutable access to a link (used to adjust background load).
+    pub fn link_mut(&mut self, id: LinkId) -> Result<&mut Link, TopologyError> {
+        self.links
+            .get_mut(id.0)
+            .ok_or(TopologyError::UnknownLink(id.0))
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over all nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Iterates over all links with their ids.
+    pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
+        self.links.iter().enumerate().map(|(i, l)| (LinkId(i), l))
+    }
+
+    /// Sets the competing background load on a link.
+    pub fn set_background_load(&mut self, id: LinkId, bps: f64) -> Result<(), TopologyError> {
+        self.link_mut(id)?.background_bps = bps.max(0.0);
+        Ok(())
+    }
+
+    /// Finds the link directly connecting `a` and `b`, if any.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency
+            .get(a.0)?
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, l)| *l)
+    }
+
+    /// Shortest path (by cumulative latency, ties broken by hop count) between
+    /// two nodes, returned as the sequence of links traversed.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Result<Vec<LinkId>, TopologyError> {
+        self.check_node(src)?;
+        self.check_node(dst)?;
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        // Dijkstra on (latency, hops).
+        let n = self.nodes.len();
+        let mut dist = vec![(f64::INFINITY, usize::MAX); n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        dist[src.0] = (0.0, 0);
+        for _ in 0..n {
+            // Select the unvisited node with the smallest distance.
+            let mut best: Option<usize> = None;
+            for i in 0..n {
+                if visited[i] || dist[i].0.is_infinite() {
+                    continue;
+                }
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if dist[i] < dist[b] {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(u) = best else { break };
+            if u == dst.0 {
+                break;
+            }
+            visited[u] = true;
+            for &(v, link_id) in &self.adjacency[u] {
+                if visited[v.0] {
+                    continue;
+                }
+                let link = &self.links[link_id.0];
+                let cand = (dist[u].0 + link.latency.as_secs(), dist[u].1 + 1);
+                if cand < dist[v.0] {
+                    dist[v.0] = cand;
+                    prev[v.0] = Some((NodeId(u), link_id));
+                }
+            }
+        }
+        if prev[dst.0].is_none() && dist[dst.0].0.is_infinite() {
+            return Err(TopologyError::NoPath(
+                self.nodes[src.0].name.clone(),
+                self.nodes[dst.0].name.clone(),
+            ));
+        }
+        let mut path = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (p, link) = prev[cur.0].ok_or_else(|| {
+                TopologyError::NoPath(self.nodes[src.0].name.clone(), self.nodes[dst.0].name.clone())
+            })?;
+            path.push(link);
+            cur = p;
+        }
+        path.reverse();
+        Ok(path)
+    }
+
+    /// Total one-way propagation latency along a path.
+    pub fn path_latency(&self, path: &[LinkId]) -> SimDuration {
+        let secs: f64 = path
+            .iter()
+            .filter_map(|l| self.links.get(l.0))
+            .map(|l| l.latency.as_secs())
+            .sum();
+        SimDuration::from_secs(secs)
+    }
+
+    /// The minimum effective capacity (bottleneck) along a path, in bps.
+    pub fn path_bottleneck_bps(&self, path: &[LinkId]) -> f64 {
+        path.iter()
+            .filter_map(|l| self.links.get(l.0))
+            .map(|l| l.effective_capacity_bps())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn simple_topology() -> (Topology, NodeId, NodeId, NodeId, NodeId) {
+        // h1 - r1 - r2 - h2, plus a slow direct shortcut r1 - h2.
+        let mut t = Topology::new();
+        let h1 = t.add_host("h1").unwrap();
+        let r1 = t.add_router("r1").unwrap();
+        let r2 = t.add_router("r2").unwrap();
+        let h2 = t.add_host("h2").unwrap();
+        t.add_link(h1, r1, 10e6, ms(1.0)).unwrap();
+        t.add_link(r1, r2, 10e6, ms(1.0)).unwrap();
+        t.add_link(r2, h2, 10e6, ms(1.0)).unwrap();
+        t.add_link(r1, h2, 10e6, ms(10.0)).unwrap();
+        (t, h1, r1, r2, h2)
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut t = Topology::new();
+        t.add_host("x").unwrap();
+        assert!(matches!(
+            t.add_host("x"),
+            Err(TopologyError::DuplicateNode(_))
+        ));
+    }
+
+    #[test]
+    fn shortest_path_prefers_low_latency() {
+        let (t, h1, _r1, _r2, h2) = simple_topology();
+        let path = t.path(h1, h2).unwrap();
+        // 3-hop path at 3 ms beats 2-hop path at 11 ms.
+        assert_eq!(path.len(), 3);
+        assert!((t.path_latency(&path).as_secs() - 0.003).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let (t, h1, ..) = simple_topology();
+        assert!(t.path(h1, h1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn no_path_between_disconnected_nodes() {
+        let mut t = Topology::new();
+        let a = t.add_host("a").unwrap();
+        let b = t.add_host("b").unwrap();
+        assert!(matches!(t.path(a, b), Err(TopologyError::NoPath(_, _))));
+    }
+
+    #[test]
+    fn background_load_reduces_effective_capacity() {
+        let (mut t, h1, r1, ..) = simple_topology();
+        let link = t.link_between(h1, r1).unwrap();
+        t.set_background_load(link, 8e6).unwrap();
+        let l = t.link(link).unwrap();
+        assert!((l.effective_capacity_bps() - 2e6).abs() < 1.0);
+        // Background above capacity floors at a tiny positive value.
+        t.set_background_load(link, 20e6).unwrap();
+        assert!(t.link(link).unwrap().effective_capacity_bps() >= 1.0);
+    }
+
+    #[test]
+    fn bottleneck_is_minimum_along_path() {
+        let (mut t, h1, r1, _r2, h2) = simple_topology();
+        let path = t.path(h1, h2).unwrap();
+        let first = t.link_between(h1, r1).unwrap();
+        t.set_background_load(first, 9e6).unwrap();
+        assert!((t.path_bottleneck_bps(&path) - 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (t, h1, ..) = simple_topology();
+        assert_eq!(t.node_by_name("h1"), Some(h1));
+        assert_eq!(t.node_by_name("missing"), None);
+        assert_eq!(t.node(h1).unwrap().kind, NodeKind::Host);
+    }
+
+    #[test]
+    fn link_between_finds_direct_links_only() {
+        let (t, h1, r1, r2, _h2) = simple_topology();
+        assert!(t.link_between(h1, r1).is_some());
+        assert!(t.link_between(h1, r2).is_none());
+    }
+}

@@ -1,0 +1,267 @@
+//! Mapping model-layer repair scripts to runtime-layer operations.
+//!
+//! The paper's framework has *hand-tailored support for translating APIs in
+//! the Model Layer to ones in the Runtime Layer* (§4); this module implements
+//! that translation for the client/server style. The mapping consults the
+//! architectural model as it was before the repair so it can resolve element
+//! types and the client's previous server group.
+
+use crate::runtime_ops::{RuntimeOp, TranslationError};
+use archmodel::style::{CLIENT_T, SERVER_GROUP_T, SERVER_T, SERVICE_CONN_T};
+use archmodel::{ModelOp, System};
+
+/// Derives the server-group name from a service-connector name of the form
+/// `"<group>.Conn"`.
+fn group_of_connector(name: &str) -> Option<&str> {
+    name.strip_suffix(".Conn")
+}
+
+fn component_type(model: &System, name: &str) -> Option<String> {
+    model
+        .component_by_name(name)
+        .and_then(|id| model.component(id).ok())
+        .map(|c| c.ctype.clone())
+}
+
+/// Translates a committed repair script into the runtime operations that
+/// realise it, in execution order.
+///
+/// `model_before` is the architectural model as it was when the repair was
+/// planned (i.e. before the script was committed), which is needed to resolve
+/// the types of removed elements and the previous attachment of moved
+/// clients.
+pub fn translate(
+    model_before: &System,
+    ops: &[ModelOp],
+    min_bandwidth_bps: f64,
+) -> Result<Vec<RuntimeOp>, TranslationError> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            ModelOp::AddComponent {
+                name,
+                ctype,
+                parent,
+            } => {
+                if ctype == SERVER_T {
+                    let group = parent.clone().ok_or_else(|| {
+                        TranslationError::NotTranslatable(format!(
+                            "server {name} added without a containing group"
+                        ))
+                    })?;
+                    // Recruit a spare server, point it at the group's queue,
+                    // and activate it.
+                    out.push(RuntimeOp::FindServer {
+                        client: group.clone(),
+                        bandwidth_threshold_bps: min_bandwidth_bps,
+                    });
+                    out.push(RuntimeOp::ConnectServer {
+                        server: name.clone(),
+                        group: group.clone(),
+                    });
+                    out.push(RuntimeOp::ActivateServer {
+                        server: name.clone(),
+                    });
+                    // The group's load gauge must be refreshed to include the
+                    // new replica.
+                    out.push(RuntimeOp::DeleteGauge {
+                        gauge: format!("load-gauge/{group}"),
+                    });
+                    out.push(RuntimeOp::CreateGauge {
+                        gauge: format!("load-gauge/{group}"),
+                    });
+                } else if ctype == CLIENT_T || ctype == SERVER_GROUP_T {
+                    // New top-level components appear only in deployment
+                    // scripts, not in repairs; nothing to execute.
+                }
+            }
+            ModelOp::RemoveComponent { name } => {
+                match component_type(model_before, name).as_deref() {
+                    Some(SERVER_T) => out.push(RuntimeOp::DeactivateServer {
+                        server: name.clone(),
+                    }),
+                    Some(_) | None => {
+                        // Removing anything other than a server has no direct
+                        // runtime counterpart in this style.
+                    }
+                }
+            }
+            ModelOp::AddConnector { name, ctype } => {
+                if ctype == SERVICE_CONN_T {
+                    let group = group_of_connector(name).ok_or_else(|| {
+                        TranslationError::NotTranslatable(format!(
+                            "service connector {name} does not follow the <group>.Conn convention"
+                        ))
+                    })?;
+                    out.push(RuntimeOp::CreateReqQueue {
+                        group: group.to_string(),
+                    });
+                }
+            }
+            ModelOp::Attach {
+                component,
+                connector,
+                ..
+            } => {
+                // A client attaching to a (different) service connector is a
+                // client move.
+                if component_type(model_before, component).as_deref() == Some(CLIENT_T) {
+                    if let Some(group) = group_of_connector(connector) {
+                        out.push(RuntimeOp::RemosGetFlow {
+                            client: component.clone(),
+                            server: group.to_string(),
+                        });
+                        out.push(RuntimeOp::MoveClient {
+                            client: component.clone(),
+                            to_group: group.to_string(),
+                        });
+                        // The bandwidth gauge watching the old pair must be
+                        // destroyed and a new one created for the new pair.
+                        out.push(RuntimeOp::DeleteGauge {
+                            gauge: format!("bandwidth-gauge/{component}"),
+                        });
+                        out.push(RuntimeOp::CreateGauge {
+                            gauge: format!("bandwidth-gauge/{component}"),
+                        });
+                    }
+                }
+            }
+            // Pure model bookkeeping: no runtime effect.
+            ModelOp::Detach { .. }
+            | ModelOp::AddRole { .. }
+            | ModelOp::RemoveRole { .. }
+            | ModelOp::AddPort { .. }
+            | ModelOp::RemovePort { .. }
+            | ModelOp::RemoveConnector { .. }
+            | ModelOp::SetComponentProperty { .. }
+            | ModelOp::SetConnectorProperty { .. }
+            | ModelOp::SetRoleProperty { .. }
+            | ModelOp::SetSystemProperty { .. } => {}
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archmodel::style::ClientServerStyle;
+    use archmodel::Transaction;
+    use repair::operators::{add_server, move_client, remove_server};
+
+    fn model() -> System {
+        ClientServerStyle::example_system("storage", 2, 3, 6).unwrap()
+    }
+
+    #[test]
+    fn add_server_translates_to_recruit_connect_activate() {
+        let m = model();
+        let mut tx = Transaction::new(&m);
+        add_server(&mut tx, "ServerGrp1").unwrap();
+        let runtime = translate(&m, tx.ops(), 10_000.0).unwrap();
+        let kinds: Vec<&str> = runtime
+            .iter()
+            .map(|op| match op {
+                RuntimeOp::FindServer { .. } => "find",
+                RuntimeOp::ConnectServer { .. } => "connect",
+                RuntimeOp::ActivateServer { .. } => "activate",
+                RuntimeOp::DeleteGauge { .. } => "delete-gauge",
+                RuntimeOp::CreateGauge { .. } => "create-gauge",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["find", "connect", "activate", "delete-gauge", "create-gauge"]
+        );
+    }
+
+    #[test]
+    fn move_client_translates_to_move_with_gauge_churn() {
+        let m = model();
+        let mut tx = Transaction::new(&m);
+        move_client(&mut tx, "User1", "ServerGrp2").unwrap();
+        let runtime = translate(&m, tx.ops(), 10_000.0).unwrap();
+        assert!(runtime.iter().any(|op| matches!(
+            op,
+            RuntimeOp::MoveClient { client, to_group }
+                if client == "User1" && to_group == "ServerGrp2"
+        )));
+        assert!(runtime
+            .iter()
+            .any(|op| matches!(op, RuntimeOp::RemosGetFlow { .. })));
+        assert!(runtime
+            .iter()
+            .any(|op| matches!(op, RuntimeOp::DeleteGauge { .. })));
+        assert!(runtime
+            .iter()
+            .any(|op| matches!(op, RuntimeOp::CreateGauge { .. })));
+    }
+
+    #[test]
+    fn remove_server_translates_to_deactivate() {
+        let m = model();
+        let mut tx = Transaction::new(&m);
+        remove_server(&mut tx, "ServerGrp1.Server3").unwrap();
+        let runtime = translate(&m, tx.ops(), 10_000.0).unwrap();
+        assert_eq!(
+            runtime,
+            vec![RuntimeOp::DeactivateServer {
+                server: "ServerGrp1.Server3".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn creating_a_connector_creates_a_queue() {
+        let m = model();
+        let ops = vec![ModelOp::AddConnector {
+            name: "ServerGrp3.Conn".into(),
+            ctype: SERVICE_CONN_T.into(),
+        }];
+        let runtime = translate(&m, &ops, 10_000.0).unwrap();
+        assert_eq!(
+            runtime,
+            vec![RuntimeOp::CreateReqQueue {
+                group: "ServerGrp3".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn misnamed_connector_is_not_translatable() {
+        let m = model();
+        let ops = vec![ModelOp::AddConnector {
+            name: "weird-connector".into(),
+            ctype: SERVICE_CONN_T.into(),
+        }];
+        assert!(matches!(
+            translate(&m, &ops, 10_000.0),
+            Err(TranslationError::NotTranslatable(_))
+        ));
+    }
+
+    #[test]
+    fn property_updates_translate_to_nothing() {
+        let m = model();
+        let ops = vec![ModelOp::SetSystemProperty {
+            property: "maxLatency".into(),
+            value: archmodel::Value::Float(2.0),
+        }];
+        assert!(translate(&m, &ops, 10_000.0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_client_attach_translates_to_nothing() {
+        let m = model();
+        // Attaching a server group's port (e.g. when building a connector) is
+        // not a client move.
+        let ops = vec![ModelOp::Attach {
+            component: "ServerGrp1".into(),
+            port: "serve".into(),
+            connector: "ServerGrp1.Conn".into(),
+            role: "serverSide".into(),
+        }];
+        assert!(translate(&m, &ops, 10_000.0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's evaluation (§5): run the 30-minute control experiment
+//! (Figures 8–10) and the adaptive experiment (Figures 11–13) under the same
+//! seeded Figure 7 workload, and print the figure series plus the headline
+//! comparison.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example control_vs_adaptive            # full 1800 s
+//! cargo run --release --example control_vs_adaptive -- 600     # shorter run
+//! ```
+
+use arch_adapt::experiment::Comparison;
+use arch_adapt::report::{render_comparison, render_run, run_to_json};
+use gridapp::GridConfig;
+
+fn main() {
+    let duration: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(gridapp::RUN_DURATION_SECS);
+
+    eprintln!("running control and adaptive experiments for {duration:.0} s of simulated time...");
+    let comparison = Comparison::run(GridConfig::default(), duration).expect("experiments run");
+
+    println!("{}", render_run(&comparison.control));
+    println!("{}", render_run(&comparison.adaptive));
+    println!("{}", render_comparison(&comparison));
+
+    // Machine-readable output for external plotting.
+    let json = serde_json::json!({
+        "control": run_to_json(&comparison.control),
+        "adaptive": run_to_json(&comparison.adaptive),
+    });
+    std::fs::write(
+        "control_vs_adaptive.json",
+        serde_json::to_string_pretty(&json).expect("serialises"),
+    )
+    .expect("writes results file");
+    eprintln!("wrote control_vs_adaptive.json");
+}

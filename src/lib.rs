@@ -1,0 +1,24 @@
+//! # grid-adapt — facade crate
+//!
+//! Re-exports the public API of the architecture-based adaptation framework
+//! (a reproduction of "Software Architecture-Based Adaptation for Grid
+//! Computing", HPDC 2002) so downstream users can depend on a single crate.
+//!
+//! See the individual crates for details:
+//! * [`simnet`] — discrete-event network simulator (testbed substitute)
+//! * [`archmodel`] — Acme-style architectural models and constraints
+//! * [`monitoring`] — probe/gauge monitoring infrastructure
+//! * [`gridapp`] — the replicated client/server grid application
+//! * [`repair`] — repair strategies, tactics, adaptation operators
+//! * [`translator`] — model-layer to runtime-layer translation
+//! * [`analysis`] — queueing-theoretic provisioning analysis
+//! * [`arch_adapt`] — the adaptation framework and experiment harness
+
+pub use analysis;
+pub use arch_adapt;
+pub use archmodel;
+pub use gridapp;
+pub use monitoring;
+pub use repair;
+pub use simnet;
+pub use translator;
