@@ -450,7 +450,7 @@ fn eval_quantifier(
     };
     let filtered: Vec<ElementRef> = elements
         .into_iter()
-        .filter(|e| type_filter.map_or(true, |t| element_matches_type(e, t, system)))
+        .filter(|e| type_filter.is_none_or(|t| element_matches_type(e, t, system)))
         .collect();
 
     let mut selected = Vec::new();

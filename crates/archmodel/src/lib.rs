@@ -33,7 +33,9 @@ pub use element::{
     Attachment, Component, ComponentId, Connector, ConnectorId, ElementRef, Port, PortId, Role,
     RoleId,
 };
-pub use expr::{eval, eval_bool, parse, Bindings, EvalError, EvalValue, Expr};
+pub use expr::{
+    eval, eval_bool, parse, BinOp, Bindings, EvalError, EvalValue, Expr, QuantifierKind, UnaryOp,
+};
 pub use property::PropertyMap;
 pub use style::{ClientServerStyle, StyleViolation};
 pub use system::{ModelError, System};

@@ -1,0 +1,324 @@
+//! Focused tests for the constraint-expression pipeline: lexer → parser →
+//! evaluator round-trips, operator precedence, and error reporting. The
+//! expression language is the hot path of constraint checking, so each layer
+//! gets direct coverage here in addition to the end-to-end suites.
+
+use archmodel::expr::{eval, tokenize, EvalError, EvalValue, ParseError, Token};
+use archmodel::style::{props, ClientServerStyle};
+use archmodel::{eval_bool, parse, BinOp, Bindings, Expr, System, UnaryOp, Value};
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lexer_distinguishes_integers_and_floats() {
+    assert_eq!(tokenize("3").unwrap(), vec![Token::Integer(3)]);
+    assert_eq!(tokenize("3.5").unwrap(), vec![Token::Number(3.5)]);
+}
+
+#[test]
+fn lexer_recognises_compound_operators() {
+    assert_eq!(
+        tokenize("a <= b >= c == d != e -> f").unwrap(),
+        vec![
+            Token::Ident("a".into()),
+            Token::Le,
+            Token::Ident("b".into()),
+            Token::Ge,
+            Token::Ident("c".into()),
+            Token::EqEq,
+            Token::Ident("d".into()),
+            Token::Ne,
+            Token::Ident("e".into()),
+            Token::Arrow,
+            Token::Ident("f".into()),
+        ]
+    );
+}
+
+#[test]
+fn lexer_recognises_keywords_and_punctuation() {
+    assert_eq!(
+        tokenize("exists s : T in components | true").unwrap(),
+        vec![
+            Token::Exists,
+            Token::Ident("s".into()),
+            Token::Colon,
+            Token::Ident("T".into()),
+            Token::In,
+            Token::Ident("components".into()),
+            Token::Pipe,
+            Token::True,
+        ]
+    );
+}
+
+#[test]
+fn lexer_rejects_unknown_characters() {
+    assert!(tokenize("a @ b").is_err());
+    assert!(tokenize("latency # 3").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Parser: precedence and structure
+// ---------------------------------------------------------------------------
+
+fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+    Expr::bin(op, lhs, rhs)
+}
+
+#[test]
+fn multiplication_binds_tighter_than_addition() {
+    assert_eq!(
+        parse("1 + 2 * 3").unwrap(),
+        bin(
+            BinOp::Add,
+            Expr::int(1),
+            bin(BinOp::Mul, Expr::int(2), Expr::int(3))
+        )
+    );
+}
+
+#[test]
+fn comparison_binds_tighter_than_logic() {
+    assert_eq!(
+        parse("a < 1 and b > 2").unwrap(),
+        bin(
+            BinOp::And,
+            bin(BinOp::Lt, Expr::ident("a"), Expr::int(1)),
+            bin(BinOp::Gt, Expr::ident("b"), Expr::int(2)),
+        )
+    );
+}
+
+#[test]
+fn and_binds_tighter_than_or_and_implies_is_loosest() {
+    assert_eq!(
+        parse("a or b and c").unwrap(),
+        bin(
+            BinOp::Or,
+            Expr::ident("a"),
+            bin(BinOp::And, Expr::ident("b"), Expr::ident("c")),
+        )
+    );
+    assert_eq!(
+        parse("a and b -> c or d").unwrap(),
+        bin(
+            BinOp::Implies,
+            bin(BinOp::And, Expr::ident("a"), Expr::ident("b")),
+            bin(BinOp::Or, Expr::ident("c"), Expr::ident("d")),
+        )
+    );
+}
+
+#[test]
+fn parentheses_override_precedence() {
+    assert_eq!(
+        parse("(1 + 2) * 3").unwrap(),
+        bin(
+            BinOp::Mul,
+            bin(BinOp::Add, Expr::int(1), Expr::int(2)),
+            Expr::int(3)
+        )
+    );
+}
+
+#[test]
+fn negation_applies_before_binary_logic() {
+    assert_eq!(
+        parse("not a and b").unwrap(),
+        bin(
+            BinOp::And,
+            Expr::Unary(UnaryOp::Not, Box::new(Expr::ident("a"))),
+            Expr::ident("b"),
+        )
+    );
+}
+
+#[test]
+fn property_access_chains_left_to_right() {
+    assert_eq!(
+        parse("Grp.server.load").unwrap(),
+        Expr::prop(Expr::prop(Expr::ident("Grp"), "server"), "load")
+    );
+}
+
+#[test]
+fn quantifier_parses_with_type_filter() {
+    let expr = parse("exists s : ServerGroupT in components | s.load > 2").unwrap();
+    match expr {
+        Expr::Quantifier {
+            var, type_filter, ..
+        } => {
+            assert_eq!(var, "s");
+            assert_eq!(type_filter.as_deref(), Some("ServerGroupT"));
+        }
+        other => panic!("expected quantifier, got {other:?}"),
+    }
+}
+
+#[test]
+fn parser_reports_truncated_and_trailing_input() {
+    let err: ParseError = parse("1 +").unwrap_err();
+    assert!(!err.message.is_empty());
+    assert!(parse("(a").is_err());
+    assert!(parse("1 2").is_err());
+    assert!(parse("").is_err());
+    assert!(parse("exists s in components").is_err()); // missing `| body`
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator round-trips (text → tokens → AST → value)
+// ---------------------------------------------------------------------------
+
+fn example() -> System {
+    ClientServerStyle::example_system("expr-tests", 2, 2, 3).expect("example system builds")
+}
+
+fn eval_text(system: &System, text: &str) -> EvalValue {
+    eval(&parse(text).unwrap(), system, &Bindings::new()).unwrap()
+}
+
+#[test]
+fn arithmetic_round_trip_matches_rust_semantics() {
+    let sys = System::new("empty");
+    for (text, expected) in [
+        ("1 + 2 * 3", 7.0),
+        ("(1 + 2) * 3", 9.0),
+        ("10 / 4", 2.5),
+        ("2 - 3 - 4", -5.0),
+        ("-3 + 10", 7.0),
+    ] {
+        let got = eval_text(&sys, text).as_f64().unwrap();
+        assert!((got - expected).abs() < 1e-12, "{text}: {got} != {expected}");
+    }
+}
+
+#[test]
+fn boolean_operators_round_trip() {
+    let sys = System::new("empty");
+    for (text, expected) in [
+        ("true and false", false),
+        ("true or false", true),
+        ("not false", true),
+        ("false -> true", true),
+        ("true -> false", false),
+        ("1 < 2 and 2 <= 2 and 3 > 2 and 3 >= 3", true),
+        ("1 == 1 and 1 != 2", true),
+    ] {
+        let got = eval_bool(&parse(text).unwrap(), &sys, &Bindings::new()).unwrap();
+        assert_eq!(got, expected, "{text}");
+    }
+}
+
+#[test]
+fn system_properties_resolve_as_identifiers() {
+    let sys = example();
+    // example_system sets maxLatency = 2.0 on the system.
+    assert!(eval_bool(
+        &parse("maxLatency == 2.0").unwrap(),
+        &sys,
+        &Bindings::new()
+    )
+    .unwrap());
+}
+
+#[test]
+fn component_property_round_trip() {
+    let mut sys = example();
+    let client = sys.component_by_name("User1").unwrap();
+    sys.component_mut(client)
+        .unwrap()
+        .properties
+        .set(props::AVERAGE_LATENCY, 1.25);
+    assert!(eval_bool(
+        &parse("User1.averageLatency <= maxLatency").unwrap(),
+        &sys,
+        &Bindings::new()
+    )
+    .unwrap());
+    let got = eval_text(&sys, "User1.averageLatency * 4").as_f64().unwrap();
+    assert!((got - 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn quantifiers_evaluate_over_the_component_graph() {
+    let sys = example();
+    // Two groups exist, each with a replicationCount property.
+    assert!(eval_bool(
+        &parse("exists g : ServerGroupT in components | g.replicationCount >= 1").unwrap(),
+        &sys,
+        &Bindings::new()
+    )
+    .unwrap());
+    assert!(eval_bool(
+        &parse("forall g : ServerGroupT in components | g.replicationCount == 2").unwrap(),
+        &sys,
+        &Bindings::new()
+    )
+    .unwrap());
+    // select returns the matching elements; size() counts them.
+    let got = eval_text(
+        &sys,
+        "size(select c : ClientT in components | true) == 3",
+    );
+    assert_eq!(got.as_bool(), Some(true));
+}
+
+#[test]
+fn string_literals_compare() {
+    let sys = System::new("empty");
+    assert!(eval_bool(
+        &parse("\"abc\" == \"abc\"").unwrap(),
+        &sys,
+        &Bindings::new()
+    )
+    .unwrap());
+}
+
+#[test]
+fn bindings_shadow_system_properties() {
+    let sys = example();
+    let mut bindings = Bindings::new();
+    bindings.insert(
+        "maxLatency".to_string(),
+        EvalValue::Val(Value::Float(99.0)),
+    );
+    assert!(eval_bool(&parse("maxLatency > 50").unwrap(), &sys, &bindings).unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator error cases
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_identifier_is_reported() {
+    let sys = System::new("empty");
+    let err = eval(&parse("noSuchThing + 1").unwrap(), &sys, &Bindings::new()).unwrap_err();
+    assert!(matches!(err, EvalError::UnknownIdentifier(name) if name == "noSuchThing"));
+}
+
+#[test]
+fn unknown_function_is_reported() {
+    let sys = System::new("empty");
+    let err = eval(&parse("frobnicate(1)").unwrap(), &sys, &Bindings::new()).unwrap_err();
+    assert!(matches!(err, EvalError::UnknownFunction(name) if name == "frobnicate"));
+}
+
+#[test]
+fn type_mismatches_are_reported() {
+    let sys = System::new("empty");
+    // Arithmetic on a boolean.
+    assert!(eval(&parse("1 + true").unwrap(), &sys, &Bindings::new()).is_err());
+    // eval_bool on a numeric result.
+    let err = eval_bool(&parse("1 + 2").unwrap(), &sys, &Bindings::new()).unwrap_err();
+    assert!(matches!(err, EvalError::TypeMismatch(_)));
+}
+
+#[test]
+fn bad_arity_is_reported() {
+    let sys = example();
+    let err = eval(&parse("size()").unwrap(), &sys, &Bindings::new()).unwrap_err();
+    assert!(matches!(err, EvalError::BadArguments(_)));
+}

@@ -39,7 +39,14 @@ impl PerformanceProfile {
         PerformanceProfile {
             max_latency_secs: input.max_latency,
             max_server_load: 6.0,
-            min_bandwidth_bps: plan.bandwidth.min_bandwidth_bps.min(10_000.0).max(1_000.0),
+            // NaN (e.g. from a degenerate analysis) must fall back to the
+            // paper's 10 Kbps default, not poison the MIN_BANDWIDTH property
+            // (f64::clamp propagates NaN).
+            min_bandwidth_bps: if plan.bandwidth.min_bandwidth_bps.is_nan() {
+                10_000.0
+            } else {
+                plan.bandwidth.min_bandwidth_bps.clamp(1_000.0, 10_000.0)
+            },
         }
     }
 

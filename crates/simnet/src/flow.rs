@@ -73,7 +73,13 @@ pub fn max_min_fair_rates(
             let share = remaining.get(&link).copied().unwrap_or(0.0).max(0.0) / unfrozen_weight;
             match bottleneck {
                 None => bottleneck = Some((link, share)),
-                Some((_, best)) if share < best => bottleneck = Some((link, share)),
+                // Tie-break equal shares on the link id so the freezing order
+                // (and thus float accumulation) is independent of HashMap
+                // iteration order — identical inputs must yield identical
+                // rates for run-to-run determinism.
+                Some((best_link, best)) if share < best || (share == best && link < best_link) => {
+                    bottleneck = Some((link, share))
+                }
                 _ => {}
             }
         }

@@ -216,9 +216,17 @@ impl Network {
 
     fn apply_background(&mut self) -> Result<(), NetError> {
         // Recompute per-link background as the sum of all pair demands whose
-        // path crosses the link.
+        // path crosses the link. Sum in sorted pair order: float accumulation
+        // must not depend on HashMap iteration order, or identically-seeded
+        // runs with background traffic diverge in the low bits.
+        let mut pairs: Vec<((NodeId, NodeId), f64)> = self
+            .background
+            .iter()
+            .map(|(&pair, &bps)| (pair, bps))
+            .collect();
+        pairs.sort_by_key(|&((a, b), _)| (a.0, b.0));
         let mut per_link: HashMap<LinkId, f64> = HashMap::new();
-        for (&(a, b), &bps) in &self.background {
+        for ((a, b), bps) in pairs {
             let path = self.topology.path(a, b)?;
             for link in path {
                 *per_link.entry(link).or_insert(0.0) += bps;
@@ -253,7 +261,10 @@ impl Network {
                     };
                     (t.id, current + SimDuration::from_secs(secs.min(1.0e12)))
                 })
-                .min_by(|a, b| a.1.cmp(&b.1));
+                // Tie-break on the transfer id so simultaneous completions
+                // drain in a deterministic order regardless of HashMap
+                // iteration order.
+                .min_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
 
             match next_drain {
                 Some((id, drain_at)) if drain_at <= now => {
@@ -294,13 +305,12 @@ impl Network {
         self.last_advance = current;
     }
 
-    fn recompute_rates(&mut self) {
-        let capacities: HashMap<LinkId, f64> = self
-            .topology
-            .links()
-            .map(|(id, l)| (id, l.effective_capacity_bps()))
-            .collect();
-        let demands: Vec<FlowDemand> = self
+    /// Active transfers as flow demands, in id order: the allocator's
+    /// remaining-capacity accumulation is float arithmetic, so demand order
+    /// must not depend on HashMap iteration order if runs are to be
+    /// bit-identical.
+    fn active_demands(&self) -> Vec<FlowDemand> {
+        let mut demands: Vec<FlowDemand> = self
             .active
             .values()
             .map(|t| FlowDemand {
@@ -309,6 +319,17 @@ impl Network {
                 weight: 1.0,
             })
             .collect();
+        demands.sort_by_key(|d| d.key);
+        demands
+    }
+
+    fn recompute_rates(&mut self) {
+        let capacities: HashMap<LinkId, f64> = self
+            .topology
+            .links()
+            .map(|(id, l)| (id, l.effective_capacity_bps()))
+            .collect();
+        let demands = self.active_demands();
         let rates = max_min_fair_rates(&capacities, &demands);
         for t in self.active.values_mut() {
             t.rate_bps = rates.get(&FlowKey(t.id.0)).copied().unwrap_or(1.0);
@@ -361,15 +382,7 @@ impl Network {
             .map(|(id, l)| (id, l.effective_capacity_bps()))
             .collect();
         let probe_key = FlowKey(u64::MAX);
-        let mut demands: Vec<FlowDemand> = self
-            .active
-            .values()
-            .map(|t| FlowDemand {
-                key: FlowKey(t.id.0),
-                links: t.path.clone(),
-                weight: 1.0,
-            })
-            .collect();
+        let mut demands = self.active_demands();
         demands.push(FlowDemand {
             key: probe_key,
             links: path,

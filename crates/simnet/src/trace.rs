@@ -108,7 +108,7 @@ impl Trace {
                 intervals.push((start.time, end.time));
             }
         }
-        intervals.sort_by(|a, b| a.0.cmp(&b.0));
+        intervals.sort_by_key(|a| a.0);
         intervals
     }
 
@@ -130,7 +130,7 @@ impl Trace {
     /// Merges another trace into this one, keeping time order.
     pub fn merge(&mut self, other: &Trace) {
         self.entries.extend(other.entries.iter().cloned());
-        self.entries.sort_by(|a, b| a.time.cmp(&b.time));
+        self.entries.sort_by_key(|a| a.time);
     }
 }
 

@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros against the
+//! vendored `serde` facade in `crates/vendor/serde`. It parses the deriving
+//! type's shape directly from the token stream (no `syn`/`quote`) and emits a
+//! `serde::Serialize::to_content` implementation that mirrors serde_json's
+//! external data model: named structs become maps, newtype structs unwrap,
+//! tuple structs become sequences, and enum variants use the externally
+//! tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the type a derive was applied to.
+struct Input {
+    name: String,
+    /// Type-parameter identifiers (lifetimes are kept separately).
+    type_params: Vec<String>,
+    lifetimes: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    render_serialize(&parsed).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    render_deserialize(&parsed).parse().expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("derive(Serialize/Deserialize) expected struct or enum, found `{other}`"),
+    };
+    let name = expect_ident(&tokens, &mut i);
+    let (type_params, lifetimes) = parse_generics(&tokens, &mut i);
+    skip_where_clause(&tokens, &mut i);
+
+    let kind = if is_enum {
+        let body = expect_group(&tokens, &mut i, Delimiter::Brace);
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        }
+    };
+
+    Input {
+        name,
+        type_params,
+        lifetimes,
+        kind,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+            *i += 1; // the [...] group
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super) / ...
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], i: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.stream()
+        }
+        other => panic!("expected {delim:?} group, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the type name, returning (type params, lifetimes).
+/// Bounds are skipped; const generics are not supported (nothing in the
+/// workspace derives serde on a const-generic type).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> (Vec<String>, Vec<String>) {
+    let mut type_params = Vec::new();
+    let mut lifetimes = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return (type_params, lifetimes),
+    }
+    let mut depth: i32 = 1;
+    let mut expecting_param = true;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    depth -= 1;
+                    *i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    expecting_param = true;
+                    *i += 1;
+                }
+                '\'' if depth == 1 && expecting_param => {
+                    *i += 1;
+                    let lt = expect_ident(tokens, i);
+                    lifetimes.push(format!("'{lt}"));
+                    expecting_param = false;
+                }
+                _ => *i += 1,
+            },
+            TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                type_params.push(id.to_string());
+                expecting_param = false;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+    (type_params, lifetimes)
+}
+
+fn skip_where_clause(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "where" {
+            while let Some(tok) = tokens.get(*i) {
+                if let TokenTree::Group(g) = tok {
+                    if g.delimiter() == Delimiter::Brace {
+                        break;
+                    }
+                }
+                if let TokenTree::Punct(p) = tok {
+                    if p.as_char() == ';' {
+                        break;
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parses `{ field: Ty, ... }` bodies, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        // Skip the ':' and the type up to the next top-level ','.
+        skip_to_top_level_comma(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts fields of a tuple struct / tuple variant body `(Ty, Ty, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+/// Advances past tokens until just after a comma at angle-bracket depth 0.
+/// `->` is treated as a unit so function-pointer types do not unbalance the
+/// depth counter.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                '-' => {
+                    if let Some(TokenTree::Punct(next)) = tokens.get(*i + 1) {
+                        if next.as_char() == '>' {
+                            *i += 2;
+                            continue;
+                        }
+                    }
+                }
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str, bound: bool) -> String {
+    let mut params: Vec<String> = input.lifetimes.clone();
+    if bound {
+        params.extend(
+            input
+                .type_params
+                .iter()
+                .map(|p| format!("{p}: ::serde::{trait_name}")),
+        );
+    } else {
+        params.extend(input.type_params.iter().cloned());
+    }
+    let mut args: Vec<String> = input.lifetimes.clone();
+    args.extend(input.type_params.iter().cloned());
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    let ty_args = if args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", args.join(", "))
+    };
+    format!(
+        "impl{generics} ::serde::{trait_name} for {}{ty_args}",
+        input.name
+    )
+}
+
+fn render_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::to_content(&self.{idx})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &input.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}",
+        impl_header(input, "Serialize", true)
+    )
+}
+
+fn render_deserialize(input: &Input) -> String {
+    format!("{} {{}}", impl_header(input, "Deserialize", true))
+}

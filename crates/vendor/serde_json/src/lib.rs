@@ -1,0 +1,620 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset of serde_json the workspace uses: the [`Value`] tree,
+//! the [`json!`] macro, [`to_string`] / [`to_string_pretty`] serialization of
+//! any [`serde::Serialize`] type, and [`from_str`] parsing back into a
+//! [`Value`]. Object key order is preserved (like serde_json with the
+//! `preserve_order` feature).
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integers keep their exact representation.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+}
+
+/// Matches real serde_json: integer variants compare by mathematical value
+/// (`U64(5) == I64(5)`), floats only compare to floats. Without this,
+/// round-tripping a serialized unsigned field (serializer emits `U64`, parser
+/// reads back `I64`) would spuriously compare unequal.
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (Number::I64(a), Number::U64(b)) | (Number::U64(b), Number::I64(a)) => {
+                *a >= 0 && *a as u64 == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Error type for serialization/parsing failures.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the array items if this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `f64` if this value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            Value::Number(Number::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value if this value is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object, returning `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::I64(v)) => Content::I64(*v),
+            Value::Number(Number::U64(v)) => Content::U64(*v),
+            Value::Number(Number::F64(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl serde::Deserialize for Value {}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(value.to_content())
+}
+
+fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(Number::I64(v)),
+        Content::U64(v) => Value::Number(Number::U64(v)),
+        Content::F64(v) => Value::Number(Number::F64(v)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports `null`, object literals
+/// with literal keys, array literals, and arbitrary serializable expressions
+/// as values (nested objects are built with nested `json!` calls).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::to_value(&$value))),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![$($crate::to_value(&$value)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match n {
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // serde_json serializes non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &to_value(value), Some(2), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parses a JSON document into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.parse_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let c = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: must be followed by
+                                // `\uXXXX` holding the low half.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error("unpaired surrogate".to_string()));
+                                }
+                                let low = self.parse_hex4(self.pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error("invalid low surrogate".to_string()));
+                                }
+                                self.pos += 6;
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("invalid codepoint".to_string()))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid codepoint".to_string()))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape {:?}", other)));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8".to_string()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits starting at `start` (does not advance `pos`).
+    fn parse_hex4(&self, start: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
+        let hex =
+            std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".to_string()))?;
+        u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".to_string()))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".to_string()))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::F64(v)))
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects_and_arrays() {
+        let v = json!({
+            "name": "x",
+            "items": [1, 2, 3],
+            "nested": json!({ "ok": true }),
+        });
+        assert_eq!(v["name"], "x");
+        assert_eq!(v["items"].as_array().unwrap().len(), 3);
+        assert_eq!(v["nested"]["ok"], Value::Bool(true));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let v = json!({"a": 1, "b": [1.5, -2.0], "c": "hi\n\"quoted\"", "d": Value::Null});
+        let text = to_string(&v).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses() {
+        let v = json!({"a": [1, 2]});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  "));
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn unsigned_values_round_trip_equal() {
+        // Serializer emits U64 for unsigned sources; the parser reads
+        // non-negative integers back as I64. They must still compare equal.
+        let v = to_value(&5usize);
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(Number::U64(5), Number::I64(5));
+        assert_ne!(Number::U64(5), Number::I64(-5));
+        assert_ne!(Number::F64(5.0), Number::I64(5));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // U+1F600 as the surrogate pair a real serde_json may emit.
+        let parsed = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(parsed, Value::String("\u{1F600}".to_string()));
+        // BMP escapes still work, lone surrogates are rejected.
+        assert_eq!(from_str("\"\\u00e9\"").unwrap(), Value::String("é".to_string()));
+        assert!(from_str("\"\\ud83d\"").is_err());
+        assert!(from_str("\"\\ud83d\\u0041\"").is_err());
+    }
+
+    #[test]
+    fn missing_keys_index_to_null() {
+        let v = json!({"a": 1});
+        assert_eq!(v["nope"], Value::Null);
+    }
+}

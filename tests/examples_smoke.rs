@@ -1,0 +1,154 @@
+//! Smoke tests mirroring the four `examples/` binaries' core logic (with
+//! shortened simulated durations), so the examples cannot silently rot even
+//! when nothing runs them. CI additionally builds the example binaries
+//! themselves via `cargo build --examples`.
+
+use analysis::{provision, MmcQueue, ProvisioningInput};
+use arch_adapt::experiment::Comparison;
+use arch_adapt::report::{render_comparison, render_run, run_to_json};
+use arch_adapt::{AdaptationFramework, FrameworkConfig};
+use archmodel::constraint::{ConstraintScope, ConstraintSet, Invariant};
+use archmodel::style::{props, ClientServerStyle};
+use gridapp::{ExperimentSchedule, GridConfig};
+use repair::{add_server, RepairStrategy, StaticQuery, StrategyOutcome, TacticPolicy};
+
+/// `examples/quickstart.rs`: build the adaptive framework, drive the Figure 7
+/// workload, and read back stats, client placement, and the trace.
+#[test]
+fn quickstart_flow_runs_and_reports() {
+    let grid = GridConfig::default();
+    let mut framework =
+        AdaptationFramework::new(grid, FrameworkConfig::adaptive()).expect("framework builds");
+    let schedule = ExperimentSchedule::figure7(&grid);
+    framework.run(240.0, Some(&schedule));
+
+    let stats = framework.repair_stats();
+    assert!(stats.completed <= stats.started);
+    let clients = framework.app().client_names();
+    assert!(!clients.is_empty());
+    for client in &clients {
+        assert!(
+            framework.app().client_group(client).is_ok(),
+            "{client} has no server group"
+        );
+    }
+    // The trace is readable (entries may or may not contain violations after
+    // only a short run; the accessor itself must work).
+    let _ = framework.trace().entries();
+}
+
+/// `examples/control_vs_adaptive.rs`: run both experiments under the same
+/// seed, render the figure series, and export machine-readable JSON.
+#[test]
+fn control_vs_adaptive_flow_renders_and_serialises() {
+    let comparison = Comparison::run(GridConfig::default(), 150.0).expect("experiments run");
+    let text = render_run(&comparison.control);
+    assert!(text.contains("Average latency"));
+    assert!(render_comparison(&comparison).contains("control"));
+
+    let json = serde_json::json!({
+        "control": run_to_json(&comparison.control),
+        "adaptive": run_to_json(&comparison.adaptive),
+    });
+    let pretty = serde_json::to_string_pretty(&json).expect("serialises");
+    let parsed: serde_json::Value = serde_json::from_str(&pretty).expect("parses back");
+    assert_eq!(parsed["control"]["label"], "control");
+    assert_eq!(parsed["adaptive"]["label"], "adaptive");
+}
+
+/// `examples/custom_strategy.rs`: detect an overload violation with a parsed
+/// invariant and repair it with a custom strategy built from the public
+/// tactic API.
+#[test]
+fn custom_strategy_flow_detects_and_repairs() {
+    let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).expect("model builds");
+    let grp1 = model.component_by_name("ServerGrp1").unwrap();
+    model
+        .component_mut(grp1)
+        .unwrap()
+        .properties
+        .set(props::LOAD, 14i64);
+
+    let constraints = ConstraintSet::new().with(
+        Invariant::parse(
+            "serverLoad",
+            ConstraintScope::EachComponent("ServerGroupT".into()),
+            "self.load <= maxServerLoad",
+        )
+        .unwrap(),
+    );
+    let report = constraints.check(&model);
+    assert_eq!(report.violations.len(), 1);
+    let violation = &report.violations[0];
+    assert_eq!(violation.subject_name, "ServerGrp1");
+
+    // A one-tactic strategy that adds a server to the violated group.
+    struct AddOneServer;
+    impl repair::Tactic for AddOneServer {
+        fn name(&self) -> &str {
+            "addOneServer"
+        }
+        fn attempt(
+            &self,
+            ctx: &repair::TacticContext<'_>,
+        ) -> Result<repair::TacticResult, repair::RepairError> {
+            if ctx.query.find_spare_server("ServerGrp1").is_none() {
+                return Ok(repair::TacticResult::NotApplicable {
+                    reason: "no spares".into(),
+                });
+            }
+            let mut tx = archmodel::Transaction::new(ctx.model);
+            let added = add_server(&mut tx, "ServerGrp1")?;
+            Ok(repair::TacticResult::Applied {
+                ops: tx.ops().to_vec(),
+                description: format!("added {added}"),
+            })
+        }
+    }
+    let strategy = RepairStrategy::new("scaleUp", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(AddOneServer));
+    let query = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
+    match strategy.run(&model, violation, &query) {
+        StrategyOutcome::Repaired { ops, .. } => {
+            assert!(!ops.is_empty());
+            for op in &ops {
+                archmodel::apply_op(&mut model, op).unwrap();
+            }
+            let grp1 = model.component_by_name("ServerGrp1").unwrap();
+            assert_eq!(model.children_of(grp1).unwrap().len(), 4);
+            assert!(ClientServerStyle::validate(&model).is_empty());
+        }
+        other => panic!("expected a repair, got {other:?}"),
+    }
+}
+
+/// `examples/provisioning_analysis.rs`: the queueing analysis produces the
+/// paper's provisioning decision and sensible sweeps.
+#[test]
+fn provisioning_flow_matches_paper_inputs() {
+    let baseline = ProvisioningInput::default();
+    let plan = provision(&baseline, 16).expect("baseline is feasible");
+    assert!(plan.servers >= 1);
+    assert!(plan.predicted_response_time <= baseline.max_latency);
+    assert!(plan.bandwidth.min_bandwidth_bps > 0.0);
+
+    // More load never needs fewer servers.
+    let mut last = 0usize;
+    for arrival in [2.0, 6.0, 12.0, 18.0] {
+        let input = ProvisioningInput {
+            arrival_rate: arrival,
+            ..baseline
+        };
+        let plan = provision(&input, 64).expect("feasible within 64 servers");
+        assert!(plan.servers >= last, "λ={arrival}: {} < {last}", plan.servers);
+        last = plan.servers;
+    }
+
+    // M/M/c at the stress load: unstable below 5 effective servers at
+    // λ=12, μ=2.5; stable and improving above.
+    let unstable = MmcQueue::new(12.0, 2.5, 4);
+    assert!(!unstable.is_stable());
+    let stable = MmcQueue::new(12.0, 2.5, 6);
+    assert!(stable.is_stable());
+    assert!(stable.expected_response_time().is_some());
+}
