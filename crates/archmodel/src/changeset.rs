@@ -432,7 +432,10 @@ mod tests {
         let grp = live.component_by_name("ServerGrp1").unwrap();
         assert_eq!(live.children_of(grp).unwrap().len(), 2);
         assert_eq!(
-            live.component(grp).unwrap().properties.get_i64("replicationCount"),
+            live.component(grp)
+                .unwrap()
+                .properties
+                .get_i64("replicationCount"),
             Some(2)
         );
     }

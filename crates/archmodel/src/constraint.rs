@@ -199,9 +199,7 @@ mod tests {
         sys.properties.set("maxLatency", 2.0);
         sys.properties.set("maxServerLoad", 6i64);
         for i in 1..=3 {
-            let c = sys
-                .add_component(format!("User{i}"), "ClientT")
-                .unwrap();
+            let c = sys.add_component(format!("User{i}"), "ClientT").unwrap();
             sys.component_mut(c)
                 .unwrap()
                 .properties
@@ -276,16 +274,14 @@ mod tests {
     #[test]
     fn check_named_runs_only_that_invariant() {
         let sys = system_with_clients();
-        let set = ConstraintSet::new()
-            .with(latency_invariant())
-            .with(
-                Invariant::parse(
-                    "load",
-                    ConstraintScope::EachComponent("ServerGroupT".into()),
-                    "self.load <= maxServerLoad",
-                )
-                .unwrap(),
-            );
+        let set = ConstraintSet::new().with(latency_invariant()).with(
+            Invariant::parse(
+                "load",
+                ConstraintScope::EachComponent("ServerGroupT".into()),
+                "self.load <= maxServerLoad",
+            )
+            .unwrap(),
+        );
         assert_eq!(set.len(), 2);
         let report = set.check_named("load", &sys).unwrap();
         assert_eq!(report.evaluated, 1);
@@ -297,7 +293,10 @@ mod tests {
         let mut sys = system_with_clients();
         let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
         let role = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
-        sys.role_mut(role).unwrap().properties.set("bandwidth", 4_000.0);
+        sys.role_mut(role)
+            .unwrap()
+            .properties
+            .set("bandwidth", 4_000.0);
         sys.properties.set("minBandwidth", 10_000.0);
         let inv = Invariant::parse(
             "bandwidth",

@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn element_ref_display() {
-        assert_eq!(ElementRef::Component(ComponentId(3)).to_string(), "component#3");
+        assert_eq!(
+            ElementRef::Component(ComponentId(3)).to_string(),
+            "component#3"
+        );
         assert_eq!(ElementRef::Role(RoleId(1)).to_string(), "role#1");
     }
 

@@ -102,7 +102,15 @@ pub fn eval(expr: &Expr, system: &System, bindings: &Bindings) -> Result<EvalVal
             type_filter,
             domain,
             body,
-        } => eval_quantifier(*kind, var, type_filter.as_deref(), domain, body, system, bindings),
+        } => eval_quantifier(
+            *kind,
+            var,
+            type_filter.as_deref(),
+            domain,
+            body,
+            system,
+            bindings,
+        ),
     }
 }
 
@@ -114,11 +122,7 @@ pub fn eval_bool(expr: &Expr, system: &System, bindings: &Bindings) -> Result<bo
         .ok_or_else(|| EvalError::TypeMismatch("expected a boolean result".into()))
 }
 
-fn resolve_ident(
-    name: &str,
-    system: &System,
-    bindings: &Bindings,
-) -> Result<EvalValue, EvalError> {
+fn resolve_ident(name: &str, system: &System, bindings: &Bindings) -> Result<EvalValue, EvalError> {
     if let Some(v) = bindings.get(name) {
         return Ok(v.clone());
     }
@@ -178,7 +182,8 @@ fn access_property(
                         c.ports.iter().map(|p| ElementRef::Port(*p)).collect(),
                     ));
                 }
-                (ElementRef::Component(id), "children") | (ElementRef::Component(id), "members") => {
+                (ElementRef::Component(id), "children")
+                | (ElementRef::Component(id), "members") => {
                     let c = system
                         .component(*id)
                         .map_err(|_| EvalError::MissingProperty(el.to_string(), name.into()))?;
@@ -231,21 +236,27 @@ fn eval_binary(
             if !l {
                 return Ok(EvalValue::Val(Value::Bool(false)));
             }
-            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(
+                rhs, system, bindings,
+            )?)));
         }
         BinOp::Or => {
             let l = eval_bool(lhs, system, bindings)?;
             if l {
                 return Ok(EvalValue::Val(Value::Bool(true)));
             }
-            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(
+                rhs, system, bindings,
+            )?)));
         }
         BinOp::Implies => {
             let l = eval_bool(lhs, system, bindings)?;
             if !l {
                 return Ok(EvalValue::Val(Value::Bool(true)));
             }
-            return Ok(EvalValue::Val(Value::Bool(eval_bool(rhs, system, bindings)?)));
+            return Ok(EvalValue::Val(Value::Bool(eval_bool(
+                rhs, system, bindings,
+            )?)));
         }
         _ => {}
     }
@@ -297,11 +308,7 @@ fn eval_binary(
     }
 }
 
-fn numeric_operands(
-    l: &EvalValue,
-    r: &EvalValue,
-    op: BinOp,
-) -> Result<(f64, f64), EvalError> {
+fn numeric_operands(l: &EvalValue, r: &EvalValue, op: BinOp) -> Result<(f64, f64), EvalError> {
     match (l.as_f64(), r.as_f64()) {
         (Some(a), Some(b)) => Ok((a, b)),
         _ => Err(EvalError::TypeMismatch(format!(
@@ -358,10 +365,14 @@ fn eval_call(
                 ));
             }
             let result = match (&evaluated[0], &evaluated[1]) {
-                (EvalValue::Element(ElementRef::Port(p)), EvalValue::Element(ElementRef::Role(r)))
-                | (EvalValue::Element(ElementRef::Role(r)), EvalValue::Element(ElementRef::Port(p))) => {
-                    system.attached(*p, *r)
-                }
+                (
+                    EvalValue::Element(ElementRef::Port(p)),
+                    EvalValue::Element(ElementRef::Role(r)),
+                )
+                | (
+                    EvalValue::Element(ElementRef::Role(r)),
+                    EvalValue::Element(ElementRef::Port(p)),
+                ) => system.attached(*p, *r),
                 (
                     EvalValue::Element(ElementRef::Component(c)),
                     EvalValue::Element(ElementRef::Role(r)),
@@ -398,7 +409,9 @@ fn eval_call(
         }
         "isEmpty" => {
             if evaluated.len() != 1 {
-                return Err(EvalError::BadArguments("isEmpty(x) takes one argument".into()));
+                return Err(EvalError::BadArguments(
+                    "isEmpty(x) takes one argument".into(),
+                ));
             }
             match &evaluated[0] {
                 EvalValue::Elements(items) => Ok(EvalValue::Val(Value::Bool(items.is_empty()))),
@@ -501,21 +514,33 @@ mod tests {
             let s = sys
                 .add_child_component(grp1, format!("Server{i}"), "ServerT")
                 .unwrap();
-            sys.component_mut(s).unwrap().properties.set("isActive", true);
+            sys.component_mut(s)
+                .unwrap()
+                .properties
+                .set("isActive", true);
         }
         sys.component_mut(client)
             .unwrap()
             .properties
             .set("averageLatency", 1.0);
-        sys.component_mut(grp1).unwrap().properties.set("load", 3i64);
-        sys.component_mut(grp2).unwrap().properties.set("load", 0i64);
+        sys.component_mut(grp1)
+            .unwrap()
+            .properties
+            .set("load", 3i64);
+        sys.component_mut(grp2)
+            .unwrap()
+            .properties
+            .set("load", 0i64);
 
         let conn = sys.add_connector("Conn1", "ServiceConnT").unwrap();
         let cport = sys.add_port(client, "request", "RequestT").unwrap();
         let gport = sys.add_port(grp1, "serve", "ServeT").unwrap();
         let crole = sys.add_role(conn, "clientSide", "ClientRoleT").unwrap();
         let grole = sys.add_role(conn, "serverSide", "ServerRoleT").unwrap();
-        sys.role_mut(crole).unwrap().properties.set("bandwidth", 5.0e6);
+        sys.role_mut(crole)
+            .unwrap()
+            .properties
+            .set("bandwidth", 5.0e6);
         sys.attach(cport, crole).unwrap();
         sys.attach(gport, grole).unwrap();
         sys
@@ -551,7 +576,10 @@ mod tests {
             &sys
         ));
         let grp = sys.component_by_name("ServerGrp1").unwrap();
-        sys.component_mut(grp).unwrap().properties.set("load", 10i64);
+        sys.component_mut(grp)
+            .unwrap()
+            .properties
+            .set("load", 10i64);
         assert!(check(
             "exists g : ServerGroupT in components | g.load > maxServerLoad",
             &sys

@@ -201,7 +201,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                     let d = bytes[j] as char;
                     if d.is_ascii_digit() {
                         j += 1;
-                    } else if d == '.' && !saw_dot && j + 1 < bytes.len() && (bytes[j + 1] as char).is_ascii_digit() {
+                    } else if d == '.'
+                        && !saw_dot
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1] as char).is_ascii_digit()
+                    {
                         saw_dot = true;
                         j += 1;
                     } else if (d == 'e' || d == 'E')

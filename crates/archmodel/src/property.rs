@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn iteration_is_name_ordered() {
-        let props = PropertyMap::new().with("b", 1i64).with("a", 2i64).with("c", 3i64);
+        let props = PropertyMap::new()
+            .with("b", 1i64)
+            .with("a", 2i64)
+            .with("c", 3i64);
         let names: Vec<&str> = props.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }

@@ -416,7 +416,9 @@ mod tests {
         sys.remove_component(server).unwrap();
         // replicationCount now also disagrees.
         let violations = ClientServerStyle::validate(&sys);
-        assert!(violations.iter().any(|v| v.rule.contains("at least one active server")));
+        assert!(violations
+            .iter()
+            .any(|v| v.rule.contains("at least one active server")));
         assert!(violations
             .iter()
             .any(|v| v.rule.contains("replicationCount")));

@@ -121,10 +121,7 @@ impl System {
     ) -> Result<ComponentId, ModelError> {
         self.check_component(parent)?;
         let id = self.add_component(name, ctype)?;
-        self.components
-            .get_mut(&id)
-            .expect("just inserted")
-            .parent = Some(parent);
+        self.components.get_mut(&id).expect("just inserted").parent = Some(parent);
         self.components
             .get_mut(&parent)
             .expect("checked above")
@@ -387,7 +384,11 @@ impl System {
     pub fn attach(&mut self, port: PortId, role: RoleId) -> Result<(), ModelError> {
         self.port(port)?;
         self.role(role)?;
-        if self.attachments.iter().any(|a| a.port == port && a.role == role) {
+        if self
+            .attachments
+            .iter()
+            .any(|a| a.port == port && a.role == role)
+        {
             return Err(ModelError::AlreadyAttached(port, role));
         }
         self.attachments.push(Attachment { port, role });
@@ -540,10 +541,16 @@ impl System {
         }
         for att in &self.attachments {
             if !self.ports.contains_key(&att.port) {
-                errors.push(format!("attachment references missing port #{}", att.port.0));
+                errors.push(format!(
+                    "attachment references missing port #{}",
+                    att.port.0
+                ));
             }
             if !self.roles.contains_key(&att.role) {
-                errors.push(format!("attachment references missing role #{}", att.role.0));
+                errors.push(format!(
+                    "attachment references missing role #{}",
+                    att.role.0
+                ));
             }
         }
         for (id, comp) in &self.components {
@@ -614,8 +621,12 @@ mod tests {
     fn children_track_representation_members() {
         let mut sys = System::new("demo");
         let group = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
-        let s1 = sys.add_child_component(group, "Server1", "ServerT").unwrap();
-        let s2 = sys.add_child_component(group, "Server2", "ServerT").unwrap();
+        let s1 = sys
+            .add_child_component(group, "Server1", "ServerT")
+            .unwrap();
+        let s2 = sys
+            .add_child_component(group, "Server2", "ServerT")
+            .unwrap();
         assert_eq!(sys.children_of(group).unwrap(), vec![s1, s2]);
         assert_eq!(sys.component(s1).unwrap().parent, Some(group));
         // Removing a child updates the parent's list.
@@ -628,7 +639,9 @@ mod tests {
     fn removing_parent_removes_children() {
         let mut sys = System::new("demo");
         let group = sys.add_component("ServerGrp1", "ServerGroupT").unwrap();
-        let s1 = sys.add_child_component(group, "Server1", "ServerT").unwrap();
+        let s1 = sys
+            .add_child_component(group, "Server1", "ServerT")
+            .unwrap();
         sys.remove_component(group).unwrap();
         assert!(sys.component(s1).is_err());
         assert_eq!(sys.component_count(), 0);
@@ -688,8 +701,12 @@ mod tests {
         let (mut sys, client, _group, conn) = client_server_system();
         let port = sys.component(client).unwrap().ports[0];
         let role = sys.connector(conn).unwrap().roles[0];
-        sys.set_property(ElementRef::Component(client), "averageLatency", Value::Float(1.2))
-            .unwrap();
+        sys.set_property(
+            ElementRef::Component(client),
+            "averageLatency",
+            Value::Float(1.2),
+        )
+        .unwrap();
         sys.set_property(ElementRef::Connector(conn), "delay", Value::Float(0.1))
             .unwrap();
         sys.set_property(ElementRef::Port(port), "protocol", Value::Str("rmi".into()))
@@ -704,7 +721,10 @@ mod tests {
             sys.get_property(ElementRef::Role(role), "bandwidth"),
             Some(&Value::Float(5e6))
         );
-        assert_eq!(sys.get_property(ElementRef::Component(client), "missing"), None);
+        assert_eq!(
+            sys.get_property(ElementRef::Component(client), "missing"),
+            None
+        );
     }
 
     #[test]

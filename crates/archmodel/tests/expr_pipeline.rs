@@ -191,7 +191,10 @@ fn arithmetic_round_trip_matches_rust_semantics() {
         ("-3 + 10", 7.0),
     ] {
         let got = eval_text(&sys, text).as_f64().unwrap();
-        assert!((got - expected).abs() < 1e-12, "{text}: {got} != {expected}");
+        assert!(
+            (got - expected).abs() < 1e-12,
+            "{text}: {got} != {expected}"
+        );
     }
 }
 
@@ -216,12 +219,7 @@ fn boolean_operators_round_trip() {
 fn system_properties_resolve_as_identifiers() {
     let sys = example();
     // example_system sets maxLatency = 2.0 on the system.
-    assert!(eval_bool(
-        &parse("maxLatency == 2.0").unwrap(),
-        &sys,
-        &Bindings::new()
-    )
-    .unwrap());
+    assert!(eval_bool(&parse("maxLatency == 2.0").unwrap(), &sys, &Bindings::new()).unwrap());
 }
 
 #[test]
@@ -238,7 +236,9 @@ fn component_property_round_trip() {
         &Bindings::new()
     )
     .unwrap());
-    let got = eval_text(&sys, "User1.averageLatency * 4").as_f64().unwrap();
+    let got = eval_text(&sys, "User1.averageLatency * 4")
+        .as_f64()
+        .unwrap();
     assert!((got - 5.0).abs() < 1e-12);
 }
 
@@ -259,10 +259,7 @@ fn quantifiers_evaluate_over_the_component_graph() {
     )
     .unwrap());
     // select returns the matching elements; size() counts them.
-    let got = eval_text(
-        &sys,
-        "size(select c : ClientT in components | true) == 3",
-    );
+    let got = eval_text(&sys, "size(select c : ClientT in components | true) == 3");
     assert_eq!(got.as_bool(), Some(true));
 }
 
@@ -281,10 +278,7 @@ fn string_literals_compare() {
 fn bindings_shadow_system_properties() {
     let sys = example();
     let mut bindings = Bindings::new();
-    bindings.insert(
-        "maxLatency".to_string(),
-        EvalValue::Val(Value::Float(99.0)),
-    );
+    bindings.insert("maxLatency".to_string(), EvalValue::Val(Value::Float(99.0)));
     assert!(eval_bool(&parse("maxLatency > 50").unwrap(), &sys, &bindings).unwrap());
 }
 

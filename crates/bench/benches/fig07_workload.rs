@@ -17,7 +17,9 @@ fn print_figure7() {
         "  {:>8} {:>22} {:>22} {:>14} {:>16}",
         "t (s)", "avail BW C3/4<->SG1", "avail BW C3/4<->SG2", "req rate (1/s)", "response (bytes)"
     );
-    for t in [0.0, 60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 1800.0] {
+    for t in [
+        0.0, 60.0, 120.0, 300.0, 600.0, 900.0, 1200.0, 1500.0, 1800.0,
+    ] {
         println!(
             "  {:>8.0} {:>22.0} {:>22.0} {:>14.1} {:>16.0}",
             t,

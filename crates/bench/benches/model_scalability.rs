@@ -35,7 +35,11 @@ fn sized_model(clients: usize) -> archmodel::System {
         .map(|(id, _)| id)
         .collect();
     for id in group_ids {
-        model.component_mut(id).unwrap().properties.set(props::LOAD, 8i64);
+        model
+            .component_mut(id)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 8i64);
     }
     let role_ids: Vec<archmodel::RoleId> = model.roles().map(|(id, _)| id).collect();
     for id in role_ids {
@@ -101,9 +105,11 @@ fn bench_scalability(c: &mut Criterion) {
     let mut validate_group = c.benchmark_group("model_scalability/style_validation");
     for clients in [6usize, 96, 384] {
         let model = sized_model(clients);
-        validate_group.bench_with_input(BenchmarkId::from_parameter(clients), &model, |b, model| {
-            b.iter(|| ClientServerStyle::validate(model).len())
-        });
+        validate_group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &model,
+            |b, model| b.iter(|| ClientServerStyle::validate(model).len()),
+        );
     }
     validate_group.finish();
 }

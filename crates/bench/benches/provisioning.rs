@@ -36,7 +36,10 @@ fn print_provisioning() {
         let q = MmcQueue::new(12.0, 2.5, c);
         match q.expected_queue_length() {
             Some(lq) => println!("  c={c}: ρ={:.2}, Lq={lq:.1}", q.utilization()),
-            None => println!("  c={c}: ρ={:.2} (unstable, queue grows without bound)", q.utilization()),
+            None => println!(
+                "  c={c}: ρ={:.2} (unstable, queue grows without bound)",
+                q.utilization()
+            ),
         }
     }
 }

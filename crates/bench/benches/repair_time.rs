@@ -28,9 +28,18 @@ fn repair_scripts() -> (Vec<translator::RuntimeOp>, Vec<translator::RuntimeOp>) 
 fn print_repair_time_table() {
     let (move_ops, add_ops) = repair_scripts();
     let configs = [
-        ("paper prototype (no gauge caching)", RepairCostModel::paper_defaults()),
-        ("with gauge caching/relocation", RepairCostModel::with_gauge_caching()),
-        ("without Remos pre-query", RepairCostModel::without_prequery()),
+        (
+            "paper prototype (no gauge caching)",
+            RepairCostModel::paper_defaults(),
+        ),
+        (
+            "with gauge caching/relocation",
+            RepairCostModel::with_gauge_caching(),
+        ),
+        (
+            "without Remos pre-query",
+            RepairCostModel::without_prequery(),
+        ),
     ];
     println!("[repair-time] repair duration decomposition (seconds)");
     println!(

@@ -1,0 +1,61 @@
+//! Sweep throughput — the parallel scenario-sweep harness.
+//!
+//! Benchmarks `run_sweep` over a fixed small matrix at increasing worker
+//! counts. The sweep is embarrassingly parallel (one control/adaptive
+//! comparison per unit, no shared state beyond the result slots), so on a
+//! multi-core host the 4-worker run should complete the same matrix well over
+//! 1.5× faster than the 1-worker run; on a single-core host the counts
+//! degrade gracefully to serial execution. The report is asserted
+//! bit-identical across worker counts on every sample — the bench doubles as
+//! a determinism check.
+
+use arch_adapt::sweep::{run_sweep, SweepSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_spec() -> SweepSpec {
+    SweepSpec {
+        topologies: vec!["paper".into(), "congested-core".into()],
+        workloads: vec!["step".into(), "flash-crowd".into()],
+        strategies: vec!["adaptive".into()],
+        durations_secs: vec![120.0],
+        seeds: vec![42, 7],
+    }
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let spec = bench_spec();
+    let reference = run_sweep(&spec, 1).expect("sweep runs").to_json_string();
+    println!(
+        "[sweep] matrix: {} cells x {} seeds = {} units of {:.0} s; host parallelism: {}",
+        spec.cells().len(),
+        spec.seeds.len(),
+        spec.total_units(),
+        spec.durations_secs[0],
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}_workers")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report = run_sweep(black_box(&spec), workers).expect("sweep runs");
+                    assert_eq!(
+                        report.to_json_string(),
+                        reference,
+                        "report must be bit-identical at {workers} workers"
+                    );
+                    report.total_units
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -11,13 +11,28 @@ use std::hint::black_box;
 fn print_table1() {
     println!("[table1] Environment manager operators and queries");
     for (op, description) in [
-        ("createReqQueue()", "adds a logical request queue to the request-queue machine"),
-        ("findServer([cli_ip, bw_thresh])", "finds a spare server with at least bw_thresh bandwidth to the client"),
-        ("moveClient(ReqQ newQ)", "moves a client to the new request queue"),
-        ("connectServer(Server srv, ReqQ to)", "configures a server to pull requests from the given queue"),
+        (
+            "createReqQueue()",
+            "adds a logical request queue to the request-queue machine",
+        ),
+        (
+            "findServer([cli_ip, bw_thresh])",
+            "finds a spare server with at least bw_thresh bandwidth to the client",
+        ),
+        (
+            "moveClient(ReqQ newQ)",
+            "moves a client to the new request queue",
+        ),
+        (
+            "connectServer(Server srv, ReqQ to)",
+            "configures a server to pull requests from the given queue",
+        ),
         ("activateServer()", "the server begins pulling requests"),
         ("deactivateServer()", "the server stops pulling requests"),
-        ("remos_get_flow(clIP, svIP)", "predicted bandwidth between two machines"),
+        (
+            "remos_get_flow(clIP, svIP)",
+            "predicted bandwidth between two machines",
+        ),
     ] {
         println!("  {op:36} {description}");
     }
@@ -35,7 +50,10 @@ fn bench_operators(c: &mut Criterion) {
 
     group.bench_function("remos_get_flow", |b| {
         let app = warmed_app();
-        b.iter(|| app.remos_get_flow(black_box("User3"), SERVER_GROUP_1).unwrap())
+        b.iter(|| {
+            app.remos_get_flow(black_box("User3"), SERVER_GROUP_1)
+                .unwrap()
+        })
     });
 
     group.bench_function("find_server", |b| {

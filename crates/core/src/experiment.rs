@@ -44,8 +44,12 @@ pub struct RunSummary {
     pub latency: Option<Summary>,
     /// Queue-length statistics for Server Group 1 (the loaded group).
     pub queue_sg1: Option<Summary>,
-    /// Bandwidth statistics for client User3 (one of the squeezed clients).
-    pub bandwidth_user3: Option<Summary>,
+    /// Name of the first client on the squeezable R2 path (`"User3"` on the
+    /// paper testbed), whose bandwidth [`bandwidth_squeezed`]
+    /// (Self::bandwidth_squeezed) tracks.
+    pub squeezed_client: String,
+    /// Bandwidth statistics for the first squeezed client.
+    pub bandwidth_squeezed: Option<Summary>,
     /// First time a latency observation exceeded the bound, if ever.
     pub first_violation_secs: Option<f64>,
     /// Number of repairs started / completed and related counters.
@@ -84,11 +88,13 @@ pub struct RunResult {
 
 fn summarise(
     label: &str,
+    grid: &GridConfig,
     duration_secs: f64,
-    latency_bound: f64,
     metrics: &Metrics,
     stats: &RepairStats,
 ) -> RunSummary {
+    let latency_bound = grid.max_latency_secs;
+    let squeezed_client = format!("User{}", grid.testbed.first_squeezed_client());
     let pooled = metrics.pooled_latency();
     RunSummary {
         label: label.to_string(),
@@ -99,8 +105,13 @@ fn summarise(
             duration_secs,
         ),
         latency: Summary::of(&pooled),
-        queue_sg1: metrics.queue_series(gridapp::SERVER_GROUP_1).and_then(Summary::of),
-        bandwidth_user3: metrics.bandwidth_series("User3").and_then(Summary::of),
+        queue_sg1: metrics
+            .queue_series(gridapp::SERVER_GROUP_1)
+            .and_then(Summary::of),
+        bandwidth_squeezed: metrics
+            .bandwidth_series(&squeezed_client)
+            .and_then(Summary::of),
+        squeezed_client,
         first_violation_secs: pooled.first_time_above(latency_bound),
         repairs_started: stats.started,
         repairs_completed: stats.completed,
@@ -134,13 +145,7 @@ pub fn run_with_schedule(
         .into_iter()
         .map(|(s, e)| (s.as_secs(), e.as_secs()))
         .collect();
-    let summary = summarise(
-        label,
-        config.duration_secs,
-        config.grid.max_latency_secs,
-        &metrics,
-        &stats,
-    );
+    let summary = summarise(label, &config.grid, config.duration_secs, &metrics, &stats);
     Ok(RunResult {
         label: label.to_string(),
         latency_bound_secs: config.grid.max_latency_secs,
@@ -191,6 +196,42 @@ impl Comparison {
         Ok(Comparison {
             control: run_control(grid, duration_secs)?,
             adaptive: run_adaptive(grid, duration_secs)?,
+        })
+    }
+
+    /// Runs the control/adaptive pair under an explicit workload schedule and
+    /// adaptive framework configuration. The control run uses the same
+    /// configuration with adaptation disabled, so the pair differs only in
+    /// whether repairs execute — the comparison the sweep harness aggregates.
+    pub fn run_with(
+        grid: GridConfig,
+        adaptive: FrameworkConfig,
+        schedule: Option<&ExperimentSchedule>,
+        duration_secs: f64,
+    ) -> Result<Comparison, AppError> {
+        let control = FrameworkConfig {
+            adaptation_enabled: false,
+            ..adaptive
+        };
+        Ok(Comparison {
+            control: run_with_schedule(
+                "control",
+                ExperimentConfig {
+                    grid,
+                    framework: control,
+                    duration_secs,
+                },
+                schedule,
+            )?,
+            adaptive: run_with_schedule(
+                "adaptive",
+                ExperimentConfig {
+                    grid,
+                    framework: adaptive,
+                    duration_secs,
+                },
+                schedule,
+            )?,
         })
     }
 
@@ -263,7 +304,20 @@ mod tests {
             assert!(run.metrics.queue_series(gridapp::SERVER_GROUP_1).is_some());
             assert!(run.metrics.bandwidth_series("User3").is_some());
             assert!(run.summary.latency.is_some());
+            // On the paper testbed the first squeezed client is User3.
+            assert_eq!(run.summary.squeezed_client, "User3");
+            assert!(run.summary.bandwidth_squeezed.is_some());
         }
+    }
+
+    #[test]
+    fn squeezed_client_follows_the_testbed_spec() {
+        // On the wide-fanout preset four clients sit behind R1, so the first
+        // squeezed (R2) client is User5.
+        let grid = GridConfig::with_testbed(gridapp::TestbedSpec::wide_fanout());
+        let run = run_control(grid, 60.0).unwrap();
+        assert_eq!(run.summary.squeezed_client, "User5");
+        assert!(run.summary.bandwidth_squeezed.is_some());
     }
 
     #[test]

@@ -33,6 +33,17 @@ use repair::{PlanOutcome, RepairDamping, RepairEngine, RepairPlan, SelectionPoli
 use simnet::{SimTime, Trace, TraceKind};
 use translator::{translate, RepairCostModel, RuntimeOp};
 
+/// Names of the built-in repair-strategy presets, in sweep-matrix order.
+/// Each resolves through [`FrameworkConfig::by_name`] to an adaptive
+/// configuration; the sweep harness derives the matching control run by
+/// disabling adaptation on the same configuration.
+pub const STRATEGY_NAMES: [&str; 4] = [
+    "adaptive",
+    "bandwidth-first",
+    "no-damping",
+    "qos-monitoring",
+];
+
 /// Configuration of the adaptation framework.
 #[derive(Debug, Clone, Copy)]
 pub struct FrameworkConfig {
@@ -89,6 +100,27 @@ impl FrameworkConfig {
     /// The adaptive configuration used for Figures 11–13.
     pub fn adaptive() -> Self {
         Self::default()
+    }
+
+    /// Resolves a repair-strategy preset by its sweep-matrix name (one of
+    /// [`STRATEGY_NAMES`]).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "adaptive" => Some(Self::adaptive()),
+            "bandwidth-first" => Some(FrameworkConfig {
+                bandwidth_first: true,
+                ..Self::adaptive()
+            }),
+            "no-damping" => Some(FrameworkConfig {
+                damping_secs: None,
+                ..Self::adaptive()
+            }),
+            "qos-monitoring" => Some(FrameworkConfig {
+                monitoring_qos: true,
+                ..Self::adaptive()
+            }),
+            _ => None,
+        }
     }
 }
 
@@ -371,7 +403,8 @@ impl AdaptationFramework {
                 );
             }
             PlanOutcome::Skipped { reason } => {
-                self.trace.record(t, TraceKind::Info, format!("repair skipped: {reason}"));
+                self.trace
+                    .record(t, TraceKind::Info, format!("repair skipped: {reason}"));
             }
             PlanOutcome::Nothing => {}
         }
@@ -428,7 +461,10 @@ impl AdaptationFramework {
             self.trace.record(
                 t,
                 TraceKind::Info,
-                format!("model has {} style violations after commit", style_violations.len()),
+                format!(
+                    "model has {} style violations after commit",
+                    style_violations.len()
+                ),
             );
         }
         // Propagate the repair to the runtime layer.
@@ -461,7 +497,9 @@ impl AdaptationFramework {
                         self.server_map.insert(server.clone(), runtime.clone());
                         self.app.connect_server(&runtime, group)
                     }
-                    None => Err(AppError::Invalid(format!("no spare server available for {server}"))),
+                    None => Err(AppError::Invalid(format!(
+                        "no spare server available for {server}"
+                    ))),
                 }
             }
             RuntimeOp::ActivateServer { server } => match self.server_map.get(server).cloned() {
@@ -522,9 +560,7 @@ impl AdaptationFramework {
     /// Runs the framework for `duration` seconds of simulated time under an
     /// optional scripted workload.
     pub fn run(&mut self, duration_secs: f64, schedule: Option<&ExperimentSchedule>) {
-        let mut change_points: Vec<f64> = schedule
-            .map(|s| s.change_points())
-            .unwrap_or_default();
+        let mut change_points: Vec<f64> = schedule.map(|s| s.change_points()).unwrap_or_default();
         change_points.retain(|&p| p > 0.0 && p <= duration_secs);
         if let Some(schedule) = schedule {
             schedule
@@ -565,6 +601,30 @@ mod tests {
             control_period_secs: 5.0,
             ..FrameworkConfig::adaptive()
         }
+    }
+
+    #[test]
+    fn every_strategy_name_resolves_and_unknown_names_do_not() {
+        for name in STRATEGY_NAMES {
+            let config = FrameworkConfig::by_name(name)
+                .unwrap_or_else(|| panic!("strategy {name} resolves"));
+            assert!(config.adaptation_enabled, "{name} presets are adaptive");
+        }
+        assert!(FrameworkConfig::by_name("wishful").is_none());
+        assert!(
+            FrameworkConfig::by_name("bandwidth-first")
+                .unwrap()
+                .bandwidth_first
+        );
+        assert!(FrameworkConfig::by_name("no-damping")
+            .unwrap()
+            .damping_secs
+            .is_none());
+        assert!(
+            FrameworkConfig::by_name("qos-monitoring")
+                .unwrap()
+                .monitoring_qos
+        );
     }
 
     #[test]
@@ -622,7 +682,10 @@ mod tests {
         fw.run(420.0, Some(&schedule));
         let stats = fw.repair_stats();
         assert!(stats.started >= 1, "at least one repair starts: {stats:?}");
-        assert!(stats.completed >= 1, "at least one repair completes: {stats:?}");
+        assert!(
+            stats.completed >= 1,
+            "at least one repair completes: {stats:?}"
+        );
         assert!(
             stats.client_moves >= 1,
             "the squeeze phase is repaired by moving a client: {stats:?}"

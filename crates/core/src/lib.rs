@@ -15,6 +15,8 @@
 //!   answered by the live application,
 //! * [`framework`] — the three-layer adaptation loop (Figure 1),
 //! * [`experiment`] — the control and adaptive experiment runs (§5),
+//! * [`sweep`] — parallel scenario sweeps over topology × workload ×
+//!   strategy × duration × seed matrices with aggregate statistics,
 //! * [`report`] — figure-shaped text/JSON reporting.
 //!
 //! ```no_run
@@ -32,13 +34,18 @@ pub mod framework;
 pub mod model;
 pub mod query;
 pub mod report;
+pub mod sweep;
 pub mod task;
 
 pub use experiment::{
     run_adaptive, run_control, run_experiment, Comparison, ExperimentConfig, RunResult, RunSummary,
 };
-pub use framework::{AdaptationFramework, FrameworkConfig, RepairStats};
+pub use framework::{AdaptationFramework, FrameworkConfig, RepairStats, STRATEGY_NAMES};
 pub use model::{build_model, ModelUpdater};
 pub use query::AppQuery;
-pub use report::{render_comparison, render_run, run_to_json};
+pub use report::{render_comparison, render_run, render_sweep, run_to_json};
+pub use sweep::{
+    run_sweep, Aggregate, CellKey, CellReport, ConfidenceInterval, SweepError, SweepReport,
+    SweepSpec, SweepUnit, UnitOutcome,
+};
 pub use task::PerformanceProfile;

@@ -25,7 +25,8 @@ pub fn build_model(
     let mut server_map = HashMap::new();
     for group_name in app.group_names() {
         let runtime_servers = app.active_servers(&group_name);
-        let group = ClientServerStyle::add_server_group(&mut model, &group_name, runtime_servers.len())?;
+        let group =
+            ClientServerStyle::add_server_group(&mut model, &group_name, runtime_servers.len())?;
         // Record which runtime server each model replica corresponds to.
         for (index, runtime) in runtime_servers.iter().enumerate() {
             let model_name = format!("{group_name}.Server{}", index + 1);
@@ -120,15 +121,24 @@ mod tests {
         assert_eq!(ClientServerStyle::clients_of_group(&model, grp1).len(), 6);
         // Server mapping covers every replica and points at runtime names.
         assert_eq!(server_map.len(), 5);
-        assert_eq!(server_map.get("ServerGrp1.Server1"), Some(&"S1".to_string()));
-        assert_eq!(server_map.get("ServerGrp2.Server1"), Some(&"S5".to_string()));
+        assert_eq!(
+            server_map.get("ServerGrp1.Server1"),
+            Some(&"S1".to_string())
+        );
+        assert_eq!(
+            server_map.get("ServerGrp2.Server1"),
+            Some(&"S5".to_string())
+        );
     }
 
     #[test]
     fn thresholds_come_from_the_profile() {
         let (model, _) = setup();
         assert_eq!(model.properties.get_f64(props::MAX_LATENCY), Some(2.0));
-        assert_eq!(model.properties.get_f64(props::MIN_BANDWIDTH), Some(10_000.0));
+        assert_eq!(
+            model.properties.get_f64(props::MIN_BANDWIDTH),
+            Some(10_000.0)
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! be plotted or diffed externally.
 
 use crate::experiment::{Comparison, RunResult};
+use crate::sweep::SweepReport;
 
 use simnet::TimeSeries;
 
@@ -99,9 +100,68 @@ pub fn render_comparison(comparison: &Comparison) -> String {
             .unwrap_or(0.0)
     ));
     if let Some(ratio) = comparison.violation_improvement() {
-        out.push_str(&format!("  improvement: {ratio:.1}x fewer bound violations\n"));
+        out.push_str(&format!(
+            "  improvement: {ratio:.1}x fewer bound violations\n"
+        ));
     } else {
         out.push_str("  improvement: adaptive run never exceeded the bound\n");
+    }
+    out
+}
+
+/// Renders a sweep report as a per-cell text table: one row per matrix cell
+/// with the violation fractions, the improvement interval, and the repair
+/// counts aggregated across seeds.
+pub fn render_sweep(report: &SweepReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Scenario sweep: {} cells, {} runs ({} seeds each) ==\n",
+        report.cells.len(),
+        report.total_units,
+        report.spec.seeds.len()
+    ));
+    out.push_str(&format!(
+        "  {:<16} {:<12} {:<16} {:>6}  {:>10} {:>10}  {:>18}  {:>8} {:>8}\n",
+        "topology",
+        "workload",
+        "strategy",
+        "dur(s)",
+        "ctrl-viol",
+        "adpt-viol",
+        "improvement",
+        "thruput",
+        "repairs"
+    ));
+    for cell in &report.cells {
+        let improvement = match &cell.improvement {
+            Some(ci) if ci.count > 1 => {
+                format!("{:.1}x [{:.1}, {:.1}]", ci.mean, ci.lo, ci.hi)
+            }
+            Some(ci) => format!("{:.1}x", ci.mean),
+            None if !cell.perfect_adaptive_seeds.is_empty() => "perfect".to_string(),
+            None => "n/a".to_string(),
+        };
+        let suffix = if cell.improvement.is_some() && !cell.perfect_adaptive_seeds.is_empty() {
+            format!(" (+{} perfect)", cell.perfect_adaptive_seeds.len())
+        } else {
+            String::new()
+        };
+        let throughput = cell
+            .throughput_ratio
+            .map_or("n/a".to_string(), |t| format!("{:.2}x", t.mean));
+        out.push_str(&format!(
+            "  {:<16} {:<12} {:<16} {:>6.0}  {:>10.3} {:>10.3}  {:>18}  {:>8} {:>8.1}{}\n",
+            cell.key.topology,
+            cell.key.workload,
+            cell.key.strategy,
+            cell.key.duration_secs,
+            cell.control_violation.mean,
+            cell.adaptive_violation.mean,
+            improvement,
+            throughput,
+            cell.repairs_completed.mean,
+            suffix
+        ));
     }
     out
 }
@@ -119,9 +179,13 @@ pub fn run_to_json(result: &RunResult) -> serde_json::Value {
             })
             .collect()
     }
-    let latency = collect(result.metrics.clients(), |c| result.metrics.latency_series(c));
+    let latency = collect(result.metrics.clients(), |c| {
+        result.metrics.latency_series(c)
+    });
     let queue = collect(result.metrics.groups(), |g| result.metrics.queue_series(g));
-    let bandwidth = collect(result.metrics.clients(), |c| result.metrics.bandwidth_series(c));
+    let bandwidth = collect(result.metrics.clients(), |c| {
+        result.metrics.bandwidth_series(c)
+    });
     serde_json::json!({
         "label": result.label,
         "summary": result.summary,
@@ -177,6 +241,23 @@ mod tests {
     fn empty_series_is_handled() {
         let rendered = render_series("empty", &TimeSeries::new(), "s");
         assert!(rendered.contains("no observations"));
+    }
+
+    #[test]
+    fn sweep_rendering_lists_every_cell() {
+        let spec = crate::sweep::SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into(), "flash-crowd".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42],
+        };
+        let report = crate::sweep::run_sweep(&spec, 1).unwrap();
+        let text = render_sweep(&report);
+        assert!(text.contains("Scenario sweep: 2 cells"));
+        assert!(text.contains("step"));
+        assert!(text.contains("flash-crowd"));
+        assert!(text.contains("adaptive"));
     }
 
     #[test]

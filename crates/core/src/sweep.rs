@@ -1,0 +1,647 @@
+//! Parallel scenario sweeps with aggregate statistics.
+//!
+//! The paper evaluates adaptation on a single fixed testbed topology under
+//! one workload schedule. This module generalises that evaluation into a
+//! declarative [`SweepSpec`]: a matrix of topology presets × workload
+//! generators × repair strategies × run durations × seeds. The spec expands
+//! into individual control-vs-adaptive [`Comparison`] runs
+//! ([`SweepSpec::expand`]), executes them across `std::thread` workers
+//! ([`run_sweep`]), and aggregates per-cell statistics (mean / p95 / min /
+//! max across seeds, plus a confidence interval on the violation-improvement
+//! ratio) into a serialisable [`SweepReport`].
+//!
+//! **Determinism:** every unit is fully determined by its cell key and seed
+//! (each worker builds its own simulator), units are written back into a slot
+//! indexed by expansion order, and aggregation folds in that fixed order —
+//! so the report is bit-identical regardless of worker count or completion
+//! order. The report deliberately carries no wall-clock timing or worker
+//! count, keeping its JSON byte-stable; CI diffs two runs as a determinism
+//! gate.
+
+use crate::experiment::Comparison;
+use crate::framework::FrameworkConfig;
+use gridapp::{ExperimentSchedule, GridConfig, TestbedSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Errors raised while validating or executing a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// A topology name did not resolve to a [`TestbedSpec`] preset.
+    UnknownTopology(String),
+    /// A workload name did not resolve to an [`ExperimentSchedule`] generator.
+    UnknownWorkload(String),
+    /// A strategy name did not resolve to a [`FrameworkConfig`] preset.
+    UnknownStrategy(String),
+    /// One of the matrix axes is empty.
+    EmptyAxis(&'static str),
+    /// A run duration was not a positive finite number of seconds.
+    InvalidDuration(f64),
+    /// A unit failed to execute.
+    Run {
+        /// Expansion index of the failing unit.
+        unit: usize,
+        /// The underlying error.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownTopology(n) => write!(f, "unknown topology preset: {n}"),
+            SweepError::UnknownWorkload(n) => write!(f, "unknown workload generator: {n}"),
+            SweepError::UnknownStrategy(n) => write!(f, "unknown repair strategy: {n}"),
+            SweepError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` is empty"),
+            SweepError::InvalidDuration(d) => write!(f, "invalid run duration: {d}"),
+            SweepError::Run { unit, message } => write!(f, "sweep unit #{unit} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// A declarative sweep matrix. Every combination of the five axes becomes
+/// one cell; every cell runs once per seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Topology preset names (see [`gridapp::TESTBED_PRESETS`]).
+    pub topologies: Vec<String>,
+    /// Workload generator names (see [`gridapp::WORKLOAD_NAMES`]).
+    pub workloads: Vec<String>,
+    /// Repair-strategy preset names (see
+    /// [`crate::framework::STRATEGY_NAMES`]).
+    pub strategies: Vec<String>,
+    /// Run lengths in simulated seconds.
+    pub durations_secs: Vec<f64>,
+    /// Seeds; each cell is replicated once per seed.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepSpec {
+    /// The default evaluation matrix: every topology preset × three workload
+    /// generators × the paper's adaptive strategy × a 300 s run × four seeds.
+    pub fn default_matrix() -> Self {
+        SweepSpec {
+            topologies: gridapp::TESTBED_PRESETS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            workloads: vec!["figure7".into(), "step".into(), "flash-crowd".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![300.0],
+            seeds: vec![42, 7, 19, 23],
+        }
+    }
+
+    /// A tiny matrix for CI smoke runs and benches: two topologies × two
+    /// workloads × one strategy × a 120 s run × two seeds (8 units).
+    pub fn smoke() -> Self {
+        SweepSpec {
+            topologies: vec!["paper".into(), "congested-core".into()],
+            workloads: vec!["figure7".into(), "step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![120.0],
+            seeds: vec![42, 7],
+        }
+    }
+
+    /// Checks that every axis is non-empty and every name resolves.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.topologies.is_empty() {
+            return Err(SweepError::EmptyAxis("topologies"));
+        }
+        if self.workloads.is_empty() {
+            return Err(SweepError::EmptyAxis("workloads"));
+        }
+        if self.strategies.is_empty() {
+            return Err(SweepError::EmptyAxis("strategies"));
+        }
+        if self.durations_secs.is_empty() {
+            return Err(SweepError::EmptyAxis("durations_secs"));
+        }
+        if self.seeds.is_empty() {
+            return Err(SweepError::EmptyAxis("seeds"));
+        }
+        for name in &self.topologies {
+            if TestbedSpec::by_name(name).is_none() {
+                return Err(SweepError::UnknownTopology(name.clone()));
+            }
+        }
+        let probe = GridConfig::default();
+        for name in &self.workloads {
+            if ExperimentSchedule::by_name(name, &probe, 60.0).is_none() {
+                return Err(SweepError::UnknownWorkload(name.clone()));
+            }
+        }
+        for name in &self.strategies {
+            if FrameworkConfig::by_name(name).is_none() {
+                return Err(SweepError::UnknownStrategy(name.clone()));
+            }
+        }
+        for &duration in &self.durations_secs {
+            if !duration.is_finite() || duration <= 0.0 {
+                return Err(SweepError::InvalidDuration(duration));
+            }
+        }
+        Ok(())
+    }
+
+    /// All cell keys in expansion order (topology-major, duration-minor).
+    pub fn cells(&self) -> Vec<CellKey> {
+        let mut cells = Vec::new();
+        for topology in &self.topologies {
+            for workload in &self.workloads {
+                for strategy in &self.strategies {
+                    for &duration_secs in &self.durations_secs {
+                        cells.push(CellKey {
+                            topology: topology.clone(),
+                            workload: workload.clone(),
+                            strategy: strategy.clone(),
+                            duration_secs,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Expands the matrix into individually runnable units, one per cell per
+    /// seed, numbered in expansion order. The order is what makes the sweep
+    /// deterministic: results are keyed by this index no matter which worker
+    /// runs them.
+    pub fn expand(&self) -> Vec<SweepUnit> {
+        let mut units = Vec::with_capacity(self.total_units());
+        for key in self.cells() {
+            for &seed in &self.seeds {
+                units.push(SweepUnit {
+                    index: units.len(),
+                    key: key.clone(),
+                    seed,
+                });
+            }
+        }
+        units
+    }
+
+    /// Number of units the matrix expands into.
+    pub fn total_units(&self) -> usize {
+        self.topologies.len()
+            * self.workloads.len()
+            * self.strategies.len()
+            * self.durations_secs.len()
+            * self.seeds.len()
+    }
+}
+
+/// Identifies one cell of the sweep matrix (everything but the seed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Topology preset name.
+    pub topology: String,
+    /// Workload generator name.
+    pub workload: String,
+    /// Repair-strategy preset name.
+    pub strategy: String,
+    /// Run length in simulated seconds.
+    pub duration_secs: f64,
+}
+
+/// One runnable unit: a cell key plus a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepUnit {
+    /// Position in the spec's expansion order.
+    pub index: usize,
+    /// The cell this unit belongs to.
+    pub key: CellKey,
+    /// The seed for both runs of the comparison.
+    pub seed: u64,
+}
+
+impl SweepUnit {
+    /// Runs this unit's control/adaptive comparison. The outcome is fully
+    /// determined by the cell key and seed.
+    pub fn run(&self) -> Result<UnitOutcome, SweepError> {
+        let testbed = TestbedSpec::by_name(&self.key.topology)
+            .ok_or_else(|| SweepError::UnknownTopology(self.key.topology.clone()))?;
+        let grid = GridConfig {
+            seed: self.seed,
+            testbed,
+            ..GridConfig::default()
+        };
+        let schedule =
+            ExperimentSchedule::by_name(&self.key.workload, &grid, self.key.duration_secs)
+                .ok_or_else(|| SweepError::UnknownWorkload(self.key.workload.clone()))?;
+        let framework = FrameworkConfig::by_name(&self.key.strategy)
+            .ok_or_else(|| SweepError::UnknownStrategy(self.key.strategy.clone()))?;
+        let comparison =
+            Comparison::run_with(grid, framework, Some(&schedule), self.key.duration_secs)
+                .map_err(|e| SweepError::Run {
+                    unit: self.index,
+                    message: e.to_string(),
+                })?;
+        Ok(UnitOutcome::of(self.seed, &comparison))
+    }
+}
+
+/// The headline numbers extracted from one unit's comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitOutcome {
+    /// The unit's seed.
+    pub seed: u64,
+    /// Fraction of control-run requests above the latency bound.
+    pub control_violation_fraction: f64,
+    /// Fraction of adaptive-run requests above the latency bound.
+    pub adaptive_violation_fraction: f64,
+    /// Control/adaptive violation ratio; `None` when the adaptive run never
+    /// violated the bound (infinite improvement).
+    pub improvement: Option<f64>,
+    /// Mean pooled latency of the adaptive run (seconds).
+    pub adaptive_mean_latency_secs: Option<f64>,
+    /// 95th-percentile pooled latency of the adaptive run (seconds).
+    pub adaptive_p95_latency_secs: Option<f64>,
+    /// Requests completed by the control run. The violation fraction only
+    /// counts *completed* requests, so a wedged control run can look clean;
+    /// this count exposes that.
+    pub control_completed: u64,
+    /// Requests completed by the adaptive run.
+    pub adaptive_completed: u64,
+    /// Repairs completed by the adaptive run.
+    pub repairs_completed: u64,
+    /// Repairs aborted by the adaptive run.
+    pub repairs_aborted: u64,
+    /// Spare servers activated by the adaptive run.
+    pub servers_activated: u64,
+    /// Client moves performed by the adaptive run.
+    pub client_moves: u64,
+}
+
+impl UnitOutcome {
+    /// Extracts the outcome from a finished comparison.
+    pub fn of(seed: u64, comparison: &Comparison) -> Self {
+        let control = &comparison.control.summary;
+        let adaptive = &comparison.adaptive.summary;
+        UnitOutcome {
+            seed,
+            control_violation_fraction: control.fraction_latency_above_bound,
+            adaptive_violation_fraction: adaptive.fraction_latency_above_bound,
+            improvement: comparison.violation_improvement(),
+            adaptive_mean_latency_secs: adaptive.latency.map(|s| s.mean),
+            adaptive_p95_latency_secs: adaptive.latency.map(|s| s.p95),
+            control_completed: control.latency.map_or(0, |s| s.count as u64),
+            adaptive_completed: adaptive.latency.map_or(0, |s| s.count as u64),
+            repairs_completed: adaptive.repairs_completed,
+            repairs_aborted: adaptive.repairs_aborted,
+            servers_activated: adaptive.servers_activated,
+            client_moves: adaptive.client_moves,
+        }
+    }
+}
+
+/// Aggregate statistics of one metric across a cell's seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Number of values aggregated.
+    pub count: usize,
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a slice of values; `None` if it is empty. Quantiles use
+    /// the same nearest-rank definition as per-run summaries
+    /// ([`simnet::quantile_of`]).
+    pub fn of(values: &[f64]) -> Option<Aggregate> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(Aggregate {
+            count: values.len(),
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+            min: simnet::quantile_of(values, 0.0)?,
+            max: simnet::quantile_of(values, 1.0)?,
+            p95: simnet::quantile_of(values, 0.95)?,
+        })
+    }
+}
+
+/// A mean with a 95% normal-approximation confidence interval across seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Number of values behind the interval.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Lower 95% bound (`mean` when only one value exists).
+    pub lo: f64,
+    /// Upper 95% bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Computes the interval; `None` if the slice is empty.
+    pub fn of(values: &[f64]) -> Option<ConfidenceInterval> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let half_width = if values.len() > 1 {
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            1.96 * (var / n).sqrt()
+        } else {
+            0.0
+        };
+        Some(ConfidenceInterval {
+            count: values.len(),
+            mean,
+            lo: mean - half_width,
+            hi: mean + half_width,
+        })
+    }
+}
+
+/// Per-cell aggregation across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellReport {
+    /// The cell's matrix coordinates.
+    pub key: CellKey,
+    /// Per-seed outcomes, in the spec's seed order.
+    pub outcomes: Vec<UnitOutcome>,
+    /// Control-run violation fraction across seeds.
+    pub control_violation: Aggregate,
+    /// Adaptive-run violation fraction across seeds.
+    pub adaptive_violation: Aggregate,
+    /// Adaptive-run mean latency across seeds (absent if no run recorded
+    /// latency).
+    pub adaptive_mean_latency: Option<Aggregate>,
+    /// Repairs completed across seeds.
+    pub repairs_completed: Aggregate,
+    /// Adaptive/control completed-request ratio across the seeds where the
+    /// control run completed anything (> 1 means adaptation restored
+    /// throughput a wedged control run lost).
+    pub throughput_ratio: Option<Aggregate>,
+    /// Violation-improvement ratio across the seeds where it is defined
+    /// (adaptive run had at least one violation).
+    pub improvement: Option<ConfidenceInterval>,
+    /// Seeds whose adaptive run never violated the bound (the improvement
+    /// ratio is unbounded for these).
+    pub perfect_adaptive_seeds: Vec<u64>,
+}
+
+impl CellReport {
+    fn of(key: CellKey, outcomes: Vec<UnitOutcome>) -> CellReport {
+        let control: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.control_violation_fraction)
+            .collect();
+        let adaptive: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.adaptive_violation_fraction)
+            .collect();
+        let latency: Vec<f64> = outcomes
+            .iter()
+            .filter_map(|o| o.adaptive_mean_latency_secs)
+            .collect();
+        let repairs: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.repairs_completed as f64)
+            .collect();
+        let throughput: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.control_completed > 0)
+            .map(|o| o.adaptive_completed as f64 / o.control_completed as f64)
+            .collect();
+        let improvements: Vec<f64> = outcomes.iter().filter_map(|o| o.improvement).collect();
+        // "Perfect" requires the adaptive run to have actually served
+        // requests: an empty latency series also yields a zero violation
+        // fraction, and a wedged run is the opposite of perfect.
+        let perfect: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| o.improvement.is_none() && o.adaptive_completed > 0)
+            .map(|o| o.seed)
+            .collect();
+        CellReport {
+            key,
+            control_violation: Aggregate::of(&control).expect("cells have at least one seed"),
+            adaptive_violation: Aggregate::of(&adaptive).expect("cells have at least one seed"),
+            adaptive_mean_latency: Aggregate::of(&latency),
+            repairs_completed: Aggregate::of(&repairs).expect("cells have at least one seed"),
+            throughput_ratio: Aggregate::of(&throughput),
+            improvement: ConfidenceInterval::of(&improvements),
+            perfect_adaptive_seeds: perfect,
+            outcomes,
+        }
+    }
+}
+
+/// The aggregated result of a whole sweep.
+///
+/// Deliberately carries no wall-clock timing and no worker count: its JSON
+/// serialisation is byte-identical for the same spec regardless of how the
+/// sweep was parallelised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The spec the sweep ran.
+    pub spec: SweepSpec,
+    /// Number of comparison units executed (cells × seeds).
+    pub total_units: usize,
+    /// Per-cell aggregates, in the spec's expansion order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// Serialises the report to pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+}
+
+/// Runs every unit of the sweep across `workers` threads and aggregates the
+/// results. `workers` is clamped to `1..=total_units`. The report is
+/// bit-identical for any worker count (see the module docs).
+pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepError> {
+    spec.validate()?;
+    let units = spec.expand();
+    let total = units.len();
+    let workers = workers.clamp(1, total);
+    let slots: Mutex<Vec<Option<Result<UnitOutcome, SweepError>>>> = Mutex::new(vec![None; total]);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let outcome = units[i].run();
+                slots.lock().expect("no worker panicked")[i] = Some(outcome);
+            });
+        }
+    });
+    let outcomes: Vec<UnitOutcome> = slots
+        .into_inner()
+        .expect("no worker panicked")
+        .into_iter()
+        .map(|slot| slot.expect("every unit was claimed by a worker"))
+        .collect::<Result<_, _>>()?;
+    let per_cell = spec.seeds.len();
+    let cells: Vec<CellReport> = spec
+        .cells()
+        .into_iter()
+        .zip(outcomes.chunks(per_cell))
+        .map(|(key, chunk)| CellReport::of(key, chunk.to_vec()))
+        .collect();
+    Ok(SweepReport {
+        spec: spec.clone(),
+        total_units: total,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            topologies: vec!["paper".into(), "congested-core".into()],
+            workloads: vec!["step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42, 7],
+        }
+    }
+
+    #[test]
+    fn expansion_is_cell_major_with_seeds_innermost() {
+        let spec = tiny_spec();
+        let units = spec.expand();
+        assert_eq!(units.len(), 4);
+        assert_eq!(spec.total_units(), 4);
+        assert_eq!(units[0].key.topology, "paper");
+        assert_eq!(units[0].seed, 42);
+        assert_eq!(units[1].key.topology, "paper");
+        assert_eq!(units[1].seed, 7);
+        assert_eq!(units[2].key.topology, "congested-core");
+        assert_eq!(units[3].index, 3);
+        // Cells pair with seed-contiguous chunks.
+        assert_eq!(spec.cells().len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_unknown_names_and_empty_axes() {
+        let mut spec = tiny_spec();
+        spec.topologies = vec!["atlantis".into()];
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::UnknownTopology("atlantis".into()))
+        );
+        let mut spec = tiny_spec();
+        spec.workloads = vec!["tsunami".into()];
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::UnknownWorkload("tsunami".into()))
+        );
+        let mut spec = tiny_spec();
+        spec.strategies = vec!["wishful".into()];
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::UnknownStrategy("wishful".into()))
+        );
+        let mut spec = tiny_spec();
+        spec.seeds.clear();
+        assert_eq!(spec.validate(), Err(SweepError::EmptyAxis("seeds")));
+        let mut spec = tiny_spec();
+        spec.durations_secs = vec![-5.0];
+        assert_eq!(spec.validate(), Err(SweepError::InvalidDuration(-5.0)));
+        assert!(tiny_spec().validate().is_ok());
+        assert!(SweepSpec::default_matrix().validate().is_ok());
+        assert!(SweepSpec::smoke().validate().is_ok());
+    }
+
+    #[test]
+    fn aggregate_and_confidence_interval_math() {
+        let agg = Aggregate::of(&[1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(agg.count, 4);
+        assert!((agg.mean - 2.5).abs() < 1e-12);
+        assert_eq!(agg.min, 1.0);
+        assert_eq!(agg.max, 4.0);
+        assert_eq!(agg.p95, 4.0);
+        assert!(Aggregate::of(&[]).is_none());
+
+        let ci = ConfidenceInterval::of(&[2.0, 4.0, 6.0, 8.0]).unwrap();
+        assert!((ci.mean - 5.0).abs() < 1e-12);
+        // Sample sd = sqrt(20/3) ≈ 2.582; half-width = 1.96 * sd / 2 ≈ 2.53.
+        assert!((ci.hi - ci.mean - 2.530).abs() < 0.01, "hi={}", ci.hi);
+        assert!((ci.mean - ci.lo - 2.530).abs() < 0.01);
+        let single = ConfidenceInterval::of(&[3.5]).unwrap();
+        assert_eq!((single.lo, single.hi), (3.5, 3.5));
+        assert!(ConfidenceInterval::of(&[]).is_none());
+    }
+
+    #[test]
+    fn sweep_report_is_bit_identical_across_worker_counts() {
+        let spec = SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into(), "flash-crowd".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42, 7],
+        };
+        let serial = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json_string(), parallel.to_json_string());
+        assert_eq!(serial.total_units, 4);
+        assert_eq!(serial.cells.len(), 2);
+        for cell in &serial.cells {
+            assert_eq!(cell.outcomes.len(), 2);
+            assert_eq!(cell.control_violation.count, 2);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let spec = SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42],
+        };
+        let report = run_sweep(&spec, 1).unwrap();
+        let json = report.to_json_string();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value["total_units"].as_f64(), Some(1.0));
+        assert_eq!(value["cells"].as_array().unwrap().len(), 1);
+        assert_eq!(value["spec"]["topologies"][0], "paper");
+    }
+
+    #[test]
+    fn strategies_change_sweep_behaviour_deterministically() {
+        // The same cell under two different strategies may differ, but each
+        // strategy is individually reproducible.
+        let mk = |strategy: &str| SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into()],
+            strategies: vec![strategy.into()],
+            durations_secs: vec![90.0],
+            seeds: vec![42],
+        };
+        let a1 = run_sweep(&mk("adaptive"), 1).unwrap();
+        let a2 = run_sweep(&mk("adaptive"), 2).unwrap();
+        assert_eq!(a1.cells, a2.cells);
+        let nd = run_sweep(&mk("no-damping"), 1).unwrap();
+        // Reports embed their spec, so they differ at least there.
+        assert_ne!(a1, nd);
+    }
+}

@@ -35,7 +35,10 @@ impl PerformanceProfile {
     /// Derives a profile from the design-time provisioning analysis: the
     /// latency bound is the input requirement, the bandwidth floor comes from
     /// the analysis, and the load bound is the paper's queue threshold.
-    pub fn from_analysis(input: &analysis::ProvisioningInput, plan: &analysis::ProvisioningPlan) -> Self {
+    pub fn from_analysis(
+        input: &analysis::ProvisioningInput,
+        plan: &analysis::ProvisioningPlan,
+    ) -> Self {
         PerformanceProfile {
             max_latency_secs: input.max_latency,
             max_server_load: 6.0,
@@ -53,7 +56,9 @@ impl PerformanceProfile {
     /// Writes the profile into the architectural model's system properties so
     /// constraints such as `averageLatency <= maxLatency` can reference them.
     pub fn apply_to(&self, model: &mut System) {
-        model.properties.set(props::MAX_LATENCY, self.max_latency_secs);
+        model
+            .properties
+            .set(props::MAX_LATENCY, self.max_latency_secs);
         model
             .properties
             .set(props::MAX_SERVER_LOAD, self.max_server_load);
@@ -73,7 +78,10 @@ mod tests {
         PerformanceProfile::default().apply_to(&mut model);
         assert_eq!(model.properties.get_f64(props::MAX_LATENCY), Some(2.0));
         assert_eq!(model.properties.get_f64(props::MAX_SERVER_LOAD), Some(6.0));
-        assert_eq!(model.properties.get_f64(props::MIN_BANDWIDTH), Some(10_000.0));
+        assert_eq!(
+            model.properties.get_f64(props::MIN_BANDWIDTH),
+            Some(10_000.0)
+        );
     }
 
     #[test]

@@ -144,21 +144,23 @@ pub struct GridApp {
 }
 
 impl GridApp {
-    /// Builds the paper's deployment on the Figure 6 testbed: six clients all
+    /// Builds the configured deployment (paper default: six clients all
     /// served by Server Group 1 (S1–S3), Server Group 2 (S5–S6) idle, S4 and
-    /// S7 held as spare servers.
+    /// S7 held as spare servers) on the testbed named by
+    /// [`GridConfig::testbed`].
     pub fn build(config: GridConfig) -> Result<GridApp, AppError> {
-        let testbed = Testbed::build().map_err(|e| AppError::Invalid(e.to_string()))?;
+        let testbed =
+            Testbed::from_spec(&config.testbed).map_err(|e| AppError::Invalid(e.to_string()))?;
         let network = Network::new(testbed.topology.clone());
         let root_rng = SimRng::seed_from_u64(config.seed);
 
         let mut clients = BTreeMap::new();
         let mut rng = HashMap::new();
-        for i in 1..=6u64 {
+        for i in 1..=testbed.num_clients() as u64 {
             let name = format!("User{i}");
             let host = testbed
                 .client_host(&format!("C{i}"))
-                .expect("testbed has six client slots");
+                .expect("testbed has a slot per client");
             let mut stream = root_rng.derive(i);
             // Stagger the first requests so clients do not fire in lockstep.
             let first = SimTime::from_secs(stream.uniform_range(0.1, 1.0));
@@ -178,13 +180,14 @@ impl GridApp {
         }
 
         let mut servers = BTreeMap::new();
-        for i in 1..=7usize {
-            let name = format!("S{i}");
-            let host = testbed.server_hosts[i - 1];
-            let (group, active) = match i {
-                1..=3 => (Some(SERVER_GROUP_1.to_string()), true),
-                5 | 6 => (Some(SERVER_GROUP_2.to_string()), true),
-                _ => (None, false), // S4 and S7 are spares
+        for (i, &host) in testbed.server_hosts.iter().enumerate() {
+            let name = format!("S{}", i + 1);
+            let (group, active) = if testbed.sg1_servers.contains(&name) {
+                (Some(SERVER_GROUP_1.to_string()), true)
+            } else if testbed.sg2_servers.contains(&name) {
+                (Some(SERVER_GROUP_2.to_string()), true)
+            } else {
+                (None, false) // spare
             };
             servers.insert(
                 name,
@@ -451,7 +454,9 @@ impl GridApp {
             .ok_or_else(|| AppError::UnknownClient(client.into()))?;
         let servers = self.active_servers(group);
         if servers.is_empty() {
-            return Err(AppError::UnknownGroup(format!("{group} has no active servers")));
+            return Err(AppError::UnknownGroup(format!(
+                "{group} has no active servers"
+            )));
         }
         let mut best: f64 = 0.0;
         for server in servers {
@@ -572,7 +577,13 @@ impl GridApp {
         self.next_request_id += 1;
         let transfer = self
             .network
-            .start_transfer(t, host, self.testbed.host_request_queue, config_request_bytes, id)
+            .start_transfer(
+                t,
+                host,
+                self.testbed.host_request_queue,
+                config_request_bytes,
+                id,
+            )
             .expect("request transfer starts");
         self.requests.insert(
             id,
@@ -601,7 +612,11 @@ impl GridApp {
                     .unwrap_or_else(|| request.group.clone());
                 request.group = group.clone();
                 request.phase = RequestPhase::Queued;
-                self.groups.entry(group.clone()).or_default().queue.push_back(request_id);
+                self.groups
+                    .entry(group.clone())
+                    .or_default()
+                    .queue
+                    .push_back(request_id);
                 self.dispatch_group(&group, delivered);
             }
             RequestPhase::ResponseInFlight(_) => {
@@ -694,7 +709,13 @@ impl GridApp {
                 .unwrap_or(host);
             let transfer = self
                 .network
-                .start_transfer(finish, host, client_host, request.response_bytes, request_id)
+                .start_transfer(
+                    finish,
+                    host,
+                    client_host,
+                    request.response_bytes,
+                    request_id,
+                )
                 .expect("response transfer starts");
             request.phase = RequestPhase::ResponseInFlight(transfer);
         }
@@ -749,6 +770,49 @@ mod tests {
     }
 
     #[test]
+    fn builds_on_every_topology_preset() {
+        for preset in crate::testbed::TESTBED_PRESETS {
+            let spec = crate::testbed::TestbedSpec::by_name(preset).unwrap();
+            let mut app = GridApp::build(GridConfig::with_testbed(spec)).unwrap();
+            assert_eq!(app.client_names().len(), spec.num_clients());
+            assert_eq!(
+                app.active_servers(SERVER_GROUP_1).len(),
+                spec.sg1_active,
+                "{preset}"
+            );
+            assert_eq!(app.active_servers(SERVER_GROUP_2).len(), spec.sg2_active);
+            app.advance(secs(60.0));
+            let completions = app.take_completions();
+            assert!(
+                !completions.is_empty(),
+                "{preset} serves requests in the first minute"
+            );
+            for client in app.client_names() {
+                assert!(
+                    completions.iter().any(|c| c.client == client),
+                    "{preset}: {client} completed nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_fanout_squeeze_hits_the_r2_clients() {
+        // In the wide-fanout preset the squeezable clients behind R2 are C5
+        // and C6 (User5/User6), not C3/C4.
+        let mut app = GridApp::build(GridConfig::with_testbed(
+            crate::testbed::TestbedSpec::wide_fanout(),
+        ))
+        .unwrap();
+        let before = app.remos_get_flow("User5", SERVER_GROUP_1).unwrap();
+        app.set_competition_sg1(secs(1.0), 9.9e6).unwrap();
+        let squeezed = app.remos_get_flow("User5", SERVER_GROUP_1).unwrap();
+        let unaffected = app.remos_get_flow("User1", SERVER_GROUP_1).unwrap();
+        assert!(squeezed < before / 10.0);
+        assert!(unaffected > squeezed * 10.0);
+    }
+
+    #[test]
     fn requests_complete_with_low_latency_when_unloaded() {
         let mut app = app();
         app.advance(secs(60.0));
@@ -758,9 +822,12 @@ mod tests {
             "expected ≈60 completions in the first minute, got {}",
             completions.len()
         );
-        let mean: f64 = completions.iter().map(|c| c.latency_secs).sum::<f64>()
-            / completions.len() as f64;
-        assert!(mean < 2.0, "unloaded latency should be below the 2 s bound, got {mean}");
+        let mean: f64 =
+            completions.iter().map(|c| c.latency_secs).sum::<f64>() / completions.len() as f64;
+        assert!(
+            mean < 2.0,
+            "unloaded latency should be below the 2 s bound, got {mean}"
+        );
         // All clients make progress.
         for client in app.client_names() {
             assert!(
@@ -836,9 +903,11 @@ mod tests {
             squeezed.len(),
             others.len()
         );
-        if let Some(worst) = squeezed.iter().cloned().fold(None::<f64>, |acc, v| {
-            Some(acc.map_or(v, |a| a.max(v)))
-        }) {
+        if let Some(worst) = squeezed
+            .iter()
+            .cloned()
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v))))
+        {
             assert!(
                 worst > 2.0,
                 "a squeezed client that completes does so with latency above the bound, got {worst}"
@@ -879,7 +948,10 @@ mod tests {
         app.set_workload(2.0, 20_480.0);
         app.advance(secs(200.0));
         let loaded = app.queue_length(SERVER_GROUP_1).unwrap();
-        assert!(loaded > 6, "queue should exceed the overload bound, got {loaded}");
+        assert!(
+            loaded > 6,
+            "queue should exceed the overload bound, got {loaded}"
+        );
         // Recruit the spare servers as the paper's repairs did.
         let spare = app.find_server(None, 0.0).unwrap();
         assert_eq!(spare, "S4");
@@ -894,7 +966,10 @@ mod tests {
             after < loaded.max(20),
             "queue should shrink once capacity exceeds load ({loaded} -> {after})"
         );
-        assert!(app.served_by("S4") > 0, "the recruited spare serves requests");
+        assert!(
+            app.served_by("S4") > 0,
+            "the recruited spare serves requests"
+        );
     }
 
     #[test]
@@ -920,7 +995,10 @@ mod tests {
         let before = app.remos_get_flow("User3", SERVER_GROUP_1).unwrap();
         app.set_competition_sg1(secs(1.0), 9.9e6).unwrap();
         let after = app.remos_get_flow("User3", SERVER_GROUP_1).unwrap();
-        assert!(after < before / 10.0, "competition cuts bandwidth ({before} -> {after})");
+        assert!(
+            after < before / 10.0,
+            "competition cuts bandwidth ({before} -> {after})"
+        );
         // Bandwidth to the other group is unaffected.
         let sg2 = app.remos_get_flow("User3", SERVER_GROUP_2).unwrap();
         assert!(sg2 > 1.0e6);

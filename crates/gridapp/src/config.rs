@@ -1,5 +1,6 @@
 //! Configuration of the grid application and its workload defaults.
 
+use crate::testbed::TestbedSpec;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the client/server grid application.
@@ -35,6 +36,8 @@ pub struct GridConfig {
     /// Minimum acceptable client bandwidth in bits per second (paper:
     /// 10 Kbps).
     pub min_bandwidth_bps: f64,
+    /// The testbed topology the application deploys on (paper: Figure 6).
+    pub testbed: TestbedSpec,
 }
 
 impl Default for GridConfig {
@@ -49,6 +52,7 @@ impl Default for GridConfig {
             max_latency_secs: 2.0,
             max_server_load: 6.0,
             min_bandwidth_bps: 10_000.0,
+            testbed: TestbedSpec::paper(),
         }
     }
 }
@@ -58,6 +62,14 @@ impl GridConfig {
     pub fn with_seed(seed: u64) -> Self {
         GridConfig {
             seed,
+            ..Self::default()
+        }
+    }
+
+    /// A configuration deploying on a different testbed topology.
+    pub fn with_testbed(testbed: TestbedSpec) -> Self {
+        GridConfig {
+            testbed,
             ..Self::default()
         }
     }
@@ -83,5 +95,13 @@ mod tests {
         let c = GridConfig::with_seed(7);
         assert_eq!(c.seed, 7);
         assert_eq!(c.response_bytes, GridConfig::default().response_bytes);
+        assert_eq!(c.testbed, TestbedSpec::paper());
+    }
+
+    #[test]
+    fn with_testbed_changes_only_the_topology() {
+        let c = GridConfig::with_testbed(TestbedSpec::wide_fanout());
+        assert_eq!(c.testbed, TestbedSpec::wide_fanout());
+        assert_eq!(c.seed, GridConfig::default().seed);
     }
 }

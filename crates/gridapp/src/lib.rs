@@ -31,8 +31,8 @@ pub use metrics::Metrics;
 pub use probes::{
     sample_bandwidth_probe, sample_latency_probe, sample_queue_probe, sample_server_probe,
 };
-pub use testbed::{Testbed, LINK_CAPACITY_BPS};
+pub use testbed::{Testbed, TestbedSpec, LINK_CAPACITY_BPS, TESTBED_PRESETS};
 pub use workload::{
     ExperimentSchedule, PHASE_QUIESCENT_END, PHASE_STRESS_END, PHASE_STRESS_START,
-    RUN_DURATION_SECS,
+    RUN_DURATION_SECS, WORKLOAD_NAMES,
 };

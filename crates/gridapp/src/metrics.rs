@@ -75,11 +75,7 @@ impl Metrics {
 
     /// All latency observations pooled over clients, as (time, value).
     pub fn pooled_latency(&self) -> TimeSeries {
-        let mut points: Vec<(f64, f64)> = self
-            .latency
-            .values()
-            .flat_map(|s| s.iter())
-            .collect();
+        let mut points: Vec<(f64, f64)> = self.latency.values().flat_map(|s| s.iter()).collect();
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("times are not NaN"));
         let mut out = TimeSeries::new();
         for (t, v) in points {
@@ -114,7 +110,10 @@ mod tests {
         assert!(m.latency_series("User3").is_none());
         assert_eq!(m.clients(), vec!["User1", "User2"]);
         assert_eq!(m.groups(), vec!["ServerGrp1"]);
-        assert_eq!(m.queue_series("ServerGrp1").unwrap().last_value(), Some(4.0));
+        assert_eq!(
+            m.queue_series("ServerGrp1").unwrap().last_value(),
+            Some(4.0)
+        );
         assert_eq!(m.bandwidth_series("User1").unwrap().last_value(), Some(9e6));
     }
 

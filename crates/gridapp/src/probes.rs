@@ -127,7 +127,9 @@ mod tests {
         let sg1 = events
             .iter()
             .find_map(|e| match &e.measurement {
-                Measurement::ActiveServers { group, count } if group == "ServerGrp1" => Some(*count),
+                Measurement::ActiveServers { group, count } if group == "ServerGrp1" => {
+                    Some(*count)
+                }
                 _ => None,
             })
             .unwrap();

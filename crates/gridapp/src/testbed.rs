@@ -1,120 +1,341 @@
-//! The experimental testbed (Figure 6).
+//! The experimental testbed (Figure 6) and its parameterised variants.
 //!
 //! The paper's experiment ran on a dedicated testbed of five routers and
 //! eleven machines connected by 10 Mbps links: clients C1–C6 (C1 and C2 share
 //! a machine, as do C5 and C6), servers S1–S7, and a request-queue machine
-//! shared with S5. Servers S4 and S7 start as spares. This module builds the
-//! equivalent simulated topology and records the handles the workload
-//! generator and the application need.
+//! shared with S5. Servers S4 and S7 start as spares.
+//!
+//! This module builds the equivalent simulated topology — and, through
+//! [`TestbedSpec`], a whole family of topologies that keep the paper's
+//! structural skeleton (five routers, a squeezable path between one client
+//! router and Server Group 1) while varying client counts, server counts,
+//! link-capacity tiers, and baseline background traffic. The paper topology
+//! is the [`TestbedSpec::paper`] preset; [`TestbedSpec::wide_fanout`] and
+//! [`TestbedSpec::congested_core`] are alternative named presets used by the
+//! scenario sweep harness.
 
+use serde::{Deserialize, Serialize};
 use simnet::{LinkId, NodeId, SimDuration, Topology, TopologyError};
 
-/// Capacity of every testbed link (10 Mbps).
+/// Capacity of every paper-testbed link (10 Mbps).
 pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
+
+/// Names of the built-in topology presets, in sweep-matrix order.
+pub const TESTBED_PRESETS: [&str; 3] = ["paper", "wide-fanout", "congested-core"];
+
+/// A declarative description of a testbed topology.
+///
+/// Every spec shares the Figure 6 skeleton: routers R1/R2/R5 serve client
+/// machines, R3 serves Server Group 1 (plus its spares), R4 serves Server
+/// Group 2 (plus its spares) and the request-queue machine, and the R2–R3 /
+/// R2–R4 links are the ones the workload generators squeeze. The spec varies
+/// how many clients and servers hang off each router, the capacities of the
+/// core (inter-router) and access (host) link tiers, and a baseline
+/// background-traffic profile applied to every core link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedSpec {
+    /// Clients behind router R1 (packed two per machine, like C1/C2).
+    pub clients_r1: usize,
+    /// Clients behind router R2 — the squeezable path (one machine each,
+    /// like C3 and C4).
+    pub clients_r2: usize,
+    /// Clients behind router R5 (packed two per machine, like C5/C6).
+    pub clients_r5: usize,
+    /// Servers initially active in Server Group 1 (behind R3).
+    pub sg1_active: usize,
+    /// Spare servers behind R3.
+    pub sg1_spares: usize,
+    /// Servers initially active in Server Group 2 (behind R4). The first one
+    /// shares its machine with the request queue, like S5.
+    pub sg2_active: usize,
+    /// Spare servers behind R4.
+    pub sg2_spares: usize,
+    /// Capacity of the inter-router (core) links, bits per second.
+    pub core_capacity_bps: f64,
+    /// Capacity of the host access links, bits per second.
+    pub access_capacity_bps: f64,
+    /// Baseline background traffic on every core link, bits per second
+    /// (clamped to 90% of the core capacity). The workload schedule overrides
+    /// this on the two competition links once it starts.
+    pub background_bps: f64,
+}
+
+impl Default for TestbedSpec {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl TestbedSpec {
+    /// The paper's Figure 6 testbed: six clients, 3+1 servers behind R3,
+    /// 2+1 behind R4, 10 Mbps everywhere, no baseline background traffic.
+    pub fn paper() -> Self {
+        TestbedSpec {
+            clients_r1: 2,
+            clients_r2: 2,
+            clients_r5: 2,
+            sg1_active: 3,
+            sg1_spares: 1,
+            sg2_active: 2,
+            sg2_spares: 1,
+            core_capacity_bps: LINK_CAPACITY_BPS,
+            access_capacity_bps: LINK_CAPACITY_BPS,
+            background_bps: 0.0,
+        }
+    }
+
+    /// A wider deployment: eight clients fanned out over the three client
+    /// routers and larger server groups (4+2 behind R3, 3+1 behind R4).
+    pub fn wide_fanout() -> Self {
+        TestbedSpec {
+            clients_r1: 4,
+            clients_r2: 2,
+            clients_r5: 2,
+            sg1_active: 4,
+            sg1_spares: 2,
+            sg2_active: 3,
+            sg2_spares: 1,
+            core_capacity_bps: LINK_CAPACITY_BPS,
+            access_capacity_bps: LINK_CAPACITY_BPS,
+            background_bps: 0.0,
+        }
+    }
+
+    /// The paper deployment on a congested network: the core links run at
+    /// 6 Mbps and carry 1 Mbps of standing background traffic.
+    pub fn congested_core() -> Self {
+        TestbedSpec {
+            core_capacity_bps: 6.0e6,
+            background_bps: 1.0e6,
+            ..Self::paper()
+        }
+    }
+
+    /// Looks a preset up by its sweep-matrix name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "paper" => Some(Self::paper()),
+            "wide-fanout" => Some(Self::wide_fanout()),
+            "congested-core" => Some(Self::congested_core()),
+            _ => None,
+        }
+    }
+
+    /// The preset name of this spec, or `"custom"` if it matches none.
+    pub fn name(&self) -> &'static str {
+        for preset in TESTBED_PRESETS {
+            if Self::by_name(preset).as_ref() == Some(self) {
+                return preset;
+            }
+        }
+        "custom"
+    }
+
+    /// Total number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients_r1 + self.clients_r2 + self.clients_r5
+    }
+
+    /// Total number of servers (active and spare).
+    pub fn num_servers(&self) -> usize {
+        self.sg1_active + self.sg1_spares + self.sg2_active + self.sg2_spares
+    }
+
+    /// 1-based client number of the first client on the squeezable R2 path
+    /// (`User3`/`C3` on the paper testbed). Accounts for the structural
+    /// clamping [`Testbed::from_spec`] applies, so it matches the deployment
+    /// actually built even for degenerate custom specs.
+    pub fn first_squeezed_client(&self) -> usize {
+        self.normalised().clients_r1 + 1
+    }
+
+    /// A copy with every count clamped to the structural minimum (at least
+    /// one client per client router, at least one active server per group)
+    /// and capacities clamped positive.
+    fn normalised(&self) -> Self {
+        TestbedSpec {
+            clients_r1: self.clients_r1.max(1),
+            clients_r2: self.clients_r2.max(1),
+            clients_r5: self.clients_r5.max(1),
+            sg1_active: self.sg1_active.max(1),
+            sg1_spares: self.sg1_spares,
+            sg2_active: self.sg2_active.max(1),
+            sg2_spares: self.sg2_spares,
+            core_capacity_bps: self.core_capacity_bps.max(1.0e3),
+            access_capacity_bps: self.access_capacity_bps.max(1.0e3),
+            background_bps: self.background_bps.max(0.0),
+        }
+    }
+}
 
 /// The built testbed: the topology plus named handles to its parts.
 #[derive(Debug, Clone)]
 pub struct Testbed {
     /// The network topology.
     pub topology: Topology,
-    /// Machine hosting clients C1 and C2.
-    pub host_c1c2: NodeId,
-    /// Machine hosting client C3.
-    pub host_c3: NodeId,
-    /// Machine hosting client C4.
-    pub host_c4: NodeId,
-    /// Machine hosting clients C5 and C6.
-    pub host_c5c6: NodeId,
-    /// Machines hosting servers S1..S7 (index 0 = S1).
+    /// The (possibly normalised) spec the testbed was built from.
+    pub spec: TestbedSpec,
+    /// Client names (`"C1"`, `"C2"`, …) with the machine each runs on, in
+    /// client-number order.
+    pub client_hosts: Vec<(String, NodeId)>,
+    /// Machines hosting servers S1..Sn (index 0 = S1).
     pub server_hosts: Vec<NodeId>,
-    /// Machine hosting the request-queue process (shared with S5).
+    /// Names of the servers initially active in Server Group 1.
+    pub sg1_servers: Vec<String>,
+    /// Names of the servers initially active in Server Group 2.
+    pub sg2_servers: Vec<String>,
+    /// Names of the spare servers.
+    pub spare_servers: Vec<String>,
+    /// Machine hosting the request-queue process (shared with the first
+    /// Server Group 2 server).
     pub host_request_queue: NodeId,
     /// The five routers R1..R5.
     pub routers: Vec<NodeId>,
-    /// The inter-router link on the path between C3/C4's router (R2) and
-    /// Server Group 1's router (R3) — loaded by the bandwidth-competition
-    /// generator.
+    /// All inter-router (core) links.
+    pub core_links: Vec<LinkId>,
+    /// The inter-router link on the path between R2's clients and Server
+    /// Group 1's router (R3) — loaded by the bandwidth-competition generator.
     pub link_c34_sg1: LinkId,
-    /// The inter-router link on the path between C3/C4's router (R2) and
-    /// Server Group 2's router (R4).
+    /// The inter-router link on the path between R2's clients and Server
+    /// Group 2's router (R4).
     pub link_c34_sg2: LinkId,
 }
 
 impl Testbed {
-    /// Builds the Figure 6 testbed.
+    /// Builds the Figure 6 testbed (the [`TestbedSpec::paper`] preset).
     pub fn build() -> Result<Testbed, TopologyError> {
+        Self::from_spec(&TestbedSpec::paper())
+    }
+
+    /// Builds a testbed from a declarative spec. Counts below the structural
+    /// minimum (one client per client router, one active server per group)
+    /// are clamped up.
+    pub fn from_spec(spec: &TestbedSpec) -> Result<Testbed, TopologyError> {
+        let spec = spec.normalised();
         let mut topo = Topology::new();
         let router_latency = SimDuration::from_millis(1.0);
         let access_latency = SimDuration::from_millis(0.5);
+        let core = spec.core_capacity_bps;
+        let access = spec.access_capacity_bps;
 
-        // Routers R1..R5. R1 serves C1/C2, R2 serves C3/C4, R3 serves Server
-        // Group 1 (S1-S4), R4 serves Server Group 2 (S5-S7) and the request
-        // queue, R5 serves C5/C6.
+        // Routers R1..R5. R1 and R5 serve shared client machines, R2 serves
+        // the squeezable clients, R3 serves Server Group 1, R4 serves Server
+        // Group 2 and the request queue.
         let r: Vec<NodeId> = (1..=5)
             .map(|i| topo.add_router(&format!("R{i}")))
             .collect::<Result<_, _>>()?;
 
-        // Inter-router links (all 10 Mbps).
-        topo.add_link(r[0], r[2], LINK_CAPACITY_BPS, router_latency)?; // R1-R3
-        let link_c34_sg1 = topo.add_link(r[1], r[2], LINK_CAPACITY_BPS, router_latency)?; // R2-R3
-        let link_c34_sg2 = topo.add_link(r[1], r[3], LINK_CAPACITY_BPS, router_latency)?; // R2-R4
-        topo.add_link(r[2], r[3], LINK_CAPACITY_BPS, router_latency)?; // R3-R4
-        topo.add_link(r[3], r[4], LINK_CAPACITY_BPS, router_latency)?; // R4-R5
-
-        // Client machines.
-        let host_c1c2 = topo.add_host("C1,C2")?;
-        topo.add_link(host_c1c2, r[0], LINK_CAPACITY_BPS, access_latency)?;
-        let host_c3 = topo.add_host("C3")?;
-        topo.add_link(host_c3, r[1], LINK_CAPACITY_BPS, access_latency)?;
-        let host_c4 = topo.add_host("C4")?;
-        topo.add_link(host_c4, r[1], LINK_CAPACITY_BPS, access_latency)?;
-        let host_c5c6 = topo.add_host("C5,C6")?;
-        topo.add_link(host_c5c6, r[4], LINK_CAPACITY_BPS, access_latency)?;
-
-        // Server machines. S1-S4 sit behind R3 (Server Group 1 + spare S4);
-        // S5-S7 sit behind R4 (Server Group 2 + spare S7). S5 shares its
-        // machine with the request queue.
-        let mut server_hosts = Vec::new();
-        for i in 1..=4 {
-            let host = topo.add_host(&format!("S{i}"))?;
-            topo.add_link(host, r[2], LINK_CAPACITY_BPS, access_latency)?;
-            server_hosts.push(host);
+        // Inter-router (core) links.
+        let mut core_links = Vec::new();
+        core_links.push(topo.add_link(r[0], r[2], core, router_latency)?); // R1-R3
+        let link_c34_sg1 = topo.add_link(r[1], r[2], core, router_latency)?; // R2-R3
+        core_links.push(link_c34_sg1);
+        let link_c34_sg2 = topo.add_link(r[1], r[3], core, router_latency)?; // R2-R4
+        core_links.push(link_c34_sg2);
+        core_links.push(topo.add_link(r[2], r[3], core, router_latency)?); // R3-R4
+        core_links.push(topo.add_link(r[3], r[4], core, router_latency)?); // R4-R5
+        let baseline = spec.background_bps.min(core * 0.9);
+        if baseline > 0.0 {
+            for &link in &core_links {
+                topo.set_background_load(link, baseline)?;
+            }
         }
-        let host_s5_rq = topo.add_host("S5,RQ")?;
-        topo.add_link(host_s5_rq, r[3], LINK_CAPACITY_BPS, access_latency)?;
-        server_hosts.push(host_s5_rq);
-        for i in 6..=7 {
-            let host = topo.add_host(&format!("S{i}"))?;
-            topo.add_link(host, r[3], LINK_CAPACITY_BPS, access_latency)?;
+
+        // Client machines. R1 and R5 clients share machines two at a time
+        // (like C1/C2 and C5/C6); R2 clients get one machine each (like C3
+        // and C4).
+        let mut client_hosts: Vec<(String, NodeId)> = Vec::new();
+        let mut next_client = 1usize;
+        let mut add_client_hosts = |topo: &mut Topology,
+                                    client_hosts: &mut Vec<(String, NodeId)>,
+                                    router: NodeId,
+                                    count: usize,
+                                    per_host: usize|
+         -> Result<(), TopologyError> {
+            let mut remaining = count;
+            while remaining > 0 {
+                let on_this_host = remaining.min(per_host);
+                let names: Vec<String> = (0..on_this_host)
+                    .map(|k| format!("C{}", next_client + k))
+                    .collect();
+                let host = topo.add_host(&names.join(","))?;
+                topo.add_link(host, router, access, access_latency)?;
+                for name in names {
+                    client_hosts.push((name, host));
+                }
+                next_client += on_this_host;
+                remaining -= on_this_host;
+            }
+            Ok(())
+        };
+        add_client_hosts(&mut topo, &mut client_hosts, r[0], spec.clients_r1, 2)?;
+        add_client_hosts(&mut topo, &mut client_hosts, r[1], spec.clients_r2, 1)?;
+        add_client_hosts(&mut topo, &mut client_hosts, r[4], spec.clients_r5, 2)?;
+
+        // Server machines. Actives then spares behind R3 (Server Group 1),
+        // then actives (the first sharing its machine with the request queue,
+        // like S5) and spares behind R4 (Server Group 2).
+        let mut server_hosts = Vec::new();
+        let mut sg1_servers = Vec::new();
+        let mut sg2_servers = Vec::new();
+        let mut spare_servers = Vec::new();
+        let mut host_request_queue = None;
+        for slot in 0..spec.num_servers() {
+            let behind_r3 = slot < spec.sg1_active + spec.sg1_spares;
+            let router = if behind_r3 { r[2] } else { r[3] };
+            let name = format!("S{}", slot + 1);
+            let shares_rq = slot == spec.sg1_active + spec.sg1_spares;
+            let host = if shares_rq {
+                let host = topo.add_host(&format!("{name},RQ"))?;
+                host_request_queue = Some(host);
+                host
+            } else {
+                topo.add_host(&name)?
+            };
+            topo.add_link(host, router, access, access_latency)?;
             server_hosts.push(host);
+            let sg1_slot = slot < spec.sg1_active;
+            let sg2_slot =
+                !behind_r3 && slot - (spec.sg1_active + spec.sg1_spares) < spec.sg2_active;
+            if sg1_slot {
+                sg1_servers.push(name);
+            } else if sg2_slot {
+                sg2_servers.push(name);
+            } else {
+                spare_servers.push(name);
+            }
         }
 
         Ok(Testbed {
             topology: topo,
-            host_c1c2,
-            host_c3,
-            host_c4,
-            host_c5c6,
+            spec,
+            client_hosts,
             server_hosts,
-            host_request_queue: host_s5_rq,
+            sg1_servers,
+            sg2_servers,
+            spare_servers,
+            host_request_queue: host_request_queue.expect("SG2 has at least one active server"),
             routers: r,
+            core_links,
             link_c34_sg1,
             link_c34_sg2,
         })
     }
 
-    /// The machine a named client runs on (`"C1"` .. `"C6"`).
-    pub fn client_host(&self, client: &str) -> Option<NodeId> {
-        match client {
-            "C1" | "C2" => Some(self.host_c1c2),
-            "C3" => Some(self.host_c3),
-            "C4" => Some(self.host_c4),
-            "C5" | "C6" => Some(self.host_c5c6),
-            _ => None,
-        }
+    /// Number of clients in this testbed.
+    pub fn num_clients(&self) -> usize {
+        self.client_hosts.len()
     }
 
-    /// The machine a named server runs on (`"S1"` .. `"S7"`).
+    /// The machine a named client runs on (`"C1"` .. `"Cn"`).
+    pub fn client_host(&self, client: &str) -> Option<NodeId> {
+        self.client_hosts
+            .iter()
+            .find(|(name, _)| name == client)
+            .map(|&(_, host)| host)
+    }
+
+    /// The machine a named server runs on (`"S1"` .. `"Sn"`).
     pub fn server_host(&self, server: &str) -> Option<NodeId> {
         let idx: usize = server.strip_prefix('S')?.parse().ok()?;
         self.server_hosts.get(idx.checked_sub(1)?).copied()
@@ -139,6 +360,13 @@ mod tests {
             .count();
         assert_eq!(hosts, 11);
         assert_eq!(tb.server_hosts.len(), 7);
+        assert_eq!(tb.num_clients(), 6);
+        // The paper's initial deployment: S1-S3 active in group 1, S5-S6 in
+        // group 2, S4 and S7 spare.
+        assert_eq!(tb.sg1_servers, vec!["S1", "S2", "S3"]);
+        assert_eq!(tb.sg2_servers, vec!["S5", "S6"]);
+        assert_eq!(tb.spare_servers, vec!["S4", "S7"]);
+        assert_eq!(tb.server_host("S5"), Some(tb.host_request_queue));
     }
 
     #[test]
@@ -160,9 +388,11 @@ mod tests {
     #[test]
     fn client_and_server_host_lookup() {
         let tb = Testbed::build().unwrap();
-        assert_eq!(tb.client_host("C1"), Some(tb.host_c1c2));
-        assert_eq!(tb.client_host("C2"), Some(tb.host_c1c2));
-        assert_eq!(tb.client_host("C3"), Some(tb.host_c3));
+        // C1 and C2 share a machine, as do C5 and C6; C3 and C4 do not.
+        assert_eq!(tb.client_host("C1"), tb.client_host("C2"));
+        assert_eq!(tb.client_host("C5"), tb.client_host("C6"));
+        assert_ne!(tb.client_host("C3"), tb.client_host("C4"));
+        assert!(tb.client_host("C3").is_some());
         assert_eq!(tb.client_host("C9"), None);
         assert_eq!(tb.server_host("S1"), Some(tb.server_hosts[0]));
         assert_eq!(tb.server_host("S5"), Some(tb.host_request_queue));
@@ -176,13 +406,13 @@ mod tests {
         // Path C3 -> S1 (Server Group 1) crosses the R2-R3 link.
         let path_sg1 = tb
             .topology
-            .path(tb.host_c3, tb.server_hosts[0])
+            .path(tb.client_host("C3").unwrap(), tb.server_hosts[0])
             .unwrap();
         assert!(path_sg1.contains(&tb.link_c34_sg1));
         // Path C3 -> S6 (Server Group 2) crosses the R2-R4 link.
         let path_sg2 = tb
             .topology
-            .path(tb.host_c3, tb.server_hosts[5])
+            .path(tb.client_host("C3").unwrap(), tb.server_hosts[5])
             .unwrap();
         assert!(path_sg2.contains(&tb.link_c34_sg2));
         // The two do not share the loaded link.
@@ -194,7 +424,7 @@ mod tests {
         let tb = Testbed::build().unwrap();
         let path = tb
             .topology
-            .path(tb.host_c1c2, tb.server_hosts[0])
+            .path(tb.client_host("C1").unwrap(), tb.server_hosts[0])
             .unwrap();
         assert!(!path.contains(&tb.link_c34_sg1));
     }
@@ -205,5 +435,102 @@ mod tests {
         for (_, link) in tb.topology.links() {
             assert_eq!(link.capacity_bps, LINK_CAPACITY_BPS);
         }
+    }
+
+    #[test]
+    fn presets_resolve_by_name_and_report_their_names() {
+        for preset in TESTBED_PRESETS {
+            let spec = TestbedSpec::by_name(preset).unwrap();
+            assert_eq!(spec.name(), preset);
+            Testbed::from_spec(&spec).unwrap();
+        }
+        assert!(TestbedSpec::by_name("nonsense").is_none());
+        let custom = TestbedSpec {
+            clients_r1: 3,
+            ..TestbedSpec::paper()
+        };
+        assert_eq!(custom.name(), "custom");
+    }
+
+    #[test]
+    fn wide_fanout_grows_clients_and_servers() {
+        let spec = TestbedSpec::wide_fanout();
+        let tb = Testbed::from_spec(&spec).unwrap();
+        assert_eq!(tb.num_clients(), 8);
+        assert_eq!(tb.server_hosts.len(), 10);
+        assert_eq!(tb.sg1_servers.len(), 4);
+        assert_eq!(tb.sg2_servers.len(), 3);
+        assert_eq!(tb.spare_servers.len(), 3);
+        // Clients C1..C4 pack two per machine behind R1; the squeezable
+        // clients C5 and C6 sit alone behind R2.
+        assert_eq!(tb.client_host("C1"), tb.client_host("C2"));
+        assert_eq!(tb.client_host("C3"), tb.client_host("C4"));
+        assert_ne!(tb.client_host("C5"), tb.client_host("C6"));
+        // The squeezable clients' path to Server Group 1 crosses the
+        // competition link.
+        let path = tb
+            .topology
+            .path(tb.client_host("C5").unwrap(), tb.server_hosts[0])
+            .unwrap();
+        assert!(path.contains(&tb.link_c34_sg1));
+        // All hosts remain connected.
+        for (id, n) in tb.topology.nodes() {
+            if n.kind == simnet::NodeKind::Host {
+                assert!(tb.topology.path(id, tb.host_request_queue).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn congested_core_lowers_capacity_and_adds_background() {
+        let tb = Testbed::from_spec(&TestbedSpec::congested_core()).unwrap();
+        for &link in &tb.core_links {
+            let l = tb.topology.link(link).unwrap();
+            assert_eq!(l.capacity_bps, 6.0e6);
+            assert!(l.effective_capacity_bps() < 6.0e6);
+        }
+        // Access links keep the full 10 Mbps.
+        let c1 = tb.client_host("C1").unwrap();
+        let path = tb.topology.path(c1, tb.routers[0]).unwrap();
+        assert_eq!(
+            tb.topology.link(path[0]).unwrap().capacity_bps,
+            LINK_CAPACITY_BPS
+        );
+    }
+
+    #[test]
+    fn degenerate_specs_are_clamped_to_the_structural_minimum() {
+        let spec = TestbedSpec {
+            clients_r1: 0,
+            clients_r2: 0,
+            clients_r5: 0,
+            sg1_active: 0,
+            sg1_spares: 0,
+            sg2_active: 0,
+            sg2_spares: 0,
+            core_capacity_bps: -1.0,
+            access_capacity_bps: 0.0,
+            background_bps: -5.0,
+        };
+        let tb = Testbed::from_spec(&spec).unwrap();
+        assert_eq!(tb.num_clients(), 3);
+        assert_eq!(tb.sg1_servers.len(), 1);
+        assert_eq!(tb.sg2_servers.len(), 1);
+        assert!(tb.spare_servers.is_empty());
+        // The squeezed-client derivation follows the clamped deployment: one
+        // client behind R1, so C2 is the first R2 client.
+        assert_eq!(spec.first_squeezed_client(), 2);
+        assert_ne!(tb.client_host("C1"), tb.client_host("C2"));
+        let path = tb
+            .topology
+            .path(tb.client_host("C2").unwrap(), tb.server_hosts[0])
+            .unwrap();
+        assert!(path.contains(&tb.link_c34_sg1));
+    }
+
+    #[test]
+    fn first_squeezed_client_matches_the_paper() {
+        assert_eq!(TestbedSpec::paper().first_squeezed_client(), 3);
+        assert_eq!(TestbedSpec::wide_fanout().first_squeezed_client(), 5);
     }
 }

@@ -30,6 +30,16 @@ pub const PHASE_STRESS_START: f64 = 600.0;
 /// End of the server-load stress phase / start of the recovery phase.
 pub const PHASE_STRESS_END: f64 = 1200.0;
 
+/// Names of the built-in workload-schedule generators, in sweep-matrix order.
+pub const WORKLOAD_NAMES: [&str; 4] = ["figure7", "step", "ramp", "flash-crowd"];
+
+/// Background load that leaves `available_bps` of a `capacity_bps` link free
+/// (clamped at the link capacity: a target above capacity means no
+/// competition).
+fn throttle(capacity_bps: f64, available_bps: f64) -> f64 {
+    (capacity_bps - available_bps).max(0.0)
+}
+
 /// The scripted experiment workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSchedule {
@@ -47,30 +57,112 @@ impl ExperimentSchedule {
     /// The Figure 7 schedule, parameterised by the application configuration
     /// (for the baseline rate and response size).
     pub fn figure7(config: &GridConfig) -> Self {
-        let link = crate::testbed::LINK_CAPACITY_BPS;
+        Self::figure7_scaled(config, RUN_DURATION_SECS)
+    }
+
+    /// The Figure 7 schedule with its phase boundaries scaled to an arbitrary
+    /// run length (the paper's 120 s / 600 s / 1200 s boundaries sit at 1/15,
+    /// 1/3, and 2/3 of the 1800 s run). At `duration_secs = 1800` this is
+    /// exactly [`figure7`](Self::figure7).
+    pub fn figure7_scaled(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        let quiescent_end = duration_secs / 15.0;
+        let stress_start = duration_secs / 3.0;
+        let stress_end = 2.0 * duration_secs / 3.0;
         ExperimentSchedule {
-            // Quiescent: light competition leaves ≈9 Mbps. From 120 s the
-            // generator squeezes the SG1 path hard enough to push the
-            // remaining bandwidth below the 10 Kbps minimum; during the
-            // stress phase it eases to leave ≈1 Mbps; afterwards moderate
-            // competition leaves ≈3 Mbps.
-            competition_sg1: StepSchedule::new(link - 9.0e6)
-                .step_at(PHASE_QUIESCENT_END, link - 5.0e3)
-                .step_at(PHASE_STRESS_START, link - 1.0e6)
-                .step_at(PHASE_STRESS_END, link - 3.0e6),
+            // Quiescent: light competition leaves ≈9 Mbps. From the end of
+            // the quiescent phase the generator squeezes the SG1 path hard
+            // enough to push the remaining bandwidth below the 10 Kbps
+            // minimum; during the stress phase it eases to leave ≈1 Mbps;
+            // afterwards moderate competition leaves ≈3 Mbps.
+            competition_sg1: StepSchedule::new(throttle(cap, 9.0e6))
+                .step_at(quiescent_end, throttle(cap, 5.0e3))
+                .step_at(stress_start, throttle(cap, 1.0e6))
+                .step_at(stress_end, throttle(cap, 3.0e6)),
             // The opposite path keeps a moderate 3 Mbps until the final phase
             // raises it to ≈9 Mbps.
-            competition_sg2: StepSchedule::new(link - 9.0e6)
-                .step_at(PHASE_QUIESCENT_END, link - 3.0e6)
-                .step_at(PHASE_STRESS_END, link - 9.0e6),
+            competition_sg2: StepSchedule::new(throttle(cap, 9.0e6))
+                .step_at(quiescent_end, throttle(cap, 3.0e6))
+                .step_at(stress_end, throttle(cap, 9.0e6)),
             // All clients switch to 20 KB requests at twice a second during
             // the stress phase.
             request_rate: StepSchedule::new(config.request_rate_per_client)
-                .step_at(PHASE_STRESS_START, 2.0)
-                .step_at(PHASE_STRESS_END, config.request_rate_per_client),
+                .step_at(stress_start, 2.0)
+                .step_at(stress_end, config.request_rate_per_client),
             response_bytes: StepSchedule::new(config.response_bytes)
-                .step_at(PHASE_STRESS_START, 20_480.0)
-                .step_at(PHASE_STRESS_END, config.response_bytes),
+                .step_at(stress_start, 20_480.0)
+                .step_at(stress_end, config.response_bytes),
+        }
+    }
+
+    /// A single-step disturbance: after a 15% quiescent lead-in, the SG1 path
+    /// is squeezed below the bandwidth minimum for the rest of the run while
+    /// the SG2 path keeps a moderate ≈3 Mbps (so a client-move repair is
+    /// available). Load stays at the baseline.
+    pub fn step(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        let squeeze_at = duration_secs * 0.15;
+        ExperimentSchedule {
+            competition_sg1: StepSchedule::new(throttle(cap, 9.0e6))
+                .step_at(squeeze_at, throttle(cap, 5.0e3)),
+            competition_sg2: StepSchedule::new(throttle(cap, 9.0e6))
+                .step_at(squeeze_at, throttle(cap, 3.0e6)),
+            request_rate: StepSchedule::new(config.request_rate_per_client),
+            response_bytes: StepSchedule::new(config.response_bytes),
+        }
+    }
+
+    /// A gradual squeeze: after a 10% lead-in the SG1 path's available
+    /// bandwidth ramps down in five steps from ≈9 Mbps to ≈5 Kbps over 80% of
+    /// the run, while the SG2 path keeps ≈3 Mbps.
+    pub fn ramp(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        let targets_bps = [6.0e6, 3.0e6, 1.0e6, 100.0e3, 5.0e3];
+        let start = duration_secs * 0.1;
+        let span = duration_secs * 0.8;
+        let mut sg1 = StepSchedule::new(throttle(cap, 9.0e6));
+        for (i, &available) in targets_bps.iter().enumerate() {
+            let at = start + span * i as f64 / targets_bps.len() as f64;
+            sg1 = sg1.step_at(at, throttle(cap, available));
+        }
+        ExperimentSchedule {
+            competition_sg1: sg1,
+            competition_sg2: StepSchedule::new(throttle(cap, 9.0e6))
+                .step_at(start, throttle(cap, 3.0e6)),
+            request_rate: StepSchedule::new(config.request_rate_per_client),
+            response_bytes: StepSchedule::new(config.response_bytes),
+        }
+    }
+
+    /// A flash crowd: bandwidth stays plentiful on both paths, but between
+    /// 40% and 70% of the run every client fires 20 KB requests three times a
+    /// second (a pure server-load overload, repaired by activating spares).
+    pub fn flash_crowd(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        let burst_start = duration_secs * 0.4;
+        let burst_end = duration_secs * 0.7;
+        ExperimentSchedule {
+            competition_sg1: StepSchedule::new(throttle(cap, 9.0e6)),
+            competition_sg2: StepSchedule::new(throttle(cap, 9.0e6)),
+            request_rate: StepSchedule::new(config.request_rate_per_client)
+                .step_at(burst_start, 3.0)
+                .step_at(burst_end, config.request_rate_per_client),
+            response_bytes: StepSchedule::new(config.response_bytes)
+                .step_at(burst_start, 20_480.0)
+                .step_at(burst_end, config.response_bytes),
+        }
+    }
+
+    /// Resolves a workload generator by its sweep-matrix name (one of
+    /// [`WORKLOAD_NAMES`]), producing a schedule for a run of the given
+    /// length.
+    pub fn by_name(name: &str, config: &GridConfig, duration_secs: f64) -> Option<Self> {
+        match name {
+            "figure7" => Some(Self::figure7_scaled(config, duration_secs)),
+            "step" => Some(Self::step(config, duration_secs)),
+            "ramp" => Some(Self::ramp(config, duration_secs)),
+            "flash-crowd" => Some(Self::flash_crowd(config, duration_secs)),
+            _ => None,
         }
     }
 
@@ -94,7 +186,10 @@ impl ExperimentSchedule {
         let now = SimTime::from_secs(t);
         app.set_competition_sg1(now, self.competition_sg1.value_at(t))?;
         app.set_competition_sg2(now, self.competition_sg2.value_at(t))?;
-        app.set_workload(self.request_rate.value_at(t), self.response_bytes.value_at(t));
+        app.set_workload(
+            self.request_rate.value_at(t),
+            self.response_bytes.value_at(t),
+        );
         Ok(())
     }
 }
@@ -128,13 +223,96 @@ mod tests {
     }
 
     #[test]
+    fn figure7_is_its_own_scaling_at_the_paper_duration() {
+        let config = GridConfig::default();
+        assert_eq!(
+            ExperimentSchedule::figure7(&config),
+            ExperimentSchedule::figure7_scaled(&config, RUN_DURATION_SECS)
+        );
+        // Scaled to half the duration, the boundaries halve.
+        let half = ExperimentSchedule::figure7_scaled(&config, 900.0);
+        assert_eq!(half.change_points(), vec![60.0, 300.0, 600.0]);
+    }
+
+    #[test]
+    fn every_workload_name_resolves_and_unknown_names_do_not() {
+        let config = GridConfig::default();
+        for name in WORKLOAD_NAMES {
+            let schedule = ExperimentSchedule::by_name(name, &config, 600.0)
+                .unwrap_or_else(|| panic!("{name} resolves"));
+            // Change points are sorted and unique for every generator.
+            let points = schedule.change_points();
+            let mut sorted = points.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted.dedup();
+            assert_eq!(points, sorted, "{name} change points sorted and unique");
+        }
+        assert!(ExperimentSchedule::by_name("nonsense", &config, 600.0).is_none());
+    }
+
+    #[test]
+    fn step_squeezes_sg1_below_the_minimum_but_leaves_sg2_usable() {
+        let config = GridConfig::default();
+        let cap = config.testbed.core_capacity_bps;
+        let schedule = ExperimentSchedule::step(&config, 600.0);
+        assert!(cap - schedule.competition_sg1.value_at(50.0) > 8.0e6);
+        assert!(cap - schedule.competition_sg1.value_at(200.0) < 10_000.0);
+        assert!(cap - schedule.competition_sg2.value_at(200.0) > 1.0e6);
+        // Load is never stepped.
+        assert!(schedule.request_rate.change_points().is_empty());
+    }
+
+    #[test]
+    fn ramp_descends_monotonically() {
+        let config = GridConfig::default();
+        let cap = config.testbed.core_capacity_bps;
+        let schedule = ExperimentSchedule::ramp(&config, 1000.0);
+        let mut last = f64::INFINITY;
+        for t in [0.0, 150.0, 350.0, 500.0, 700.0, 900.0] {
+            let available = cap - schedule.competition_sg1.value_at(t);
+            assert!(available <= last, "availability descends at t={t}");
+            last = available;
+        }
+        assert!(last < 10_000.0, "the final phase breaches the minimum");
+        assert_eq!(schedule.competition_sg1.change_points().len(), 5);
+    }
+
+    #[test]
+    fn flash_crowd_bursts_the_request_load_only() {
+        let config = GridConfig::default();
+        let schedule = ExperimentSchedule::flash_crowd(&config, 1000.0);
+        assert_eq!(schedule.request_rate.value_at(100.0), 1.0);
+        assert_eq!(schedule.request_rate.value_at(500.0), 3.0);
+        assert_eq!(schedule.response_bytes.value_at(500.0), 20_480.0);
+        assert_eq!(schedule.request_rate.value_at(800.0), 1.0);
+        assert!(schedule.competition_sg1.change_points().is_empty());
+    }
+
+    #[test]
+    fn generators_respect_a_congested_core_capacity() {
+        // On a 6 Mbps core a 9 Mbps availability target cannot be met; the
+        // throttle clamps the competition at zero instead of going negative.
+        let config = GridConfig::with_testbed(crate::testbed::TestbedSpec::congested_core());
+        let schedule = ExperimentSchedule::step(&config, 600.0);
+        assert_eq!(schedule.competition_sg1.value_at(0.0), 0.0);
+        assert!(schedule.competition_sg1.value_at(200.0) > 0.0);
+    }
+
+    #[test]
     fn apply_sets_workload_and_competition() {
         let mut app = GridApp::build(GridConfig::default()).unwrap();
         let schedule = ExperimentSchedule::figure7(&GridConfig::default());
-        let before = app.remos_get_flow("User3", crate::app::SERVER_GROUP_1).unwrap();
+        let before = app
+            .remos_get_flow("User3", crate::app::SERVER_GROUP_1)
+            .unwrap();
         schedule.apply(&mut app, 300.0).unwrap();
-        let after = app.remos_get_flow("User3", crate::app::SERVER_GROUP_1).unwrap();
-        assert!(after < 10_000.0, "squeeze leaves under 10 Kbps, got {after}");
+        let after = app
+            .remos_get_flow("User3", crate::app::SERVER_GROUP_1)
+            .unwrap();
+        assert!(
+            after < 10_000.0,
+            "squeeze leaves under 10 Kbps, got {after}"
+        );
         assert!(before > after);
     }
 

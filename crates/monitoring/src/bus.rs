@@ -218,7 +218,11 @@ mod tests {
         for i in 0..10u8 {
             bus.publish(i as f64, "t", i);
         }
-        let got: Vec<u8> = bus.drain(sub, 100.0).into_iter().map(|m| m.payload).collect();
+        let got: Vec<u8> = bus
+            .drain(sub, 100.0)
+            .into_iter()
+            .map(|m| m.payload)
+            .collect();
         assert_eq!(got, (0..10u8).collect::<Vec<_>>());
     }
 

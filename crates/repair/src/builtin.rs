@@ -203,7 +203,10 @@ impl Tactic for ReduceServersTactic {
         // servers.
         let mut candidate: Option<(String, String)> = None;
         for (id, comp) in ctx.model.components_of_type(SERVER_GROUP_T) {
-            let load = comp.properties.get_f64(props::LOAD).unwrap_or(f64::INFINITY);
+            let load = comp
+                .properties
+                .get_f64(props::LOAD)
+                .unwrap_or(f64::INFINITY);
             if load > self.low_load_threshold {
                 continue;
             }
@@ -326,7 +329,11 @@ mod tests {
             .properties
             .set(props::LOAD, group1_load);
         let g2 = model.component_by_name("ServerGrp2").unwrap();
-        model.component_mut(g2).unwrap().properties.set(props::LOAD, 0i64);
+        model
+            .component_mut(g2)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 0i64);
         // User3 is on ServerGrp1 (round robin: 1→G1, 2→G2, 3→G1, ...).
         let user3 = model.component_by_name("User3").unwrap();
         model
@@ -393,8 +400,7 @@ mod tests {
     fn overload_without_spares_falls_through_to_bandwidth() {
         let (model, violation) = scenario(20, 3_000.0);
         // No spare servers anywhere, but ServerGrp2 has good bandwidth.
-        let query = StaticQuery::new()
-            .with_bandwidth("User3", "ServerGrp2", 5_000_000.0);
+        let query = StaticQuery::new().with_bandwidth("User3", "ServerGrp2", 5_000_000.0);
         let outcome = run_fix_latency(&model, &violation, &query);
         match outcome {
             StrategyOutcome::Repaired {
@@ -433,7 +439,10 @@ mod tests {
         // Best group is the one the client is already on.
         let query = StaticQuery::new().with_bandwidth("User3", "ServerGrp1", 9e6);
         let outcome = run_fix_latency(&model, &violation, &query);
-        assert!(matches!(outcome, StrategyOutcome::NoApplicableTactic { .. }));
+        assert!(matches!(
+            outcome,
+            StrategyOutcome::NoApplicableTactic { .. }
+        ));
     }
 
     #[test]
@@ -455,7 +464,11 @@ mod tests {
     fn reduce_servers_removes_from_idle_group() {
         let (mut model, _) = scenario(0, 1e6);
         let g1 = model.component_by_name("ServerGrp1").unwrap();
-        model.component_mut(g1).unwrap().properties.set(props::LOAD, 0i64);
+        model
+            .component_mut(g1)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 0i64);
         let violation = Violation {
             invariant: "underutilised".into(),
             subject: None,
@@ -477,7 +490,11 @@ mod tests {
         let g = ClientServerStyle::add_server_group(&mut model, "G1", 1).unwrap();
         let c = ClientServerStyle::add_client(&mut model, "U1").unwrap();
         ClientServerStyle::connect_client(&mut model, c, g).unwrap();
-        model.component_mut(g).unwrap().properties.set(props::LOAD, 0i64);
+        model
+            .component_mut(g)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 0i64);
         let violation = Violation {
             invariant: "underutilised".into(),
             subject: None,
@@ -485,7 +502,10 @@ mod tests {
             detail: String::new(),
         };
         let outcome = reduce_servers_strategy().run(&model, &violation, &StaticQuery::new());
-        assert!(matches!(outcome, StrategyOutcome::NoApplicableTactic { .. }));
+        assert!(matches!(
+            outcome,
+            StrategyOutcome::NoApplicableTactic { .. }
+        ));
     }
 
     #[test]

@@ -229,9 +229,17 @@ mod tests {
     fn overloaded_model() -> System {
         let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).unwrap();
         let g1 = model.component_by_name("ServerGrp1").unwrap();
-        model.component_mut(g1).unwrap().properties.set(props::LOAD, 20i64);
+        model
+            .component_mut(g1)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 20i64);
         let g2 = model.component_by_name("ServerGrp2").unwrap();
-        model.component_mut(g2).unwrap().properties.set(props::LOAD, 0i64);
+        model
+            .component_mut(g2)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 0i64);
         for name in ["User1", "User2", "User4", "User5", "User6"] {
             let id = model.component_by_name(name).unwrap();
             model
@@ -330,7 +338,11 @@ mod tests {
         let mut model = overloaded_model();
         // Make it a pure bandwidth problem with no overload.
         let g1 = model.component_by_name("ServerGrp1").unwrap();
-        model.component_mut(g1).unwrap().properties.set(props::LOAD, 0i64);
+        model
+            .component_mut(g1)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 0i64);
         let user3 = model.component_by_name("User3").unwrap();
         for role in model.roles_of_component(user3) {
             model

@@ -61,7 +61,10 @@ pub fn add_server(tx: &mut Transaction, group_name: &str) -> Result<String, Oper
         .working()
         .component_by_name(group_name)
         .ok_or_else(|| OperatorError::BadTarget(format!("server group {group_name} not found")))?;
-    let group = tx.working().component(group_id).map_err(ChangeError::from)?;
+    let group = tx
+        .working()
+        .component(group_id)
+        .map_err(ChangeError::from)?;
     if group.ctype != archmodel::style::SERVER_GROUP_T {
         return Err(OperatorError::BadTarget(format!(
             "{group_name} is a {}, not a server group",
@@ -105,9 +108,9 @@ pub fn move_client(
     let client_id = model
         .component_by_name(client_name)
         .ok_or_else(|| OperatorError::BadTarget(format!("client {client_name} not found")))?;
-    let to_group_id = model
-        .component_by_name(to_group_name)
-        .ok_or_else(|| OperatorError::BadTarget(format!("server group {to_group_name} not found")))?;
+    let to_group_id = model.component_by_name(to_group_name).ok_or_else(|| {
+        OperatorError::BadTarget(format!("server group {to_group_name} not found"))
+    })?;
     if model
         .component(to_group_id)
         .map_err(ChangeError::from)?
@@ -293,7 +296,10 @@ mod tests {
         let working = tx.working();
         let user = working.component_by_name("User1").unwrap();
         let grp2 = working.component_by_name("ServerGrp2").unwrap();
-        assert_eq!(ClientServerStyle::group_of_client(working, user), Some(grp2));
+        assert_eq!(
+            ClientServerStyle::group_of_client(working, user),
+            Some(grp2)
+        );
         // The old connector no longer carries a role for User1.
         let old_conn = working.connector_by_name("ServerGrp1.Conn").unwrap();
         let stale = working

@@ -65,7 +65,9 @@ mod tests {
             .iter()
             .map(|name| Violation {
                 invariant: "latency".into(),
-                subject: Some(ElementRef::Component(model.component_by_name(name).unwrap())),
+                subject: Some(ElementRef::Component(
+                    model.component_by_name(name).unwrap(),
+                )),
                 subject_name: name.to_string(),
                 detail: String::new(),
             })
@@ -76,8 +78,7 @@ mod tests {
     #[test]
     fn first_reported_takes_the_first() {
         let (model, violations) = model_and_violations();
-        let chosen =
-            select_violation(SelectionPolicy::FirstReported, &violations, &model).unwrap();
+        let chosen = select_violation(SelectionPolicy::FirstReported, &violations, &model).unwrap();
         assert_eq!(chosen.subject_name, "User1");
     }
 

@@ -125,7 +125,10 @@ impl RepairStrategy {
                     }
                     if let Some(e) = apply_failed {
                         return StrategyOutcome::Aborted {
-                            reason: format!("{}: repair script failed to apply: {e}", tactic.name()),
+                            reason: format!(
+                                "{}: repair script failed to apply: {e}",
+                                tactic.name()
+                            ),
                         };
                     }
                     let style_violations = ClientServerStyle::validate(&candidate);
@@ -318,14 +321,14 @@ mod tests {
         let m = model();
         let v = violation(&m);
         // Removing the whole server group leaves its clients dangling.
-        let strategy = RepairStrategy::new("bad", TacticPolicy::FirstSuccess).with_tactic(Box::new(
-            ScriptedTactic {
+        let strategy = RepairStrategy::new("bad", TacticPolicy::FirstSuccess).with_tactic(
+            Box::new(ScriptedTactic {
                 name: "break-style".into(),
                 result: applied(vec![ModelOp::RemoveComponent {
                     name: "ServerGrp1".into(),
                 }]),
-            },
-        ));
+            }),
+        );
         match strategy.run(&m, &v, &StaticQuery::new()) {
             StrategyOutcome::Aborted { reason } => assert!(reason.contains("style")),
             other => panic!("unexpected outcome: {other:?}"),

@@ -176,7 +176,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(RepairError::NoServerGroupFound.to_string().contains("no server group"));
-        assert!(RepairError::Operator("boom".into()).to_string().contains("boom"));
+        assert!(RepairError::NoServerGroupFound
+            .to_string()
+            .contains("no server group"));
+        assert!(RepairError::Operator("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -212,8 +212,14 @@ mod tests {
                 .filter(|f| f.links.contains(&LinkId(1)))
                 .map(|f| rates[&f.key])
                 .sum();
-            assert!(on_link0 <= 10e6 + n as f64, "link0 oversubscribed: {on_link0}");
-            assert!(on_link1 <= 3e6 + n as f64, "link1 oversubscribed: {on_link1}");
+            assert!(
+                on_link0 <= 10e6 + n as f64,
+                "link0 oversubscribed: {on_link0}"
+            );
+            assert!(
+                on_link1 <= 3e6 + n as f64,
+                "link1 oversubscribed: {on_link1}"
+            );
         }
     }
 

@@ -35,7 +35,7 @@ pub use engine::{Ctx, Engine, Model};
 pub use event::{EventHandle, EventQueue};
 pub use network::{CompletedTransfer, NetError, Network, TransferId};
 pub use rng::SimRng;
-pub use stats::{StepSchedule, Summary, TimeSeries};
+pub use stats::{quantile_of, StepSchedule, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
 pub use topology::{Link, LinkId, Node, NodeId, NodeKind, Topology, TopologyError};
 pub use trace::{Trace, TraceEntry, TraceKind};

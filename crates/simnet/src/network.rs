@@ -358,10 +358,8 @@ impl Network {
     /// fluid model first).
     pub fn poll_completions(&mut self, now: SimTime) -> Vec<CompletedTransfer> {
         self.advance(now);
-        let (ready, waiting): (Vec<_>, Vec<_>) = self
-            .pending
-            .drain(..)
-            .partition(|p| p.deliver_at <= now);
+        let (ready, waiting): (Vec<_>, Vec<_>) =
+            self.pending.drain(..).partition(|p| p.deliver_at <= now);
         self.pending = waiting;
         let mut done: Vec<CompletedTransfer> = ready.into_iter().map(|p| p.completed).collect();
         done.sort_by(|a, b| a.delivered.cmp(&b.delivered).then(a.id.cmp(&b.id)));
@@ -429,9 +427,7 @@ mod tests {
     fn single_transfer_completes_at_expected_time() {
         let (mut net, a, b) = two_host_net();
         // 10 Mbit payload over a 10 Mbps bottleneck: ~1 s + 2 ms latency.
-        let id = net
-            .start_transfer(t(0.0), a, b, 10e6 / 8.0, 42)
-            .unwrap();
+        let id = net.start_transfer(t(0.0), a, b, 10e6 / 8.0, 42).unwrap();
         assert!(net.poll_completions(t(0.5)).is_empty());
         let done = net.poll_completions(t(1.1));
         assert_eq!(done.len(), 1);

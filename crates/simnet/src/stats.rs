@@ -78,13 +78,8 @@ impl TimeSeries {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) of the values using nearest-rank.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        if self.points.is_empty() {
-            return None;
-        }
-        let mut values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).expect("values are not NaN"));
-        let idx = ((values.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
-        Some(values[idx])
+        let values: Vec<f64> = self.points.iter().map(|&(_, v)| v).collect();
+        quantile_of(&values, q)
     }
 
     /// Fraction of observations strictly above `threshold`.
@@ -161,6 +156,19 @@ impl TimeSeries {
     }
 }
 
+/// The `q`-quantile (0 ≤ q ≤ 1) of a slice of values using nearest-rank —
+/// the one quantile definition shared by [`TimeSeries::quantile`] and any
+/// cross-run aggregation built on top of it. `None` if the slice is empty.
+pub fn quantile_of(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are not NaN"));
+    let idx = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
 /// Summary statistics for a series, reported in EXPERIMENTS.md.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -235,9 +243,15 @@ impl StepSchedule {
         value
     }
 
-    /// All times at which the schedule changes value.
+    /// All times at which the schedule changes value, in increasing order
+    /// with duplicates removed (a schedule composed out of multiple phases
+    /// may step twice at the same instant; the later step wins in
+    /// [`value_at`](Self::value_at)).
     pub fn change_points(&self) -> Vec<f64> {
-        self.steps.iter().map(|&(t, _)| t).collect()
+        let mut points: Vec<f64> = self.steps.iter().map(|&(t, _)| t).collect();
+        points.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+        points.dedup();
+        points
     }
 }
 
@@ -298,7 +312,13 @@ mod tests {
 
     #[test]
     fn quantiles_are_order_statistics() {
-        let s = series(&[(0.0, 10.0), (1.0, 20.0), (2.0, 30.0), (3.0, 40.0), (4.0, 50.0)]);
+        let s = series(&[
+            (0.0, 10.0),
+            (1.0, 20.0),
+            (2.0, 30.0),
+            (3.0, 40.0),
+            (4.0, 50.0),
+        ]);
         assert_eq!(s.quantile(0.0), Some(10.0));
         assert_eq!(s.quantile(0.5), Some(30.0));
         assert_eq!(s.quantile(1.0), Some(50.0));
@@ -337,5 +357,15 @@ mod tests {
         let sched = StepSchedule::new(0.0).step_at(10.0, 2.0).step_at(5.0, 1.0);
         assert_eq!(sched.value_at(7.0), 1.0);
         assert_eq!(sched.value_at(12.0), 2.0);
+        assert_eq!(sched.change_points(), vec![5.0, 10.0]);
+    }
+
+    #[test]
+    fn change_points_are_sorted_and_deduplicated() {
+        let sched = StepSchedule::new(0.0)
+            .step_at(20.0, 3.0)
+            .step_at(5.0, 1.0)
+            .step_at(20.0, 4.0);
+        assert_eq!(sched.change_points(), vec![5.0, 20.0]);
     }
 }

@@ -280,7 +280,10 @@ impl Topology {
         let mut cur = dst;
         while cur != src {
             let (p, link) = prev[cur.0].ok_or_else(|| {
-                TopologyError::NoPath(self.nodes[src.0].name.clone(), self.nodes[dst.0].name.clone())
+                TopologyError::NoPath(
+                    self.nodes[src.0].name.clone(),
+                    self.nodes[dst.0].name.clone(),
+                )
             })?;
             path.push(link);
             cur = p;

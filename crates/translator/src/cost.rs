@@ -132,7 +132,12 @@ impl RepairCostModel {
         }
         let gauge: f64 = ops
             .iter()
-            .filter(|op| matches!(op, RuntimeOp::DeleteGauge { .. } | RuntimeOp::CreateGauge { .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    RuntimeOp::DeleteGauge { .. } | RuntimeOp::CreateGauge { .. }
+                )
+            })
             .map(|op| self.cost_of(op))
             .sum();
         gauge / total

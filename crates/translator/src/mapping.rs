@@ -172,7 +172,13 @@ mod tests {
             .collect();
         assert_eq!(
             kinds,
-            vec!["find", "connect", "activate", "delete-gauge", "create-gauge"]
+            vec![
+                "find",
+                "connect",
+                "activate",
+                "delete-gauge",
+                "create-gauge"
+            ]
         );
     }
 

@@ -118,7 +118,10 @@ pub trait Rng {
     where
         Self: Sized,
     {
-        assert!(range.start < range.end, "gen_range requires a non-empty range");
+        assert!(
+            range.start < range.end,
+            "gen_range requires a non-empty range"
+        );
         let span = (range.end - range.start) as u64;
         // Rejection sampling to avoid modulo bias.
         let zone = u64::MAX - (u64::MAX % span);

@@ -229,12 +229,7 @@ macro_rules! serialize_tuple {
     )+};
 }
 
-serialize_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3),
-);
+serialize_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 impl Serialize for std::time::Duration {
     fn to_content(&self) -> Content {

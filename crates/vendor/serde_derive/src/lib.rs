@@ -41,13 +41,17 @@ enum VariantKind {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    render_serialize(&parsed).parse().expect("generated impl parses")
+    render_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    render_deserialize(&parsed).parse().expect("generated impl parses")
+    render_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -345,9 +349,7 @@ fn render_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
-                    )
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
                 })
                 .collect();
             format!("::serde::Content::Map(vec![{}])", entries.join(", "))

@@ -486,8 +486,7 @@ impl Parser<'_> {
                                     return Err(Error("invalid low surrogate".to_string()));
                                 }
                                 self.pos += 6;
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error("invalid codepoint".to_string()))?
                             } else {
@@ -521,8 +520,7 @@ impl Parser<'_> {
             .bytes
             .get(start..start + 4)
             .ok_or_else(|| Error("truncated \\u escape".to_string()))?;
-        let hex =
-            std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".to_string()))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".to_string()))?;
         u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".to_string()))
     }
 
@@ -607,7 +605,10 @@ mod tests {
         let parsed = from_str("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(parsed, Value::String("\u{1F600}".to_string()));
         // BMP escapes still work, lone surrogates are rejected.
-        assert_eq!(from_str("\"\\u00e9\"").unwrap(), Value::String("é".to_string()));
+        assert_eq!(
+            from_str("\"\\u00e9\"").unwrap(),
+            Value::String("é".to_string())
+        );
         assert!(from_str("\"\\ud83d\"").is_err());
         assert!(from_str("\"\\ud83d\\u0041\"").is_err());
     }

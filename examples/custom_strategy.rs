@@ -42,7 +42,10 @@ impl Tactic for ProvisionToAnalysis {
             .unwrap_or(6.0);
         // Find the most loaded group.
         let mut worst: Option<(String, f64, usize)> = None;
-        for (id, group) in ctx.model.components_of_type(archmodel::style::SERVER_GROUP_T) {
+        for (id, group) in ctx
+            .model
+            .components_of_type(archmodel::style::SERVER_GROUP_T)
+        {
             let load = group.properties.get_f64(props::LOAD).unwrap_or(0.0);
             let replicas = ctx.model.children_of(id).map(|c| c.len()).unwrap_or(0);
             if load > max_load {
@@ -71,7 +74,10 @@ impl Tactic for ProvisionToAnalysis {
         };
         if plan.servers <= replicas {
             return Ok(TacticResult::NotApplicable {
-                reason: format!("{group} already has {replicas} >= {} replicas", plan.servers),
+                reason: format!(
+                    "{group} already has {replicas} >= {} replicas",
+                    plan.servers
+                ),
             });
         }
         let mut tx = Transaction::new(ctx.model);
@@ -132,7 +138,9 @@ fn main() {
     );
     let query = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
     match strategy.run(&model, violation, &query) {
-        StrategyOutcome::Repaired { ops, description, .. } => {
+        StrategyOutcome::Repaired {
+            ops, description, ..
+        } => {
             println!("repair: {description}");
             println!("model operations:");
             for op in &ops {

@@ -15,8 +15,10 @@ use analysis::{provision, MmcQueue, ProvisioningInput};
 
 fn main() {
     let baseline = ProvisioningInput::default();
-    println!("paper inputs: λ={} req/s, μ={} req/s per server, bound={} s",
-        baseline.arrival_rate, baseline.service_rate, baseline.max_latency);
+    println!(
+        "paper inputs: λ={} req/s, μ={} req/s per server, bound={} s",
+        baseline.arrival_rate, baseline.service_rate, baseline.max_latency
+    );
     let plan = provision(&baseline, 16).expect("feasible");
     println!(
         "  → {} replicated servers (predicted response {:.2} s, queue {:.2}), min bandwidth {:.0} bps",

@@ -45,8 +45,16 @@ fn main() {
     println!("trace (violations and repairs):");
     for entry in framework.trace().entries() {
         use simnet::TraceKind::*;
-        if matches!(entry.kind, Violation | RepairStart | RepairEnd | RepairAborted) {
-            println!("  [{:8.1}s] {:?}: {}", entry.time.as_secs(), entry.kind, entry.message);
+        if matches!(
+            entry.kind,
+            Violation | RepairStart | RepairEnd | RepairAborted
+        ) {
+            println!(
+                "  [{:8.1}s] {:?}: {}",
+                entry.time.as_secs(),
+                entry.kind,
+                entry.message
+            );
         }
     }
 }

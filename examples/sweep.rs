@@ -1,0 +1,68 @@
+//! Scenario sweep: run the control-vs-adaptive comparison across a matrix of
+//! topology presets × workload generators × repair strategies × seeds, in
+//! parallel, and emit the aggregated `SweepReport` as JSON.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sweep                       # default matrix
+//! cargo run --release --example sweep -- --smoke            # tiny CI matrix
+//! cargo run --release --example sweep -- --workers 4 --out report.json
+//! ```
+//!
+//! The JSON report is byte-identical for the same matrix regardless of the
+//! worker count — CI runs the smoke matrix twice and diffs the files as a
+//! determinism gate.
+
+use arch_adapt::report::render_sweep;
+use arch_adapt::sweep::{run_sweep, SweepSpec};
+
+fn main() {
+    let mut spec = SweepSpec::default_matrix();
+    let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out_path = "sweep_report.json".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => spec = SweepSpec::smoke(),
+            "--workers" => {
+                let value = args.next().expect("--workers takes a count");
+                workers = value
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .expect("--workers takes a positive integer");
+            }
+            "--out" => {
+                out_path = args.next().expect("--out takes a file path");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: sweep [--smoke] [--workers N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "sweeping {} cells x {} seeds = {} comparison units on {} worker(s)...",
+        spec.cells().len(),
+        spec.seeds.len(),
+        spec.total_units(),
+        workers
+    );
+    let started = std::time::Instant::now();
+    let report = run_sweep(&spec, workers).expect("sweep runs");
+    let elapsed = started.elapsed();
+
+    println!("{}", render_sweep(&report));
+    std::fs::write(&out_path, report.to_json_string()).expect("writes report file");
+    eprintln!(
+        "swept {} units ({} simulated seconds) in {:.2} s wall; wrote {}",
+        report.total_units,
+        report.spec.durations_secs.iter().sum::<f64>() * (report.total_units * 2) as f64
+            / report.spec.durations_secs.len() as f64,
+        elapsed.as_secs_f64(),
+        out_path
+    );
+}

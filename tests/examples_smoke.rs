@@ -1,7 +1,8 @@
-//! Smoke tests mirroring the four `examples/` binaries' core logic (with
+//! Smoke tests mirroring the `examples/` binaries' core logic (with
 //! shortened simulated durations), so the examples cannot silently rot even
 //! when nothing runs them. CI additionally builds the example binaries
-//! themselves via `cargo build --examples`.
+//! themselves via `cargo build --examples` and drives the sweep example
+//! end-to-end in the sweep-smoke job.
 
 use analysis::{provision, MmcQueue, ProvisioningInput};
 use arch_adapt::experiment::Comparison;
@@ -54,6 +55,25 @@ fn control_vs_adaptive_flow_renders_and_serialises() {
     let parsed: serde_json::Value = serde_json::from_str(&pretty).expect("parses back");
     assert_eq!(parsed["control"]["label"], "control");
     assert_eq!(parsed["adaptive"]["label"], "adaptive");
+}
+
+/// `examples/sweep.rs`: run a (tiny) sweep matrix, render the table, and
+/// serialise the report the way the example writes its JSON file.
+#[test]
+fn sweep_flow_runs_renders_and_serialises() {
+    let spec = arch_adapt::sweep::SweepSpec {
+        topologies: vec!["paper".into()],
+        workloads: vec!["step".into()],
+        strategies: vec!["adaptive".into()],
+        durations_secs: vec![60.0],
+        seeds: vec![42],
+    };
+    let report = arch_adapt::sweep::run_sweep(&spec, 2).expect("sweep runs");
+    let table = arch_adapt::report::render_sweep(&report);
+    assert!(table.contains("Scenario sweep"));
+    let parsed: serde_json::Value =
+        serde_json::from_str(&report.to_json_string()).expect("parses back");
+    assert_eq!(parsed["spec"]["workloads"][0], "step");
 }
 
 /// `examples/custom_strategy.rs`: detect an overload violation with a parsed
@@ -140,7 +160,11 @@ fn provisioning_flow_matches_paper_inputs() {
             ..baseline
         };
         let plan = provision(&input, 64).expect("feasible within 64 servers");
-        assert!(plan.servers >= last, "λ={arrival}: {} < {last}", plan.servers);
+        assert!(
+            plan.servers >= last,
+            "λ={arrival}: {} < {last}",
+            plan.servers
+        );
         last = plan.servers;
     }
 

@@ -10,9 +10,17 @@ fn overloaded_model() -> archmodel::System {
     let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).unwrap();
     model.properties.set(props::MAX_LATENCY, 2.0);
     let g1 = model.component_by_name("ServerGrp1").unwrap();
-    model.component_mut(g1).unwrap().properties.set(props::LOAD, 12i64);
+    model
+        .component_mut(g1)
+        .unwrap()
+        .properties
+        .set(props::LOAD, 12i64);
     let g2 = model.component_by_name("ServerGrp2").unwrap();
-    model.component_mut(g2).unwrap().properties.set(props::LOAD, 1i64);
+    model
+        .component_mut(g2)
+        .unwrap()
+        .properties
+        .set(props::LOAD, 1i64);
     let user3 = model.component_by_name("User3").unwrap();
     model
         .component_mut(user3)
@@ -74,7 +82,11 @@ fn violation_to_runtime_ops_for_a_bandwidth_problem() {
     let mut model = overloaded_model();
     // Make it purely a bandwidth problem for User3.
     let g1 = model.component_by_name("ServerGrp1").unwrap();
-    model.component_mut(g1).unwrap().properties.set(props::LOAD, 1i64);
+    model
+        .component_mut(g1)
+        .unwrap()
+        .properties
+        .set(props::LOAD, 1i64);
     let user3 = model.component_by_name("User3").unwrap();
     for role in model.roles_of_component(user3) {
         model
@@ -93,7 +105,10 @@ fn violation_to_runtime_ops_for_a_bandwidth_problem() {
         .with_bandwidth("User3", "ServerGrp1", 4_000.0)
         .with_bandwidth("User3", "ServerGrp2", 3.0e6);
     let outcome = fix_latency_strategy().run(&model, violation, &query);
-    let StrategyOutcome::Repaired { ops, description, .. } = outcome else {
+    let StrategyOutcome::Repaired {
+        ops, description, ..
+    } = outcome
+    else {
         panic!("expected a repair");
     };
     assert!(description.contains("ServerGrp2"));
@@ -111,7 +126,11 @@ fn violation_to_runtime_ops_for_a_bandwidth_problem() {
 #[test]
 fn clean_model_produces_no_repairs() {
     let mut model = ClientServerStyle::example_system("storage", 1, 3, 3).unwrap();
-    for (id, _) in model.components_of_type("ClientT").map(|(id, c)| (id, c.name.clone())).collect::<Vec<_>>() {
+    for (id, _) in model
+        .components_of_type("ClientT")
+        .map(|(id, c)| (id, c.name.clone()))
+        .collect::<Vec<_>>()
+    {
         model
             .component_mut(id)
             .unwrap()
@@ -119,7 +138,11 @@ fn clean_model_produces_no_repairs() {
             .set(props::AVERAGE_LATENCY, 0.4);
     }
     let g = model.component_by_name("ServerGrp1").unwrap();
-    model.component_mut(g).unwrap().properties.set(props::LOAD, 2i64);
+    model
+        .component_mut(g)
+        .unwrap()
+        .properties
+        .set(props::LOAD, 2i64);
     for role in model.roles().map(|(id, _)| id).collect::<Vec<_>>() {
         model
             .role_mut(role)

@@ -1,0 +1,57 @@
+//! Property test for the scenario-sweep harness: the aggregated
+//! [`SweepReport`](arch_adapt::sweep::SweepReport) must be bit-identical when
+//! the same spec runs with 1 worker and with N workers, for arbitrary
+//! topology/workload/seed combinations. Serialised JSON is compared so any
+//! nondeterminism in aggregation order, float folding, or serialisation is
+//! caught, not just structural equality.
+
+use arch_adapt::sweep::{run_sweep, SweepSpec};
+use gridapp::{TESTBED_PRESETS, WORKLOAD_NAMES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn sweep_report_is_invariant_under_worker_count(
+        workers in 2usize..6,
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        topology in 0usize..TESTBED_PRESETS.len(),
+        workload in 0usize..WORKLOAD_NAMES.len(),
+    ) {
+        let spec = SweepSpec {
+            topologies: vec![TESTBED_PRESETS[topology].to_string()],
+            workloads: vec![WORKLOAD_NAMES[workload].to_string()],
+            strategies: vec!["adaptive".to_string()],
+            durations_secs: vec![45.0],
+            seeds: vec![seed_a, seed_b],
+        };
+        let serial = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, workers).unwrap();
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.to_json_string(), parallel.to_json_string());
+    }
+}
+
+/// A fixed multi-cell matrix (more units than workers, so the work-stealing
+/// loop actually interleaves) must also be worker-count invariant.
+#[test]
+fn multi_cell_sweep_is_worker_count_invariant() {
+    let spec = SweepSpec {
+        topologies: vec!["paper".into(), "wide-fanout".into()],
+        workloads: vec!["step".into(), "ramp".into()],
+        strategies: vec!["adaptive".into()],
+        durations_secs: vec![60.0],
+        seeds: vec![1, 2, 3],
+    };
+    let serial = run_sweep(&spec, 1).unwrap();
+    for workers in [2, 3, 8] {
+        let parallel = run_sweep(&spec, workers).unwrap();
+        assert_eq!(
+            serial.to_json_string(),
+            parallel.to_json_string(),
+            "report differs at {workers} workers"
+        );
+    }
+}
