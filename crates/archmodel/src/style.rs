@@ -48,6 +48,17 @@ pub mod props {
     pub const MAX_SERVER_LOAD: &str = "maxServerLoad";
     /// Task-layer minimum acceptable client bandwidth (bits per second).
     pub const MIN_BANDWIDTH: &str = "minBandwidth";
+    /// Number of a server group's assigned replicas currently alive.
+    pub const LIVE_SERVERS: &str = "liveServers";
+    /// Number of a server group's assigned replicas that have crashed and
+    /// not yet been failed over.
+    pub const DEAD_SERVERS: &str = "deadServers";
+    /// Whether a server replica's runtime process is alive (0 or 1).
+    pub const IS_ALIVE: &str = "isAlive";
+    /// Whether a client can currently reach its server group (0 or 1).
+    pub const REACHABLE: &str = "reachable";
+    /// Task-layer bound on dead replicas tolerated per group (normally 0).
+    pub const MAX_DEAD_SERVERS: &str = "maxDeadServers";
 }
 
 /// A structural-validity problem found by [`ClientServerStyle::validate`].

@@ -20,6 +20,7 @@ fn bench_spec() -> SweepSpec {
         strategies: vec!["adaptive".into()],
         durations_secs: vec![120.0],
         seeds: vec![42, 7],
+        fault_profiles: vec!["none".into()],
     }
 }
 

@@ -80,6 +80,9 @@ pub struct RunResult {
     /// Intervals during which a repair was executing (the bars at the top of
     /// Figures 11–13).
     pub repair_intervals: Vec<(f64, f64)>,
+    /// Onset times (seconds) of the injected fault schedule, in time order —
+    /// the anchors of the resilience metrics. Empty for fault-free runs.
+    pub fault_onsets: Vec<f64>,
     /// Repair statistics.
     pub repair_stats: RepairStats,
     /// Headline summary.
@@ -135,8 +138,33 @@ pub fn run_with_schedule(
     config: ExperimentConfig,
     schedule: Option<&ExperimentSchedule>,
 ) -> Result<RunResult, AppError> {
+    run_with_schedule_and_faults(label, config, schedule, None)
+}
+
+/// Runs one experiment under an optional workload schedule while injecting
+/// an optional fault schedule. The faults are compiled against the run's own
+/// testbed with the run's seed, so a `(config, schedule, faults)` triple is
+/// fully reproducible.
+pub fn run_with_schedule_and_faults(
+    label: &str,
+    config: ExperimentConfig,
+    schedule: Option<&ExperimentSchedule>,
+    faults: Option<&faultsim::FaultSchedule>,
+) -> Result<RunResult, AppError> {
     let mut framework = AdaptationFramework::new(config.grid, config.framework)?;
-    framework.run(config.duration_secs, schedule);
+    let compiled = match faults {
+        Some(faults) if !faults.is_empty() => Some(
+            faults
+                .compile(framework.app().testbed(), config.grid.seed)
+                .map_err(|e| AppError::Invalid(e.to_string()))?,
+        ),
+        _ => None,
+    };
+    let fault_onsets = compiled
+        .as_ref()
+        .map(|c| c.onsets.clone())
+        .unwrap_or_default();
+    framework.run_with_faults(config.duration_secs, schedule, compiled.as_ref());
     let metrics = framework.metrics().clone();
     let trace = framework.trace().clone();
     let stats = framework.repair_stats();
@@ -152,6 +180,7 @@ pub fn run_with_schedule(
         metrics,
         trace,
         repair_intervals,
+        fault_onsets,
         repair_stats: stats,
         summary,
     })
@@ -209,12 +238,25 @@ impl Comparison {
         schedule: Option<&ExperimentSchedule>,
         duration_secs: f64,
     ) -> Result<Comparison, AppError> {
+        Self::run_with_faults(grid, adaptive, schedule, None, duration_secs)
+    }
+
+    /// Runs the control/adaptive pair under an explicit workload schedule
+    /// while injecting the same fault schedule into both runs — the
+    /// resilience comparison the fault sweep aggregates.
+    pub fn run_with_faults(
+        grid: GridConfig,
+        adaptive: FrameworkConfig,
+        schedule: Option<&ExperimentSchedule>,
+        faults: Option<&faultsim::FaultSchedule>,
+        duration_secs: f64,
+    ) -> Result<Comparison, AppError> {
         let control = FrameworkConfig {
             adaptation_enabled: false,
             ..adaptive
         };
         Ok(Comparison {
-            control: run_with_schedule(
+            control: run_with_schedule_and_faults(
                 "control",
                 ExperimentConfig {
                     grid,
@@ -222,8 +264,9 @@ impl Comparison {
                     duration_secs,
                 },
                 schedule,
+                faults,
             )?,
-            adaptive: run_with_schedule(
+            adaptive: run_with_schedule_and_faults(
                 "adaptive",
                 ExperimentConfig {
                     grid,
@@ -231,6 +274,7 @@ impl Comparison {
                     duration_secs,
                 },
                 schedule,
+                faults,
             )?,
         })
     }

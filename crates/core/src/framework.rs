@@ -21,13 +21,14 @@ use crate::task::PerformanceProfile;
 use archmodel::constraint::ConstraintSet;
 use archmodel::style::ClientServerStyle;
 use archmodel::System;
+use faultsim::CompiledFaultSchedule;
 use gridapp::{
-    sample_bandwidth_probe, sample_latency_probe, sample_queue_probe, sample_server_probe,
-    AppError, ExperimentSchedule, GridApp, GridConfig, Metrics,
+    sample_flow_probes, sample_latency_probe, sample_liveness_probe, sample_queue_probe,
+    sample_server_probe, AppError, ExperimentSchedule, GridApp, GridConfig, Metrics,
 };
 use monitoring::{
-    AverageLatencyGauge, BandwidthGauge, GaugeLifecycleConfig, GaugeManager, LoadGauge,
-    MonitoringPipeline,
+    AverageLatencyGauge, BandwidthGauge, GaugeLifecycleConfig, GaugeManager, GroupLivenessGauge,
+    LoadGauge, MonitoringPipeline, ReachabilityGauge, ServerHealthGauge,
 };
 use repair::{PlanOutcome, RepairDamping, RepairEngine, RepairPlan, SelectionPolicy};
 use simnet::{SimTime, Trace, TraceKind};
@@ -188,6 +189,9 @@ impl AdaptationFramework {
         for invariant in ["latency", "bandwidth", "serverLoad"] {
             engine.register(invariant, strategy_builder());
         }
+        // Failure recovery: a group with dead replicas is failed over to
+        // spares; a group with no live replicas has its clients rerouted.
+        engine.register("liveness", repair::builtin::recover_liveness_strategy());
         engine.set_selection(config.selection);
         engine.set_damping(config.damping_secs.map(RepairDamping::new));
         let pipeline = MonitoringPipeline::new(GaugeManager::new(config.gauge_lifecycle));
@@ -279,6 +283,59 @@ impl AdaptationFramework {
                 )),
             );
         }
+        // Liveness and reachability gauges: the monitoring the
+        // fault-injection subsystem exercises.
+        for group in &groups {
+            manager.create(t, Box::new(GroupLivenessGauge::new(group.clone())));
+        }
+        for client in &clients {
+            manager.create(
+                t,
+                Box::new(ReachabilityGauge::new(
+                    client.clone(),
+                    format!("{client}.role"),
+                )),
+            );
+        }
+        // One health gauge per model replica, watching the runtime server it
+        // maps to (sorted for a deterministic creation order).
+        let mut replicas: Vec<(String, String)> = self
+            .server_map
+            .iter()
+            .map(|(model, runtime)| (model.clone(), runtime.clone()))
+            .collect();
+        replicas.sort();
+        for (model_name, runtime) in replicas {
+            manager.create(t, Box::new(ServerHealthGauge::new(runtime, model_name)));
+        }
+    }
+
+    /// Creates (or replaces) the health gauge watching the runtime server a
+    /// model replica maps to — part of the gauge churn of failover repairs.
+    fn refresh_server_health_gauge(&mut self, now: SimTime, model_name: &str, runtime: &str) {
+        let t = now.as_secs();
+        let name = format!("server-gauge/{model_name}");
+        let manager = self.pipeline.manager_mut();
+        if manager.has_gauge(&name) {
+            manager.delete(t, &name);
+        }
+        manager.create(
+            t,
+            Box::new(ServerHealthGauge::new(
+                runtime.to_string(),
+                model_name.to_string(),
+            )),
+        );
+    }
+
+    /// Deletes the health gauge of a retired model replica.
+    fn retire_server_health_gauge(&mut self, now: SimTime, model_name: &str) {
+        let t = now.as_secs();
+        let name = format!("server-gauge/{model_name}");
+        let manager = self.pipeline.manager_mut();
+        if manager.has_gauge(&name) {
+            manager.delete(t, &name);
+        }
     }
 
     /// Replaces the bandwidth gauge of `client` so it observes the client's
@@ -347,8 +404,10 @@ impl AdaptationFramework {
         self.pipeline.set_monitoring_delay(delay);
         let mut events = sample_latency_probe(&mut self.app);
         events.extend(sample_queue_probe(&self.app, t));
-        events.extend(sample_bandwidth_probe(&self.app, t));
+        // One Remos pass feeds both the bandwidth and reachability gauges.
+        events.extend(sample_flow_probes(&self.app, t));
         events.extend(sample_server_probe(&self.app, t));
+        events.extend(sample_liveness_probe(&self.app, t));
         for event in events {
             self.pipeline.publish(event);
         }
@@ -536,6 +595,21 @@ impl AdaptationFramework {
                 Ok(())
             }
         };
+        // Gauge churn for failover repairs: a recruited replica gets a health
+        // gauge watching its runtime server, a retired one loses its gauge.
+        if result.is_ok() {
+            match op {
+                RuntimeOp::ConnectServer { server, .. } => {
+                    if let Some(runtime) = self.server_map.get(server).cloned() {
+                        self.refresh_server_health_gauge(t, server, &runtime);
+                    }
+                }
+                RuntimeOp::DeactivateServer { server } => {
+                    self.retire_server_health_gauge(t, server);
+                }
+                _ => {}
+            }
+        }
         match result {
             Ok(()) => self
                 .trace
@@ -560,6 +634,20 @@ impl AdaptationFramework {
     /// Runs the framework for `duration` seconds of simulated time under an
     /// optional scripted workload.
     pub fn run(&mut self, duration_secs: f64, schedule: Option<&ExperimentSchedule>) {
+        self.run_with_faults(duration_secs, schedule, None);
+    }
+
+    /// Runs the framework under an optional scripted workload while
+    /// injecting a compiled fault timeline. Workload changes and fault
+    /// actions are interleaved in time order, each applied at its nominal
+    /// instant, so a `(schedule, faults, seed)` triple replays
+    /// bit-identically.
+    pub fn run_with_faults(
+        &mut self,
+        duration_secs: f64,
+        schedule: Option<&ExperimentSchedule>,
+        faults: Option<&CompiledFaultSchedule>,
+    ) {
         let mut change_points: Vec<f64> = schedule.map(|s| s.change_points()).unwrap_or_default();
         change_points.retain(|&p| p > 0.0 && p <= duration_secs);
         if let Some(schedule) = schedule {
@@ -567,23 +655,54 @@ impl AdaptationFramework {
                 .apply(&mut self.app, 0.0)
                 .expect("initial schedule applies");
         }
+        let actions = faults.map(|f| f.actions.as_slice()).unwrap_or_default();
         let period = self.config.control_period_secs.max(0.5);
         let mut t = 0.0;
         let mut next_change = 0usize;
+        let mut next_action = 0usize;
         while t < duration_secs {
             t = (t + period).min(duration_secs);
-            if let Some(schedule) = schedule {
-                while next_change < change_points.len() && change_points[next_change] <= t {
-                    let point = change_points[next_change];
-                    schedule
-                        .apply(&mut self.app, point)
-                        .expect("schedule change applies");
-                    self.trace.record(
-                        SimTime::from_secs(point),
-                        TraceKind::Info,
-                        format!("workload phase change at {point:.0} s"),
-                    );
-                    next_change += 1;
+            // Apply workload phase changes and fault actions due by this
+            // tick in time order (ties: the workload change first, matching
+            // the fault-free code path exactly when no faults are given).
+            loop {
+                let change_at = change_points.get(next_change).copied().filter(|&p| p <= t);
+                let action_at = actions
+                    .get(next_action)
+                    .map(|a| a.at_secs)
+                    .filter(|&p| p <= t);
+                match (change_at, action_at) {
+                    (Some(point), action) if action.is_none_or(|a| point <= a) => {
+                        let schedule = schedule.expect("change points imply a schedule");
+                        schedule
+                            .apply(&mut self.app, point)
+                            .expect("schedule change applies");
+                        self.trace.record(
+                            SimTime::from_secs(point),
+                            TraceKind::Info,
+                            format!("workload phase change at {point:.0} s"),
+                        );
+                        next_change += 1;
+                    }
+                    (_, Some(at)) => {
+                        let timed = &actions[next_action];
+                        let when = SimTime::from_secs(at);
+                        match faultsim::apply_action(&mut self.app, when, &timed.action) {
+                            Ok(()) => self.trace.record(
+                                when,
+                                TraceKind::Fault,
+                                format!("fault injected: {}", timed.label),
+                            ),
+                            Err(e) => self.trace.record(
+                                when,
+                                TraceKind::Info,
+                                format!("fault action {} failed: {e}", timed.label),
+                            ),
+                        }
+                        next_action += 1;
+                    }
+                    (None, None) => break,
+                    _ => unreachable!("one of the arms above consumes the earliest item"),
                 }
             }
             self.tick(SimTime::from_secs(t));
@@ -702,6 +821,68 @@ mod tests {
         let group = ClientServerStyle::group_of_client(model, user).unwrap();
         let group_name = model.component(group).unwrap().name.clone();
         assert_eq!(group_name, fw.app().client_group("User3").unwrap());
+    }
+
+    #[test]
+    fn server_crash_triggers_a_failover_repair() {
+        let mut fw = AdaptationFramework::new(GridConfig::default(), short_config()).unwrap();
+        let faults = faultsim::fault_profile_by_name("server-crash-midrun", 400.0).unwrap();
+        let compiled = faults.compile(fw.app().testbed(), 42).unwrap();
+        fw.run_with_faults(400.0, None, Some(&compiled));
+        // Two crashes (t=140) and two restarts (t=340) were injected and
+        // traced.
+        assert_eq!(fw.trace().count(TraceKind::Fault), 4, "four faults traced");
+        let stats = fw.repair_stats();
+        assert!(stats.completed >= 1, "failover repair completed: {stats:?}");
+        // The failover retired the dead replicas and recruited the spares:
+        // Server Group 1 has no corpse left and at least its provisioned
+        // capacity back (later load repairs may have added more on top while
+        // the backlog drained).
+        let (live, dead) = fw.app().group_liveness(gridapp::SERVER_GROUP_1);
+        assert!(live >= 3, "capacity restored: {live} live");
+        assert_eq!(dead, 0, "no dead replica left assigned");
+        let active = fw.app().active_servers(gridapp::SERVER_GROUP_1);
+        assert!(active.contains(&"S4".to_string()), "{active:?}");
+        assert!(active.contains(&"S7".to_string()), "{active:?}");
+        // The repair went through the failoverServerGroup tactic.
+        assert!(
+            fw.trace()
+                .of_kind(TraceKind::RepairStart)
+                .any(|e| e.message.contains("liveness")),
+            "a liveness repair was started"
+        );
+        // The model census agrees with the runtime again.
+        let grp = fw.model().component_by_name("ServerGrp1").unwrap();
+        let dead = fw
+            .model()
+            .component(grp)
+            .unwrap()
+            .properties
+            .get_f64(archmodel::style::props::DEAD_SERVERS);
+        assert_eq!(dead, Some(0.0));
+    }
+
+    #[test]
+    fn control_framework_observes_faults_but_never_recovers() {
+        let mut fw =
+            AdaptationFramework::new(GridConfig::default(), FrameworkConfig::control()).unwrap();
+        // A 600 s profile run for only 300 s: the crash (t=210) lands, the
+        // restart (t=510) never happens.
+        let faults = faultsim::fault_profile_by_name("server-crash-midrun", 600.0).unwrap();
+        let compiled = faults.compile(fw.app().testbed(), 42).unwrap();
+        fw.run_with_faults(300.0, None, Some(&compiled));
+        assert_eq!(fw.repair_stats().completed, 0);
+        // The dead replicas stay assigned-but-dead for the whole run.
+        assert_eq!(fw.app().group_liveness(gridapp::SERVER_GROUP_1), (1, 2));
+        // Monitoring still saw the failure: the model census records it.
+        let grp = fw.model().component_by_name("ServerGrp1").unwrap();
+        let dead = fw
+            .model()
+            .component(grp)
+            .unwrap()
+            .properties
+            .get_f64(archmodel::style::props::DEAD_SERVERS);
+        assert_eq!(dead, Some(2.0));
     }
 
     #[test]

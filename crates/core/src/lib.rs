@@ -46,6 +46,6 @@ pub use query::AppQuery;
 pub use report::{render_comparison, render_run, render_sweep, run_to_json};
 pub use sweep::{
     run_sweep, Aggregate, CellKey, CellReport, ConfidenceInterval, SweepError, SweepReport,
-    SweepSpec, SweepUnit, UnitOutcome,
+    SweepSpec, SweepUnit, UnitOutcome, UnitResilience,
 };
 pub use task::PerformanceProfile;

@@ -21,6 +21,8 @@ pub fn build_model(
 ) -> Result<(System, HashMap<String, String>), ModelError> {
     let mut model = System::new("storage-infrastructure");
     profile.apply_to(&mut model);
+    // The liveness invariant tolerates no dead replicas.
+    model.properties.set(props::MAX_DEAD_SERVERS, 0.0);
 
     let mut server_map = HashMap::new();
     for group_name in app.group_names() {
@@ -30,13 +32,22 @@ pub fn build_model(
         // Record which runtime server each model replica corresponds to.
         for (index, runtime) in runtime_servers.iter().enumerate() {
             let model_name = format!("{group_name}.Server{}", index + 1);
+            if let Some(id) = model.component_by_name(&model_name) {
+                // Seed replica liveness so the failover tactic's precondition
+                // is evaluable before the health gauges warm up.
+                model
+                    .component_mut(id)?
+                    .properties
+                    .set(props::IS_ALIVE, 1.0);
+            }
             server_map.insert(model_name, runtime.clone());
         }
-        // Seed the group's load so constraints are evaluable immediately.
-        model
-            .component_mut(group)?
-            .properties
-            .set(props::LOAD, 0i64);
+        // Seed the group's load and liveness census so constraints are
+        // evaluable immediately.
+        let properties = &mut model.component_mut(group)?.properties;
+        properties.set(props::LOAD, 0i64);
+        properties.set(props::LIVE_SERVERS, runtime_servers.len() as f64);
+        properties.set(props::DEAD_SERVERS, 0.0);
     }
     for client_name in app.client_names() {
         let client = ClientServerStyle::add_client(&mut model, &client_name)?;
@@ -139,6 +150,28 @@ mod tests {
             model.properties.get_f64(props::MIN_BANDWIDTH),
             Some(10_000.0)
         );
+        assert_eq!(model.properties.get_f64(props::MAX_DEAD_SERVERS), Some(0.0));
+    }
+
+    #[test]
+    fn liveness_census_is_seeded_healthy() {
+        let (model, server_map) = setup();
+        let grp1 = model.component_by_name("ServerGrp1").unwrap();
+        let props1 = &model.component(grp1).unwrap().properties;
+        assert_eq!(props1.get_f64(props::LIVE_SERVERS), Some(3.0));
+        assert_eq!(props1.get_f64(props::DEAD_SERVERS), Some(0.0));
+        for model_name in server_map.keys() {
+            let id = model.component_by_name(model_name).unwrap();
+            assert_eq!(
+                model
+                    .component(id)
+                    .unwrap()
+                    .properties
+                    .get_f64(props::IS_ALIVE),
+                Some(1.0),
+                "{model_name} seeded alive"
+            );
+        }
     }
 
     #[test]

@@ -45,6 +45,10 @@ impl RuntimeQuery for AppQuery<'_> {
     fn find_spare_server(&self, _group: &str) -> Option<String> {
         self.app.find_server(None, 0.0)
     }
+
+    fn spare_server_count(&self, _group: &str) -> usize {
+        self.app.spare_servers().len()
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +85,19 @@ mod tests {
         assert_eq!(
             query.find_spare_server(SERVER_GROUP_1),
             Some("S4".to_string())
+        );
+        assert_eq!(query.spare_server_count(SERVER_GROUP_1), 2);
+    }
+
+    #[test]
+    fn spare_count_excludes_crashed_spares() {
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        app.crash_server(SimTime::from_secs(1.0), "S4").unwrap();
+        let query = AppQuery::new(&app);
+        assert_eq!(query.spare_server_count(SERVER_GROUP_1), 1);
+        assert_eq!(
+            query.find_spare_server(SERVER_GROUP_1),
+            Some("S7".to_string())
         );
     }
 }

@@ -111,8 +111,11 @@ pub fn render_comparison(comparison: &Comparison) -> String {
 
 /// Renders a sweep report as a per-cell text table: one row per matrix cell
 /// with the violation fractions, the improvement interval, and the repair
-/// counts aggregated across seeds.
+/// counts aggregated across seeds. When any cell injects faults the table
+/// grows a fault column plus availability and MTTR resilience columns; the
+/// no-fault layout is unchanged.
 pub fn render_sweep(report: &SweepReport) -> String {
+    let with_faults = report.cells.iter().any(|cell| cell.key.has_faults());
     let mut out = String::new();
     out.push_str(&format!(
         "== Scenario sweep: {} cells, {} runs ({} seeds each) ==\n",
@@ -121,7 +124,7 @@ pub fn render_sweep(report: &SweepReport) -> String {
         report.spec.seeds.len()
     ));
     out.push_str(&format!(
-        "  {:<16} {:<12} {:<16} {:>6}  {:>10} {:>10}  {:>18}  {:>8} {:>8}\n",
+        "  {:<16} {:<12} {:<16} {:>6}  {:>10} {:>10}  {:>18}  {:>8} {:>8}",
         "topology",
         "workload",
         "strategy",
@@ -132,6 +135,10 @@ pub fn render_sweep(report: &SweepReport) -> String {
         "thruput",
         "repairs"
     ));
+    if with_faults {
+        out.push_str(&format!(" {:<20} {:>6} {:>8}", "fault", "avail", "mttr(s)"));
+    }
+    out.push('\n');
     for cell in &report.cells {
         let improvement = match &cell.improvement {
             Some(ci) if ci.count > 1 => {
@@ -150,7 +157,7 @@ pub fn render_sweep(report: &SweepReport) -> String {
             .throughput_ratio
             .map_or("n/a".to_string(), |t| format!("{:.2}x", t.mean));
         out.push_str(&format!(
-            "  {:<16} {:<12} {:<16} {:>6.0}  {:>10.3} {:>10.3}  {:>18}  {:>8} {:>8.1}{}\n",
+            "  {:<16} {:<12} {:<16} {:>6.0}  {:>10.3} {:>10.3}  {:>18}  {:>8} {:>8.1}",
             cell.key.topology,
             cell.key.workload,
             cell.key.strategy,
@@ -160,8 +167,21 @@ pub fn render_sweep(report: &SweepReport) -> String {
             improvement,
             throughput,
             cell.repairs_completed.mean,
-            suffix
         ));
+        if with_faults {
+            let availability = cell
+                .availability
+                .map_or("n/a".to_string(), |a| format!("{:.2}", a.mean));
+            let mttr = cell
+                .mttr_secs
+                .map_or("n/a".to_string(), |m| format!("{:.0}", m.mean));
+            out.push_str(&format!(
+                " {:<20} {:>6} {:>8}",
+                cell.key.fault, availability, mttr
+            ));
+        }
+        out.push_str(&suffix);
+        out.push('\n');
     }
     out
 }
@@ -251,6 +271,7 @@ mod tests {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![60.0],
             seeds: vec![42],
+            fault_profiles: vec!["none".into()],
         };
         let report = crate::sweep::run_sweep(&spec, 1).unwrap();
         let text = render_sweep(&report);
@@ -258,6 +279,32 @@ mod tests {
         assert!(text.contains("step"));
         assert!(text.contains("flash-crowd"));
         assert!(text.contains("adaptive"));
+    }
+
+    #[test]
+    fn fault_sweeps_render_resilience_columns() {
+        let spec = crate::sweep::SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42],
+            fault_profiles: vec!["single-link-cut".into()],
+        };
+        let report = crate::sweep::run_sweep(&spec, 1).unwrap();
+        let text = render_sweep(&report);
+        assert!(text.contains("fault"));
+        assert!(text.contains("avail"));
+        assert!(text.contains("mttr(s)"));
+        assert!(text.contains("single-link-cut"));
+        // A no-fault sweep keeps the original header without fault columns.
+        let none = crate::sweep::SweepSpec {
+            fault_profiles: vec!["none".into()],
+            ..spec
+        };
+        let text = render_sweep(&crate::sweep::run_sweep(&none, 1).unwrap());
+        assert!(!text.contains("avail"));
+        assert!(!text.contains("mttr"));
     }
 
     #[test]

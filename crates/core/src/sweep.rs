@@ -20,10 +20,21 @@
 
 use crate::experiment::Comparison;
 use crate::framework::FrameworkConfig;
+use faultsim::{fault_profile_by_name, Resilience, NO_FAULTS};
 use gridapp::{ExperimentSchedule, GridConfig, TestbedSpec};
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Bucket width (seconds) used for the resilience availability accounting.
+const RESILIENCE_BUCKET_SECS: f64 = faultsim::resilience::DEFAULT_BUCKET_SECS;
+
+/// Whether a fault axis is the no-fault default (`["none"]`). Such sweeps
+/// serialise without any fault-related fields, keeping their reports
+/// byte-identical to pre-faultsim behaviour.
+fn is_no_fault_axis(profiles: &[String]) -> bool {
+    profiles.len() == 1 && profiles[0] == NO_FAULTS
+}
 
 /// Errors raised while validating or executing a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +45,8 @@ pub enum SweepError {
     UnknownWorkload(String),
     /// A strategy name did not resolve to a [`FrameworkConfig`] preset.
     UnknownStrategy(String),
+    /// A fault-profile name did not resolve (see [`faultsim::FAULT_PROFILES`]).
+    UnknownFault(String),
     /// One of the matrix axes is empty.
     EmptyAxis(&'static str),
     /// A run duration was not a positive finite number of seconds.
@@ -53,6 +66,7 @@ impl std::fmt::Display for SweepError {
             SweepError::UnknownTopology(n) => write!(f, "unknown topology preset: {n}"),
             SweepError::UnknownWorkload(n) => write!(f, "unknown workload generator: {n}"),
             SweepError::UnknownStrategy(n) => write!(f, "unknown repair strategy: {n}"),
+            SweepError::UnknownFault(n) => write!(f, "unknown fault profile: {n}"),
             SweepError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` is empty"),
             SweepError::InvalidDuration(d) => write!(f, "invalid run duration: {d}"),
             SweepError::Run { unit, message } => write!(f, "sweep unit #{unit} failed: {message}"),
@@ -62,9 +76,9 @@ impl std::fmt::Display for SweepError {
 
 impl std::error::Error for SweepError {}
 
-/// A declarative sweep matrix. Every combination of the five axes becomes
+/// A declarative sweep matrix. Every combination of the six axes becomes
 /// one cell; every cell runs once per seed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// Topology preset names (see [`gridapp::TESTBED_PRESETS`]).
     pub topologies: Vec<String>,
@@ -77,7 +91,39 @@ pub struct SweepSpec {
     pub durations_secs: Vec<f64>,
     /// Seeds; each cell is replicated once per seed.
     pub seeds: Vec<u64>,
+    /// Fault-profile names (see [`faultsim::FAULT_PROFILES`]). The default
+    /// `["none"]` injects nothing and keeps the report's serialisation
+    /// byte-identical to the pre-faultsim layout.
+    pub fault_profiles: Vec<String>,
 }
+
+impl Serialize for SweepSpec {
+    // Hand-written so that the no-fault default serialises exactly like the
+    // pre-faultsim struct (no `fault_profiles` key): `fault_profiles=none`
+    // sweeps stay byte-identical across the subsystem's introduction. The
+    // vendored serde derive has no `skip_serializing_if`.
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("topologies".to_string(), self.topologies.to_content()),
+            ("workloads".to_string(), self.workloads.to_content()),
+            ("strategies".to_string(), self.strategies.to_content()),
+            (
+                "durations_secs".to_string(),
+                self.durations_secs.to_content(),
+            ),
+            ("seeds".to_string(), self.seeds.to_content()),
+        ];
+        if !is_no_fault_axis(&self.fault_profiles) {
+            fields.push((
+                "fault_profiles".to_string(),
+                self.fault_profiles.to_content(),
+            ));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for SweepSpec {}
 
 impl SweepSpec {
     /// The default evaluation matrix: every topology preset × three workload
@@ -92,6 +138,7 @@ impl SweepSpec {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![300.0],
             seeds: vec![42, 7, 19, 23],
+            fault_profiles: vec![NO_FAULTS.into()],
         }
     }
 
@@ -104,11 +151,20 @@ impl SweepSpec {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![120.0],
             seeds: vec![42, 7],
+            fault_profiles: vec![NO_FAULTS.into()],
         }
     }
 
     /// Checks that every axis is non-empty and every name resolves.
     pub fn validate(&self) -> Result<(), SweepError> {
+        if self.fault_profiles.is_empty() {
+            return Err(SweepError::EmptyAxis("fault_profiles"));
+        }
+        for name in &self.fault_profiles {
+            if fault_profile_by_name(name, 60.0).is_none() {
+                return Err(SweepError::UnknownFault(name.clone()));
+            }
+        }
         if self.topologies.is_empty() {
             return Err(SweepError::EmptyAxis("topologies"));
         }
@@ -148,19 +204,22 @@ impl SweepSpec {
         Ok(())
     }
 
-    /// All cell keys in expansion order (topology-major, duration-minor).
+    /// All cell keys in expansion order (topology-major, fault-minor).
     pub fn cells(&self) -> Vec<CellKey> {
         let mut cells = Vec::new();
         for topology in &self.topologies {
             for workload in &self.workloads {
                 for strategy in &self.strategies {
                     for &duration_secs in &self.durations_secs {
-                        cells.push(CellKey {
-                            topology: topology.clone(),
-                            workload: workload.clone(),
-                            strategy: strategy.clone(),
-                            duration_secs,
-                        });
+                        for fault in &self.fault_profiles {
+                            cells.push(CellKey {
+                                topology: topology.clone(),
+                                workload: workload.clone(),
+                                strategy: strategy.clone(),
+                                duration_secs,
+                                fault: fault.clone(),
+                            });
+                        }
                     }
                 }
             }
@@ -192,12 +251,13 @@ impl SweepSpec {
             * self.workloads.len()
             * self.strategies.len()
             * self.durations_secs.len()
+            * self.fault_profiles.len()
             * self.seeds.len()
     }
 }
 
 /// Identifies one cell of the sweep matrix (everything but the seed).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellKey {
     /// Topology preset name.
     pub topology: String,
@@ -207,7 +267,36 @@ pub struct CellKey {
     pub strategy: String,
     /// Run length in simulated seconds.
     pub duration_secs: f64,
+    /// Fault-profile name (`"none"` when the cell injects nothing).
+    pub fault: String,
 }
+
+impl CellKey {
+    /// Whether this cell injects faults.
+    pub fn has_faults(&self) -> bool {
+        self.fault != NO_FAULTS
+    }
+}
+
+impl Serialize for CellKey {
+    // Hand-written: no-fault cells serialise without the `fault` key so
+    // `fault_profiles=none` reports stay byte-identical to the pre-faultsim
+    // layout (the vendored serde derive has no `skip_serializing_if`).
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("topology".to_string(), self.topology.to_content()),
+            ("workload".to_string(), self.workload.to_content()),
+            ("strategy".to_string(), self.strategy.to_content()),
+            ("duration_secs".to_string(), self.duration_secs.to_content()),
+        ];
+        if self.has_faults() {
+            fields.push(("fault".to_string(), self.fault.to_content()));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for CellKey {}
 
 /// One runnable unit: a cell key plus a seed.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -236,18 +325,62 @@ impl SweepUnit {
                 .ok_or_else(|| SweepError::UnknownWorkload(self.key.workload.clone()))?;
         let framework = FrameworkConfig::by_name(&self.key.strategy)
             .ok_or_else(|| SweepError::UnknownStrategy(self.key.strategy.clone()))?;
-        let comparison =
-            Comparison::run_with(grid, framework, Some(&schedule), self.key.duration_secs)
-                .map_err(|e| SweepError::Run {
-                    unit: self.index,
-                    message: e.to_string(),
-                })?;
-        Ok(UnitOutcome::of(self.seed, &comparison))
+        let faults = fault_profile_by_name(&self.key.fault, self.key.duration_secs)
+            .ok_or_else(|| SweepError::UnknownFault(self.key.fault.clone()))?;
+        let comparison = Comparison::run_with_faults(
+            grid,
+            framework,
+            Some(&schedule),
+            Some(&faults),
+            self.key.duration_secs,
+        )
+        .map_err(|e| SweepError::Run {
+            unit: self.index,
+            message: e.to_string(),
+        })?;
+        if !self.key.has_faults() {
+            return Ok(UnitOutcome::of(self.seed, &comparison));
+        }
+        let resilience = UnitResilience::of(&comparison, self.key.duration_secs, &grid);
+        Ok(UnitOutcome {
+            resilience: Some(resilience),
+            ..UnitOutcome::of(self.seed, &comparison)
+        })
+    }
+}
+
+/// Resilience metrics of one fault-injected comparison unit: the same
+/// fault schedule measured under the control and the adaptive framework.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitResilience {
+    /// Resilience of the control run.
+    pub control: Resilience,
+    /// Resilience of the adaptive run.
+    pub adaptive: Resilience,
+}
+
+impl UnitResilience {
+    fn of(comparison: &Comparison, duration_secs: f64, grid: &GridConfig) -> UnitResilience {
+        // Each run carries the onset instants of the schedule it actually
+        // saw ([`crate::experiment::RunResult::fault_onsets`]).
+        let measure = |run: &crate::experiment::RunResult| {
+            Resilience::of(
+                &run.metrics.pooled_latency(),
+                duration_secs,
+                grid.max_latency_secs,
+                RESILIENCE_BUCKET_SECS,
+                &run.fault_onsets,
+            )
+        };
+        UnitResilience {
+            control: measure(&comparison.control),
+            adaptive: measure(&comparison.adaptive),
+        }
     }
 }
 
 /// The headline numbers extracted from one unit's comparison.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnitOutcome {
     /// The unit's seed.
     pub seed: u64,
@@ -276,7 +409,64 @@ pub struct UnitOutcome {
     pub servers_activated: u64,
     /// Client moves performed by the adaptive run.
     pub client_moves: u64,
+    /// Resilience metrics, present only for fault-injected units.
+    pub resilience: Option<UnitResilience>,
 }
+
+impl Serialize for UnitOutcome {
+    // Hand-written: the `resilience` key only appears for fault-injected
+    // units, keeping no-fault reports byte-identical to the pre-faultsim
+    // layout (the vendored serde derive has no `skip_serializing_if`).
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("seed".to_string(), self.seed.to_content()),
+            (
+                "control_violation_fraction".to_string(),
+                self.control_violation_fraction.to_content(),
+            ),
+            (
+                "adaptive_violation_fraction".to_string(),
+                self.adaptive_violation_fraction.to_content(),
+            ),
+            ("improvement".to_string(), self.improvement.to_content()),
+            (
+                "adaptive_mean_latency_secs".to_string(),
+                self.adaptive_mean_latency_secs.to_content(),
+            ),
+            (
+                "adaptive_p95_latency_secs".to_string(),
+                self.adaptive_p95_latency_secs.to_content(),
+            ),
+            (
+                "control_completed".to_string(),
+                self.control_completed.to_content(),
+            ),
+            (
+                "adaptive_completed".to_string(),
+                self.adaptive_completed.to_content(),
+            ),
+            (
+                "repairs_completed".to_string(),
+                self.repairs_completed.to_content(),
+            ),
+            (
+                "repairs_aborted".to_string(),
+                self.repairs_aborted.to_content(),
+            ),
+            (
+                "servers_activated".to_string(),
+                self.servers_activated.to_content(),
+            ),
+            ("client_moves".to_string(), self.client_moves.to_content()),
+        ];
+        if let Some(resilience) = &self.resilience {
+            fields.push(("resilience".to_string(), resilience.to_content()));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for UnitOutcome {}
 
 impl UnitOutcome {
     /// Extracts the outcome from a finished comparison.
@@ -296,6 +486,7 @@ impl UnitOutcome {
             repairs_aborted: adaptive.repairs_aborted,
             servers_activated: adaptive.servers_activated,
             client_moves: adaptive.client_moves,
+            resilience: None,
         }
     }
 }
@@ -370,7 +561,7 @@ impl ConfidenceInterval {
 }
 
 /// Per-cell aggregation across seeds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// The cell's matrix coordinates.
     pub key: CellKey,
@@ -395,7 +586,66 @@ pub struct CellReport {
     /// Seeds whose adaptive run never violated the bound (the improvement
     /// ratio is unbounded for these).
     pub perfect_adaptive_seeds: Vec<u64>,
+    /// Adaptive-run availability across seeds (fault cells only).
+    pub availability: Option<Aggregate>,
+    /// Adaptive-run downtime seconds across seeds (fault cells only).
+    pub downtime_secs: Option<Aggregate>,
+    /// Adaptive-run MTTR across the seeds that recovered (fault cells only;
+    /// absent when no seed recovered).
+    pub mttr_secs: Option<Aggregate>,
+    /// Adaptive-run violation fraction during the fault window across seeds
+    /// (fault cells only).
+    pub violation_during_fault: Option<Aggregate>,
 }
+
+impl Serialize for CellReport {
+    // Hand-written: the four resilience keys only appear for fault cells,
+    // keeping no-fault reports byte-identical to the pre-faultsim layout
+    // (the vendored serde derive has no `skip_serializing_if`).
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("key".to_string(), self.key.to_content()),
+            ("outcomes".to_string(), self.outcomes.to_content()),
+            (
+                "control_violation".to_string(),
+                self.control_violation.to_content(),
+            ),
+            (
+                "adaptive_violation".to_string(),
+                self.adaptive_violation.to_content(),
+            ),
+            (
+                "adaptive_mean_latency".to_string(),
+                self.adaptive_mean_latency.to_content(),
+            ),
+            (
+                "repairs_completed".to_string(),
+                self.repairs_completed.to_content(),
+            ),
+            (
+                "throughput_ratio".to_string(),
+                self.throughput_ratio.to_content(),
+            ),
+            ("improvement".to_string(), self.improvement.to_content()),
+            (
+                "perfect_adaptive_seeds".to_string(),
+                self.perfect_adaptive_seeds.to_content(),
+            ),
+        ];
+        if self.key.has_faults() {
+            fields.push(("availability".to_string(), self.availability.to_content()));
+            fields.push(("downtime_secs".to_string(), self.downtime_secs.to_content()));
+            fields.push(("mttr_secs".to_string(), self.mttr_secs.to_content()));
+            fields.push((
+                "violation_during_fault".to_string(),
+                self.violation_during_fault.to_content(),
+            ));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for CellReport {}
 
 impl CellReport {
     fn of(key: CellKey, outcomes: Vec<UnitOutcome>) -> CellReport {
@@ -429,6 +679,14 @@ impl CellReport {
             .filter(|o| o.improvement.is_none() && o.adaptive_completed > 0)
             .map(|o| o.seed)
             .collect();
+        let resilience: Vec<&UnitResilience> = outcomes
+            .iter()
+            .filter_map(|o| o.resilience.as_ref())
+            .collect();
+        let adaptive_metric = |f: fn(&Resilience) -> Option<f64>| -> Option<Aggregate> {
+            let values: Vec<f64> = resilience.iter().filter_map(|r| f(&r.adaptive)).collect();
+            Aggregate::of(&values)
+        };
         CellReport {
             key,
             control_violation: Aggregate::of(&control).expect("cells have at least one seed"),
@@ -438,6 +696,10 @@ impl CellReport {
             throughput_ratio: Aggregate::of(&throughput),
             improvement: ConfidenceInterval::of(&improvements),
             perfect_adaptive_seeds: perfect,
+            availability: adaptive_metric(|r| Some(r.availability)),
+            downtime_secs: adaptive_metric(|r| Some(r.downtime_secs)),
+            mttr_secs: adaptive_metric(|r| r.mttr_secs),
+            violation_during_fault: adaptive_metric(|r| Some(r.violation_fraction_during_fault)),
             outcomes,
         }
     }
@@ -518,6 +780,7 @@ mod tests {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![60.0],
             seeds: vec![42, 7],
+            fault_profiles: vec![NO_FAULTS.into()],
         }
     }
 
@@ -589,6 +852,100 @@ mod tests {
     }
 
     #[test]
+    fn validation_rejects_unknown_fault_profiles() {
+        let mut spec = tiny_spec();
+        spec.fault_profiles = vec!["meteor-strike".into()];
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::UnknownFault("meteor-strike".into()))
+        );
+        let mut spec = tiny_spec();
+        spec.fault_profiles.clear();
+        assert_eq!(
+            spec.validate(),
+            Err(SweepError::EmptyAxis("fault_profiles"))
+        );
+        let mut spec = tiny_spec();
+        spec.fault_profiles = vec!["none".into(), "single-link-cut".into()];
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn no_fault_reports_serialise_without_fault_keys() {
+        let spec = SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![60.0],
+            seeds: vec![42],
+            fault_profiles: vec!["none".into()],
+        };
+        let report = run_sweep(&spec, 1).unwrap();
+        let json = report.to_json_string();
+        assert!(
+            !json.contains("fault"),
+            "no fault keys in a no-fault report"
+        );
+        assert!(!json.contains("resilience"));
+        assert!(!json.contains("availability"));
+    }
+
+    #[test]
+    fn fault_sweep_is_bit_identical_and_reports_resilience() {
+        let spec = SweepSpec {
+            topologies: vec!["paper".into()],
+            workloads: vec!["step".into()],
+            strategies: vec!["adaptive".into()],
+            durations_secs: vec![150.0],
+            seeds: vec![42, 7],
+            fault_profiles: vec!["none".into(), "server-crash-midrun".into()],
+        };
+        let serial = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, 3).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_json_string(), parallel.to_json_string());
+        assert_eq!(serial.cells.len(), 2);
+        assert_eq!(serial.total_units, 4);
+        // The none cell carries no resilience data; the crash cell does.
+        let none_cell = &serial.cells[0];
+        assert!(!none_cell.key.has_faults());
+        assert!(none_cell.availability.is_none());
+        assert!(none_cell.outcomes.iter().all(|o| o.resilience.is_none()));
+        let crash_cell = &serial.cells[1];
+        assert_eq!(crash_cell.key.fault, "server-crash-midrun");
+        let availability = crash_cell
+            .availability
+            .expect("fault cell has availability");
+        assert!((0.0..=1.0).contains(&availability.mean));
+        assert!(crash_cell.violation_during_fault.is_some());
+        for outcome in &crash_cell.outcomes {
+            let r = outcome.resilience.expect("fault units carry resilience");
+            assert!(
+                r.adaptive.availability >= 0.0 && r.adaptive.availability <= 1.0,
+                "{r:?}"
+            );
+        }
+        // The serialised report exposes the fault coordinates.
+        let json = serial.to_json_string();
+        assert!(json.contains("\"fault\": \"server-crash-midrun\""));
+        assert!(json.contains("\"resilience\""));
+        assert!(json.contains("\"mttr_secs\""));
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_expansion() {
+        let mut spec = tiny_spec();
+        spec.fault_profiles = vec!["none".into(), "single-link-cut".into()];
+        assert_eq!(spec.total_units(), 8);
+        let units = spec.expand();
+        assert_eq!(units.len(), 8);
+        // Faults are the innermost cell axis: cells alternate per fault.
+        assert_eq!(units[0].key.fault, "none");
+        assert_eq!(units[2].key.fault, "single-link-cut");
+        assert_eq!(units[0].key.topology, units[2].key.topology);
+    }
+
+    #[test]
     fn sweep_report_is_bit_identical_across_worker_counts() {
         let spec = SweepSpec {
             topologies: vec!["paper".into()],
@@ -596,6 +953,7 @@ mod tests {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![60.0],
             seeds: vec![42, 7],
+            fault_profiles: vec!["none".into()],
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, 4).unwrap();
@@ -617,6 +975,7 @@ mod tests {
             strategies: vec!["adaptive".into()],
             durations_secs: vec![60.0],
             seeds: vec![42],
+            fault_profiles: vec!["none".into()],
         };
         let report = run_sweep(&spec, 1).unwrap();
         let json = report.to_json_string();
@@ -636,6 +995,7 @@ mod tests {
             strategies: vec![strategy.into()],
             durations_secs: vec![90.0],
             seeds: vec![42],
+            fault_profiles: vec!["none".into()],
         };
         let a1 = run_sweep(&mk("adaptive"), 1).unwrap();
         let a2 = run_sweep(&mk("adaptive"), 2).unwrap();

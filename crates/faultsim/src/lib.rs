@@ -1,0 +1,37 @@
+//! # faultsim — deterministic fault injection for the grid testbed
+//!
+//! The paper's evaluation varies *load* (bandwidth competition, request
+//! bursts) but never *availability*. This crate adds the missing dimension:
+//! declarative, seeded fault schedules — link cuts and degradations, server
+//! crashes and restarts, router outages, flapping, and correlated
+//! multi-element cascades — that compile against a concrete testbed into a
+//! replayable timeline of primitive mutations, applied through the `simnet`
+//! fault hooks ([`simnet::Network::set_link_capacity`],
+//! [`simnet::Network::set_node_down`]) and the `gridapp` crash/restart
+//! operations.
+//!
+//! * [`schedule`] — the [`FaultEvent`] vocabulary, [`FaultSchedule`], and its
+//!   deterministic compilation into [`TimedAction`]s,
+//! * [`profile`] — the named presets the sweep matrix exposes
+//!   (`single-link-cut`, `server-crash-midrun`, `flapping-core`, `cascade`),
+//! * [`apply`] — executing a compiled action against a running [`gridapp::GridApp`],
+//! * [`resilience`] — availability, downtime, MTTR, and
+//!   violation-during-fault metrics computed from a run's latency series.
+//!
+//! **Determinism:** a `(schedule, seed)` pair always compiles to the same
+//! timeline (seeded jitter uses [`simnet::SimRng`] sub-streams keyed by event
+//! index), so a fault run replays bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod profile;
+pub mod resilience;
+pub mod schedule;
+
+pub use apply::apply_action;
+pub use profile::{fault_profile_by_name, FAULT_PROFILES, NO_FAULTS};
+pub use resilience::Resilience;
+pub use schedule::{
+    CompiledFaultSchedule, FaultAction, FaultError, FaultEvent, FaultSchedule, LinkRef, TimedAction,
+};

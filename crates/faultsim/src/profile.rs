@@ -1,0 +1,163 @@
+//! Named fault-profile presets for the sweep matrix.
+//!
+//! Each preset scales its event times to the run duration, the same way the
+//! Figure 7 workload scales its phase boundaries, so a profile means the
+//! same thing on a 120 s smoke run and a 1800 s paper run.
+
+use crate::schedule::{FaultEvent, FaultSchedule, LinkRef};
+
+/// The name of the empty profile (no faults injected).
+pub const NO_FAULTS: &str = "none";
+
+/// Names of the built-in fault profiles, in sweep-matrix order.
+pub const FAULT_PROFILES: [&str; 5] = [
+    NO_FAULTS,
+    "single-link-cut",
+    "server-crash-midrun",
+    "flapping-core",
+    "cascade",
+];
+
+/// Resolves a fault profile by its sweep-matrix name, scaled to a run of
+/// `duration_secs`. Returns `None` for unknown names.
+pub fn fault_profile_by_name(name: &str, duration_secs: f64) -> Option<FaultSchedule> {
+    let d = duration_secs;
+    match name {
+        // No faults: the control case every existing scenario reduces to.
+        "none" => Some(FaultSchedule::none()),
+        // The R2-R3 link (squeezable clients to Server Group 1) is cut
+        // outright for 40% of the run — unlike the workload's bandwidth
+        // squeeze, nothing gets through at all.
+        "single-link-cut" => Some(FaultSchedule {
+            events: vec![
+                FaultEvent::LinkCut {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 0.3 * d,
+                },
+                FaultEvent::LinkRestore {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 0.7 * d,
+                },
+            ],
+        }),
+        // Two of Server Group 1's three replicas crash mid-run, taking the
+        // group below its provisioned capacity; they come back (as spares,
+        // if a failover repair replaced them) late in the run.
+        "server-crash-midrun" => Some(FaultSchedule {
+            events: vec![
+                FaultEvent::ServerCrash {
+                    server: "S2".into(),
+                    at_secs: 0.35 * d,
+                },
+                FaultEvent::ServerCrash {
+                    server: "S3".into(),
+                    at_secs: 0.35 * d,
+                },
+                FaultEvent::ServerRestart {
+                    server: "S2".into(),
+                    at_secs: 0.85 * d,
+                },
+                FaultEvent::ServerRestart {
+                    server: "S3".into(),
+                    at_secs: 0.85 * d,
+                },
+            ],
+        }),
+        // The R2-R3 core link flaps: down half of every cycle for the middle
+        // 40% of the run — the oscillation case repair damping exists for.
+        "flapping-core" => Some(FaultSchedule {
+            events: vec![FaultEvent::Flap {
+                link: LinkRef::between("R2", "R3"),
+                from_secs: 0.25 * d,
+                until_secs: 0.65 * d,
+                period_secs: 0.1 * d,
+                duty: 0.5,
+            }],
+        }),
+        // A correlated outage around Server Group 1's router: R3 goes down
+        // (cutting four core/access links at once) and one of the group's
+        // replicas crashes, staggered by seeded jitter; everything is lifted
+        // in the final quarter of the run.
+        "cascade" => Some(FaultSchedule {
+            events: vec![
+                FaultEvent::Correlated {
+                    at_secs: 0.3 * d,
+                    jitter_secs: 0.04 * d,
+                    events: vec![
+                        FaultEvent::NodeDown {
+                            node: "R3".into(),
+                            at_secs: 0.0,
+                        },
+                        FaultEvent::ServerCrash {
+                            server: "S1".into(),
+                            at_secs: 0.0,
+                        },
+                    ],
+                },
+                FaultEvent::NodeUp {
+                    node: "R3".into(),
+                    at_secs: 0.7 * d,
+                },
+                FaultEvent::ServerRestart {
+                    server: "S1".into(),
+                    at_secs: 0.75 * d,
+                },
+            ],
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridapp::Testbed;
+
+    #[test]
+    fn every_profile_resolves_and_compiles_on_the_paper_testbed() {
+        let tb = Testbed::build().unwrap();
+        for name in FAULT_PROFILES {
+            let schedule = fault_profile_by_name(name, 600.0)
+                .unwrap_or_else(|| panic!("profile {name} resolves"));
+            let compiled = schedule
+                .compile(&tb, 42)
+                .unwrap_or_else(|e| panic!("profile {name} compiles: {e}"));
+            if name == NO_FAULTS {
+                assert!(compiled.is_empty());
+            } else {
+                assert!(!compiled.is_empty(), "{name} injects something");
+                assert!(compiled.first_onset_secs().is_some());
+                // Actions stay within the run.
+                for action in &compiled.actions {
+                    assert!((0.0..=600.0).contains(&action.at_secs), "{name}");
+                }
+            }
+        }
+        assert!(fault_profile_by_name("meteor-strike", 600.0).is_none());
+    }
+
+    #[test]
+    fn profiles_scale_with_the_run_duration() {
+        let short = fault_profile_by_name("single-link-cut", 100.0).unwrap();
+        let long = fault_profile_by_name("single-link-cut", 1000.0).unwrap();
+        let tb = Testbed::build().unwrap();
+        let short_c = short.compile(&tb, 1).unwrap();
+        let long_c = long.compile(&tb, 1).unwrap();
+        assert_eq!(short_c.first_onset_secs(), Some(30.0));
+        assert_eq!(long_c.first_onset_secs(), Some(300.0));
+    }
+
+    #[test]
+    fn profiles_compile_on_every_testbed_preset() {
+        for preset in gridapp::TESTBED_PRESETS {
+            let spec = gridapp::TestbedSpec::by_name(preset).unwrap();
+            let tb = Testbed::from_spec(&spec).unwrap();
+            for name in FAULT_PROFILES {
+                fault_profile_by_name(name, 300.0)
+                    .unwrap()
+                    .compile(&tb, 7)
+                    .unwrap_or_else(|e| panic!("{name} on {preset}: {e}"));
+            }
+        }
+    }
+}

@@ -77,6 +77,10 @@ struct ServerState {
     host: NodeId,
     group: Option<String>,
     active: bool,
+    /// Whether the server process is alive. A crashed server keeps its group
+    /// assignment (it is *assigned but dead* until a failover repair cleans
+    /// it up) but serves nothing and is invisible to `findServer`.
+    up: bool,
     /// The request currently in service and when its service completes.
     busy: Option<(u64, SimTime)>,
     /// The request whose response this server is currently transmitting.
@@ -195,6 +199,7 @@ impl GridApp {
                     host,
                     group,
                     active,
+                    up: true,
                     busy: None,
                     sending: None,
                     served: 0,
@@ -277,13 +282,41 @@ impl GridApp {
             .len())
     }
 
-    /// Names of the active servers currently assigned to a group.
+    /// Names of the live, active servers currently assigned to a group
+    /// (crashed replicas do not count — they serve nothing).
     pub fn active_servers(&self, group: &str) -> Vec<String> {
         self.servers
             .iter()
-            .filter(|(_, s)| s.active && s.group.as_deref() == Some(group))
+            .filter(|(_, s)| s.active && s.up && s.group.as_deref() == Some(group))
             .map(|(name, _)| name.clone())
             .collect()
+    }
+
+    /// Whether a server's runtime process is alive.
+    pub fn server_is_up(&self, server: &str) -> Result<bool, AppError> {
+        Ok(self
+            .servers
+            .get(server)
+            .ok_or_else(|| AppError::UnknownServer(server.into()))?
+            .up)
+    }
+
+    /// A group's liveness census: `(live, dead)` counts over the replicas
+    /// assigned to it (active flag set). `dead` replicas have crashed and
+    /// not yet been failed over.
+    pub fn group_liveness(&self, group: &str) -> (usize, usize) {
+        let mut live = 0;
+        let mut dead = 0;
+        for s in self.servers.values() {
+            if s.active && s.group.as_deref() == Some(group) {
+                if s.up {
+                    live += 1;
+                } else {
+                    dead += 1;
+                }
+            }
+        }
+        (live, dead)
     }
 
     /// Total requests served by a named server.
@@ -331,6 +364,98 @@ impl GridApp {
         Ok(())
     }
 
+    // ---- fault injection -----------------------------------------------------
+
+    /// Sets the raw capacity (bits/second) of a topology link — the
+    /// fault-injection hook for link cuts and degradations. The [`LinkId`]
+    /// comes from the testbed's topology (see [`Testbed`]).
+    pub fn set_link_capacity(
+        &mut self,
+        now: SimTime,
+        link: simnet::LinkId,
+        capacity_bps: f64,
+    ) -> Result<(), AppError> {
+        self.advance(now);
+        self.network.set_link_capacity(now, link, capacity_bps)?;
+        Ok(())
+    }
+
+    /// Marks a topology node down (or back up) — the fault-injection hook
+    /// for machine and router outages. Links adjacent to a down node carry
+    /// no traffic until the node returns.
+    pub fn set_node_down(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        down: bool,
+    ) -> Result<(), AppError> {
+        self.advance(now);
+        self.network.set_node_down(now, node, down)?;
+        Ok(())
+    }
+
+    /// Crashes a server process: it stops serving immediately, the request
+    /// it was working on (or whose reply it was transmitting) is lost, and
+    /// it no longer counts as live — but it keeps its group assignment, so
+    /// the group's liveness census reports it as *assigned but dead* until a
+    /// failover repair deactivates it.
+    pub fn crash_server(&mut self, now: SimTime, server: &str) -> Result<(), AppError> {
+        self.advance(now);
+        let (busy, sending) = {
+            let state = self
+                .servers
+                .get_mut(server)
+                .ok_or_else(|| AppError::UnknownServer(server.into()))?;
+            state.up = false;
+            let busy = state.busy.take().map(|(req, _)| req);
+            let sending = state.sending.take();
+            (busy, sending)
+        };
+        // The request in service is lost with the process.
+        if let Some(req) = busy {
+            self.requests.remove(&req);
+        }
+        // The reply in flight is torn down; the requester never hears back.
+        if let Some(req) = sending {
+            if let Some(request) = self.requests.remove(&req) {
+                if let RequestPhase::ResponseInFlight(transfer) = request.phase {
+                    let _ = self.network.cancel_transfer(now, transfer);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Restarts a crashed server process. If it still holds a group
+    /// assignment and its activation flag it resumes pulling requests;
+    /// a server that was failed over in the meantime (deactivated and
+    /// disconnected) comes back as a spare.
+    pub fn restart_server(&mut self, now: SimTime, server: &str) -> Result<(), AppError> {
+        self.advance(now);
+        let group = {
+            let state = self
+                .servers
+                .get_mut(server)
+                .ok_or_else(|| AppError::UnknownServer(server.into()))?;
+            state.up = true;
+            if state.active {
+                state.group.clone()
+            } else {
+                None
+            }
+        };
+        if let Some(group) = group {
+            self.dispatch_group(&group, now);
+        }
+        Ok(())
+    }
+
+    /// The audit log of network fault mutations applied so far (capacity
+    /// changes and node liveness flips; empty for fault-free runs).
+    pub fn network_mutation_trace(&self) -> &simnet::Trace {
+        self.network.mutation_trace()
+    }
+
     // ---- Table 1 runtime operators ------------------------------------------
 
     /// `createReqQueue()`: adds a logical request queue for `group` to the
@@ -349,7 +474,7 @@ impl GridApp {
         bandwidth_threshold_bps: f64,
     ) -> Option<String> {
         for (name, server) in &self.servers {
-            if server.active || server.group.is_some() {
+            if server.active || server.group.is_some() || !server.up {
                 continue;
             }
             if let Some(client) = client {
@@ -367,6 +492,16 @@ impl GridApp {
             return Some(name.clone());
         }
         None
+    }
+
+    /// Names of every live spare (inactive, unassigned) server, in name
+    /// order — the pool `findServer` draws from.
+    pub fn spare_servers(&self) -> Vec<String> {
+        self.servers
+            .iter()
+            .filter(|(_, s)| !s.active && s.group.is_none() && s.up)
+            .map(|(name, _)| name.clone())
+            .collect()
     }
 
     /// `connectServer(srv, to)`: configures a server to pull requests from
@@ -667,6 +802,7 @@ impl GridApp {
                 .iter()
                 .find(|(_, s)| {
                     s.active
+                        && s.up
                         && s.busy.is_none()
                         && s.sending.is_none()
                         && s.group.as_deref() == Some(group)
@@ -987,6 +1123,96 @@ mod tests {
         let served_after: u64 = ["S1", "S2", "S3"].iter().map(|s| app.served_by(s)).sum();
         // At most the requests already in service finish; afterwards nothing.
         assert!(served_after <= served_before + 3);
+    }
+
+    #[test]
+    fn crashed_server_stops_serving_and_loses_its_request() {
+        let mut app = app();
+        app.advance(secs(20.0));
+        let served_before = app.served_by("S1");
+        app.crash_server(secs(20.0), "S1").unwrap();
+        assert!(!app.server_is_up("S1").unwrap());
+        // The crashed replica vanishes from the active roster but stays
+        // assigned (dead) for the liveness census.
+        assert_eq!(app.active_servers(SERVER_GROUP_1), vec!["S2", "S3"]);
+        assert_eq!(app.group_liveness(SERVER_GROUP_1), (2, 1));
+        app.advance(secs(80.0));
+        assert_eq!(app.served_by("S1"), served_before);
+        // Spares exclude the corpse: S4 is up, so it is still first.
+        app.crash_server(secs(80.0), "S4").unwrap();
+        assert_eq!(app.find_server(None, 0.0), Some("S7".to_string()));
+    }
+
+    #[test]
+    fn full_group_crash_wedges_its_queue_until_restart() {
+        let mut app = app();
+        app.advance(secs(20.0));
+        for server in ["S1", "S2", "S3"] {
+            app.crash_server(secs(20.0), server).unwrap();
+        }
+        assert_eq!(app.group_liveness(SERVER_GROUP_1), (0, 3));
+        app.advance(secs(60.0));
+        app.take_completions();
+        // Nothing serves the queue: it only grows.
+        let wedged = app.queue_length(SERVER_GROUP_1).unwrap();
+        assert!(wedged > 0, "queue grows with no live server");
+        app.advance(secs(90.0));
+        let completions = app.take_completions();
+        assert!(completions.is_empty(), "no completions while wedged");
+        // Restart: the replicas resume where they were assigned and the
+        // backlog drains.
+        for server in ["S1", "S2", "S3"] {
+            app.restart_server(secs(90.0), server).unwrap();
+        }
+        assert_eq!(app.group_liveness(SERVER_GROUP_1), (3, 0));
+        app.advance(secs(200.0));
+        assert!(!app.take_completions().is_empty());
+        assert!(app.queue_length(SERVER_GROUP_1).unwrap() < wedged.max(10));
+    }
+
+    #[test]
+    fn restart_after_failover_returns_the_server_as_a_spare() {
+        let mut app = app();
+        app.crash_server(secs(10.0), "S2").unwrap();
+        // The failover repair deactivates and disconnects the corpse.
+        app.deactivate_server("S2").unwrap();
+        app.disconnect_server("S2").unwrap();
+        assert_eq!(app.group_liveness(SERVER_GROUP_1), (2, 0));
+        // While dead it is not offered as a spare.
+        assert_eq!(app.find_server(None, 0.0), Some("S4".to_string()));
+        app.restart_server(secs(50.0), "S2").unwrap();
+        assert_eq!(app.find_server(None, 0.0), Some("S2".to_string()));
+    }
+
+    #[test]
+    fn node_down_hook_stalls_traffic_until_the_node_returns() {
+        let mut app = app();
+        app.advance(secs(10.0));
+        app.take_completions();
+        // Take Server Group 1's router (R3) down: SG1 becomes unreachable.
+        let r3 = app.testbed().routers[2];
+        app.set_node_down(secs(10.0), r3, true).unwrap();
+        let bw = app.remos_get_flow("User1", SERVER_GROUP_1).unwrap();
+        assert!(bw <= 1.0, "SG1 unreachable through a down router: {bw}");
+        app.set_node_down(secs(40.0), r3, false).unwrap();
+        let bw = app.remos_get_flow("User1", SERVER_GROUP_1).unwrap();
+        assert!(bw > 1.0e5, "bandwidth returns with the router: {bw}");
+        // The mutations were recorded for the audit trail.
+        assert_eq!(app.network_mutation_trace().entries().len(), 2);
+    }
+
+    #[test]
+    fn link_capacity_hook_cuts_and_restores_a_core_link() {
+        let mut app = app();
+        let link = app.testbed().link_c34_sg1;
+        let original = app.testbed().topology.link(link).unwrap().capacity_bps;
+        app.set_link_capacity(secs(5.0), link, 0.0).unwrap();
+        let squeezed = app.remos_get_flow("User3", SERVER_GROUP_1).unwrap();
+        assert!(squeezed <= 1.0, "cut link leaves ~nothing: {squeezed}");
+        // Other clients (via R1-R3) are unaffected.
+        assert!(app.remos_get_flow("User1", SERVER_GROUP_1).unwrap() > 1.0e6);
+        app.set_link_capacity(secs(15.0), link, original).unwrap();
+        assert!(app.remos_get_flow("User3", SERVER_GROUP_1).unwrap() > 1.0e6);
     }
 
     #[test]

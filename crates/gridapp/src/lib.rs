@@ -29,7 +29,8 @@ pub use app::{AppError, CompletedRequest, GridApp, SERVER_GROUP_1, SERVER_GROUP_
 pub use config::GridConfig;
 pub use metrics::Metrics;
 pub use probes::{
-    sample_bandwidth_probe, sample_latency_probe, sample_queue_probe, sample_server_probe,
+    sample_bandwidth_probe, sample_flow_probes, sample_latency_probe, sample_liveness_probe,
+    sample_queue_probe, sample_reachability_probe, sample_server_probe, REACHABILITY_FLOOR_BPS,
 };
 pub use testbed::{Testbed, TestbedSpec, LINK_CAPACITY_BPS, TESTBED_PRESETS};
 pub use workload::{

@@ -61,6 +61,97 @@ pub fn sample_bandwidth_probe(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
         .collect()
 }
 
+/// Bandwidth below which a group counts as unreachable for the reachability
+/// probe (well under the 10 Kbps task-layer minimum; a cut link leaves ~1 bps).
+pub const REACHABILITY_FLOOR_BPS: f64 = 1_000.0;
+
+/// The liveness probe: a heartbeat per runtime server plus a live/dead
+/// census per server group, so gauges can see crashes the moment they
+/// happen instead of inferring them from queue growth.
+pub fn sample_liveness_probe(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
+    let mut events = Vec::new();
+    for server in app.server_names() {
+        let up = app.server_is_up(&server).unwrap_or(false);
+        events.push(ProbeEvent::new(
+            now.as_secs(),
+            format!("heartbeat/{server}"),
+            Measurement::ServerLive { server, up },
+        ));
+    }
+    for group in app.group_names() {
+        let (live, dead) = app.group_liveness(&group);
+        events.push(ProbeEvent::new(
+            now.as_secs(),
+            format!("heartbeat/{group}"),
+            Measurement::GroupLiveness { group, live, dead },
+        ));
+    }
+    events
+}
+
+/// The reachability probe: whether each client can currently reach its
+/// server group at a usable bandwidth. A group with no live servers, or one
+/// behind a cut link or a down router, is unreachable.
+pub fn sample_reachability_probe(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
+    app.client_names()
+        .into_iter()
+        .filter_map(|client| {
+            let group = app.client_group(&client).ok()?;
+            let reachable = app
+                .remos_get_flow(&client, &group)
+                .map(|bps| bps >= REACHABILITY_FLOOR_BPS)
+                .unwrap_or(false);
+            Some(ProbeEvent::new(
+                now.as_secs(),
+                "remos".to_string(),
+                Measurement::Reachability {
+                    client,
+                    group,
+                    reachable,
+                },
+            ))
+        })
+        .collect()
+}
+
+/// One Remos pass per client feeding both the bandwidth and the
+/// reachability gauges — the same events as [`sample_bandwidth_probe`]
+/// followed by [`sample_reachability_probe`], but each max-min fair-share
+/// query runs once instead of twice (the query is the expensive part of the
+/// control loop's sampling).
+pub fn sample_flow_probes(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
+    let mut bandwidth = Vec::new();
+    let mut reachability = Vec::new();
+    for client in app.client_names() {
+        let Ok(group) = app.client_group(&client) else {
+            continue;
+        };
+        let flow = app.remos_get_flow(&client, &group).ok();
+        if let Some(bps) = flow {
+            bandwidth.push(ProbeEvent::new(
+                now.as_secs(),
+                "remos".to_string(),
+                Measurement::Bandwidth {
+                    client: client.clone(),
+                    group: group.clone(),
+                    bps,
+                },
+            ));
+        }
+        reachability.push(ProbeEvent::new(
+            now.as_secs(),
+            "remos".to_string(),
+            Measurement::Reachability {
+                client,
+                group,
+                reachable: flow.is_some_and(|bps| bps >= REACHABILITY_FLOOR_BPS),
+            },
+        ));
+    }
+    bandwidth.extend(reachability);
+    bandwidth
+}
+
 /// The replica-count probe: how many active servers each group currently has.
 pub fn sample_server_probe(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
     app.group_names()
@@ -118,6 +209,74 @@ mod tests {
                 panic!("wrong measurement kind");
             }
         }
+    }
+
+    #[test]
+    fn liveness_probe_reports_servers_and_groups() {
+        let mut app = app_at(10.0);
+        let events = sample_liveness_probe(&app, SimTime::from_secs(10.0));
+        // Seven servers plus two groups on the paper testbed.
+        assert_eq!(events.len(), 9);
+        assert!(events.iter().all(|e| matches!(
+            e.measurement,
+            Measurement::ServerLive { up: true, .. } | Measurement::GroupLiveness { dead: 0, .. }
+        )));
+        // Crash two of Server Group 1's replicas: the census sees them.
+        app.crash_server(SimTime::from_secs(11.0), "S2").unwrap();
+        app.crash_server(SimTime::from_secs(11.0), "S3").unwrap();
+        let events = sample_liveness_probe(&app, SimTime::from_secs(12.0));
+        let sg1 = events
+            .iter()
+            .find_map(|e| match &e.measurement {
+                Measurement::GroupLiveness { group, live, dead } if group == "ServerGrp1" => {
+                    Some((*live, *dead))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(sg1, (1, 2));
+        let s2_down = events.iter().any(|e| {
+            matches!(&e.measurement,
+                Measurement::ServerLive { server, up: false } if server == "S2")
+        });
+        assert!(s2_down);
+    }
+
+    #[test]
+    fn reachability_probe_flags_dead_groups() {
+        let mut app = app_at(10.0);
+        let events = sample_reachability_probe(&app, SimTime::from_secs(10.0));
+        assert_eq!(events.len(), 6);
+        assert!(events.iter().all(|e| matches!(
+            e.measurement,
+            Measurement::Reachability {
+                reachable: true,
+                ..
+            }
+        )));
+        // Crash every Server Group 1 replica: its clients become unreachable.
+        for server in ["S1", "S2", "S3"] {
+            app.crash_server(SimTime::from_secs(11.0), server).unwrap();
+        }
+        let events = sample_reachability_probe(&app, SimTime::from_secs(12.0));
+        assert!(events.iter().all(|e| matches!(
+            e.measurement,
+            Measurement::Reachability {
+                reachable: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn flow_probes_match_the_separate_bandwidth_and_reachability_probes() {
+        let mut app = app_at(10.0);
+        app.crash_server(SimTime::from_secs(10.0), "S1").unwrap();
+        let t = SimTime::from_secs(12.0);
+        let combined = sample_flow_probes(&app, t);
+        let mut separate = sample_bandwidth_probe(&app, t);
+        separate.extend(sample_reachability_probe(&app, t));
+        assert_eq!(combined, separate);
     }
 
     #[test]

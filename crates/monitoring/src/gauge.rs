@@ -221,6 +221,186 @@ impl Gauge for BandwidthGauge {
     }
 }
 
+/// Reports the liveness of one runtime server as the `isAlive` property of
+/// the model replica it backs (0 or 1). Created per model-replica/runtime
+/// pair by the adaptation framework; failover repairs churn these gauges the
+/// same way client moves churn bandwidth gauges.
+pub struct ServerHealthGauge {
+    name: String,
+    server: String,
+    target: String,
+    last: Option<f64>,
+}
+
+impl ServerHealthGauge {
+    /// Creates a health gauge observing runtime server `server` and reporting
+    /// onto the model element named `target` (the model replica's name).
+    pub fn new(server: impl Into<String>, target: impl Into<String>) -> Self {
+        let server = server.into();
+        let target = target.into();
+        ServerHealthGauge {
+            name: format!("server-gauge/{target}"),
+            server,
+            target,
+            last: None,
+        }
+    }
+
+    /// The runtime server this gauge observes.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+}
+
+impl Gauge for ServerHealthGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/liveness/server/{}", self.server)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::ServerLive { server, up } = &event.measurement {
+            if server == &self.server {
+                self.last = Some(if *up { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        match self.last {
+            Some(value) => vec![GaugeReading {
+                time: now,
+                gauge: self.name.clone(),
+                target: self.target.clone(),
+                property: "isAlive".to_string(),
+                value,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Reports a server group's live and dead replica counts as the group's
+/// `liveServers` and `deadServers` properties — what the `liveness`
+/// invariant checks after a fault.
+pub struct GroupLivenessGauge {
+    name: String,
+    group: String,
+    last: Option<(f64, f64)>,
+}
+
+impl GroupLivenessGauge {
+    /// Creates a liveness gauge for `group`.
+    pub fn new(group: impl Into<String>) -> Self {
+        let group = group.into();
+        GroupLivenessGauge {
+            name: format!("liveness-gauge/{group}"),
+            group,
+            last: None,
+        }
+    }
+}
+
+impl Gauge for GroupLivenessGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/liveness/group/{}", self.group)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::GroupLiveness { group, live, dead } = &event.measurement {
+            if group == &self.group {
+                self.last = Some((*live as f64, *dead as f64));
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        match self.last {
+            Some((live, dead)) => vec![
+                GaugeReading {
+                    time: now,
+                    gauge: self.name.clone(),
+                    target: self.group.clone(),
+                    property: "liveServers".to_string(),
+                    value: live,
+                },
+                GaugeReading {
+                    time: now,
+                    gauge: self.name.clone(),
+                    target: self.group.clone(),
+                    property: "deadServers".to_string(),
+                    value: dead,
+                },
+            ],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Reports whether a client can reach its current server group as the
+/// `reachable` property of the client's role (0 or 1).
+pub struct ReachabilityGauge {
+    name: String,
+    client: String,
+    target: String,
+    last: Option<f64>,
+}
+
+impl ReachabilityGauge {
+    /// Creates a reachability gauge for `client`, reporting onto the model
+    /// element named `target` (typically the client's role).
+    pub fn new(client: impl Into<String>, target: impl Into<String>) -> Self {
+        let client = client.into();
+        ReachabilityGauge {
+            name: format!("reachability-gauge/{client}"),
+            client,
+            target: target.into(),
+            last: None,
+        }
+    }
+}
+
+impl Gauge for ReachabilityGauge {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn interest(&self) -> String {
+        format!("probe/reachable/{}", self.client)
+    }
+
+    fn consume(&mut self, event: &ProbeEvent) {
+        if let Measurement::Reachability {
+            client, reachable, ..
+        } = &event.measurement
+        {
+            if client == &self.client {
+                self.last = Some(if *reachable { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64) -> Vec<GaugeReading> {
+        match self.last {
+            Some(value) => vec![GaugeReading {
+                time: now,
+                gauge: self.name.clone(),
+                target: self.target.clone(),
+                property: "reachable".to_string(),
+                value,
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
 /// Lifecycle costs of the gauge protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GaugeLifecycleConfig {
@@ -498,6 +678,82 @@ mod tests {
         assert_eq!(readings[0].value, 9e6);
         assert_eq!(gauge.client(), "User3");
         assert_eq!(gauge.group(), "ServerGrp1");
+    }
+
+    #[test]
+    fn server_health_gauge_tracks_liveness_flips() {
+        let mut gauge = ServerHealthGauge::new("S2", "ServerGrp1.Server2");
+        assert!(gauge.report(0.0).is_empty());
+        assert_eq!(gauge.server(), "S2");
+        gauge.consume(&ProbeEvent::new(
+            1.0,
+            "heartbeat",
+            Measurement::ServerLive {
+                server: "S2".into(),
+                up: true,
+            },
+        ));
+        assert_eq!(gauge.report(1.0)[0].value, 1.0);
+        gauge.consume(&ProbeEvent::new(
+            2.0,
+            "heartbeat",
+            Measurement::ServerLive {
+                server: "S9".into(), // other server: ignored
+                up: false,
+            },
+        ));
+        gauge.consume(&ProbeEvent::new(
+            3.0,
+            "heartbeat",
+            Measurement::ServerLive {
+                server: "S2".into(),
+                up: false,
+            },
+        ));
+        let readings = gauge.report(3.0);
+        assert_eq!(readings[0].target, "ServerGrp1.Server2");
+        assert_eq!(readings[0].property, "isAlive");
+        assert_eq!(readings[0].value, 0.0);
+    }
+
+    #[test]
+    fn group_liveness_gauge_reports_live_and_dead_counts() {
+        let mut gauge = GroupLivenessGauge::new("ServerGrp1");
+        assert!(gauge.report(0.0).is_empty());
+        gauge.consume(&ProbeEvent::new(
+            1.0,
+            "heartbeat",
+            Measurement::GroupLiveness {
+                group: "ServerGrp1".into(),
+                live: 1,
+                dead: 2,
+            },
+        ));
+        let readings = gauge.report(1.0);
+        assert_eq!(readings.len(), 2);
+        assert_eq!(readings[0].property, "liveServers");
+        assert_eq!(readings[0].value, 1.0);
+        assert_eq!(readings[1].property, "deadServers");
+        assert_eq!(readings[1].value, 2.0);
+        assert_eq!(readings[0].target, "ServerGrp1");
+    }
+
+    #[test]
+    fn reachability_gauge_targets_the_role() {
+        let mut gauge = ReachabilityGauge::new("User3", "User3.role");
+        gauge.consume(&ProbeEvent::new(
+            1.0,
+            "remos",
+            Measurement::Reachability {
+                client: "User3".into(),
+                group: "ServerGrp1".into(),
+                reachable: false,
+            },
+        ));
+        let readings = gauge.report(1.0);
+        assert_eq!(readings[0].target, "User3.role");
+        assert_eq!(readings[0].property, "reachable");
+        assert_eq!(readings[0].value, 0.0);
     }
 
     #[test]

@@ -30,7 +30,8 @@ pub use bus::{Bus, BusMessage, SubscriptionId};
 pub use consumer::MonitoringPipeline;
 pub use gauge::{
     AverageLatencyGauge, BandwidthGauge, Gauge, GaugeConsumer, GaugeLifecycleConfig, GaugeManager,
-    GaugeReading, LoadGauge, RecordingConsumer,
+    GaugeReading, GroupLivenessGauge, LoadGauge, ReachabilityGauge, RecordingConsumer,
+    ServerHealthGauge,
 };
 pub use probe::{Measurement, ProbeEvent};
 pub use window::SlidingWindow;

@@ -44,6 +44,34 @@ pub enum Measurement {
         /// Active replica count.
         count: usize,
     },
+    /// Liveness of a single runtime server process (the heartbeat probe the
+    /// fault-injection subsystem exercises).
+    ServerLive {
+        /// The runtime server's name (e.g. `"S2"`).
+        server: String,
+        /// Whether the process answered its heartbeat.
+        up: bool,
+    },
+    /// Aggregate liveness of a server group: how many of its assigned
+    /// replicas are alive and how many are assigned but dead.
+    GroupLiveness {
+        /// The server group's name.
+        group: String,
+        /// Assigned replicas that are alive.
+        live: usize,
+        /// Assigned replicas that have crashed and not been failed over.
+        dead: usize,
+    },
+    /// Whether a client can currently reach its server group at a usable
+    /// bandwidth (the reachability probe).
+    Reachability {
+        /// The client's name.
+        client: String,
+        /// The server group probed.
+        group: String,
+        /// True when the group answered at usable bandwidth.
+        reachable: bool,
+    },
 }
 
 impl Measurement {
@@ -56,6 +84,9 @@ impl Measurement {
                 format!("probe/bandwidth/{client}/{group}")
             }
             Measurement::ActiveServers { group, .. } => format!("probe/servers/{group}"),
+            Measurement::ServerLive { server, .. } => format!("probe/liveness/server/{server}"),
+            Measurement::GroupLiveness { group, .. } => format!("probe/liveness/group/{group}"),
+            Measurement::Reachability { client, .. } => format!("probe/reachable/{client}"),
         }
     }
 
@@ -66,6 +97,21 @@ impl Measurement {
             Measurement::QueueLength { length, .. } => *length as f64,
             Measurement::Bandwidth { bps, .. } => *bps,
             Measurement::ActiveServers { count, .. } => *count as f64,
+            Measurement::ServerLive { up, .. } => {
+                if *up {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Measurement::GroupLiveness { live, .. } => *live as f64,
+            Measurement::Reachability { reachable, .. } => {
+                if *reachable {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
         }
     }
 }
@@ -135,6 +181,70 @@ mod tests {
             }
             .topic(),
             "probe/servers/ServerGrp1"
+        );
+        assert_eq!(
+            Measurement::ServerLive {
+                server: "S2".into(),
+                up: false
+            }
+            .topic(),
+            "probe/liveness/server/S2"
+        );
+        assert_eq!(
+            Measurement::GroupLiveness {
+                group: "ServerGrp1".into(),
+                live: 1,
+                dead: 2
+            }
+            .topic(),
+            "probe/liveness/group/ServerGrp1"
+        );
+        assert_eq!(
+            Measurement::Reachability {
+                client: "User3".into(),
+                group: "ServerGrp1".into(),
+                reachable: true
+            }
+            .topic(),
+            "probe/reachable/User3"
+        );
+    }
+
+    #[test]
+    fn liveness_values_are_boolean_like() {
+        assert_eq!(
+            Measurement::ServerLive {
+                server: "S1".into(),
+                up: true
+            }
+            .value(),
+            1.0
+        );
+        assert_eq!(
+            Measurement::ServerLive {
+                server: "S1".into(),
+                up: false
+            }
+            .value(),
+            0.0
+        );
+        assert_eq!(
+            Measurement::GroupLiveness {
+                group: "g".into(),
+                live: 2,
+                dead: 1
+            }
+            .value(),
+            2.0
+        );
+        assert_eq!(
+            Measurement::Reachability {
+                client: "c".into(),
+                group: "g".into(),
+                reachable: false
+            }
+            .value(),
+            0.0
         );
     }
 

@@ -236,6 +236,162 @@ impl Tactic for ReduceServersTactic {
     }
 }
 
+/// Resolves the server group a violation refers to (liveness constraints are
+/// scoped per server group).
+fn group_of_violation(
+    model: &System,
+    violation: &archmodel::constraint::Violation,
+) -> Option<String> {
+    use archmodel::ElementRef;
+    match violation.subject? {
+        ElementRef::Component(id) => {
+            let comp = model.component(id).ok()?;
+            (comp.ctype == SERVER_GROUP_T).then(|| comp.name.clone())
+        }
+        _ => None,
+    }
+}
+
+/// The model replicas of `group` whose `isAlive` gauge reading says the
+/// backing runtime process has crashed.
+fn dead_replicas_of(model: &System, group: &str) -> Vec<String> {
+    let Some(group_id) = model.component_by_name(group) else {
+        return Vec::new();
+    };
+    let mut dead = Vec::new();
+    for child in model.children_of(group_id).unwrap_or_default() {
+        if let Ok(server) = model.component(child) {
+            if server.properties.get_f64(props::IS_ALIVE) == Some(0.0) {
+                dead.push(server.name.clone());
+            }
+        }
+    }
+    dead
+}
+
+/// `failoverServerGroup` — the failure-recovery tactic behind the
+/// `failover-server-group` strategy: when the violated server group has
+/// assigned-but-dead replicas, remove the corpses from the model (which
+/// deactivates and disconnects the dead runtime servers) and recruit an
+/// equal number of spare servers in their place.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FailoverServerGroupTactic;
+
+impl Tactic for FailoverServerGroupTactic {
+    fn name(&self) -> &str {
+        "failoverServerGroup"
+    }
+
+    fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+        let Some(group) = group_of_violation(ctx.model, ctx.violation) else {
+            return Ok(TacticResult::NotApplicable {
+                reason: "violation does not identify a server group".into(),
+            });
+        };
+        let dead = dead_replicas_of(ctx.model, &group);
+        if dead.is_empty() {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("no dead replicas recorded for {group}"),
+            });
+        }
+        let group_id = ctx
+            .model
+            .component_by_name(&group)
+            .ok_or_else(|| RepairError::Operator(format!("group {group} vanished")))?;
+        let members = ctx.model.children_of(group_id).unwrap_or_default().len();
+        let spares = ctx.query.spare_server_count(&group);
+        let replacements = dead.len().min(spares);
+        if replacements == 0 && members == dead.len() {
+            // Removing every replica with nothing to recruit would leave the
+            // group empty; let the reroute tactic move the clients instead.
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("{group} is fully dead and no spare server is available"),
+            });
+        }
+        let mut tx = Transaction::new(ctx.model);
+        for corpse in &dead {
+            remove_server(&mut tx, corpse)?;
+        }
+        let mut recruited = Vec::new();
+        for _ in 0..replacements {
+            recruited.push(add_server(&mut tx, &group)?);
+        }
+        Ok(TacticResult::Applied {
+            ops: tx.ops().to_vec(),
+            description: format!(
+                "failed {group} over: retired dead replicas {dead:?}, recruited {recruited:?}"
+            ),
+        })
+    }
+}
+
+/// `rerouteClientsOffDeadLink` — the failure-recovery tactic behind the
+/// `reroute-clients-off-dead-link` strategy: when the violated server group
+/// has no live replicas left (total outage, or unreachable behind a cut
+/// link), move every client it serves to the reachable group with the best
+/// bandwidth. Aborts with `NoServerGroupFound` when no client can be placed.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RerouteClientsTactic;
+
+impl Tactic for RerouteClientsTactic {
+    fn name(&self) -> &str {
+        "rerouteClientsOffDeadLink"
+    }
+
+    fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
+        let Some(group) = group_of_violation(ctx.model, ctx.violation) else {
+            return Ok(TacticResult::NotApplicable {
+                reason: "violation does not identify a server group".into(),
+            });
+        };
+        let live = ctx
+            .model
+            .component_by_name(&group)
+            .and_then(|id| ctx.model.component(id).ok())
+            .and_then(|c| c.properties.get_f64(props::LIVE_SERVERS))
+            .unwrap_or(f64::INFINITY);
+        if live >= 1.0 {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("{group} still has {live:.0} live replicas"),
+            });
+        }
+        let group_id = ctx
+            .model
+            .component_by_name(&group)
+            .ok_or_else(|| RepairError::Operator(format!("group {group} vanished")))?;
+        let clients: Vec<String> = ClientServerStyle::clients_of_group(ctx.model, group_id)
+            .into_iter()
+            .filter_map(|id| ctx.model.component(id).ok().map(|c| c.name.clone()))
+            .collect();
+        if clients.is_empty() {
+            return Ok(TacticResult::NotApplicable {
+                reason: format!("{group} serves no clients"),
+            });
+        }
+        let min_bandwidth =
+            system_threshold(ctx.model, props::MIN_BANDWIDTH, DEFAULT_MIN_BANDWIDTH_BPS);
+        let mut tx = Transaction::new(ctx.model);
+        let mut moved = Vec::new();
+        for client in &clients {
+            let Some(target) = ctx.query.find_good_server_group(client, min_bandwidth) else {
+                continue;
+            };
+            if target == group {
+                continue;
+            }
+            move_client(&mut tx, client, &target)?;
+            moved.push(format!("{client}->{target}"));
+        }
+        if moved.is_empty() {
+            return Err(RepairError::NoServerGroupFound);
+        }
+        Ok(TacticResult::Applied {
+            ops: tx.ops().to_vec(),
+            description: format!("rerouted clients off dead group {group}: {moved:?}"),
+        })
+    }
+}
+
 /// Builds the paper's `fixLatency` strategy: try `fixServerLoad` first, then
 /// `fixBandwidth` (the paper's experiment prioritised server-load repairs).
 pub fn fix_latency_strategy() -> RepairStrategy {
@@ -257,6 +413,29 @@ pub fn fix_latency_bandwidth_first_strategy() -> RepairStrategy {
 pub fn reduce_servers_strategy() -> RepairStrategy {
     RepairStrategy::new("reduceServers", TacticPolicy::FirstSuccess)
         .with_tactic(Box::new(ReduceServersTactic::default()))
+}
+
+/// Builds the `failover-server-group` strategy: replace dead replicas with
+/// spares.
+pub fn failover_server_group_strategy() -> RepairStrategy {
+    RepairStrategy::new("failover-server-group", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(FailoverServerGroupTactic))
+}
+
+/// Builds the `reroute-clients-off-dead-link` strategy: move clients off a
+/// group with no live replicas.
+pub fn reroute_clients_strategy() -> RepairStrategy {
+    RepairStrategy::new("reroute-clients-off-dead-link", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(RerouteClientsTactic))
+}
+
+/// Builds the composite failure-recovery strategy for `liveness` violations:
+/// fail the group over to spares when possible, otherwise reroute its
+/// clients to a reachable group.
+pub fn recover_liveness_strategy() -> RepairStrategy {
+    RepairStrategy::new("recoverLiveness", TacticPolicy::FirstSuccess)
+        .with_tactic(Box::new(FailoverServerGroupTactic))
+        .with_tactic(Box::new(RerouteClientsTactic))
 }
 
 /// The constraint set of the paper's example: the latency invariant per
@@ -288,6 +467,14 @@ pub fn default_constraints() -> ConstraintSet {
             )
             .expect("bandwidth invariant parses"),
         )
+        .with(
+            Invariant::parse(
+                "liveness",
+                ConstraintScope::EachComponent(SERVER_GROUP_T.into()),
+                "self.deadServers <= maxDeadServers",
+            )
+            .expect("liveness invariant parses"),
+        )
 }
 
 /// Resolves the strategy that should handle a violation of the given
@@ -295,6 +482,7 @@ pub fn default_constraints() -> ConstraintSet {
 pub fn strategy_for_invariant(invariant: &str) -> Option<RepairStrategy> {
     match invariant {
         "latency" | "bandwidth" | "serverLoad" => Some(fix_latency_strategy()),
+        "liveness" => Some(recover_liveness_strategy()),
         "underutilised" => Some(reduce_servers_strategy()),
         _ => None,
     }
@@ -519,7 +707,151 @@ mod tests {
     #[test]
     fn strategy_lookup_by_invariant() {
         assert!(strategy_for_invariant("latency").is_some());
+        assert!(strategy_for_invariant("liveness").is_some());
         assert!(strategy_for_invariant("underutilised").is_some());
         assert!(strategy_for_invariant("unknown").is_none());
+    }
+
+    /// Model in which `dead` of ServerGrp1's three replicas have crashed
+    /// (isAlive = 0) and the liveness census properties are set accordingly.
+    fn crashed_scenario(dead: usize) -> (System, Violation) {
+        let mut model = ClientServerStyle::example_system("storage", 2, 3, 6).unwrap();
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        let children = model.children_of(g1).unwrap();
+        for (i, child) in children.iter().enumerate() {
+            let alive = if i < dead { 0.0 } else { 1.0 };
+            model
+                .component_mut(*child)
+                .unwrap()
+                .properties
+                .set(props::IS_ALIVE, alive);
+        }
+        let live = (children.len() - dead) as f64;
+        let grp = model.component_mut(g1).unwrap();
+        grp.properties.set(props::LIVE_SERVERS, live);
+        grp.properties.set(props::DEAD_SERVERS, dead as f64);
+        model.properties.set(props::MAX_DEAD_SERVERS, 0.0);
+        let violation = Violation {
+            invariant: "liveness".into(),
+            subject: Some(ElementRef::Component(g1)),
+            subject_name: "ServerGrp1".into(),
+            detail: "self.deadServers <= maxDeadServers".into(),
+        };
+        (model, violation)
+    }
+
+    #[test]
+    fn liveness_invariant_fires_on_dead_replicas() {
+        let (model, _) = crashed_scenario(2);
+        let report = default_constraints().check(&model);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.invariant == "liveness" && v.subject_name == "ServerGrp1"));
+        let (healthy, _) = crashed_scenario(0);
+        let report = default_constraints().check(&healthy);
+        assert!(!report.violations.iter().any(|v| v.invariant == "liveness"));
+    }
+
+    #[test]
+    fn failover_replaces_dead_replicas_with_spares() {
+        let (model, violation) = crashed_scenario(2);
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
+        let outcome = recover_liveness_strategy().run(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics,
+                description,
+                ops,
+            } => {
+                assert_eq!(applied_tactics, vec!["failoverServerGroup".to_string()]);
+                assert!(description.contains("retired dead replicas"));
+                // Two removals (2 ops each) and two recruits (3 ops each).
+                assert!(!ops.is_empty());
+                // Applying the plan keeps the replication count at three.
+                let mut repaired = model.clone();
+                for op in &ops {
+                    archmodel::apply_op(&mut repaired, op).unwrap();
+                }
+                let g1 = repaired.component_by_name("ServerGrp1").unwrap();
+                assert_eq!(repaired.children_of(g1).unwrap().len(), 3);
+                assert!(ClientServerStyle::validate(&repaired).is_empty());
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_with_one_spare_replaces_what_it_can() {
+        let (model, violation) = crashed_scenario(2);
+        let query = StaticQuery::new().with_spares("ServerGrp1", &["S4"]);
+        match recover_liveness_strategy().run(&model, &violation, &query) {
+            StrategyOutcome::Repaired { ops, .. } => {
+                let mut repaired = model.clone();
+                for op in &ops {
+                    archmodel::apply_op(&mut repaired, op).unwrap();
+                }
+                let g1 = repaired.component_by_name("ServerGrp1").unwrap();
+                // Two corpses retired, one spare recruited: 1 + 1 replicas.
+                assert_eq!(repaired.children_of(g1).unwrap().len(), 2);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_outage_without_spares_reroutes_the_clients() {
+        let (model, violation) = crashed_scenario(3);
+        // No spares, but ServerGrp2 is reachable at good bandwidth.
+        let mut query = StaticQuery::new();
+        for client in ["User1", "User3", "User5"] {
+            query = query.with_bandwidth(client, "ServerGrp2", 5e6);
+        }
+        let outcome = recover_liveness_strategy().run(&model, &violation, &query);
+        match outcome {
+            StrategyOutcome::Repaired {
+                applied_tactics,
+                description,
+                ops,
+            } => {
+                assert_eq!(
+                    applied_tactics,
+                    vec!["rerouteClientsOffDeadLink".to_string()]
+                );
+                assert!(description.contains("rerouted"));
+                let mut repaired = model.clone();
+                for op in &ops {
+                    archmodel::apply_op(&mut repaired, op).unwrap();
+                }
+                // The odd-numbered clients (on ServerGrp1) all moved.
+                let g2 = repaired.component_by_name("ServerGrp2").unwrap();
+                assert_eq!(ClientServerStyle::clients_of_group(&repaired, g2).len(), 6);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_outage_with_nowhere_to_go_aborts() {
+        let (model, violation) = crashed_scenario(3);
+        let outcome = recover_liveness_strategy().run(&model, &violation, &StaticQuery::new());
+        match outcome {
+            StrategyOutcome::Aborted { reason } => {
+                assert!(reason.contains("NoServerGroupFound"));
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_group_leaves_recovery_not_applicable() {
+        let (model, violation) = crashed_scenario(0);
+        let outcome = recover_liveness_strategy().run(&model, &violation, &StaticQuery::new());
+        match outcome {
+            StrategyOutcome::NoApplicableTactic { reasons } => {
+                assert_eq!(reasons.len(), 2);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 }

@@ -29,8 +29,10 @@ pub mod strategy;
 pub mod tactic;
 
 pub use builtin::{
-    default_constraints, fix_latency_strategy, strategy_for_invariant, FixBandwidthTactic,
-    FixServerLoadTactic, ReduceServersTactic, DEFAULT_MAX_LATENCY_SECS, DEFAULT_MAX_SERVER_LOAD,
+    default_constraints, failover_server_group_strategy, fix_latency_strategy,
+    recover_liveness_strategy, reroute_clients_strategy, strategy_for_invariant,
+    FailoverServerGroupTactic, FixBandwidthTactic, FixServerLoadTactic, ReduceServersTactic,
+    RerouteClientsTactic, DEFAULT_MAX_LATENCY_SECS, DEFAULT_MAX_SERVER_LOAD,
     DEFAULT_MIN_BANDWIDTH_BPS,
 };
 pub use damping::RepairDamping;

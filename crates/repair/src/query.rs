@@ -23,6 +23,13 @@ pub trait RuntimeQuery {
     /// mirroring `findServer([cli_ip, bw_thresh])`. Returns the spare
     /// server's name.
     fn find_spare_server(&self, group: &str) -> Option<String>;
+
+    /// How many spare servers could be recruited for `group` right now. The
+    /// failover tactic uses this to size its replacement batch; the default
+    /// implementation only knows whether *one* spare exists.
+    fn spare_server_count(&self, group: &str) -> usize {
+        usize::from(self.find_spare_server(group).is_some())
+    }
 }
 
 /// A scripted [`RuntimeQuery`] used by tests and by model-only experiments:
@@ -80,6 +87,13 @@ impl RuntimeQuery for StaticQuery {
             .find(|(g, _)| g == group)
             .and_then(|(_, list)| list.first().cloned())
     }
+
+    fn spare_server_count(&self, group: &str) -> usize {
+        self.spares
+            .iter()
+            .find(|(g, _)| g == group)
+            .map_or(0, |(_, list)| list.len())
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +128,26 @@ mod tests {
         let q = StaticQuery::new().with_spares("ServerGrp1", &["S4", "S7"]);
         assert_eq!(q.find_spare_server("ServerGrp1"), Some("S4".to_string()));
         assert_eq!(q.find_spare_server("ServerGrp2"), None);
+        assert_eq!(q.spare_server_count("ServerGrp1"), 2);
+        assert_eq!(q.spare_server_count("ServerGrp2"), 0);
+    }
+
+    /// A query type relying on the trait's default `spare_server_count`.
+    struct OneSpare;
+    impl RuntimeQuery for OneSpare {
+        fn find_good_server_group(&self, _: &str, _: f64) -> Option<String> {
+            None
+        }
+        fn predicted_bandwidth(&self, _: &str, _: &str) -> Option<f64> {
+            None
+        }
+        fn find_spare_server(&self, _: &str) -> Option<String> {
+            Some("S4".into())
+        }
+    }
+
+    #[test]
+    fn default_spare_count_reflects_single_lookup() {
+        assert_eq!(OneSpare.spare_server_count("any"), 1);
     }
 }

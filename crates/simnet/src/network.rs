@@ -11,8 +11,9 @@
 use crate::flow::{max_min_fair_rates, FlowDemand, FlowKey};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkId, NodeId, Topology, TopologyError};
+use crate::trace::{Trace, TraceKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Identifies a transfer in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -99,6 +100,12 @@ pub struct Network {
     background: HashMap<(NodeId, NodeId), f64>,
     next_id: u64,
     last_advance: SimTime,
+    /// Nodes currently taken down by fault injection. Every link adjacent to
+    /// a down node has (effectively) no capacity until the node comes back.
+    down_nodes: BTreeSet<NodeId>,
+    /// Audit log of fault-injection mutations (capacity changes, node
+    /// liveness flips), so fault runs are diffable.
+    mutations: Trace,
 }
 
 impl Network {
@@ -111,6 +118,8 @@ impl Network {
             background: HashMap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
+            down_nodes: BTreeSet::new(),
+            mutations: Trace::new(),
         }
     }
 
@@ -203,6 +212,91 @@ impl Network {
         self.topology.set_background_load(link, bps)?;
         self.recompute_rates();
         Ok(())
+    }
+
+    /// Sets a link's raw capacity (bits per second) — the fault-injection
+    /// hook behind `LinkCut` (capacity 0) and `LinkDegrade` (a fraction of
+    /// the original capacity). Rates of every in-flight transfer are
+    /// recomputed immediately; the mutation is recorded in
+    /// [`mutation_trace`](Self::mutation_trace).
+    pub fn set_link_capacity(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        capacity_bps: f64,
+    ) -> Result<(), NetError> {
+        self.advance(now);
+        let capacity_bps = capacity_bps.max(0.0);
+        self.topology.link_mut(link)?.capacity_bps = capacity_bps;
+        self.mutations.record(
+            now,
+            TraceKind::Fault,
+            format!("link {} capacity set to {capacity_bps:.0} bps", link.0),
+        );
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Marks a node down (or back up) — the fault-injection hook behind
+    /// server-machine crashes and router outages. While a node is down every
+    /// link adjacent to it carries (effectively) no traffic: in-flight
+    /// transfers crossing it stall and new flows see no bandwidth. The
+    /// mutation is recorded in [`mutation_trace`](Self::mutation_trace).
+    pub fn set_node_down(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        down: bool,
+    ) -> Result<(), NetError> {
+        self.advance(now);
+        self.topology.node(node)?;
+        let changed = if down {
+            self.down_nodes.insert(node)
+        } else {
+            self.down_nodes.remove(&node)
+        };
+        if changed {
+            self.mutations.record(
+                now,
+                TraceKind::Fault,
+                format!(
+                    "node {} marked {}",
+                    node.0,
+                    if down { "down" } else { "up" }
+                ),
+            );
+            self.recompute_rates();
+        }
+        Ok(())
+    }
+
+    /// Whether a node is currently marked down.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down_nodes.contains(&node)
+    }
+
+    /// The audit log of fault-injection mutations applied so far (empty for
+    /// fault-free runs).
+    pub fn mutation_trace(&self) -> &Trace {
+        &self.mutations
+    }
+
+    /// Effective capacity of every link, accounting for background
+    /// competition and for down nodes (links touching a down node are floored
+    /// to the same minimal positive capacity as fully-saturated links, so
+    /// transfers stall rather than divide by zero).
+    fn effective_link_capacities(&self) -> HashMap<LinkId, f64> {
+        self.topology
+            .links()
+            .map(|(id, l)| {
+                let capacity = if self.down_nodes.contains(&l.a) || self.down_nodes.contains(&l.b) {
+                    1.0
+                } else {
+                    l.effective_capacity_bps()
+                };
+                (id, capacity)
+            })
+            .collect()
     }
 
     /// Clears all background competition.
@@ -324,11 +418,7 @@ impl Network {
     }
 
     fn recompute_rates(&mut self) {
-        let capacities: HashMap<LinkId, f64> = self
-            .topology
-            .links()
-            .map(|(id, l)| (id, l.effective_capacity_bps()))
-            .collect();
+        let capacities = self.effective_link_capacities();
         let demands = self.active_demands();
         let rates = max_min_fair_rates(&capacities, &demands);
         for t in self.active.values_mut() {
@@ -374,11 +464,7 @@ impl Network {
         if path.is_empty() {
             return Ok(crate::flow::LOCAL_RATE_BPS);
         }
-        let capacities: HashMap<LinkId, f64> = self
-            .topology
-            .links()
-            .map(|(id, l)| (id, l.effective_capacity_bps()))
-            .collect();
+        let capacities = self.effective_link_capacities();
         let probe_key = FlowKey(u64::MAX);
         let mut demands = self.active_demands();
         demands.push(FlowDemand {
@@ -531,6 +617,51 @@ mod tests {
         net.start_transfer(t(0.0), a, a, 20_000.0, 9).unwrap();
         let done = net.poll_completions(t(0.01));
         assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn link_cut_stalls_transfers_and_restoring_resumes_them() {
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        // 10 Mbit payload; cut the access link immediately: nothing completes.
+        net.start_transfer(t(0.0), a, b, 10e6 / 8.0, 1).unwrap();
+        net.set_link_capacity(t(0.1), link, 0.0).unwrap();
+        assert!(net.poll_completions(t(5.0)).is_empty());
+        assert!(net.available_bandwidth(a, b).unwrap() <= 1.0);
+        // Restore: the transfer drains at full speed again.
+        net.set_link_capacity(t(5.0), link, 10e6).unwrap();
+        assert_eq!(net.poll_completions(t(6.2)).len(), 1);
+        // Both mutations were recorded for the audit trail.
+        assert_eq!(net.mutation_trace().count(TraceKind::Fault), 2);
+    }
+
+    #[test]
+    fn down_node_zeroes_its_links_until_it_returns() {
+        let (mut net, a, b) = two_host_net();
+        let router = NodeId(1);
+        assert!(!net.node_is_down(router));
+        net.set_node_down(t(0.0), router, true).unwrap();
+        assert!(net.node_is_down(router));
+        assert!(net.available_bandwidth(a, b).unwrap() <= 1.0);
+        // Marking the same node down twice records a single mutation.
+        net.set_node_down(t(0.5), router, true).unwrap();
+        assert_eq!(net.mutation_trace().count(TraceKind::Fault), 1);
+        net.set_node_down(t(1.0), router, false).unwrap();
+        assert!(!net.node_is_down(router));
+        assert!((net.available_bandwidth(a, b).unwrap() - 10e6).abs() < 1.0);
+        assert_eq!(net.mutation_trace().count(TraceKind::Fault), 2);
+    }
+
+    #[test]
+    fn degraded_link_capacity_slows_transfers_proportionally() {
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        // Degrade the access link to 10% of its capacity: a 1 Mbit payload
+        // now takes ~1 s instead of ~0.1 s.
+        net.set_link_capacity(t(0.0), link, 1e6).unwrap();
+        net.start_transfer(t(0.0), a, b, 1e6 / 8.0, 1).unwrap();
+        assert!(net.poll_completions(t(0.5)).is_empty());
+        assert_eq!(net.poll_completions(t(1.1)).len(), 1);
     }
 
     #[test]

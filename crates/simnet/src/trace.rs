@@ -24,6 +24,9 @@ pub enum TraceKind {
     Reconfiguration,
     /// A repair was abandoned (no applicable tactic).
     RepairAborted,
+    /// A fault was injected or lifted (link capacity change, node or server
+    /// liveness flip) — the audit trail of fault-injection runs.
+    Fault,
 }
 
 /// One entry in the trace.

@@ -7,6 +7,8 @@
 //! cargo run --release --example sweep                       # default matrix
 //! cargo run --release --example sweep -- --smoke            # tiny CI matrix
 //! cargo run --release --example sweep -- --workers 4 --out report.json
+//! cargo run --release --example sweep -- --smoke --faults single-link-cut
+//! cargo run --release --example sweep -- --faults none,server-crash-midrun
 //! ```
 //!
 //! The JSON report is byte-identical for the same matrix regardless of the
@@ -20,6 +22,7 @@ fn main() {
     let mut spec = SweepSpec::default_matrix();
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "sweep_report.json".to_string();
+    let mut faults: Option<Vec<String>> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,12 +39,23 @@ fn main() {
             "--out" => {
                 out_path = args.next().expect("--out takes a file path");
             }
+            "--faults" => {
+                let value = args
+                    .next()
+                    .expect("--faults takes a comma-separated list of fault profiles");
+                faults = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: sweep [--smoke] [--workers N] [--out FILE]");
+                eprintln!("usage: sweep [--smoke] [--workers N] [--out FILE] [--faults P1,P2,...]");
+                eprintln!("fault profiles: {}", faultsim::FAULT_PROFILES.join(", "));
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(faults) = faults {
+        spec.fault_profiles = faults;
     }
 
     eprintln!(

@@ -67,6 +67,7 @@ fn sweep_flow_runs_renders_and_serialises() {
         strategies: vec!["adaptive".into()],
         durations_secs: vec![60.0],
         seeds: vec![42],
+        fault_profiles: vec!["none".into()],
     };
     let report = arch_adapt::sweep::run_sweep(&spec, 2).expect("sweep runs");
     let table = arch_adapt::report::render_sweep(&report);
@@ -74,6 +75,79 @@ fn sweep_flow_runs_renders_and_serialises() {
     let parsed: serde_json::Value =
         serde_json::from_str(&report.to_json_string()).expect("parses back");
     assert_eq!(parsed["spec"]["workloads"][0], "step");
+}
+
+/// `examples/fault_recovery.rs`: inject the mid-run server-crash profile
+/// into a shortened control/adaptive pair; the adaptive run must fail the
+/// group over and end up strictly better than the control run after its
+/// last repair settles.
+#[test]
+fn fault_recovery_flow_detects_and_recovers() {
+    let duration = 400.0;
+    let grid = GridConfig::default();
+    let schedule =
+        faultsim::fault_profile_by_name("server-crash-midrun", duration).expect("profile resolves");
+    let comparison = Comparison::run_with_faults(
+        grid,
+        FrameworkConfig::adaptive(),
+        None,
+        Some(&schedule),
+        duration,
+    )
+    .expect("experiments run");
+
+    // The control run observes the crash but cannot repair it.
+    assert_eq!(comparison.control.summary.repairs_completed, 0);
+    // The adaptive run repairs it through the liveness strategy.
+    assert!(comparison.adaptive.summary.repairs_completed >= 1);
+    assert!(comparison
+        .adaptive
+        .trace
+        .of_kind(simnet::TraceKind::RepairStart)
+        .any(|e| e.message.contains("liveness")));
+    assert!(comparison.adaptive.trace.count(simnet::TraceKind::Fault) >= 2);
+
+    // Post-repair the adaptive run's violations are strictly below the
+    // control run's over the same window. The run carries the onsets of the
+    // schedule it saw.
+    let onsets = comparison.adaptive.fault_onsets.clone();
+    assert!(!onsets.is_empty(), "fault runs record their onsets");
+    let recovery_point = comparison
+        .adaptive
+        .repair_intervals
+        .iter()
+        .map(|&(_, end)| end)
+        .fold(onsets[0], f64::max)
+        + 20.0;
+    let bound = grid.max_latency_secs;
+    let control_after =
+        comparison
+            .control
+            .metrics
+            .fraction_latency_above(bound, recovery_point, duration);
+    let adaptive_after =
+        comparison
+            .adaptive
+            .metrics
+            .fraction_latency_above(bound, recovery_point, duration);
+    assert!(
+        adaptive_after < control_after,
+        "adaptive {adaptive_after:.3} must beat control {control_after:.3} post-repair"
+    );
+
+    // The resilience metrics see the difference too.
+    let measure = |metrics: &gridapp::Metrics| {
+        faultsim::Resilience::of(&metrics.pooled_latency(), duration, bound, 10.0, &onsets)
+    };
+    let control = measure(&comparison.control.metrics);
+    let adaptive = measure(&comparison.adaptive.metrics);
+    assert!(
+        adaptive.availability > control.availability,
+        "adaptive availability {:.3} must beat control {:.3}",
+        adaptive.availability,
+        control.availability
+    );
+    assert!(adaptive.downtime_secs < control.downtime_secs);
 }
 
 /// `examples/custom_strategy.rs`: detect an overload violation with a parsed

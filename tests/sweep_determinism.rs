@@ -26,6 +26,33 @@ proptest! {
             strategies: vec!["adaptive".to_string()],
             durations_secs: vec![45.0],
             seeds: vec![seed_a, seed_b],
+            fault_profiles: vec!["none".into()],
+        };
+        let serial = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, workers).unwrap();
+        prop_assert_eq!(&serial, &parallel);
+        prop_assert_eq!(serial.to_json_string(), parallel.to_json_string());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Fault-injected sweeps obey the same worker-count invariance: the
+    /// compiled fault timeline is part of the unit's deterministic inputs.
+    #[test]
+    fn fault_sweep_report_is_invariant_under_worker_count(
+        workers in 2usize..5,
+        seed in 0u64..10_000,
+        fault in 1usize..faultsim::FAULT_PROFILES.len(),
+    ) {
+        let spec = SweepSpec {
+            topologies: vec!["paper".to_string()],
+            workloads: vec!["step".to_string()],
+            strategies: vec!["adaptive".to_string()],
+            durations_secs: vec![60.0],
+            seeds: vec![seed, seed.wrapping_add(1)],
+            fault_profiles: vec!["none".into(), faultsim::FAULT_PROFILES[fault].to_string()],
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -44,6 +71,7 @@ fn multi_cell_sweep_is_worker_count_invariant() {
         strategies: vec!["adaptive".into()],
         durations_secs: vec![60.0],
         seeds: vec![1, 2, 3],
+        fault_profiles: vec!["none".into()],
     };
     let serial = run_sweep(&spec, 1).unwrap();
     for workers in [2, 3, 8] {
