@@ -14,4 +14,7 @@ pub mod mmc;
 pub mod provisioning;
 
 pub use mmc::MmcQueue;
-pub use provisioning::{provision, BandwidthRequirement, ProvisioningInput, ProvisioningPlan};
+pub use provisioning::{
+    provision, provision_for_availability, provision_with_availability, AvailabilityPlan,
+    BandwidthRequirement, ProvisioningInput, ProvisioningPlan,
+};

@@ -103,6 +103,107 @@ pub fn provision(input: &ProvisioningInput, max_servers: usize) -> Option<Provis
     None
 }
 
+/// A provisioning plan that additionally over-provisions replicas so the
+/// service keeps meeting its latency bound at a target availability despite
+/// replica failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityPlan {
+    /// The base latency-driven plan (its `servers` is the minimum live
+    /// replica count the latency bound needs).
+    pub base: ProvisioningPlan,
+    /// Total replicas to deploy, including the failure head-room.
+    pub servers_with_headroom: usize,
+    /// Extra replicas added purely for availability.
+    pub spares_for_availability: usize,
+    /// Probability that at least `base.servers` replicas are live under
+    /// independent per-replica availability — the plan's predicted service
+    /// availability.
+    pub predicted_availability: f64,
+    /// The per-replica availability the plan assumed.
+    pub replica_availability: f64,
+    /// Mean time to repair of the measured fault runs the availability came
+    /// from, if known — how long the head-room must carry the load before a
+    /// failed replica returns.
+    pub replica_mttr_secs: Option<f64>,
+}
+
+/// Probability that at least `need` of `total` independent replicas, each up
+/// with probability `availability`, are live (binomial upper tail).
+fn probability_at_least(total: usize, need: usize, availability: f64) -> f64 {
+    let p = availability.clamp(0.0, 1.0);
+    if need == 0 {
+        return 1.0;
+    }
+    // Sum P[X = k] for k in need..=total, building the binomial pmf
+    // iteratively to stay stable for the small replica counts involved.
+    let mut pmf = vec![0.0f64; total + 1];
+    pmf[0] = 1.0;
+    for _ in 0..total {
+        for k in (1..=total).rev() {
+            pmf[k] = pmf[k] * (1.0 - p) + pmf[k - 1] * p;
+        }
+        pmf[0] *= 1.0 - p;
+    }
+    pmf[need..].iter().sum()
+}
+
+/// Fault-aware provisioning: finds the latency-driven base plan, then adds
+/// replicas until the probability of keeping at least the base count alive —
+/// with each replica independently up — meets `target_availability`.
+///
+/// The per-replica availability is taken from measured
+/// [`faultsim::Resilience`] metrics (see [`provision_for_availability`]) or
+/// supplied directly; `1.0` degenerates to the plain latency plan. Returns
+/// `None` when the latency bound or the availability target cannot be met
+/// within `max_servers` total replicas.
+pub fn provision_with_availability(
+    input: &ProvisioningInput,
+    max_servers: usize,
+    target_availability: f64,
+    replica_availability: f64,
+) -> Option<AvailabilityPlan> {
+    let base = provision(input, max_servers)?;
+    let availability = replica_availability.clamp(0.0, 1.0);
+    let target = target_availability.clamp(0.0, 1.0);
+    for total in base.servers..=max_servers {
+        let predicted = probability_at_least(total, base.servers, availability);
+        if predicted >= target {
+            return Some(AvailabilityPlan {
+                base,
+                servers_with_headroom: total,
+                spares_for_availability: total - base.servers,
+                predicted_availability: predicted,
+                replica_availability: availability,
+                replica_mttr_secs: None,
+            });
+        }
+    }
+    None
+}
+
+/// [`provision_with_availability`] fed from measured resilience metrics: the
+/// run's observed availability serves as the per-replica availability
+/// estimate, and the measured MTTR is carried onto the plan
+/// ([`AvailabilityPlan::replica_mttr_secs`]) as the window the head-room
+/// must cover before a failed replica returns.
+pub fn provision_for_availability(
+    input: &ProvisioningInput,
+    max_servers: usize,
+    target_availability: f64,
+    resilience: &faultsim::Resilience,
+) -> Option<AvailabilityPlan> {
+    let plan = provision_with_availability(
+        input,
+        max_servers,
+        target_availability,
+        resilience.availability,
+    )?;
+    Some(AvailabilityPlan {
+        replica_mttr_secs: resilience.mttr_secs,
+        ..plan
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +269,59 @@ mod tests {
             3,
         );
         assert!(plan.is_none());
+    }
+
+    #[test]
+    fn availability_provisioning_adds_headroom_for_flaky_replicas() {
+        // Perfect replicas need no head-room.
+        let perfect =
+            provision_with_availability(&ProvisioningInput::default(), 20, 0.999, 1.0).unwrap();
+        assert_eq!(perfect.spares_for_availability, 0);
+        assert_eq!(perfect.servers_with_headroom, perfect.base.servers);
+        assert_eq!(perfect.predicted_availability, 1.0);
+
+        // 90%-available replicas must over-provision to promise 99.9% of the
+        // time at least the base three replicas live.
+        let flaky =
+            provision_with_availability(&ProvisioningInput::default(), 20, 0.999, 0.9).unwrap();
+        assert!(flaky.spares_for_availability > 0, "{flaky:?}");
+        assert!(flaky.predicted_availability >= 0.999);
+        assert_eq!(flaky.base.servers, 3);
+        // More nines need more spares.
+        let five_nines =
+            provision_with_availability(&ProvisioningInput::default(), 20, 0.99999, 0.9).unwrap();
+        assert!(five_nines.servers_with_headroom >= flaky.servers_with_headroom);
+
+        // An unreachable target within the replica budget yields None.
+        assert!(
+            provision_with_availability(&ProvisioningInput::default(), 4, 0.99999, 0.5).is_none()
+        );
+    }
+
+    #[test]
+    fn availability_provisioning_consumes_measured_resilience() {
+        let resilience = faultsim::Resilience {
+            availability: 0.85,
+            downtime_secs: 45.0,
+            mttr_secs: Some(30.0),
+            violation_fraction_during_fault: 0.4,
+        };
+        let plan = provision_for_availability(&ProvisioningInput::default(), 20, 0.99, &resilience)
+            .unwrap();
+        assert_eq!(plan.replica_availability, 0.85);
+        assert_eq!(plan.replica_mttr_secs, Some(30.0));
+        assert!(plan.spares_for_availability > 0);
+        assert!(plan.predicted_availability >= 0.99);
+    }
+
+    #[test]
+    fn binomial_tail_is_sane() {
+        assert_eq!(probability_at_least(3, 0, 0.5), 1.0);
+        assert!((probability_at_least(1, 1, 0.9) - 0.9).abs() < 1e-12);
+        // P[X >= 1] with X ~ B(2, 0.5) = 0.75.
+        assert!((probability_at_least(2, 1, 0.5) - 0.75).abs() < 1e-12);
+        // P[X >= 2] with X ~ B(3, 0.9) = 3·0.81·0.1 + 0.729 = 0.972.
+        assert!((probability_at_least(3, 2, 0.9) - 0.972).abs() < 1e-12);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod changeset;
 pub mod constraint;
 pub mod element;
 pub mod expr;
+pub mod key;
 pub mod property;
 pub mod style;
 pub mod system;
@@ -36,6 +37,7 @@ pub use element::{
 pub use expr::{
     eval, eval_bool, parse, BinOp, Bindings, EvalError, EvalValue, Expr, QuantifierKind, UnaryOp,
 };
+pub use key::Key;
 pub use property::PropertyMap;
 pub use style::{ClientServerStyle, StyleViolation};
 pub use system::{ModelError, System};

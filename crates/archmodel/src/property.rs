@@ -1,17 +1,38 @@
 //! Property lists attached to architectural elements.
 
+use crate::key::Key;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use serde::{Content, Deserialize, Serialize};
 
 /// A named collection of property values.
 ///
-/// Backed by a `BTreeMap` so iteration (and therefore constraint evaluation
-/// and model diffing) is deterministic.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Keys are interned [`Key`]s and entries are kept sorted by name, so
+/// iteration (and therefore constraint evaluation and model diffing) is
+/// deterministic and identical to the previous `BTreeMap<String, _>`
+/// representation — while `set` with a pre-interned key does no string
+/// hashing or cloning, and `get` by `&str` is a binary search that never
+/// touches the interner. Property lists are small (a handful of entries), so
+/// the sorted-vector layout also beats a tree on every operation.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PropertyMap {
-    entries: BTreeMap<String, Value>,
+    entries: Vec<(Key, Value)>,
 }
+
+impl Serialize for PropertyMap {
+    // Matches the shape the derived impl produced for the previous
+    // `BTreeMap<String, Value>`-backed struct: a single `entries` map with
+    // keys in name order.
+    fn to_content(&self) -> Content {
+        let map = self
+            .entries
+            .iter()
+            .map(|(k, v)| (k.as_str().to_string(), v.to_content()))
+            .collect();
+        Content::Map(vec![("entries".to_string(), Content::Map(map))])
+    }
+}
+
+impl Deserialize for PropertyMap {}
 
 impl PropertyMap {
     /// Creates an empty property map.
@@ -19,20 +40,28 @@ impl PropertyMap {
         Self::default()
     }
 
+    fn position(&self, name: &str) -> Result<usize, usize> {
+        self.entries.binary_search_by(|(k, _)| k.as_str().cmp(name))
+    }
+
     /// Sets (or replaces) a property.
-    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
-        self.entries.insert(name.into(), value.into());
+    pub fn set(&mut self, name: impl Into<Key>, value: impl Into<Value>) {
+        let key = name.into();
+        match self.position(key.as_str()) {
+            Ok(idx) => self.entries[idx].1 = value.into(),
+            Err(idx) => self.entries.insert(idx, (key, value.into())),
+        }
     }
 
     /// Builder-style property setting.
-    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+    pub fn with(mut self, name: impl Into<Key>, value: impl Into<Value>) -> Self {
         self.set(name, value);
         self
     }
 
     /// Gets a property by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.entries.get(name)
+        self.position(name).ok().map(|idx| &self.entries[idx].1)
     }
 
     /// Gets a numeric property, coercing ints to floats.
@@ -57,12 +86,14 @@ impl PropertyMap {
 
     /// Removes a property, returning its previous value.
     pub fn remove(&mut self, name: &str) -> Option<Value> {
-        self.entries.remove(name)
+        self.position(name)
+            .ok()
+            .map(|idx| self.entries.remove(idx).1)
     }
 
     /// Whether a property is present.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.contains_key(name)
+        self.position(name).is_ok()
     }
 
     /// Number of properties.
@@ -84,8 +115,8 @@ impl PropertyMap {
     pub fn diff(&self, other: &PropertyMap) -> Vec<String> {
         self.entries
             .iter()
-            .filter(|(k, v)| other.get(k) != Some(*v))
-            .map(|(k, _)| k.clone())
+            .filter(|(k, v)| other.get(k.as_str()) != Some(v))
+            .map(|(k, _)| k.as_str().to_string())
             .collect()
     }
 }
@@ -157,5 +188,34 @@ mod tests {
             .with("c", 3i64);
         let names: Vec<&str> = props.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn interned_keys_are_reusable_handles() {
+        let latency = Key::new("averageLatency");
+        let mut props = PropertyMap::new();
+        props.set(latency, 1.0);
+        props.set(latency, 2.0);
+        assert_eq!(props.get_f64(latency.as_str()), Some(2.0));
+        assert_eq!(props.len(), 1);
+    }
+
+    #[test]
+    fn serialization_shape_matches_the_map_layout() {
+        let props = PropertyMap::new().with("b", 2i64).with("a", 1i64);
+        match serde::Serialize::to_content(&props) {
+            serde::Content::Map(fields) => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, "entries");
+                match &fields[0].1 {
+                    serde::Content::Map(entries) => {
+                        let names: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                        assert_eq!(names, vec!["a", "b"]);
+                    }
+                    other => panic!("unexpected entries content: {other:?}"),
+                }
+            }
+            other => panic!("unexpected content: {other:?}"),
+        }
     }
 }

@@ -5,10 +5,11 @@ use crate::element::{
     Attachment, Component, ComponentId, Connector, ConnectorId, ElementRef, Port, PortId, Role,
     RoleId,
 };
+use crate::key::Key;
 use crate::property::PropertyMap;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Errors raised by model manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +55,13 @@ impl std::error::Error for ModelError {}
 
 /// The architectural model: components, connectors, ports, roles, and
 /// attachments, plus system-level properties (e.g. task-layer thresholds).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Name lookups (`component_by_name` and friends) are O(1) through interned
+/// [`Key`] indices — the model update path resolves thousands of gauge
+/// readings per control tick. Element names are immutable once added
+/// (nothing in the workspace renames in place; use remove + add), which is
+/// what keeps the indices trivially consistent.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct System {
     /// The system's name.
     pub name: String,
@@ -67,7 +74,31 @@ pub struct System {
     roles: BTreeMap<RoleId, Role>,
     attachments: Vec<Attachment>,
     next_id: u32,
+    component_names: HashMap<Key, ComponentId>,
+    connector_names: HashMap<Key, ConnectorId>,
+    /// First (lowest-id) role carrying each name — role names are not
+    /// enforced unique, and lookups keep the historic first-match semantics.
+    role_names: HashMap<Key, RoleId>,
 }
+
+impl Serialize for System {
+    // Hand-written to keep the serialized shape free of the redundant name
+    // indices (and identical to the pre-index derive output).
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("name".to_string(), self.name.to_content()),
+            ("properties".to_string(), self.properties.to_content()),
+            ("components".to_string(), self.components.to_content()),
+            ("connectors".to_string(), self.connectors.to_content()),
+            ("ports".to_string(), self.ports.to_content()),
+            ("roles".to_string(), self.roles.to_content()),
+            ("attachments".to_string(), self.attachments.to_content()),
+            ("next_id".to_string(), self.next_id.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for System {}
 
 impl System {
     /// Creates an empty system with the given name.
@@ -93,10 +124,12 @@ impl System {
         ctype: impl Into<String>,
     ) -> Result<ComponentId, ModelError> {
         let name = name.into();
-        if self.component_by_name(&name).is_some() {
+        let key = Key::new(&name);
+        if self.component_names.contains_key(&key) {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ComponentId(self.fresh_id());
+        self.component_names.insert(key, id);
         self.components.insert(
             id,
             Component {
@@ -143,6 +176,7 @@ impl System {
             }
         }
         let comp = self.components.remove(&id).expect("checked above");
+        self.component_names.remove(&Key::new(&comp.name));
         for port in comp.ports {
             self.attachments.retain(|a| a.port != port);
             self.ports.remove(&port);
@@ -175,10 +209,13 @@ impl System {
 
     /// Finds a component by name.
     pub fn component_by_name(&self, name: &str) -> Option<ComponentId> {
-        self.components
-            .iter()
-            .find(|(_, c)| c.name == name)
-            .map(|(id, _)| *id)
+        self.component_by_key(Key::new(name))
+    }
+
+    /// Finds a component by pre-interned name key (the hot-path variant: no
+    /// interner access, one pointer-hash lookup).
+    pub fn component_by_key(&self, key: Key) -> Option<ComponentId> {
+        self.component_names.get(&key).copied()
     }
 
     /// Iterates over all components in id order.
@@ -213,10 +250,12 @@ impl System {
         ctype: impl Into<String>,
     ) -> Result<ConnectorId, ModelError> {
         let name = name.into();
-        if self.connector_by_name(&name).is_some() {
+        let key = Key::new(&name);
+        if self.connector_names.contains_key(&key) {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ConnectorId(self.fresh_id());
+        self.connector_names.insert(key, id);
         self.connectors.insert(
             id,
             Connector {
@@ -235,9 +274,12 @@ impl System {
             .connectors
             .remove(&id)
             .ok_or(ModelError::UnknownConnector(id))?;
+        self.connector_names.remove(&Key::new(&conn.name));
         for role in conn.roles {
             self.attachments.retain(|a| a.role != role);
-            self.roles.remove(&role);
+            if let Some(removed) = self.roles.remove(&role) {
+                self.unindex_role(role, &removed.name);
+            }
         }
         Ok(())
     }
@@ -258,10 +300,7 @@ impl System {
 
     /// Finds a connector by name.
     pub fn connector_by_name(&self, name: &str) -> Option<ConnectorId> {
-        self.connectors
-            .iter()
-            .find(|(_, c)| c.name == name)
-            .map(|(id, _)| *id)
+        self.connector_names.get(&Key::new(name)).copied()
     }
 
     /// Iterates over all connectors in id order.
@@ -320,11 +359,17 @@ impl System {
         rtype: impl Into<String>,
     ) -> Result<RoleId, ModelError> {
         self.connector(owner)?;
+        let name = name.into();
+        let key = Key::new(&name);
         let id = RoleId(self.fresh_id());
+        // First-wins: lookups return the lowest-id role with a given name,
+        // as the pre-index linear scan did. Ids are monotonically assigned,
+        // so an existing entry always has the lower id.
+        self.role_names.entry(key).or_insert(id);
         self.roles.insert(
             id,
             Role {
-                name: name.into(),
+                name,
                 rtype: rtype.into(),
                 properties: PropertyMap::new(),
                 owner,
@@ -338,14 +383,38 @@ impl System {
         Ok(id)
     }
 
+    /// Drops a removed role from the name index, promoting the next
+    /// lowest-id role with the same name if one exists.
+    fn unindex_role(&mut self, id: RoleId, name: &str) {
+        let key = Key::new(name);
+        if self.role_names.get(&key) == Some(&id) {
+            self.role_names.remove(&key);
+            if let Some((next, _)) = self.roles.iter().find(|(_, r)| r.name == name) {
+                self.role_names.insert(key, *next);
+            }
+        }
+    }
+
     /// Removes a role and any attachment it participates in.
     pub fn remove_role(&mut self, id: RoleId) -> Result<(), ModelError> {
         let role = self.roles.remove(&id).ok_or(ModelError::UnknownRole(id))?;
+        self.unindex_role(id, &role.name);
         if let Some(owner) = self.connectors.get_mut(&role.owner) {
             owner.roles.retain(|r| *r != id);
         }
         self.attachments.retain(|a| a.role != id);
         Ok(())
+    }
+
+    /// Finds the first (lowest-id) role with the given name.
+    pub fn role_by_name(&self, name: &str) -> Option<RoleId> {
+        self.role_by_key(Key::new(name))
+    }
+
+    /// [`role_by_name`](Self::role_by_name) with a pre-interned key (the
+    /// hot-path variant used by the model updater).
+    pub fn role_by_key(&self, key: Key) -> Option<RoleId> {
+        self.role_names.get(&key).copied()
     }
 
     /// Looks up a port by id.

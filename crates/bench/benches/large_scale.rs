@@ -1,0 +1,175 @@
+//! Large-scale testbed benchmark: control-loop throughput and probe latency
+//! at 2,000 clients, plus the allocator-equivalence gate.
+//!
+//! Three things happen here:
+//!
+//! 1. **Equivalence gate** — the indexed incremental allocator and the
+//!    retained reference implementation (`max_min_fair_rates`) are run over
+//!    flow sets drawn from the large-scale topology and must produce
+//!    **bit-identical** rates (the bench aborts otherwise).
+//! 2. **Criterion measurements** — control-tick throughput (one 5 s control
+//!    period of the 2,000-client adaptive framework per iteration) and
+//!    `remos_get_flow` probe latency, warm (memoised epoch) and cold (epoch
+//!    invalidated between queries).
+//! 3. **The 300 s control-vs-adaptive comparison** — run once, wall-timed,
+//!    with the headline numbers written as JSON (to
+//!    `$LARGE_SCALE_BENCH_OUT`, default `large_scale_bench.json`) so CI can
+//!    archive a perf trajectory.
+//!
+//! Set `LARGE_SCALE_QUICK=1` (CI does) to collect fewer samples.
+
+use arch_adapt::experiment::Comparison;
+use arch_adapt::framework::{AdaptationFramework, FrameworkConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridapp::{ExperimentSchedule, GridApp, GridConfig, TestbedSpec, SERVER_GROUP_1};
+use simnet::flow::{max_min_fair_rates, FlowDemand, FlowKey};
+use simnet::{Allocator, DemandSet, SimRng, SimTime};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("LARGE_SCALE_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn large_grid() -> GridConfig {
+    GridConfig::with_testbed(TestbedSpec::large_scale())
+}
+
+/// Asserts the indexed allocator reproduces the reference bit-for-bit over
+/// flow sets sampled from the large-scale topology.
+fn assert_allocator_equivalence() {
+    let testbed = gridapp::Testbed::from_spec(&TestbedSpec::large_scale()).expect("testbed builds");
+    let topology = &testbed.topology;
+    let mut rng = SimRng::seed_from_u64(2026).derive(5);
+    let hosts: Vec<_> = testbed.client_hosts.iter().map(|&(_, h)| h).collect();
+    let servers = &testbed.server_hosts;
+
+    let capacities_map: HashMap<simnet::LinkId, f64> = topology
+        .links()
+        .map(|(id, l)| (id, l.effective_capacity_bps()))
+        .collect();
+    let capacities_dense: Vec<f64> = topology
+        .links()
+        .map(|(_, l)| l.effective_capacity_bps())
+        .collect();
+
+    let mut allocator = Allocator::new();
+    let mut rates = Vec::new();
+    for flows in [16usize, 128, 512] {
+        let mut reference_demands = Vec::new();
+        let mut dense = DemandSet::new();
+        for key in 0..flows as u64 {
+            let src = servers[rng.index(servers.len())];
+            let dst = hosts[rng.index(hosts.len())];
+            let path = topology.path(src, dst).expect("connected testbed");
+            dense.push(1.0, &path.iter().map(|l| l.0 as u32).collect::<Vec<_>>());
+            reference_demands.push(FlowDemand {
+                key: FlowKey(key),
+                links: path,
+                weight: 1.0,
+            });
+        }
+        let expected = max_min_fair_rates(&capacities_map, &reference_demands);
+        allocator.solve(&capacities_dense, &dense, None, &mut rates);
+        for (i, rate) in rates.iter().enumerate() {
+            let reference = expected[&FlowKey(i as u64)];
+            assert!(
+                rate.to_bits() == reference.to_bits(),
+                "allocator diverged from reference at flow {i}: {rate} != {reference}"
+            );
+        }
+    }
+    println!("[large-scale] allocator matches reference bit-identically (16/128/512 flows)");
+}
+
+fn bench_large_scale(c: &mut Criterion) {
+    assert_allocator_equivalence();
+
+    let mut group = c.benchmark_group("large_scale");
+    group.sample_size(if quick() { 3 } else { 10 });
+
+    // Control-loop throughput: one 5 s control period of the full adaptive
+    // framework (2,000 clients, ~100 servers) per iteration.
+    group.bench_function("control_tick", |b| {
+        let mut fw = AdaptationFramework::new(large_grid(), FrameworkConfig::adaptive())
+            .expect("framework builds");
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 5.0;
+            fw.tick(SimTime::from_secs(t));
+        })
+    });
+
+    // Probe latency, warm: repeated identical queries inside one allocation
+    // epoch are served from the epoch memo.
+    group.bench_function("remos_get_flow_warm", |b| {
+        let mut app = GridApp::build(large_grid()).expect("app builds");
+        app.advance(SimTime::from_secs(30.0));
+        b.iter(|| {
+            app.remos_get_flow(black_box("User1000"), SERVER_GROUP_1)
+                .unwrap()
+        })
+    });
+
+    // Probe latency, cold: the epoch is invalidated before every query, so
+    // each one is a fresh one-shot insert against the converged allocation.
+    group.bench_function("remos_get_flow_cold", |b| {
+        let mut app = GridApp::build(large_grid()).expect("app builds");
+        app.advance(SimTime::from_secs(30.0));
+        let mut t = 30.0;
+        let mut load = 0.0;
+        b.iter(|| {
+            t += 1.0e-3;
+            load = if load > 0.0 { 0.0 } else { 1.0e6 };
+            app.set_competition_sg2(SimTime::from_secs(t), load)
+                .unwrap();
+            app.remos_get_flow(black_box("User1000"), SERVER_GROUP_1)
+                .unwrap()
+        })
+    });
+    group.finish();
+
+    // The 300 s control-vs-adaptive comparison at 2,000 clients — the run CI
+    // must complete without timing out — plus a manual ticks/sec figure for
+    // the archived JSON.
+    let grid = large_grid();
+    let schedule = ExperimentSchedule::by_name("step", &grid, 300.0).expect("step schedule exists");
+    let started = std::time::Instant::now();
+    let comparison =
+        Comparison::run_with(grid, FrameworkConfig::adaptive(), Some(&schedule), 300.0)
+            .expect("large-scale comparison runs");
+    let wall = started.elapsed().as_secs_f64();
+    let ticks = 2.0 * 300.0 / 5.0; // both runs, one tick per 5 s period
+    let ticks_per_sec = ticks / wall;
+    println!(
+        "[large-scale] 300 s control-vs-adaptive comparison: {wall:.1} s wall, \
+         {ticks_per_sec:.1} ticks/s (control violations {:.3}, adaptive {:.3}, {} repairs)",
+        comparison.control.summary.fraction_latency_above_bound,
+        comparison.adaptive.summary.fraction_latency_above_bound,
+        comparison.adaptive.summary.repairs_completed,
+    );
+
+    let out = std::env::var("LARGE_SCALE_BENCH_OUT")
+        .unwrap_or_else(|_| "large_scale_bench.json".to_string());
+    let json = serde_json::json!({
+        "testbed": "large-scale",
+        "clients": TestbedSpec::large_scale().num_clients(),
+        "comparison_duration_secs": 300.0,
+        "comparison_wall_secs": wall,
+        "ticks_per_sec": ticks_per_sec,
+        "control_violation_fraction": comparison.control.summary.fraction_latency_above_bound,
+        "adaptive_violation_fraction": comparison.adaptive.summary.fraction_latency_above_bound,
+        "adaptive_repairs_completed": comparison.adaptive.summary.repairs_completed,
+        "adaptive_completed_requests": comparison.adaptive.summary.latency.map(|s| s.count),
+        "control_completed_requests": comparison.control.summary.latency.map(|s| s.count),
+    });
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&json).expect("serialises"),
+    )
+    .expect("writes bench output");
+    println!("[large-scale] wrote {out}");
+}
+
+criterion_group!(benches, bench_large_scale);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ use archmodel::style::ClientServerStyle;
 use archmodel::System;
 use faultsim::CompiledFaultSchedule;
 use gridapp::{
-    sample_flow_probes, sample_latency_probe, sample_liveness_probe, sample_queue_probe,
+    sample_flow_probes_from, sample_latency_probe, sample_liveness_probe, sample_queue_probe,
     sample_server_probe, AppError, ExperimentSchedule, GridApp, GridConfig, Metrics,
 };
 use monitoring::{
@@ -375,18 +375,11 @@ impl AdaptationFramework {
     /// monitoring system shares the (congested) network, its messages slow
     /// down with the worst client's available bandwidth (§5.3). A monitoring
     /// payload of ≈25 KB is assumed.
-    fn monitoring_delay(&self) -> f64 {
+    fn monitoring_delay(&self, flows: &gridapp::FlowSnapshot) -> f64 {
         if !self.config.monitoring_shares_network || self.config.monitoring_qos {
             return 0.0;
         }
-        let mut min_bw = f64::INFINITY;
-        for client in self.app.client_names() {
-            if let Ok(group) = self.app.client_group(&client) {
-                if let Ok(bw) = self.app.remos_get_flow(&client, &group) {
-                    min_bw = min_bw.min(bw);
-                }
-            }
-        }
+        let min_bw = flows.min_flow_bps().unwrap_or(f64::INFINITY);
         if !min_bw.is_finite() || min_bw <= 0.0 {
             return 0.0;
         }
@@ -395,28 +388,32 @@ impl AdaptationFramework {
 
     /// Runs one control period ending at time `t`.
     pub fn tick(&mut self, t: SimTime) {
-        // 1. Advance the runtime layer and record figure metrics.
+        // 1. Advance the runtime layer, take the tick's shared network
+        // snapshot, and record figure metrics from it.
         self.app.advance(t);
-        self.app.sample_metrics(t);
+        let flows = self.app.flow_snapshot();
+        self.app.sample_metrics_with_flows(t, &flows);
 
-        // 2. Probes observe the system and publish on the probe bus.
-        let delay = self.monitoring_delay();
+        // 2. Probes observe the system and publish on the probe bus. Every
+        // flow-derived consumer (delay model, bandwidth + reachability
+        // gauges, figure metrics above) reads the same snapshot — one Remos
+        // pass per tick.
+        let delay = self.monitoring_delay(&flows);
         self.pipeline.set_monitoring_delay(delay);
         let mut events = sample_latency_probe(&mut self.app);
         events.extend(sample_queue_probe(&self.app, t));
-        // One Remos pass feeds both the bandwidth and reachability gauges.
-        events.extend(sample_flow_probes(&self.app, t));
+        events.extend(sample_flow_probes_from(&flows, t));
         events.extend(sample_server_probe(&self.app, t));
         events.extend(sample_liveness_probe(&self.app, t));
         for event in events {
             self.pipeline.publish(event);
         }
 
-        // 3. Gauges interpret probe data; readings update the model.
-        {
-            let mut updater = ModelUpdater::new(&mut self.model);
-            self.pipeline.step(t.as_secs(), &mut updater);
-        }
+        // 3. Gauges interpret probe data; the tick's readings update the
+        // model in one batch (same order, one target resolution per run of
+        // consecutive same-target readings).
+        let readings = self.pipeline.step(t.as_secs(), &mut ());
+        ModelUpdater::new(&mut self.model).apply_batch(&readings);
         self.now = t;
 
         if !self.config.adaptation_enabled {

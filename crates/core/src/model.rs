@@ -65,12 +65,26 @@ pub fn build_model(
 /// A gauge consumer that reflects readings into the architectural model:
 /// `averageLatency` onto clients, `load` onto server groups, `bandwidth`
 /// onto client roles.
+///
+/// Targets and properties arrive as interned [`archmodel::Key`]s, so one
+/// reading costs two pointer-hash lookups and an in-place property write —
+/// no string hashing, no cloning. [`apply_batch`](Self::apply_batch) applies
+/// a whole tick's readings with a one-entry resolution memo (readings from
+/// one gauge arrive back-to-back for the same target).
 pub struct ModelUpdater<'a> {
     /// The model being maintained.
     pub model: &'a mut System,
     /// Readings that could not be applied (unknown target); surfaced for the
     /// trace.
     pub unmatched: Vec<GaugeReading>,
+}
+
+/// A resolved reading target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Resolved {
+    Component(archmodel::ComponentId),
+    Role(archmodel::RoleId),
+    Unmatched,
 }
 
 impl<'a> ModelUpdater<'a> {
@@ -81,32 +95,61 @@ impl<'a> ModelUpdater<'a> {
             unmatched: Vec::new(),
         }
     }
+
+    fn resolve(&self, target: archmodel::Key) -> Resolved {
+        // Component target (clients, server groups) first, then role target
+        // (bandwidth readings address "<client>.role") — the historic order.
+        if let Some(id) = self.model.component_by_key(target) {
+            Resolved::Component(id)
+        } else if let Some(id) = self.model.role_by_key(target) {
+            Resolved::Role(id)
+        } else {
+            Resolved::Unmatched
+        }
+    }
+
+    fn apply_resolved(&mut self, resolved: Resolved, reading: &GaugeReading) {
+        match resolved {
+            Resolved::Component(id) => {
+                if let Ok(component) = self.model.component_mut(id) {
+                    component.properties.set(reading.property, reading.value);
+                    return;
+                }
+                self.unmatched.push(reading.clone());
+            }
+            Resolved::Role(id) => {
+                if let Ok(role) = self.model.role_mut(id) {
+                    role.properties.set(reading.property, reading.value);
+                    return;
+                }
+                self.unmatched.push(reading.clone());
+            }
+            Resolved::Unmatched => self.unmatched.push(reading.clone()),
+        }
+    }
+
+    /// Applies a tick's readings in order, resolving each distinct target
+    /// once per run of consecutive readings.
+    pub fn apply_batch(&mut self, readings: &[GaugeReading]) {
+        let mut memo: Option<(archmodel::Key, Resolved)> = None;
+        for reading in readings {
+            let resolved = match memo {
+                Some((target, resolved)) if target == reading.target => resolved,
+                _ => {
+                    let resolved = self.resolve(reading.target);
+                    memo = Some((reading.target, resolved));
+                    resolved
+                }
+            };
+            self.apply_resolved(resolved, reading);
+        }
+    }
 }
 
 impl GaugeConsumer for ModelUpdater<'_> {
     fn consume(&mut self, reading: &GaugeReading) {
-        // Component target (clients, server groups).
-        if let Some(id) = self.model.component_by_name(&reading.target) {
-            if let Ok(component) = self.model.component_mut(id) {
-                component
-                    .properties
-                    .set(reading.property.clone(), reading.value);
-                return;
-            }
-        }
-        // Role target (bandwidth readings address "<client>.role").
-        let role_id = self
-            .model
-            .roles()
-            .find(|(_, role)| role.name == reading.target)
-            .map(|(id, _)| id);
-        if let Some(id) = role_id {
-            if let Ok(role) = self.model.role_mut(id) {
-                role.properties.set(reading.property.clone(), reading.value);
-                return;
-            }
-        }
-        self.unmatched.push(reading.clone());
+        let resolved = self.resolve(reading.target);
+        self.apply_resolved(resolved, reading);
     }
 }
 

@@ -12,6 +12,11 @@ pub fn apply_action(app: &mut GridApp, now: SimTime, action: &FaultAction) -> Re
         FaultAction::SetLinkCapacity { link, capacity_bps } => {
             app.set_link_capacity(now, *link, *capacity_bps)
         }
+        FaultAction::SetLinkOneWay {
+            link,
+            from,
+            capacity_bps,
+        } => app.set_link_oneway(now, *link, *from, *capacity_bps),
         FaultAction::SetNodeDown { node, down } => app.set_node_down(now, *node, *down),
         FaultAction::CrashServer { server } => app.crash_server(now, server),
         FaultAction::RestartServer { server } => app.restart_server(now, server),

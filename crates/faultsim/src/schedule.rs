@@ -52,6 +52,19 @@ pub enum FaultEvent {
         /// When to cut it.
         at_secs: f64,
     },
+    /// Degrade only the `link.a` → `link.b` direction of a link to `factor`
+    /// of its nominal capacity at `at_secs`, leaving the opposite direction
+    /// intact — an asymmetric (grey) partition. A factor at or above 1
+    /// restores symmetric operation.
+    LinkDegradeOneWay {
+        /// The link to degrade; traffic *from* `a` *towards* `b` is capped.
+        link: LinkRef,
+        /// When to apply the degradation.
+        at_secs: f64,
+        /// Fraction of the nominal capacity left in the degraded direction
+        /// (clamped to `0..=1`; `1` lifts the degrade).
+        factor: f64,
+    },
     /// Restore a link to its nominal capacity at `at_secs`.
     LinkRestore {
         /// The link to restore.
@@ -155,6 +168,16 @@ pub enum FaultAction {
         /// The resolved link.
         link: LinkId,
         /// The new capacity.
+        capacity_bps: f64,
+    },
+    /// Cap one direction of a link (a capacity at or above nominal lifts
+    /// the cap).
+    SetLinkOneWay {
+        /// The resolved link.
+        link: LinkId,
+        /// The node the degraded direction leaves from.
+        from: NodeId,
+        /// The directional capacity cap.
         capacity_bps: f64,
     },
     /// Mark a node down or back up.
@@ -305,6 +328,35 @@ fn compile_event(
                 ),
                 action: FaultAction::SetLinkCapacity {
                     link: id,
+                    capacity_bps: nominal * factor,
+                },
+            });
+        }
+        FaultEvent::LinkDegradeOneWay {
+            link,
+            at_secs,
+            factor,
+        } => {
+            check_time(*at_secs)?;
+            let (id, nominal) = resolve_link(testbed, link)?;
+            let from = testbed
+                .topology
+                .node_by_name(&link.a)
+                .ok_or_else(|| FaultError::UnknownNode(link.a.clone()))?;
+            let factor = factor.clamp(0.0, 1.0);
+            out.push(TimedAction {
+                at_secs: offset + at_secs,
+                is_onset: factor < 1.0,
+                label: format!(
+                    "link {}-{} degraded to {:.0}% capacity towards {}",
+                    link.a,
+                    link.b,
+                    factor * 100.0,
+                    link.b
+                ),
+                action: FaultAction::SetLinkOneWay {
+                    link: id,
+                    from,
                     capacity_bps: nominal * factor,
                 },
             });
@@ -566,6 +618,95 @@ mod tests {
             }],
         };
         assert!(!healthy.compile(&tb, 0).unwrap().actions[0].is_onset);
+    }
+
+    #[test]
+    fn oneway_degrade_compiles_to_a_directional_cap_and_lifts_at_factor_one() {
+        let tb = testbed();
+        let schedule = FaultSchedule {
+            events: vec![
+                FaultEvent::LinkDegradeOneWay {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 50.0,
+                    factor: 0.1,
+                },
+                FaultEvent::LinkDegradeOneWay {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 150.0,
+                    factor: 1.0,
+                },
+            ],
+        };
+        let compiled = schedule.compile(&tb, 42).unwrap();
+        assert_eq!(compiled.actions.len(), 2);
+        // Only the degrade (factor < 1) is an onset; the factor-1 event is
+        // the restore.
+        assert_eq!(compiled.onsets, vec![50.0]);
+        let r2 = tb.topology.node_by_name("R2").unwrap();
+        match &compiled.actions[0].action {
+            FaultAction::SetLinkOneWay {
+                link,
+                from,
+                capacity_bps,
+            } => {
+                assert_eq!(*link, tb.link_c34_sg1);
+                assert_eq!(*from, r2, "degraded direction leaves the R2 side");
+                assert!((capacity_bps - gridapp::LINK_CAPACITY_BPS * 0.1).abs() < 1.0);
+            }
+            other => panic!("unexpected action: {other:?}"),
+        }
+        match &compiled.actions[1].action {
+            FaultAction::SetLinkOneWay { capacity_bps, .. } => {
+                assert_eq!(*capacity_bps, gridapp::LINK_CAPACITY_BPS);
+            }
+            other => panic!("unexpected action: {other:?}"),
+        }
+        assert!(compiled.actions[0].label.contains("towards R3"));
+        // Unknown endpoints are rejected like every other link event.
+        let bad = FaultSchedule {
+            events: vec![FaultEvent::LinkDegradeOneWay {
+                link: LinkRef::between("R9", "R3"),
+                at_secs: 1.0,
+                factor: 0.5,
+            }],
+        };
+        assert_eq!(
+            bad.compile(&tb, 0),
+            Err(FaultError::UnknownNode("R9".into()))
+        );
+    }
+
+    #[test]
+    fn oneway_degrade_applies_end_to_end_and_hits_one_direction_only() {
+        use gridapp::{GridApp, GridConfig, SERVER_GROUP_1};
+        use simnet::SimTime;
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::LinkDegradeOneWay {
+                // Degrade R3 → R2: replies from Server Group 1 towards the
+                // squeezed clients crawl, while requests travelling R2 → R3
+                // keep the full link.
+                link: LinkRef::between("R3", "R2"),
+                at_secs: 10.0,
+                factor: 0.001,
+            }],
+        };
+        let compiled = schedule.compile(app.testbed(), 42).unwrap();
+        for timed in &compiled.actions {
+            crate::apply_action(&mut app, SimTime::from_secs(timed.at_secs), &timed.action)
+                .unwrap();
+        }
+        // remos (server → client direction) sees the degraded direction.
+        let towards_client = app.remos_get_flow("User3", SERVER_GROUP_1).unwrap();
+        assert!(
+            towards_client < 0.01 * gridapp::LINK_CAPACITY_BPS,
+            "degraded direction: {towards_client}"
+        );
+        // The mutation is in the audit trail.
+        assert_eq!(
+            app.network_mutation_trace().count(simnet::TraceKind::Fault),
+            1
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::config::GridConfig;
 use crate::metrics::Metrics;
 use crate::testbed::Testbed;
 use simnet::{NetError, Network, NodeId, SimDuration, SimRng, SimTime, TransferId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Name of the first server group (S1–S3 behind router R3).
 pub const SERVER_GROUP_1: &str = "ServerGrp1";
@@ -132,6 +132,14 @@ pub struct CompletedRequest {
 }
 
 /// The running client/server grid application.
+///
+/// Event scheduling is index-based so a large-scale testbed (thousands of
+/// clients) does not rescan every client and server per event: client
+/// request due-times and server service-finish times live in ordered sets,
+/// idle servers are indexed per group, and in-flight responses map back to
+/// their transmitting server directly. All indices mirror the authoritative
+/// per-entity state bit-identically — processing order (name order among
+/// simultaneously due entities) is unchanged.
 pub struct GridApp {
     config: GridConfig,
     testbed: Testbed,
@@ -145,6 +153,21 @@ pub struct GridApp {
     metrics: Metrics,
     completions: Vec<CompletedRequest>,
     rng: HashMap<String, SimRng>,
+    /// Client names by dense index (build order) and the reverse map.
+    client_seq: Vec<String>,
+    client_idx: HashMap<String, u32>,
+    /// `(next_request_at, client)` for every client with a positive rate.
+    request_due: BTreeSet<(SimTime, u32)>,
+    /// Server names by dense index (build order) and the reverse map.
+    server_seq: Vec<String>,
+    server_idx: HashMap<String, u32>,
+    /// `(service-finish, server)` mirroring every `ServerState::busy`.
+    service_due: BTreeSet<(SimTime, u32)>,
+    /// Transmitting server of each in-flight response, by request id.
+    sending_index: HashMap<u64, String>,
+    /// Per group, the name-ordered set of servers currently able to pull
+    /// work (assigned + active + up + neither busy nor sending).
+    idle: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl GridApp {
@@ -211,6 +234,32 @@ impl GridApp {
         groups.insert(SERVER_GROUP_1.to_string(), GroupState::default());
         groups.insert(SERVER_GROUP_2.to_string(), GroupState::default());
 
+        let client_seq: Vec<String> = clients.keys().cloned().collect();
+        let client_idx: HashMap<String, u32> = client_seq
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i as u32))
+            .collect();
+        let request_due: BTreeSet<(SimTime, u32)> = clients
+            .iter()
+            .filter(|(_, c)| c.rate_per_sec > 0.0)
+            .map(|(name, c)| (c.next_request_at, client_idx[name]))
+            .collect();
+        let server_seq: Vec<String> = servers.keys().cloned().collect();
+        let server_idx: HashMap<String, u32> = server_seq
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.clone(), i as u32))
+            .collect();
+        let mut idle: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (name, s) in &servers {
+            if let Some(group) = &s.group {
+                if s.active && s.up {
+                    idle.entry(group.clone()).or_default().insert(name.clone());
+                }
+            }
+        }
+
         Ok(GridApp {
             config,
             testbed,
@@ -224,7 +273,43 @@ impl GridApp {
             metrics: Metrics::new(),
             completions: Vec::new(),
             rng,
+            client_seq,
+            client_idx,
+            request_due,
+            server_seq,
+            server_idx,
+            service_due: BTreeSet::new(),
+            sending_index: HashMap::new(),
+            idle,
         })
+    }
+
+    /// Re-derives a server's membership in its group's idle set from its
+    /// authoritative state. Must be called after any change to a server's
+    /// `active`/`up`/`busy`/`sending` flags (group changes additionally
+    /// remove the server from the old group's set first).
+    fn refresh_idle(&mut self, server: &str) {
+        let Some(state) = self.servers.get(server) else {
+            return;
+        };
+        let Some(group) = state.group.clone() else {
+            return;
+        };
+        let eligible = state.active && state.up && state.busy.is_none() && state.sending.is_none();
+        let set = self.idle.entry(group).or_default();
+        if eligible {
+            set.insert(server.to_string());
+        } else {
+            set.remove(server);
+        }
+    }
+
+    /// Removes a server from a group's idle set (used before its group
+    /// assignment changes).
+    fn idle_remove(&mut self, group: &str, server: &str) {
+        if let Some(set) = self.idle.get_mut(group) {
+            set.remove(server);
+        }
     }
 
     /// The configuration the application was built with.
@@ -344,6 +429,13 @@ impl GridApp {
             client.rate_per_sec = rate_per_sec.max(0.0);
             client.response_bytes = response_bytes.max(1.0);
         }
+        // The due index only tracks clients with a positive rate.
+        self.request_due = self
+            .clients
+            .iter()
+            .filter(|(_, c)| c.rate_per_sec > 0.0)
+            .map(|(name, c)| (c.next_request_at, self.client_idx[name]))
+            .collect();
     }
 
     /// Sets the competing background load (bits/second) on the R2–R3 link
@@ -380,6 +472,24 @@ impl GridApp {
         Ok(())
     }
 
+    /// Imposes (or lifts) a one-way capacity cap on a topology link — the
+    /// fault-injection hook for asymmetric (grey) link failures: traffic
+    /// leaving `from` over the link is capped at `capacity_bps` while the
+    /// opposite direction keeps the link's full capacity. A cap at or above
+    /// the link's nominal capacity lifts the degrade.
+    pub fn set_link_oneway(
+        &mut self,
+        now: SimTime,
+        link: simnet::LinkId,
+        from: NodeId,
+        capacity_bps: f64,
+    ) -> Result<(), AppError> {
+        self.advance(now);
+        self.network
+            .set_link_oneway(now, link, from, capacity_bps)?;
+        Ok(())
+    }
+
     /// Marks a topology node down (or back up) — the fault-injection hook
     /// for machine and router outages. Links adjacent to a down node carry
     /// no traffic until the node returns.
@@ -407,16 +517,21 @@ impl GridApp {
                 .get_mut(server)
                 .ok_or_else(|| AppError::UnknownServer(server.into()))?;
             state.up = false;
-            let busy = state.busy.take().map(|(req, _)| req);
+            let busy = state.busy.take();
             let sending = state.sending.take();
             (busy, sending)
         };
+        if let Some((_, finish)) = busy {
+            self.service_due.remove(&(finish, self.server_idx[server]));
+        }
+        self.refresh_idle(server);
         // The request in service is lost with the process.
-        if let Some(req) = busy {
+        if let Some((req, _)) = busy {
             self.requests.remove(&req);
         }
         // The reply in flight is torn down; the requester never hears back.
         if let Some(req) = sending {
+            self.sending_index.remove(&req);
             if let Some(request) = self.requests.remove(&req) {
                 if let RequestPhase::ResponseInFlight(transfer) = request.phase {
                     let _ = self.network.cancel_transfer(now, transfer);
@@ -444,6 +559,7 @@ impl GridApp {
                 None
             }
         };
+        self.refresh_idle(server);
         if let Some(group) = group {
             self.dispatch_group(&group, now);
         }
@@ -510,11 +626,18 @@ impl GridApp {
         if !self.groups.contains_key(group) {
             self.create_req_queue(group);
         }
-        let state = self
+        let old_group = self
             .servers
             .get_mut(server)
-            .ok_or_else(|| AppError::UnknownServer(server.into()))?;
-        state.group = Some(group.to_string());
+            .ok_or_else(|| AppError::UnknownServer(server.into()))?
+            .group
+            .replace(group.to_string());
+        if let Some(old) = old_group {
+            if old != group {
+                self.idle_remove(&old, server);
+            }
+        }
+        self.refresh_idle(server);
         Ok(())
     }
 
@@ -533,6 +656,7 @@ impl GridApp {
             state.active = true;
             state.group.clone().expect("checked above")
         };
+        self.refresh_idle(server);
         let now = self.now;
         self.dispatch_group(&group, now);
         Ok(())
@@ -546,22 +670,28 @@ impl GridApp {
             .get_mut(server)
             .ok_or_else(|| AppError::UnknownServer(server.into()))?;
         state.active = false;
+        self.refresh_idle(server);
         Ok(())
     }
 
     /// Disconnects a deactivated server from its queue, returning it to the
     /// spare pool.
     pub fn disconnect_server(&mut self, server: &str) -> Result<(), AppError> {
-        let state = self
-            .servers
-            .get_mut(server)
-            .ok_or_else(|| AppError::UnknownServer(server.into()))?;
-        if state.active {
-            return Err(AppError::Invalid(format!(
-                "server {server} must be deactivated before it is disconnected"
-            )));
+        let old_group = {
+            let state = self
+                .servers
+                .get_mut(server)
+                .ok_or_else(|| AppError::UnknownServer(server.into()))?;
+            if state.active {
+                return Err(AppError::Invalid(format!(
+                    "server {server} must be deactivated before it is disconnected"
+                )));
+            }
+            state.group.take()
+        };
+        if let Some(group) = old_group {
+            self.idle_remove(&group, server);
         }
-        state.group = None;
         Ok(())
     }
 
@@ -610,6 +740,9 @@ impl GridApp {
     /// The earliest future time at which something happens inside the
     /// application (a client issuing a request, a transfer completing, a
     /// server finishing service).
+    ///
+    /// Answered from the due-time indices in `O(log n)` instead of scanning
+    /// every client and server.
     pub fn next_event_time(&self) -> Option<SimTime> {
         let mut next: Option<SimTime> = None;
         let mut consider = |t: SimTime| {
@@ -618,15 +751,11 @@ impl GridApp {
                 Some(existing) => existing.min(t),
             });
         };
-        for client in self.clients.values() {
-            if client.rate_per_sec > 0.0 {
-                consider(client.next_request_at);
-            }
+        if let Some(&(t, _)) = self.request_due.first() {
+            consider(t);
         }
-        for server in self.servers.values() {
-            if let Some((_, finish)) = server.busy {
-                consider(finish);
-            }
+        if let Some(&(t, _)) = self.service_due.first() {
+            consider(t);
         }
         if let Some(t) = self.network.next_event_time(self.now) {
             consider(t);
@@ -655,13 +784,14 @@ impl GridApp {
     fn process_due(&mut self, t: SimTime) {
         self.now = self.now.max(t);
 
-        // 1. Clients whose next request is due.
-        let due_clients: Vec<String> = self
-            .clients
-            .iter()
-            .filter(|(_, c)| c.rate_per_sec > 0.0 && c.next_request_at <= t)
-            .map(|(name, _)| name.clone())
+        // 1. Clients whose next request is due (name order among ties,
+        // matching the previous full scan of the name-ordered map).
+        let mut due_clients: Vec<String> = self
+            .request_due
+            .range(..=(t, u32::MAX))
+            .map(|&(_, idx)| self.client_seq[idx as usize].clone())
             .collect();
+        due_clients.sort();
         for client in due_clients {
             self.issue_request(&client, t);
         }
@@ -672,16 +802,17 @@ impl GridApp {
             self.handle_transfer_complete(done.tag, done.delivered);
         }
 
-        // 3. Servers whose service completes.
-        let finished: Vec<(String, u64, SimTime)> = self
-            .servers
-            .iter()
-            .filter_map(|(name, s)| {
-                s.busy
-                    .filter(|(_, finish)| *finish <= t)
-                    .map(|(req, finish)| (name.clone(), req, finish))
+        // 3. Servers whose service completes (again in name order).
+        let mut finished: Vec<(String, u64, SimTime)> = self
+            .service_due
+            .range(..=(t, u32::MAX))
+            .map(|&(finish, idx)| {
+                let name = self.server_seq[idx as usize].clone();
+                let (req, _) = self.servers[&name].busy.expect("index mirrors busy");
+                (name, req, finish)
             })
             .collect();
+        finished.sort();
         for (server, request, finish) in finished {
             self.finish_service(&server, request, finish);
         }
@@ -690,7 +821,8 @@ impl GridApp {
     fn issue_request(&mut self, client_name: &str, t: SimTime) {
         let config_request_bytes = self.config.request_bytes;
         let jitter = self.config.response_size_jitter;
-        let (host, group, response_bytes, interval) = {
+        let client_idx = self.client_idx[client_name];
+        let (host, group, response_bytes, old_due, new_due, rate_positive) = {
             let rng = self.rng.get_mut(client_name).expect("client rng exists");
             let client = self.clients.get_mut(client_name).expect("client exists");
             let response_bytes = if jitter > 0.0 {
@@ -704,10 +836,21 @@ impl GridApp {
             };
             let interval = rng.exponential(client.rate_per_sec.max(1e-9));
             client.issued += 1;
+            let old_due = client.next_request_at;
             client.next_request_at = t + SimDuration::from_secs(interval);
-            (client.host, client.group.clone(), response_bytes, interval)
+            (
+                client.host,
+                client.group.clone(),
+                response_bytes,
+                old_due,
+                client.next_request_at,
+                client.rate_per_sec > 0.0,
+            )
         };
-        let _ = interval;
+        self.request_due.remove(&(old_due, client_idx));
+        if rate_positive {
+            self.request_due.insert((new_due, client_idx));
+        }
         let id = self.next_request_id;
         self.next_request_id += 1;
         let transfer = self
@@ -762,16 +905,18 @@ impl GridApp {
                 }
                 // The reply has been delivered: the transmitting server is
                 // free again and can pull the next queued request.
-                let freed: Option<(String, Option<String>)> = self
-                    .servers
-                    .iter_mut()
-                    .find(|(_, s)| s.sending == Some(request_id))
-                    .map(|(name, s)| {
+                let freed: Option<(String, Option<String>)> =
+                    self.sending_index.remove(&request_id).map(|name| {
+                        let s = self.servers.get_mut(&name).expect("indexed server exists");
                         s.sending = None;
-                        (name.clone(), s.group.clone())
+                        let group = s.group.clone();
+                        (name, group)
                     });
-                if let Some((_, Some(group))) = freed {
-                    self.dispatch_group(&group, delivered);
+                if let Some((name, group)) = freed {
+                    self.refresh_idle(&name);
+                    if let Some(group) = group {
+                        self.dispatch_group(&group, delivered);
+                    }
                 }
                 self.metrics
                     .record_latency(delivered.as_secs(), &request.client, latency);
@@ -796,18 +941,9 @@ impl GridApp {
             if group_state.queue.is_empty() {
                 return;
             }
-            // Find an idle, active server assigned to this group.
-            let Some(server_name) = self
-                .servers
-                .iter()
-                .find(|(_, s)| {
-                    s.active
-                        && s.up
-                        && s.busy.is_none()
-                        && s.sending.is_none()
-                        && s.group.as_deref() == Some(group)
-                })
-                .map(|(name, _)| name.clone())
+            // First idle server of the group in name order — the same server
+            // the previous full scan over the name-ordered map selected.
+            let Some(server_name) = self.idle.get(group).and_then(|set| set.first().cloned())
             else {
                 return;
             };
@@ -824,6 +960,9 @@ impl GridApp {
             }
             let server = self.servers.get_mut(&server_name).expect("server exists");
             server.busy = Some((request_id, finish));
+            self.service_due
+                .insert((finish, self.server_idx[&server_name]));
+            self.refresh_idle(&server_name);
         }
     }
 
@@ -837,6 +976,10 @@ impl GridApp {
             server.served += 1;
             server.host
         };
+        self.service_due
+            .remove(&(finish, self.server_idx[server_name]));
+        self.sending_index
+            .insert(request_id, server_name.to_string());
         if let Some(request) = self.requests.get_mut(&request_id) {
             let client_host = self
                 .clients
@@ -859,10 +1002,43 @@ impl GridApp {
 
     // ---- periodic measurement --------------------------------------------------
 
+    /// Takes one shared network snapshot of every client's Remos flow
+    /// prediction against its current server group. The control loop takes
+    /// one snapshot per tick and serves every flow-derived probe (bandwidth,
+    /// reachability, monitoring-delay estimation, figure metrics) from it,
+    /// instead of re-running the max-min query once per consumer. Values are
+    /// memoised per `(client machine, group)` pair — clients sharing a
+    /// machine and a group see the same prediction by definition.
+    pub fn flow_snapshot(&self) -> FlowSnapshot {
+        let mut memo: HashMap<(NodeId, String), Option<f64>> = HashMap::new();
+        let mut entries = Vec::with_capacity(self.clients.len());
+        for (name, client) in &self.clients {
+            let key = (client.host, client.group.clone());
+            let flow = match memo.get(&key) {
+                Some(&cached) => cached,
+                None => {
+                    let value = self.remos_get_flow(name, &client.group).ok();
+                    memo.insert(key, value);
+                    value
+                }
+            };
+            entries.push((name.clone(), client.group.clone(), flow));
+        }
+        FlowSnapshot { entries }
+    }
+
     /// Records the current queue lengths and per-client available bandwidth
     /// into the metrics store. Called periodically by the experiment driver
     /// (the latency series is recorded per completed request instead).
     pub fn sample_metrics(&mut self, now: SimTime) {
+        self.advance(now);
+        let flows = self.flow_snapshot();
+        self.sample_metrics_with_flows(now, &flows);
+    }
+
+    /// [`sample_metrics`](Self::sample_metrics) variant serving the
+    /// bandwidth series from an already-taken [`FlowSnapshot`].
+    pub fn sample_metrics_with_flows(&mut self, now: SimTime, flows: &FlowSnapshot) {
         self.advance(now);
         let t = now.as_secs();
         let groups: Vec<String> = self.groups.keys().cloned().collect();
@@ -870,13 +1046,35 @@ impl GridApp {
             let len = self.queue_length(&group).unwrap_or(0);
             self.metrics.record_queue_length(t, &group, len);
         }
-        let clients: Vec<String> = self.clients.keys().cloned().collect();
-        for client in clients {
-            let group = self.client_group(&client).unwrap_or_default();
-            if let Ok(bw) = self.remos_get_flow(&client, &group) {
-                self.metrics.record_bandwidth(t, &client, bw);
+        for (client, _, flow) in flows.entries() {
+            if let Some(bw) = flow {
+                self.metrics.record_bandwidth(t, client, *bw);
             }
         }
+    }
+}
+
+/// One control tick's shared view of every client's predicted bandwidth:
+/// `(client, current group, Remos flow)` in client-name order, with `None`
+/// where the query failed (e.g. the group has no live server).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSnapshot {
+    entries: Vec<(String, String, Option<f64>)>,
+}
+
+impl FlowSnapshot {
+    /// The snapshot rows, in client-name order.
+    pub fn entries(&self) -> &[(String, String, Option<f64>)] {
+        &self.entries
+    }
+
+    /// The smallest successfully probed flow, if any — what the monitoring
+    /// delay model keys on.
+    pub fn min_flow_bps(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter_map(|(_, _, flow)| *flow)
+            .fold(None, |acc, bw| Some(acc.map_or(bw, |m: f64| m.min(bw))))
     }
 }
 
@@ -923,10 +1121,25 @@ mod tests {
                 !completions.is_empty(),
                 "{preset} serves requests in the first minute"
             );
-            for client in app.client_names() {
+            if spec.clients_per_agg == 0 {
+                // Classic presets run hot enough that every client completes
+                // something in the first minute; the large-scale preset's
+                // low-rate clients individually may not.
+                for client in app.client_names() {
+                    assert!(
+                        completions.iter().any(|c| c.client == client),
+                        "{preset}: {client} completed nothing"
+                    );
+                }
+            } else {
+                // A web-scale minute should still see substantial aggregate
+                // throughput spread over many distinct clients.
+                let distinct: std::collections::BTreeSet<&str> =
+                    completions.iter().map(|c| c.client.as_str()).collect();
                 assert!(
-                    completions.iter().any(|c| c.client == client),
-                    "{preset}: {client} completed nothing"
+                    distinct.len() > spec.num_clients() / 10,
+                    "{preset}: only {} distinct clients completed",
+                    distinct.len()
                 );
             }
         }

@@ -25,12 +25,13 @@ pub mod probes;
 pub mod testbed;
 pub mod workload;
 
-pub use app::{AppError, CompletedRequest, GridApp, SERVER_GROUP_1, SERVER_GROUP_2};
+pub use app::{AppError, CompletedRequest, FlowSnapshot, GridApp, SERVER_GROUP_1, SERVER_GROUP_2};
 pub use config::GridConfig;
 pub use metrics::Metrics;
 pub use probes::{
-    sample_bandwidth_probe, sample_flow_probes, sample_latency_probe, sample_liveness_probe,
-    sample_queue_probe, sample_reachability_probe, sample_server_probe, REACHABILITY_FLOOR_BPS,
+    sample_bandwidth_probe, sample_flow_probes, sample_flow_probes_from, sample_latency_probe,
+    sample_liveness_probe, sample_queue_probe, sample_reachability_probe, sample_server_probe,
+    REACHABILITY_FLOOR_BPS,
 };
 pub use testbed::{Testbed, TestbedSpec, LINK_CAPACITY_BPS, TESTBED_PRESETS};
 pub use workload::{

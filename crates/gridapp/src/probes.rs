@@ -120,14 +120,20 @@ pub fn sample_reachability_probe(app: &GridApp, now: SimTime) -> Vec<ProbeEvent>
 /// query runs once instead of twice (the query is the expensive part of the
 /// control loop's sampling).
 pub fn sample_flow_probes(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
+    sample_flow_probes_from(&app.flow_snapshot(), now)
+}
+
+/// [`sample_flow_probes`] served from an already-taken [`FlowSnapshot`] —
+/// the control loop takes one snapshot per tick and shares it between the
+/// figure metrics, the monitoring-delay model, and these probes.
+pub fn sample_flow_probes_from(
+    snapshot: &crate::app::FlowSnapshot,
+    now: SimTime,
+) -> Vec<ProbeEvent> {
     let mut bandwidth = Vec::new();
     let mut reachability = Vec::new();
-    for client in app.client_names() {
-        let Ok(group) = app.client_group(&client) else {
-            continue;
-        };
-        let flow = app.remos_get_flow(&client, &group).ok();
-        if let Some(bps) = flow {
+    for (client, group, flow) in snapshot.entries() {
+        if let Some(bps) = *flow {
             bandwidth.push(ProbeEvent::new(
                 now.as_secs(),
                 "remos".to_string(),
@@ -142,8 +148,8 @@ pub fn sample_flow_probes(app: &GridApp, now: SimTime) -> Vec<ProbeEvent> {
             now.as_secs(),
             "remos".to_string(),
             Measurement::Reachability {
-                client,
-                group,
+                client: client.clone(),
+                group: group.clone(),
                 reachable: flow.is_some_and(|bps| bps >= REACHABILITY_FLOOR_BPS),
             },
         ));

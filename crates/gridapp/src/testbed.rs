@@ -14,14 +14,16 @@
 //! [`TestbedSpec::congested_core`] are alternative named presets used by the
 //! scenario sweep harness.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use simnet::{LinkId, NodeId, SimDuration, Topology, TopologyError};
 
 /// Capacity of every paper-testbed link (10 Mbps).
 pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
 
-/// Names of the built-in topology presets, in sweep-matrix order.
-pub const TESTBED_PRESETS: [&str; 3] = ["paper", "wide-fanout", "congested-core"];
+/// Names of the built-in topology presets, in scale order — the sweep
+/// harness's scale axis. `large-scale` is the ≥2,000-client deployment with
+/// a multi-tier (aggregation) edge.
+pub const TESTBED_PRESETS: [&str; 4] = ["paper", "wide-fanout", "congested-core", "large-scale"];
 
 /// A declarative description of a testbed topology.
 ///
@@ -32,7 +34,7 @@ pub const TESTBED_PRESETS: [&str; 3] = ["paper", "wide-fanout", "congested-core"
 /// how many clients and servers hang off each router, the capacities of the
 /// core (inter-router) and access (host) link tiers, and a baseline
 /// background-traffic profile applied to every core link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TestbedSpec {
     /// Clients behind router R1 (packed two per machine, like C1/C2).
     pub clients_r1: usize,
@@ -58,7 +60,60 @@ pub struct TestbedSpec {
     /// (clamped to 90% of the core capacity). The workload schedule overrides
     /// this on the two competition links once it starts.
     pub background_bps: f64,
+    /// Clients per aggregation switch. `0` (every classic preset) attaches
+    /// client machines directly to their router, exactly as before; a
+    /// positive value inserts an aggregation tier — client machines hang off
+    /// aggregation routers (`A1`, `A2`, …) that uplink to the classic client
+    /// routers — the multi-tier edge of the `large-scale` preset.
+    pub clients_per_agg: usize,
+    /// Capacity of the aggregation uplinks (bits per second); unused when
+    /// `clients_per_agg` is 0.
+    pub agg_capacity_bps: f64,
 }
+
+impl Serialize for TestbedSpec {
+    // Hand-written so the classic presets (no aggregation tier) serialise
+    // exactly like the pre-aggregation struct: the two new fields appear
+    // only when the tier exists, keeping every existing report and config
+    // dump byte-identical (the vendored serde derive has no
+    // `skip_serializing_if`).
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("clients_r1".to_string(), self.clients_r1.to_content()),
+            ("clients_r2".to_string(), self.clients_r2.to_content()),
+            ("clients_r5".to_string(), self.clients_r5.to_content()),
+            ("sg1_active".to_string(), self.sg1_active.to_content()),
+            ("sg1_spares".to_string(), self.sg1_spares.to_content()),
+            ("sg2_active".to_string(), self.sg2_active.to_content()),
+            ("sg2_spares".to_string(), self.sg2_spares.to_content()),
+            (
+                "core_capacity_bps".to_string(),
+                self.core_capacity_bps.to_content(),
+            ),
+            (
+                "access_capacity_bps".to_string(),
+                self.access_capacity_bps.to_content(),
+            ),
+            (
+                "background_bps".to_string(),
+                self.background_bps.to_content(),
+            ),
+        ];
+        if self.clients_per_agg > 0 {
+            fields.push((
+                "clients_per_agg".to_string(),
+                self.clients_per_agg.to_content(),
+            ));
+            fields.push((
+                "agg_capacity_bps".to_string(),
+                self.agg_capacity_bps.to_content(),
+            ));
+        }
+        Content::Map(fields)
+    }
+}
+
+impl Deserialize for TestbedSpec {}
 
 impl Default for TestbedSpec {
     fn default() -> Self {
@@ -81,6 +136,8 @@ impl TestbedSpec {
             core_capacity_bps: LINK_CAPACITY_BPS,
             access_capacity_bps: LINK_CAPACITY_BPS,
             background_bps: 0.0,
+            clients_per_agg: 0,
+            agg_capacity_bps: 0.0,
         }
     }
 
@@ -95,9 +152,30 @@ impl TestbedSpec {
             sg1_spares: 2,
             sg2_active: 3,
             sg2_spares: 1,
-            core_capacity_bps: LINK_CAPACITY_BPS,
+            ..Self::paper()
+        }
+    }
+
+    /// The production-scale deployment: 2,000 clients packed two per machine
+    /// behind a multi-tier edge (32 clients per aggregation switch uplinked
+    /// at 50 Mbps into the classic client routers), a 200 Mbps core, and
+    /// 48+8 / 32+6 server groups. Per-client request rates come down
+    /// accordingly (see [`GridConfig::with_testbed`](crate::GridConfig::with_testbed)):
+    /// web-scale systems serve many low-rate users, not six frantic ones.
+    pub fn large_scale() -> Self {
+        TestbedSpec {
+            clients_r1: 800,
+            clients_r2: 400,
+            clients_r5: 800,
+            sg1_active: 48,
+            sg1_spares: 8,
+            sg2_active: 32,
+            sg2_spares: 6,
+            core_capacity_bps: 200.0e6,
             access_capacity_bps: LINK_CAPACITY_BPS,
             background_bps: 0.0,
+            clients_per_agg: 32,
+            agg_capacity_bps: 50.0e6,
         }
     }
 
@@ -117,6 +195,7 @@ impl TestbedSpec {
             "paper" => Some(Self::paper()),
             "wide-fanout" => Some(Self::wide_fanout()),
             "congested-core" => Some(Self::congested_core()),
+            "large-scale" => Some(Self::large_scale()),
             _ => None,
         }
     }
@@ -164,6 +243,12 @@ impl TestbedSpec {
             core_capacity_bps: self.core_capacity_bps.max(1.0e3),
             access_capacity_bps: self.access_capacity_bps.max(1.0e3),
             background_bps: self.background_bps.max(0.0),
+            clients_per_agg: self.clients_per_agg,
+            agg_capacity_bps: if self.clients_per_agg > 0 {
+                self.agg_capacity_bps.max(1.0e3)
+            } else {
+                self.agg_capacity_bps
+            },
         }
     }
 }
@@ -243,28 +328,49 @@ impl Testbed {
 
         // Client machines. R1 and R5 clients share machines two at a time
         // (like C1/C2 and C5/C6); R2 clients get one machine each (like C3
-        // and C4).
+        // and C4). With an aggregation tier, machines hang off aggregation
+        // routers (A1, A2, …) that uplink into the classic client routers.
         let mut client_hosts: Vec<(String, NodeId)> = Vec::new();
         let mut next_client = 1usize;
+        let mut next_agg = 1usize;
         let mut add_client_hosts = |topo: &mut Topology,
                                     client_hosts: &mut Vec<(String, NodeId)>,
                                     router: NodeId,
                                     count: usize,
                                     per_host: usize|
          -> Result<(), TopologyError> {
+            let mut add_hosts_under = |topo: &mut Topology,
+                                       client_hosts: &mut Vec<(String, NodeId)>,
+                                       attach: NodeId,
+                                       count: usize|
+             -> Result<(), TopologyError> {
+                let mut remaining = count;
+                while remaining > 0 {
+                    let on_this_host = remaining.min(per_host);
+                    let names: Vec<String> = (0..on_this_host)
+                        .map(|k| format!("C{}", next_client + k))
+                        .collect();
+                    let host = topo.add_host(&names.join(","))?;
+                    topo.add_link(host, attach, access, access_latency)?;
+                    for name in names {
+                        client_hosts.push((name, host));
+                    }
+                    next_client += on_this_host;
+                    remaining -= on_this_host;
+                }
+                Ok(())
+            };
+            if spec.clients_per_agg == 0 {
+                return add_hosts_under(topo, client_hosts, router, count);
+            }
             let mut remaining = count;
             while remaining > 0 {
-                let on_this_host = remaining.min(per_host);
-                let names: Vec<String> = (0..on_this_host)
-                    .map(|k| format!("C{}", next_client + k))
-                    .collect();
-                let host = topo.add_host(&names.join(","))?;
-                topo.add_link(host, router, access, access_latency)?;
-                for name in names {
-                    client_hosts.push((name, host));
-                }
-                next_client += on_this_host;
-                remaining -= on_this_host;
+                let in_agg = remaining.min(spec.clients_per_agg);
+                let agg = topo.add_router(&format!("A{next_agg}"))?;
+                next_agg += 1;
+                topo.add_link(agg, router, spec.agg_capacity_bps, router_latency)?;
+                add_hosts_under(topo, client_hosts, agg, in_agg)?;
+                remaining -= in_agg;
             }
             Ok(())
         };
@@ -511,6 +617,8 @@ mod tests {
             core_capacity_bps: -1.0,
             access_capacity_bps: 0.0,
             background_bps: -5.0,
+            clients_per_agg: 0,
+            agg_capacity_bps: 0.0,
         };
         let tb = Testbed::from_spec(&spec).unwrap();
         assert_eq!(tb.num_clients(), 3);

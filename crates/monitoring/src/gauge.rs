@@ -10,10 +10,16 @@
 
 use crate::probe::{Measurement, ProbeEvent};
 use crate::window::SlidingWindow;
+use archmodel::Key;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A higher-level reading reported on the gauge bus, destined for a property
 /// of the architectural model.
+///
+/// Target and property names are interned [`Key`]s: gauges intern them once
+/// at construction, so the thousands of readings a control tick produces are
+/// built and applied without any string hashing or cloning.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaugeReading {
     /// Simulated time of the report (seconds).
@@ -22,9 +28,9 @@ pub struct GaugeReading {
     pub gauge: String,
     /// The model element the reading applies to (component, connector, or
     /// role name).
-    pub target: String,
+    pub target: Key,
     /// The property to update, e.g. `"averageLatency"`.
-    pub property: String,
+    pub property: Key,
     /// The reported value.
     pub value: f64,
 }
@@ -40,8 +46,12 @@ impl GaugeReading {
 pub trait Gauge {
     /// The gauge's unique name.
     fn name(&self) -> &str;
-    /// The probe-bus topic prefix this gauge is interested in.
-    fn interest(&self) -> String;
+    /// The probe-bus topic prefix this gauge is interested in. Must be
+    /// stable for the gauge's lifetime (the manager indexes it) and should
+    /// end on a topic-segment boundary (a full topic or a `/`-terminated
+    /// prefix) for the indexed dispatch to see it — every built-in gauge
+    /// uses a full topic.
+    fn interest(&self) -> &str;
     /// Feeds one probe event to the gauge.
     fn consume(&mut self, event: &ProbeEvent);
     /// Produces the gauge's current readings at time `now`.
@@ -52,7 +62,10 @@ pub trait Gauge {
 /// client's `averageLatency` property.
 pub struct AverageLatencyGauge {
     name: String,
+    interest: String,
     client: String,
+    target: Key,
+    property: Key,
     window: SlidingWindow,
 }
 
@@ -62,6 +75,9 @@ impl AverageLatencyGauge {
         let client = client.into();
         AverageLatencyGauge {
             name: format!("latency-gauge/{client}"),
+            interest: format!("probe/latency/{client}"),
+            target: Key::new(&client),
+            property: Key::new("averageLatency"),
             client,
             window: SlidingWindow::new(window_secs),
         }
@@ -73,8 +89,8 @@ impl Gauge for AverageLatencyGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/latency/{}", self.client)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -91,8 +107,8 @@ impl Gauge for AverageLatencyGauge {
             Some(mean) => vec![GaugeReading {
                 time: now,
                 gauge: self.name.clone(),
-                target: self.client.clone(),
-                property: "averageLatency".to_string(),
+                target: self.target,
+                property: self.property,
                 value: mean,
             }],
             None => Vec::new(),
@@ -103,7 +119,10 @@ impl Gauge for AverageLatencyGauge {
 /// Reports a server group's most recent queue length as its `load` property.
 pub struct LoadGauge {
     name: String,
+    interest: String,
     group: String,
+    target: Key,
+    property: Key,
     last: Option<f64>,
 }
 
@@ -113,6 +132,9 @@ impl LoadGauge {
         let group = group.into();
         LoadGauge {
             name: format!("load-gauge/{group}"),
+            interest: format!("probe/load/{group}"),
+            target: Key::new(&group),
+            property: Key::new("load"),
             group,
             last: None,
         }
@@ -124,8 +146,8 @@ impl Gauge for LoadGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/load/{}", self.group)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -141,8 +163,8 @@ impl Gauge for LoadGauge {
             Some(value) => vec![GaugeReading {
                 time: now,
                 gauge: self.name.clone(),
-                target: self.group.clone(),
-                property: "load".to_string(),
+                target: self.target,
+                property: self.property,
                 value,
             }],
             None => Vec::new(),
@@ -154,9 +176,11 @@ impl Gauge for LoadGauge {
 /// `bandwidth` property of the client's role.
 pub struct BandwidthGauge {
     name: String,
+    interest: String,
     client: String,
     group: String,
-    target: String,
+    target: Key,
+    property: Key,
     last: Option<f64>,
 }
 
@@ -172,9 +196,11 @@ impl BandwidthGauge {
         let group = group.into();
         BandwidthGauge {
             name: format!("bandwidth-gauge/{client}/{group}"),
+            interest: format!("probe/bandwidth/{client}/{group}"),
+            target: Key::new(&target.into()),
+            property: Key::new("bandwidth"),
             client,
             group,
-            target: target.into(),
             last: None,
         }
     }
@@ -195,8 +221,8 @@ impl Gauge for BandwidthGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/bandwidth/{}/{}", self.client, self.group)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -212,8 +238,8 @@ impl Gauge for BandwidthGauge {
             Some(value) => vec![GaugeReading {
                 time: now,
                 gauge: self.name.clone(),
-                target: self.target.clone(),
-                property: "bandwidth".to_string(),
+                target: self.target,
+                property: self.property,
                 value,
             }],
             None => Vec::new(),
@@ -227,8 +253,10 @@ impl Gauge for BandwidthGauge {
 /// same way client moves churn bandwidth gauges.
 pub struct ServerHealthGauge {
     name: String,
+    interest: String,
     server: String,
-    target: String,
+    target: Key,
+    property: Key,
     last: Option<f64>,
 }
 
@@ -240,8 +268,10 @@ impl ServerHealthGauge {
         let target = target.into();
         ServerHealthGauge {
             name: format!("server-gauge/{target}"),
+            interest: format!("probe/liveness/server/{server}"),
+            target: Key::new(&target),
+            property: Key::new("isAlive"),
             server,
-            target,
             last: None,
         }
     }
@@ -257,8 +287,8 @@ impl Gauge for ServerHealthGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/liveness/server/{}", self.server)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -274,8 +304,8 @@ impl Gauge for ServerHealthGauge {
             Some(value) => vec![GaugeReading {
                 time: now,
                 gauge: self.name.clone(),
-                target: self.target.clone(),
-                property: "isAlive".to_string(),
+                target: self.target,
+                property: self.property,
                 value,
             }],
             None => Vec::new(),
@@ -288,7 +318,11 @@ impl Gauge for ServerHealthGauge {
 /// invariant checks after a fault.
 pub struct GroupLivenessGauge {
     name: String,
+    interest: String,
     group: String,
+    target: Key,
+    live_property: Key,
+    dead_property: Key,
     last: Option<(f64, f64)>,
 }
 
@@ -298,6 +332,10 @@ impl GroupLivenessGauge {
         let group = group.into();
         GroupLivenessGauge {
             name: format!("liveness-gauge/{group}"),
+            interest: format!("probe/liveness/group/{group}"),
+            target: Key::new(&group),
+            live_property: Key::new("liveServers"),
+            dead_property: Key::new("deadServers"),
             group,
             last: None,
         }
@@ -309,8 +347,8 @@ impl Gauge for GroupLivenessGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/liveness/group/{}", self.group)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -327,15 +365,15 @@ impl Gauge for GroupLivenessGauge {
                 GaugeReading {
                     time: now,
                     gauge: self.name.clone(),
-                    target: self.group.clone(),
-                    property: "liveServers".to_string(),
+                    target: self.target,
+                    property: self.live_property,
                     value: live,
                 },
                 GaugeReading {
                     time: now,
                     gauge: self.name.clone(),
-                    target: self.group.clone(),
-                    property: "deadServers".to_string(),
+                    target: self.target,
+                    property: self.dead_property,
                     value: dead,
                 },
             ],
@@ -348,8 +386,10 @@ impl Gauge for GroupLivenessGauge {
 /// `reachable` property of the client's role (0 or 1).
 pub struct ReachabilityGauge {
     name: String,
+    interest: String,
     client: String,
-    target: String,
+    target: Key,
+    property: Key,
     last: Option<f64>,
 }
 
@@ -360,8 +400,10 @@ impl ReachabilityGauge {
         let client = client.into();
         ReachabilityGauge {
             name: format!("reachability-gauge/{client}"),
+            interest: format!("probe/reachable/{client}"),
+            target: Key::new(&target.into()),
+            property: Key::new("reachable"),
             client,
-            target: target.into(),
             last: None,
         }
     }
@@ -372,8 +414,8 @@ impl Gauge for ReachabilityGauge {
         &self.name
     }
 
-    fn interest(&self) -> String {
-        format!("probe/reachable/{}", self.client)
+    fn interest(&self) -> &str {
+        &self.interest
     }
 
     fn consume(&mut self, event: &ProbeEvent) {
@@ -392,8 +434,8 @@ impl Gauge for ReachabilityGauge {
             Some(value) => vec![GaugeReading {
                 time: now,
                 gauge: self.name.clone(),
-                target: self.target.clone(),
-                property: "reachable".to_string(),
+                target: self.target,
+                property: self.property,
                 value,
             }],
             None => Vec::new(),
@@ -436,6 +478,12 @@ struct ManagedGauge {
 
 /// Manages gauge creation, deletion, dispatch, and reporting, charging the
 /// configured lifecycle costs.
+///
+/// Dispatch is served by an interest index rebuilt lazily after gauge churn:
+/// an incoming topic is looked up under each of its segment-boundary
+/// prefixes (plus the full topic and the empty catch-all), so delivering an
+/// event costs a few hash lookups instead of a string comparison — and a
+/// string allocation — against every deployed gauge.
 pub struct GaugeManager {
     config: GaugeLifecycleConfig,
     gauges: Vec<ManagedGauge>,
@@ -443,6 +491,9 @@ pub struct GaugeManager {
     creations: u64,
     cache_hits: u64,
     deletions: u64,
+    /// interest string → positions in `gauges`; rebuilt when stale.
+    interest_index: HashMap<String, Vec<usize>>,
+    index_stale: bool,
 }
 
 impl GaugeManager {
@@ -455,7 +506,20 @@ impl GaugeManager {
             creations: 0,
             cache_hits: 0,
             deletions: 0,
+            interest_index: HashMap::new(),
+            index_stale: false,
         }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.interest_index.clear();
+        for (idx, managed) in self.gauges.iter().enumerate() {
+            self.interest_index
+                .entry(managed.gauge.interest().to_string())
+                .or_default()
+                .push(idx);
+        }
+        self.index_stale = false;
     }
 
     /// The lifecycle configuration in force.
@@ -483,6 +547,7 @@ impl GaugeManager {
         };
         let active_at = now + delay;
         self.gauges.push(ManagedGauge { gauge, active_at });
+        self.index_stale = true;
         active_at
     }
 
@@ -491,6 +556,7 @@ impl GaugeManager {
     pub fn delete(&mut self, now: f64, name: &str) -> Option<f64> {
         let idx = self.gauges.iter().position(|g| g.gauge.name() == name)?;
         let removed = self.gauges.remove(idx);
+        self.index_stale = true;
         self.deletions += 1;
         if self.config.cache_gauges {
             self.cache.push(removed.gauge);
@@ -522,13 +588,35 @@ impl GaugeManager {
     }
 
     /// Dispatches a probe event to every *active* interested gauge.
+    ///
+    /// Interests are matched through the index under every segment-boundary
+    /// prefix of the topic; an interest ending mid-segment would be missed,
+    /// but every built-in gauge subscribes to a full topic (and all of them
+    /// re-filter by identity in `consume`, so dispatch granularity is a pure
+    /// efficiency concern).
     pub fn dispatch(&mut self, event: &ProbeEvent) {
+        if self.index_stale {
+            self.rebuild_index();
+        }
         let topic = event.topic();
-        for managed in &mut self.gauges {
-            if event.time >= managed.active_at && topic.starts_with(&managed.gauge.interest()) {
-                managed.gauge.consume(event);
+        let notify =
+            |gauges: &mut [ManagedGauge], index: &HashMap<String, Vec<usize>>, prefix: &str| {
+                if let Some(interested) = index.get(prefix) {
+                    for &idx in interested {
+                        let managed = &mut gauges[idx];
+                        if event.time >= managed.active_at {
+                            managed.gauge.consume(event);
+                        }
+                    }
+                }
+            };
+        notify(&mut self.gauges, &self.interest_index, "");
+        for (pos, byte) in topic.bytes().enumerate() {
+            if byte == b'/' {
+                notify(&mut self.gauges, &self.interest_index, &topic[..=pos]);
             }
         }
+        notify(&mut self.gauges, &self.interest_index, &topic);
     }
 
     /// Collects the readings of every active gauge at time `now`.
@@ -564,6 +652,12 @@ impl GaugeManager {
 pub trait GaugeConsumer {
     /// Handles one reading.
     fn consume(&mut self, reading: &GaugeReading);
+}
+
+/// The unit consumer discards readings — used when the caller batches the
+/// readings a pipeline step returns instead of consuming them one by one.
+impl GaugeConsumer for () {
+    fn consume(&mut self, _reading: &GaugeReading) {}
 }
 
 /// A consumer that simply records everything it sees.

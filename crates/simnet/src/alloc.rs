@@ -1,0 +1,455 @@
+//! Persistent, index-based max-min fair allocator.
+//!
+//! [`max_min_fair_rates`](crate::flow::max_min_fair_rates) is the *reference*
+//! implementation: it allocates fresh `HashMap`s on every call and rescans
+//! every link on every progressive-filling iteration. That is fine for a
+//! handful of flows but caps the testbed scale — the simulator re-solves the
+//! allocation on every transfer start/completion and once more per bandwidth
+//! probe.
+//!
+//! [`Allocator`] is the production implementation: flows and links are dense
+//! `u32`/`usize` indices, all working state lives in reusable scratch buffers
+//! (zero allocation once warm), per-link shares are recomputed only when a
+//! freeze actually dirtied the link, and the bottleneck search is a lazy
+//! binary heap instead of a full rescan. The algorithm — progressive filling
+//! with the same registration order, the same `(share, link)` bottleneck
+//! tie-break, the same freeze order, and the same floating-point operation
+//! order — is **bit-identical** to the reference for every input
+//! (property-tested in `tests/alloc_equivalence.rs`).
+//!
+//! Inputs are expressed over abstract *resources* rather than raw links so
+//! that a direction-aware capacity (the one-way degrade fault) can map the
+//! two directions of one physical link onto two resources. When no one-way
+//! state exists, resource `i` *is* link `i` and the inputs match the
+//! reference exactly.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Rate granted to flows that traverse no shared resource (re-exported from
+/// the reference implementation so the two cannot drift).
+pub use crate::flow::LOCAL_RATE_BPS;
+
+/// A dense resource index (a link, or one direction of a link when a one-way
+/// degrade is in force).
+pub type ResourceId = u32;
+
+/// A dense, reusable set of flow demands: per-flow weight plus the resource
+/// indices the flow traverses, stored CSR-style so rebuilding the set each
+/// allocation epoch allocates nothing once warm.
+#[derive(Debug, Default, Clone)]
+pub struct DemandSet {
+    weights: Vec<f64>,
+    path_start: Vec<u32>,
+    paths: Vec<ResourceId>,
+}
+
+impl DemandSet {
+    /// An empty demand set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes every demand, retaining capacity.
+    pub fn clear(&mut self) {
+        self.weights.clear();
+        self.path_start.clear();
+        self.paths.clear();
+    }
+
+    /// Appends a demand. Demands must be pushed in the caller's canonical
+    /// (key-sorted) order — the allocator freezes flows in push order, which
+    /// is what makes results bit-identical to the reference.
+    pub fn push(&mut self, weight: f64, path: &[ResourceId]) {
+        if self.path_start.is_empty() {
+            self.path_start.push(0);
+        }
+        self.weights.push(weight);
+        self.paths.extend_from_slice(path);
+        self.path_start.push(self.paths.len() as u32);
+    }
+
+    /// Number of demands.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when no demands have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    fn path(&self, i: usize) -> &[ResourceId] {
+        &self.paths[self.path_start[i] as usize..self.path_start[i + 1] as usize]
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+}
+
+/// A candidate bottleneck in the lazy heap. Ordered so that
+/// `BinaryHeap::pop` yields the *smallest* `(share, resource)` — the same
+/// bottleneck the reference selects by scanning every link.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    share: f64,
+    resource: ResourceId,
+    stamp: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap pops the minimum (share, resource) first.
+        // Shares are never NaN (weights are clamped positive), so total_cmp
+        // agrees with the reference's partial comparison.
+        other
+            .share
+            .total_cmp(&self.share)
+            .then_with(|| other.resource.cmp(&self.resource))
+    }
+}
+
+/// Persistent max-min fair-share solver over dense resource indices.
+///
+/// All per-solve state is retained between calls, so a warm allocator
+/// performs no heap allocation: the simulator keeps one per network and the
+/// probe path reuses it for every `available_bandwidth` query in an epoch.
+#[derive(Debug, Default)]
+pub struct Allocator {
+    /// Remaining capacity per resource (valid for touched resources only).
+    remaining: Vec<f64>,
+    /// Cached share per resource (valid while the heap stamp matches).
+    share: Vec<f64>,
+    /// Heap-entry invalidation stamps, bumped whenever a share changes.
+    stamp: Vec<u32>,
+    /// Flow indices crossing each resource, in registration (key) order.
+    flows_on: Vec<Vec<u32>>,
+    /// Resources touched by the current solve (their `flows_on` is live).
+    touched: Vec<ResourceId>,
+    /// Per-flow frozen flags for the current solve.
+    frozen: Vec<bool>,
+    /// Resources whose share must be recomputed after a freeze round.
+    dirty: Vec<ResourceId>,
+    dirty_flag: Vec<bool>,
+    /// Snapshot of the flows to freeze in the current round — collected
+    /// before any of them freezes, exactly like the reference (which then
+    /// processes the snapshot without re-checking, so a path listing the
+    /// same link twice subtracts its rate twice).
+    freeze_scratch: Vec<u32>,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl Allocator {
+    /// Creates an empty allocator; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_resources(&mut self, n: usize) {
+        if self.flows_on.len() < n {
+            self.remaining.resize(n, 0.0);
+            self.share.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+            self.flows_on.resize_with(n, Vec::new);
+            self.dirty_flag.resize(n, false);
+        }
+    }
+
+    /// Solves max-min fair rates for `demands` given per-resource
+    /// `capacities` (indexed by [`ResourceId`]; out-of-range resources are
+    /// treated as capacity zero, exactly like absent links in the
+    /// reference). `probe`, when given, is appended as one extra unit-weight
+    /// demand whose rate lands in the last slot of `rates` — the one-shot
+    /// incremental insert behind `available_bandwidth`.
+    ///
+    /// `rates` is cleared and filled with one rate per demand (plus the
+    /// probe, if any), in push order. Results are bit-identical to
+    /// [`max_min_fair_rates`](crate::flow::max_min_fair_rates) over the same
+    /// inputs.
+    pub fn solve(
+        &mut self,
+        capacities: &[f64],
+        demands: &DemandSet,
+        probe: Option<&[ResourceId]>,
+        rates: &mut Vec<f64>,
+    ) {
+        let n_flows = demands.len() + usize::from(probe.is_some());
+        rates.clear();
+        rates.resize(n_flows, 0.0);
+        self.frozen.clear();
+        self.frozen.resize(n_flows, false);
+        // Retire the previous solve's per-resource flow lists.
+        for &r in &self.touched {
+            self.flows_on[r as usize].clear();
+        }
+        self.touched.clear();
+        self.heap.clear();
+
+        let max_resource = demands
+            .paths
+            .iter()
+            .chain(probe.unwrap_or_default())
+            .copied()
+            .max();
+        if let Some(max) = max_resource {
+            self.ensure_resources(max as usize + 1);
+        }
+
+        // Registration, in demand order: local flows freeze immediately at
+        // the local rate; shared flows enlist on each resource they cross
+        // (first touch pins the resource's starting capacity, floored at the
+        // same tiny positive value as the reference).
+        let path_of = |i: usize| -> &[ResourceId] {
+            match probe {
+                Some(p) if i == demands.len() => p,
+                _ => demands.path(i),
+            }
+        };
+        let weight_of = |i: usize| -> f64 {
+            match probe {
+                Some(_) if i == demands.len() => 1.0,
+                _ => demands.weight(i),
+            }
+        };
+        #[allow(clippy::needless_range_loop)] // index is shared across four buffers
+        for i in 0..n_flows {
+            let path = path_of(i);
+            if path.is_empty() {
+                rates[i] = LOCAL_RATE_BPS * weight_of(i).max(1e-9);
+                self.frozen[i] = true;
+                continue;
+            }
+            for &r in path {
+                let ri = r as usize;
+                if self.flows_on[ri].is_empty() {
+                    self.remaining[ri] = capacities.get(ri).copied().unwrap_or(0.0).max(1.0);
+                    self.touched.push(r);
+                }
+                self.flows_on[ri].push(i as u32);
+            }
+        }
+
+        // Initial shares.
+        for idx in 0..self.touched.len() {
+            let r = self.touched[idx];
+            self.refresh_share(r, demands, probe);
+        }
+
+        // Progressive filling: repeatedly freeze every unfrozen flow on the
+        // most constrained resource at that resource's fair share.
+        while let Some(candidate) = self.heap.pop() {
+            let r = candidate.resource as usize;
+            if candidate.stamp != self.stamp[r] {
+                continue; // superseded by a later share refresh
+            }
+            let share = self.share[r];
+            self.freeze_scratch.clear();
+            for &i in &self.flows_on[r] {
+                if !self.frozen[i as usize] {
+                    self.freeze_scratch.push(i);
+                }
+            }
+            let mut k = 0;
+            while k < self.freeze_scratch.len() {
+                let i = self.freeze_scratch[k] as usize;
+                k += 1;
+                let rate = (share * weight_of(i).max(1e-9)).max(1.0);
+                rates[i] = rate;
+                self.frozen[i] = true;
+                for &cr in path_of(i) {
+                    let ci = cr as usize;
+                    self.remaining[ci] = (self.remaining[ci] - rate).max(0.0);
+                    if !self.dirty_flag[ci] {
+                        self.dirty_flag[ci] = true;
+                        self.dirty.push(cr);
+                    }
+                }
+            }
+            // Refresh only the resources the freeze round actually changed;
+            // untouched resources keep their cached (bit-identical) share.
+            for idx in 0..self.dirty.len() {
+                let d = self.dirty[idx];
+                self.dirty_flag[d as usize] = false;
+                self.refresh_share(d, demands, probe);
+            }
+            self.dirty.clear();
+        }
+
+        // Flows never frozen (all their resources void) get the reference's
+        // minimal positive rate.
+        for (rate, frozen) in rates.iter_mut().zip(self.frozen.iter()) {
+            if !frozen {
+                *rate = 1.0;
+            }
+        }
+    }
+
+    /// Recomputes a resource's unfrozen weight (summed in flow registration
+    /// order, matching the reference's float accumulation) and re-arms its
+    /// heap candidate when it can still be a bottleneck.
+    fn refresh_share(&mut self, r: ResourceId, demands: &DemandSet, probe: Option<&[ResourceId]>) {
+        let ri = r as usize;
+        let mut weight = 0.0;
+        for &i in &self.flows_on[ri] {
+            let i = i as usize;
+            if !self.frozen[i] {
+                let w = match probe {
+                    Some(_) if i == demands.len() => 1.0,
+                    _ => demands.weight(i),
+                };
+                weight += w.max(1e-9);
+            }
+        }
+        self.stamp[ri] = self.stamp[ri].wrapping_add(1);
+        if weight > 0.0 {
+            let share = self.remaining[ri].max(0.0) / weight;
+            self.share[ri] = share;
+            self.heap.push(Candidate {
+                share,
+                resource: r,
+                stamp: self.stamp[ri],
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{max_min_fair_rates, FlowDemand, FlowKey};
+    use crate::topology::LinkId;
+    use std::collections::HashMap;
+
+    /// Runs both implementations over the same inputs and asserts
+    /// bit-identical rates.
+    fn assert_matches_reference(capacities: &[f64], demands: &[(f64, Vec<u32>)]) {
+        let cap_map: HashMap<LinkId, f64> = capacities
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (LinkId(i), c))
+            .collect();
+        let reference_demands: Vec<FlowDemand> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, (weight, path))| FlowDemand {
+                key: FlowKey(i as u64),
+                links: path.iter().map(|&r| LinkId(r as usize)).collect(),
+                weight: *weight,
+            })
+            .collect();
+        let expected = max_min_fair_rates(&cap_map, &reference_demands);
+
+        let mut set = DemandSet::new();
+        for (weight, path) in demands {
+            set.push(*weight, path);
+        }
+        let mut allocator = Allocator::new();
+        let mut rates = Vec::new();
+        // Solve twice to cover warm-scratch reuse.
+        allocator.solve(capacities, &set, None, &mut rates);
+        allocator.solve(capacities, &set, None, &mut rates);
+        assert_eq!(rates.len(), demands.len());
+        for (i, rate) in rates.iter().enumerate() {
+            let reference = expected[&FlowKey(i as u64)];
+            assert!(
+                rate.to_bits() == reference.to_bits(),
+                "flow {i}: indexed {rate} != reference {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_classic_cases() {
+        assert_matches_reference(&[10e6], &[(1.0, vec![0]), (1.0, vec![0])]);
+        assert_matches_reference(
+            &[10.0, 4.0],
+            &[(1.0, vec![0]), (1.0, vec![0, 1]), (1.0, vec![1])],
+        );
+        assert_matches_reference(&[9.0], &[(2.0, vec![0]), (1.0, vec![0])]);
+        assert_matches_reference(&[], &[(1.0, vec![])]);
+        assert_matches_reference(&[10.0], &[]);
+        // Unknown resource (beyond the capacity slice) floors at 1 bps.
+        assert_matches_reference(&[], &[(1.0, vec![42])]);
+        // Duplicate resources within one path, zero capacity, tiny weights.
+        assert_matches_reference(&[5.0, 0.0], &[(1.0, vec![0, 0, 1]), (1e-12, vec![1])]);
+    }
+
+    #[test]
+    fn probe_matches_appending_a_unit_demand() {
+        let capacities = [10.0, 4.0, 7.0];
+        let base = [(1.0, vec![0]), (1.5, vec![0, 1]), (1.0, vec![1, 2])];
+        let probe = vec![0u32, 2];
+
+        let mut with_probe: Vec<(f64, Vec<u32>)> = base.to_vec();
+        with_probe.push((1.0, probe.clone()));
+
+        let mut set = DemandSet::new();
+        for (weight, path) in &base {
+            set.push(*weight, path);
+        }
+        let mut allocator = Allocator::new();
+        let mut rates = Vec::new();
+        allocator.solve(&capacities, &set, Some(&probe), &mut rates);
+        assert_eq!(rates.len(), 4);
+
+        let mut full_set = DemandSet::new();
+        for (weight, path) in &with_probe {
+            full_set.push(*weight, path);
+        }
+        let mut full_rates = Vec::new();
+        allocator.solve(&capacities, &full_set, None, &mut full_rates);
+        for (a, b) in rates.iter().zip(full_rates.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn local_probe_gets_local_rate() {
+        let mut allocator = Allocator::new();
+        let mut rates = Vec::new();
+        allocator.solve(&[10.0], &DemandSet::new(), Some(&[]), &mut rates);
+        assert_eq!(rates.len(), 1);
+        assert!((rates[0] - LOCAL_RATE_BPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn dense_random_mesh_matches_reference() {
+        // Deterministic pseudo-random configurations across several sizes.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for links in [1usize, 3, 8, 17] {
+            for flows in [0usize, 1, 5, 23] {
+                let capacities: Vec<f64> = (0..links)
+                    .map(|_| (next() % 10_000) as f64 + 0.25)
+                    .collect();
+                let demands: Vec<(f64, Vec<u32>)> = (0..flows)
+                    .map(|_| {
+                        let hops = (next() % 4) as usize;
+                        let path: Vec<u32> =
+                            (0..hops).map(|_| (next() % links as u64) as u32).collect();
+                        let weight = ((next() % 400) as f64 + 1.0) / 100.0;
+                        (weight, path)
+                    })
+                    .collect();
+                assert_matches_reference(&capacities, &demands);
+            }
+        }
+    }
+}

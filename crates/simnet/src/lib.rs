@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod bandwidth;
 pub mod engine;
 pub mod event;
@@ -30,6 +31,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use alloc::{Allocator, DemandSet, ResourceId};
 pub use bandwidth::{BandwidthEstimate, RemosConfig, RemosOracle};
 pub use engine::{Ctx, Engine, Model};
 pub use event::{EventHandle, EventQueue};
@@ -37,5 +39,5 @@ pub use network::{CompletedTransfer, NetError, Network, TransferId};
 pub use rng::SimRng;
 pub use stats::{quantile_of, StepSchedule, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Link, LinkId, Node, NodeId, NodeKind, Topology, TopologyError};
+pub use topology::{Link, LinkId, Node, NodeId, NodeKind, PathTable, Topology, TopologyError};
 pub use trace::{Trace, TraceEntry, TraceKind};

@@ -8,12 +8,13 @@
 //! [`Network::next_event_time`], which is how transfer completions turn into
 //! discrete events.
 
-use crate::flow::{max_min_fair_rates, FlowDemand, FlowKey};
+use crate::alloc::{Allocator, DemandSet, ResourceId};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{LinkId, NodeId, Topology, TopologyError};
+use crate::topology::{LinkId, NodeId, PathTable, Topology, TopologyError};
 use crate::trace::{Trace, TraceKind};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Identifies a transfer in flight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -26,6 +27,8 @@ pub enum NetError {
     Topology(TopologyError),
     /// The transfer id is unknown (already completed or cancelled).
     UnknownTransfer(TransferId),
+    /// A one-way mutation named a node that is not an endpoint of the link.
+    InvalidDirection(LinkId, NodeId),
 }
 
 impl From<TopologyError> for NetError {
@@ -39,6 +42,9 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Topology(e) => write!(f, "topology error: {e}"),
             NetError::UnknownTransfer(id) => write!(f, "unknown transfer: {:?}", id),
+            NetError::InvalidDirection(link, node) => {
+                write!(f, "node {} is not an endpoint of link {}", node.0, link.0)
+            }
         }
     }
 }
@@ -53,6 +59,9 @@ struct ActiveTransfer {
     size_bits: f64,
     remaining_bits: f64,
     path: Vec<LinkId>,
+    /// The path translated to allocator resources (direction-aware when a
+    /// one-way degrade is in force; plain link indices otherwise).
+    resources: Vec<ResourceId>,
     rate_bps: f64,
     started: SimTime,
     extra_latency: SimDuration,
@@ -92,10 +101,21 @@ impl CompletedTransfer {
 }
 
 /// The fluid-flow network simulation.
+///
+/// Internally the network keeps a persistent [`Allocator`] with dense
+/// index-based state: active transfers live in a `BTreeMap` (id-ordered, so
+/// demand rebuilding needs no sort), shortest paths come from a cached
+/// [`PathTable`], effective link capacities live in a dense vector refreshed
+/// only when a capacity-affecting mutation occurs, and probe queries
+/// ([`available_bandwidth`](Self::available_bandwidth)) run as a one-shot
+/// insert against the cached demand set of the current *allocation epoch* —
+/// the interval between two mutations — with results memoised per
+/// `(src, dst)` pair until the epoch ends. All of this is bit-identical to
+/// the original re-solve-from-scratch behaviour.
 #[derive(Debug)]
 pub struct Network {
     topology: Topology,
-    active: HashMap<TransferId, ActiveTransfer>,
+    active: BTreeMap<TransferId, ActiveTransfer>,
     pending: Vec<PendingDelivery>,
     background: HashMap<(NodeId, NodeId), f64>,
     next_id: u64,
@@ -106,21 +126,64 @@ pub struct Network {
     /// Audit log of fault-injection mutations (capacity changes, node
     /// liveness flips), so fault runs are diffable.
     mutations: Trace,
+    /// One-way degrades in force: link → (degraded-direction origin, cap).
+    oneway: BTreeMap<LinkId, (NodeId, f64)>,
+    /// Number of physical links; resources `0..n_links` are the shared link
+    /// pools, `n_links..2*n_links` the one-way-degraded directions.
+    n_links: usize,
+    /// Construction-time link capacities — the restore threshold for one-way
+    /// degrades (fault mutations overwrite the live `capacity_bps`).
+    nominal_caps: Vec<f64>,
+    /// Dense per-resource effective capacities for the current epoch.
+    caps: Vec<f64>,
+    /// Set by capacity-affecting mutations; consumed by `recompute_rates`.
+    caps_dirty: bool,
+    /// Demands of the current epoch, in transfer-id order.
+    demands: DemandSet,
+    /// Min over active transfers of `(remaining/rate).min(1e12)`, restricted
+    /// to positive-rate transfers — the cached answer `next_event_time`
+    /// previously recomputed by scanning every transfer.
+    drain_min_pos_secs: Option<f64>,
+    paths: RefCell<PathTable>,
+    alloc: RefCell<Allocator>,
+    rates_scratch: RefCell<Vec<f64>>,
+    probe_scratch: RefCell<Vec<ResourceId>>,
+    link_scratch: RefCell<Vec<LinkId>>,
+    /// Per-epoch memo of probe results: identical queries within one epoch
+    /// are pure, so the first answer serves every later caller.
+    probe_memo: RefCell<HashMap<(NodeId, NodeId), f64>>,
 }
 
 impl Network {
     /// Wraps a topology in a network with no active transfers.
     pub fn new(topology: Topology) -> Self {
-        Network {
+        let n_links = topology.link_count();
+        let nominal_caps: Vec<f64> = topology.links().map(|(_, l)| l.capacity_bps).collect();
+        let mut network = Network {
             topology,
-            active: HashMap::new(),
+            active: BTreeMap::new(),
             pending: Vec::new(),
             background: HashMap::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
             down_nodes: BTreeSet::new(),
             mutations: Trace::new(),
-        }
+            oneway: BTreeMap::new(),
+            n_links,
+            nominal_caps,
+            caps: Vec::new(),
+            caps_dirty: false,
+            demands: DemandSet::new(),
+            drain_min_pos_secs: None,
+            paths: RefCell::new(PathTable::new()),
+            alloc: RefCell::new(Allocator::new()),
+            rates_scratch: RefCell::new(Vec::new()),
+            probe_scratch: RefCell::new(Vec::new()),
+            link_scratch: RefCell::new(Vec::new()),
+            probe_memo: RefCell::new(HashMap::new()),
+        };
+        network.refresh_caps();
+        network
     }
 
     /// The underlying topology (read-only; use the dedicated mutators so rate
@@ -144,8 +207,9 @@ impl Network {
         tag: u64,
     ) -> Result<TransferId, NetError> {
         self.advance(now);
-        let path = self.topology.path(src, dst)?;
+        let path = self.paths.borrow_mut().path(&self.topology, src, dst)?;
         let extra_latency = self.topology.path_latency(&path);
+        let resources = self.resources_for(&path, src);
         let id = TransferId(self.next_id);
         self.next_id += 1;
         self.active.insert(
@@ -157,6 +221,7 @@ impl Network {
                 size_bits: size_bytes * 8.0,
                 remaining_bits: (size_bytes * 8.0).max(1.0),
                 path,
+                resources,
                 rate_bps: 0.0,
                 started: now,
                 extra_latency,
@@ -165,6 +230,36 @@ impl Network {
         );
         self.recompute_rates();
         Ok(id)
+    }
+
+    /// Translates a link path into allocator resources. Without one-way
+    /// degrades this is the identity mapping onto link indices; with them,
+    /// links traversed in a degraded direction map onto the link's
+    /// direction-specific resource (`n_links + link`).
+    fn resources_for(&self, path: &[LinkId], src: NodeId) -> Vec<ResourceId> {
+        let mut out = Vec::with_capacity(path.len());
+        self.resources_into(path, src, &mut out);
+        out
+    }
+
+    fn resources_into(&self, path: &[LinkId], src: NodeId, out: &mut Vec<ResourceId>) {
+        if self.oneway.is_empty() {
+            out.extend(path.iter().map(|l| l.0 as ResourceId));
+            return;
+        }
+        let mut cur = src;
+        for &link_id in path {
+            let link = self.topology.link(link_id).expect("paths use valid links");
+            let from = cur;
+            cur = link.other_end(cur).expect("path is connected");
+            let degraded =
+                matches!(self.oneway.get(&link_id), Some(&(origin, _)) if origin == from);
+            out.push(if degraded {
+                (self.n_links + link_id.0) as ResourceId
+            } else {
+                link_id.0 as ResourceId
+            });
+        }
     }
 
     /// Cancels an in-flight transfer. Returns `Ok(true)` if it was still
@@ -195,6 +290,7 @@ impl Network {
             self.background.insert((a, b), bps);
         }
         self.apply_background()?;
+        self.caps_dirty = true;
         self.recompute_rates();
         Ok(())
     }
@@ -210,6 +306,7 @@ impl Network {
     ) -> Result<(), NetError> {
         self.advance(now);
         self.topology.set_background_load(link, bps)?;
+        self.caps_dirty = true;
         self.recompute_rates();
         Ok(())
     }
@@ -233,8 +330,79 @@ impl Network {
             TraceKind::Fault,
             format!("link {} capacity set to {capacity_bps:.0} bps", link.0),
         );
+        self.caps_dirty = true;
         self.recompute_rates();
         Ok(())
+    }
+
+    /// Imposes (or lifts) a *one-way* capacity cap on a link — the
+    /// fault-injection hook behind `LinkDegradeOneWay`, modelling grey
+    /// failures where one direction of a link is degraded while the other
+    /// stays healthy. Traffic traversing the link **from** `from` is capped
+    /// at `capacity_bps`; the opposite direction keeps the link's full
+    /// (shared) capacity. A cap at or above the link's *nominal* capacity —
+    /// its construction-time value, not the current (possibly fault-mutated)
+    /// one, so a grey failure is not silently dropped while the link is also
+    /// cut or degraded symmetrically — lifts the degrade. While a cap is in
+    /// force the two directions are accounted as separate allocator
+    /// resources; symmetric operation (the common case) is bit-identical to
+    /// the shared-pool model.
+    pub fn set_link_oneway(
+        &mut self,
+        now: SimTime,
+        link: LinkId,
+        from: NodeId,
+        capacity_bps: f64,
+    ) -> Result<(), NetError> {
+        self.advance(now);
+        let l = self.topology.link(link)?;
+        if l.a != from && l.b != from {
+            return Err(NetError::InvalidDirection(link, from));
+        }
+        let nominal = self.nominal_caps[link.0];
+        let changed = if capacity_bps >= nominal {
+            self.oneway.remove(&link).is_some()
+        } else {
+            let capped = capacity_bps.max(0.0);
+            self.oneway.insert(link, (from, capped)) != Some((from, capped))
+        };
+        if changed {
+            self.mutations.record(
+                now,
+                TraceKind::Fault,
+                if capacity_bps >= nominal {
+                    format!("link {} one-way cap lifted", link.0)
+                } else {
+                    format!(
+                        "link {} capped to {:.0} bps in the direction leaving node {}",
+                        link.0,
+                        capacity_bps.max(0.0),
+                        from.0
+                    )
+                },
+            );
+            // Resource ids of in-flight transfers depend on the one-way map.
+            let ids: Vec<TransferId> = self.active.keys().copied().collect();
+            for id in ids {
+                let (path, src) = {
+                    let t = &self.active[&id];
+                    (t.path.clone(), t.src)
+                };
+                let resources = self.resources_for(&path, src);
+                if let Some(t) = self.active.get_mut(&id) {
+                    t.resources = resources;
+                }
+            }
+            self.caps_dirty = true;
+            self.recompute_rates();
+        }
+        Ok(())
+    }
+
+    /// The one-way cap in force on a link, if any: the node the degraded
+    /// direction leaves from, and the capped bits/second.
+    pub fn link_oneway(&self, link: LinkId) -> Option<(NodeId, f64)> {
+        self.oneway.get(&link).copied()
     }
 
     /// Marks a node down (or back up) — the fault-injection hook behind
@@ -265,6 +433,7 @@ impl Network {
                     if down { "down" } else { "up" }
                 ),
             );
+            self.caps_dirty = true;
             self.recompute_rates();
         }
         Ok(())
@@ -281,22 +450,28 @@ impl Network {
         &self.mutations
     }
 
-    /// Effective capacity of every link, accounting for background
-    /// competition and for down nodes (links touching a down node are floored
-    /// to the same minimal positive capacity as fully-saturated links, so
-    /// transfers stall rather than divide by zero).
-    fn effective_link_capacities(&self) -> HashMap<LinkId, f64> {
-        self.topology
-            .links()
-            .map(|(id, l)| {
-                let capacity = if self.down_nodes.contains(&l.a) || self.down_nodes.contains(&l.b) {
-                    1.0
-                } else {
-                    l.effective_capacity_bps()
-                };
-                (id, capacity)
-            })
-            .collect()
+    /// Refreshes the dense per-resource effective-capacity vector:
+    /// background competition is subtracted, links touching a down node are
+    /// floored to the same minimal positive capacity as fully-saturated
+    /// links (so transfers stall rather than divide by zero), and one-way
+    /// degraded directions are capped on their dedicated resource. Called
+    /// only when a capacity-affecting mutation occurred — transfer churn
+    /// leaves capacities untouched.
+    fn refresh_caps(&mut self) {
+        self.caps.clear();
+        self.caps.resize(2 * self.n_links, 0.0);
+        for (id, l) in self.topology.links() {
+            let capacity = if self.down_nodes.contains(&l.a) || self.down_nodes.contains(&l.b) {
+                1.0
+            } else {
+                l.effective_capacity_bps()
+            };
+            self.caps[id.0] = capacity;
+            if let Some(&(_, oneway_cap)) = self.oneway.get(&id) {
+                self.caps[self.n_links + id.0] = capacity.min(oneway_cap);
+            }
+        }
+        self.caps_dirty = false;
     }
 
     /// Clears all background competition.
@@ -304,6 +479,7 @@ impl Network {
         self.advance(now);
         self.background.clear();
         self.apply_background()?;
+        self.caps_dirty = true;
         self.recompute_rates();
         Ok(())
     }
@@ -320,9 +496,13 @@ impl Network {
             .collect();
         pairs.sort_by_key(|&((a, b), _)| (a.0, b.0));
         let mut per_link: HashMap<LinkId, f64> = HashMap::new();
+        let mut path = Vec::new();
         for ((a, b), bps) in pairs {
-            let path = self.topology.path(a, b)?;
-            for link in path {
+            path.clear();
+            self.paths
+                .borrow_mut()
+                .path_into(&self.topology, a, b, &mut path)?;
+            for &link in &path {
                 *per_link.entry(link).or_insert(0.0) += bps;
             }
         }
@@ -391,6 +571,7 @@ impl Network {
                     for t in self.active.values_mut() {
                         t.remaining_bits = (t.remaining_bits - t.rate_bps * dt).max(0.0);
                     }
+                    self.refresh_drain_min();
                     current = now;
                     break;
                 }
@@ -399,42 +580,59 @@ impl Network {
         self.last_advance = current;
     }
 
-    /// Active transfers as flow demands, in id order: the allocator's
-    /// remaining-capacity accumulation is float arithmetic, so demand order
-    /// must not depend on HashMap iteration order if runs are to be
-    /// bit-identical.
-    fn active_demands(&self) -> Vec<FlowDemand> {
-        let mut demands: Vec<FlowDemand> = self
-            .active
-            .values()
-            .map(|t| FlowDemand {
-                key: FlowKey(t.id.0),
-                links: t.path.clone(),
-                weight: 1.0,
-            })
-            .collect();
-        demands.sort_by_key(|d| d.key);
-        demands
+    /// Re-solves the allocation for the current epoch: demands are rebuilt
+    /// from the id-ordered transfer map (the same order the reference
+    /// implementation sorted into — float accumulation must not depend on
+    /// iteration order), capacities are refreshed only if a mutation dirtied
+    /// them, and the per-epoch probe memo is invalidated.
+    fn recompute_rates(&mut self) {
+        if self.caps_dirty {
+            self.refresh_caps();
+        }
+        self.probe_memo.get_mut().clear();
+        self.demands.clear();
+        for t in self.active.values() {
+            self.demands.push(1.0, &t.resources);
+        }
+        let rates = self.rates_scratch.get_mut();
+        self.alloc
+            .get_mut()
+            .solve(&self.caps, &self.demands, None, rates);
+        let mut drain_min_pos: Option<f64> = None;
+        for (t, &rate) in self.active.values_mut().zip(rates.iter()) {
+            t.rate_bps = rate;
+            if rate > 0.0 {
+                let secs = (t.remaining_bits / rate).min(1.0e12);
+                drain_min_pos = Some(drain_min_pos.map_or(secs, |m: f64| m.min(secs)));
+            }
+        }
+        self.drain_min_pos_secs = drain_min_pos;
     }
 
-    fn recompute_rates(&mut self) {
-        let capacities = self.effective_link_capacities();
-        let demands = self.active_demands();
-        let rates = max_min_fair_rates(&capacities, &demands);
-        for t in self.active.values_mut() {
-            t.rate_bps = rates.get(&FlowKey(t.id.0)).copied().unwrap_or(1.0);
+    /// Recomputes the cached minimum drain time after remaining volumes
+    /// changed without a rate change (a partial drain).
+    fn refresh_drain_min(&mut self) {
+        let mut drain_min_pos: Option<f64> = None;
+        for t in self.active.values() {
+            if t.rate_bps > 0.0 {
+                let secs = (t.remaining_bits / t.rate_bps).min(1.0e12);
+                drain_min_pos = Some(drain_min_pos.map_or(secs, |m: f64| m.min(secs)));
+            }
         }
+        self.drain_min_pos_secs = drain_min_pos;
     }
 
     /// The earliest future time at which something observable happens: a
     /// transfer finishing its drain or a pending delivery arriving.
+    ///
+    /// The drain component is served from a cache maintained by
+    /// [`recompute_rates`](Self::recompute_rates) instead of scanning every
+    /// active transfer. `min` commutes with the monotone `now + _` mapping,
+    /// so the cached answer is bit-identical to the scan.
     pub fn next_event_time(&self, now: SimTime) -> Option<SimTime> {
         let drain = self
-            .active
-            .values()
-            .filter(|t| t.rate_bps > 0.0)
-            .map(|t| now + SimDuration::from_secs((t.remaining_bits / t.rate_bps).min(1.0e12)))
-            .min();
+            .drain_min_pos_secs
+            .map(|secs| now + SimDuration::from_secs(secs));
         let deliver = self.pending.iter().map(|p| p.deliver_at).min();
         match (drain, deliver) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -459,21 +657,36 @@ impl Network {
     /// Predicted bandwidth (bits/second) a *new* flow between `src` and `dst`
     /// would receive right now — the quantity the paper obtains from Remos'
     /// `remos_get_flow` query.
+    ///
+    /// The query is a one-shot insert against the current allocation epoch:
+    /// the cached demand set and capacity vector are reused as-is and only
+    /// the probe flow is appended, so no per-call rebuilding happens; the
+    /// result is additionally memoised per `(src, dst)` pair until the next
+    /// mutation. Both shortcuts are exact — the answer is bit-identical to a
+    /// full re-solve with the probe included.
     pub fn available_bandwidth(&self, src: NodeId, dst: NodeId) -> Result<f64, NetError> {
-        let path = self.topology.path(src, dst)?;
-        if path.is_empty() {
-            return Ok(crate::flow::LOCAL_RATE_BPS);
+        if let Some(&cached) = self.probe_memo.borrow().get(&(src, dst)) {
+            return Ok(cached);
         }
-        let capacities = self.effective_link_capacities();
-        let probe_key = FlowKey(u64::MAX);
-        let mut demands = self.active_demands();
-        demands.push(FlowDemand {
-            key: probe_key,
-            links: path,
-            weight: 1.0,
-        });
-        let rates = max_min_fair_rates(&capacities, &demands);
-        Ok(rates.get(&probe_key).copied().unwrap_or(1.0))
+        let mut link_scratch = self.link_scratch.borrow_mut();
+        link_scratch.clear();
+        self.paths
+            .borrow_mut()
+            .path_into(&self.topology, src, dst, &mut link_scratch)?;
+        let rate = if link_scratch.is_empty() {
+            crate::flow::LOCAL_RATE_BPS
+        } else {
+            let mut probe = self.probe_scratch.borrow_mut();
+            probe.clear();
+            self.resources_into(&link_scratch, src, &mut probe);
+            let mut rates = self.rates_scratch.borrow_mut();
+            self.alloc
+                .borrow_mut()
+                .solve(&self.caps, &self.demands, Some(&probe), &mut rates);
+            rates.last().copied().unwrap_or(1.0)
+        };
+        self.probe_memo.borrow_mut().insert((src, dst), rate);
+        Ok(rate)
     }
 
     /// The current drain rate of a transfer, if it is still active.
@@ -662,6 +875,76 @@ mod tests {
         net.start_transfer(t(0.0), a, b, 1e6 / 8.0, 1).unwrap();
         assert!(net.poll_completions(t(0.5)).is_empty());
         assert_eq!(net.poll_completions(t(1.1)).len(), 1);
+    }
+
+    #[test]
+    fn oneway_degrade_hits_one_direction_only() {
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        assert!(net.link_oneway(link).is_none());
+        // Degrade the a→r direction to 1 Mbps: a→b flows crawl, b→a flows
+        // keep the full 10 Mbps.
+        net.set_link_oneway(t(0.0), link, a, 1.0e6).unwrap();
+        assert_eq!(net.link_oneway(link), Some((a, 1.0e6)));
+        let forward = net.available_bandwidth(a, b).unwrap();
+        let reverse = net.available_bandwidth(b, a).unwrap();
+        assert!((forward - 1.0e6).abs() < 1.0, "forward={forward}");
+        assert!((reverse - 10.0e6).abs() < 1.0, "reverse={reverse}");
+        // An in-flight forward transfer slows to the cap; 1 Mbit now takes
+        // ~1 s instead of ~0.1 s.
+        net.start_transfer(t(0.0), a, b, 1.0e6 / 8.0, 1).unwrap();
+        assert!(net.poll_completions(t(0.5)).is_empty());
+        assert_eq!(net.poll_completions(t(1.1)).len(), 1);
+        // Restoring (cap at/above nominal) lifts the degrade.
+        net.set_link_oneway(t(2.0), link, a, 10.0e6).unwrap();
+        assert!(net.link_oneway(link).is_none());
+        assert!((net.available_bandwidth(a, b).unwrap() - 10.0e6).abs() < 1.0);
+        // Both mutations were recorded in the audit trail.
+        assert_eq!(net.mutation_trace().count(TraceKind::Fault), 2);
+        // A non-endpoint direction is rejected.
+        assert!(matches!(
+            net.set_link_oneway(t(2.0), link, b, 1.0),
+            Err(NetError::InvalidDirection(_, _))
+        ));
+    }
+
+    #[test]
+    fn oneway_degrade_survives_a_concurrent_symmetric_cut() {
+        // A grey failure applied while the link is also cut must not be
+        // treated as a lift: the restore threshold is the nominal capacity,
+        // not the fault-mutated current one.
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        net.set_link_capacity(t(0.0), link, 0.0).unwrap();
+        net.set_link_oneway(t(1.0), link, a, 3.0e6).unwrap();
+        assert_eq!(net.link_oneway(link), Some((a, 3.0e6)));
+        // Restoring the symmetric cut leaves the grey failure in force.
+        net.set_link_capacity(t(2.0), link, 10.0e6).unwrap();
+        assert!((net.available_bandwidth(a, b).unwrap() - 3.0e6).abs() < 1.0);
+        assert!((net.available_bandwidth(b, a).unwrap() - 10.0e6).abs() < 1.0);
+        // Lifting at nominal clears it.
+        net.set_link_oneway(t(3.0), link, a, 10.0e6).unwrap();
+        assert!(net.link_oneway(link).is_none());
+    }
+
+    #[test]
+    fn oneway_degrade_remaps_in_flight_transfers_and_restores_exactly() {
+        let (mut net, a, b) = two_host_net();
+        let link = net.topology().link_between(a, NodeId(1)).unwrap();
+        // Two opposing transfers share the undirected 10 Mbps pool: 5 Mbps
+        // each. A one-way degrade splits the a–r pool: the degraded
+        // direction is capped at 2 Mbps, and the reverse transfer is then
+        // limited only by the still-shared r–b link (10 Mbps minus nothing —
+        // the capped flow's 2 Mbps leaves it 8 Mbps).
+        net.start_transfer(t(0.0), a, b, 100e6, 1).unwrap();
+        net.start_transfer(t(0.0), b, a, 100e6, 2).unwrap();
+        assert!((net.transfer_rate(TransferId(0)).unwrap() - 5.0e6).abs() < 1.0);
+        net.set_link_oneway(t(0.1), link, a, 2.0e6).unwrap();
+        assert!((net.transfer_rate(TransferId(0)).unwrap() - 2.0e6).abs() < 1.0);
+        assert!((net.transfer_rate(TransferId(1)).unwrap() - 8.0e6).abs() < 1.0);
+        // Lifting the cap returns to the shared pool.
+        net.set_link_oneway(t(0.2), link, a, 10.0e6).unwrap();
+        assert!((net.transfer_rate(TransferId(0)).unwrap() - 5.0e6).abs() < 1.0);
     }
 
     #[test]

@@ -292,6 +292,87 @@ impl Topology {
         Ok(path)
     }
 
+    /// Computes the shortest-path tree rooted at `src` with a binary-heap
+    /// Dijkstra (used by [`PathTable`]). Tie-breaks — lexicographic
+    /// `(latency, hops)` distances, lowest node index first among equal
+    /// distances, first-found predecessor kept — reproduce [`Topology::path`]
+    /// exactly, so cached paths are identical to freshly computed ones.
+    fn shortest_path_tree(&self, src: NodeId) -> SourceTree {
+        #[derive(PartialEq)]
+        struct Entry {
+            latency: f64,
+            hops: usize,
+            node: usize,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // Reversed: BinaryHeap pops the minimum (latency, hops, node).
+                other
+                    .latency
+                    .total_cmp(&self.latency)
+                    .then_with(|| other.hops.cmp(&self.hops))
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+
+        let n = self.nodes.len();
+        let mut dist = vec![(f64::INFINITY, usize::MAX); n];
+        let mut prev: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src.0] = (0.0, 0);
+        heap.push(Entry {
+            latency: 0.0,
+            hops: 0,
+            node: src.0,
+        });
+        while let Some(entry) = heap.pop() {
+            let u = entry.node;
+            if visited[u] {
+                continue; // superseded entry
+            }
+            visited[u] = true;
+            for &(v, link_id) in &self.adjacency[u] {
+                if visited[v.0] {
+                    continue;
+                }
+                let link = &self.links[link_id.0];
+                let cand = (dist[u].0 + link.latency.as_secs(), dist[u].1 + 1);
+                if cand < dist[v.0] {
+                    dist[v.0] = cand;
+                    prev[v.0] = Some((NodeId(u), link_id));
+                    heap.push(Entry {
+                        latency: cand.0,
+                        hops: cand.1,
+                        node: v.0,
+                    });
+                }
+            }
+        }
+        // Compact storage: one u32 pair per node (sentinel = no predecessor),
+        // so a large testbed can afford one tree per transfer source.
+        let mut prev_node = vec![u32::MAX; n];
+        let mut prev_link = vec![u32::MAX; n];
+        for (i, entry) in prev.iter().enumerate() {
+            if let Some((p, l)) = entry {
+                prev_node[i] = p.0 as u32;
+                prev_link[i] = l.0 as u32;
+            }
+        }
+        let reached = dist.iter().map(|d| !d.0.is_infinite()).collect();
+        SourceTree {
+            prev_node,
+            prev_link,
+            reached,
+        }
+    }
+
     /// Total one-way propagation latency along a path.
     pub fn path_latency(&self, path: &[LinkId]) -> SimDuration {
         let secs: f64 = path
@@ -308,6 +389,104 @@ impl Topology {
             .filter_map(|l| self.links.get(l.0))
             .map(|l| l.effective_capacity_bps())
             .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// A shortest-path tree rooted at one source node, stored compactly
+/// (`u32::MAX` marks "no predecessor").
+#[derive(Debug, Clone)]
+struct SourceTree {
+    prev_node: Vec<u32>,
+    prev_link: Vec<u32>,
+    reached: Vec<bool>,
+}
+
+/// A cache of shortest paths over a structurally immutable topology.
+///
+/// [`Topology::path`] runs a full Dijkstra per query — fine for a one-off
+/// lookup, ruinous when every transfer start and every bandwidth probe needs
+/// the same handful of routes. A `PathTable` computes one shortest-path tree
+/// per *source* on first demand and answers every later `(src, dst)` query by
+/// walking predecessor pointers.
+///
+/// Paths depend only on the graph structure and link latencies, neither of
+/// which changes after construction ([`Network`](crate::network::Network)
+/// mutates capacities and background loads only), so the cache never needs
+/// invalidation; callers that do restructure a topology must build a fresh
+/// table. Cached paths are bit-identical to [`Topology::path`] — same
+/// lexicographic `(latency, hops)` metric and the same tie-breaks.
+#[derive(Debug, Default)]
+pub struct PathTable {
+    trees: Vec<Option<SourceTree>>,
+}
+
+impl PathTable {
+    /// An empty table; trees are computed on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tree(&mut self, topology: &Topology, src: NodeId) -> &SourceTree {
+        let n = topology.node_count();
+        if self.trees.len() < n {
+            self.trees.resize(n, None);
+        }
+        let slot = &mut self.trees[src.0];
+        if slot.is_none() {
+            *slot = Some(topology.shortest_path_tree(src));
+        }
+        slot.as_ref().expect("just computed")
+    }
+
+    /// Appends the link sequence of the shortest path from `src` to `dst`
+    /// onto `out` (in traversal order), reusing the cached tree for `src`.
+    /// An empty sequence means `src == dst`.
+    pub fn path_into(
+        &mut self,
+        topology: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), TopologyError> {
+        topology.node(src)?;
+        topology.node(dst)?;
+        if src == dst {
+            return Ok(());
+        }
+        let no_path = || {
+            TopologyError::NoPath(
+                topology.nodes[src.0].name.clone(),
+                topology.nodes[dst.0].name.clone(),
+            )
+        };
+        let tree = self.tree(topology, src);
+        if !tree.reached[dst.0] {
+            return Err(no_path());
+        }
+        let start = out.len();
+        let mut cur = dst;
+        while cur != src {
+            let p = tree.prev_node[cur.0];
+            if p == u32::MAX {
+                return Err(no_path());
+            }
+            out.push(LinkId(tree.prev_link[cur.0] as usize));
+            cur = NodeId(p as usize);
+        }
+        out[start..].reverse();
+        Ok(())
+    }
+
+    /// The shortest path from `src` to `dst` as an owned link sequence.
+    pub fn path(
+        &mut self,
+        topology: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<LinkId>, TopologyError> {
+        let mut out = Vec::new();
+        self.path_into(topology, src, dst, &mut out)?;
+        Ok(out)
     }
 }
 
@@ -400,5 +579,54 @@ mod tests {
         let (t, h1, r1, r2, _h2) = simple_topology();
         assert!(t.link_between(h1, r1).is_some());
         assert!(t.link_between(h1, r2).is_none());
+    }
+
+    #[test]
+    fn path_table_matches_reference_dijkstra_on_all_pairs() {
+        // Includes a topology with genuine latency ties (a 4-cycle of equal
+        // links) so the tie-break paths are exercised, not just unique routes.
+        let mut square = Topology::new();
+        let nodes: Vec<NodeId> = (0..4)
+            .map(|i| square.add_host(&format!("n{i}")).unwrap())
+            .collect();
+        square.add_link(nodes[0], nodes[1], 1e6, ms(1.0)).unwrap();
+        square.add_link(nodes[1], nodes[2], 1e6, ms(1.0)).unwrap();
+        square.add_link(nodes[2], nodes[3], 1e6, ms(1.0)).unwrap();
+        square.add_link(nodes[3], nodes[0], 1e6, ms(1.0)).unwrap();
+        // A diagonal shortcut with the same total latency as the two-hop
+        // route, plus a parallel duplicate link (equal everything).
+        square.add_link(nodes[0], nodes[2], 1e6, ms(2.0)).unwrap();
+        square.add_link(nodes[0], nodes[2], 1e6, ms(2.0)).unwrap();
+
+        let (tied, ..) = simple_topology();
+        for topology in [&square, &tied] {
+            let mut table = PathTable::new();
+            for (a, _) in topology.nodes() {
+                for (b, _) in topology.nodes() {
+                    let reference = topology.path(a, b);
+                    let cached = table.path(topology, a, b);
+                    assert_eq!(reference, cached, "{a:?} -> {b:?}");
+                    // Second query hits the cached tree.
+                    assert_eq!(table.path(topology, a, b), reference);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_table_reports_missing_nodes_and_paths() {
+        let mut t = Topology::new();
+        let a = t.add_host("a").unwrap();
+        let b = t.add_host("b").unwrap();
+        let mut table = PathTable::new();
+        assert!(matches!(
+            table.path(&t, a, NodeId(9)),
+            Err(TopologyError::UnknownNode(9))
+        ));
+        assert!(matches!(
+            table.path(&t, a, b),
+            Err(TopologyError::NoPath(_, _))
+        ));
+        assert!(table.path(&t, a, a).unwrap().is_empty());
     }
 }

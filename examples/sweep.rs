@@ -28,6 +28,13 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => spec = SweepSpec::smoke(),
+            "--scale" => spec = SweepSpec::scale_matrix(),
+            "--topologies" => {
+                let value = args
+                    .next()
+                    .expect("--topologies takes a comma-separated list of presets");
+                spec.topologies = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
             "--workers" => {
                 let value = args.next().expect("--workers takes a count");
                 workers = value
@@ -47,7 +54,10 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: sweep [--smoke] [--workers N] [--out FILE] [--faults P1,P2,...]");
+                eprintln!(
+                    "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--workers N] [--out FILE] [--faults P1,P2,...]"
+                );
+                eprintln!("topology presets: {}", gridapp::TESTBED_PRESETS.join(", "));
                 eprintln!("fault profiles: {}", faultsim::FAULT_PROFILES.join(", "));
                 std::process::exit(2);
             }
