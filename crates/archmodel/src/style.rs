@@ -59,6 +59,12 @@ pub mod props {
     pub const REACHABLE: &str = "reachable";
     /// Task-layer bound on dead replicas tolerated per group (normally 0).
     pub const MAX_DEAD_SERVERS: &str = "maxDeadServers";
+    /// Number of replicas a group was provisioned with at deployment — the
+    /// floor the cost-reduction (`reduceServers`) repair never shrinks below.
+    pub const BASE_REPLICAS: &str = "baseReplicas";
+    /// Load at or below which a group counts as underutilised (system-level
+    /// threshold of the `underutilised` invariant).
+    pub const UNDERUTILISED_LOAD: &str = "underutilisedLoad";
 }
 
 /// A structural-validity problem found by [`ClientServerStyle::validate`].

@@ -82,8 +82,42 @@ fn assert_allocator_equivalence() {
     println!("[large-scale] allocator matches reference bit-identically (16/128/512 flows)");
 }
 
+/// Asserts the symmetry-aware class probing cuts per-tick probe sampling by
+/// at least 4× on the large-scale preset (the PR's headline probe figure),
+/// and returns `(full, shared)` solve counts for the archived JSON.
+fn assert_probe_sharing() -> (u64, u64) {
+    let mut app = GridApp::build(large_grid()).expect("app builds");
+    app.advance(SimTime::from_secs(10.0));
+    let index = planner::ClassIndex::build(app.testbed());
+
+    let before = app.probe_solve_count();
+    let shared = planner::class_flow_snapshot(&app, &index);
+    let shared_solves = app.probe_solve_count() - before;
+
+    // Perturb the network so the second snapshot cannot ride the first
+    // one's per-epoch probe memo.
+    app.set_competition_sg2(SimTime::from_secs(10.5), 1.0e6)
+        .expect("competition applies");
+    let before = app.probe_solve_count();
+    let full = app.flow_snapshot();
+    let full_solves = app.probe_solve_count() - before;
+
+    assert_eq!(shared.entries().len(), full.entries().len());
+    assert!(
+        full_solves >= 4 * shared_solves.max(1),
+        "class sharing must cut probe solves ≥4×: {full_solves} vs {shared_solves}"
+    );
+    println!(
+        "[large-scale] probe sharing: {full_solves} max-min solves/snapshot per-client \
+         vs {shared_solves} class-shared ({:.0}×)",
+        full_solves as f64 / shared_solves.max(1) as f64
+    );
+    (full_solves, shared_solves)
+}
+
 fn bench_large_scale(c: &mut Criterion) {
     assert_allocator_equivalence();
+    let (full_solves, shared_solves) = assert_probe_sharing();
 
     let mut group = c.benchmark_group("large_scale");
     group.sample_size(if quick() { 3 } else { 10 });
@@ -93,6 +127,19 @@ fn bench_large_scale(c: &mut Criterion) {
     group.bench_function("control_tick", |b| {
         let mut fw = AdaptationFramework::new(large_grid(), FrameworkConfig::adaptive())
             .expect("framework builds");
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 5.0;
+            fw.tick(SimTime::from_secs(t));
+        })
+    });
+
+    // The same control period under the group planner: the tick's flow
+    // snapshot is class-shared (one max-min probe per network-position
+    // class), which is where the per-tick probe second went.
+    group.bench_function("control_tick_planned", |b| {
+        let planned = FrameworkConfig::by_name("plannedRepair").expect("preset exists");
+        let mut fw = AdaptationFramework::new(large_grid(), planned).expect("framework builds");
         let mut t = 0.0;
         b.iter(|| {
             t += 5.0;
@@ -149,6 +196,30 @@ fn bench_large_scale(c: &mut Criterion) {
         comparison.adaptive.summary.repairs_completed,
     );
 
+    // The same 300 s comparison under the group-level planner — the run the
+    // acceptance gate watches: at 2,000 clients the per-element strategies
+    // tie with control (~0.88 violation fraction both), while the planner's
+    // bulk tactics must land strictly below control.
+    let grid = large_grid();
+    let schedule = ExperimentSchedule::by_name("step", &grid, 300.0).expect("step schedule exists");
+    let planned_config = FrameworkConfig::by_name("plannedRepair").expect("preset exists");
+    let started = std::time::Instant::now();
+    let planned = Comparison::run_with(grid, planned_config, Some(&schedule), 300.0)
+        .expect("planned large-scale comparison runs");
+    let planned_wall = started.elapsed().as_secs_f64();
+    let planned_fraction = planned.adaptive.summary.fraction_latency_above_bound;
+    let control_fraction = planned.control.summary.fraction_latency_above_bound;
+    assert!(
+        planned_fraction < control_fraction,
+        "plannedRepair ({planned_fraction:.3}) must beat control ({control_fraction:.3}) at scale"
+    );
+    println!(
+        "[large-scale] 300 s plannedRepair comparison: {planned_wall:.1} s wall \
+         (control violations {control_fraction:.3}, planned {planned_fraction:.3}, \
+         {} repairs, {} client moves)",
+        planned.adaptive.summary.repairs_completed, planned.adaptive.summary.client_moves,
+    );
+
     let out = std::env::var("LARGE_SCALE_BENCH_OUT")
         .unwrap_or_else(|_| "large_scale_bench.json".to_string());
     let json = serde_json::json!({
@@ -162,6 +233,13 @@ fn bench_large_scale(c: &mut Criterion) {
         "adaptive_repairs_completed": comparison.adaptive.summary.repairs_completed,
         "adaptive_completed_requests": comparison.adaptive.summary.latency.map(|s| s.count),
         "control_completed_requests": comparison.control.summary.latency.map(|s| s.count),
+        "planned_comparison_wall_secs": planned_wall,
+        "planned_violation_fraction": planned_fraction,
+        "planned_repairs_completed": planned.adaptive.summary.repairs_completed,
+        "planned_client_moves": planned.adaptive.summary.client_moves,
+        "planned_completed_requests": planned.adaptive.summary.latency.map(|s| s.count),
+        "probe_solves_per_snapshot_full": full_solves,
+        "probe_solves_per_snapshot_class_shared": shared_solves,
     });
     std::fs::write(
         &out,

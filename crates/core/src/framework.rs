@@ -37,12 +37,16 @@ use translator::{translate, RepairCostModel, RuntimeOp};
 /// Names of the built-in repair-strategy presets, in sweep-matrix order.
 /// Each resolves through [`FrameworkConfig::by_name`] to an adaptive
 /// configuration; the sweep harness derives the matching control run by
-/// disabling adaptation on the same configuration.
-pub const STRATEGY_NAMES: [&str; 4] = [
+/// disabling adaptation on the same configuration. `plannedRepair` is the
+/// group-level planner: symmetry-aware class probing plus batched
+/// `moveClientGroup` / `rebalanceGroups` / `drainServer` tactics, with the
+/// per-element engine as its fallback.
+pub const STRATEGY_NAMES: [&str; 5] = [
     "adaptive",
     "bandwidth-first",
     "no-damping",
     "qos-monitoring",
+    "plannedRepair",
 ];
 
 /// Configuration of the adaptation framework.
@@ -70,6 +74,17 @@ pub struct FrameworkConfig {
     /// Tactic-ordering ablation: try the bandwidth repair before the
     /// server-load repair.
     pub bandwidth_first: bool,
+    /// When true, the group-level planner handles violations first —
+    /// class-shared Remos probing, batched `moveClientGroup` /
+    /// `rebalanceGroups` / `drainServer` plans — and the per-element engine
+    /// only repairs what the planner abstains from (the `plannedRepair`
+    /// preset).
+    pub group_planner: bool,
+    /// When true, the `underutilised` invariant is checked and routed to the
+    /// `reduceServers` strategy, retiring replicas that failover or load
+    /// repairs recruited once the group idles at more than its provisioned
+    /// count (restart-aware cost reduction).
+    pub cost_reduction: bool,
 }
 
 impl Default for FrameworkConfig {
@@ -85,6 +100,8 @@ impl Default for FrameworkConfig {
             monitoring_shares_network: true,
             monitoring_qos: false,
             bandwidth_first: false,
+            group_planner: false,
+            cost_reduction: false,
         }
     }
 }
@@ -118,6 +135,16 @@ impl FrameworkConfig {
             }),
             "qos-monitoring" => Some(FrameworkConfig {
                 monitoring_qos: true,
+                ..Self::adaptive()
+            }),
+            // The group planner batches and relocates gauges instead of
+            // destroying and recreating them one by one, so it runs under
+            // the §5.3 gauge-caching cost model — without it a bulk move
+            // would spend minutes on churn alone.
+            "plannedRepair" => Some(FrameworkConfig {
+                group_planner: true,
+                cost_reduction: true,
+                cost_model: RepairCostModel::with_gauge_caching(),
                 ..Self::adaptive()
             }),
             _ => None,
@@ -161,6 +188,7 @@ pub struct AdaptationFramework {
     constraints: ConstraintSet,
     engine: RepairEngine,
     pipeline: MonitoringPipeline,
+    planner: Option<planner::GroupPlanner>,
     trace: Trace,
     pending: Option<PendingRepair>,
     repair_seq: u64,
@@ -192,9 +220,22 @@ impl AdaptationFramework {
         // Failure recovery: a group with dead replicas is failed over to
         // spares; a group with no live replicas has its clients rerouted.
         engine.register("liveness", repair::builtin::recover_liveness_strategy());
+        let mut constraints = repair::default_constraints();
+        if config.cost_reduction {
+            // Restart-aware cost reduction: idle groups holding more
+            // replicas than provisioned are shrunk back to their baseline.
+            engine.register("underutilised", repair::builtin::reduce_servers_strategy());
+            constraints = constraints.with(repair::builtin::underutilised_invariant());
+        }
         engine.set_selection(config.selection);
         engine.set_damping(config.damping_secs.map(RepairDamping::new));
         let pipeline = MonitoringPipeline::new(GaugeManager::new(config.gauge_lifecycle));
+        let group_planner = config.group_planner.then(|| {
+            planner::GroupPlanner::new(
+                planner::ClassIndex::build(app.testbed()),
+                config.damping_secs,
+            )
+        });
 
         let mut framework = AdaptationFramework {
             config,
@@ -202,9 +243,10 @@ impl AdaptationFramework {
             app,
             model,
             server_map,
-            constraints: repair::default_constraints(),
+            constraints,
             engine,
             pipeline,
+            planner: group_planner,
             trace: Trace::new(),
             pending: None,
             repair_seq: 0,
@@ -361,6 +403,35 @@ impl AdaptationFramework {
         );
     }
 
+    /// The batched gauge relocation of a `moveClientGroup` repair: every
+    /// moved client's bandwidth gauge is retired in one sweep over the
+    /// roster (instead of one scan per client) and recreated against the
+    /// client's new group.
+    fn refresh_bandwidth_gauges_bulk(&mut self, now: SimTime, clients: &[String]) {
+        let t = now.as_secs();
+        let moved: std::collections::BTreeSet<&str> = clients.iter().map(|c| c.as_str()).collect();
+        let groups: Vec<(String, String)> = clients
+            .iter()
+            .map(|c| (c.clone(), self.app.client_group(c).unwrap_or_default()))
+            .collect();
+        let manager = self.pipeline.manager_mut();
+        manager.delete_where(t, |name| {
+            name.strip_prefix("bandwidth-gauge/")
+                .and_then(|rest| rest.split('/').next())
+                .is_some_and(|client| moved.contains(client))
+        });
+        for (client, group) in groups {
+            manager.create(
+                t,
+                Box::new(BandwidthGauge::new(
+                    client.clone(),
+                    group,
+                    format!("{client}.role"),
+                )),
+            );
+        }
+    }
+
     fn refresh_load_gauge(&mut self, now: SimTime, group: &str) {
         let t = now.as_secs();
         let name = format!("load-gauge/{group}");
@@ -389,9 +460,16 @@ impl AdaptationFramework {
     /// Runs one control period ending at time `t`.
     pub fn tick(&mut self, t: SimTime) {
         // 1. Advance the runtime layer, take the tick's shared network
-        // snapshot, and record figure metrics from it.
+        // snapshot, and record figure metrics from it. With the group
+        // planner active the snapshot is class-shared: one max-min probe per
+        // network-position equivalence class instead of one per client
+        // machine (identical on classic testbeds, where every class is a
+        // singleton).
         self.app.advance(t);
-        let flows = self.app.flow_snapshot();
+        let flows = match &self.planner {
+            Some(group_planner) => planner::class_flow_snapshot(&self.app, group_planner.index()),
+            None => self.app.flow_snapshot(),
+        };
         self.app.sample_metrics_with_flows(t, &flows);
 
         // 2. Probes observe the system and publish on the probe bus. Every
@@ -445,6 +523,44 @@ impl AdaptationFramework {
                 ),
             );
         }
+        // The group planner, when active, gets first claim on the violation
+        // report: it plans whole equivalence classes in one batched repair.
+        // Whatever it abstains from falls through to the per-element engine.
+        // Reports carrying only violations the planner ignores (liveness,
+        // underutilised) skip the planner entirely — gathering its input
+        // costs one class-level probe table, which is not worth paying for a
+        // guaranteed abstention.
+        let planner_relevant = report
+            .violations
+            .iter()
+            .any(|v| matches!(v.invariant.as_str(), "latency" | "bandwidth" | "serverLoad"));
+        if self.planner.is_some() && planner_relevant {
+            let thresholds = planner::PlannerThresholds {
+                min_bandwidth_bps: self.profile.min_bandwidth_bps,
+                max_server_load: self.profile.max_server_load,
+                max_latency_secs: self.profile.max_latency_secs,
+            };
+            let input = {
+                let group_planner = self.planner.as_ref().expect("checked above");
+                planner::PlannerInput::gather(
+                    &self.app,
+                    group_planner.index(),
+                    &self.model,
+                    &report,
+                    thresholds,
+                    t.as_secs(),
+                )
+            };
+            let plan = self
+                .planner
+                .as_mut()
+                .expect("checked above")
+                .plan(&self.model, &input);
+            if let Some(plan) = plan {
+                self.start_group_repair(t, plan);
+                return;
+            }
+        }
         let outcome = {
             let query = AppQuery::new(&self.app);
             self.engine.plan(&self.model, &report, &query, t.as_secs())
@@ -496,6 +612,41 @@ impl AdaptationFramework {
         self.pending = Some(PendingRepair {
             plan,
             runtime_ops,
+            complete_at: t + simnet::SimDuration::from_secs(duration),
+            correlation,
+        });
+    }
+
+    /// Starts a batched group-level repair produced by the planner. The
+    /// plan's runtime ops already carry their batched cost structure (one
+    /// gauge-churn pair per batch, one routing update per class), so the
+    /// ordinary cost model prices the whole batch.
+    fn start_group_repair(&mut self, t: SimTime, plan: planner::GroupPlan) {
+        let duration = self.config.cost_model.total_duration(&plan.runtime_ops);
+        self.repair_seq += 1;
+        let correlation = self.repair_seq;
+        self.trace.record_correlated(
+            t,
+            TraceKind::RepairStart,
+            correlation,
+            format!(
+                "repair #{correlation} for {} ({}): [{}] {} [{} runtime ops, ≈{duration:.0} s]",
+                plan.subject,
+                plan.invariant,
+                plan.tactics.join("+"),
+                plan.description,
+                plan.runtime_ops.len()
+            ),
+        );
+        self.pending = Some(PendingRepair {
+            plan: RepairPlan {
+                invariant: plan.invariant,
+                subject: plan.subject,
+                ops: plan.model_ops,
+                tactics: plan.tactics,
+                description: plan.description,
+            },
+            runtime_ops: plan.runtime_ops,
             complete_at: t + simnet::SimDuration::from_secs(duration),
             correlation,
         });
@@ -575,10 +726,40 @@ impl AdaptationFramework {
                 None => Err(AppError::UnknownServer(server.clone())),
             },
             RuntimeOp::MoveClient { client, to_group } => {
-                self.client_moves += 1;
                 let result = self.app.move_client(client, to_group);
                 if result.is_ok() {
+                    self.client_moves += 1;
                     self.refresh_bandwidth_gauge(t, client);
+                }
+                result
+            }
+            RuntimeOp::MoveClientGroup { clients, to_group } => {
+                match self.app.move_clients(clients, to_group) {
+                    Ok(moved) => {
+                        self.client_moves += moved as u64;
+                        self.refresh_bandwidth_gauges_bulk(t, clients);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            RuntimeOp::DrainStuckServers {
+                group,
+                min_age_secs,
+            } => {
+                let stuck = self.app.stuck_sending_servers(group, *min_age_secs);
+                let mut result = Ok(());
+                for server in &stuck {
+                    if let Err(e) = self.app.drain_server(t, server) {
+                        result = Err(e);
+                    }
+                }
+                if result.is_ok() && !stuck.is_empty() {
+                    self.trace.record(
+                        t,
+                        TraceKind::Info,
+                        format!("drained {} wedged replicas of {group}", stuck.len()),
+                    );
                 }
                 result
             }
@@ -740,6 +921,85 @@ mod tests {
             FrameworkConfig::by_name("qos-monitoring")
                 .unwrap()
                 .monitoring_qos
+        );
+    }
+
+    #[test]
+    fn planned_repair_preset_enables_planner_and_cost_reduction() {
+        let config = FrameworkConfig::by_name("plannedRepair").unwrap();
+        assert!(config.group_planner);
+        assert!(config.cost_reduction);
+        assert!(config.cost_model.cache_gauges);
+        assert!(!FrameworkConfig::adaptive().group_planner);
+        assert!(!FrameworkConfig::adaptive().cost_reduction);
+    }
+
+    #[test]
+    fn planned_repair_moves_squeezed_clients_in_one_batch() {
+        let config = FrameworkConfig {
+            control_period_secs: 5.0,
+            ..FrameworkConfig::by_name("plannedRepair").unwrap()
+        };
+        let mut fw = AdaptationFramework::new(GridConfig::default(), config).unwrap();
+        let schedule = ExperimentSchedule::figure7(&GridConfig::default());
+        fw.run(420.0, Some(&schedule));
+        let stats = fw.repair_stats();
+        assert!(stats.completed >= 1, "{stats:?}");
+        // Both squeezed clients travel in one planner batch (the per-element
+        // engine would need one damped repair per client).
+        assert!(
+            fw.trace()
+                .of_kind(TraceKind::RepairStart)
+                .any(|e| e.message.contains("moveClientGroup")),
+            "a batched group move was planned"
+        );
+        for client in ["User3", "User4"] {
+            assert_eq!(
+                fw.app().client_group(client).unwrap(),
+                gridapp::SERVER_GROUP_2,
+                "{client} was re-homed"
+            );
+        }
+        // The model agrees with the runtime for the moved clients.
+        let model = fw.model();
+        let user = model.component_by_name("User3").unwrap();
+        let group = ClientServerStyle::group_of_client(model, user).unwrap();
+        assert_eq!(
+            model.component(group).unwrap().name,
+            fw.app().client_group("User3").unwrap()
+        );
+    }
+
+    /// The restart-aware cost-reduction regression (ROADMAP): two replicas
+    /// crash mid-run, failover replaces them with spares and load repairs
+    /// recruit on top while the backlog drains; after the crashed servers
+    /// return (as spares), the `underutilised` trigger retires the surplus
+    /// down to the provisioned baseline.
+    #[test]
+    fn crash_restart_timeline_retires_recruited_replicas() {
+        let config = FrameworkConfig {
+            cost_reduction: true,
+            ..short_config()
+        };
+        let mut fw = AdaptationFramework::new(GridConfig::default(), config).unwrap();
+        let faults = faultsim::fault_profile_by_name("server-crash-midrun", 400.0).unwrap();
+        let compiled = faults.compile(fw.app().testbed(), 42).unwrap();
+        fw.run_with_faults(600.0, None, Some(&compiled));
+        // The cost-reduction pass fired at least once…
+        assert!(
+            fw.trace()
+                .of_kind(TraceKind::RepairStart)
+                .any(|e| e.message.contains("underutilised")),
+            "an underutilised repair was started"
+        );
+        // …and the group is back at its provisioned three replicas, with the
+        // restarted servers available as spares again.
+        assert_eq!(fw.app().active_servers(gridapp::SERVER_GROUP_1).len(), 3);
+        assert_eq!(fw.app().group_liveness(gridapp::SERVER_GROUP_1).1, 0);
+        let spares = fw.app().spare_servers();
+        assert!(
+            spares.contains(&"S2".to_string()) && spares.contains(&"S3".to_string()),
+            "restarted servers returned to the spare pool: {spares:?}"
         );
     }
 

@@ -23,6 +23,9 @@ pub fn build_model(
     profile.apply_to(&mut model);
     // The liveness invariant tolerates no dead replicas.
     model.properties.set(props::MAX_DEAD_SERVERS, 0.0);
+    // Threshold of the (opt-in) `underutilised` invariant: a group idling at
+    // a queue of at most one request counts as underutilised.
+    model.properties.set(props::UNDERUTILISED_LOAD, 1.0);
 
     let mut server_map = HashMap::new();
     for group_name in app.group_names() {
@@ -48,6 +51,8 @@ pub fn build_model(
         properties.set(props::LOAD, 0i64);
         properties.set(props::LIVE_SERVERS, runtime_servers.len() as f64);
         properties.set(props::DEAD_SERVERS, 0.0);
+        // The provisioning baseline cost reduction never shrinks below.
+        properties.set(props::BASE_REPLICAS, runtime_servers.len() as f64);
     }
     for client_name in app.client_names() {
         let client = ClientServerStyle::add_client(&mut model, &client_name)?;

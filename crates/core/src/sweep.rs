@@ -153,7 +153,10 @@ impl SweepSpec {
     }
 
     /// The scale axis: one workload across every testbed scale from the
-    /// paper's six clients up to the 2,000-client `large-scale` deployment.
+    /// paper's six clients up to the 2,000-client `large-scale` deployment,
+    /// comparing the per-element `adaptive` strategy against the
+    /// group-level `plannedRepair` planner — the cells where the planner's
+    /// bulk tactics separate from per-client repair.
     pub fn scale_matrix() -> Self {
         SweepSpec {
             topologies: gridapp::TESTBED_PRESETS
@@ -161,7 +164,7 @@ impl SweepSpec {
                 .map(|s| s.to_string())
                 .collect(),
             workloads: vec!["step".into()],
-            strategies: vec!["adaptive".into()],
+            strategies: vec!["adaptive".into(), "plannedRepair".into()],
             durations_secs: vec![300.0],
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],

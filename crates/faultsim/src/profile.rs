@@ -10,12 +10,13 @@ use crate::schedule::{FaultEvent, FaultSchedule, LinkRef};
 pub const NO_FAULTS: &str = "none";
 
 /// Names of the built-in fault profiles, in sweep-matrix order.
-pub const FAULT_PROFILES: [&str; 5] = [
+pub const FAULT_PROFILES: [&str; 6] = [
     NO_FAULTS,
     "single-link-cut",
     "server-crash-midrun",
     "flapping-core",
     "cascade",
+    "correlated-degrade",
 ];
 
 /// Resolves a fault profile by its sweep-matrix name, scaled to a run of
@@ -93,6 +94,7 @@ pub fn fault_profile_by_name(name: &str, duration_secs: f64) -> Option<FaultSche
                             at_secs: 0.0,
                         },
                     ],
+                    factors: None,
                 },
                 FaultEvent::NodeUp {
                     node: "R3".into(),
@@ -100,6 +102,50 @@ pub fn fault_profile_by_name(name: &str, duration_secs: f64) -> Option<FaultSche
                 },
                 FaultEvent::ServerRestart {
                     server: "S1".into(),
+                    at_secs: 0.75 * d,
+                },
+            ],
+        }),
+        // A correlated grey failure with uneven blast radius: one shared
+        // cause (say, an overheating aggregation chassis) degrades three
+        // core links at once, but not equally — the per-child factors leave
+        // the R1–R3 path at half the base severity, the R2–R3 path at a
+        // fifth, and the R3–R4 path barely scratched. Everything lifts in
+        // the final quarter of the run.
+        "correlated-degrade" => Some(FaultSchedule {
+            events: vec![
+                FaultEvent::Correlated {
+                    at_secs: 0.3 * d,
+                    jitter_secs: 0.03 * d,
+                    events: vec![
+                        FaultEvent::LinkDegrade {
+                            link: LinkRef::between("R1", "R3"),
+                            at_secs: 0.0,
+                            factor: 0.8,
+                        },
+                        FaultEvent::LinkDegrade {
+                            link: LinkRef::between("R2", "R3"),
+                            at_secs: 0.0,
+                            factor: 0.8,
+                        },
+                        FaultEvent::LinkDegrade {
+                            link: LinkRef::between("R3", "R4"),
+                            at_secs: 0.0,
+                            factor: 0.8,
+                        },
+                    ],
+                    factors: Some(vec![0.625, 0.25, 1.0]),
+                },
+                FaultEvent::LinkRestore {
+                    link: LinkRef::between("R1", "R3"),
+                    at_secs: 0.75 * d,
+                },
+                FaultEvent::LinkRestore {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 0.75 * d,
+                },
+                FaultEvent::LinkRestore {
+                    link: LinkRef::between("R3", "R4"),
                     at_secs: 0.75 * d,
                 },
             ],

@@ -131,6 +131,15 @@ pub enum FaultEvent {
         /// The child events (their `at_secs` are offsets from `at_secs`;
         /// nesting further `Correlated` events is not allowed).
         events: Vec<FaultEvent>,
+        /// Optional per-child severity factors, one per child event. A
+        /// shared cause rarely damages every element equally: each factor
+        /// multiplies the remaining-capacity fraction of the corresponding
+        /// *degradation* child (`LinkDegrade` / `LinkDegradeOneWay`), so
+        /// `0.5` halves what the child leaves standing (clamped to `0..=1`);
+        /// non-degradation children ignore their factor. `None` keeps the
+        /// historical uniform severity. The list must match the number of
+        /// children.
+        factors: Option<Vec<f64>>,
     },
 }
 
@@ -244,7 +253,7 @@ impl FaultSchedule {
         let root = SimRng::seed_from_u64(seed);
         let mut actions: Vec<TimedAction> = Vec::new();
         for (index, event) in self.events.iter().enumerate() {
-            compile_event(event, 0.0, testbed, &root, index as u64, &mut actions)?;
+            compile_event(event, 0.0, 1.0, testbed, &root, index as u64, &mut actions)?;
         }
         // Stable sort: simultaneous actions keep their emission order.
         actions.sort_by(|x, y| {
@@ -303,6 +312,7 @@ fn check_server(testbed: &Testbed, server: &str) -> Result<(), FaultError> {
 fn compile_event(
     event: &FaultEvent,
     offset: f64,
+    severity: f64,
     testbed: &Testbed,
     root: &SimRng,
     stream: u64,
@@ -316,7 +326,7 @@ fn compile_event(
         } => {
             check_time(*at_secs)?;
             let (id, nominal) = resolve_link(testbed, link)?;
-            let factor = factor.clamp(0.0, 1.0);
+            let factor = (factor * severity).clamp(0.0, 1.0);
             out.push(TimedAction {
                 at_secs: offset + at_secs,
                 is_onset: factor < 1.0,
@@ -343,7 +353,7 @@ fn compile_event(
                 .topology
                 .node_by_name(&link.a)
                 .ok_or_else(|| FaultError::UnknownNode(link.a.clone()))?;
-            let factor = factor.clamp(0.0, 1.0);
+            let factor = (factor * severity).clamp(0.0, 1.0);
             out.push(TimedAction {
                 at_secs: offset + at_secs,
                 is_onset: factor < 1.0,
@@ -492,12 +502,27 @@ fn compile_event(
             at_secs,
             jitter_secs,
             events,
+            factors,
         } => {
             check_time(*at_secs)?;
             if *jitter_secs < 0.0 || !jitter_secs.is_finite() {
                 return Err(FaultError::Invalid(format!(
                     "jitter {jitter_secs} must be non-negative"
                 )));
+            }
+            if let Some(factors) = factors {
+                if factors.len() != events.len() {
+                    return Err(FaultError::Invalid(format!(
+                        "{} per-child factors for {} children",
+                        factors.len(),
+                        events.len()
+                    )));
+                }
+                if let Some(bad) = factors.iter().find(|f| !f.is_finite() || **f < 0.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "per-child factor {bad} must be finite and non-negative"
+                    )));
+                }
             }
             for (child_index, child) in events.iter().enumerate() {
                 if matches!(child, FaultEvent::Correlated { .. }) {
@@ -513,7 +538,16 @@ fn compile_event(
                 } else {
                     0.0
                 };
-                compile_event(child, offset + at_secs + jitter, testbed, root, stream, out)?;
+                let child_severity = factors.as_ref().map(|f| f[child_index]).unwrap_or(1.0);
+                compile_event(
+                    child,
+                    offset + at_secs + jitter,
+                    child_severity,
+                    testbed,
+                    root,
+                    stream,
+                    out,
+                )?;
             }
         }
     }
@@ -753,6 +787,7 @@ mod tests {
                         at_secs: 0.0,
                     },
                 ],
+                factors: None,
             }],
         };
         let a = schedule.compile(&tb, 42).unwrap();
@@ -837,11 +872,114 @@ mod tests {
                     at_secs: 0.0,
                     jitter_secs: 0.0,
                     events: vec![],
+                    factors: None,
                 }],
+                factors: None,
             }],
         };
         assert!(matches!(
             nested.compile(&tb, 0),
+            Err(FaultError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn per_child_factors_scale_degradation_children_individually() {
+        let tb = testbed();
+        let base = |factors: Option<Vec<f64>>| FaultSchedule {
+            events: vec![FaultEvent::Correlated {
+                at_secs: 50.0,
+                jitter_secs: 0.0,
+                events: vec![
+                    FaultEvent::LinkDegrade {
+                        link: LinkRef::between("R1", "R3"),
+                        at_secs: 0.0,
+                        factor: 0.8,
+                    },
+                    FaultEvent::LinkDegrade {
+                        link: LinkRef::between("R2", "R3"),
+                        at_secs: 0.0,
+                        factor: 0.8,
+                    },
+                    // A non-degradation child ignores its factor.
+                    FaultEvent::ServerCrash {
+                        server: "S1".into(),
+                        at_secs: 0.0,
+                    },
+                ],
+                factors,
+            }],
+        };
+        let uniform = base(None).compile(&tb, 9).unwrap();
+        let weighted = base(Some(vec![0.5, 0.25, 0.0])).compile(&tb, 9).unwrap();
+        // Same timeline shape (the factors never consume randomness), so the
+        // jitterless firing times are identical.
+        assert_eq!(uniform.actions.len(), weighted.actions.len());
+        let caps = |compiled: &CompiledFaultSchedule| -> Vec<f64> {
+            compiled
+                .actions
+                .iter()
+                .filter_map(|a| match &a.action {
+                    FaultAction::SetLinkCapacity { capacity_bps, .. } => Some(*capacity_bps),
+                    _ => None,
+                })
+                .collect()
+        };
+        let nominal = gridapp::LINK_CAPACITY_BPS;
+        assert_eq!(caps(&uniform), vec![nominal * 0.8, nominal * 0.8]);
+        let weighted_caps = caps(&weighted);
+        assert!(
+            (weighted_caps[0] - nominal * 0.4).abs() < 1.0,
+            "{weighted_caps:?}"
+        );
+        assert!(
+            (weighted_caps[1] - nominal * 0.2).abs() < 1.0,
+            "{weighted_caps:?}"
+        );
+        // The crash child is unaffected by its (zero) factor.
+        assert!(weighted
+            .actions
+            .iter()
+            .any(|a| matches!(&a.action, FaultAction::CrashServer { server } if server == "S1")));
+        // Replays are bit-identical.
+        assert_eq!(
+            weighted,
+            base(Some(vec![0.5, 0.25, 0.0])).compile(&tb, 9).unwrap()
+        );
+    }
+
+    #[test]
+    fn per_child_factors_are_validated() {
+        let tb = testbed();
+        let wrong_arity = FaultSchedule {
+            events: vec![FaultEvent::Correlated {
+                at_secs: 1.0,
+                jitter_secs: 0.0,
+                events: vec![FaultEvent::ServerCrash {
+                    server: "S1".into(),
+                    at_secs: 0.0,
+                }],
+                factors: Some(vec![0.5, 0.5]),
+            }],
+        };
+        assert!(matches!(
+            wrong_arity.compile(&tb, 0),
+            Err(FaultError::Invalid(_))
+        ));
+        let negative = FaultSchedule {
+            events: vec![FaultEvent::Correlated {
+                at_secs: 1.0,
+                jitter_secs: 0.0,
+                events: vec![FaultEvent::LinkDegrade {
+                    link: LinkRef::between("R2", "R3"),
+                    at_secs: 0.0,
+                    factor: 0.5,
+                }],
+                factors: Some(vec![-1.0]),
+            }],
+        };
+        assert!(matches!(
+            negative.compile(&tb, 0),
             Err(FaultError::Invalid(_))
         ));
     }

@@ -83,11 +83,12 @@ struct ServerState {
     up: bool,
     /// The request currently in service and when its service completes.
     busy: Option<(u64, SimTime)>,
-    /// The request whose response this server is currently transmitting.
-    /// Like the paper's Java servers, a replica handles one request at a
-    /// time: it is not free to pull new work until the reply has been
-    /// delivered, so slow links translate into lost serving capacity.
-    sending: Option<u64>,
+    /// The request whose response this server is currently transmitting and
+    /// when the transmission started. Like the paper's Java servers, a
+    /// replica handles one request at a time: it is not free to pull new
+    /// work until the reply has been delivered, so slow links translate
+    /// into lost serving capacity.
+    sending: Option<(u64, SimTime)>,
     served: u64,
 }
 
@@ -347,6 +348,16 @@ impl GridApp {
         self.servers.keys().cloned().collect()
     }
 
+    /// The machine a named client runs on.
+    pub fn client_host(&self, client: &str) -> Option<NodeId> {
+        self.clients.get(client).map(|c| c.host)
+    }
+
+    /// The machine a named server runs on.
+    pub fn server_host(&self, server: &str) -> Option<NodeId> {
+        self.servers.get(server).map(|s| s.host)
+    }
+
     /// The server group a client currently sends to.
     pub fn client_group(&self, client: &str) -> Result<String, AppError> {
         Ok(self
@@ -530,7 +541,7 @@ impl GridApp {
             self.requests.remove(&req);
         }
         // The reply in flight is torn down; the requester never hears back.
-        if let Some(req) = sending {
+        if let Some((req, _)) = sending {
             self.sending_index.remove(&req);
             if let Some(request) = self.requests.remove(&req) {
                 if let RequestPhase::ResponseInFlight(transfer) = request.phase {
@@ -707,6 +718,157 @@ impl GridApp {
             .ok_or_else(|| AppError::UnknownClient(client.into()))?;
         state.group = to_group.to_string();
         Ok(())
+    }
+
+    /// `moveClientGroup(clients, newQ)`: the batched variant of
+    /// [`move_client`](Self::move_client) used by the group-level planner.
+    /// Every listed client is re-pointed at `to_group`'s queue in one pass,
+    /// and — unlike the per-element operator — the clients' requests still
+    /// *waiting* in their old queues migrate with them (the group move
+    /// re-binds the queue routing entry, so queued work follows it).
+    /// Requests already in service or in flight are unaffected. Returns the
+    /// number of clients moved.
+    pub fn move_clients(&mut self, clients: &[String], to_group: &str) -> Result<usize, AppError> {
+        if !self.groups.contains_key(to_group) {
+            return Err(AppError::UnknownGroup(to_group.into()));
+        }
+        // Validate the whole batch before touching anything: a group move is
+        // atomic, and a half-applied batch (some clients re-pointed, none of
+        // their queued requests migrated) would be unobservable to the
+        // caller behind the returned error.
+        if let Some(unknown) = clients.iter().find(|c| !self.clients.contains_key(*c)) {
+            return Err(AppError::UnknownClient(unknown.clone()));
+        }
+        let mut moved: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for client in clients {
+            let state = self.clients.get_mut(client).expect("validated above");
+            state.group = to_group.to_string();
+            moved.insert(client.as_str());
+        }
+        // Migrate queued requests: scan every other queue in name order and
+        // pull out the moved clients' waiting requests, preserving their
+        // FIFO order within each source queue.
+        let group_names: Vec<String> = self
+            .groups
+            .keys()
+            .filter(|g| g.as_str() != to_group)
+            .cloned()
+            .collect();
+        let mut migrated: Vec<u64> = Vec::new();
+        for group in group_names {
+            let queue = &mut self.groups.get_mut(&group).expect("group exists").queue;
+            let mut kept = VecDeque::with_capacity(queue.len());
+            for id in queue.drain(..) {
+                let belongs_to_moved = self
+                    .requests
+                    .get(&id)
+                    .is_some_and(|r| moved.contains(r.client.as_str()));
+                if belongs_to_moved {
+                    migrated.push(id);
+                } else {
+                    kept.push_back(id);
+                }
+            }
+            *queue = kept;
+        }
+        for id in &migrated {
+            if let Some(request) = self.requests.get_mut(id) {
+                request.group = to_group.to_string();
+            }
+        }
+        self.groups
+            .get_mut(to_group)
+            .expect("checked above")
+            .queue
+            .extend(migrated);
+        let now = self.now;
+        self.dispatch_group(to_group, now);
+        Ok(moved.len())
+    }
+
+    /// `drainServer(srv)`: recycles a server in place — the request it is
+    /// serving (or whose reply it is transmitting) is abandoned, the reply
+    /// transfer is torn down, and the server immediately pulls fresh work
+    /// from its queue. The group-level planner uses this to recover replicas
+    /// wedged transmitting replies over a path that has collapsed under
+    /// them: the stuck reply would otherwise occupy the replica long past any
+    /// latency bound. The abandoned request never completes (its client
+    /// observes a timeout, exactly as with a crashed replica).
+    pub fn drain_server(&mut self, now: SimTime, server: &str) -> Result<(), AppError> {
+        self.advance(now);
+        let (busy, sending, group) = {
+            let state = self
+                .servers
+                .get_mut(server)
+                .ok_or_else(|| AppError::UnknownServer(server.into()))?;
+            let busy = state.busy.take();
+            let sending = state.sending.take();
+            (busy, sending, state.group.clone())
+        };
+        if let Some((req, finish)) = busy {
+            self.service_due.remove(&(finish, self.server_idx[server]));
+            self.requests.remove(&req);
+        }
+        if let Some((req, _)) = sending {
+            self.sending_index.remove(&req);
+            if let Some(request) = self.requests.remove(&req) {
+                if let RequestPhase::ResponseInFlight(transfer) = request.phase {
+                    let _ = self.network.cancel_transfer(now, transfer);
+                }
+            }
+        }
+        self.refresh_idle(server);
+        if let Some(group) = group {
+            self.dispatch_group(&group, now);
+        }
+        Ok(())
+    }
+
+    /// The active, live servers of `group` stuck *transmitting* a reply for
+    /// more than `min_age_secs` — replicas wedged on a collapsed path, in
+    /// name order. The age is measured from when the reply transmission
+    /// started, not from when its request was issued: during a backlog a
+    /// request can legitimately wait in queue far past the latency bound and
+    /// still transmit in milliseconds, and such replicas must not be
+    /// recycled. A healthy reply transmits within a fraction of a second, so
+    /// transmission ages past the bound indicate a transfer that will not
+    /// finish in useful time.
+    pub fn stuck_sending_servers(&self, group: &str, min_age_secs: f64) -> Vec<String> {
+        let now = self.now;
+        self.servers
+            .iter()
+            .filter(|(_, s)| s.active && s.up && s.group.as_deref() == Some(group))
+            .filter(|(_, s)| {
+                s.sending
+                    .is_some_and(|(_, since)| now.since(since).as_secs() > min_age_secs)
+            })
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Predicted bandwidth of a new flow from one named server's machine to
+    /// one named client's machine — the single Remos pair query
+    /// [`remos_get_flow`](Self::remos_get_flow) folds its per-server maximum
+    /// over. The symmetry-aware probe sharing issues this query once per
+    /// network-position class representative instead of once per server.
+    pub fn available_bandwidth_between(&self, server: &str, client: &str) -> Result<f64, AppError> {
+        let server_host = self
+            .server_host(server)
+            .ok_or_else(|| AppError::UnknownServer(server.into()))?;
+        let client_host = self
+            .client_host(client)
+            .ok_or_else(|| AppError::UnknownClient(client.into()))?;
+        Ok(self
+            .network
+            .available_bandwidth(server_host, client_host)
+            .unwrap_or(0.0))
+    }
+
+    /// Lifetime number of max-min probe solves the underlying network has
+    /// performed (per-epoch memo hits excluded) — the measurement behind the
+    /// "probe sampling per tick" figures.
+    pub fn probe_solve_count(&self) -> u64 {
+        self.network.probe_solve_count()
     }
 
     /// `remos_get_flow(clIP, svIP)`: predicted bandwidth between a client and
@@ -972,7 +1134,7 @@ impl GridApp {
             server.busy = None;
             // The server now transmits the reply; it stays occupied until the
             // last byte reaches the client.
-            server.sending = Some(request_id);
+            server.sending = Some((request_id, finish));
             server.served += 1;
             server.host
         };
@@ -1063,6 +1225,15 @@ pub struct FlowSnapshot {
 }
 
 impl FlowSnapshot {
+    /// Builds a snapshot from pre-computed rows. The rows must be in
+    /// client-name order with one entry per client — the contract every
+    /// consumer of [`entries`](Self::entries) assumes. Used by the
+    /// symmetry-aware class probing, which computes one Remos flow per
+    /// network-position class and fans it out to every member.
+    pub fn from_entries(entries: Vec<(String, String, Option<f64>)>) -> FlowSnapshot {
+        FlowSnapshot { entries }
+    }
+
     /// The snapshot rows, in client-name order.
     pub fn entries(&self) -> &[(String, String, Option<f64>)] {
         &self.entries

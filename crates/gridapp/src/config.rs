@@ -90,6 +90,11 @@ impl GridConfig {
             let capacity = testbed.sg1_active as f64 * per_server;
             let scaled = 0.75 * capacity / testbed.num_clients().max(1) as f64;
             config.request_rate_per_client = scaled.min(config.request_rate_per_client);
+            // The paper's overload bound (queue of 6 over 3 replicas, i.e. a
+            // backlog of about two requests per provisioned replica) scales
+            // with the serving group, not with the client count: at 48
+            // replicas a queue of 6 is ordinary jitter.
+            config.max_server_load = config.max_server_load.max(2.0 * testbed.sg1_active as f64);
         }
         config
     }

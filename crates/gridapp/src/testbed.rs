@@ -276,6 +276,11 @@ pub struct Testbed {
     pub host_request_queue: NodeId,
     /// The five routers R1..R5.
     pub routers: Vec<NodeId>,
+    /// Aggregation switches (`A1`, `A2`, …) of the multi-tier edge, in
+    /// creation order. Empty for every classic (direct-attach) preset.
+    /// Client machines behind the same aggregation switch occupy symmetric
+    /// network positions — the basis of the planner's equivalence classes.
+    pub agg_routers: Vec<NodeId>,
     /// All inter-router (core) links.
     pub core_links: Vec<LinkId>,
     /// The inter-router link on the path between R2's clients and Server
@@ -331,10 +336,12 @@ impl Testbed {
         // and C4). With an aggregation tier, machines hang off aggregation
         // routers (A1, A2, …) that uplink into the classic client routers.
         let mut client_hosts: Vec<(String, NodeId)> = Vec::new();
+        let mut agg_routers: Vec<NodeId> = Vec::new();
         let mut next_client = 1usize;
         let mut next_agg = 1usize;
         let mut add_client_hosts = |topo: &mut Topology,
                                     client_hosts: &mut Vec<(String, NodeId)>,
+                                    agg_routers: &mut Vec<NodeId>,
                                     router: NodeId,
                                     count: usize,
                                     per_host: usize|
@@ -367,6 +374,7 @@ impl Testbed {
             while remaining > 0 {
                 let in_agg = remaining.min(spec.clients_per_agg);
                 let agg = topo.add_router(&format!("A{next_agg}"))?;
+                agg_routers.push(agg);
                 next_agg += 1;
                 topo.add_link(agg, router, spec.agg_capacity_bps, router_latency)?;
                 add_hosts_under(topo, client_hosts, agg, in_agg)?;
@@ -374,9 +382,30 @@ impl Testbed {
             }
             Ok(())
         };
-        add_client_hosts(&mut topo, &mut client_hosts, r[0], spec.clients_r1, 2)?;
-        add_client_hosts(&mut topo, &mut client_hosts, r[1], spec.clients_r2, 1)?;
-        add_client_hosts(&mut topo, &mut client_hosts, r[4], spec.clients_r5, 2)?;
+        add_client_hosts(
+            &mut topo,
+            &mut client_hosts,
+            &mut agg_routers,
+            r[0],
+            spec.clients_r1,
+            2,
+        )?;
+        add_client_hosts(
+            &mut topo,
+            &mut client_hosts,
+            &mut agg_routers,
+            r[1],
+            spec.clients_r2,
+            1,
+        )?;
+        add_client_hosts(
+            &mut topo,
+            &mut client_hosts,
+            &mut agg_routers,
+            r[4],
+            spec.clients_r5,
+            2,
+        )?;
 
         // Server machines. Actives then spares behind R3 (Server Group 1),
         // then actives (the first sharing its machine with the request queue,
@@ -422,6 +451,7 @@ impl Testbed {
             spare_servers,
             host_request_queue: host_request_queue.expect("SG2 has at least one active server"),
             routers: r,
+            agg_routers,
             core_links,
             link_c34_sg1,
             link_c34_sg2,

@@ -564,6 +564,35 @@ impl GaugeManager {
         Some(now + self.config.deletion_delay_secs)
     }
 
+    /// Deletes every deployed gauge whose name satisfies `predicate`, in one
+    /// sweep over the roster. Returns how many gauges were deleted.
+    ///
+    /// This is the batched relocation the group-level planner relies on: a
+    /// `moveClientGroup` repair retires hundreds of bandwidth gauges at
+    /// once, and a per-name [`delete`](Self::delete) loop would rescan the
+    /// roster per gauge.
+    pub fn delete_where(&mut self, _now: f64, predicate: impl Fn(&str) -> bool) -> usize {
+        let mut removed: Vec<Box<dyn Gauge>> = Vec::new();
+        let mut kept = Vec::with_capacity(self.gauges.len());
+        for managed in self.gauges.drain(..) {
+            if predicate(managed.gauge.name()) {
+                removed.push(managed.gauge);
+            } else {
+                kept.push(managed);
+            }
+        }
+        self.gauges = kept;
+        let deleted = removed.len();
+        if deleted > 0 {
+            self.index_stale = true;
+        }
+        self.deletions += deleted as u64;
+        if self.config.cache_gauges {
+            self.cache.extend(removed);
+        }
+        deleted
+    }
+
     /// True if a gauge with this name is deployed (possibly still warming
     /// up).
     pub fn has_gauge(&self, name: &str) -> bool {

@@ -1,0 +1,281 @@
+//! Network-position equivalence classes over a testbed topology.
+//!
+//! Two client machines attached to the same aggregation switch by links of
+//! equal capacity and latency occupy *symmetric network positions*: every
+//! path from a server group to one of them differs from the path to the
+//! other only in the final access hop, which carries the same parameters.
+//! Their Remos flow predictions therefore agree up to each machine's own
+//! in-flight transfers — close enough that one max-min probe per class can
+//! serve every member at fleet scale. Group replicas with identical
+//! attachment are symmetric in the same sense on the server side.
+//!
+//! The index deliberately merges **only under an aggregation tier**
+//! ([`Testbed::agg_routers`](gridapp::Testbed) non-empty). The classic
+//! direct-attach presets keep one class per machine and one class per
+//! server, so class-shared probing there is *exactly* the historical
+//! per-element probing — byte-identical reports, as the property tests
+//! assert. The aggregated presets accept the per-machine approximation in
+//! exchange for cutting probe sampling by roughly the class size.
+
+use gridapp::Testbed;
+use simnet::NodeId;
+use std::collections::BTreeMap;
+
+/// A class of clients whose machines occupy symmetric network positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientClass {
+    /// Dense class id (ascending, assigned in client-number order).
+    pub id: usize,
+    /// The node the class's machines attach to (an aggregation switch for
+    /// merged classes, the machine's router otherwise).
+    pub attach: NodeId,
+    /// Member client names (`"User1"`, …) in lexicographic order — the order
+    /// the flow snapshot iterates.
+    pub members: Vec<String>,
+    /// The representative whose machine is probed for the whole class (the
+    /// lexicographically first member).
+    pub representative: String,
+}
+
+/// A class of servers with identical attachment, interchangeable for
+/// bandwidth prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerClass {
+    /// Dense class id (ascending, assigned in server-number order).
+    pub id: usize,
+    /// Member server names (`"S1"`, …) in lexicographic order.
+    pub members: Vec<String>,
+}
+
+/// Key under which clients/servers merge. Merging happens only for machines
+/// behind an aggregation switch; everything else stays a singleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PositionKey {
+    /// Symmetric position behind an aggregation switch:
+    /// `(attach node, capacity bits, latency bits, shares_request_queue)`.
+    Shared(usize, u64, u64, bool),
+    /// A singleton position, keyed by the machine itself (clients sharing a
+    /// machine were always served by one probe) or by the element index.
+    Singleton(usize),
+}
+
+/// The equivalence-class index of one testbed deployment.
+///
+/// Built once per run from the static topology; group membership and
+/// liveness stay dynamic and are consulted at probe time.
+#[derive(Debug, Clone)]
+pub struct ClassIndex {
+    client_classes: Vec<ClientClass>,
+    client_class_of: BTreeMap<String, usize>,
+    server_classes: Vec<ServerClass>,
+    server_class_of: BTreeMap<String, usize>,
+    shared: bool,
+}
+
+impl ClassIndex {
+    /// Computes the index for a built testbed, using the grid application's
+    /// naming conventions (client *i* is `"User{i}"` on machine `"C{i}"`,
+    /// server *j* is `"S{j}"`).
+    pub fn build(testbed: &Testbed) -> ClassIndex {
+        let topology = &testbed.topology;
+        let agg: std::collections::BTreeSet<NodeId> = testbed.agg_routers.iter().copied().collect();
+        let shared = !agg.is_empty();
+
+        // Clients, grouped per machine; machines merge when they hang off the
+        // same aggregation switch with identical access links.
+        let mut client_key_of_host: BTreeMap<NodeId, PositionKey> = BTreeMap::new();
+        let mut client_members: BTreeMap<PositionKey, Vec<String>> = BTreeMap::new();
+        let mut client_order: Vec<PositionKey> = Vec::new();
+        for (i, (_, host)) in testbed.client_hosts.iter().enumerate() {
+            let key = *client_key_of_host.entry(*host).or_insert_with(|| {
+                match topology.position_signature(*host) {
+                    Some((attach, cap, lat)) if shared && agg.contains(&attach) => {
+                        PositionKey::Shared(attach.0, cap, lat, false)
+                    }
+                    _ => PositionKey::Singleton(host.0),
+                }
+            });
+            let members = client_members.entry(key).or_insert_with(|| {
+                client_order.push(key);
+                Vec::new()
+            });
+            members.push(format!("User{}", i + 1));
+        }
+        let mut client_classes = Vec::with_capacity(client_order.len());
+        let mut client_class_of = BTreeMap::new();
+        for key in client_order {
+            let mut members = client_members.remove(&key).expect("key was recorded");
+            members.sort();
+            let id = client_classes.len();
+            for member in &members {
+                client_class_of.insert(member.clone(), id);
+            }
+            let representative = members.first().expect("classes are non-empty").clone();
+            let attach = match key {
+                PositionKey::Shared(attach, ..) => NodeId(attach),
+                PositionKey::Singleton(host) => topology
+                    .attachment(NodeId(host))
+                    .map(|(node, _)| node)
+                    .unwrap_or(NodeId(host)),
+            };
+            client_classes.push(ClientClass {
+                id,
+                attach,
+                members,
+                representative,
+            });
+        }
+
+        // Servers: identical attachment merges only under an aggregation
+        // tier; the machine shared with the request queue stays apart (its
+        // access link carries every inbound request, so it is *not*
+        // position-symmetric with its neighbours).
+        let mut server_members: BTreeMap<PositionKey, Vec<String>> = BTreeMap::new();
+        let mut server_order: Vec<PositionKey> = Vec::new();
+        for (j, host) in testbed.server_hosts.iter().enumerate() {
+            let key = if shared {
+                match topology.position_signature(*host) {
+                    Some((attach, cap, lat)) => {
+                        PositionKey::Shared(attach.0, cap, lat, *host == testbed.host_request_queue)
+                    }
+                    None => PositionKey::Singleton(host.0),
+                }
+            } else {
+                PositionKey::Singleton(j)
+            };
+            let members = server_members.entry(key).or_insert_with(|| {
+                server_order.push(key);
+                Vec::new()
+            });
+            members.push(format!("S{}", j + 1));
+        }
+        let mut server_classes = Vec::with_capacity(server_order.len());
+        let mut server_class_of = BTreeMap::new();
+        for key in server_order {
+            let mut members = server_members.remove(&key).expect("key was recorded");
+            members.sort();
+            let id = server_classes.len();
+            for member in &members {
+                server_class_of.insert(member.clone(), id);
+            }
+            server_classes.push(ServerClass { id, members });
+        }
+
+        ClassIndex {
+            client_classes,
+            client_class_of,
+            server_classes,
+            server_class_of,
+            shared,
+        }
+    }
+
+    /// Whether any merging happened (an aggregation tier exists). When
+    /// `false`, class-shared probing degenerates to exact per-element
+    /// probing.
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// The client classes, in ascending id order.
+    pub fn client_classes(&self) -> &[ClientClass] {
+        &self.client_classes
+    }
+
+    /// The server classes, in ascending id order.
+    pub fn server_classes(&self) -> &[ServerClass] {
+        &self.server_classes
+    }
+
+    /// The class a client belongs to.
+    pub fn client_class_of(&self, client: &str) -> Option<usize> {
+        self.client_class_of.get(client).copied()
+    }
+
+    /// The class a server belongs to.
+    pub fn server_class_of(&self, server: &str) -> Option<usize> {
+        self.server_class_of.get(server).copied()
+    }
+
+    /// The members of a client class.
+    pub fn client_class(&self, id: usize) -> Option<&ClientClass> {
+        self.client_classes.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridapp::TestbedSpec;
+
+    #[test]
+    fn classic_presets_have_one_class_per_machine_and_server() {
+        for preset in ["paper", "wide-fanout", "congested-core"] {
+            let spec = TestbedSpec::by_name(preset).unwrap();
+            let testbed = Testbed::from_spec(&spec).unwrap();
+            let index = ClassIndex::build(&testbed);
+            assert!(!index.is_shared(), "{preset}");
+            // One client class per distinct machine (shared machines pool
+            // their clients, exactly like the historical per-machine memo).
+            let distinct_hosts: std::collections::BTreeSet<_> =
+                testbed.client_hosts.iter().map(|&(_, h)| h).collect();
+            assert_eq!(index.client_classes().len(), distinct_hosts.len());
+            // Every server is its own class.
+            assert_eq!(index.server_classes().len(), testbed.server_hosts.len());
+            for class in index.server_classes() {
+                assert_eq!(class.members.len(), 1, "{preset}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_preset_pools_machine_sharing_clients() {
+        let testbed = Testbed::build().unwrap();
+        let index = ClassIndex::build(&testbed);
+        // C1/C2 and C5/C6 share machines: 4 client classes for 6 clients.
+        assert_eq!(index.client_classes().len(), 4);
+        let c12 = index.client_class_of("User1").unwrap();
+        assert_eq!(index.client_class_of("User2"), Some(c12));
+        assert_ne!(
+            index.client_class_of("User3"),
+            index.client_class_of("User4")
+        );
+        assert_eq!(
+            index.client_class(c12).unwrap().representative,
+            "User1".to_string()
+        );
+    }
+
+    #[test]
+    fn large_scale_merges_behind_aggregation_switches() {
+        let testbed = Testbed::from_spec(&TestbedSpec::large_scale()).unwrap();
+        let index = ClassIndex::build(&testbed);
+        assert!(index.is_shared());
+        // 800 R1 clients at 32/agg = 25 switches, 400 R2 clients = 13
+        // switches (12 full + one of 16), 800 R5 clients = 25 switches.
+        assert_eq!(index.client_classes().len(), 63);
+        let total_members: usize = index.client_classes().iter().map(|c| c.members.len()).sum();
+        assert_eq!(total_members, 2000);
+        // Servers: the 56 machines behind R3 are one class, the request-queue
+        // machine behind R4 is its own, the remaining 37 behind R4 are one.
+        assert_eq!(index.server_classes().len(), 3);
+        let sizes: Vec<usize> = index
+            .server_classes()
+            .iter()
+            .map(|c| c.members.len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 94);
+        assert!(sizes.contains(&56), "{sizes:?}");
+        assert!(sizes.contains(&1), "{sizes:?}");
+        assert!(sizes.contains(&37), "{sizes:?}");
+    }
+
+    #[test]
+    fn index_build_is_deterministic() {
+        let testbed = Testbed::from_spec(&TestbedSpec::large_scale()).unwrap();
+        let a = ClassIndex::build(&testbed);
+        let b = ClassIndex::build(&testbed);
+        assert_eq!(a.client_classes(), b.client_classes());
+        assert_eq!(a.server_classes(), b.server_classes());
+    }
+}

@@ -1,0 +1,147 @@
+//! Class-shared Remos probing.
+//!
+//! [`GridApp::flow_snapshot`](gridapp::GridApp::flow_snapshot) runs one
+//! max-min probe per client machine × server of the client's group — ~1 s of
+//! wall clock per control tick at 2,000 clients. The class-shared snapshot
+//! probes once per **network-position class** instead: one client-class
+//! representative against one representative per server class present in the
+//! group. On the classic presets every class is a singleton, so the shared
+//! snapshot is bit-identical to the per-client one (the property tests
+//! assert it); on aggregated testbeds it cuts probe sampling by roughly the
+//! class size.
+
+use crate::classes::{ClassIndex, ClientClass};
+use gridapp::{FlowSnapshot, GridApp};
+use std::collections::{BTreeSet, HashMap};
+
+/// The class-level `remos_get_flow`: predicted bandwidth between a client
+/// class and a server group, taken as the best available bandwidth from one
+/// representative per server class present in the group to the client
+/// class's representative machine. `None` mirrors the per-client query's
+/// failure when the group has no live active server.
+pub fn class_remos(
+    app: &GridApp,
+    index: &ClassIndex,
+    class: &ClientClass,
+    group: &str,
+) -> Option<f64> {
+    let servers = app.active_servers(group);
+    if servers.is_empty() {
+        return None;
+    }
+    let mut probed: BTreeSet<usize> = BTreeSet::new();
+    let mut best: f64 = 0.0;
+    for server in servers {
+        if let Some(sclass) = index.server_class_of(&server) {
+            if !probed.insert(sclass) {
+                continue; // another member of this class already answered
+            }
+        }
+        let bw = app
+            .available_bandwidth_between(&server, &class.representative)
+            .unwrap_or(0.0);
+        best = best.max(bw);
+    }
+    Some(best)
+}
+
+/// The class-shared equivalent of
+/// [`GridApp::flow_snapshot`](gridapp::GridApp::flow_snapshot): one entry per
+/// client in client-name order, with the flow of each `(class, group)` pair
+/// computed once and fanned out to every member.
+pub fn class_flow_snapshot(app: &GridApp, index: &ClassIndex) -> FlowSnapshot {
+    // Nested memo (class → group → flow) so the common memo-hit path — the
+    // vast majority of the 2,000 per-tick lookups at scale — allocates
+    // nothing; the group key is cloned only on a miss.
+    let mut memo: HashMap<usize, HashMap<String, Option<f64>>> = HashMap::new();
+    let mut entries = Vec::new();
+    for client in app.client_names() {
+        let group = match app.client_group(&client) {
+            Ok(group) => group,
+            Err(_) => continue,
+        };
+        let flow = match index
+            .client_class_of(&client)
+            .and_then(|id| index.client_class(id))
+        {
+            Some(class) => {
+                let per_group = memo.entry(class.id).or_default();
+                match per_group.get(&group) {
+                    Some(&cached) => cached,
+                    None => {
+                        let value = class_remos(app, index, class, &group);
+                        per_group.insert(group.clone(), value);
+                        value
+                    }
+                }
+            }
+            // A client outside the index (never the case for indexes built
+            // from the app's own testbed) falls back to the exact query.
+            None => app.remos_get_flow(&client, &group).ok(),
+        };
+        entries.push((client, group, flow));
+    }
+    FlowSnapshot::from_entries(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridapp::{GridConfig, TestbedSpec, SERVER_GROUP_1};
+    use simnet::SimTime;
+
+    #[test]
+    fn classic_snapshot_is_bit_identical_to_per_client_probing() {
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        app.advance(SimTime::from_secs(20.0));
+        let index = ClassIndex::build(app.testbed());
+        assert_eq!(class_flow_snapshot(&app, &index), app.flow_snapshot());
+        // Also under a squeeze and with a crashed replica.
+        app.set_competition_sg1(SimTime::from_secs(21.0), 9.99e6)
+            .unwrap();
+        app.crash_server(SimTime::from_secs(22.0), "S1").unwrap();
+        app.advance(SimTime::from_secs(30.0));
+        assert_eq!(class_flow_snapshot(&app, &index), app.flow_snapshot());
+    }
+
+    #[test]
+    fn dead_group_mirrors_the_per_client_failure() {
+        let mut app = GridApp::build(GridConfig::default()).unwrap();
+        for server in ["S1", "S2", "S3"] {
+            app.crash_server(SimTime::from_secs(5.0), server).unwrap();
+        }
+        let index = ClassIndex::build(app.testbed());
+        let snapshot = class_flow_snapshot(&app, &index);
+        for (client, group, flow) in snapshot.entries() {
+            if group == SERVER_GROUP_1 {
+                assert!(flow.is_none(), "{client} still sees a flow");
+            }
+        }
+        assert_eq!(snapshot, app.flow_snapshot());
+    }
+
+    #[test]
+    fn large_scale_snapshot_cuts_probe_solves_by_the_class_size() {
+        let mut app = GridApp::build(GridConfig::with_testbed(TestbedSpec::large_scale())).unwrap();
+        app.advance(SimTime::from_secs(10.0));
+        let index = ClassIndex::build(app.testbed());
+
+        let before = app.probe_solve_count();
+        let shared = class_flow_snapshot(&app, &index);
+        let shared_solves = app.probe_solve_count() - before;
+
+        // Perturb the network so the epoch memo cannot serve the second
+        // snapshot from the first one's probes.
+        app.set_competition_sg2(SimTime::from_secs(10.5), 1.0e6)
+            .unwrap();
+        let before = app.probe_solve_count();
+        let full = app.flow_snapshot();
+        let full_solves = app.probe_solve_count() - before;
+
+        assert_eq!(shared.entries().len(), full.entries().len());
+        assert!(
+            full_solves >= 4 * shared_solves.max(1),
+            "expected ≥4× fewer probe solves, got {full_solves} vs {shared_solves}"
+        );
+    }
+}

@@ -199,10 +199,17 @@ impl Tactic for ReduceServersTactic {
     }
 
     fn attempt(&self, ctx: &TacticContext<'_>) -> Result<TacticResult, RepairError> {
-        // Find any underutilised group with more than the minimum number of
+        // When the violation identifies a server group (the `underutilised`
+        // invariant is scoped per group), only that group is considered;
+        // subject-free violations keep the historical whole-model scan.
+        let subject_group = group_of_violation(ctx.model, ctx.violation);
+        // Find an underutilised group with more than the minimum number of
         // servers.
         let mut candidate: Option<(String, String)> = None;
         for (id, comp) in ctx.model.components_of_type(SERVER_GROUP_T) {
+            if subject_group.as_deref().is_some_and(|g| g != comp.name) {
+                continue;
+            }
             let load = comp
                 .properties
                 .get_f64(props::LOAD)
@@ -210,8 +217,18 @@ impl Tactic for ReduceServersTactic {
             if load > self.low_load_threshold {
                 continue;
             }
+            // Never shrink below the provisioned baseline: the group keeps
+            // at least its deployment-time replica count (`baseReplicas`),
+            // so cost reduction only retires capacity that repairs recruited
+            // on top.
+            let floor = comp
+                .properties
+                .get_f64(props::BASE_REPLICAS)
+                .map(|b| b.max(0.0) as usize)
+                .unwrap_or(self.min_servers)
+                .max(self.min_servers);
             let children = ctx.model.children_of(id).unwrap_or_default();
-            if children.len() <= self.min_servers {
+            if children.len() <= floor {
                 continue;
             }
             // Remove the most recently added server.
@@ -477,6 +494,24 @@ pub fn default_constraints() -> ConstraintSet {
         )
 }
 
+/// The `underutilised` invariant behind the restart-aware cost-reduction
+/// pass: a server group must either carry load or be at its provisioned
+/// replica count. It fires when a group idles with *more* replicas than it
+/// was deployed with — the state failover and load repairs leave behind once
+/// a crashed server has returned as a spare — and routes to
+/// [`reduce_servers_strategy`], which retires the surplus one replica per
+/// repair down to the `baseReplicas` floor. Opt-in (not part of
+/// [`default_constraints`]): cost reduction is a policy choice, and adding
+/// it changes repair traces.
+pub fn underutilised_invariant() -> Invariant {
+    Invariant::parse(
+        "underutilised",
+        ConstraintScope::EachComponent(SERVER_GROUP_T.into()),
+        "self.load > underutilisedLoad or self.replicationCount <= self.baseReplicas",
+    )
+    .expect("underutilised invariant parses")
+}
+
 /// Resolves the strategy that should handle a violation of the given
 /// invariant, mirroring line 2 of Figure 5 (`! → fixLatency(r)`).
 pub fn strategy_for_invariant(invariant: &str) -> Option<RepairStrategy> {
@@ -694,6 +729,84 @@ mod tests {
             outcome,
             StrategyOutcome::NoApplicableTactic { .. }
         ));
+    }
+
+    #[test]
+    fn underutilised_invariant_fires_only_above_the_provisioned_baseline() {
+        use archmodel::constraint::ConstraintSet;
+        let (mut model, _) = scenario(0, 1e6);
+        model.properties.set(props::UNDERUTILISED_LOAD, 1.0);
+        for group in ["ServerGrp1", "ServerGrp2"] {
+            let id = model.component_by_name(group).unwrap();
+            let properties = &mut model.component_mut(id).unwrap().properties;
+            properties.set(props::LOAD, 0i64);
+            properties.set(props::BASE_REPLICAS, 3.0);
+        }
+        let set = ConstraintSet::new().with(underutilised_invariant());
+        // At the provisioned count, an idle group is fine.
+        let report = set.check(&model);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        // A surplus replica on an idle group violates.
+        let mut tx = archmodel::Transaction::new(&model);
+        add_server(&mut tx, "ServerGrp1").unwrap();
+        tx.commit(&mut model).unwrap();
+        let report = set.check(&model);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].subject_name, "ServerGrp1");
+        // A busy group with a surplus replica does not.
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        model
+            .component_mut(g1)
+            .unwrap()
+            .properties
+            .set(props::LOAD, 5i64);
+        assert!(set.check(&model).violations.is_empty());
+    }
+
+    #[test]
+    fn reduce_servers_respects_the_subject_group_and_base_floor() {
+        let (mut model, _) = scenario(0, 1e6);
+        for group in ["ServerGrp1", "ServerGrp2"] {
+            let id = model.component_by_name(group).unwrap();
+            let properties = &mut model.component_mut(id).unwrap().properties;
+            properties.set(props::LOAD, 0i64);
+            properties.set(props::BASE_REPLICAS, 3.0);
+        }
+        let g1 = model.component_by_name("ServerGrp1").unwrap();
+        let violation = Violation {
+            invariant: "underutilised".into(),
+            subject: Some(ElementRef::Component(g1)),
+            subject_name: "ServerGrp1".into(),
+            detail: String::new(),
+        };
+        // Both groups idle at their baseline: the floor forbids any removal,
+        // even though the historical min_servers (1) would allow it.
+        let outcome = reduce_servers_strategy().run(&model, &violation, &StaticQuery::new());
+        assert!(matches!(
+            outcome,
+            StrategyOutcome::NoApplicableTactic { .. }
+        ));
+        // Grow *ServerGrp2* beyond its baseline: the subject-scoped tactic
+        // still leaves ServerGrp1 alone.
+        let mut tx = archmodel::Transaction::new(&model);
+        add_server(&mut tx, "ServerGrp2").unwrap();
+        tx.commit(&mut model).unwrap();
+        let outcome = reduce_servers_strategy().run(&model, &violation, &StaticQuery::new());
+        assert!(matches!(
+            outcome,
+            StrategyOutcome::NoApplicableTactic { .. }
+        ));
+        // A surplus on the subject group itself is retired.
+        let mut tx = archmodel::Transaction::new(&model);
+        add_server(&mut tx, "ServerGrp1").unwrap();
+        tx.commit(&mut model).unwrap();
+        match reduce_servers_strategy().run(&model, &violation, &StaticQuery::new()) {
+            StrategyOutcome::Repaired { description, .. } => {
+                assert!(description.contains("ServerGrp1"), "{description}");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
     }
 
     #[test]

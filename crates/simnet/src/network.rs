@@ -152,6 +152,9 @@ pub struct Network {
     /// Per-epoch memo of probe results: identical queries within one epoch
     /// are pure, so the first answer serves every later caller.
     probe_memo: RefCell<HashMap<(NodeId, NodeId), f64>>,
+    /// Lifetime count of max-min probe *solves* (memo misses) — the unit the
+    /// symmetry-aware probe sharing is measured in.
+    probe_solves: std::cell::Cell<u64>,
 }
 
 impl Network {
@@ -181,6 +184,7 @@ impl Network {
             probe_scratch: RefCell::new(Vec::new()),
             link_scratch: RefCell::new(Vec::new()),
             probe_memo: RefCell::new(HashMap::new()),
+            probe_solves: std::cell::Cell::new(0),
         };
         network.refresh_caps();
         network
@@ -668,6 +672,7 @@ impl Network {
         if let Some(&cached) = self.probe_memo.borrow().get(&(src, dst)) {
             return Ok(cached);
         }
+        self.probe_solves.set(self.probe_solves.get() + 1);
         let mut link_scratch = self.link_scratch.borrow_mut();
         link_scratch.clear();
         self.paths
@@ -687,6 +692,14 @@ impl Network {
         };
         self.probe_memo.borrow_mut().insert((src, dst), rate);
         Ok(rate)
+    }
+
+    /// Lifetime number of max-min probe solves performed by
+    /// [`available_bandwidth`](Self::available_bandwidth) (per-epoch memo
+    /// hits excluded). Probe-sharing optimisations are benchmarked against
+    /// this counter; it never influences behaviour.
+    pub fn probe_solve_count(&self) -> u64 {
+        self.probe_solves.get()
     }
 
     /// The current drain rate of a transfer, if it is still active.

@@ -214,6 +214,33 @@ impl Topology {
         Ok(())
     }
 
+    /// The single attachment point of a leaf node: the adjacent node and the
+    /// connecting link, provided the node has exactly one neighbour. Hosts in
+    /// the grid testbeds are always leaves (one access link to a router or an
+    /// aggregation switch), so this is the basis of network-position
+    /// equivalence classes: two leaves attached to the same node by links of
+    /// equal capacity and latency occupy symmetric network positions.
+    pub fn attachment(&self, node: NodeId) -> Option<(NodeId, LinkId)> {
+        match self.adjacency.get(node.0)?.as_slice() {
+            [(neighbour, link)] => Some((*neighbour, *link)),
+            _ => None,
+        }
+    }
+
+    /// An order/hash-stable signature of a leaf node's network position:
+    /// `(attachment node, capacity bits, latency bits)`. `None` for nodes
+    /// that are not leaves. Two leaves with equal signatures are attached to
+    /// the same node by indistinguishable links.
+    pub fn position_signature(&self, node: NodeId) -> Option<(NodeId, u64, u64)> {
+        let (attach, link) = self.attachment(node)?;
+        let link = self.links.get(link.0)?;
+        Some((
+            attach,
+            link.capacity_bps.to_bits(),
+            link.latency.as_secs().to_bits(),
+        ))
+    }
+
     /// Finds the link directly connecting `a` and `b`, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
         self.adjacency

@@ -21,6 +21,10 @@ pub struct RepairCostModel {
     pub find_server_secs: f64,
     /// Re-pointing a client at a different queue.
     pub move_client_secs: f64,
+    /// Per-client increment of a batched `moveClientGroup`: the batch pays
+    /// one full `move_client_secs` handshake plus this per additional client
+    /// (the routing-table entries ride the same update message).
+    pub move_client_batch_secs: f64,
     /// Configuring a server to pull from a queue.
     pub connect_server_secs: f64,
     /// Activating a server.
@@ -53,6 +57,7 @@ impl RepairCostModel {
             create_queue_secs: 1.0,
             find_server_secs: 2.0,
             move_client_secs: 2.0,
+            move_client_batch_secs: 0.02,
             connect_server_secs: 1.5,
             activate_server_secs: 2.0,
             deactivate_server_secs: 1.0,
@@ -90,6 +95,12 @@ impl RepairCostModel {
             RuntimeOp::CreateReqQueue { .. } => self.create_queue_secs,
             RuntimeOp::FindServer { .. } => self.find_server_secs,
             RuntimeOp::MoveClient { .. } => self.move_client_secs,
+            RuntimeOp::MoveClientGroup { clients, .. } => {
+                self.move_client_secs
+                    + self.move_client_batch_secs * clients.len().saturating_sub(1) as f64
+            }
+            // One broadcast sweep per group, not one handshake per replica.
+            RuntimeOp::DrainStuckServers { .. } => 2.0 * self.deactivate_server_secs,
             RuntimeOp::ConnectServer { .. } => self.connect_server_secs,
             RuntimeOp::ActivateServer { .. } => self.activate_server_secs,
             RuntimeOp::DeactivateServer { .. } => self.deactivate_server_secs,

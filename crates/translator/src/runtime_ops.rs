@@ -33,6 +33,32 @@ pub enum RuntimeOp {
         /// The server group whose queue it should use from now on.
         to_group: String,
     },
+    /// `moveClientGroup(clients, ReqQ newQ)` — the group-level planner's
+    /// batched client move: every listed client is re-pointed at the new
+    /// queue in one routing-table update, and their queued requests migrate
+    /// with them. One reconfiguration handshake covers the whole batch, which
+    /// is what makes fleet-scale migration affordable (a per-client
+    /// `moveClient` sequence pays the full handshake per client).
+    MoveClientGroup {
+        /// The clients to move, in execution order.
+        clients: Vec<String>,
+        /// The server group whose queue they should use from now on.
+        to_group: String,
+    },
+    /// `drainServer(group, age)` — one sweep of the `drainServer` tactic:
+    /// every replica of the group wedged transmitting a reply older than
+    /// `min_age_secs` is recycled in place (its stuck reply transfer is torn
+    /// down and the replica immediately pulls fresh work). The wedged set is
+    /// resolved at *execution* time, like `findServer` resolves spares, so
+    /// the sweep also catches replicas that wedged while the repair was in
+    /// flight.
+    DrainStuckServers {
+        /// The server group to sweep.
+        group: String,
+        /// Replies transmitting for longer than this (seconds since the
+        /// reply transfer started — queue wait does not count) are wedged.
+        min_age_secs: f64,
+    },
     /// `connectServer(Server srv, ReqQ to)` — configures a server to pull
     /// client requests from the given queue.
     ConnectServer {
@@ -84,6 +110,13 @@ impl RuntimeOp {
             RuntimeOp::MoveClient { client, to_group } => {
                 format!("moveClient({client} -> {to_group})")
             }
+            RuntimeOp::MoveClientGroup { clients, to_group } => {
+                format!("moveClientGroup({} clients -> {to_group})", clients.len())
+            }
+            RuntimeOp::DrainStuckServers {
+                group,
+                min_age_secs,
+            } => format!("drainStuckServers({group}, >{min_age_secs:.0}s)"),
             RuntimeOp::ConnectServer { server, group } => {
                 format!("connectServer({server}, {group})")
             }

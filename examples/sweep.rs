@@ -35,6 +35,30 @@ fn main() {
                     .expect("--topologies takes a comma-separated list of presets");
                 spec.topologies = value.split(',').map(|s| s.trim().to_string()).collect();
             }
+            "--strategies" => {
+                let value = args
+                    .next()
+                    .expect("--strategies takes a comma-separated list of strategy presets");
+                spec.strategies = value.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--durations" => {
+                let value = args
+                    .next()
+                    .expect("--durations takes a comma-separated list of seconds");
+                spec.durations_secs = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("durations are numbers"))
+                    .collect();
+            }
+            "--seeds" => {
+                let value = args
+                    .next()
+                    .expect("--seeds takes a comma-separated list of integers");
+                spec.seeds = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("seeds are integers"))
+                    .collect();
+            }
             "--workers" => {
                 let value = args.next().expect("--workers takes a count");
                 workers = value
@@ -55,9 +79,14 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--workers N] [--out FILE] [--faults P1,P2,...]"
+                    "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--strategies S1,S2,...] \
+                     [--durations D1,D2,...] [--seeds N1,N2,...] [--workers N] [--out FILE] [--faults P1,P2,...]"
                 );
                 eprintln!("topology presets: {}", gridapp::TESTBED_PRESETS.join(", "));
+                eprintln!(
+                    "strategy presets: {}",
+                    arch_adapt::STRATEGY_NAMES.join(", ")
+                );
                 eprintln!("fault profiles: {}", faultsim::FAULT_PROFILES.join(", "));
                 std::process::exit(2);
             }

@@ -65,6 +65,44 @@ proptest! {
     }
 }
 
+/// The group-level planner obeys the same contract: `plannedRepair` sweeps
+/// — whose repairs are batched `moveClientGroup` plans — are byte-identical
+/// for any worker count. (The 2,000-client cells are covered in release mode
+/// by the CI scale determinism gate; here the classic presets exercise the
+/// same planner code path cheaply.)
+#[test]
+fn planned_repair_sweep_is_worker_count_invariant() {
+    let spec = SweepSpec {
+        topologies: vec!["paper".into(), "wide-fanout".into()],
+        workloads: vec!["step".into()],
+        strategies: vec!["adaptive".into(), "plannedRepair".into()],
+        durations_secs: vec![90.0],
+        seeds: vec![42, 7],
+        fault_profiles: vec!["none".into()],
+    };
+    let serial = run_sweep(&spec, 1).unwrap();
+    for workers in [2, 5] {
+        let parallel = run_sweep(&spec, workers).unwrap();
+        assert_eq!(
+            serial.to_json_string(),
+            parallel.to_json_string(),
+            "plannedRepair report differs at {workers} workers"
+        );
+    }
+    // The planner actually repaired something in these cells (the sweep is
+    // not vacuously deterministic).
+    let planned_cells: Vec<_> = serial
+        .cells
+        .iter()
+        .filter(|c| c.key.strategy == "plannedRepair")
+        .collect();
+    assert_eq!(planned_cells.len(), 2);
+    assert!(
+        planned_cells.iter().any(|c| c.repairs_completed.mean > 0.0),
+        "plannedRepair cells repaired nothing"
+    );
+}
+
 /// A fixed multi-cell matrix (more units than workers, so the work-stealing
 /// loop actually interleaves) must also be worker-count invariant.
 #[test]
