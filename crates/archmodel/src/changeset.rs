@@ -186,11 +186,11 @@ fn find_role(system: &System, connector: &str, role: &str) -> Result<RoleId, Cha
     let cid = system
         .connector_by_name(connector)
         .ok_or_else(|| ChangeError::NotFound(format!("connector {connector}")))?;
-    let conn = system.connector(cid)?;
-    conn.roles
-        .iter()
-        .copied()
-        .find(|r| system.role(*r).map(|r| r.name == role).unwrap_or(false))
+    // O(1) via the per-connector name index — a bulk repair resolves a role
+    // on the shared service connector for every one of thousands of moved
+    // clients, and a `Connector::roles` scan here turns that quadratic.
+    system
+        .role_in_connector(cid, role)
         .ok_or_else(|| ChangeError::NotFound(format!("role {connector}.{role}")))
 }
 

@@ -239,18 +239,33 @@ impl ClientServerStyle {
     pub fn validate(system: &System) -> Vec<StyleViolation> {
         let mut violations = Vec::new();
 
+        // Server groups attached to each connector, precomputed once. Rules
+        // 1 and 5 both need this per connector; resolving it per *client*
+        // (thousands of which share one service connector) would rescan the
+        // shared connector's role list every time.
+        let groups_of_conn: std::collections::HashMap<ConnectorId, Vec<ComponentId>> = system
+            .connectors()
+            .map(|(id, _)| {
+                let groups: Vec<ComponentId> = system
+                    .components_attached_to_connector(id)
+                    .into_iter()
+                    .filter(|c| {
+                        system
+                            .component(*c)
+                            .map(|x| x.ctype == SERVER_GROUP_T)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                (id, groups)
+            })
+            .collect();
+
         // Rule 1: every client is connected to exactly one server group.
         for (id, comp) in system.components_of_type(CLIENT_T) {
             let groups: Vec<ComponentId> = system
                 .connectors_of_component(id)
                 .into_iter()
-                .flat_map(|c| system.components_attached_to_connector(c))
-                .filter(|c| {
-                    system
-                        .component(*c)
-                        .map(|x| x.ctype == SERVER_GROUP_T)
-                        .unwrap_or(false)
-                })
+                .flat_map(|c| groups_of_conn.get(&c).into_iter().flatten().copied())
                 .collect();
             if groups.len() != 1 {
                 violations.push(StyleViolation {
@@ -328,16 +343,7 @@ impl ClientServerStyle {
             if conn.ctype != SERVICE_CONN_T {
                 continue;
             }
-            let groups = system
-                .components_attached_to_connector(id)
-                .into_iter()
-                .filter(|c| {
-                    system
-                        .component(*c)
-                        .map(|x| x.ctype == SERVER_GROUP_T)
-                        .unwrap_or(false)
-                })
-                .count();
+            let groups = groups_of_conn.get(&id).map_or(0, Vec::len);
             if groups != 1 {
                 violations.push(StyleViolation {
                     rule: format!(

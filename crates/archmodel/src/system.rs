@@ -61,7 +61,15 @@ impl std::error::Error for ModelError {}
 /// readings per control tick. Element names are immutable once added
 /// (nothing in the workspace renames in place; use remove + add), which is
 /// what keeps the indices trivially consistent.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Attachment adjacency (`roles_attached_to_port`, `attached`, …) and
+/// per-connector role-name resolution are likewise indexed: a bulk repair at
+/// fleet scale detaches and re-attaches tens of thousands of client roles on
+/// one shared service connector, and a linear scan of the attachment list or
+/// the connector's role list per operation turns that into a quadratic stall.
+/// The `attachments` vector stays the canonical (ordered, serialized)
+/// representation; the indices mirror it and preserve its relative order.
+#[derive(Debug, Clone, Default)]
 pub struct System {
     /// The system's name.
     pub name: String,
@@ -76,9 +84,36 @@ pub struct System {
     next_id: u32,
     component_names: HashMap<Key, ComponentId>,
     connector_names: HashMap<Key, ConnectorId>,
-    /// First (lowest-id) role carrying each name — role names are not
-    /// enforced unique, and lookups keep the historic first-match semantics.
-    role_names: HashMap<Key, RoleId>,
+    /// First (lowest-id) role carrying each name plus how many roles carry
+    /// it — role names are not enforced unique, and lookups keep the
+    /// historic first-match semantics. The count makes removal O(1) for
+    /// unique names (the overwhelmingly common case); a promotion scan runs
+    /// only when duplicates actually exist.
+    role_names: HashMap<Key, (RoleId, u32)>,
+    /// First role with a given name within one connector (attachment-order
+    /// first, i.e. the earliest entry of `Connector::roles`), plus the
+    /// duplicate count — the resolver behind name-addressed `ModelOp`s.
+    connector_role_names: HashMap<(ConnectorId, Key), (RoleId, u32)>,
+    /// Roles attached to each port, in attachment order.
+    attachments_by_port: HashMap<PortId, Vec<RoleId>>,
+    /// Ports attached to each role, in attachment order.
+    attachments_by_role: HashMap<RoleId, Vec<PortId>>,
+}
+
+impl PartialEq for System {
+    // Semantic fields only: the name and adjacency indices are derived data
+    // (and e.g. an emptied-then-removed index entry vs a never-created one
+    // must not make two otherwise identical models compare unequal).
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.properties == other.properties
+            && self.components == other.components
+            && self.connectors == other.connectors
+            && self.ports == other.ports
+            && self.roles == other.roles
+            && self.attachments == other.attachments
+            && self.next_id == other.next_id
+    }
 }
 
 impl Serialize for System {
@@ -177,9 +212,14 @@ impl System {
         }
         let comp = self.components.remove(&id).expect("checked above");
         self.component_names.remove(&Key::new(&comp.name));
-        for port in comp.ports {
-            self.attachments.retain(|a| a.port != port);
-            self.ports.remove(&port);
+        let mut any_attached = false;
+        for port in &comp.ports {
+            any_attached |= self.unindex_port_attachments(*port);
+            self.ports.remove(port);
+        }
+        if any_attached {
+            let ports = &self.ports;
+            self.attachments.retain(|a| ports.contains_key(&a.port));
         }
         if let Some(parent) = comp.parent {
             if let Some(p) = self.components.get_mut(&parent) {
@@ -275,11 +315,20 @@ impl System {
             .remove(&id)
             .ok_or(ModelError::UnknownConnector(id))?;
         self.connector_names.remove(&Key::new(&conn.name));
+        let mut any_attached = false;
         for role in conn.roles {
-            self.attachments.retain(|a| a.role != role);
+            any_attached |= self.unindex_role_attachments(role);
             if let Some(removed) = self.roles.remove(&role) {
                 self.unindex_role(role, &removed.name);
+                // The whole connector is going: every one of its roles is
+                // being unindexed, so no promotion within the connector.
+                self.connector_role_names
+                    .remove(&(id, Key::new(&removed.name)));
             }
+        }
+        if any_attached {
+            let roles = &self.roles;
+            self.attachments.retain(|a| roles.contains_key(&a.role));
         }
         Ok(())
     }
@@ -347,7 +396,9 @@ impl System {
         if let Some(owner) = self.components.get_mut(&port.owner) {
             owner.ports.retain(|p| *p != id);
         }
-        self.attachments.retain(|a| a.port != id);
+        if self.unindex_port_attachments(id) {
+            self.attachments.retain(|a| a.port != id);
+        }
         Ok(())
     }
 
@@ -365,7 +416,15 @@ impl System {
         // First-wins: lookups return the lowest-id role with a given name,
         // as the pre-index linear scan did. Ids are monotonically assigned,
         // so an existing entry always has the lower id.
-        self.role_names.entry(key).or_insert(id);
+        let global = self.role_names.entry(key).or_insert((id, 0));
+        global.1 += 1;
+        // Same within the connector: the entry stays on the earliest entry
+        // of `Connector::roles`, which is the first one added.
+        let local = self
+            .connector_role_names
+            .entry((owner, key))
+            .or_insert((id, 0));
+        local.1 += 1;
         self.roles.insert(
             id,
             Role {
@@ -383,16 +442,84 @@ impl System {
         Ok(id)
     }
 
-    /// Drops a removed role from the name index, promoting the next
-    /// lowest-id role with the same name if one exists.
+    /// Drops a removed role from the global name index, promoting the next
+    /// lowest-id role with the same name if one exists. The duplicate count
+    /// makes the common unique-name case O(1): the promotion scan only runs
+    /// when other roles genuinely carry the same name.
     fn unindex_role(&mut self, id: RoleId, name: &str) {
         let key = Key::new(name);
-        if self.role_names.get(&key) == Some(&id) {
+        let Some(entry) = self.role_names.get_mut(&key) else {
+            return;
+        };
+        entry.1 -= 1;
+        if entry.1 == 0 {
             self.role_names.remove(&key);
+        } else if entry.0 == id {
             if let Some((next, _)) = self.roles.iter().find(|(_, r)| r.name == name) {
-                self.role_names.insert(key, *next);
+                entry.0 = *next;
             }
         }
+    }
+
+    /// Drops a removed role from its connector's name index, promoting the
+    /// next role (in `Connector::roles` order) with the same name.
+    fn unindex_connector_role(&mut self, id: RoleId, owner: ConnectorId, name: &str) {
+        let key = Key::new(name);
+        let Some(entry) = self.connector_role_names.get_mut(&(owner, key)) else {
+            return;
+        };
+        entry.1 -= 1;
+        let (first, remaining) = *entry;
+        if remaining == 0 {
+            self.connector_role_names.remove(&(owner, key));
+        } else if first == id {
+            if let Some(conn) = self.connectors.get(&owner) {
+                if let Some(next) = conn
+                    .roles
+                    .iter()
+                    .find(|r| self.roles.get(r).is_some_and(|role| role.name == name))
+                {
+                    self.connector_role_names
+                        .insert((owner, key), (*next, remaining));
+                }
+            }
+        }
+    }
+
+    /// Drops every attachment of `role` from the adjacency indices (not the
+    /// canonical list). Returns true if the role had any attachment — the
+    /// caller uses that to skip the O(attachments) canonical-list sweep for
+    /// the common remove-after-detach case.
+    fn unindex_role_attachments(&mut self, role: RoleId) -> bool {
+        let Some(ports) = self.attachments_by_role.remove(&role) else {
+            return false;
+        };
+        for port in &ports {
+            if let Some(v) = self.attachments_by_port.get_mut(port) {
+                v.retain(|r| *r != role);
+                if v.is_empty() {
+                    self.attachments_by_port.remove(port);
+                }
+            }
+        }
+        !ports.is_empty()
+    }
+
+    /// Drops every attachment of `port` from the adjacency indices (not the
+    /// canonical list). Returns true if the port had any attachment.
+    fn unindex_port_attachments(&mut self, port: PortId) -> bool {
+        let Some(roles) = self.attachments_by_port.remove(&port) else {
+            return false;
+        };
+        for role in &roles {
+            if let Some(v) = self.attachments_by_role.get_mut(role) {
+                v.retain(|p| *p != port);
+                if v.is_empty() {
+                    self.attachments_by_role.remove(role);
+                }
+            }
+        }
+        !roles.is_empty()
     }
 
     /// Removes a role and any attachment it participates in.
@@ -402,7 +529,10 @@ impl System {
         if let Some(owner) = self.connectors.get_mut(&role.owner) {
             owner.roles.retain(|r| *r != id);
         }
-        self.attachments.retain(|a| a.role != id);
+        self.unindex_connector_role(id, role.owner, &role.name);
+        if self.unindex_role_attachments(id) {
+            self.attachments.retain(|a| a.role != id);
+        }
         Ok(())
     }
 
@@ -414,7 +544,15 @@ impl System {
     /// [`role_by_name`](Self::role_by_name) with a pre-interned key (the
     /// hot-path variant used by the model updater).
     pub fn role_by_key(&self, key: Key) -> Option<RoleId> {
-        self.role_names.get(&key).copied()
+        self.role_names.get(&key).map(|(id, _)| *id)
+    }
+
+    /// The first role (in `Connector::roles` order) of the given connector
+    /// carrying `name` — the resolver behind name-addressed change ops. O(1).
+    pub fn role_in_connector(&self, connector: ConnectorId, name: &str) -> Option<RoleId> {
+        self.connector_role_names
+            .get(&(connector, Key::new(name)))
+            .map(|(id, _)| *id)
     }
 
     /// Looks up a port by id.
@@ -454,23 +592,40 @@ impl System {
         self.port(port)?;
         self.role(role)?;
         if self
-            .attachments
-            .iter()
-            .any(|a| a.port == port && a.role == role)
+            .attachments_by_port
+            .get(&port)
+            .is_some_and(|v| v.contains(&role))
         {
             return Err(ModelError::AlreadyAttached(port, role));
         }
         self.attachments.push(Attachment { port, role });
+        self.attachments_by_port.entry(port).or_default().push(role);
+        self.attachments_by_role.entry(role).or_default().push(port);
         Ok(())
     }
 
     /// Removes an attachment.
     pub fn detach(&mut self, port: PortId, role: RoleId) -> Result<(), ModelError> {
-        let before = self.attachments.len();
+        let exists = self
+            .attachments_by_port
+            .get(&port)
+            .is_some_and(|v| v.contains(&role));
+        if !exists {
+            return Err(ModelError::NotAttached(port, role));
+        }
         self.attachments
             .retain(|a| !(a.port == port && a.role == role));
-        if self.attachments.len() == before {
-            return Err(ModelError::NotAttached(port, role));
+        if let Some(v) = self.attachments_by_port.get_mut(&port) {
+            v.retain(|r| *r != role);
+            if v.is_empty() {
+                self.attachments_by_port.remove(&port);
+            }
+        }
+        if let Some(v) = self.attachments_by_role.get_mut(&role) {
+            v.retain(|p| *p != port);
+            if v.is_empty() {
+                self.attachments_by_role.remove(&role);
+            }
         }
         Ok(())
     }
@@ -482,29 +637,41 @@ impl System {
 
     /// True if the given port and role are attached.
     pub fn attached(&self, port: PortId, role: RoleId) -> bool {
-        self.attachments
-            .iter()
-            .any(|a| a.port == port && a.role == role)
+        self.attachments_by_port
+            .get(&port)
+            .is_some_and(|v| v.contains(&role))
     }
 
-    /// The component attached to the given role, if any.
+    /// The roles attached to the given port, in attachment order.
+    pub fn roles_attached_to_port(&self, port: PortId) -> &[RoleId] {
+        self.attachments_by_port
+            .get(&port)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The component attached to the given role, if any (the first
+    /// attachment in attachment order, matching the historic scan).
     pub fn component_attached_to_role(&self, role: RoleId) -> Option<ComponentId> {
-        self.attachments
-            .iter()
-            .find(|a| a.role == role)
-            .and_then(|a| self.ports.get(&a.port))
+        self.attachments_by_role
+            .get(&role)
+            .and_then(|ports| ports.first())
+            .and_then(|p| self.ports.get(p))
             .map(|p| p.owner)
     }
 
-    /// The roles attached to ports owned by the given component.
+    /// The roles attached to ports owned by the given component, in
+    /// per-port attachment order (ports in declaration order). Components in
+    /// this workspace attach through a single port, so this matches the
+    /// historic global attachment-order scan.
     pub fn roles_of_component(&self, id: ComponentId) -> Vec<RoleId> {
         let Ok(comp) = self.component(id) else {
             return Vec::new();
         };
-        self.attachments
+        comp.ports
             .iter()
-            .filter(|a| comp.ports.contains(&a.port))
-            .map(|a| a.role)
+            .flat_map(|p| self.roles_attached_to_port(*p))
+            .copied()
             .collect()
     }
 
@@ -525,11 +692,12 @@ impl System {
         let Ok(conn) = self.connector(id) else {
             return Vec::new();
         };
-        let mut out: Vec<ComponentId> = self
-            .attachments
+        let mut out: Vec<ComponentId> = conn
+            .roles
             .iter()
-            .filter(|a| conn.roles.contains(&a.role))
-            .filter_map(|a| self.ports.get(&a.port).map(|p| p.owner))
+            .filter_map(|r| self.attachments_by_role.get(r))
+            .flatten()
+            .filter_map(|p| self.ports.get(p).map(|port| port.owner))
             .collect();
         out.sort();
         out.dedup();

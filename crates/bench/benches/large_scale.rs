@@ -82,6 +82,62 @@ fn assert_allocator_equivalence() {
     println!("[large-scale] allocator matches reference bit-identically (16/128/512 flows)");
 }
 
+/// Asserts the aggregate-flow allocator is observationally invisible: a
+/// 60 s large-scale run with class aggregation on and off must produce
+/// bit-identical completions, queue lengths, and unserved demand — and the
+/// aggregated run must actually have aggregated (non-trivial row sharing).
+fn assert_aggregate_equivalence() {
+    let fingerprint = |aggregate: bool| {
+        let config = GridConfig {
+            aggregate_flows: aggregate,
+            ..large_grid()
+        };
+        let mut app = GridApp::build(config).expect("app builds");
+        let mut out: Vec<(String, u64)> = Vec::new();
+        // Row counts describe the *last* allocation epoch (often idle at a
+        // coarse sample boundary), so track the busiest epoch seen.
+        let mut peak_rows = 0usize;
+        let mut t = 0.0;
+        while t < 60.0 {
+            t += 10.0;
+            app.sample_metrics(SimTime::from_secs(t));
+            peak_rows = peak_rows.max(app.aggregation_stats().rows);
+            for completion in app.take_completions() {
+                out.push((completion.client, completion.latency_secs.to_bits()));
+            }
+            for group in app.group_names() {
+                out.push((
+                    format!("queue/{group}"),
+                    app.queue_length(&group).unwrap() as u64,
+                ));
+            }
+            out.push(("unserved".to_string(), app.unserved_demand_secs().to_bits()));
+        }
+        (out, peak_rows, app.aggregation_stats().permanent_splits)
+    };
+    let (agg, agg_rows, agg_splits) = fingerprint(true);
+    let (exploded, exploded_rows, exploded_splits) = fingerprint(false);
+    assert_eq!(
+        agg, exploded,
+        "aggregate and exploded runs must be bit-identical"
+    );
+    // Proof the toggle was real: the aggregated run pushed class rows and
+    // split symmetry-broken clients out of them; the exploded run, with no
+    // flow classes registered, can do neither.
+    assert!(
+        agg_rows > 0 && agg_splits > 0,
+        "aggregated run never engaged: {agg_rows} rows, {agg_splits} splits"
+    );
+    assert!(
+        exploded_rows == 0 && exploded_splits == 0,
+        "exploded run must not aggregate: {exploded_rows} rows, {exploded_splits} splits"
+    );
+    println!(
+        "[large-scale] aggregate allocator observationally invisible over 60 s \
+         ({agg_rows} rows at peak, {agg_splits} permanent splits)"
+    );
+}
+
 /// Asserts the symmetry-aware class probing cuts per-tick probe sampling by
 /// at least 4× on the large-scale preset (the PR's headline probe figure),
 /// and returns `(full, shared)` solve counts for the archived JSON.
@@ -117,6 +173,7 @@ fn assert_probe_sharing() -> (u64, u64) {
 
 fn bench_large_scale(c: &mut Criterion) {
     assert_allocator_equivalence();
+    assert_aggregate_equivalence();
     let (full_solves, shared_solves) = assert_probe_sharing();
 
     let mut group = c.benchmark_group("large_scale");
@@ -220,6 +277,31 @@ fn bench_large_scale(c: &mut Criterion) {
         planned.adaptive.summary.repairs_completed, planned.adaptive.summary.client_moves,
     );
 
+    // The fleet-scale gate: the 50,000-client 300 s control-vs-plannedRepair
+    // comparison must finish in *less* wall time than the 2,000-client one.
+    // Aggregate demand rows, class-shared probes, and the indexed model keep
+    // per-tick and per-repair cost a function of class count rather than
+    // client count, so 25× the clients must not cost 1× the wall clock.
+    let fleet_grid = GridConfig::with_testbed(TestbedSpec::large_scale_50k());
+    let fleet_clients = TestbedSpec::large_scale_50k().num_clients();
+    let schedule =
+        ExperimentSchedule::by_name("step", &fleet_grid, 300.0).expect("step schedule exists");
+    let fleet_config = FrameworkConfig::by_name("plannedRepair").expect("preset exists");
+    let started = std::time::Instant::now();
+    let fleet = Comparison::run_with(fleet_grid, fleet_config, Some(&schedule), 300.0)
+        .expect("fleet-scale comparison runs");
+    let fleet_wall = started.elapsed().as_secs_f64();
+    assert!(
+        fleet_wall < planned_wall,
+        "the {fleet_clients}-client comparison ({fleet_wall:.1} s) must run faster than \
+         the 2,000-client one ({planned_wall:.1} s)"
+    );
+    println!(
+        "[large-scale] 300 s fleet-scale ({fleet_clients} clients) plannedRepair comparison: \
+         {fleet_wall:.1} s wall (2,000-client: {planned_wall:.1} s; {} repairs, {} client moves)",
+        fleet.adaptive.summary.repairs_completed, fleet.adaptive.summary.client_moves,
+    );
+
     let out = std::env::var("LARGE_SCALE_BENCH_OUT")
         .unwrap_or_else(|_| "large_scale_bench.json".to_string());
     let json = serde_json::json!({
@@ -240,6 +322,11 @@ fn bench_large_scale(c: &mut Criterion) {
         "planned_completed_requests": planned.adaptive.summary.latency.map(|s| s.count),
         "probe_solves_per_snapshot_full": full_solves,
         "probe_solves_per_snapshot_class_shared": shared_solves,
+        "fleet_clients": fleet_clients,
+        "fleet_comparison_wall_secs": fleet_wall,
+        "fleet_violation_fraction": fleet.adaptive.summary.fraction_latency_above_bound,
+        "fleet_repairs_completed": fleet.adaptive.summary.repairs_completed,
+        "fleet_client_moves": fleet.adaptive.summary.client_moves,
     });
     std::fs::write(
         &out,

@@ -85,6 +85,12 @@ pub struct RunResult {
     pub fault_onsets: Vec<f64>,
     /// Repair statistics.
     pub repair_stats: RepairStats,
+    /// Time-weighted unserved demand at run end: the summed age (seconds)
+    /// of every request still in flight. The violation fraction only counts
+    /// *completed* requests, so a run whose group wedged mid-fault can
+    /// report a clean fraction while carrying minutes of stranded work —
+    /// this number exposes that.
+    pub unserved_demand_secs: f64,
     /// Headline summary.
     pub summary: RunSummary,
 }
@@ -165,6 +171,7 @@ pub fn run_with_schedule_and_faults(
         .map(|c| c.onsets.clone())
         .unwrap_or_default();
     framework.run_with_faults(config.duration_secs, schedule, compiled.as_ref());
+    let unserved_demand_secs = framework.app().unserved_demand_secs();
     let metrics = framework.metrics().clone();
     let trace = framework.trace().clone();
     let stats = framework.repair_stats();
@@ -182,6 +189,7 @@ pub fn run_with_schedule_and_faults(
         repair_intervals,
         fault_onsets,
         repair_stats: stats,
+        unserved_demand_secs,
         summary,
     })
 }

@@ -189,6 +189,12 @@ pub struct AdaptationFramework {
     engine: RepairEngine,
     pipeline: MonitoringPipeline,
     planner: Option<planner::GroupPlanner>,
+    /// Fleet-scale monitoring index: present when the deployment is at or
+    /// above [`gridapp::FLEET_SCALE_MIN_CLIENTS`], for *every* strategy
+    /// (control runs need cheap monitoring too). Per-client gauges and flow
+    /// snapshots are then issued per class representative instead of per
+    /// client.
+    monitor_index: Option<planner::ClassIndex>,
     trace: Trace,
     pending: Option<PendingRepair>,
     repair_seq: u64,
@@ -236,6 +242,8 @@ impl AdaptationFramework {
                 config.damping_secs,
             )
         });
+        let monitor_index = (app.testbed().num_clients() >= gridapp::FLEET_SCALE_MIN_CLIENTS)
+            .then(|| planner::ClassIndex::build(app.testbed()));
 
         let mut framework = AdaptationFramework {
             config,
@@ -247,6 +255,7 @@ impl AdaptationFramework {
             engine,
             pipeline,
             planner: group_planner,
+            monitor_index,
             trace: Trace::new(),
             pending: None,
             repair_seq: 0,
@@ -300,7 +309,19 @@ impl AdaptationFramework {
         self.trace
             .record(now, TraceKind::Info, "deploying probes and gauges");
         let manager = self.pipeline.manager_mut();
-        let clients = self.app.client_names();
+        // At fleet scale, per-client gauges exist only for class
+        // representatives: one latency/bandwidth/reachability gauge per
+        // network-position class covers its symmetric members, and the
+        // constraint checker treats the un-gauged members' missing
+        // properties as evaluation errors, not violations.
+        let clients = match &self.monitor_index {
+            Some(index) => index
+                .client_classes()
+                .iter()
+                .map(|class| class.representative.clone())
+                .collect(),
+            None => self.app.client_names(),
+        };
         let groups = self.app.group_names();
         for client in &clients {
             manager.create(
@@ -466,9 +487,14 @@ impl AdaptationFramework {
         // machine (identical on classic testbeds, where every class is a
         // singleton).
         self.app.advance(t);
-        let flows = match &self.planner {
-            Some(group_planner) => planner::class_flow_snapshot(&self.app, group_planner.index()),
-            None => self.app.flow_snapshot(),
+        let flows = if let Some(index) = &self.monitor_index {
+            // Fleet scale: one probe entry per (class, group) representative
+            // — the only clients carrying gauges.
+            planner::class_rep_flow_snapshot(&self.app, index)
+        } else if let Some(group_planner) = &self.planner {
+            planner::class_flow_snapshot(&self.app, group_planner.index())
+        } else {
+            self.app.flow_snapshot()
         };
         self.app.sample_metrics_with_flows(t, &flows);
 
@@ -698,7 +724,7 @@ impl AdaptationFramework {
             }
             RuntimeOp::FindServer { .. } => Ok(()),
             RuntimeOp::ConnectServer { server, group } => {
-                let runtime = self.resolve_server(server);
+                let runtime = self.resolve_server(server, group);
                 match runtime {
                     Some(runtime) => {
                         self.server_map.insert(server.clone(), runtime.clone());
@@ -801,12 +827,15 @@ impl AdaptationFramework {
     }
 
     /// Maps a model-level server name to a runtime server, recruiting a spare
-    /// if the mapping does not exist yet.
-    fn resolve_server(&self, model_name: &str) -> Option<String> {
+    /// if the mapping does not exist yet. Recruitment is group-aware: a
+    /// spare attached to the same router as the group's current replicas is
+    /// preferred, so a repair does not pull a spare from another group's
+    /// rack merely because its name sorts first.
+    fn resolve_server(&self, model_name: &str, group: &str) -> Option<String> {
         if let Some(existing) = self.server_map.get(model_name) {
             return Some(existing.clone());
         }
-        self.app.find_server(None, 0.0)
+        self.app.find_server_for_group(group, None, 0.0)
     }
 
     /// Runs the framework for `duration` seconds of simulated time under an

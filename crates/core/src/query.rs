@@ -42,8 +42,10 @@ impl RuntimeQuery for AppQuery<'_> {
         self.app.remos_get_flow(client, group).ok()
     }
 
-    fn find_spare_server(&self, _group: &str) -> Option<String> {
-        self.app.find_server(None, 0.0)
+    fn find_spare_server(&self, group: &str) -> Option<String> {
+        // Attachment-aware: prefer a spare on the group's own router so a
+        // recruit does not cross racks just because its name sorts first.
+        self.app.find_server_for_group(group, None, 0.0)
     }
 
     fn spare_server_count(&self, _group: &str) -> usize {

@@ -381,12 +381,45 @@ impl SweepUnit {
 
 /// Resilience metrics of one fault-injected comparison unit: the same
 /// fault schedule measured under the control and the adaptive framework.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct UnitResilience {
     /// Resilience of the control run.
     pub control: Resilience,
     /// Resilience of the adaptive run.
     pub adaptive: Resilience,
+    /// Time-weighted unserved demand (summed seconds of request age still
+    /// in flight at run end) of the control run. Measured only on
+    /// aggregated testbeds, where a wedged group strands minutes of work
+    /// that the completed-request violation fraction cannot see.
+    pub control_unserved_demand_secs: Option<f64>,
+    /// Time-weighted unserved demand of the adaptive run.
+    pub adaptive_unserved_demand_secs: Option<f64>,
+}
+
+impl Serialize for UnitResilience {
+    // Hand-written: the unserved-demand keys only appear for aggregated
+    // testbeds, keeping classic-preset fault reports byte-identical to the
+    // earlier layout (the vendored serde derive has no
+    // `skip_serializing_if`).
+    fn to_content(&self) -> Content {
+        let mut fields = vec![
+            ("control".to_string(), self.control.to_content()),
+            ("adaptive".to_string(), self.adaptive.to_content()),
+        ];
+        if let Some(unserved) = self.control_unserved_demand_secs {
+            fields.push((
+                "control_unserved_demand_secs".to_string(),
+                unserved.to_content(),
+            ));
+        }
+        if let Some(unserved) = self.adaptive_unserved_demand_secs {
+            fields.push((
+                "adaptive_unserved_demand_secs".to_string(),
+                unserved.to_content(),
+            ));
+        }
+        Content::Map(fields)
+    }
 }
 
 impl UnitResilience {
@@ -402,9 +435,14 @@ impl UnitResilience {
                 &run.fault_onsets,
             )
         };
+        let aggregated = grid.testbed.clients_per_agg > 0;
         UnitResilience {
             control: measure(&comparison.control),
             adaptive: measure(&comparison.adaptive),
+            control_unserved_demand_secs: aggregated
+                .then_some(comparison.control.unserved_demand_secs),
+            adaptive_unserved_demand_secs: aggregated
+                .then_some(comparison.adaptive.unserved_demand_secs),
         }
     }
 }
@@ -626,6 +664,12 @@ pub struct CellReport {
     /// Adaptive-run violation fraction during the fault window across seeds
     /// (fault cells only).
     pub violation_during_fault: Option<Aggregate>,
+    /// Control-run time-weighted unserved demand across seeds (fault cells
+    /// on aggregated testbeds only).
+    pub control_unserved_demand_secs: Option<Aggregate>,
+    /// Adaptive-run time-weighted unserved demand across seeds (fault cells
+    /// on aggregated testbeds only).
+    pub adaptive_unserved_demand_secs: Option<Aggregate>,
 }
 
 impl Serialize for CellReport {
@@ -669,6 +713,21 @@ impl Serialize for CellReport {
             fields.push((
                 "violation_during_fault".to_string(),
                 self.violation_during_fault.to_content(),
+            ));
+        }
+        // Unserved demand is gated on the *data* (only aggregated testbeds
+        // measure it), not on `has_faults()`: classic-preset fault reports
+        // keep their historical layout byte-for-byte.
+        if self.control_unserved_demand_secs.is_some()
+            || self.adaptive_unserved_demand_secs.is_some()
+        {
+            fields.push((
+                "control_unserved_demand_secs".to_string(),
+                self.control_unserved_demand_secs.to_content(),
+            ));
+            fields.push((
+                "adaptive_unserved_demand_secs".to_string(),
+                self.adaptive_unserved_demand_secs.to_content(),
             ));
         }
         Content::Map(fields)
@@ -717,6 +776,10 @@ impl CellReport {
             let values: Vec<f64> = resilience.iter().filter_map(|r| f(&r.adaptive)).collect();
             Aggregate::of(&values)
         };
+        let unserved_metric = |f: fn(&UnitResilience) -> Option<f64>| -> Option<Aggregate> {
+            let values: Vec<f64> = resilience.iter().filter_map(|r| f(r)).collect();
+            Aggregate::of(&values)
+        };
         CellReport {
             key,
             control_violation: Aggregate::of(&control).expect("cells have at least one seed"),
@@ -730,6 +793,8 @@ impl CellReport {
             downtime_secs: adaptive_metric(|r| Some(r.downtime_secs)),
             mttr_secs: adaptive_metric(|r| r.mttr_secs),
             violation_during_fault: adaptive_metric(|r| Some(r.violation_fraction_during_fault)),
+            control_unserved_demand_secs: unserved_metric(|r| r.control_unserved_demand_secs),
+            adaptive_unserved_demand_secs: unserved_metric(|r| r.adaptive_unserved_demand_secs),
             outcomes,
         }
     }
@@ -812,6 +877,39 @@ mod tests {
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
         }
+    }
+
+    #[test]
+    fn unserved_demand_keys_appear_only_when_measured() {
+        let resilience = Resilience {
+            availability: 1.0,
+            downtime_secs: 0.0,
+            mttr_secs: None,
+            violation_fraction_during_fault: 0.0,
+        };
+        let classic = UnitResilience {
+            control: resilience,
+            adaptive: resilience,
+            control_unserved_demand_secs: None,
+            adaptive_unserved_demand_secs: None,
+        };
+        // Classic-preset layout: exactly the two historical keys, so
+        // existing fault reports stay byte-identical.
+        let Content::Map(fields) = classic.to_content() else {
+            panic!("unit resilience serialises to a map");
+        };
+        assert_eq!(
+            fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["control", "adaptive"]
+        );
+        let aggregated = UnitResilience {
+            control_unserved_demand_secs: Some(123.5),
+            adaptive_unserved_demand_secs: Some(4.25),
+            ..classic
+        };
+        let json = serde_json::to_string(&aggregated).unwrap();
+        assert!(json.contains("\"control_unserved_demand_secs\""));
+        assert!(json.contains("\"adaptive_unserved_demand_secs\""));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! per-client available bandwidth is recorded for the experiment figures.
 
 use crate::config::GridConfig;
+use crate::due::DueQueue;
 use crate::metrics::Metrics;
 use crate::testbed::Testbed;
 use simnet::{NetError, Network, NodeId, SimDuration, SimRng, SimTime, TransferId};
@@ -158,12 +159,14 @@ pub struct GridApp {
     client_seq: Vec<String>,
     client_idx: HashMap<String, u32>,
     /// `(next_request_at, client)` for every client with a positive rate.
-    request_due: BTreeSet<(SimTime, u32)>,
+    request_due: DueQueue,
     /// Server names by dense index (build order) and the reverse map.
     server_seq: Vec<String>,
     server_idx: HashMap<String, u32>,
     /// `(service-finish, server)` mirroring every `ServerState::busy`.
-    service_due: BTreeSet<(SimTime, u32)>,
+    service_due: DueQueue,
+    /// Scratch for calendar-queue due collection, reused across steps.
+    due_scratch: Vec<(SimTime, u32)>,
     /// Transmitting server of each in-flight response, by request id.
     sending_index: HashMap<u64, String>,
     /// Per group, the name-ordered set of servers currently able to pull
@@ -179,7 +182,19 @@ impl GridApp {
     pub fn build(config: GridConfig) -> Result<GridApp, AppError> {
         let testbed =
             Testbed::from_spec(&config.testbed).map_err(|e| AppError::Invalid(e.to_string()))?;
-        let network = Network::new(testbed.topology.clone());
+        let mut network = Network::new(testbed.topology.clone());
+        if config.aggregate_flows {
+            // One aggregate demand row per network-position class of client
+            // machines (empty — and therefore a no-op — on the classic
+            // presets). Bit-identical to the exploded per-client solve.
+            network.set_flow_classes(testbed.client_position_classes());
+        }
+        if testbed.num_clients() >= crate::testbed::FLEET_SCALE_MIN_CLIENTS {
+            // Fleet-scale topologies cannot afford one shortest-path tree
+            // per client-host source; compose leaf paths over the access
+            // links instead.
+            network.set_leaf_routing(true);
+        }
         let root_rng = SimRng::seed_from_u64(config.seed);
 
         let mut clients = BTreeMap::new();
@@ -191,7 +206,16 @@ impl GridApp {
                 .expect("testbed has a slot per client");
             let mut stream = root_rng.derive(i);
             // Stagger the first requests so clients do not fire in lockstep.
-            let first = SimTime::from_secs(stream.uniform_range(0.1, 1.0));
+            // At fleet scale a one-second window would still dump every
+            // client's opening request into the first second (a 50k-request
+            // thundering herd); spread the starts over one mean inter-arrival
+            // instead so the opening load matches steady state.
+            let stagger = if testbed.num_clients() >= crate::testbed::FLEET_SCALE_MIN_CLIENTS {
+                (1.0 / config.request_rate_per_client.max(1e-9)).max(1.0)
+            } else {
+                1.0
+            };
+            let first = SimTime::from_secs(stream.uniform_range(0.1, stagger));
             clients.insert(
                 name.clone(),
                 ClientState {
@@ -241,11 +265,10 @@ impl GridApp {
             .enumerate()
             .map(|(i, name)| (name.clone(), i as u32))
             .collect();
-        let request_due: BTreeSet<(SimTime, u32)> = clients
-            .iter()
-            .filter(|(_, c)| c.rate_per_sec > 0.0)
-            .map(|(name, c)| (c.next_request_at, client_idx[name]))
-            .collect();
+        let mut request_due = DueQueue::new();
+        for (name, c) in clients.iter().filter(|(_, c)| c.rate_per_sec > 0.0) {
+            request_due.insert(c.next_request_at, client_idx[name]);
+        }
         let server_seq: Vec<String> = servers.keys().cloned().collect();
         let server_idx: HashMap<String, u32> = server_seq
             .iter()
@@ -279,7 +302,8 @@ impl GridApp {
             request_due,
             server_seq,
             server_idx,
-            service_due: BTreeSet::new(),
+            service_due: DueQueue::new(),
+            due_scratch: Vec::new(),
             sending_index: HashMap::new(),
             idle,
         })
@@ -425,6 +449,20 @@ impl GridApp {
         self.requests.len()
     }
 
+    /// Total age, in seconds, of every request still in flight — the
+    /// time-weighted unserved demand the violation fraction cannot see (it
+    /// only counts completed requests, so work stuck behind a dead group
+    /// never registers). Summed in request-id order so the floating-point
+    /// total is reproducible.
+    pub fn unserved_demand_secs(&self) -> f64 {
+        let now = self.now;
+        let mut ids: Vec<u64> = self.requests.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| now.since(self.requests[id].issued_at).as_secs())
+            .sum()
+    }
+
     /// Drains the requests completed since the last call (used by the latency
     /// probe).
     pub fn take_completions(&mut self) -> Vec<CompletedRequest> {
@@ -441,12 +479,11 @@ impl GridApp {
             client.response_bytes = response_bytes.max(1.0);
         }
         // The due index only tracks clients with a positive rate.
-        self.request_due = self
-            .clients
-            .iter()
-            .filter(|(_, c)| c.rate_per_sec > 0.0)
-            .map(|(name, c)| (c.next_request_at, self.client_idx[name]))
-            .collect();
+        self.request_due.clear();
+        for (name, c) in self.clients.iter().filter(|(_, c)| c.rate_per_sec > 0.0) {
+            self.request_due
+                .insert(c.next_request_at, self.client_idx[name]);
+        }
     }
 
     /// Sets the competing background load (bits/second) on the R2–R3 link
@@ -533,7 +570,7 @@ impl GridApp {
             (busy, sending)
         };
         if let Some((_, finish)) = busy {
-            self.service_due.remove(&(finish, self.server_idx[server]));
+            self.service_due.remove(finish, self.server_idx[server]);
         }
         self.refresh_idle(server);
         // The request in service is lost with the process.
@@ -601,24 +638,77 @@ impl GridApp {
         bandwidth_threshold_bps: f64,
     ) -> Option<String> {
         for (name, server) in &self.servers {
-            if server.active || server.group.is_some() || !server.up {
-                continue;
+            if self.spare_qualifies(server, client, bandwidth_threshold_bps) {
+                return Some(name.clone());
             }
-            if let Some(client) = client {
-                let Some(client_state) = self.clients.get(client) else {
-                    continue;
-                };
-                let bw = self
-                    .network
-                    .available_bandwidth(server.host, client_state.host)
-                    .unwrap_or(0.0);
-                if bw < bandwidth_threshold_bps {
-                    continue;
-                }
-            }
-            return Some(name.clone());
         }
         None
+    }
+
+    /// Whether a server is a spare (inactive, unassigned, alive) that also
+    /// clears the optional client-bandwidth threshold.
+    fn spare_qualifies(
+        &self,
+        server: &ServerState,
+        client: Option<&str>,
+        bandwidth_threshold_bps: f64,
+    ) -> bool {
+        if server.active || server.group.is_some() || !server.up {
+            return false;
+        }
+        if let Some(client) = client {
+            let Some(client_state) = self.clients.get(client) else {
+                return false;
+            };
+            let bw = self
+                .network
+                .available_bandwidth(server.host, client_state.host)
+                .unwrap_or(0.0);
+            if bw < bandwidth_threshold_bps {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The attachment router of a group's replicas, read from its first
+    /// live active member in name order (`None` for a dead or empty group).
+    fn group_attachment(&self, group: &str) -> Option<NodeId> {
+        self.servers
+            .values()
+            .find(|s| s.active && s.up && s.group.as_deref() == Some(group))
+            .and_then(|s| self.testbed.topology.attachment(s.host))
+            .map(|(node, _)| node)
+    }
+
+    /// Group-aware `findServer` used by repair recruitment: prefers a spare
+    /// whose machine attaches to the same router as the group's current
+    /// replicas. Plain name order alone pulls whichever spare sorts first —
+    /// on the scaled testbeds that hands an R3-attached spare (`S49`) to an
+    /// R4 group, parking the recruit behind the wrong router and silently
+    /// contaminating its server class's shared probes. Falls back to the
+    /// name-order pick when no same-attachment spare qualifies; such a
+    /// cross-attachment recruit keeps its own position class (an explicit
+    /// class split — class-shared probing probes it separately rather than
+    /// lumping it with the group's native replicas).
+    pub fn find_server_for_group(
+        &self,
+        group: &str,
+        client: Option<&str>,
+        bandwidth_threshold_bps: f64,
+    ) -> Option<String> {
+        if let Some(target) = self.group_attachment(group) {
+            for (name, server) in &self.servers {
+                if !self.spare_qualifies(server, client, bandwidth_threshold_bps) {
+                    continue;
+                }
+                let attach = self.testbed.topology.attachment(server.host);
+                if attach.map(|(node, _)| node) == Some(target) {
+                    return Some(name.clone());
+                }
+            }
+        }
+        self.find_server(client, bandwidth_threshold_bps)
     }
 
     /// Names of every live spare (inactive, unassigned) server, in name
@@ -717,6 +807,15 @@ impl GridApp {
             .get_mut(client)
             .ok_or_else(|| AppError::UnknownClient(client.into()))?;
         state.group = to_group.to_string();
+        // A per-element repair broke the client's position symmetry: split
+        // it permanently out of its aggregate demand row. Bookkeeping only —
+        // aggregate rows are bit-identical to the exploded solve either way
+        // — but it keeps the diverged client visibly singleton in the
+        // aggregation statistics. (Whole-class moves via
+        // [`move_clients`](Self::move_clients) preserve symmetry and do not
+        // split.)
+        let host = state.host;
+        self.network.split_client(host);
         Ok(())
     }
 
@@ -806,7 +905,7 @@ impl GridApp {
             (busy, sending, state.group.clone())
         };
         if let Some((req, finish)) = busy {
-            self.service_due.remove(&(finish, self.server_idx[server]));
+            self.service_due.remove(finish, self.server_idx[server]);
             self.requests.remove(&req);
         }
         if let Some((req, _)) = sending {
@@ -846,6 +945,26 @@ impl GridApp {
             .collect()
     }
 
+    /// A coarse signature of a server's runtime state, used to refine
+    /// symmetry classes: two replicas only share a probe when they are in
+    /// the same phase of work. `0` = idle, `1` = computing a response, and
+    /// `2 + (reply age / 5 s)` for a replica mid-transmission — bucketing
+    /// the reply age separates a replica seconds into a wedged transfer
+    /// from one that just started sending.
+    pub fn server_runtime_signature(&self, server: &str) -> u64 {
+        let Some(state) = self.servers.get(server) else {
+            return 0;
+        };
+        if let Some((_, since)) = state.sending {
+            let age = self.now.since(since).as_secs();
+            return 2 + (age / 5.0).floor().max(0.0) as u64;
+        }
+        if state.busy.is_some() {
+            return 1;
+        }
+        0
+    }
+
     /// Predicted bandwidth of a new flow from one named server's machine to
     /// one named client's machine — the single Remos pair query
     /// [`remos_get_flow`](Self::remos_get_flow) folds its per-server maximum
@@ -869,6 +988,13 @@ impl GridApp {
     /// "probe sampling per tick" figures.
     pub fn probe_solve_count(&self) -> u64 {
         self.network.probe_solve_count()
+    }
+
+    /// Aggregation statistics of the underlying allocator: demand rows and
+    /// member flows of the last epoch, plus the lifetime count of clients
+    /// permanently split out of their aggregates.
+    pub fn aggregation_stats(&self) -> simnet::AggregationStats {
+        self.network.aggregation_stats()
     }
 
     /// `remos_get_flow(clIP, svIP)`: predicted bandwidth between a client and
@@ -913,10 +1039,10 @@ impl GridApp {
                 Some(existing) => existing.min(t),
             });
         };
-        if let Some(&(t, _)) = self.request_due.first() {
+        if let Some(t) = self.request_due.min_time() {
             consider(t);
         }
-        if let Some(&(t, _)) = self.service_due.first() {
+        if let Some(t) = self.service_due.min_time() {
             consider(t);
         }
         if let Some(t) = self.network.next_event_time(self.now) {
@@ -948,9 +1074,11 @@ impl GridApp {
 
         // 1. Clients whose next request is due (name order among ties,
         // matching the previous full scan of the name-ordered map).
+        self.due_scratch.clear();
+        self.request_due.collect_due(t, &mut self.due_scratch);
         let mut due_clients: Vec<String> = self
-            .request_due
-            .range(..=(t, u32::MAX))
+            .due_scratch
+            .iter()
             .map(|&(_, idx)| self.client_seq[idx as usize].clone())
             .collect();
         due_clients.sort();
@@ -965,9 +1093,11 @@ impl GridApp {
         }
 
         // 3. Servers whose service completes (again in name order).
+        self.due_scratch.clear();
+        self.service_due.collect_due(t, &mut self.due_scratch);
         let mut finished: Vec<(String, u64, SimTime)> = self
-            .service_due
-            .range(..=(t, u32::MAX))
+            .due_scratch
+            .iter()
             .map(|&(finish, idx)| {
                 let name = self.server_seq[idx as usize].clone();
                 let (req, _) = self.servers[&name].busy.expect("index mirrors busy");
@@ -1009,9 +1139,9 @@ impl GridApp {
                 client.rate_per_sec > 0.0,
             )
         };
-        self.request_due.remove(&(old_due, client_idx));
+        self.request_due.remove(old_due, client_idx);
         if rate_positive {
-            self.request_due.insert((new_due, client_idx));
+            self.request_due.insert(new_due, client_idx);
         }
         let id = self.next_request_id;
         self.next_request_id += 1;
@@ -1123,7 +1253,7 @@ impl GridApp {
             let server = self.servers.get_mut(&server_name).expect("server exists");
             server.busy = Some((request_id, finish));
             self.service_due
-                .insert((finish, self.server_idx[&server_name]));
+                .insert(finish, self.server_idx[&server_name]);
             self.refresh_idle(&server_name);
         }
     }
@@ -1139,7 +1269,7 @@ impl GridApp {
             server.host
         };
         self.service_due
-            .remove(&(finish, self.server_idx[server_name]));
+            .remove(finish, self.server_idx[server_name]);
         self.sending_index
             .insert(request_id, server_name.to_string());
         if let Some(request) = self.requests.get_mut(&request_id) {
@@ -1259,6 +1389,48 @@ mod tests {
 
     fn secs(v: f64) -> SimTime {
         SimTime::from_secs(v)
+    }
+
+    #[test]
+    fn group_aware_recruit_prefers_a_same_attachment_spare() {
+        let mut app =
+            GridApp::build(GridConfig::with_testbed(crate::TestbedSpec::large_scale())).unwrap();
+        let attach = |app: &GridApp, s: &str| {
+            let host = app.server_host(s).unwrap();
+            app.testbed().topology.attachment(host).unwrap().0
+        };
+        // The name-order-first spare hangs off SG1's router, so a
+        // group-blind SG2 recruit would cross attachments — parking the
+        // new replica behind the wrong router and breaking the group's
+        // position symmetry.
+        let name_order_pick = app.find_server(None, 0.0).unwrap();
+        let group_pick = app
+            .find_server_for_group(SERVER_GROUP_2, None, 0.0)
+            .unwrap();
+        let sg2_attach = attach(&app, &app.active_servers(SERVER_GROUP_2)[0]);
+        assert_ne!(attach(&app, &name_order_pick), sg2_attach);
+        assert_eq!(attach(&app, &group_pick), sg2_attach);
+        // Recruit it: the group keeps a single attachment signature, so its
+        // server class count stays stable (no forced class split).
+        app.connect_server(&group_pick, SERVER_GROUP_2).unwrap();
+        app.activate_server(&group_pick).unwrap();
+        let attachments: std::collections::BTreeSet<_> = app
+            .active_servers(SERVER_GROUP_2)
+            .iter()
+            .map(|s| attach(&app, s))
+            .collect();
+        assert_eq!(attachments.len(), 1);
+        // SG1 recruiting is unchanged: the name-order pick already sits on
+        // SG1's router.
+        assert_eq!(
+            app.find_server_for_group(SERVER_GROUP_1, None, 0.0)
+                .unwrap(),
+            name_order_pick
+        );
+        // A group with no live replicas falls back to the name-order scan.
+        assert!(app
+            .find_server_for_group("NoSuchGroup", None, 0.0)
+            .is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod app;
 pub mod config;
+pub mod due;
 pub mod metrics;
 pub mod probes;
 pub mod testbed;
@@ -27,13 +28,16 @@ pub mod workload;
 
 pub use app::{AppError, CompletedRequest, FlowSnapshot, GridApp, SERVER_GROUP_1, SERVER_GROUP_2};
 pub use config::GridConfig;
+pub use due::DueQueue;
 pub use metrics::Metrics;
 pub use probes::{
     sample_bandwidth_probe, sample_flow_probes, sample_flow_probes_from, sample_latency_probe,
     sample_liveness_probe, sample_queue_probe, sample_reachability_probe, sample_server_probe,
     REACHABILITY_FLOOR_BPS,
 };
-pub use testbed::{Testbed, TestbedSpec, LINK_CAPACITY_BPS, TESTBED_PRESETS};
+pub use testbed::{
+    Testbed, TestbedSpec, FLEET_SCALE_MIN_CLIENTS, LINK_CAPACITY_BPS, TESTBED_PRESETS,
+};
 pub use workload::{
     ExperimentSchedule, PHASE_QUIESCENT_END, PHASE_STRESS_END, PHASE_STRESS_START,
     RUN_DURATION_SECS, WORKLOAD_NAMES,

@@ -22,8 +22,22 @@ pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
 
 /// Names of the built-in topology presets, in scale order — the sweep
 /// harness's scale axis. `large-scale` is the ≥2,000-client deployment with
-/// a multi-tier (aggregation) edge.
-pub const TESTBED_PRESETS: [&str; 4] = ["paper", "wide-fanout", "congested-core", "large-scale"];
+/// a multi-tier (aggregation) edge; `large-scale-50k` is the 50,000-client
+/// fleet deployment.
+pub const TESTBED_PRESETS: [&str; 5] = [
+    "paper",
+    "wide-fanout",
+    "congested-core",
+    "large-scale",
+    "large-scale-50k",
+];
+
+/// Client count from which a testbed is treated as *fleet scale*: the grid
+/// application switches to leaf-compressed routing and the framework to
+/// representative-only monitoring (per-class gauges, snapshots, and metric
+/// recording). Chosen above every byte-compared preset (the 2,000-client
+/// `large-scale` keeps exact per-client behaviour) and below the 50k fleet.
+pub const FLEET_SCALE_MIN_CLIENTS: usize = 10_000;
 
 /// A declarative description of a testbed topology.
 ///
@@ -179,6 +193,29 @@ impl TestbedSpec {
         }
     }
 
+    /// The fleet-scale deployment: 50,000 clients behind 64-client
+    /// aggregation switches uplinked at 100 Mbps into a 2 Gbps core. The
+    /// server block matches [`large_scale`](Self::large_scale) — capacity,
+    /// and with it the aggregate request rate
+    /// ([`GridConfig::with_testbed`](crate::GridConfig::with_testbed) sizes
+    /// per-client rates off server capacity), stays the same while the
+    /// client population grows 25×. Event volume therefore tracks the 2,000
+    /// -client preset; everything per-client (probes, gauges, due-time
+    /// bookkeeping, routing trees) is what the fleet-scale machinery —
+    /// aggregate demand rows, the calendar queue, leaf-compressed routing,
+    /// representative-only monitoring — has to keep sublinear.
+    pub fn large_scale_50k() -> Self {
+        TestbedSpec {
+            clients_r1: 20_000,
+            clients_r2: 10_000,
+            clients_r5: 20_000,
+            core_capacity_bps: 2.0e9,
+            clients_per_agg: 64,
+            agg_capacity_bps: 100.0e6,
+            ..Self::large_scale()
+        }
+    }
+
     /// The paper deployment on a congested network: the core links run at
     /// 6 Mbps and carry 1 Mbps of standing background traffic.
     pub fn congested_core() -> Self {
@@ -196,6 +233,7 @@ impl TestbedSpec {
             "wide-fanout" => Some(Self::wide_fanout()),
             "congested-core" => Some(Self::congested_core()),
             "large-scale" => Some(Self::large_scale()),
+            "large-scale-50k" => Some(Self::large_scale_50k()),
             _ => None,
         }
     }
@@ -476,6 +514,39 @@ impl Testbed {
         let idx: usize = server.strip_prefix('S')?.parse().ok()?;
         self.server_hosts.get(idx.checked_sub(1)?).copied()
     }
+
+    /// Network-position classes of the client machines, as `(host, class)`
+    /// pairs ready for [`Network::set_flow_classes`](simnet::Network):
+    /// machines behind the same aggregation switch with identical access
+    /// links share a dense class id (assigned in client-number order).
+    /// Empty for the classic direct-attach presets — they never aggregate.
+    ///
+    /// This is the same position-signature partition the planner's
+    /// `ClassIndex` applies to clients, so aggregate flow membership and
+    /// class-shared probing agree on who is symmetric with whom.
+    pub fn client_position_classes(&self) -> Vec<(NodeId, u32)> {
+        if self.agg_routers.is_empty() {
+            return Vec::new();
+        }
+        let agg: std::collections::BTreeSet<NodeId> = self.agg_routers.iter().copied().collect();
+        let mut class_of: std::collections::BTreeMap<(NodeId, u64, u64), u32> =
+            std::collections::BTreeMap::new();
+        let mut seen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        let mut out = Vec::new();
+        for &(_, host) in &self.client_hosts {
+            if !seen.insert(host) {
+                continue;
+            }
+            if let Some(signature) = self.topology.position_signature(host) {
+                if agg.contains(&signature.0) {
+                    let next = class_of.len() as u32;
+                    let id = *class_of.entry(signature).or_insert(next);
+                    out.push((host, id));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -613,6 +684,53 @@ mod tests {
         for (id, n) in tb.topology.nodes() {
             if n.kind == simnet::NodeKind::Host {
                 assert!(tb.topology.path(id, tb.host_request_queue).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn fifty_k_preset_keeps_the_large_scale_server_block() {
+        let spec = TestbedSpec::large_scale_50k();
+        assert_eq!(spec.num_clients(), 50_000);
+        let base = TestbedSpec::large_scale();
+        assert_eq!(spec.sg1_active, base.sg1_active);
+        assert_eq!(spec.sg1_spares, base.sg1_spares);
+        assert_eq!(spec.sg2_active, base.sg2_active);
+        assert_eq!(spec.sg2_spares, base.sg2_spares);
+        assert_eq!(spec.name(), "large-scale-50k");
+        assert!(spec.num_clients() >= FLEET_SCALE_MIN_CLIENTS);
+        assert!(TestbedSpec::large_scale().num_clients() < FLEET_SCALE_MIN_CLIENTS);
+        let tb = Testbed::from_spec(&spec).unwrap();
+        // 20k/64 = 313 switches behind R1, 157 behind R2, 313 behind R5.
+        assert_eq!(tb.agg_routers.len(), 313 + 157 + 313);
+    }
+
+    #[test]
+    fn client_position_classes_group_hosts_per_switch() {
+        // Classic presets never class anyone.
+        assert!(Testbed::build()
+            .unwrap()
+            .client_position_classes()
+            .is_empty());
+        let tb = Testbed::from_spec(&TestbedSpec::large_scale()).unwrap();
+        let classes = tb.client_position_classes();
+        // Every distinct client machine is classed exactly once.
+        let distinct_hosts: std::collections::BTreeSet<_> =
+            tb.client_hosts.iter().map(|&(_, h)| h).collect();
+        assert_eq!(classes.len(), distinct_hosts.len());
+        // Dense ids, one per aggregation switch (63 on this preset).
+        let ids: std::collections::BTreeSet<u32> = classes.iter().map(|&(_, c)| c).collect();
+        assert_eq!(ids.len(), 63);
+        assert_eq!(*ids.iter().max().unwrap(), 62);
+        // Two hosts share a class exactly when they share a switch.
+        for &(host, class) in &classes {
+            let attach = tb.topology.attachment(host).unwrap().0;
+            for &(other, other_class) in &classes {
+                if tb.topology.attachment(other).unwrap().0 == attach {
+                    assert_eq!(class, other_class);
+                } else {
+                    assert_ne!(class, other_class);
+                }
             }
         }
     }

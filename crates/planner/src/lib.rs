@@ -36,4 +36,4 @@ pub mod probes;
 
 pub use classes::{ClassIndex, ClientClass, ServerClass};
 pub use plan::{GroupPlan, GroupPlanner, GroupSnapshot, PlannerInput, PlannerThresholds};
-pub use probes::{class_flow_snapshot, class_remos};
+pub use probes::{class_flow_snapshot, class_remos, class_rep_flow_snapshot};

@@ -29,12 +29,21 @@ pub fn class_remos(
     if servers.is_empty() {
         return None;
     }
-    let mut probed: BTreeSet<usize> = BTreeSet::new();
+    let mut probed: BTreeSet<(usize, u64)> = BTreeSet::new();
     let mut best: f64 = 0.0;
     for server in servers {
         if let Some(sclass) = index.server_class_of(&server) {
-            if !probed.insert(sclass) {
-                continue; // another member of this class already answered
+            // Position symmetry is static; runtime refinement additionally
+            // partitions by what the replica is doing right now, so a
+            // replica mid-reply never answers a shared probe for its idle
+            // class-mates (its own transfer depresses the prediction).
+            let signature = if index.runtime_refinement() {
+                app.server_runtime_signature(&server)
+            } else {
+                0
+            };
+            if !probed.insert((sclass, signature)) {
+                continue; // an equivalent member of this class already answered
             }
         }
         let bw = app
@@ -43,6 +52,36 @@ pub fn class_remos(
         best = best.max(bw);
     }
     Some(best)
+}
+
+/// A representative-level flow snapshot for fleet-scale monitoring: instead
+/// of one entry per client (50k gauge updates per tick), one entry per
+/// `(client class, current group)` pair, keyed by the lexicographically
+/// first member of that pair — the class representative while the class is
+/// homogeneous, and the first mover after a partial group migration. The
+/// model only carries gauges for these representatives at fleet scale, so
+/// constraint checking scales with the number of classes, not clients.
+pub fn class_rep_flow_snapshot(app: &GridApp, index: &ClassIndex) -> FlowSnapshot {
+    let mut entries = Vec::new();
+    let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
+    for client in app.client_names() {
+        let group = match app.client_group(&client) {
+            Ok(group) => group,
+            Err(_) => continue,
+        };
+        let Some(class) = index
+            .client_class_of(&client)
+            .and_then(|id| index.client_class(id))
+        else {
+            continue;
+        };
+        if !seen.insert((class.id, group.clone())) {
+            continue; // this (class, group) already has a representative
+        }
+        let flow = class_remos(app, index, class, &group);
+        entries.push((client, group, flow));
+    }
+    FlowSnapshot::from_entries(entries)
 }
 
 /// The class-shared equivalent of
@@ -118,6 +157,82 @@ mod tests {
             }
         }
         assert_eq!(snapshot, app.flow_snapshot());
+    }
+
+    #[test]
+    fn runtime_refinement_stops_a_mid_reply_replica_from_contaminating_its_probe() {
+        let mut app = GridApp::build(GridConfig::with_testbed(TestbedSpec::large_scale())).unwrap();
+        // Stretch reply transmissions (200 KB at access speed ≈ 0.16 s, an
+        // order of magnitude past the default 20 KB) so replicas spend much
+        // of their duty cycle mid-send, then step the deterministic
+        // simulation until the name-order-first SG1 replica — the one the
+        // first-idle dispatcher keeps hottest and the one that answers the
+        // unrefined shared probe for its whole class — is mid-reply while
+        // an idle class-mate still has spare access bandwidth. The scan
+        // starts after the opening burst of 2,000 first requests drains.
+        app.set_workload(0.002, 2.0e5);
+        let index = ClassIndex::build(app.testbed());
+        let refined = ClassIndex::build(app.testbed()).with_runtime_refinement(true);
+        let class = index
+            .client_class(index.client_class_of("User1").unwrap())
+            .unwrap();
+        let mut t = 25.0;
+        let (exact, unrefined) = loop {
+            app.advance(SimTime::from_secs(t));
+            let servers = app.active_servers(SERVER_GROUP_1);
+            let first_mid_reply = app.server_runtime_signature(&servers[0]) >= 2;
+            let any_idle = servers.iter().any(|s| app.server_runtime_signature(s) == 0);
+            if first_mid_reply && any_idle {
+                // The exact per-client answer probes every replica.
+                let exact = servers
+                    .iter()
+                    .map(|s| {
+                        app.available_bandwidth_between(s, &class.representative)
+                            .unwrap_or(0.0)
+                    })
+                    .fold(0.0f64, f64::max);
+                let unrefined = class_remos(&app, &index, class, SERVER_GROUP_1).unwrap();
+                if unrefined < exact {
+                    break (exact, unrefined);
+                }
+            }
+            t += 0.05;
+            assert!(t < 120.0, "never caught the first replica mid-reply");
+        };
+        // The contaminated shared probe understates the group; partitioning
+        // the server class by runtime state restores the exact answer (an
+        // idle representative reports the idle capacity).
+        let refined_bw = class_remos(&app, &refined, class, SERVER_GROUP_1).unwrap();
+        assert!(
+            unrefined < exact,
+            "mid-reply representative should depress the shared probe"
+        );
+        assert_eq!(refined_bw, exact, "refined probe must match the exact max");
+    }
+
+    #[test]
+    fn rep_snapshot_has_one_entry_per_class_and_group() {
+        let mut app = GridApp::build(GridConfig::with_testbed(TestbedSpec::large_scale())).unwrap();
+        app.advance(SimTime::from_secs(10.0));
+        let index = ClassIndex::build(app.testbed());
+        let rep = class_rep_flow_snapshot(&app, &index);
+        // Everyone starts on SG1: one entry per client class, keyed by its
+        // representative, carrying the class-shared flow.
+        assert_eq!(rep.entries().len(), index.client_classes().len());
+        let full = class_flow_snapshot(&app, &index);
+        for (client, group, flow) in rep.entries() {
+            let class = index
+                .client_class(index.client_class_of(client).unwrap())
+                .unwrap();
+            assert_eq!(*client, class.representative);
+            let exact = full
+                .entries()
+                .iter()
+                .find(|(c, _, _)| c == client)
+                .map(|&(_, _, f)| f)
+                .unwrap();
+            assert_eq!((group.as_str(), *flow), (SERVER_GROUP_1, exact));
+        }
     }
 
     #[test]

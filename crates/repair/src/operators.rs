@@ -138,11 +138,7 @@ pub fn move_client(
         .ok_or_else(|| {
             OperatorError::BadTarget(format!("client {client_name} has no request port"))
         })?;
-    let old_role = model
-        .attachments()
-        .iter()
-        .find(|a| a.port == port_id)
-        .map(|a| a.role);
+    let old_role = model.roles_attached_to_port(port_id).first().copied();
 
     // Ensure the target group's connector exists. The connector is part of
     // the style; if missing we create it (and its server-side attachment).

@@ -34,14 +34,31 @@ pub use crate::flow::LOCAL_RATE_BPS;
 /// degrade is in force).
 pub type ResourceId = u32;
 
-/// A dense, reusable set of flow demands: per-flow weight plus the resource
-/// indices the flow traverses, stored CSR-style so rebuilding the set each
-/// allocation epoch allocates nothing once warm.
+/// A dense, reusable set of flow demands stored CSR-style so rebuilding the
+/// set each allocation epoch allocates nothing once warm.
+///
+/// A demand is a *row*: either one flow ([`push`](Self::push) — a weight plus
+/// the resources the flow traverses), or an **aggregate** of `m` identical
+/// flows ([`push_aggregate`](Self::push_aggregate) — one shared resource
+/// vector crossed by every member plus one private *access* resource per
+/// member). Aggregates let the allocator register a whole network-position
+/// class of symmetric clients as a single row: shared links see one entry per
+/// class instead of one per client, while each member keeps its own access
+/// resource so per-member bottlenecks (a cut access link) still freeze that
+/// member alone. Rates come back in *member order* — row-major, one rate per
+/// member — so a set built only from `push` yields exactly one rate per row,
+/// unchanged from the pre-aggregation layout.
 #[derive(Debug, Default, Clone)]
 pub struct DemandSet {
     weights: Vec<f64>,
     path_start: Vec<u32>,
     paths: Vec<ResourceId>,
+    /// Per-row private member resources (empty slice for plain rows).
+    member_start: Vec<u32>,
+    members: Vec<ResourceId>,
+    /// Prefix sums of row multiplicities: member indices of row `i` are
+    /// `member_off[i]..member_off[i + 1]`.
+    member_off: Vec<u32>,
 }
 
 impl DemandSet {
@@ -55,21 +72,64 @@ impl DemandSet {
         self.weights.clear();
         self.path_start.clear();
         self.paths.clear();
+        self.member_start.clear();
+        self.members.clear();
+        self.member_off.clear();
     }
 
-    /// Appends a demand. Demands must be pushed in the caller's canonical
-    /// (key-sorted) order — the allocator freezes flows in push order, which
-    /// is what makes results bit-identical to the reference.
+    /// Appends a single-flow demand. Demands must be pushed in the caller's
+    /// canonical (key-sorted) order — the allocator freezes flows in push
+    /// order, which is what makes results bit-identical to the reference.
     pub fn push(&mut self, weight: f64, path: &[ResourceId]) {
+        self.begin_row(weight, path);
+        self.member_off
+            .push(self.member_off.last().copied().unwrap_or(0) + 1);
+        self.member_start.push(self.members.len() as u32);
+    }
+
+    /// Appends an aggregate demand: `member_resources.len()` identical flows,
+    /// each crossing every resource in `shared` plus exactly one private
+    /// resource of its own. Aggregation is **exact** (bit-identical to
+    /// pushing each member as a separate flow over `shared + [access]`) when
+    /// every demand in the set has weight `1.0` — integer weight sums and
+    /// equal freeze rates make the float accumulation order immaterial. The
+    /// network model only ever aggregates unit-weight transfer demands.
+    ///
+    /// # Panics
+    /// Panics if `member_resources` is empty.
+    pub fn push_aggregate(
+        &mut self,
+        weight: f64,
+        shared: &[ResourceId],
+        member_resources: &[ResourceId],
+    ) {
+        assert!(
+            !member_resources.is_empty(),
+            "aggregate demands need at least one member"
+        );
+        debug_assert!(
+            weight == 1.0,
+            "aggregation is only exact for unit-weight demands"
+        );
+        self.begin_row(weight, shared);
+        self.members.extend_from_slice(member_resources);
+        self.member_off
+            .push(self.member_off.last().copied().unwrap_or(0) + member_resources.len() as u32);
+        self.member_start.push(self.members.len() as u32);
+    }
+
+    fn begin_row(&mut self, weight: f64, path: &[ResourceId]) {
         if self.path_start.is_empty() {
             self.path_start.push(0);
+            self.member_off.push(0);
+            self.member_start.push(0);
         }
         self.weights.push(weight);
         self.paths.extend_from_slice(path);
         self.path_start.push(self.paths.len() as u32);
     }
 
-    /// Number of demands.
+    /// Number of demand rows.
     pub fn len(&self) -> usize {
         self.weights.len()
     }
@@ -79,12 +139,26 @@ impl DemandSet {
         self.weights.is_empty()
     }
 
+    /// Total member flows across all rows (the length of the rate vector a
+    /// solve produces, before any probe).
+    pub fn total_members(&self) -> usize {
+        self.member_off.last().copied().unwrap_or(0) as usize
+    }
+
     fn path(&self, i: usize) -> &[ResourceId] {
         &self.paths[self.path_start[i] as usize..self.path_start[i + 1] as usize]
     }
 
     fn weight(&self, i: usize) -> f64 {
         self.weights[i]
+    }
+
+    fn member_offset(&self, i: usize) -> usize {
+        self.member_off[i] as usize
+    }
+
+    fn member_resources(&self, i: usize) -> &[ResourceId] {
+        &self.members[self.member_start[i] as usize..self.member_start[i + 1] as usize]
     }
 }
 
@@ -121,11 +195,24 @@ impl Ord for Candidate {
     }
 }
 
+/// An entry in a resource's registration list. The top bit distinguishes a
+/// *row* entry (every member of the row crosses the resource — the shared
+/// path of plain and aggregate rows alike) from a *member* entry (exactly one
+/// aggregate member crosses it — its private access resource).
+const ROW_ENTRY: u32 = 1 << 31;
+
 /// Persistent max-min fair-share solver over dense resource indices.
 ///
 /// All per-solve state is retained between calls, so a warm allocator
 /// performs no heap allocation: the simulator keeps one per network and the
 /// probe path reuses it for every `available_bandwidth` query in an epoch.
+///
+/// Flows are tracked in *member space* — aggregate rows contribute one slot
+/// per member — while per-resource registration lists hold one entry per
+/// **row** for shared resources. A shared bottleneck therefore costs one
+/// list entry and one weight-sum term per class instead of one per client;
+/// freezing then expands the row back into members, replicating the exploded
+/// per-member operation sequence exactly (see `push_aggregate`).
 #[derive(Debug, Default)]
 pub struct Allocator {
     /// Remaining capacity per resource (valid for touched resources only).
@@ -134,16 +221,20 @@ pub struct Allocator {
     share: Vec<f64>,
     /// Heap-entry invalidation stamps, bumped whenever a share changes.
     stamp: Vec<u32>,
-    /// Flow indices crossing each resource, in registration (key) order.
+    /// Row/member entries crossing each resource, in registration order.
     flows_on: Vec<Vec<u32>>,
     /// Resources touched by the current solve (their `flows_on` is live).
     touched: Vec<ResourceId>,
-    /// Per-flow frozen flags for the current solve.
+    /// Per-member frozen flags for the current solve.
     frozen: Vec<bool>,
+    /// Unfrozen member count per row for the current solve.
+    live: Vec<u32>,
+    /// Owning row of each member for the current solve.
+    member_row: Vec<u32>,
     /// Resources whose share must be recomputed after a freeze round.
     dirty: Vec<ResourceId>,
     dirty_flag: Vec<bool>,
-    /// Snapshot of the flows to freeze in the current round — collected
+    /// Snapshot of the members to freeze in the current round — collected
     /// before any of them freezes, exactly like the reference (which then
     /// processes the snapshot without re-checking, so a path listing the
     /// same link twice subtracts its rate twice).
@@ -174,10 +265,12 @@ impl Allocator {
     /// demand whose rate lands in the last slot of `rates` — the one-shot
     /// incremental insert behind `available_bandwidth`.
     ///
-    /// `rates` is cleared and filled with one rate per demand (plus the
-    /// probe, if any), in push order. Results are bit-identical to
-    /// [`max_min_fair_rates`](crate::flow::max_min_fair_rates) over the same
-    /// inputs.
+    /// `rates` is cleared and filled with one rate per demand **member**
+    /// (plus the probe, if any), row-major in push order — for sets built
+    /// only from [`DemandSet::push`] that is one rate per demand, exactly as
+    /// before aggregation existed. Results are bit-identical to
+    /// [`max_min_fair_rates`](crate::flow::max_min_fair_rates) over the
+    /// member-exploded inputs.
     pub fn solve(
         &mut self,
         capacities: &[f64],
@@ -185,11 +278,16 @@ impl Allocator {
         probe: Option<&[ResourceId]>,
         rates: &mut Vec<f64>,
     ) {
-        let n_flows = demands.len() + usize::from(probe.is_some());
+        let n_rows = demands.len() + usize::from(probe.is_some());
+        let n_members = demands.total_members() + usize::from(probe.is_some());
         rates.clear();
-        rates.resize(n_flows, 0.0);
+        rates.resize(n_members, 0.0);
         self.frozen.clear();
-        self.frozen.resize(n_flows, false);
+        self.frozen.resize(n_members, false);
+        self.member_row.clear();
+        self.member_row.resize(n_members, 0);
+        self.live.clear();
+        self.live.resize(n_rows, 0);
         // Retire the previous solve's per-resource flow lists.
         for &r in &self.touched {
             self.flows_on[r as usize].clear();
@@ -200,6 +298,7 @@ impl Allocator {
         let max_resource = demands
             .paths
             .iter()
+            .chain(demands.members.iter())
             .chain(probe.unwrap_or_default())
             .copied()
             .max();
@@ -207,11 +306,9 @@ impl Allocator {
             self.ensure_resources(max as usize + 1);
         }
 
-        // Registration, in demand order: local flows freeze immediately at
-        // the local rate; shared flows enlist on each resource they cross
-        // (first touch pins the resource's starting capacity, floored at the
-        // same tiny positive value as the reference).
-        let path_of = |i: usize| -> &[ResourceId] {
+        // Per-row views; the probe acts as one extra plain unit-weight row
+        // whose single member occupies the last rate slot.
+        let shared_of = |i: usize| -> &[ResourceId] {
             match probe {
                 Some(p) if i == demands.len() => p,
                 _ => demands.path(i),
@@ -223,21 +320,54 @@ impl Allocator {
                 _ => demands.weight(i),
             }
         };
-        #[allow(clippy::needless_range_loop)] // index is shared across four buffers
-        for i in 0..n_flows {
-            let path = path_of(i);
-            if path.is_empty() {
-                rates[i] = LOCAL_RATE_BPS * weight_of(i).max(1e-9);
-                self.frozen[i] = true;
+        let members_of = |i: usize| -> &[ResourceId] {
+            match probe {
+                Some(_) if i == demands.len() => &[],
+                _ => demands.member_resources(i),
+            }
+        };
+        let offset_of = |i: usize| -> usize {
+            match probe {
+                Some(_) if i == demands.len() => demands.total_members(),
+                _ => demands.member_offset(i),
+            }
+        };
+
+        // Registration, in row order: local flows freeze immediately at the
+        // local rate; everything else enlists on each resource it crosses
+        // (first touch pins the resource's starting capacity, floored at the
+        // same tiny positive value as the reference). Shared resources get
+        // one entry per *row*; private member resources one entry per
+        // *member*.
+        for i in 0..n_rows {
+            let shared = shared_of(i);
+            let members = members_of(i);
+            let off = offset_of(i);
+            let mult = if members.is_empty() { 1 } else { members.len() };
+            for j in 0..mult {
+                self.member_row[off + j] = i as u32;
+            }
+            if shared.is_empty() && members.is_empty() {
+                rates[off] = LOCAL_RATE_BPS * weight_of(i).max(1e-9);
+                self.frozen[off] = true;
                 continue;
             }
-            for &r in path {
+            self.live[i] = mult as u32;
+            for &r in shared {
                 let ri = r as usize;
                 if self.flows_on[ri].is_empty() {
                     self.remaining[ri] = capacities.get(ri).copied().unwrap_or(0.0).max(1.0);
                     self.touched.push(r);
                 }
-                self.flows_on[ri].push(i as u32);
+                self.flows_on[ri].push(ROW_ENTRY | i as u32);
+            }
+            for (j, &r) in members.iter().enumerate() {
+                let ri = r as usize;
+                if self.flows_on[ri].is_empty() {
+                    self.remaining[ri] = capacities.get(ri).copied().unwrap_or(0.0).max(1.0);
+                    self.touched.push(r);
+                }
+                self.flows_on[ri].push((off + j) as u32);
             }
         }
 
@@ -247,7 +377,7 @@ impl Allocator {
             self.refresh_share(r, demands, probe);
         }
 
-        // Progressive filling: repeatedly freeze every unfrozen flow on the
+        // Progressive filling: repeatedly freeze every unfrozen member on the
         // most constrained resource at that resource's fair share.
         while let Some(candidate) = self.heap.pop() {
             let r = candidate.resource as usize;
@@ -255,20 +385,56 @@ impl Allocator {
                 continue; // superseded by a later share refresh
             }
             let share = self.share[r];
+            // Collect the members to freeze — row entries expand to their
+            // live members — before any of them freezes, then process the
+            // snapshot without re-checking, exactly like the reference.
             self.freeze_scratch.clear();
-            for &i in &self.flows_on[r] {
-                if !self.frozen[i as usize] {
-                    self.freeze_scratch.push(i);
+            for &e in &self.flows_on[r] {
+                if e & ROW_ENTRY != 0 {
+                    let row = (e & !ROW_ENTRY) as usize;
+                    if self.live[row] == 0 {
+                        continue;
+                    }
+                    let off = offset_of(row);
+                    let mult = {
+                        let members = members_of(row);
+                        if members.is_empty() {
+                            1
+                        } else {
+                            members.len()
+                        }
+                    };
+                    for j in 0..mult {
+                        if !self.frozen[off + j] {
+                            self.freeze_scratch.push((off + j) as u32);
+                        }
+                    }
+                } else if !self.frozen[e as usize] {
+                    self.freeze_scratch.push(e);
                 }
             }
             let mut k = 0;
             while k < self.freeze_scratch.len() {
-                let i = self.freeze_scratch[k] as usize;
+                let mi = self.freeze_scratch[k] as usize;
                 k += 1;
-                let rate = (share * weight_of(i).max(1e-9)).max(1.0);
-                rates[i] = rate;
-                self.frozen[i] = true;
-                for &cr in path_of(i) {
+                let row = self.member_row[mi] as usize;
+                let rate = (share * weight_of(row).max(1e-9)).max(1.0);
+                rates[mi] = rate;
+                if !self.frozen[mi] {
+                    self.frozen[mi] = true;
+                    self.live[row] -= 1;
+                }
+                for &cr in shared_of(row) {
+                    let ci = cr as usize;
+                    self.remaining[ci] = (self.remaining[ci] - rate).max(0.0);
+                    if !self.dirty_flag[ci] {
+                        self.dirty_flag[ci] = true;
+                        self.dirty.push(cr);
+                    }
+                }
+                let members = members_of(row);
+                if !members.is_empty() {
+                    let cr = members[mi - offset_of(row)];
                     let ci = cr as usize;
                     self.remaining[ci] = (self.remaining[ci] - rate).max(0.0);
                     if !self.dirty_flag[ci] {
@@ -287,8 +453,8 @@ impl Allocator {
             self.dirty.clear();
         }
 
-        // Flows never frozen (all their resources void) get the reference's
-        // minimal positive rate.
+        // Members never frozen (all their resources void) get the
+        // reference's minimal positive rate.
         for (rate, frozen) in rates.iter_mut().zip(self.frozen.iter()) {
             if !frozen {
                 *rate = 1.0;
@@ -296,20 +462,33 @@ impl Allocator {
         }
     }
 
-    /// Recomputes a resource's unfrozen weight (summed in flow registration
-    /// order, matching the reference's float accumulation) and re-arms its
-    /// heap candidate when it can still be a bottleneck.
+    /// Recomputes a resource's unfrozen weight (summed in registration
+    /// order, matching the reference's float accumulation — a row entry with
+    /// `l` live members contributes `w * l`, which for the unit weights
+    /// aggregation requires is the exact integer sum the reference reaches
+    /// member by member) and re-arms its heap candidate when it can still be
+    /// a bottleneck.
     fn refresh_share(&mut self, r: ResourceId, demands: &DemandSet, probe: Option<&[ResourceId]>) {
         let ri = r as usize;
+        let weight_of = |i: usize| -> f64 {
+            match probe {
+                Some(_) if i == demands.len() => 1.0,
+                _ => demands.weight(i),
+            }
+        };
         let mut weight = 0.0;
-        for &i in &self.flows_on[ri] {
-            let i = i as usize;
-            if !self.frozen[i] {
-                let w = match probe {
-                    Some(_) if i == demands.len() => 1.0,
-                    _ => demands.weight(i),
-                };
-                weight += w.max(1e-9);
+        for &e in &self.flows_on[ri] {
+            if e & ROW_ENTRY != 0 {
+                let row = (e & !ROW_ENTRY) as usize;
+                let live = self.live[row];
+                if live > 0 {
+                    weight += weight_of(row).max(1e-9) * live as f64;
+                }
+            } else {
+                let mi = e as usize;
+                if !self.frozen[mi] {
+                    weight += weight_of(self.member_row[mi] as usize).max(1e-9);
+                }
             }
         }
         self.stamp[ri] = self.stamp[ri].wrapping_add(1);
@@ -422,6 +601,178 @@ mod tests {
         allocator.solve(&[10.0], &DemandSet::new(), Some(&[]), &mut rates);
         assert_eq!(rates.len(), 1);
         assert!((rates[0] - LOCAL_RATE_BPS).abs() < 1.0);
+    }
+
+    /// Solves the same scenario twice — once with members exploded into
+    /// plain unit-weight rows, once with them grouped into aggregate rows —
+    /// and asserts bit-identical member rates. `groups` lists
+    /// `(shared_path, member_resources)` aggregates; `plain` lists ordinary
+    /// rows interleaved after the groups' members in push order.
+    fn assert_aggregate_matches_exploded(
+        capacities: &[f64],
+        rows: &[AggRow],
+        probe: Option<&[u32]>,
+    ) {
+        let mut exploded = DemandSet::new();
+        for row in rows {
+            match row {
+                AggRow::Plain(path) => exploded.push(1.0, path),
+                AggRow::Group { shared, members } => {
+                    for &access in members {
+                        let mut path = vec![access];
+                        path.extend_from_slice(shared);
+                        exploded.push(1.0, &path);
+                    }
+                }
+            }
+        }
+        let mut aggregated = DemandSet::new();
+        for row in rows {
+            match row {
+                AggRow::Plain(path) => aggregated.push(1.0, path),
+                AggRow::Group { shared, members } => {
+                    aggregated.push_aggregate(1.0, shared, members)
+                }
+            }
+        }
+        assert_eq!(exploded.total_members(), aggregated.total_members());
+
+        let mut alloc_a = Allocator::new();
+        let mut alloc_b = Allocator::new();
+        let (mut rates_a, mut rates_b) = (Vec::new(), Vec::new());
+        // Solve twice to cover warm-scratch reuse.
+        for _ in 0..2 {
+            alloc_a.solve(capacities, &exploded, probe, &mut rates_a);
+            alloc_b.solve(capacities, &aggregated, probe, &mut rates_b);
+        }
+        assert_eq!(rates_a.len(), rates_b.len());
+        for (i, (a, b)) in rates_a.iter().zip(rates_b.iter()).enumerate() {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "member {i}: exploded {a} != aggregated {b}"
+            );
+        }
+    }
+
+    enum AggRow {
+        Plain(Vec<u32>),
+        Group { shared: Vec<u32>, members: Vec<u32> },
+    }
+
+    #[test]
+    fn aggregate_rows_match_exploded_members() {
+        use AggRow::*;
+        // Two symmetric clients behind access links 1, 2 sharing backbone 0.
+        assert_aggregate_matches_exploded(
+            &[10.0, 8.0, 8.0],
+            &[Group {
+                shared: vec![0],
+                members: vec![1, 2],
+            }],
+            None,
+        );
+        // Backbone is the bottleneck: whole-row freeze.
+        assert_aggregate_matches_exploded(
+            &[4.0, 100.0, 100.0, 100.0],
+            &[Group {
+                shared: vec![0],
+                members: vec![1, 2, 3],
+            }],
+            None,
+        );
+        // One member's access link is the bottleneck: partial freeze of that
+        // member alone, the rest of the row freezes later.
+        assert_aggregate_matches_exploded(
+            &[30.0, 2.0, 100.0, 100.0],
+            &[Group {
+                shared: vec![0],
+                members: vec![1, 2, 3],
+            }],
+            None,
+        );
+        // Equal access capacities: exploded freezes the members through
+        // distinct same-share candidates; the aggregate must match.
+        assert_aggregate_matches_exploded(
+            &[30.0, 5.0, 5.0, 5.0],
+            &[Group {
+                shared: vec![0],
+                members: vec![1, 2, 3],
+            }],
+            None,
+        );
+        // Mixed plain competition on the shared backbone, plus a probe.
+        assert_aggregate_matches_exploded(
+            &[12.0, 6.0, 9.0, 3.0, 20.0],
+            &[
+                Group {
+                    shared: vec![0, 4],
+                    members: vec![1, 2],
+                },
+                Plain(vec![0]),
+                Group {
+                    shared: vec![4],
+                    members: vec![3],
+                },
+            ],
+            Some(&[0, 4]),
+        );
+        // Zero-capacity shared link stalls the whole row.
+        assert_aggregate_matches_exploded(
+            &[0.0, 5.0, 5.0],
+            &[Group {
+                shared: vec![0],
+                members: vec![1, 2],
+            }],
+            None,
+        );
+    }
+
+    #[test]
+    fn aggregate_rows_match_exploded_random_meshes() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..40 {
+            let backbones = 1 + (next() % 4) as usize;
+            let n_groups = 1 + (next() % 3) as usize;
+            let mut capacities: Vec<f64> = (0..backbones)
+                .map(|_| (next() % 500) as f64 + 0.5)
+                .collect();
+            let mut rows = Vec::new();
+            for _ in 0..n_groups {
+                let shared: Vec<u32> = (0..=(next() % backbones as u64) as usize)
+                    .map(|_| (next() % backbones as u64) as u32)
+                    .collect::<std::collections::BTreeSet<u32>>()
+                    .into_iter()
+                    .collect();
+                let mult = 1 + (next() % 6) as usize;
+                let members: Vec<u32> = (0..mult)
+                    .map(|_| {
+                        capacities.push((next() % 200) as f64 + 0.25);
+                        (capacities.len() - 1) as u32
+                    })
+                    .collect();
+                rows.push(AggRow::Group { shared, members });
+                if next() % 2 == 0 {
+                    let hops = (next() % 3) as usize;
+                    let path: Vec<u32> = (0..hops)
+                        .map(|_| (next() % backbones as u64) as u32)
+                        .collect();
+                    rows.push(AggRow::Plain(path));
+                }
+            }
+            let probe: Vec<u32> = vec![(next() % backbones as u64) as u32];
+            let with_probe = trial % 2 == 0;
+            assert_aggregate_matches_exploded(
+                &capacities,
+                &rows,
+                with_probe.then_some(probe.as_slice()),
+            );
+        }
     }
 
     #[test]

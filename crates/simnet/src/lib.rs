@@ -35,7 +35,7 @@ pub use alloc::{Allocator, DemandSet, ResourceId};
 pub use bandwidth::{BandwidthEstimate, RemosConfig, RemosOracle};
 pub use engine::{Ctx, Engine, Model};
 pub use event::{EventHandle, EventQueue};
-pub use network::{CompletedTransfer, NetError, Network, TransferId};
+pub use network::{AggregationStats, CompletedTransfer, NetError, Network, TransferId};
 pub use rng::SimRng;
 pub use stats::{quantile_of, StepSchedule, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

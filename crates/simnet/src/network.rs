@@ -100,6 +100,94 @@ impl CompletedTransfer {
     }
 }
 
+/// Aggregation statistics for the last allocation epoch plus lifetime split
+/// bookkeeping (observability only — never feeds back into behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregationStats {
+    /// Demand rows pushed in the last epoch (aggregate and plain).
+    pub rows: usize,
+    /// Member flows represented by aggregate rows in the last epoch.
+    pub aggregated_flows: usize,
+    /// Total member flows (= active transfers) in the last epoch.
+    pub total_flows: usize,
+    /// Clients permanently split out of their aggregates so far.
+    pub permanent_splits: usize,
+}
+
+/// Scratch for grouping one epoch's transfers into aggregate rows; a member
+/// of [`AggState`] so buffers persist across epochs.
+#[derive(Debug, Default)]
+struct GroupScratch {
+    /// Index (in id-ordered active-transfer iteration) of the group's first
+    /// member — the representative whose shared resource slice later members
+    /// must match exactly.
+    rep: u32,
+    /// Whether the classed client is the transfer source (the access
+    /// resource is then the first path entry, else the last).
+    client_is_src: bool,
+    /// Member transfer indices, in id order.
+    members: Vec<u32>,
+}
+
+/// Class-aggregation state: which client hosts belong to which
+/// network-position class, which of them have permanently lost their
+/// symmetry, and the per-epoch grouping scratch.
+#[derive(Debug, Default)]
+struct AggState {
+    /// Client host → network-position class. Empty ⇒ aggregation disabled.
+    flow_class: HashMap<NodeId, u32>,
+    /// Access link → classed client host, for fault-driven splits.
+    classed_by_link: HashMap<LinkId, NodeId>,
+    /// Clients permanently exploded out of their aggregates by a fault or a
+    /// divergent runtime state. Splits are silent: rates are bit-identical
+    /// either way, so no trace entry may record them.
+    split_nodes: BTreeSet<NodeId>,
+    /// Last-epoch row/flow statistics.
+    stats: AggregationStats,
+    // ---- per-epoch scratch (cleared, never shrunk) ----
+    /// Member rate index per active transfer, in id order.
+    member_of: Vec<u32>,
+    /// Concurrent-transfer count per classed client this epoch.
+    counts: HashMap<NodeId, u32>,
+    /// (class, far endpoint, client-is-src) → group slot.
+    index: HashMap<(u32, NodeId, bool), u32>,
+    /// Group slots; `groups[..n_groups]` are live this epoch.
+    groups: Vec<GroupScratch>,
+    n_groups: usize,
+}
+
+impl AggState {
+    fn enabled(&self) -> bool {
+        !self.flow_class.is_empty()
+    }
+
+    fn split(&mut self, node: NodeId) {
+        if self.flow_class.contains_key(&node) {
+            self.split_nodes.insert(node);
+        }
+    }
+
+    fn begin_epoch(&mut self) {
+        self.member_of.clear();
+        self.counts.clear();
+        self.index.clear();
+        self.n_groups = 0;
+    }
+
+    fn alloc_group(&mut self, rep: u32, client_is_src: bool) -> u32 {
+        let slot = self.n_groups;
+        if slot == self.groups.len() {
+            self.groups.push(GroupScratch::default());
+        }
+        let g = &mut self.groups[slot];
+        g.rep = rep;
+        g.client_is_src = client_is_src;
+        g.members.clear();
+        self.n_groups += 1;
+        slot as u32
+    }
+}
+
 /// The fluid-flow network simulation.
 ///
 /// Internally the network keeps a persistent [`Allocator`] with dense
@@ -112,6 +200,14 @@ impl CompletedTransfer {
 /// the interval between two mutations — with results memoised per
 /// `(src, dst)` pair until the epoch ends. All of this is bit-identical to
 /// the original re-solve-from-scratch behaviour.
+///
+/// When the application layer injects network-position classes
+/// ([`set_flow_classes`](Self::set_flow_classes)), transfers whose classed
+/// client endpoints are symmetric are folded into **aggregate demand rows**
+/// (one row per class × far endpoint, carrying a multiplicity) — still
+/// bit-identical, see [`DemandSet::push_aggregate`] — and an aggregate is
+/// split lazily (permanently for the affected member) when a fault touches a
+/// member's access link or its runtime state diverges from the class.
 #[derive(Debug)]
 pub struct Network {
     topology: Topology,
@@ -155,6 +251,8 @@ pub struct Network {
     /// Lifetime count of max-min probe *solves* (memo misses) — the unit the
     /// symmetry-aware probe sharing is measured in.
     probe_solves: std::cell::Cell<u64>,
+    /// Class-aggregation state (inert until classes are injected).
+    agg: AggState,
 }
 
 impl Network {
@@ -185,6 +283,7 @@ impl Network {
             link_scratch: RefCell::new(Vec::new()),
             probe_memo: RefCell::new(HashMap::new()),
             probe_solves: std::cell::Cell::new(0),
+            agg: AggState::default(),
         };
         network.refresh_caps();
         network
@@ -334,6 +433,11 @@ impl Network {
             TraceKind::Fault,
             format!("link {} capacity set to {capacity_bps:.0} bps", link.0),
         );
+        // A fault on a classed client's access link breaks its position
+        // symmetry for good: split it out of its aggregate permanently.
+        if let Some(&node) = self.agg.classed_by_link.get(&link) {
+            self.agg.split(node);
+        }
         self.caps_dirty = true;
         self.recompute_rates();
         Ok(())
@@ -385,6 +489,9 @@ impl Network {
                     )
                 },
             );
+            if let Some(&node) = self.agg.classed_by_link.get(&link) {
+                self.agg.split(node);
+            }
             // Resource ids of in-flight transfers depend on the one-way map.
             let ids: Vec<TransferId> = self.active.keys().copied().collect();
             for id in ids {
@@ -437,6 +544,7 @@ impl Network {
                     if down { "down" } else { "up" }
                 ),
             );
+            self.agg.split(node);
             self.caps_dirty = true;
             self.recompute_rates();
         }
@@ -588,22 +696,42 @@ impl Network {
     /// from the id-ordered transfer map (the same order the reference
     /// implementation sorted into — float accumulation must not depend on
     /// iteration order), capacities are refreshed only if a mutation dirtied
-    /// them, and the per-epoch probe memo is invalidated.
+    /// them, and the per-epoch probe memo is invalidated. With injected
+    /// classes, symmetric transfers fold into aggregate rows first — the
+    /// rates that come back are bit-identical either way.
     fn recompute_rates(&mut self) {
         if self.caps_dirty {
             self.refresh_caps();
         }
         self.probe_memo.get_mut().clear();
         self.demands.clear();
-        for t in self.active.values() {
-            self.demands.push(1.0, &t.resources);
+        if !self.agg.enabled() {
+            for t in self.active.values() {
+                self.demands.push(1.0, &t.resources);
+            }
+            let rates = self.rates_scratch.get_mut();
+            self.alloc
+                .get_mut()
+                .solve(&self.caps, &self.demands, None, rates);
+            let mut drain_min_pos: Option<f64> = None;
+            for (t, &rate) in self.active.values_mut().zip(rates.iter()) {
+                t.rate_bps = rate;
+                if rate > 0.0 {
+                    let secs = (t.remaining_bits / rate).min(1.0e12);
+                    drain_min_pos = Some(drain_min_pos.map_or(secs, |m: f64| m.min(secs)));
+                }
+            }
+            self.drain_min_pos_secs = drain_min_pos;
+            return;
         }
+        self.build_aggregated_demands();
         let rates = self.rates_scratch.get_mut();
         self.alloc
             .get_mut()
             .solve(&self.caps, &self.demands, None, rates);
         let mut drain_min_pos: Option<f64> = None;
-        for (t, &rate) in self.active.values_mut().zip(rates.iter()) {
+        for (t, &mi) in self.active.values_mut().zip(self.agg.member_of.iter()) {
+            let rate = rates[mi as usize];
             t.rate_bps = rate;
             if rate > 0.0 {
                 let secs = (t.remaining_bits / rate).min(1.0e12);
@@ -611,6 +739,130 @@ impl Network {
             }
         }
         self.drain_min_pos_secs = drain_min_pos;
+    }
+
+    /// Groups this epoch's transfers into aggregate demand rows.
+    ///
+    /// A transfer joins an aggregate when exactly one endpoint is a classed
+    /// client host that has not been permanently split, the client carries no
+    /// other concurrent transfer (two flows on one access link = divergent
+    /// runtime state → permanent split), and its post-access resource vector
+    /// matches the group representative's exactly. The group key is
+    /// `(class, far endpoint, direction)`, so repair actions that re-target a
+    /// client to another server simply migrate it between rows — the "merge"
+    /// half of the aggregate lifecycle needs no bookkeeping at all.
+    ///
+    /// Fills `agg.member_of` with each transfer's member-rate index (id
+    /// order). Aggregate rows are emitted first (group-creation order), then
+    /// plain rows in id order; row order is immaterial to the solution
+    /// because every demand has unit weight.
+    fn build_aggregated_demands(&mut self) {
+        let agg = &mut self.agg;
+        agg.begin_epoch();
+        // Pass 1: concurrent-transfer counts per classed client endpoint.
+        for t in self.active.values() {
+            for node in [t.src, t.dst] {
+                if agg.flow_class.contains_key(&node) {
+                    *agg.counts.entry(node).or_insert(0) += 1;
+                }
+            }
+        }
+        // Pass 2: assign transfers to groups. `u32::MAX` marks "plain".
+        const PLAIN: u32 = u32::MAX;
+        let actives: Vec<&ActiveTransfer> = self.active.values().collect();
+        for (k, t) in actives.iter().enumerate() {
+            let client_src = agg.flow_class.get(&t.src).copied();
+            let client_dst = agg.flow_class.get(&t.dst).copied();
+            let (class, client, far, client_is_src) = match (client_src, client_dst) {
+                (Some(c), None) => (c, t.src, t.dst, true),
+                (None, Some(c)) => (c, t.dst, t.src, false),
+                _ => {
+                    agg.member_of.push(PLAIN);
+                    continue;
+                }
+            };
+            if t.resources.is_empty()
+                || agg.split_nodes.contains(&client)
+                || agg.counts.get(&client).copied().unwrap_or(0) >= 2
+            {
+                if agg.counts.get(&client).copied().unwrap_or(0) >= 2 {
+                    agg.split(client);
+                }
+                agg.member_of.push(PLAIN);
+                continue;
+            }
+            fn shared_of(t: &ActiveTransfer, client_is_src: bool) -> &[ResourceId] {
+                if client_is_src {
+                    &t.resources[1..]
+                } else {
+                    &t.resources[..t.resources.len() - 1]
+                }
+            }
+            let key = (class, far, client_is_src);
+            if let Some(&gi) = agg.index.get(&key) {
+                let rep = actives[agg.groups[gi as usize].rep as usize];
+                if shared_of(rep, client_is_src) == shared_of(t, client_is_src) {
+                    agg.groups[gi as usize].members.push(k as u32);
+                    agg.member_of.push(gi); // provisional: group slot, fixed up below
+                } else {
+                    // Asymmetric routing within the class: stays plain.
+                    agg.member_of.push(PLAIN);
+                }
+            } else {
+                let gi = agg.alloc_group(k as u32, client_is_src);
+                agg.index.insert(key, gi);
+                agg.groups[gi as usize].members.push(k as u32);
+                agg.member_of.push(gi);
+            }
+        }
+        // Pass 3: emit aggregate rows (group-creation order), then plain
+        // rows (id order), rewriting `member_of` from provisional group
+        // slots to final member-rate indices.
+        let mut stats = AggregationStats {
+            total_flows: actives.len(),
+            ..AggregationStats::default()
+        };
+        let mut next_member = 0u32;
+        for gi in 0..agg.n_groups {
+            let g = &agg.groups[gi];
+            let rep = actives[g.rep as usize];
+            let shared: &[ResourceId] = if g.client_is_src {
+                &rep.resources[1..]
+            } else {
+                &rep.resources[..rep.resources.len() - 1]
+            };
+            let access_of = |t: &ActiveTransfer| -> ResourceId {
+                if g.client_is_src {
+                    t.resources[0]
+                } else {
+                    t.resources[t.resources.len() - 1]
+                }
+            };
+            // Reuse the probe scratch buffer for the member access list.
+            let mut access = self.probe_scratch.borrow_mut();
+            access.clear();
+            for &k in &g.members {
+                access.push(access_of(actives[k as usize]));
+            }
+            self.demands.push_aggregate(1.0, shared, &access);
+            for (j, &k) in g.members.iter().enumerate() {
+                agg.member_of[k as usize] = next_member + j as u32;
+            }
+            next_member += g.members.len() as u32;
+            stats.rows += 1;
+            if g.members.len() > 1 {
+                stats.aggregated_flows += g.members.len();
+            }
+        }
+        for (k, t) in actives.iter().enumerate() {
+            if agg.member_of[k] == PLAIN {
+                self.demands.push(1.0, &t.resources);
+                agg.member_of[k] = next_member;
+                next_member += 1;
+                stats.rows += 1;
+            }
+        }
+        agg.stats = stats;
     }
 
     /// Recomputes the cached minimum drain time after remaining volumes
@@ -700,6 +952,65 @@ impl Network {
     /// this counter; it never influences behaviour.
     pub fn probe_solve_count(&self) -> u64 {
         self.probe_solves.get()
+    }
+
+    /// Injects network-position classes for client hosts, enabling aggregate
+    /// demand rows. `classes` maps leaf client hosts to class ids; hosts in
+    /// one class must be position-symmetric (same attachment router, access
+    /// capacity, and latency) for aggregation to actually collapse rows —
+    /// though correctness never depends on it: rates are bit-identical to
+    /// the exploded per-client solve regardless of how classes are drawn.
+    ///
+    /// Passing an empty map disables aggregation again. Permanent split
+    /// records survive re-injection: a client that lost its symmetry stays
+    /// exploded.
+    pub fn set_flow_classes<I>(&mut self, classes: I)
+    where
+        I: IntoIterator<Item = (NodeId, u32)>,
+    {
+        self.agg.flow_class.clear();
+        self.agg.classed_by_link.clear();
+        for (node, class) in classes {
+            if let Some((_, link)) = self.topology.attachment(node) {
+                self.agg.classed_by_link.insert(link, node);
+                self.agg.flow_class.insert(node, class);
+            }
+        }
+        if !self.active.is_empty() {
+            self.recompute_rates();
+        }
+    }
+
+    /// Whether aggregate demand rows are currently enabled.
+    pub fn aggregation_enabled(&self) -> bool {
+        self.agg.enabled()
+    }
+
+    /// Switches the path cache to leaf-compressed routing (see
+    /// [`PathTable::set_leaf_compressed`]): shortest-path trees are only
+    /// built for attachment routers instead of one per transfer source —
+    /// the difference between a few router trees and `O(hosts × nodes)`
+    /// memory on fleet-scale multi-tier topologies. Call before starting
+    /// transfers; enabling it mid-run would mix path conventions across an
+    /// epoch.
+    pub fn set_leaf_routing(&mut self, enabled: bool) {
+        self.paths.borrow_mut().set_leaf_compressed(enabled);
+    }
+
+    /// Last-epoch aggregation statistics plus lifetime split count.
+    pub fn aggregation_stats(&self) -> AggregationStats {
+        AggregationStats {
+            permanent_splits: self.agg.split_nodes.len(),
+            ..self.agg.stats
+        }
+    }
+
+    /// Permanently splits a classed client out of its aggregate — the lazy
+    /// split hook for symmetry broken outside the network's own view (e.g. a
+    /// planner-observed divergent runtime state). Idempotent and silent:
+    /// split bookkeeping never changes rates or traces.
+    pub fn split_client(&mut self, node: NodeId) {
+        self.agg.split(node);
     }
 
     /// The current drain rate of a transfer, if it is still active.
@@ -958,6 +1269,68 @@ mod tests {
         // Lifting the cap returns to the shared pool.
         net.set_link_oneway(t(0.2), link, a, 10.0e6).unwrap();
         assert!((net.transfer_rate(TransferId(0)).unwrap() - 5.0e6).abs() < 1.0);
+    }
+
+    /// A star: three symmetric clients and one server host on one router.
+    fn star_net() -> (Network, Vec<NodeId>, NodeId) {
+        let mut topo = Topology::new();
+        let r = topo.add_router("r").unwrap();
+        let clients: Vec<NodeId> = (0..3)
+            .map(|i| {
+                let c = topo.add_host(&format!("c{i}")).unwrap();
+                topo.add_link(c, r, 20e6, ms(1.0)).unwrap();
+                c
+            })
+            .collect();
+        let s = topo.add_host("s").unwrap();
+        topo.add_link(s, r, 10e6, ms(1.0)).unwrap();
+        (Network::new(topo), clients, s)
+    }
+
+    #[test]
+    fn symmetric_clients_fold_into_one_aggregate_row() {
+        let (mut net, clients, s) = star_net();
+        net.set_flow_classes(clients.iter().map(|&c| (c, 0)));
+        for (i, &c) in clients.iter().enumerate() {
+            net.start_transfer(t(0.0), s, c, 100e6, i as u64).unwrap();
+        }
+        let stats = net.aggregation_stats();
+        assert_eq!(stats.rows, 1, "one aggregate row for the class");
+        assert_eq!(stats.aggregated_flows, 3);
+        assert_eq!(stats.total_flows, 3);
+        assert_eq!(stats.permanent_splits, 0);
+        // The server access link (10 Mbps) splits three ways.
+        for i in 0..3 {
+            let rate = net.transfer_rate(TransferId(i)).unwrap();
+            assert!((rate - 10e6 / 3.0).abs() < 1.0, "rate={rate}");
+        }
+    }
+
+    #[test]
+    fn faults_and_divergence_split_aggregates_permanently() {
+        let (mut net, clients, s) = star_net();
+        net.set_flow_classes(clients.iter().map(|&c| (c, 0)));
+        for (i, &c) in clients.iter().enumerate() {
+            net.start_transfer(t(0.0), s, c, 100e6, i as u64).unwrap();
+        }
+        assert_eq!(net.aggregation_stats().rows, 1);
+        // A capacity fault on c0's access link splits c0 out for good.
+        let access = net.topology().link_between(clients[0], NodeId(0)).unwrap();
+        net.set_link_capacity(t(1.0), access, 5e6).unwrap();
+        let stats = net.aggregation_stats();
+        assert_eq!(stats.permanent_splits, 1);
+        assert_eq!(stats.rows, 2, "split member becomes its own plain row");
+        assert_eq!(stats.aggregated_flows, 2);
+        // Restoring the capacity does not re-merge: splits are permanent.
+        net.set_link_capacity(t(2.0), access, 20e6).unwrap();
+        assert_eq!(net.aggregation_stats().rows, 2);
+        // A second concurrent flow on c1 is a divergent runtime state: c1
+        // splits too, leaving a singleton aggregate for c2.
+        net.start_transfer(t(3.0), clients[1], s, 1e6, 99).unwrap();
+        let stats = net.aggregation_stats();
+        assert_eq!(stats.permanent_splits, 2);
+        assert_eq!(stats.total_flows, 4);
+        assert_eq!(stats.aggregated_flows, 0, "no multi-member rows remain");
     }
 
     #[test]

@@ -445,12 +445,32 @@ struct SourceTree {
 #[derive(Debug, Default)]
 pub struct PathTable {
     trees: Vec<Option<SourceTree>>,
+    /// Leaf-compressed routing (see [`set_leaf_compressed`](Self::set_leaf_compressed)).
+    leaf_compressed: bool,
 }
 
 impl PathTable {
     /// An empty table; trees are computed on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Switches the table to *leaf-compressed* routing: the path touching a
+    /// leaf host is composed as `access link + inter-anchor path + access
+    /// link`, where a leaf's anchor is its single attachment node. Every
+    /// path from a leaf must traverse its only edge, so the composition is
+    /// a genuine shortest path; the inter-anchor segment is answered from a
+    /// tree rooted at the lower-numbered anchor (reversed when needed), so
+    /// trees are only ever built for the handful of attachment routers —
+    /// not for tens of thousands of host sources, whose per-source trees
+    /// would cost `O(hosts × nodes)` memory at fleet scale.
+    ///
+    /// Off by default: uniform latency shifts can re-break `(latency, hops)`
+    /// ties differently from the per-source reference Dijkstra, so the
+    /// classic byte-compared presets keep per-source trees. The fleet-scale
+    /// presets (no frozen baseline) opt in.
+    pub fn set_leaf_compressed(&mut self, enabled: bool) {
+        self.leaf_compressed = enabled;
     }
 
     fn tree(&mut self, topology: &Topology, src: NodeId) -> &SourceTree {
@@ -480,6 +500,21 @@ impl PathTable {
         if src == dst {
             return Ok(());
         }
+        if self.leaf_compressed {
+            return self.compressed_path_into(topology, src, dst, out);
+        }
+        self.tree_path_into(topology, src, dst, out)
+    }
+
+    /// The tree-walking core of [`path_into`](Self::path_into): answers from
+    /// the shortest-path tree rooted at `src`.
+    fn tree_path_into(
+        &mut self,
+        topology: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), TopologyError> {
         let no_path = || {
             TopologyError::NoPath(
                 topology.nodes[src.0].name.clone(),
@@ -501,6 +536,71 @@ impl PathTable {
             cur = NodeId(p as usize);
         }
         out[start..].reverse();
+        Ok(())
+    }
+
+    /// Leaf-compressed path composition: each leaf-host endpoint contributes
+    /// its access link, and the middle runs anchor-to-anchor. The
+    /// anchor-to-anchor segment is served from a tree rooted at the
+    /// lower-numbered anchor (link sequences are direction-symmetric, so the
+    /// reverse walk is reversed back), bounding the tree count by the number
+    /// of distinct attachment nodes.
+    fn compressed_path_into(
+        &mut self,
+        topology: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), TopologyError> {
+        let anchor_of = |node: NodeId| -> (NodeId, Option<LinkId>) {
+            if topology.nodes[node.0].kind == NodeKind::Host {
+                if let Some((attach, link)) = topology.attachment(node) {
+                    return (attach, Some(link));
+                }
+            }
+            (node, None)
+        };
+        let (src_anchor, src_link) = anchor_of(src);
+        let (dst_anchor, dst_link) = anchor_of(dst);
+        // Degenerate compositions: one endpoint anchors at the other.
+        if let Some(link) = src_link {
+            if src_anchor == dst {
+                out.push(link);
+                return Ok(());
+            }
+        }
+        if let Some(link) = dst_link {
+            if dst_anchor == src {
+                out.push(link);
+                return Ok(());
+            }
+        }
+        if let Some(link) = src_link {
+            out.push(link);
+        }
+        if src_anchor != dst_anchor {
+            let start = out.len();
+            let result = if src_anchor <= dst_anchor {
+                self.tree_path_into(topology, src_anchor, dst_anchor, out)
+            } else {
+                let reversed = self.tree_path_into(topology, dst_anchor, src_anchor, out);
+                if reversed.is_ok() {
+                    out[start..].reverse();
+                }
+                reversed
+            };
+            // Report unreachability in terms of the queried endpoints, not
+            // the anchors the composition happened to route through.
+            result.map_err(|_| {
+                TopologyError::NoPath(
+                    topology.nodes[src.0].name.clone(),
+                    topology.nodes[dst.0].name.clone(),
+                )
+            })?;
+        }
+        if let Some(link) = dst_link {
+            out.push(link);
+        }
         Ok(())
     }
 
@@ -537,6 +637,46 @@ mod tests {
         t.add_link(r2, h2, 10e6, ms(1.0)).unwrap();
         t.add_link(r1, h2, 10e6, ms(10.0)).unwrap();
         (t, h1, r1, r2, h2)
+    }
+
+    #[test]
+    fn leaf_compressed_paths_match_reference_on_a_multi_tier_topology() {
+        // Routers in a cycle with distinct latencies (no metric ties), an
+        // aggregation switch tier, and leaf hosts behind both tiers.
+        let mut t = Topology::new();
+        let r1 = t.add_router("r1").unwrap();
+        let r2 = t.add_router("r2").unwrap();
+        let r3 = t.add_router("r3").unwrap();
+        t.add_link(r1, r2, 100e6, ms(1.0)).unwrap();
+        t.add_link(r2, r3, 100e6, ms(1.3)).unwrap();
+        t.add_link(r1, r3, 100e6, ms(1.7)).unwrap();
+        let a1 = t.add_router("a1").unwrap();
+        let a2 = t.add_router("a2").unwrap();
+        t.add_link(a1, r1, 50e6, ms(0.9)).unwrap();
+        t.add_link(a2, r1, 50e6, ms(0.9)).unwrap();
+        let mut hosts = Vec::new();
+        for (i, attach) in [a1, a1, a2, r2, r3, r3].iter().enumerate() {
+            let h = t.add_host(&format!("h{i}")).unwrap();
+            t.add_link(h, *attach, 10e6, ms(0.5)).unwrap();
+            hosts.push(h);
+        }
+        let mut compressed = PathTable::new();
+        compressed.set_leaf_compressed(true);
+        let all: Vec<NodeId> = t.nodes().map(|(id, _)| id).collect();
+        for &a in &all {
+            for &b in &all {
+                let got = compressed.path(&t, a, b).unwrap();
+                let want = t.path(a, b).unwrap();
+                assert_eq!(got, want, "{a:?} -> {b:?}");
+            }
+        }
+        // The compressed table never built a tree for any leaf host source.
+        for &h in &hosts {
+            assert!(
+                compressed.trees.get(h.0).is_none_or(|slot| slot.is_none()),
+                "tree built for leaf host {h:?}"
+            );
+        }
     }
 
     #[test]

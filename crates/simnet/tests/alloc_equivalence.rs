@@ -139,10 +139,41 @@ fn assert_reference_agreement(
 /// Replays a seeded scenario of flow churn and fault mutations, checking
 /// reference agreement after every step.
 fn run_equivalence_scenario(seed: u64, routers: usize, hosts: usize, steps: usize) {
+    run_equivalence_scenario_with(seed, routers, hosts, steps, false);
+}
+
+/// Same scenario, optionally with network-position classes injected on half
+/// the hosts so transfers fold into aggregate demand rows. The reference
+/// agreement assertions are unchanged: aggregation must be invisible in
+/// every rate and every probe, bit for bit, including across fault-driven
+/// permanent splits and divergent-state (multi-flow) splits.
+fn run_equivalence_scenario_with(
+    seed: u64,
+    routers: usize,
+    hosts: usize,
+    steps: usize,
+    aggregate: bool,
+) {
     let (topo, host_ids) = random_topology(seed, routers, hosts);
     let links: Vec<LinkId> = topo.links().map(|(id, _)| id).collect();
     let nominal: Vec<f64> = topo.links().map(|(_, l)| l.capacity_bps).collect();
     let mut net = Network::new(topo);
+    if aggregate {
+        // Class every second host by its attachment router; the rest stay
+        // unclassed so host-to-host transfers have a single classed endpoint.
+        let classes: Vec<(NodeId, u32)> = host_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .filter_map(|(_, &h)| {
+                net.topology()
+                    .attachment(h)
+                    .map(|(router, _)| (h, router.0 as u32))
+            })
+            .collect();
+        net.set_flow_classes(classes);
+        assert!(net.aggregation_enabled());
+    }
     let mut rng = SimRng::seed_from_u64(seed).derive(99);
     let mut ledger: Vec<(TransferId, NodeId, NodeId)> = Vec::new();
     let mut clock = 0.0;
@@ -205,6 +236,19 @@ proptest! {
     ) {
         run_equivalence_scenario(seed, routers, hosts, steps);
     }
+
+    /// With position classes injected — transfers folding into aggregate
+    /// rows, splitting lazily under faults and divergent states — every rate
+    /// and probe still matches the exploded reference bit-identically.
+    #[test]
+    fn aggregated_allocator_matches_reference_under_churn_and_faults(
+        seed in 0u64..u64::MAX,
+        routers in 2usize..6,
+        hosts in 2usize..8,
+        steps in 5usize..40,
+    ) {
+        run_equivalence_scenario_with(seed, routers, hosts, steps, true);
+    }
 }
 
 /// A fixed, deeper scenario so the equivalence also runs under `--test-threads`
@@ -212,4 +256,12 @@ proptest! {
 #[test]
 fn allocator_matches_reference_fixed_deep_scenario() {
     run_equivalence_scenario(0xC0FFEE, 4, 6, 120);
+}
+
+/// The fixed deep scenario again, with aggregation on: long enough that
+/// groups form, split on faults, and re-form across many epochs.
+#[test]
+fn aggregated_allocator_matches_reference_fixed_deep_scenario() {
+    run_equivalence_scenario_with(0xC0FFEE, 4, 6, 120, true);
+    run_equivalence_scenario_with(0xA66A, 3, 8, 120, true);
 }
