@@ -102,6 +102,22 @@ pub enum ModelOp {
         /// Role name on the connector.
         role: String,
     },
+    /// Moves a whole client class onto a target server group's connector in
+    /// one operation. For every client (in list order): its stale role — and
+    /// the attachment through it — is deleted, and a fresh `{client}.role`
+    /// is created on and attached to `{to_group}.Conn` (the connector is
+    /// created with its server-side attachment if missing). The bulk
+    /// equivalent of the per-client Detach/RemoveRole/AddRole/Attach
+    /// sequence: recorded change-sets — and their commit replay — stay
+    /// proportional to classes, not class members.
+    MoveClientGroup {
+        /// Client component names, in class order. Members missing from the
+        /// model are skipped (a symmetric class can outlive individual
+        /// members).
+        clients: Vec<String>,
+        /// Target server group name.
+        to_group: String,
+    },
     /// Sets a property on a component.
     SetComponentProperty {
         /// Component name.
@@ -194,6 +210,50 @@ fn find_role(system: &System, connector: &str, role: &str) -> Result<RoleId, Cha
         .ok_or_else(|| ChangeError::NotFound(format!("role {connector}.{role}")))
 }
 
+/// The body of [`ModelOp::MoveClientGroup`]: per-client mutations in list
+/// order, so the final model state (and element-id allocation) matches the
+/// equivalent per-client operation sequence exactly.
+fn move_client_group_op(
+    system: &mut System,
+    clients: &[String],
+    to_group: &str,
+) -> Result<(), ChangeError> {
+    use crate::style::{
+        ClientServerStyle, CLIENT_ROLE_T, SERVER_GROUP_T, SERVER_ROLE_T, SERVICE_CONN_T,
+    };
+    let group_id = find_component(system, to_group)?;
+    if system.component(group_id)?.ctype != SERVER_GROUP_T {
+        return Err(ChangeError::NotFound(format!("server group {to_group}")));
+    }
+    // Ensure the target connector exists, with its server-side attachment.
+    let conn_name = format!("{to_group}.Conn");
+    let conn_id = match system.connector_by_name(&conn_name) {
+        Some(id) => id,
+        None => {
+            let conn_id = system.add_connector(conn_name.clone(), SERVICE_CONN_T.to_string())?;
+            let role_id =
+                system.add_role(conn_id, "serverSide".to_string(), SERVER_ROLE_T.to_string())?;
+            let group_port = find_port(system, to_group, ClientServerStyle::GROUP_PORT)?;
+            system.attach(group_port, role_id)?;
+            conn_id
+        }
+    };
+    for client in clients {
+        if system.component_by_name(client).is_none() {
+            continue;
+        }
+        let port_id = find_port(system, client, ClientServerStyle::CLIENT_PORT)?;
+        // Removing the stale role also removes the attachment through it.
+        if let Some(old_role) = system.roles_attached_to_port(port_id).first().copied() {
+            system.remove_role(old_role)?;
+        }
+        let role_id =
+            system.add_role(conn_id, format!("{client}.role"), CLIENT_ROLE_T.to_string())?;
+        system.attach(port_id, role_id)?;
+    }
+    Ok(())
+}
+
 /// Applies a single operation to a system.
 pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
     match op {
@@ -280,6 +340,9 @@ pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
             let rid = find_role(system, connector, role)?;
             system.detach(pid, rid)?;
             Ok(())
+        }
+        ModelOp::MoveClientGroup { clients, to_group } => {
+            move_client_group_op(system, clients, to_group)
         }
         ModelOp::SetComponentProperty {
             component,
@@ -471,6 +534,118 @@ mod tests {
         let user = live.component_by_name("User1").unwrap();
         let conn2 = live.connector_by_name("Conn2").unwrap();
         assert_eq!(live.connectors_of_component(user), vec![conn2]);
+    }
+
+    #[test]
+    fn move_client_group_matches_per_client_sequence() {
+        let mut live = base_system();
+        let user2 = live.add_component("User2", "ClientT").unwrap();
+        let port2 = live.add_port(user2, "request", "RequestT").unwrap();
+        let conn1 = live.connector_by_name("Conn1").unwrap();
+        let role2 = live.add_role(conn1, "User2.role", "ClientRoleT").unwrap();
+        live.attach(port2, role2).unwrap();
+        let grp2 = live.add_component("ServerGrp2", "ServerGroupT").unwrap();
+        live.add_port(grp2, "serve", "ServeT").unwrap();
+
+        // The per-client sequence the style's `move` operator records for
+        // each member: ensure the target connector, drop the stale role,
+        // attach a fresh one.
+        let mut per_client = live.clone();
+        let seq = [
+            ModelOp::AddConnector {
+                name: "ServerGrp2.Conn".into(),
+                ctype: "ServiceConnT".into(),
+            },
+            ModelOp::AddRole {
+                connector: "ServerGrp2.Conn".into(),
+                role: "serverSide".into(),
+                rtype: "ServerRoleT".into(),
+            },
+            ModelOp::Attach {
+                component: "ServerGrp2".into(),
+                port: "serve".into(),
+                connector: "ServerGrp2.Conn".into(),
+                role: "serverSide".into(),
+            },
+            ModelOp::Detach {
+                component: "User1".into(),
+                port: "request".into(),
+                connector: "Conn1".into(),
+                role: "clientSide".into(),
+            },
+            ModelOp::RemoveRole {
+                connector: "Conn1".into(),
+                role: "clientSide".into(),
+            },
+            ModelOp::AddRole {
+                connector: "ServerGrp2.Conn".into(),
+                role: "User1.role".into(),
+                rtype: "ClientRoleT".into(),
+            },
+            ModelOp::Attach {
+                component: "User1".into(),
+                port: "request".into(),
+                connector: "ServerGrp2.Conn".into(),
+                role: "User1.role".into(),
+            },
+            ModelOp::Detach {
+                component: "User2".into(),
+                port: "request".into(),
+                connector: "Conn1".into(),
+                role: "User2.role".into(),
+            },
+            ModelOp::RemoveRole {
+                connector: "Conn1".into(),
+                role: "User2.role".into(),
+            },
+            ModelOp::AddRole {
+                connector: "ServerGrp2.Conn".into(),
+                role: "User2.role".into(),
+                rtype: "ClientRoleT".into(),
+            },
+            ModelOp::Attach {
+                component: "User2".into(),
+                port: "request".into(),
+                connector: "ServerGrp2.Conn".into(),
+                role: "User2.role".into(),
+            },
+        ];
+        for op in &seq {
+            apply_op(&mut per_client, op).unwrap();
+        }
+
+        // The bulk op: one recorded operation, same final state. A member
+        // missing from the model is skipped, not an error.
+        let mut bulk = live.clone();
+        apply_op(
+            &mut bulk,
+            &ModelOp::MoveClientGroup {
+                clients: vec!["User1".into(), "User2".into(), "Ghost".into()],
+                to_group: "ServerGrp2".into(),
+            },
+        )
+        .unwrap();
+
+        assert_eq!(bulk, per_client);
+        assert!(bulk.integrity_errors().is_empty());
+        let conn2 = bulk.connector_by_name("ServerGrp2.Conn").unwrap();
+        for client in ["User1", "User2"] {
+            let id = bulk.component_by_name(client).unwrap();
+            assert_eq!(bulk.connectors_of_component(id), vec![conn2]);
+        }
+    }
+
+    #[test]
+    fn move_client_group_rejects_non_group_target() {
+        let mut live = base_system();
+        let err = apply_op(
+            &mut live,
+            &ModelOp::MoveClientGroup {
+                clients: vec!["User1".into()],
+                to_group: "User1".into(),
+            },
+        );
+        assert!(matches!(err, Err(ChangeError::NotFound(_))));
     }
 
     #[test]

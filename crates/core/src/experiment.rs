@@ -157,7 +157,23 @@ pub fn run_with_schedule_and_faults(
     schedule: Option<&ExperimentSchedule>,
     faults: Option<&faultsim::FaultSchedule>,
 ) -> Result<RunResult, AppError> {
+    run_traced(label, config, schedule, faults, tracestore::null_sink())
+}
+
+/// [`run_with_schedule_and_faults`] with an explicit trace sink: every
+/// observation the run produces — gauge readings, violations, repair
+/// lifecycle, fault actions, transfer completions — is appended to `sink`.
+/// The default [`tracestore::null_sink`] restores the untraced behaviour
+/// exactly (emission sites are disabled, not merely discarded).
+pub fn run_traced(
+    label: &str,
+    config: ExperimentConfig,
+    schedule: Option<&ExperimentSchedule>,
+    faults: Option<&faultsim::FaultSchedule>,
+    sink: tracestore::SharedSink,
+) -> Result<RunResult, AppError> {
     let mut framework = AdaptationFramework::new(config.grid, config.framework)?;
+    framework.set_trace_sink(sink);
     let compiled = match faults {
         Some(faults) if !faults.is_empty() => Some(
             faults
@@ -259,12 +275,34 @@ impl Comparison {
         faults: Option<&faultsim::FaultSchedule>,
         duration_secs: f64,
     ) -> Result<Comparison, AppError> {
+        Self::run_with_faults_traced(
+            grid,
+            adaptive,
+            schedule,
+            faults,
+            duration_secs,
+            tracestore::null_sink(),
+            tracestore::null_sink(),
+        )
+    }
+
+    /// [`Comparison::run_with_faults`] with one explicit trace sink per run,
+    /// so the control and adaptive event streams stay separable.
+    pub fn run_with_faults_traced(
+        grid: GridConfig,
+        adaptive: FrameworkConfig,
+        schedule: Option<&ExperimentSchedule>,
+        faults: Option<&faultsim::FaultSchedule>,
+        duration_secs: f64,
+        control_sink: tracestore::SharedSink,
+        adaptive_sink: tracestore::SharedSink,
+    ) -> Result<Comparison, AppError> {
         let control = FrameworkConfig {
             adaptation_enabled: false,
             ..adaptive
         };
         Ok(Comparison {
-            control: run_with_schedule_and_faults(
+            control: run_traced(
                 "control",
                 ExperimentConfig {
                     grid,
@@ -273,8 +311,9 @@ impl Comparison {
                 },
                 schedule,
                 faults,
+                control_sink,
             )?,
-            adaptive: run_with_schedule_and_faults(
+            adaptive: run_traced(
                 "adaptive",
                 ExperimentConfig {
                     grid,
@@ -283,6 +322,7 @@ impl Comparison {
                 },
                 schedule,
                 faults,
+                adaptive_sink,
             )?,
         })
     }

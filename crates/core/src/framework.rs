@@ -34,20 +34,30 @@ use repair::{PlanOutcome, RepairDamping, RepairEngine, RepairPlan, SelectionPoli
 use simnet::{SimTime, Trace, TraceKind};
 use translator::{translate, RepairCostModel, RuntimeOp};
 
-/// Names of the built-in repair-strategy presets, in sweep-matrix order.
-/// Each resolves through [`FrameworkConfig::by_name`] to an adaptive
+/// The built-in repair-strategy presets, in sweep-matrix order. Each
+/// resolves through [`FrameworkConfig::by_name`] to an adaptive
 /// configuration; the sweep harness derives the matching control run by
 /// disabling adaptation on the same configuration. `plannedRepair` is the
 /// group-level planner: symmetry-aware class probing plus batched
 /// `moveClientGroup` / `rebalanceGroups` / `drainServer` tactics, with the
-/// per-element engine as its fallback.
-pub const STRATEGY_NAMES: [&str; 5] = [
-    "adaptive",
-    "bandwidth-first",
-    "no-damping",
-    "qos-monitoring",
-    "plannedRepair",
-];
+/// per-element engine as its fallback. [`strategy_names`] derives the name
+/// list from this table.
+pub static STRATEGY_REGISTRY: simnet::Registry<fn() -> FrameworkConfig> = simnet::Registry::new(
+    "strategy",
+    &[
+        ("adaptive", FrameworkConfig::adaptive),
+        ("bandwidth-first", FrameworkConfig::bandwidth_first),
+        ("no-damping", FrameworkConfig::no_damping),
+        ("qos-monitoring", FrameworkConfig::qos_monitoring),
+        ("plannedRepair", FrameworkConfig::planned_repair),
+    ],
+);
+
+/// Names of the built-in repair-strategy presets, in sweep-matrix order —
+/// derived from [`STRATEGY_REGISTRY`], never maintained by hand.
+pub fn strategy_names() -> &'static [&'static str] {
+    STRATEGY_REGISTRY.names()
+}
 
 /// Configuration of the adaptation framework.
 #[derive(Debug, Clone, Copy)]
@@ -121,33 +131,45 @@ impl FrameworkConfig {
     }
 
     /// Resolves a repair-strategy preset by its sweep-matrix name (one of
-    /// [`STRATEGY_NAMES`]).
+    /// [`strategy_names`]) — a thin wrapper over [`STRATEGY_REGISTRY`].
     pub fn by_name(name: &str) -> Option<Self> {
-        match name {
-            "adaptive" => Some(Self::adaptive()),
-            "bandwidth-first" => Some(FrameworkConfig {
-                bandwidth_first: true,
-                ..Self::adaptive()
-            }),
-            "no-damping" => Some(FrameworkConfig {
-                damping_secs: None,
-                ..Self::adaptive()
-            }),
-            "qos-monitoring" => Some(FrameworkConfig {
-                monitoring_qos: true,
-                ..Self::adaptive()
-            }),
-            // The group planner batches and relocates gauges instead of
-            // destroying and recreating them one by one, so it runs under
-            // the §5.3 gauge-caching cost model — without it a bulk move
-            // would spend minutes on churn alone.
-            "plannedRepair" => Some(FrameworkConfig {
-                group_planner: true,
-                cost_reduction: true,
-                cost_model: RepairCostModel::with_gauge_caching(),
-                ..Self::adaptive()
-            }),
-            _ => None,
+        STRATEGY_REGISTRY.find(name).map(|build| build())
+    }
+
+    /// The tactic-ordering ablation: try the bandwidth repair first.
+    pub fn bandwidth_first() -> Self {
+        FrameworkConfig {
+            bandwidth_first: true,
+            ..Self::adaptive()
+        }
+    }
+
+    /// The no-damping ablation: repairs are never suppressed.
+    pub fn no_damping() -> Self {
+        FrameworkConfig {
+            damping_secs: None,
+            ..Self::adaptive()
+        }
+    }
+
+    /// The QoS-monitoring variant: gauge traffic is prioritised.
+    pub fn qos_monitoring() -> Self {
+        FrameworkConfig {
+            monitoring_qos: true,
+            ..Self::adaptive()
+        }
+    }
+
+    /// The group-level planner preset. The planner batches and relocates
+    /// gauges instead of destroying and recreating them one by one, so it
+    /// runs under the §5.3 gauge-caching cost model — without it a bulk
+    /// move would spend minutes on churn alone.
+    pub fn planned_repair() -> Self {
+        FrameworkConfig {
+            group_planner: true,
+            cost_reduction: true,
+            cost_model: RepairCostModel::with_gauge_caching(),
+            ..Self::adaptive()
         }
     }
 }
@@ -196,6 +218,11 @@ pub struct AdaptationFramework {
     /// client.
     monitor_index: Option<planner::ClassIndex>,
     trace: Trace,
+    /// Unified observation sink: gauge readings, violations, repair
+    /// lifecycle, and reconfigurations are appended here (the application
+    /// shares the handle for transfer completions). The default `NullSink`
+    /// is disabled, so a run without a collector emits nothing.
+    sink: tracestore::SharedSink,
     pending: Option<PendingRepair>,
     repair_seq: u64,
     servers_activated: u64,
@@ -257,6 +284,7 @@ impl AdaptationFramework {
             planner: group_planner,
             monitor_index,
             trace: Trace::new(),
+            sink: tracestore::null_sink(),
             pending: None,
             repair_seq: 0,
             servers_activated: 0,
@@ -265,6 +293,15 @@ impl AdaptationFramework {
         };
         framework.deploy_gauges(SimTime::ZERO);
         Ok(framework)
+    }
+
+    /// Attaches a trace sink to the framework *and* the application it
+    /// drives: framework-layer observations (gauge readings, violations,
+    /// repair lifecycle, reconfigurations, fault actions) and runtime
+    /// transfer completions all land in the same stream.
+    pub fn set_trace_sink(&mut self, sink: tracestore::SharedSink) {
+        self.app.set_trace_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// The architectural model as currently maintained.
@@ -428,20 +465,57 @@ impl AdaptationFramework {
     /// moved client's bandwidth gauge is retired in one sweep over the
     /// roster (instead of one scan per client) and recreated against the
     /// client's new group.
+    ///
+    /// At fleet scale only the per-`(class, group)` representatives carry
+    /// bandwidth gauges (see `deploy_gauges`), so only those are recreated:
+    /// one gauge per moved *class*, not per client. Recreating 25k member
+    /// gauges at the 50k preset turned each bulk repair into a ~0.7 s
+    /// gauge-churn spike — and left non-representative members carrying
+    /// gauges the class-shared flow snapshot never feeds.
     fn refresh_bandwidth_gauges_bulk(&mut self, now: SimTime, clients: &[String]) {
         let t = now.as_secs();
+        let rehomed: Vec<(String, String)> = match &self.monitor_index {
+            Some(index) => {
+                let mut class_ids: Vec<usize> = clients
+                    .iter()
+                    .filter_map(|c| index.client_class_of(c))
+                    .collect();
+                class_ids.sort_unstable();
+                class_ids.dedup();
+                // The representative of each (class, group) pair is the
+                // first member homed on that group, mirroring
+                // `class_rep_flow_snapshot`'s seen-first rule.
+                let mut reps = Vec::new();
+                for id in class_ids {
+                    let Some(class) = index.client_class(id) else {
+                        continue;
+                    };
+                    let mut seen: std::collections::BTreeSet<String> =
+                        std::collections::BTreeSet::new();
+                    for member in &class.members {
+                        let Ok(group) = self.app.client_group(member) else {
+                            continue;
+                        };
+                        if seen.insert(group.clone()) {
+                            reps.push((member.clone(), group));
+                        }
+                    }
+                }
+                reps
+            }
+            None => clients
+                .iter()
+                .map(|c| (c.clone(), self.app.client_group(c).unwrap_or_default()))
+                .collect(),
+        };
         let moved: std::collections::BTreeSet<&str> = clients.iter().map(|c| c.as_str()).collect();
-        let groups: Vec<(String, String)> = clients
-            .iter()
-            .map(|c| (c.clone(), self.app.client_group(c).unwrap_or_default()))
-            .collect();
         let manager = self.pipeline.manager_mut();
         manager.delete_where(t, |name| {
             name.strip_prefix("bandwidth-gauge/")
                 .and_then(|rest| rest.split('/').next())
                 .is_some_and(|client| moved.contains(client))
         });
-        for (client, group) in groups {
+        for (client, group) in rehomed {
             manager.create(
                 t,
                 Box::new(BandwidthGauge::new(
@@ -517,6 +591,19 @@ impl AdaptationFramework {
         // model in one batch (same order, one target resolution per run of
         // consecutive same-target readings).
         let readings = self.pipeline.step(t.as_secs(), &mut ());
+        if self.sink.enabled() {
+            for reading in &readings {
+                self.sink.append(
+                    tracestore::TraceEvent::new(
+                        reading.time,
+                        tracestore::EventKind::Gauge,
+                        reading.target.as_str(),
+                        reading.property.as_str(),
+                    )
+                    .with_value(reading.value),
+                );
+            }
+        }
         ModelUpdater::new(&mut self.model).apply_batch(&readings);
         self.now = t;
 
@@ -548,6 +635,14 @@ impl AdaptationFramework {
                     violation.invariant, violation.subject_name, violation.detail
                 ),
             );
+            if self.sink.enabled() {
+                self.sink.append(tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::Violation,
+                    violation.subject_name.clone(),
+                    violation.invariant.clone(),
+                ));
+            }
         }
         // The group planner, when active, gets first claim on the violation
         // report: it plans whole equivalence classes in one batched repair.
@@ -599,6 +694,14 @@ impl AdaptationFramework {
                     TraceKind::RepairAborted,
                     format!("repair of {invariant} aborted: {reason}"),
                 );
+                if self.sink.enabled() {
+                    self.sink.append(tracestore::TraceEvent::new(
+                        t.as_secs(),
+                        tracestore::EventKind::RepairAborted,
+                        invariant,
+                        reason,
+                    ));
+                }
             }
             PlanOutcome::Skipped { reason } => {
                 self.trace
@@ -617,6 +720,14 @@ impl AdaptationFramework {
                     TraceKind::RepairAborted,
                     format!("translation failed: {e}"),
                 );
+                if self.sink.enabled() {
+                    self.sink.append(tracestore::TraceEvent::new(
+                        t.as_secs(),
+                        tracestore::EventKind::RepairAborted,
+                        plan.subject.clone(),
+                        format!("translation failed: {e}"),
+                    ));
+                }
                 return;
             }
         };
@@ -635,6 +746,17 @@ impl AdaptationFramework {
                 runtime_ops.len()
             ),
         );
+        if self.sink.enabled() {
+            self.sink.append(
+                tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::RepairStart,
+                    plan.subject.clone(),
+                    format!("{}: {}", plan.invariant, plan.description),
+                )
+                .with_correlation(correlation),
+            );
+        }
         self.pending = Some(PendingRepair {
             plan,
             runtime_ops,
@@ -664,6 +786,22 @@ impl AdaptationFramework {
                 plan.runtime_ops.len()
             ),
         );
+        if self.sink.enabled() {
+            self.sink.append(
+                tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::RepairStart,
+                    plan.subject.clone(),
+                    format!(
+                        "{}: [{}] {}",
+                        plan.invariant,
+                        plan.tactics.join("+"),
+                        plan.description
+                    ),
+                )
+                .with_correlation(correlation),
+            );
+        }
         self.pending = Some(PendingRepair {
             plan: RepairPlan {
                 invariant: plan.invariant,
@@ -714,6 +852,17 @@ impl AdaptationFramework {
                 pending.correlation, pending.plan.subject, pending.plan.description
             ),
         );
+        if self.sink.enabled() {
+            self.sink.append(
+                tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::RepairEnd,
+                    pending.plan.subject.clone(),
+                    pending.plan.description.clone(),
+                )
+                .with_correlation(pending.correlation),
+            );
+        }
     }
 
     fn execute_runtime_op(&mut self, t: SimTime, op: &RuntimeOp) {
@@ -815,9 +964,18 @@ impl AdaptationFramework {
             }
         }
         match result {
-            Ok(()) => self
-                .trace
-                .record(t, TraceKind::Reconfiguration, op.describe()),
+            Ok(()) => {
+                self.trace
+                    .record(t, TraceKind::Reconfiguration, op.describe());
+                if self.sink.enabled() {
+                    self.sink.append(tracestore::TraceEvent::new(
+                        t.as_secs(),
+                        tracestore::EventKind::Reconfiguration,
+                        runtime_op_subject(op),
+                        op.describe(),
+                    ));
+                }
+            }
             Err(e) => self.trace.record(
                 t,
                 TraceKind::Info,
@@ -894,7 +1052,10 @@ impl AdaptationFramework {
                     (_, Some(at)) => {
                         let timed = &actions[next_action];
                         let when = SimTime::from_secs(at);
-                        match faultsim::apply_action(&mut self.app, when, &timed.action) {
+                        // `apply_timed` also records the action to the
+                        // application's trace sink (fault onsets become
+                        // `Fault` events, lifts become `Info`).
+                        match faultsim::apply_timed(&mut self.app, timed) {
                             Ok(()) => self.trace.record(
                                 when,
                                 TraceKind::Fault,
@@ -917,6 +1078,24 @@ impl AdaptationFramework {
     }
 }
 
+/// The primary element a runtime operation acts on, for the trace sink's
+/// `subject` field.
+fn runtime_op_subject(op: &RuntimeOp) -> String {
+    match op {
+        RuntimeOp::CreateReqQueue { group } | RuntimeOp::DrainStuckServers { group, .. } => {
+            group.clone()
+        }
+        RuntimeOp::FindServer { client, .. }
+        | RuntimeOp::MoveClient { client, .. }
+        | RuntimeOp::RemosGetFlow { client, .. } => client.clone(),
+        RuntimeOp::MoveClientGroup { to_group, .. } => to_group.clone(),
+        RuntimeOp::ConnectServer { server, .. }
+        | RuntimeOp::ActivateServer { server }
+        | RuntimeOp::DeactivateServer { server } => server.clone(),
+        RuntimeOp::DeleteGauge { gauge } | RuntimeOp::CreateGauge { gauge } => gauge.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -931,7 +1110,17 @@ mod tests {
 
     #[test]
     fn every_strategy_name_resolves_and_unknown_names_do_not() {
-        for name in STRATEGY_NAMES {
+        assert_eq!(
+            strategy_names(),
+            &[
+                "adaptive",
+                "bandwidth-first",
+                "no-damping",
+                "qos-monitoring",
+                "plannedRepair"
+            ]
+        );
+        for &name in strategy_names() {
             let config = FrameworkConfig::by_name(name)
                 .unwrap_or_else(|| panic!("strategy {name} resolves"));
             assert!(config.adaptation_enabled, "{name} presets are adaptive");

@@ -38,14 +38,17 @@ pub mod sweep;
 pub mod task;
 
 pub use experiment::{
-    run_adaptive, run_control, run_experiment, Comparison, ExperimentConfig, RunResult, RunSummary,
+    run_adaptive, run_control, run_experiment, run_traced, Comparison, ExperimentConfig, RunResult,
+    RunSummary,
 };
-pub use framework::{AdaptationFramework, FrameworkConfig, RepairStats, STRATEGY_NAMES};
+pub use framework::{
+    strategy_names, AdaptationFramework, FrameworkConfig, RepairStats, STRATEGY_REGISTRY,
+};
 pub use model::{build_model, ModelUpdater};
 pub use query::AppQuery;
 pub use report::{render_comparison, render_run, render_sweep, run_to_json};
 pub use sweep::{
-    run_sweep, Aggregate, CellKey, CellReport, ConfidenceInterval, SweepError, SweepReport,
-    SweepSpec, SweepUnit, UnitOutcome, UnitResilience,
+    run_sweep, run_sweep_traced, Aggregate, CellKey, CellReport, ConfidenceInterval, SweepError,
+    SweepReport, SweepSpec, SweepSpecBuilder, SweepUnit, UnitEvents, UnitOutcome, UnitResilience,
 };
 pub use task::PerformanceProfile;

@@ -45,7 +45,7 @@ pub enum SweepError {
     UnknownWorkload(String),
     /// A strategy name did not resolve to a [`FrameworkConfig`] preset.
     UnknownStrategy(String),
-    /// A fault-profile name did not resolve (see [`faultsim::FAULT_PROFILES`]).
+    /// A fault-profile name did not resolve (see [`faultsim::fault_profile_names`]).
     UnknownFault(String),
     /// One of the matrix axes is empty.
     EmptyAxis(&'static str),
@@ -58,6 +58,8 @@ pub enum SweepError {
         /// The underlying error.
         message: String,
     },
+    /// The trace store could not be written.
+    Store(String),
 }
 
 impl std::fmt::Display for SweepError {
@@ -70,6 +72,7 @@ impl std::fmt::Display for SweepError {
             SweepError::EmptyAxis(axis) => write!(f, "sweep axis `{axis}` is empty"),
             SweepError::InvalidDuration(d) => write!(f, "invalid run duration: {d}"),
             SweepError::Run { unit, message } => write!(f, "sweep unit #{unit} failed: {message}"),
+            SweepError::Store(message) => write!(f, "trace store error: {message}"),
         }
     }
 }
@@ -80,18 +83,18 @@ impl std::error::Error for SweepError {}
 /// one cell; every cell runs once per seed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
-    /// Topology preset names (see [`gridapp::TESTBED_PRESETS`]).
+    /// Topology preset names (see [`gridapp::testbed_preset_names`]).
     pub topologies: Vec<String>,
-    /// Workload generator names (see [`gridapp::WORKLOAD_NAMES`]).
+    /// Workload generator names (see [`gridapp::workload_names`]).
     pub workloads: Vec<String>,
     /// Repair-strategy preset names (see
-    /// [`crate::framework::STRATEGY_NAMES`]).
+    /// [`crate::framework::strategy_names`]).
     pub strategies: Vec<String>,
     /// Run lengths in simulated seconds.
     pub durations_secs: Vec<f64>,
     /// Seeds; each cell is replicated once per seed.
     pub seeds: Vec<u64>,
-    /// Fault-profile names (see [`faultsim::FAULT_PROFILES`]). The default
+    /// Fault-profile names (see [`faultsim::fault_profile_names`]). The default
     /// `["none"]` injects nothing and keeps the report's serialisation
     /// byte-identical to the pre-faultsim layout.
     pub fault_profiles: Vec<String>,
@@ -124,6 +127,77 @@ impl Serialize for SweepSpec {
 }
 
 impl Deserialize for SweepSpec {}
+
+/// A fluent builder over [`SweepSpec`]: each axis setter *replaces* the
+/// axis wholesale, and [`build`](SweepSpecBuilder::build) validates every
+/// name against the live registries, so an invalid spec is caught at
+/// construction with the registry's list of valid names rather than
+/// mid-sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpecBuilder {
+    spec: SweepSpec,
+}
+
+impl SweepSpecBuilder {
+    /// Replaces the topology axis (see [`gridapp::testbed_preset_names`]).
+    pub fn topologies<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spec.topologies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the workload axis (see [`gridapp::workload_names`]).
+    pub fn workloads<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spec.workloads = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the strategy axis (see [`crate::framework::strategy_names`]).
+    pub fn strategies<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spec.strategies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the duration axis (simulated seconds per run).
+    pub fn durations_secs<I: IntoIterator<Item = f64>>(mut self, durations: I) -> Self {
+        self.spec.durations_secs = durations.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.spec.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the fault-profile axis (see
+    /// [`faultsim::fault_profile_names`]).
+    pub fn fault_profiles<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.spec.fault_profiles = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Validates the assembled spec and returns it.
+    pub fn build(self) -> Result<SweepSpec, SweepError> {
+        self.spec.validate()?;
+        Ok(self.spec)
+    }
+}
 
 impl SweepSpec {
     /// The default evaluation matrix: the three classic topology presets ×
@@ -159,7 +233,7 @@ impl SweepSpec {
     /// bulk tactics separate from per-client repair.
     pub fn scale_matrix() -> Self {
         SweepSpec {
-            topologies: gridapp::TESTBED_PRESETS
+            topologies: gridapp::testbed_preset_names()
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
@@ -182,6 +256,29 @@ impl SweepSpec {
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
         }
+    }
+
+    /// A builder seeded with this spec's axes — the way callers (and the
+    /// `sweep` example's flag parsing) derive a custom matrix from a preset:
+    ///
+    /// ```
+    /// use arch_adapt::SweepSpec;
+    /// let spec = SweepSpec::smoke()
+    ///     .to_builder()
+    ///     .strategies(["adaptive", "plannedRepair"])
+    ///     .seeds([42])
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.strategies.len(), 2);
+    /// ```
+    pub fn to_builder(self) -> SweepSpecBuilder {
+        SweepSpecBuilder { spec: self }
+    }
+
+    /// A builder starting from the default evaluation matrix
+    /// ([`SweepSpec::default_matrix`]).
+    pub fn builder() -> SweepSpecBuilder {
+        Self::default_matrix().to_builder()
     }
 
     /// Checks that every axis is non-empty and every name resolves.
@@ -342,6 +439,45 @@ impl SweepUnit {
     /// Runs this unit's control/adaptive comparison. The outcome is fully
     /// determined by the cell key and seed.
     pub fn run(&self) -> Result<UnitOutcome, SweepError> {
+        self.run_into(tracestore::null_sink(), tracestore::null_sink())
+    }
+
+    /// [`SweepUnit::run`] with the unit's full event streams collected: the
+    /// control and adaptive runs each append into their own buffer, returned
+    /// alongside the outcome for the harness to persist.
+    pub fn run_traced(&self) -> Result<(UnitOutcome, UnitEvents), SweepError> {
+        let (control_buffer, control_sink) = tracestore::shared_buffer();
+        let (adaptive_buffer, adaptive_sink) = tracestore::shared_buffer();
+        let outcome = self.run_into(control_sink, adaptive_sink)?;
+        Ok((
+            outcome,
+            UnitEvents {
+                control: control_buffer.take(),
+                adaptive: adaptive_buffer.take(),
+            },
+        ))
+    }
+
+    /// The run id a traced unit's events are stored under: every cell axis
+    /// plus the seed and the run's role, `/`-separated, so substring
+    /// queries select along any axis.
+    pub fn run_id(&self, label: &str) -> String {
+        format!(
+            "{}/{}/{}/{:.0}s/{}/seed{}/{label}",
+            self.key.topology,
+            self.key.workload,
+            self.key.strategy,
+            self.key.duration_secs,
+            self.key.fault,
+            self.seed
+        )
+    }
+
+    fn run_into(
+        &self,
+        control_sink: tracestore::SharedSink,
+        adaptive_sink: tracestore::SharedSink,
+    ) -> Result<UnitOutcome, SweepError> {
         let testbed = TestbedSpec::by_name(&self.key.topology)
             .ok_or_else(|| SweepError::UnknownTopology(self.key.topology.clone()))?;
         // `with_testbed` equals the plain default for every classic preset
@@ -357,12 +493,14 @@ impl SweepUnit {
             .ok_or_else(|| SweepError::UnknownStrategy(self.key.strategy.clone()))?;
         let faults = fault_profile_by_name(&self.key.fault, self.key.duration_secs)
             .ok_or_else(|| SweepError::UnknownFault(self.key.fault.clone()))?;
-        let comparison = Comparison::run_with_faults(
+        let comparison = Comparison::run_with_faults_traced(
             grid,
             framework,
             Some(&schedule),
             Some(&faults),
             self.key.duration_secs,
+            control_sink,
+            adaptive_sink,
         )
         .map_err(|e| SweepError::Run {
             unit: self.index,
@@ -377,6 +515,15 @@ impl SweepUnit {
             ..UnitOutcome::of(self.seed, &comparison)
         })
     }
+}
+
+/// The event streams one traced unit produced (see [`SweepUnit::run_traced`]).
+#[derive(Debug, Clone, Default)]
+pub struct UnitEvents {
+    /// Events of the control run, in emission order.
+    pub control: Vec<tracestore::TraceEvent>,
+    /// Events of the adaptive run, in emission order.
+    pub adaptive: Vec<tracestore::TraceEvent>,
 }
 
 /// Resilience metrics of one fault-injected comparison unit: the same
@@ -826,11 +973,46 @@ impl SweepReport {
 /// results. `workers` is clamped to `1..=total_units`. The report is
 /// bit-identical for any worker count (see the module docs).
 pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepError> {
+    Ok(run_sweep_inner(spec, workers, false)?.0)
+}
+
+/// [`run_sweep`] with full event capture: every run's trace events are
+/// additionally persisted to a fresh [`tracestore::TraceStore`] at
+/// `store_path`. Units still execute across `workers` threads; the store is
+/// written afterwards, single-threaded, in expansion order under
+/// [`SweepUnit::run_id`] run ids — so the store's bytes (like the report's)
+/// are identical at any worker count.
+pub fn run_sweep_traced(
+    spec: &SweepSpec,
+    workers: usize,
+    store_path: &std::path::Path,
+) -> Result<SweepReport, SweepError> {
+    let (report, events) = run_sweep_inner(spec, workers, true)?;
+    let mut store =
+        tracestore::TraceStore::open(store_path).map_err(|e| SweepError::Store(e.to_string()))?;
+    let units = spec.expand();
+    for (unit, events) in units.iter().zip(events) {
+        store
+            .append_run(&unit.run_id("control"), &events.control)
+            .map_err(|e| SweepError::Store(e.to_string()))?;
+        store
+            .append_run(&unit.run_id("adaptive"), &events.adaptive)
+            .map_err(|e| SweepError::Store(e.to_string()))?;
+    }
+    Ok(report)
+}
+
+fn run_sweep_inner(
+    spec: &SweepSpec,
+    workers: usize,
+    traced: bool,
+) -> Result<(SweepReport, Vec<UnitEvents>), SweepError> {
     spec.validate()?;
     let units = spec.expand();
     let total = units.len();
     let workers = workers.clamp(1, total);
-    let slots: Mutex<Vec<Option<Result<UnitOutcome, SweepError>>>> = Mutex::new(vec![None; total]);
+    type Slot = Option<Result<(UnitOutcome, UnitEvents), SweepError>>;
+    let slots: Mutex<Vec<Slot>> = Mutex::new(vec![None; total]);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -839,17 +1021,23 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
                 if i >= total {
                     break;
                 }
-                let outcome = units[i].run();
+                let outcome = if traced {
+                    units[i].run_traced()
+                } else {
+                    units[i].run().map(|o| (o, UnitEvents::default()))
+                };
                 slots.lock().expect("no worker panicked")[i] = Some(outcome);
             });
         }
     });
-    let outcomes: Vec<UnitOutcome> = slots
+    let (outcomes, events): (Vec<UnitOutcome>, Vec<UnitEvents>) = slots
         .into_inner()
         .expect("no worker panicked")
         .into_iter()
         .map(|slot| slot.expect("every unit was claimed by a worker"))
-        .collect::<Result<_, _>>()?;
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .unzip();
     let per_cell = spec.seeds.len();
     let cells: Vec<CellReport> = spec
         .cells()
@@ -857,11 +1045,14 @@ pub fn run_sweep(spec: &SweepSpec, workers: usize) -> Result<SweepReport, SweepE
         .zip(outcomes.chunks(per_cell))
         .map(|(key, chunk)| CellReport::of(key, chunk.to_vec()))
         .collect();
-    Ok(SweepReport {
-        spec: spec.clone(),
-        total_units: total,
-        cells,
-    })
+    Ok((
+        SweepReport {
+            spec: spec.clone(),
+            total_units: total,
+            cells,
+        },
+        events,
+    ))
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use arch_adapt::experiment::{run_with_schedule_and_faults, ExperimentConfig, RunResult};
 use arch_adapt::framework::FrameworkConfig;
-use faultsim::{apply_action, fault_profile_by_name, FAULT_PROFILES};
+use faultsim::{apply_action, fault_profile_by_name, fault_profile_names};
 use gridapp::{ExperimentSchedule, GridApp, GridConfig, TestbedSpec, SERVER_GROUP_2};
 use proptest::prelude::*;
 use simnet::SimTime;
@@ -99,9 +99,9 @@ proptest! {
     #[test]
     fn aggregate_and_exploded_apps_agree_bit_for_bit_under_fault_churn(
         seed in 0u64..10_000,
-        profile in 1usize..FAULT_PROFILES.len(),
+        profile in 1usize..fault_profile_names().len(),
     ) {
-        let name = FAULT_PROFILES[profile];
+        let name = fault_profile_names()[profile];
         let (agg, agg_stats) = app_fingerprint(true, name, seed, 60.0);
         let (exploded, exploded_stats) = app_fingerprint(false, name, seed, 60.0);
         prop_assert_eq!(agg, exploded, "profile {} diverged under seed {}", name, seed);
@@ -121,9 +121,9 @@ proptest! {
     #[test]
     fn aggregate_and_exploded_framework_traces_are_bit_identical(
         seed in 0u64..10_000,
-        profile in 1usize..FAULT_PROFILES.len(),
+        profile in 1usize..fault_profile_names().len(),
     ) {
-        let name = FAULT_PROFILES[profile];
+        let name = fault_profile_names()[profile];
         let a = framework_run(true, name, seed, 60.0);
         let b = framework_run(false, name, seed, 60.0);
         prop_assert_eq!(&a.trace, &b.trace, "traces diverged: profile {} seed {}", name, seed);

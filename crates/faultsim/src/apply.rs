@@ -1,8 +1,9 @@
 //! Executing compiled fault actions against a running application.
 
-use crate::schedule::FaultAction;
+use crate::schedule::{FaultAction, TimedAction};
 use gridapp::{AppError, GridApp};
 use simnet::SimTime;
+use tracestore::{EventKind, TraceEvent};
 
 /// Applies one primitive fault mutation to the application at time `now`,
 /// routing through the `simnet` fault hooks (link capacity, node liveness)
@@ -20,6 +21,56 @@ pub fn apply_action(app: &mut GridApp, now: SimTime, action: &FaultAction) -> Re
         FaultAction::SetNodeDown { node, down } => app.set_node_down(now, *node, *down),
         FaultAction::CrashServer { server } => app.crash_server(now, server),
         FaultAction::RestartServer { server } => app.restart_server(now, server),
+    }
+}
+
+/// Applies one compiled [`TimedAction`] and, when the application carries an
+/// enabled trace sink, records it: damage onsets become
+/// [`EventKind::Fault`] events (the anchors MTTR and near-fault queries key
+/// on), lifting actions become [`EventKind::Info`]. The subject is the
+/// affected element (`"R2-R3"`, `"R4"`, `"S2"`), the detail is the
+/// schedule's human-readable label.
+pub fn apply_timed(app: &mut GridApp, timed: &TimedAction) -> Result<(), AppError> {
+    let now = SimTime::from_secs(timed.at_secs);
+    apply_action(app, now, &timed.action)?;
+    if app.trace_sink().enabled() {
+        let kind = if timed.is_onset {
+            EventKind::Fault
+        } else {
+            EventKind::Info
+        };
+        let subject = action_subject(app, &timed.action);
+        app.trace_sink().append(TraceEvent::new(
+            timed.at_secs,
+            kind,
+            subject,
+            timed.label.clone(),
+        ));
+    }
+    Ok(())
+}
+
+/// The affected element's name: link endpoints joined with `-`, the node
+/// name, or the server name.
+fn action_subject(app: &GridApp, action: &FaultAction) -> String {
+    let topology = &app.testbed().topology;
+    let node_name = |id| {
+        topology
+            .node(id)
+            .map(|n| n.name.clone())
+            .unwrap_or_else(|_| format!("{id:?}"))
+    };
+    match action {
+        FaultAction::SetLinkCapacity { link, .. } | FaultAction::SetLinkOneWay { link, .. } => {
+            match topology.link(*link) {
+                Ok(l) => format!("{}-{}", node_name(l.a), node_name(l.b)),
+                Err(_) => format!("{link:?}"),
+            }
+        }
+        FaultAction::SetNodeDown { node, .. } => node_name(*node),
+        FaultAction::CrashServer { server } | FaultAction::RestartServer { server } => {
+            server.clone()
+        }
     }
 }
 

@@ -29,8 +29,8 @@ pub mod profile;
 pub mod resilience;
 pub mod schedule;
 
-pub use apply::apply_action;
-pub use profile::{fault_profile_by_name, FAULT_PROFILES, NO_FAULTS};
+pub use apply::{apply_action, apply_timed};
+pub use profile::{fault_profile_by_name, fault_profile_names, FAULT_PROFILE_REGISTRY, NO_FAULTS};
 pub use resilience::Resilience;
 pub use schedule::{
     CompiledFaultSchedule, FaultAction, FaultError, FaultEvent, FaultSchedule, LinkRef, TimedAction,

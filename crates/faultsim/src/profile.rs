@@ -5,152 +5,181 @@
 //! same thing on a 120 s smoke run and a 1800 s paper run.
 
 use crate::schedule::{FaultEvent, FaultSchedule, LinkRef};
+use simnet::Registry;
 
 /// The name of the empty profile (no faults injected).
 pub const NO_FAULTS: &str = "none";
 
-/// Names of the built-in fault profiles, in sweep-matrix order.
-pub const FAULT_PROFILES: [&str; 6] = [
-    NO_FAULTS,
-    "single-link-cut",
-    "server-crash-midrun",
-    "flapping-core",
-    "cascade",
-    "correlated-degrade",
-];
+/// The built-in fault profiles, in sweep-matrix order. Each entry builds a
+/// schedule scaled to the given run duration; [`fault_profile_names`]
+/// derives the name list from this table.
+pub static FAULT_PROFILE_REGISTRY: Registry<fn(f64) -> FaultSchedule> = Registry::new(
+    "fault profile",
+    &[
+        (NO_FAULTS, no_faults),
+        ("single-link-cut", single_link_cut),
+        ("server-crash-midrun", server_crash_midrun),
+        ("flapping-core", flapping_core),
+        ("cascade", cascade),
+        ("correlated-degrade", correlated_degrade),
+    ],
+);
+
+/// Names of the built-in fault profiles, in sweep-matrix order — derived
+/// from [`FAULT_PROFILE_REGISTRY`], never maintained by hand.
+pub fn fault_profile_names() -> &'static [&'static str] {
+    FAULT_PROFILE_REGISTRY.names()
+}
 
 /// Resolves a fault profile by its sweep-matrix name, scaled to a run of
-/// `duration_secs`. Returns `None` for unknown names.
+/// `duration_secs` — a thin wrapper over [`FAULT_PROFILE_REGISTRY`].
+/// Returns `None` for unknown names.
 pub fn fault_profile_by_name(name: &str, duration_secs: f64) -> Option<FaultSchedule> {
-    let d = duration_secs;
-    match name {
-        // No faults: the control case every existing scenario reduces to.
-        "none" => Some(FaultSchedule::none()),
-        // The R2-R3 link (squeezable clients to Server Group 1) is cut
-        // outright for 40% of the run — unlike the workload's bandwidth
-        // squeeze, nothing gets through at all.
-        "single-link-cut" => Some(FaultSchedule {
-            events: vec![
-                FaultEvent::LinkCut {
-                    link: LinkRef::between("R2", "R3"),
-                    at_secs: 0.3 * d,
-                },
-                FaultEvent::LinkRestore {
-                    link: LinkRef::between("R2", "R3"),
-                    at_secs: 0.7 * d,
-                },
-            ],
-        }),
-        // Two of Server Group 1's three replicas crash mid-run, taking the
-        // group below its provisioned capacity; they come back (as spares,
-        // if a failover repair replaced them) late in the run.
-        "server-crash-midrun" => Some(FaultSchedule {
-            events: vec![
-                FaultEvent::ServerCrash {
-                    server: "S2".into(),
-                    at_secs: 0.35 * d,
-                },
-                FaultEvent::ServerCrash {
-                    server: "S3".into(),
-                    at_secs: 0.35 * d,
-                },
-                FaultEvent::ServerRestart {
-                    server: "S2".into(),
-                    at_secs: 0.85 * d,
-                },
-                FaultEvent::ServerRestart {
-                    server: "S3".into(),
-                    at_secs: 0.85 * d,
-                },
-            ],
-        }),
-        // The R2-R3 core link flaps: down half of every cycle for the middle
-        // 40% of the run — the oscillation case repair damping exists for.
-        "flapping-core" => Some(FaultSchedule {
-            events: vec![FaultEvent::Flap {
+    FAULT_PROFILE_REGISTRY
+        .find(name)
+        .map(|build| build(duration_secs))
+}
+
+// No faults: the control case every existing scenario reduces to.
+fn no_faults(_duration_secs: f64) -> FaultSchedule {
+    FaultSchedule::none()
+}
+
+// The R2-R3 link (squeezable clients to Server Group 1) is cut outright for
+// 40% of the run — unlike the workload's bandwidth squeeze, nothing gets
+// through at all.
+fn single_link_cut(d: f64) -> FaultSchedule {
+    FaultSchedule {
+        events: vec![
+            FaultEvent::LinkCut {
                 link: LinkRef::between("R2", "R3"),
-                from_secs: 0.25 * d,
-                until_secs: 0.65 * d,
-                period_secs: 0.1 * d,
-                duty: 0.5,
-            }],
-        }),
-        // A correlated outage around Server Group 1's router: R3 goes down
-        // (cutting four core/access links at once) and one of the group's
-        // replicas crashes, staggered by seeded jitter; everything is lifted
-        // in the final quarter of the run.
-        "cascade" => Some(FaultSchedule {
-            events: vec![
-                FaultEvent::Correlated {
-                    at_secs: 0.3 * d,
-                    jitter_secs: 0.04 * d,
-                    events: vec![
-                        FaultEvent::NodeDown {
-                            node: "R3".into(),
-                            at_secs: 0.0,
-                        },
-                        FaultEvent::ServerCrash {
-                            server: "S1".into(),
-                            at_secs: 0.0,
-                        },
-                    ],
-                    factors: None,
-                },
-                FaultEvent::NodeUp {
-                    node: "R3".into(),
-                    at_secs: 0.7 * d,
-                },
-                FaultEvent::ServerRestart {
-                    server: "S1".into(),
-                    at_secs: 0.75 * d,
-                },
-            ],
-        }),
-        // A correlated grey failure with uneven blast radius: one shared
-        // cause (say, an overheating aggregation chassis) degrades three
-        // core links at once, but not equally — the per-child factors leave
-        // the R1–R3 path at half the base severity, the R2–R3 path at a
-        // fifth, and the R3–R4 path barely scratched. Everything lifts in
-        // the final quarter of the run.
-        "correlated-degrade" => Some(FaultSchedule {
-            events: vec![
-                FaultEvent::Correlated {
-                    at_secs: 0.3 * d,
-                    jitter_secs: 0.03 * d,
-                    events: vec![
-                        FaultEvent::LinkDegrade {
-                            link: LinkRef::between("R1", "R3"),
-                            at_secs: 0.0,
-                            factor: 0.8,
-                        },
-                        FaultEvent::LinkDegrade {
-                            link: LinkRef::between("R2", "R3"),
-                            at_secs: 0.0,
-                            factor: 0.8,
-                        },
-                        FaultEvent::LinkDegrade {
-                            link: LinkRef::between("R3", "R4"),
-                            at_secs: 0.0,
-                            factor: 0.8,
-                        },
-                    ],
-                    factors: Some(vec![0.625, 0.25, 1.0]),
-                },
-                FaultEvent::LinkRestore {
-                    link: LinkRef::between("R1", "R3"),
-                    at_secs: 0.75 * d,
-                },
-                FaultEvent::LinkRestore {
-                    link: LinkRef::between("R2", "R3"),
-                    at_secs: 0.75 * d,
-                },
-                FaultEvent::LinkRestore {
-                    link: LinkRef::between("R3", "R4"),
-                    at_secs: 0.75 * d,
-                },
-            ],
-        }),
-        _ => None,
+                at_secs: 0.3 * d,
+            },
+            FaultEvent::LinkRestore {
+                link: LinkRef::between("R2", "R3"),
+                at_secs: 0.7 * d,
+            },
+        ],
+    }
+}
+
+// Two of Server Group 1's three replicas crash mid-run, taking the group
+// below its provisioned capacity; they come back (as spares, if a failover
+// repair replaced them) late in the run.
+fn server_crash_midrun(d: f64) -> FaultSchedule {
+    FaultSchedule {
+        events: vec![
+            FaultEvent::ServerCrash {
+                server: "S2".into(),
+                at_secs: 0.35 * d,
+            },
+            FaultEvent::ServerCrash {
+                server: "S3".into(),
+                at_secs: 0.35 * d,
+            },
+            FaultEvent::ServerRestart {
+                server: "S2".into(),
+                at_secs: 0.85 * d,
+            },
+            FaultEvent::ServerRestart {
+                server: "S3".into(),
+                at_secs: 0.85 * d,
+            },
+        ],
+    }
+}
+
+// The R2-R3 core link flaps: down half of every cycle for the middle 40% of
+// the run — the oscillation case repair damping exists for.
+fn flapping_core(d: f64) -> FaultSchedule {
+    FaultSchedule {
+        events: vec![FaultEvent::Flap {
+            link: LinkRef::between("R2", "R3"),
+            from_secs: 0.25 * d,
+            until_secs: 0.65 * d,
+            period_secs: 0.1 * d,
+            duty: 0.5,
+        }],
+    }
+}
+
+// A correlated outage around Server Group 1's router: R3 goes down (cutting
+// four core/access links at once) and one of the group's replicas crashes,
+// staggered by seeded jitter; everything is lifted in the final quarter of
+// the run.
+fn cascade(d: f64) -> FaultSchedule {
+    FaultSchedule {
+        events: vec![
+            FaultEvent::Correlated {
+                at_secs: 0.3 * d,
+                jitter_secs: 0.04 * d,
+                events: vec![
+                    FaultEvent::NodeDown {
+                        node: "R3".into(),
+                        at_secs: 0.0,
+                    },
+                    FaultEvent::ServerCrash {
+                        server: "S1".into(),
+                        at_secs: 0.0,
+                    },
+                ],
+                factors: None,
+            },
+            FaultEvent::NodeUp {
+                node: "R3".into(),
+                at_secs: 0.7 * d,
+            },
+            FaultEvent::ServerRestart {
+                server: "S1".into(),
+                at_secs: 0.75 * d,
+            },
+        ],
+    }
+}
+
+// A correlated grey failure with uneven blast radius: one shared cause (say,
+// an overheating aggregation chassis) degrades three core links at once, but
+// not equally — the per-child factors leave the R1–R3 path at half the base
+// severity, the R2–R3 path at a fifth, and the R3–R4 path barely scratched.
+// Everything lifts in the final quarter of the run.
+fn correlated_degrade(d: f64) -> FaultSchedule {
+    FaultSchedule {
+        events: vec![
+            FaultEvent::Correlated {
+                at_secs: 0.3 * d,
+                jitter_secs: 0.03 * d,
+                events: vec![
+                    FaultEvent::LinkDegrade {
+                        link: LinkRef::between("R1", "R3"),
+                        at_secs: 0.0,
+                        factor: 0.8,
+                    },
+                    FaultEvent::LinkDegrade {
+                        link: LinkRef::between("R2", "R3"),
+                        at_secs: 0.0,
+                        factor: 0.8,
+                    },
+                    FaultEvent::LinkDegrade {
+                        link: LinkRef::between("R3", "R4"),
+                        at_secs: 0.0,
+                        factor: 0.8,
+                    },
+                ],
+                factors: Some(vec![0.625, 0.25, 1.0]),
+            },
+            FaultEvent::LinkRestore {
+                link: LinkRef::between("R1", "R3"),
+                at_secs: 0.75 * d,
+            },
+            FaultEvent::LinkRestore {
+                link: LinkRef::between("R2", "R3"),
+                at_secs: 0.75 * d,
+            },
+            FaultEvent::LinkRestore {
+                link: LinkRef::between("R3", "R4"),
+                at_secs: 0.75 * d,
+            },
+        ],
     }
 }
 
@@ -162,7 +191,18 @@ mod tests {
     #[test]
     fn every_profile_resolves_and_compiles_on_the_paper_testbed() {
         let tb = Testbed::build().unwrap();
-        for name in FAULT_PROFILES {
+        assert_eq!(
+            fault_profile_names(),
+            &[
+                "none",
+                "single-link-cut",
+                "server-crash-midrun",
+                "flapping-core",
+                "cascade",
+                "correlated-degrade"
+            ]
+        );
+        for &name in fault_profile_names() {
             let schedule = fault_profile_by_name(name, 600.0)
                 .unwrap_or_else(|| panic!("profile {name} resolves"));
             let compiled = schedule
@@ -180,6 +220,8 @@ mod tests {
             }
         }
         assert!(fault_profile_by_name("meteor-strike", 600.0).is_none());
+        let err = FAULT_PROFILE_REGISTRY.get("meteor-strike").unwrap_err();
+        assert!(err.to_string().contains("single-link-cut"));
     }
 
     #[test]
@@ -195,10 +237,10 @@ mod tests {
 
     #[test]
     fn profiles_compile_on_every_testbed_preset() {
-        for preset in gridapp::TESTBED_PRESETS {
+        for &preset in gridapp::testbed_preset_names() {
             let spec = gridapp::TestbedSpec::by_name(preset).unwrap();
             let tb = Testbed::from_spec(&spec).unwrap();
-            for name in FAULT_PROFILES {
+            for &name in fault_profile_names() {
                 fault_profile_by_name(name, 300.0)
                     .unwrap()
                     .compile(&tb, 7)

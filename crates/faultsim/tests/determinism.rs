@@ -5,7 +5,7 @@
 //! queue series — the determinism contract the sweep matrix and the CI
 //! byte-compare gate rely on.
 
-use faultsim::{apply_action, fault_profile_by_name, FAULT_PROFILES};
+use faultsim::{apply_action, fault_profile_by_name, fault_profile_names};
 use gridapp::{GridApp, GridConfig, SERVER_GROUP_1, SERVER_GROUP_2};
 use proptest::prelude::*;
 use simnet::SimTime;
@@ -51,9 +51,9 @@ proptest! {
     #[test]
     fn fault_runs_replay_bit_identically(
         seed in 0u64..10_000,
-        profile in 0usize..FAULT_PROFILES.len(),
+        profile in 0usize..fault_profile_names().len(),
     ) {
-        let name = FAULT_PROFILES[profile];
+        let name = fault_profile_names()[profile];
         let a = run_fingerprint(name, seed, 150.0);
         let b = run_fingerprint(name, seed, 150.0);
         prop_assert_eq!(a, b, "profile {} diverged under seed {}", name, seed);
@@ -64,7 +64,7 @@ proptest! {
 #[test]
 fn compiled_timelines_are_pure_functions_of_schedule_and_seed() {
     let app = GridApp::build(GridConfig::default()).unwrap();
-    for name in FAULT_PROFILES {
+    for &name in fault_profile_names() {
         let schedule = fault_profile_by_name(name, 900.0).unwrap();
         let a = schedule.compile(app.testbed(), 1234).unwrap();
         let b = schedule.compile(app.testbed(), 1234).unwrap();

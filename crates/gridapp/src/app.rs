@@ -172,6 +172,9 @@ pub struct GridApp {
     /// Per group, the name-ordered set of servers currently able to pull
     /// work (assigned + active + up + neither busy nor sending).
     idle: BTreeMap<String, BTreeSet<String>>,
+    /// Where transfer-lifecycle observations go; the default `NullSink` is
+    /// disabled, so emission costs nothing unless a collector is attached.
+    sink: tracestore::SharedSink,
 }
 
 impl GridApp {
@@ -306,7 +309,20 @@ impl GridApp {
             due_scratch: Vec::new(),
             sending_index: HashMap::new(),
             idle,
+            sink: tracestore::null_sink(),
         })
+    }
+
+    /// Attaches a trace sink; subsequent transfer completions are recorded
+    /// as [`tracestore::EventKind::Transfer`] events (subject: client,
+    /// detail: serving group, value: latency, correlation: request id).
+    pub fn set_trace_sink(&mut self, sink: tracestore::SharedSink) {
+        self.sink = sink;
+    }
+
+    /// The attached trace sink (the disabled `NullSink` by default).
+    pub fn trace_sink(&self) -> &tracestore::SharedSink {
+        &self.sink
     }
 
     /// Re-derives a server's membership in its group's idle set from its
@@ -1212,6 +1228,18 @@ impl GridApp {
                 }
                 self.metrics
                     .record_latency(delivered.as_secs(), &request.client, latency);
+                if self.sink.enabled() {
+                    self.sink.append(
+                        tracestore::TraceEvent::new(
+                            delivered.as_secs(),
+                            tracestore::EventKind::Transfer,
+                            request.client.clone(),
+                            request.group.clone(),
+                        )
+                        .with_value(latency)
+                        .with_correlation(request_id),
+                    );
+                }
                 self.completions.push(CompletedRequest {
                     time: delivered,
                     client: request.client,
@@ -1448,7 +1476,7 @@ mod tests {
 
     #[test]
     fn builds_on_every_topology_preset() {
-        for preset in crate::testbed::TESTBED_PRESETS {
+        for &preset in crate::testbed::testbed_preset_names() {
             let spec = crate::testbed::TestbedSpec::by_name(preset).unwrap();
             let mut app = GridApp::build(GridConfig::with_testbed(spec)).unwrap();
             assert_eq!(app.client_names().len(), spec.num_clients());

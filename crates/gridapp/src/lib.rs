@@ -36,9 +36,10 @@ pub use probes::{
     REACHABILITY_FLOOR_BPS,
 };
 pub use testbed::{
-    Testbed, TestbedSpec, FLEET_SCALE_MIN_CLIENTS, LINK_CAPACITY_BPS, TESTBED_PRESETS,
+    testbed_preset_names, Testbed, TestbedSpec, FLEET_SCALE_MIN_CLIENTS, LINK_CAPACITY_BPS,
+    TESTBED_REGISTRY,
 };
 pub use workload::{
-    ExperimentSchedule, PHASE_QUIESCENT_END, PHASE_STRESS_END, PHASE_STRESS_START,
-    RUN_DURATION_SECS, WORKLOAD_NAMES,
+    workload_names, ExperimentSchedule, PHASE_QUIESCENT_END, PHASE_STRESS_END, PHASE_STRESS_START,
+    RUN_DURATION_SECS, WORKLOAD_REGISTRY,
 };

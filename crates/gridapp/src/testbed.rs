@@ -15,22 +15,32 @@
 //! scenario sweep harness.
 
 use serde::{Content, Deserialize, Serialize};
-use simnet::{LinkId, NodeId, SimDuration, Topology, TopologyError};
+use simnet::{LinkId, NodeId, Registry, SimDuration, Topology, TopologyError};
 
 /// Capacity of every paper-testbed link (10 Mbps).
 pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
 
-/// Names of the built-in topology presets, in scale order — the sweep
-/// harness's scale axis. `large-scale` is the ≥2,000-client deployment with
-/// a multi-tier (aggregation) edge; `large-scale-50k` is the 50,000-client
-/// fleet deployment.
-pub const TESTBED_PRESETS: [&str; 5] = [
-    "paper",
-    "wide-fanout",
-    "congested-core",
-    "large-scale",
-    "large-scale-50k",
-];
+/// The built-in topology presets, in scale order — the sweep harness's
+/// scale axis. `large-scale` is the ≥2,000-client deployment with a
+/// multi-tier (aggregation) edge; `large-scale-50k` is the 50,000-client
+/// fleet deployment. [`testbed_preset_names`] lists the names, derived from
+/// this table.
+pub static TESTBED_REGISTRY: Registry<fn() -> TestbedSpec> = Registry::new(
+    "topology preset",
+    &[
+        ("paper", TestbedSpec::paper),
+        ("wide-fanout", TestbedSpec::wide_fanout),
+        ("congested-core", TestbedSpec::congested_core),
+        ("large-scale", TestbedSpec::large_scale),
+        ("large-scale-50k", TestbedSpec::large_scale_50k),
+    ],
+);
+
+/// Names of the built-in topology presets, in scale order — derived from
+/// [`TESTBED_REGISTRY`], never maintained by hand.
+pub fn testbed_preset_names() -> &'static [&'static str] {
+    TESTBED_REGISTRY.names()
+}
 
 /// Client count from which a testbed is treated as *fleet scale*: the grid
 /// application switches to leaf-compressed routing and the framework to
@@ -226,22 +236,16 @@ impl TestbedSpec {
         }
     }
 
-    /// Looks a preset up by its sweep-matrix name.
+    /// Looks a preset up by its sweep-matrix name (a thin wrapper over
+    /// [`TESTBED_REGISTRY`]).
     pub fn by_name(name: &str) -> Option<Self> {
-        match name {
-            "paper" => Some(Self::paper()),
-            "wide-fanout" => Some(Self::wide_fanout()),
-            "congested-core" => Some(Self::congested_core()),
-            "large-scale" => Some(Self::large_scale()),
-            "large-scale-50k" => Some(Self::large_scale_50k()),
-            _ => None,
-        }
+        TESTBED_REGISTRY.find(name).map(|build| build())
     }
 
     /// The preset name of this spec, or `"custom"` if it matches none.
     pub fn name(&self) -> &'static str {
-        for preset in TESTBED_PRESETS {
-            if Self::by_name(preset).as_ref() == Some(self) {
+        for (preset, build) in TESTBED_REGISTRY.iter() {
+            if build() == *self {
                 return preset;
             }
         }
@@ -646,7 +650,17 @@ mod tests {
 
     #[test]
     fn presets_resolve_by_name_and_report_their_names() {
-        for preset in TESTBED_PRESETS {
+        assert_eq!(
+            testbed_preset_names(),
+            &[
+                "paper",
+                "wide-fanout",
+                "congested-core",
+                "large-scale",
+                "large-scale-50k"
+            ]
+        );
+        for &preset in testbed_preset_names() {
             let spec = TestbedSpec::by_name(preset).unwrap();
             assert_eq!(spec.name(), preset);
             Testbed::from_spec(&spec).unwrap();

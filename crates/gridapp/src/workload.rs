@@ -19,7 +19,7 @@
 use crate::app::{AppError, GridApp};
 use crate::config::GridConfig;
 use serde::{Deserialize, Serialize};
-use simnet::{SimTime, StepSchedule};
+use simnet::{Registry, SimTime, StepSchedule};
 
 /// Total length of an experiment run (seconds). The paper: thirty minutes.
 pub const RUN_DURATION_SECS: f64 = 1800.0;
@@ -30,8 +30,24 @@ pub const PHASE_STRESS_START: f64 = 600.0;
 /// End of the server-load stress phase / start of the recovery phase.
 pub const PHASE_STRESS_END: f64 = 1200.0;
 
-/// Names of the built-in workload-schedule generators, in sweep-matrix order.
-pub const WORKLOAD_NAMES: [&str; 4] = ["figure7", "step", "ramp", "flash-crowd"];
+/// The built-in workload-schedule generators, in sweep-matrix order. Each
+/// entry builds a schedule for the given configuration and run length;
+/// [`workload_names`] derives the name list from this table.
+pub static WORKLOAD_REGISTRY: Registry<fn(&GridConfig, f64) -> ExperimentSchedule> = Registry::new(
+    "workload",
+    &[
+        ("figure7", ExperimentSchedule::figure7_scaled),
+        ("step", ExperimentSchedule::step),
+        ("ramp", ExperimentSchedule::ramp),
+        ("flash-crowd", ExperimentSchedule::flash_crowd),
+    ],
+);
+
+/// Names of the built-in workload-schedule generators, in sweep-matrix
+/// order — derived from [`WORKLOAD_REGISTRY`], never maintained by hand.
+pub fn workload_names() -> &'static [&'static str] {
+    WORKLOAD_REGISTRY.names()
+}
 
 /// Background load that leaves `available_bps` of a `capacity_bps` link free
 /// (clamped at the link capacity: a target above capacity means no
@@ -154,16 +170,12 @@ impl ExperimentSchedule {
     }
 
     /// Resolves a workload generator by its sweep-matrix name (one of
-    /// [`WORKLOAD_NAMES`]), producing a schedule for a run of the given
-    /// length.
+    /// [`workload_names`]), producing a schedule for a run of the given
+    /// length — a thin wrapper over [`WORKLOAD_REGISTRY`].
     pub fn by_name(name: &str, config: &GridConfig, duration_secs: f64) -> Option<Self> {
-        match name {
-            "figure7" => Some(Self::figure7_scaled(config, duration_secs)),
-            "step" => Some(Self::step(config, duration_secs)),
-            "ramp" => Some(Self::ramp(config, duration_secs)),
-            "flash-crowd" => Some(Self::flash_crowd(config, duration_secs)),
-            _ => None,
-        }
+        WORKLOAD_REGISTRY
+            .find(name)
+            .map(|build| build(config, duration_secs))
     }
 
     /// All times at which any schedule changes value, in increasing order.
@@ -237,7 +249,11 @@ mod tests {
     #[test]
     fn every_workload_name_resolves_and_unknown_names_do_not() {
         let config = GridConfig::default();
-        for name in WORKLOAD_NAMES {
+        assert_eq!(
+            workload_names(),
+            &["figure7", "step", "ramp", "flash-crowd"]
+        );
+        for &name in workload_names() {
             let schedule = ExperimentSchedule::by_name(name, &config, 600.0)
                 .unwrap_or_else(|| panic!("{name} resolves"));
             // Change points are sorted and unique for every generator.

@@ -28,7 +28,7 @@ use archmodel::constraint::CheckReport;
 use archmodel::style::ClientServerStyle;
 use archmodel::{ModelOp, System, Transaction};
 use gridapp::GridApp;
-use repair::operators::{add_server, move_client};
+use repair::operators::{add_server, move_client_group};
 use repair::tactic::client_of_violation;
 use std::collections::{BTreeMap, BTreeSet};
 use translator::RuntimeOp;
@@ -451,14 +451,14 @@ impl GroupPlanner {
 
         // -- Realise the plan: model ops through the style operators. ------
         let mut tx = Transaction::new(model);
+        // One `moveClientGroup` model op per class move: the recorded
+        // change-set (and `finish_repair`'s commit replay over it) is
+        // proportional to moved *classes*, not members — at 50k clients the
+        // per-member op list alone dominated the bulk-repair commit. The op
+        // itself skips members missing from the model.
         for mv in &moves {
-            for member in &mv.members {
-                if tx.working().component_by_name(member).is_none() {
-                    continue;
-                }
-                if move_client(&mut tx, member, &mv.to).is_err() {
-                    return None;
-                }
+            if move_client_group(&mut tx, &mv.members, &mv.to).is_err() {
+                return None;
             }
         }
         let mut recruited_servers: Vec<(String, Vec<String>)> = Vec::new();

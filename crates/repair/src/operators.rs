@@ -196,6 +196,38 @@ pub fn move_client(
     Ok(target_conn_name)
 }
 
+/// `moveClientGroup(to)`: the class-level bulk variant of `move` — relocates
+/// every named client onto `to_group_name`'s connector as **one** recorded
+/// model operation, so a fleet-scale class move costs one change-set entry
+/// (and one commit replay) instead of ~6 per member. Members missing from
+/// the model are skipped; the final model state matches the per-client
+/// [`move_client`] sequence exactly. Returns the target connector's name.
+pub fn move_client_group(
+    tx: &mut Transaction,
+    clients: &[String],
+    to_group_name: &str,
+) -> Result<String, OperatorError> {
+    let model = tx.working();
+    let to_group_id = model.component_by_name(to_group_name).ok_or_else(|| {
+        OperatorError::BadTarget(format!("server group {to_group_name} not found"))
+    })?;
+    if model
+        .component(to_group_id)
+        .map_err(ChangeError::from)?
+        .ctype
+        != archmodel::style::SERVER_GROUP_T
+    {
+        return Err(OperatorError::BadTarget(format!(
+            "{to_group_name} is not a server group"
+        )));
+    }
+    tx.apply(ModelOp::MoveClientGroup {
+        clients: clients.to_vec(),
+        to_group: to_group_name.to_string(),
+    })?;
+    Ok(format!("{to_group_name}.Conn"))
+}
+
 /// `remove()`: removes `server_name` from its containing server group and
 /// updates the group's `replicationCount`. Returns the group's name.
 pub fn remove_server(tx: &mut Transaction, server_name: &str) -> Result<String, OperatorError> {
@@ -307,6 +339,37 @@ mod tests {
             .count();
         assert_eq!(stale, 0);
         assert!(ClientServerStyle::validate(working).is_empty());
+    }
+
+    #[test]
+    fn move_client_group_matches_sequential_moves() {
+        let model = example();
+        // Per-client moves: the classic realisation of a class move.
+        let mut sequential = Transaction::new(&model);
+        let clients: Vec<String> = ["User1", "User3"].iter().map(|s| s.to_string()).collect();
+        for client in &clients {
+            move_client(&mut sequential, client, "ServerGrp2").unwrap();
+        }
+        // The bulk operator: one recorded op, identical final model state.
+        let mut bulk = Transaction::new(&model);
+        let conn = move_client_group(&mut bulk, &clients, "ServerGrp2").unwrap();
+        assert_eq!(conn, "ServerGrp2.Conn");
+        assert_eq!(bulk.len(), 1);
+        assert_eq!(bulk.working(), sequential.working());
+        assert!(ClientServerStyle::validate(bulk.working()).is_empty());
+        // The bulk op survives commit replay onto the live model too.
+        let mut live = model.clone();
+        bulk.commit(&mut live).unwrap();
+        assert!(ClientServerStyle::validate(&live).is_empty());
+    }
+
+    #[test]
+    fn move_client_group_to_non_group_fails() {
+        let model = example();
+        let mut tx = Transaction::new(&model);
+        let err = move_client_group(&mut tx, &["User1".to_string()], "User2");
+        assert!(matches!(err, Err(OperatorError::BadTarget(_))));
+        assert!(tx.is_empty());
     }
 
     #[test]

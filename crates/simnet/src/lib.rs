@@ -12,7 +12,9 @@
 //!   capacity max-min fairly (see [`flow`]),
 //! * a Remos-like predicted-[`bandwidth`] oracle with cold-query behaviour,
 //! * deterministic randomness ([`rng`]), time-series [`stats`], and an event
-//!   [`trace`] used by the experiment harness.
+//!   [`trace`] used by the experiment harness,
+//! * generic name → value [`registry`] tables backing the preset catalogues
+//!   (strategies, fault profiles, testbeds, workloads) of the layers above.
 //!
 //! The grid application under evaluation (crate `gridapp`) and the adaptation
 //! framework (crate `arch-adapt`) are built on top of these primitives.
@@ -25,6 +27,7 @@ pub mod engine;
 pub mod event;
 pub mod flow;
 pub mod network;
+pub mod registry;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -36,6 +39,7 @@ pub use bandwidth::{BandwidthEstimate, RemosConfig, RemosOracle};
 pub use engine::{Ctx, Engine, Model};
 pub use event::{EventHandle, EventQueue};
 pub use network::{AggregationStats, CompletedTransfer, NetError, Network, TransferId};
+pub use registry::{Registry, RegistryError};
 pub use rng::SimRng;
 pub use stats::{quantile_of, StepSchedule, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};

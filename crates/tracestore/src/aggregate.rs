@@ -1,0 +1,347 @@
+//! Reductions over query results.
+//!
+//! Aggregates work on [`QueryRow`]s — filter first with a
+//! [`Query`](crate::query::Query), then reduce. Grouping keys and group
+//! ordering are lexicographic, so the same rows always aggregate to the
+//! same output, in the same order.
+
+use crate::event::EventKind;
+use crate::query::QueryRow;
+use simnet::quantile_of;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How to reduce a group of events to one number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateOp {
+    /// Number of events.
+    Count,
+    /// Mean of the numeric payloads (events without one are skipped).
+    Mean,
+    /// Minimum payload.
+    Min,
+    /// Maximum payload.
+    Max,
+    /// Sum of payloads.
+    Sum,
+    /// 95th-percentile payload (nearest-rank, like the sweep reports).
+    P95,
+}
+
+impl AggregateOp {
+    /// Parses an op name (`count`, `mean`, `min`, `max`, `sum`, `p95`).
+    pub fn by_name(name: &str) -> Option<AggregateOp> {
+        match name {
+            "count" => Some(AggregateOp::Count),
+            "mean" => Some(AggregateOp::Mean),
+            "min" => Some(AggregateOp::Min),
+            "max" => Some(AggregateOp::Max),
+            "sum" => Some(AggregateOp::Sum),
+            "p95" => Some(AggregateOp::P95),
+            _ => None,
+        }
+    }
+
+    /// The op's query-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateOp::Count => "count",
+            AggregateOp::Mean => "mean",
+            AggregateOp::Min => "min",
+            AggregateOp::Max => "max",
+            AggregateOp::Sum => "sum",
+            AggregateOp::P95 => "p95",
+        }
+    }
+}
+
+impl fmt::Display for AggregateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What to group rows by before reducing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupBy {
+    /// One group for everything.
+    #[default]
+    None,
+    /// Group by run id.
+    Run,
+    /// Group by event kind.
+    Kind,
+    /// Group by event subject.
+    Subject,
+    /// Group by event detail.
+    Detail,
+}
+
+impl GroupBy {
+    /// Parses a group-by name (`none`, `run`, `kind`, `subject`, `detail`).
+    pub fn by_name(name: &str) -> Option<GroupBy> {
+        match name {
+            "none" => Some(GroupBy::None),
+            "run" => Some(GroupBy::Run),
+            "kind" => Some(GroupBy::Kind),
+            "subject" => Some(GroupBy::Subject),
+            "detail" => Some(GroupBy::Detail),
+            _ => None,
+        }
+    }
+
+    fn key(self, row: &QueryRow) -> String {
+        match self {
+            GroupBy::None => "all".to_string(),
+            GroupBy::Run => row.run_id.clone(),
+            GroupBy::Kind => row.event.kind.name().to_string(),
+            GroupBy::Subject => row.event.subject.clone(),
+            GroupBy::Detail => row.event.detail.clone(),
+        }
+    }
+}
+
+/// One aggregated group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateRow {
+    /// The group key (`"all"` when ungrouped).
+    pub group: String,
+    /// Number of events in the group.
+    pub count: usize,
+    /// The reduced value: the count for [`AggregateOp::Count`], otherwise
+    /// the reduction of the numeric payloads — `None` when no event in the
+    /// group carries one.
+    pub value: Option<f64>,
+}
+
+/// Groups rows and reduces each group; output is sorted by group key.
+pub fn aggregate_rows(rows: &[QueryRow], op: AggregateOp, group_by: GroupBy) -> Vec<AggregateRow> {
+    let mut groups: BTreeMap<String, Vec<&QueryRow>> = BTreeMap::new();
+    for row in rows {
+        groups.entry(group_by.key(row)).or_default().push(row);
+    }
+    groups
+        .into_iter()
+        .map(|(group, members)| {
+            let values: Vec<f64> = members.iter().filter_map(|r| r.event.value).collect();
+            let value = match op {
+                AggregateOp::Count => Some(members.len() as f64),
+                AggregateOp::Mean => {
+                    (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+                }
+                AggregateOp::Min => values.iter().copied().reduce(f64::min),
+                AggregateOp::Max => values.iter().copied().reduce(f64::max),
+                AggregateOp::Sum => (!values.is_empty()).then(|| values.iter().sum()),
+                AggregateOp::P95 => quantile_of(&values, 0.95),
+            };
+            AggregateRow {
+                group,
+                count: members.len(),
+                value,
+            }
+        })
+        .collect()
+}
+
+/// Mean time to repair, per run: pairs each fault event with the first
+/// `repair-end` event at or after it in the same run and averages the gaps.
+/// Runs with no faults are omitted; runs whose faults never see a repair
+/// complete report `count` faults and `value: None` (unrecovered).
+pub fn mttr_rows(rows: &[QueryRow]) -> Vec<AggregateRow> {
+    let mut by_run: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for row in rows {
+        let entry = by_run.entry(row.run_id.clone()).or_default();
+        match row.event.kind {
+            EventKind::Fault => entry.0.push(row.event.time_secs),
+            EventKind::RepairEnd => entry.1.push(row.event.time_secs),
+            _ => {}
+        }
+    }
+    by_run
+        .into_iter()
+        .filter(|(_, (faults, _))| !faults.is_empty())
+        .map(|(run, (faults, mut ends))| {
+            ends.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+            let gaps: Vec<f64> = faults
+                .iter()
+                .filter_map(|onset| {
+                    ends.iter()
+                        .find(|end| **end >= *onset)
+                        .map(|end| end - onset)
+                })
+                .collect();
+            AggregateRow {
+                group: run,
+                count: faults.len(),
+                value: (!gaps.is_empty()).then(|| gaps.iter().sum::<f64>() / gaps.len() as f64),
+            }
+        })
+        .collect()
+}
+
+/// The canned root-cause report: for every fault event, the events of
+/// `kind` (violations by default) within `window_secs` after it, across
+/// runs — "violations within 10 s of each link-cut onset", grouped however
+/// the caller asks. `rows` must contain the fault events *and* the
+/// candidate events (i.e. query without a kind filter, or with both kinds).
+pub fn near_fault_rows(
+    rows: &[QueryRow],
+    kind: EventKind,
+    window_secs: f64,
+    group_by: GroupBy,
+) -> Vec<AggregateRow> {
+    let mut near: Vec<QueryRow> = Vec::new();
+    let mut onsets: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for row in rows {
+        if row.event.kind == EventKind::Fault {
+            onsets
+                .entry(&row.run_id)
+                .or_default()
+                .push(row.event.time_secs);
+        }
+    }
+    for row in rows {
+        if row.event.kind != kind {
+            continue;
+        }
+        let Some(run_onsets) = onsets.get(row.run_id.as_str()) else {
+            continue;
+        };
+        let t = row.event.time_secs;
+        if run_onsets
+            .iter()
+            .any(|onset| t >= *onset && t <= onset + window_secs)
+        {
+            near.push(row.clone());
+        }
+    }
+    aggregate_rows(&near, AggregateOp::Count, group_by)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn row(run: &str, event: TraceEvent) -> QueryRow {
+        QueryRow {
+            run_id: run.to_string(),
+            event,
+        }
+    }
+
+    fn sample_rows() -> Vec<QueryRow> {
+        vec![
+            row(
+                "a",
+                TraceEvent::new(10.0, EventKind::Fault, "R2-R3", "link cut"),
+            ),
+            row(
+                "a",
+                TraceEvent::new(12.0, EventKind::Violation, "C3", "minBandwidth"),
+            ),
+            row(
+                "a",
+                TraceEvent::new(25.0, EventKind::Violation, "C4", "minBandwidth"),
+            ),
+            row(
+                "a",
+                TraceEvent::new(14.0, EventKind::RepairEnd, "C3", "moveClient"),
+            ),
+            row(
+                "b",
+                TraceEvent::new(5.0, EventKind::Transfer, "C1", "SG1").with_value(0.5),
+            ),
+            row(
+                "b",
+                TraceEvent::new(6.0, EventKind::Transfer, "C2", "SG1").with_value(1.5),
+            ),
+            row(
+                "b",
+                TraceEvent::new(7.0, EventKind::Transfer, "C1", "SG2").with_value(2.5),
+            ),
+        ]
+    }
+
+    #[test]
+    fn count_and_numeric_ops_group_deterministically() {
+        let rows = sample_rows();
+        let counts = aggregate_rows(&rows, AggregateOp::Count, GroupBy::Run);
+        assert_eq!(counts.len(), 2);
+        assert_eq!((counts[0].group.as_str(), counts[0].count), ("a", 4));
+        assert_eq!((counts[1].group.as_str(), counts[1].count), ("b", 3));
+
+        let means = aggregate_rows(&rows, AggregateOp::Mean, GroupBy::Subject);
+        let c1 = means.iter().find(|r| r.group == "C1").unwrap();
+        assert_eq!(c1.value, Some(1.5));
+        // Groups whose events carry no payloads reduce to None.
+        let c3 = means.iter().find(|r| r.group == "C3").unwrap();
+        assert_eq!(c3.value, None);
+
+        let p95 = aggregate_rows(&rows, AggregateOp::P95, GroupBy::None);
+        assert_eq!(p95[0].value, Some(2.5));
+        assert_eq!(
+            aggregate_rows(&rows, AggregateOp::Sum, GroupBy::Kind)
+                .iter()
+                .find(|r| r.group == "transfer")
+                .unwrap()
+                .value,
+            Some(4.5)
+        );
+    }
+
+    #[test]
+    fn mttr_pairs_faults_with_next_repair_end() {
+        let rows = sample_rows();
+        let mttr = mttr_rows(&rows);
+        assert_eq!(mttr.len(), 1);
+        assert_eq!(mttr[0].group, "a");
+        assert_eq!(mttr[0].count, 1);
+        assert_eq!(mttr[0].value, Some(4.0));
+
+        // A fault with no completed repair counts but reports no value.
+        let unrecovered = vec![row(
+            "c",
+            TraceEvent::new(1.0, EventKind::Fault, "R1", "node down"),
+        )];
+        let rows = mttr_rows(&unrecovered);
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[0].value, None);
+    }
+
+    #[test]
+    fn near_fault_counts_only_events_inside_the_window() {
+        let rows = sample_rows();
+        let near = near_fault_rows(&rows, EventKind::Violation, 10.0, GroupBy::Subject);
+        // C3's violation at 12 s is within 10 s of the 10 s fault; C4's at
+        // 25 s is not.
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].group, "C3");
+        assert_eq!(near[0].count, 1);
+    }
+
+    #[test]
+    fn op_and_group_names_parse() {
+        for op in [
+            AggregateOp::Count,
+            AggregateOp::Mean,
+            AggregateOp::Min,
+            AggregateOp::Max,
+            AggregateOp::Sum,
+            AggregateOp::P95,
+        ] {
+            assert_eq!(AggregateOp::by_name(op.name()), Some(op));
+        }
+        assert_eq!(AggregateOp::by_name("median"), None);
+        for (name, gb) in [
+            ("none", GroupBy::None),
+            ("run", GroupBy::Run),
+            ("kind", GroupBy::Kind),
+            ("subject", GroupBy::Subject),
+            ("detail", GroupBy::Detail),
+        ] {
+            assert_eq!(GroupBy::by_name(name), Some(gb));
+        }
+        assert_eq!(GroupBy::by_name("cell"), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! The unified trace-event record.
+//!
+//! Every observation source in the stack — monitoring gauges, constraint
+//! checking, repair execution, fault injection, the grid application's
+//! transfer lifecycle — maps onto one flat [`TraceEvent`] shape, so a single
+//! store and query layer serves them all. Events carry their run-local
+//! simulation time; the run id is supplied when a run's events are appended
+//! to a [`TraceStore`](crate::store::TraceStore) and travels alongside the
+//! event in query results.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// What kind of observation an event records, in stable on-disk code order.
+///
+/// The discriminants are the on-disk codes; they must never be renumbered
+/// (append new kinds at the end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A gauge reading delivered to the model updater.
+    Gauge = 0,
+    /// A constraint violation detected by the framework.
+    Violation = 1,
+    /// A repair began executing.
+    RepairStart = 2,
+    /// A repair completed and its changes were committed.
+    RepairEnd = 3,
+    /// A repair was abandoned (no applicable tactic, or it failed hard).
+    RepairAborted = 4,
+    /// A runtime reconfiguration operation was executed.
+    Reconfiguration = 5,
+    /// A fault action was applied to the running system.
+    Fault = 6,
+    /// A request/transfer completed at the application layer.
+    Transfer = 7,
+    /// Anything else worth keeping (deploy notices, planner notes).
+    Info = 8,
+}
+
+impl EventKind {
+    /// Every kind, in code order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::Gauge,
+        EventKind::Violation,
+        EventKind::RepairStart,
+        EventKind::RepairEnd,
+        EventKind::RepairAborted,
+        EventKind::Reconfiguration,
+        EventKind::Fault,
+        EventKind::Transfer,
+        EventKind::Info,
+    ];
+
+    /// The stable on-disk code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes an on-disk code.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        EventKind::ALL.get(code as usize).copied()
+    }
+
+    /// The query-facing name (what the `kind` field binds to in an expr
+    /// predicate and what `--kind` filters parse).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Gauge => "gauge",
+            EventKind::Violation => "violation",
+            EventKind::RepairStart => "repair-start",
+            EventKind::RepairEnd => "repair-end",
+            EventKind::RepairAborted => "repair-aborted",
+            EventKind::Reconfiguration => "reconfiguration",
+            EventKind::Fault => "fault",
+            EventKind::Transfer => "transfer",
+            EventKind::Info => "info",
+        }
+    }
+
+    /// Parses a query-facing name.
+    pub fn by_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observation from a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the observation, seconds since the run started.
+    pub time_secs: f64,
+    /// What kind of observation this is.
+    pub kind: EventKind,
+    /// The architectural element or run entity observed (a client, server,
+    /// link, gauge target, or repair subject name).
+    pub subject: String,
+    /// Free-form qualifier: the violated invariant, the repair description,
+    /// the fault action, the gauge property, the transfer's server group.
+    pub detail: String,
+    /// Numeric payload when the observation has one (gauge value, transfer
+    /// latency, capacity factor).
+    pub value: Option<f64>,
+    /// Correlates the events of one repair (start/ops/end share an id).
+    pub correlation: Option<u64>,
+}
+
+impl TraceEvent {
+    /// A value-less, uncorrelated event.
+    pub fn new(
+        time_secs: f64,
+        kind: EventKind,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        TraceEvent {
+            time_secs,
+            kind,
+            subject: subject.into(),
+            detail: detail.into(),
+            value: None,
+            correlation: None,
+        }
+    }
+
+    /// Attaches a numeric payload.
+    pub fn with_value(mut self, value: f64) -> Self {
+        self.value = Some(value);
+        self
+    }
+
+    /// Attaches a repair-correlation id.
+    pub fn with_correlation(mut self, correlation: u64) -> Self {
+        self.correlation = Some(correlation);
+        self
+    }
+
+    /// Serialises the event to the store's binary record format.
+    ///
+    /// Layout (little-endian): kind code `u8`, flags `u8` (bit 0 = has
+    /// value, bit 1 = has correlation), time `f64`, subject length `u32` +
+    /// bytes, detail length `u32` + bytes, then the optional value `f64`
+    /// and correlation `u64`. The encoding is bijective, so a round trip
+    /// through the store is bit-identical.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut flags = 0u8;
+        if self.value.is_some() {
+            flags |= 1;
+        }
+        if self.correlation.is_some() {
+            flags |= 2;
+        }
+        w.write_all(&[self.kind.code(), flags])?;
+        w.write_all(&self.time_secs.to_le_bytes())?;
+        write_str(w, &self.subject)?;
+        write_str(w, &self.detail)?;
+        if let Some(v) = self.value {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        if let Some(c) = self.correlation {
+            w.write_all(&c.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialises one record written by [`write_to`](Self::write_to).
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<TraceEvent> {
+        let mut head = [0u8; 2];
+        r.read_exact(&mut head)?;
+        let kind = EventKind::from_code(head[0]).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown event-kind code {}", head[0]),
+            )
+        })?;
+        let flags = head[1];
+        let mut f8 = [0u8; 8];
+        r.read_exact(&mut f8)?;
+        let time_secs = f64::from_le_bytes(f8);
+        let subject = read_str(r)?;
+        let detail = read_str(r)?;
+        let value = if flags & 1 != 0 {
+            r.read_exact(&mut f8)?;
+            Some(f64::from_le_bytes(f8))
+        } else {
+            None
+        };
+        let correlation = if flags & 2 != 0 {
+            r.read_exact(&mut f8)?;
+            Some(u64::from_le_bytes(f8))
+        } else {
+            None
+        };
+        Ok(TraceEvent {
+            time_secs,
+            kind,
+            subject,
+            detail,
+            value,
+            correlation,
+        })
+    }
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string longer than u32"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("non-UTF-8 string: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_codes_round_trip_and_names_parse() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+            assert_eq!(EventKind::by_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(EventKind::from_code(200), None);
+        assert_eq!(EventKind::by_name("meteor"), None);
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_every_field() {
+        let events = vec![
+            TraceEvent::new(0.0, EventKind::Info, "", ""),
+            TraceEvent::new(12.5, EventKind::Gauge, "C3", "availableBandwidth").with_value(9.5e6),
+            TraceEvent::new(13.0, EventKind::RepairStart, "C3", "moveClient").with_correlation(7),
+            TraceEvent::new(-1.0, EventKind::Fault, "R2-R3", "link cut")
+                .with_value(f64::NEG_INFINITY)
+                .with_correlation(u64::MAX),
+        ];
+        let mut buf = Vec::new();
+        for ev in &events {
+            ev.write_to(&mut buf).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for ev in &events {
+            assert_eq!(&TraceEvent::read_from(&mut cursor).unwrap(), ev);
+        }
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn truncated_records_and_bad_codes_are_errors() {
+        let ev = TraceEvent::new(1.0, EventKind::Transfer, "C1", "SG1").with_value(0.25);
+        let mut buf = Vec::new();
+        ev.write_to(&mut buf).unwrap();
+        for cut in 1..buf.len() {
+            assert!(TraceEvent::read_from(&mut &buf[..cut]).is_err(), "{cut}");
+        }
+        let mut bad = buf.clone();
+        bad[0] = 250;
+        assert!(TraceEvent::read_from(&mut &bad[..]).is_err());
+    }
+}

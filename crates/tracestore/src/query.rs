@@ -1,0 +1,291 @@
+//! Filtering stored events with `archmodel::expr` predicates.
+//!
+//! A [`Query`] scans a [`TraceStore`] in replay order (manifest order ×
+//! in-segment order) and keeps the events that pass its filters:
+//!
+//! * `run`: a substring match over the run id (sweeps encode
+//!   topology/workload/strategy/fault/seed/role into the id, so substring
+//!   selection doubles as axis selection);
+//! * `kinds`: an event-kind allow-list (a single-kind query scans through
+//!   the store's per-kind index instead of decoding whole segments);
+//! * `window`: an inclusive `[from, until]` simulation-time window;
+//! * `predicate`: an Armani-style boolean expression — the same language
+//!   the architecture model's invariants use — evaluated per event with
+//!   the event's fields bound as identifiers.
+//!
+//! Predicate identifiers: `run` and `kind` and `subject` and `detail`
+//! (strings), `time` (seconds), `value` (the numeric payload; `NaN` when
+//! the event has none, so comparisons against it are false), `has_value`
+//! (boolean), and `correlation` (integer, `-1` when absent). Example:
+//!
+//! ```text
+//! kind == "violation" and subject == "C3" and time >= 120
+//! ```
+
+use crate::event::{EventKind, TraceEvent};
+use crate::store::{StoreError, TraceStore};
+use archmodel::expr::{eval_bool, parse, Bindings, EvalValue, Expr};
+use archmodel::{System, Value};
+use std::fmt;
+
+/// A query failure.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The predicate source did not parse.
+    Parse(String),
+    /// The predicate failed to evaluate against an event (an unknown
+    /// identifier, a type mismatch).
+    Eval(String),
+    /// The underlying store failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "predicate parse error: {e}"),
+            QueryError::Eval(e) => write!(f, "predicate evaluation error: {e}"),
+            QueryError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+/// One event that passed a query's filters, tagged with its run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRow {
+    /// The run the event belongs to.
+    pub run_id: String,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+/// A declarative filter over a trace store.
+#[derive(Debug, Default)]
+pub struct Query {
+    /// Substring that must appear in the run id (`None`: every run).
+    pub run_contains: Option<String>,
+    /// Kinds to keep (empty: every kind).
+    pub kinds: Vec<EventKind>,
+    /// Inclusive `[from, until]` simulation-time window.
+    pub window: Option<(f64, f64)>,
+    /// Parsed boolean predicate over the event fields.
+    pub predicate: Option<Expr>,
+}
+
+impl Query {
+    /// A query with no filters (matches everything).
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Keeps only runs whose id contains `needle`.
+    pub fn run_contains(mut self, needle: impl Into<String>) -> Self {
+        self.run_contains = Some(needle.into());
+        self
+    }
+
+    /// Adds a kind to the allow-list.
+    pub fn kind(mut self, kind: EventKind) -> Self {
+        self.kinds.push(kind);
+        self
+    }
+
+    /// Keeps only events with `from <= time <= until`.
+    pub fn window(mut self, from: f64, until: f64) -> Self {
+        self.window = Some((from, until));
+        self
+    }
+
+    /// Parses and attaches an expr predicate.
+    pub fn predicate(mut self, source: &str) -> Result<Self, QueryError> {
+        self.predicate = Some(parse(source).map_err(|e| QueryError::Parse(e.to_string()))?);
+        Ok(self)
+    }
+
+    /// Whether one event (from the named run) passes every filter.
+    pub fn matches(&self, run_id: &str, event: &TraceEvent) -> Result<bool, QueryError> {
+        if let Some(needle) = &self.run_contains {
+            if !run_id.contains(needle.as_str()) {
+                return Ok(false);
+            }
+        }
+        if !self.kinds.is_empty() && !self.kinds.contains(&event.kind) {
+            return Ok(false);
+        }
+        if let Some((from, until)) = self.window {
+            if event.time_secs < from || event.time_secs > until {
+                return Ok(false);
+            }
+        }
+        if let Some(expr) = &self.predicate {
+            let bindings = event_bindings(run_id, event);
+            let system = empty_system();
+            return eval_bool(expr, &system, &bindings)
+                .map_err(|e| QueryError::Eval(format!("{e:?}")));
+        }
+        Ok(true)
+    }
+
+    /// Runs the query over the whole store, in replay order.
+    pub fn execute(&self, store: &TraceStore) -> Result<Vec<QueryRow>, QueryError> {
+        let mut rows = Vec::new();
+        for meta in store.runs() {
+            if let Some(needle) = &self.run_contains {
+                if !meta.run_id.contains(needle.as_str()) {
+                    continue;
+                }
+            }
+            // A single-kind query without a predicate over other kinds can
+            // seek through the per-kind index instead of decoding the whole
+            // segment; anything else scans the run in replay order.
+            let events = if self.kinds.len() == 1 {
+                store.read_run_kind(&meta.run_id, self.kinds[0])?
+            } else {
+                store.read_run(&meta.run_id)?
+            };
+            for event in events {
+                if self.matches(&meta.run_id, &event)? {
+                    rows.push(QueryRow {
+                        run_id: meta.run_id.clone(),
+                        event,
+                    });
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// The expr bindings for one event: every field, always bound, so the same
+/// predicate evaluates against every event without per-event "unknown
+/// identifier" failures. Absent numeric payloads bind `value` to `NaN`
+/// (comparisons against it are false) and `correlation` to `-1`.
+pub fn event_bindings(run_id: &str, event: &TraceEvent) -> Bindings {
+    let mut b = Bindings::new();
+    b.insert("run".into(), EvalValue::Val(Value::Str(run_id.to_string())));
+    b.insert(
+        "kind".into(),
+        EvalValue::Val(Value::Str(event.kind.name().to_string())),
+    );
+    b.insert("time".into(), EvalValue::Val(Value::Float(event.time_secs)));
+    b.insert(
+        "subject".into(),
+        EvalValue::Val(Value::Str(event.subject.clone())),
+    );
+    b.insert(
+        "detail".into(),
+        EvalValue::Val(Value::Str(event.detail.clone())),
+    );
+    b.insert(
+        "value".into(),
+        EvalValue::Val(Value::Float(event.value.unwrap_or(f64::NAN))),
+    );
+    b.insert(
+        "has_value".into(),
+        EvalValue::Val(Value::Bool(event.value.is_some())),
+    );
+    b.insert(
+        "correlation".into(),
+        EvalValue::Val(Value::Int(event.correlation.map_or(-1, |c| c as i64))),
+    );
+    b
+}
+
+/// The empty architecture the predicates are evaluated against: bindings
+/// resolve first, so event fields shadow nothing.
+fn empty_system() -> System {
+    System::new("tracestore")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_runs(tag: &str) -> (std::path::PathBuf, TraceStore) {
+        let dir =
+            std::env::temp_dir().join(format!("tracestore-query-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = TraceStore::open(&dir).unwrap();
+        store
+            .append_run(
+                "paper/step/adaptive/seed42/adaptive",
+                &[
+                    TraceEvent::new(10.0, EventKind::Fault, "R2-R3", "link cut"),
+                    TraceEvent::new(12.0, EventKind::Violation, "C3", "minBandwidth"),
+                    TraceEvent::new(30.0, EventKind::Violation, "C4", "minBandwidth"),
+                    TraceEvent::new(31.0, EventKind::Transfer, "C4", "SG1").with_value(0.5),
+                ],
+            )
+            .unwrap();
+        store
+            .append_run(
+                "paper/step/adaptive/seed7/control",
+                &[
+                    TraceEvent::new(11.0, EventKind::Violation, "C3", "minBandwidth"),
+                    TraceEvent::new(50.0, EventKind::Transfer, "C3", "SG2").with_value(1.5),
+                ],
+            )
+            .unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn filters_compose_and_iterate_in_replay_order() {
+        let (dir, store) = store_with_runs("filters");
+        let all = Query::new().execute(&store).unwrap();
+        assert_eq!(all.len(), 6);
+        assert!(all.windows(2).all(|w| w[0].run_id <= w[1].run_id));
+
+        let violations = Query::new()
+            .kind(EventKind::Violation)
+            .execute(&store)
+            .unwrap();
+        assert_eq!(violations.len(), 3);
+
+        let adaptive_early = Query::new()
+            .run_contains("seed42/adaptive")
+            .window(0.0, 15.0)
+            .execute(&store)
+            .unwrap();
+        assert_eq!(adaptive_early.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expr_predicates_see_every_event_field() {
+        let (dir, store) = store_with_runs("expr");
+        let rows = Query::new()
+            .predicate("kind == \"violation\" and subject == \"C3\"")
+            .unwrap()
+            .execute(&store)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+
+        // NaN payloads never compare true: only the real transfers match.
+        let slow = Query::new()
+            .predicate("value > 1.0")
+            .unwrap()
+            .execute(&store)
+            .unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].event.detail, "SG2");
+
+        let has = Query::new()
+            .predicate("has_value")
+            .unwrap()
+            .execute(&store)
+            .unwrap();
+        assert_eq!(has.len(), 2);
+
+        assert!(Query::new().predicate("kind ==").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! The append API observation sources write to.
+//!
+//! A [`TraceSink`] is handed (as a cheaply cloneable [`SharedSink`]) to the
+//! adaptation framework, the grid application, and the fault injector; each
+//! calls [`append`](TraceSink::append) at its emission points. The default
+//! [`NullSink`] reports itself disabled, so emission sites guard event
+//! construction behind [`enabled`](TraceSink::enabled) and a run without a
+//! real sink does no extra work at all — which is what keeps every existing
+//! report byte-identical.
+
+use crate::event::TraceEvent;
+use std::sync::{Arc, Mutex};
+
+/// An append-only consumer of trace events.
+///
+/// `append` takes `&self` so one sink can be shared between the framework
+/// and the application it drives; implementations use interior mutability.
+pub trait TraceSink: Send + Sync {
+    /// Whether this sink wants events at all. Emission sites skip event
+    /// construction entirely when this is false.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn append(&self, event: TraceEvent);
+}
+
+/// A cheaply cloneable sink handle.
+pub type SharedSink = Arc<dyn TraceSink>;
+
+/// The default sink: disabled, discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn append(&self, _event: TraceEvent) {}
+}
+
+/// A fresh [`NullSink`] handle — the default observation target.
+pub fn null_sink() -> SharedSink {
+    Arc::new(NullSink)
+}
+
+/// An in-memory sink: appends into a shared vector, in call order.
+///
+/// The sweep harness gives every run its own buffer and persists the
+/// collected events to the store afterwards, in deterministic unit order —
+/// that is what makes the store's bytes worker-count invariant.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("buffer sink lock").len()
+    }
+
+    /// Whether nothing has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns everything appended so far, in append order.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("buffer sink lock"))
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn append(&self, event: TraceEvent) {
+        self.events.lock().expect("buffer sink lock").push(event);
+    }
+}
+
+/// A buffer plus a [`SharedSink`] handle onto it: hand the handle to the
+/// emitters, keep the buffer to collect what they wrote.
+pub fn shared_buffer() -> (BufferSink, SharedSink) {
+    let buffer = BufferSink::new();
+    let handle: SharedSink = Arc::new(buffer.clone());
+    (buffer, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn null_sink_is_disabled_and_discards() {
+        let sink = null_sink();
+        assert!(!sink.enabled());
+        sink.append(TraceEvent::new(1.0, EventKind::Info, "a", "b"));
+    }
+
+    #[test]
+    fn buffer_sink_collects_in_append_order() {
+        let (buffer, handle) = shared_buffer();
+        assert!(buffer.is_empty());
+        assert!(handle.enabled());
+        handle.append(TraceEvent::new(1.0, EventKind::Info, "a", "first"));
+        handle.append(TraceEvent::new(2.0, EventKind::Fault, "b", "second"));
+        assert_eq!(buffer.len(), 2);
+        let events = buffer.take();
+        assert_eq!(events[0].detail, "first");
+        assert_eq!(events[1].detail, "second");
+        assert!(buffer.is_empty());
+    }
+}

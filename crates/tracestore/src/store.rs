@@ -1,0 +1,447 @@
+//! The on-disk segment-file store.
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store/
+//!   MANIFEST        # text, one line per run in append order:
+//!                   #   <segment>\t<event count>\t<run id>
+//!   000000.seg      # binary TraceEvent records, append order
+//!   000000.idx      # per-kind byte offsets into the segment
+//!   000001.seg
+//!   ...
+//! ```
+//!
+//! Runs are immutable once appended; the manifest is append-only. Replay
+//! order — manifest order for runs, record order within a segment — is the
+//! canonical iteration order everywhere, so identical appends produce
+//! byte-identical stores and identical queries produce byte-identical
+//! output. The per-kind index makes single-kind scans (`gauge` readings in
+//! a long run, say) seek straight to their records instead of decoding the
+//! whole segment.
+
+use crate::event::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST: &str = "MANIFEST";
+
+/// One run recorded in the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The caller-chosen run identifier (unique within the store).
+    pub run_id: String,
+    /// Segment file name, relative to the store directory.
+    pub segment: String,
+    /// Number of events in the segment.
+    pub count: u64,
+}
+
+/// A store failure.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The failing operation's error.
+        source: std::io::Error,
+    },
+    /// The manifest, a segment, or an index did not parse.
+    Corrupt(String),
+    /// A run id was appended twice.
+    DuplicateRun(String),
+    /// A queried run id is not in the manifest.
+    UnknownRun(String),
+    /// A run id contained a tab or newline (the manifest separators).
+    InvalidRunId(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "trace store I/O error at {}: {source}", path.display())
+            }
+            StoreError::Corrupt(what) => write!(f, "trace store corrupt: {what}"),
+            StoreError::DuplicateRun(run) => write!(f, "run '{run}' already in the store"),
+            StoreError::UnknownRun(run) => write!(f, "run '{run}' not in the store"),
+            StoreError::InvalidRunId(run) => {
+                write!(f, "run id {run:?} contains a tab or newline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: impl Into<PathBuf>) -> impl FnOnce(std::io::Error) -> StoreError {
+    let path = path.into();
+    move |source| StoreError::Io { path, source }
+}
+
+/// An open trace store.
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    runs: Vec<RunMeta>,
+}
+
+impl TraceStore {
+    /// Opens a store directory, creating it (and an empty manifest) if it
+    /// does not exist yet.
+    pub fn open(path: impl Into<PathBuf>) -> Result<TraceStore, StoreError> {
+        let root = path.into();
+        std::fs::create_dir_all(&root).map_err(io_err(&root))?;
+        let manifest = root.join(MANIFEST);
+        if !manifest.exists() {
+            File::create(&manifest).map_err(io_err(&manifest))?;
+        }
+        let text = std::fs::read_to_string(&manifest).map_err(io_err(&manifest))?;
+        let mut runs = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let mut parts = line.splitn(3, '\t');
+            let (segment, count, run_id) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(s), Some(c), Some(r)) => (s, c, r),
+                _ => {
+                    return Err(StoreError::Corrupt(format!(
+                        "manifest line {} has fewer than 3 fields",
+                        lineno + 1
+                    )))
+                }
+            };
+            let count: u64 = count.parse().map_err(|_| {
+                StoreError::Corrupt(format!(
+                    "manifest line {}: bad event count {count:?}",
+                    lineno + 1
+                ))
+            })?;
+            runs.push(RunMeta {
+                run_id: run_id.to_string(),
+                segment: segment.to_string(),
+                count,
+            });
+        }
+        Ok(TraceStore { root, runs })
+    }
+
+    /// The store directory.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// The recorded runs, in append order.
+    pub fn runs(&self) -> &[RunMeta] {
+        &self.runs
+    }
+
+    /// Looks a run up by id.
+    pub fn run(&self, run_id: &str) -> Option<&RunMeta> {
+        self.runs.iter().find(|r| r.run_id == run_id)
+    }
+
+    /// Total number of events across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.runs.iter().map(|r| r.count).sum()
+    }
+
+    /// Appends a run: writes its segment and per-kind index, then commits
+    /// it to the manifest. Run ids must be unique within the store and must
+    /// not contain tabs or newlines.
+    pub fn append_run(
+        &mut self,
+        run_id: &str,
+        events: &[TraceEvent],
+    ) -> Result<&RunMeta, StoreError> {
+        if run_id.is_empty() || run_id.contains('\t') || run_id.contains('\n') {
+            return Err(StoreError::InvalidRunId(run_id.to_string()));
+        }
+        if self.run(run_id).is_some() {
+            return Err(StoreError::DuplicateRun(run_id.to_string()));
+        }
+        let segment = format!("{:06}.seg", self.runs.len());
+        let seg_path = self.root.join(&segment);
+        let idx_path = seg_path.with_extension("idx");
+
+        // Segment: append-order records, tracking each record's offset for
+        // the per-kind index.
+        let mut offsets: BTreeMap<u8, Vec<u64>> = BTreeMap::new();
+        {
+            let file = File::create(&seg_path).map_err(io_err(&seg_path))?;
+            let mut w = CountingWriter {
+                inner: BufWriter::new(file),
+                written: 0,
+            };
+            for ev in events {
+                offsets.entry(ev.kind.code()).or_default().push(w.written);
+                ev.write_to(&mut w).map_err(io_err(&seg_path))?;
+            }
+            w.inner.flush().map_err(io_err(&seg_path))?;
+        }
+
+        // Index: kind count, then per kind (code, record count, offsets),
+        // kinds in code order.
+        {
+            let file = File::create(&idx_path).map_err(io_err(&idx_path))?;
+            let mut w = BufWriter::new(file);
+            let write = |w: &mut BufWriter<File>, bytes: &[u8]| -> Result<(), StoreError> {
+                w.write_all(bytes).map_err(io_err(&idx_path))
+            };
+            write(&mut w, &u32::try_from(offsets.len()).unwrap().to_le_bytes())?;
+            for (code, offs) in &offsets {
+                write(&mut w, &[*code])?;
+                write(&mut w, &(offs.len() as u64).to_le_bytes())?;
+                for off in offs {
+                    write(&mut w, &off.to_le_bytes())?;
+                }
+            }
+            w.flush().map_err(io_err(&idx_path))?;
+        }
+
+        // Manifest line last: a run is only visible once its files are
+        // fully written.
+        let manifest = self.root.join(MANIFEST);
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(&manifest)
+            .map_err(io_err(&manifest))?;
+        writeln!(file, "{segment}\t{}\t{run_id}", events.len()).map_err(io_err(&manifest))?;
+
+        self.runs.push(RunMeta {
+            run_id: run_id.to_string(),
+            segment,
+            count: events.len() as u64,
+        });
+        Ok(self.runs.last().expect("just pushed"))
+    }
+
+    /// Reads a whole run, in append (replay) order.
+    pub fn read_run(&self, run_id: &str) -> Result<Vec<TraceEvent>, StoreError> {
+        let meta = self
+            .run(run_id)
+            .ok_or_else(|| StoreError::UnknownRun(run_id.to_string()))?;
+        let seg_path = self.root.join(&meta.segment);
+        let file = File::open(&seg_path).map_err(io_err(&seg_path))?;
+        let mut r = BufReader::new(file);
+        let mut events = Vec::with_capacity(meta.count as usize);
+        for i in 0..meta.count {
+            let ev = TraceEvent::read_from(&mut r)
+                .map_err(|e| StoreError::Corrupt(format!("{}: record {i}: {e}", meta.segment)))?;
+            events.push(ev);
+        }
+        let mut trailing = [0u8; 1];
+        if r.read(&mut trailing).map_err(io_err(&seg_path))? != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "{}: trailing bytes after {} records",
+                meta.segment, meta.count
+            )));
+        }
+        Ok(events)
+    }
+
+    /// Reads only the events of one kind from a run, seeking via the
+    /// per-kind index; append (replay) order within the kind.
+    pub fn read_run_kind(
+        &self,
+        run_id: &str,
+        kind: EventKind,
+    ) -> Result<Vec<TraceEvent>, StoreError> {
+        let meta = self
+            .run(run_id)
+            .ok_or_else(|| StoreError::UnknownRun(run_id.to_string()))?;
+        let idx_path = self.root.join(&meta.segment).with_extension("idx");
+        let offsets = read_index(&idx_path)?
+            .remove(&kind.code())
+            .unwrap_or_default();
+        if offsets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let seg_path = self.root.join(&meta.segment);
+        let mut file = File::open(&seg_path).map_err(io_err(&seg_path))?;
+        let mut events = Vec::with_capacity(offsets.len());
+        for off in offsets {
+            file.seek(SeekFrom::Start(off)).map_err(io_err(&seg_path))?;
+            let ev = TraceEvent::read_from(&mut file)
+                .map_err(|e| StoreError::Corrupt(format!("{}: offset {off}: {e}", meta.segment)))?;
+            if ev.kind != kind {
+                return Err(StoreError::Corrupt(format!(
+                    "{}: index points offset {off} at a {} record, expected {}",
+                    meta.segment, ev.kind, kind
+                )));
+            }
+            events.push(ev);
+        }
+        Ok(events)
+    }
+}
+
+fn read_index(idx_path: &Path) -> Result<BTreeMap<u8, Vec<u64>>, StoreError> {
+    let file = File::open(idx_path).map_err(io_err(idx_path))?;
+    let mut r = BufReader::new(file);
+    let corrupt = |what: &str| StoreError::Corrupt(format!("{}: {what}", idx_path.display()));
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf)
+        .map_err(|_| corrupt("truncated kind count"))?;
+    let kinds = u32::from_le_bytes(u32buf);
+    let mut index = BTreeMap::new();
+    for _ in 0..kinds {
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)
+            .map_err(|_| corrupt("truncated kind code"))?;
+        r.read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated offset count"))?;
+        let n = u64::from_le_bytes(u64buf);
+        let mut offs = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            r.read_exact(&mut u64buf)
+                .map_err(|_| corrupt("truncated offset"))?;
+            offs.push(u64::from_le_bytes(u64buf));
+        }
+        if index.insert(code[0], offs).is_some() {
+            return Err(corrupt("duplicate kind code"));
+        }
+    }
+    Ok(index)
+}
+
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tracestore-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(0.0, EventKind::Info, "framework", "gauges deployed"),
+            TraceEvent::new(5.0, EventKind::Gauge, "C3", "availableBandwidth").with_value(9.4e6),
+            TraceEvent::new(10.0, EventKind::Violation, "C3", "minBandwidth"),
+            TraceEvent::new(10.0, EventKind::RepairStart, "C3", "moveClient").with_correlation(1),
+            TraceEvent::new(35.0, EventKind::RepairEnd, "C3", "moveClient").with_correlation(1),
+            TraceEvent::new(40.0, EventKind::Gauge, "C3", "availableBandwidth").with_value(3.0e6),
+        ]
+    }
+
+    #[test]
+    fn append_read_round_trip_and_reopen() {
+        let dir = tmpdir("roundtrip");
+        let events = sample_events();
+        {
+            let mut store = TraceStore::open(&dir).unwrap();
+            store.append_run("run-a", &events).unwrap();
+            store.append_run("run-b", &events[..2]).unwrap();
+            assert_eq!(store.total_events(), 8);
+        }
+        let store = TraceStore::open(&dir).unwrap();
+        assert_eq!(
+            store
+                .runs()
+                .iter()
+                .map(|r| r.run_id.as_str())
+                .collect::<Vec<_>>(),
+            vec!["run-a", "run-b"]
+        );
+        assert_eq!(store.read_run("run-a").unwrap(), events);
+        assert_eq!(store.read_run("run-b").unwrap(), &events[..2]);
+        assert!(matches!(
+            store.read_run("run-c"),
+            Err(StoreError::UnknownRun(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kind_index_seeks_to_matching_records_only() {
+        let dir = tmpdir("kinds");
+        let events = sample_events();
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.append_run("run-a", &events).unwrap();
+        let gauges = store.read_run_kind("run-a", EventKind::Gauge).unwrap();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].value, Some(9.4e6));
+        assert_eq!(gauges[1].value, Some(3.0e6));
+        assert!(store
+            .read_run_kind("run-a", EventKind::Transfer)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_invalid_run_ids_are_rejected() {
+        let dir = tmpdir("ids");
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.append_run("run-a", &[]).unwrap();
+        assert!(matches!(
+            store.append_run("run-a", &[]),
+            Err(StoreError::DuplicateRun(_))
+        ));
+        assert!(matches!(
+            store.append_run("bad\tid", &[]),
+            Err(StoreError::InvalidRunId(_))
+        ));
+        assert!(matches!(
+            store.append_run("", &[]),
+            Err(StoreError::InvalidRunId(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn identical_appends_produce_byte_identical_stores() {
+        let dir1 = tmpdir("bytes1");
+        let dir2 = tmpdir("bytes2");
+        let events = sample_events();
+        for dir in [&dir1, &dir2] {
+            let mut store = TraceStore::open(dir).unwrap();
+            store.append_run("run-a", &events).unwrap();
+            store.append_run("run-b", &events[1..3]).unwrap();
+        }
+        for name in [
+            MANIFEST,
+            "000000.seg",
+            "000000.idx",
+            "000001.seg",
+            "000001.idx",
+        ] {
+            let a = std::fs::read(dir1.join(name)).unwrap();
+            let b = std::fs::read(dir2.join(name)).unwrap();
+            assert_eq!(a, b, "{name} differs");
+        }
+        std::fs::remove_dir_all(&dir1).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+}

@@ -126,6 +126,28 @@ pub fn translate(
                     }
                 }
             }
+            ModelOp::MoveClientGroup { clients, to_group } => {
+                // The class-level move: one Remos flow probe for the batch,
+                // one routing update covering every client, and one
+                // gauge-churn batch (the monitoring layer relocates the
+                // moved clients' bandwidth gauges in a single sweep).
+                if let Some(first) = clients.first() {
+                    out.push(RuntimeOp::RemosGetFlow {
+                        client: first.clone(),
+                        server: to_group.clone(),
+                    });
+                    out.push(RuntimeOp::MoveClientGroup {
+                        clients: clients.clone(),
+                        to_group: to_group.clone(),
+                    });
+                    out.push(RuntimeOp::DeleteGauge {
+                        gauge: "bandwidth-gauges/planner-batch".to_string(),
+                    });
+                    out.push(RuntimeOp::CreateGauge {
+                        gauge: "bandwidth-gauges/planner-batch".to_string(),
+                    });
+                }
+            }
             // Pure model bookkeeping: no runtime effect.
             ModelOp::Detach { .. }
             | ModelOp::AddRole { .. }
@@ -147,7 +169,7 @@ mod tests {
     use super::*;
     use archmodel::style::ClientServerStyle;
     use archmodel::Transaction;
-    use repair::operators::{add_server, move_client, remove_server};
+    use repair::operators::{add_server, move_client, move_client_group, remove_server};
 
     fn model() -> System {
         ClientServerStyle::example_system("storage", 2, 3, 6).unwrap()
@@ -202,6 +224,34 @@ mod tests {
         assert!(runtime
             .iter()
             .any(|op| matches!(op, RuntimeOp::CreateGauge { .. })));
+    }
+
+    #[test]
+    fn move_client_group_translates_to_batched_move() {
+        let m = model();
+        let mut tx = Transaction::new(&m);
+        let clients: Vec<String> = ["User1", "User3"].iter().map(|s| s.to_string()).collect();
+        move_client_group(&mut tx, &clients, "ServerGrp2").unwrap();
+        let runtime = translate(&m, tx.ops(), 10_000.0).unwrap();
+        assert_eq!(
+            runtime,
+            vec![
+                RuntimeOp::RemosGetFlow {
+                    client: "User1".into(),
+                    server: "ServerGrp2".into(),
+                },
+                RuntimeOp::MoveClientGroup {
+                    clients: clients.clone(),
+                    to_group: "ServerGrp2".into(),
+                },
+                RuntimeOp::DeleteGauge {
+                    gauge: "bandwidth-gauges/planner-batch".into(),
+                },
+                RuntimeOp::CreateGauge {
+                    gauge: "bandwidth-gauges/planner-batch".into(),
+                },
+            ]
+        );
     }
 
     #[test]

@@ -112,6 +112,25 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
+// Tuples of strategies are themselves strategies, as in proptest: each
+// component generates in order from the shared generator.
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
 /// Strategy returning a constant value.
 #[derive(Debug, Clone)]
 pub struct Just<T: Clone>(pub T);

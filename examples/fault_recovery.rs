@@ -16,7 +16,7 @@
 
 use arch_adapt::experiment::Comparison;
 use arch_adapt::FrameworkConfig;
-use faultsim::{fault_profile_by_name, Resilience, FAULT_PROFILES};
+use faultsim::{fault_profile_by_name, fault_profile_names, Resilience};
 use gridapp::{GridConfig, Testbed};
 use simnet::TraceKind;
 
@@ -28,7 +28,7 @@ fn main() {
     let profile = args.next().unwrap_or_else(|| "server-crash-midrun".into());
     let Some(schedule) = fault_profile_by_name(&profile, duration) else {
         eprintln!("unknown fault profile: {profile}");
-        eprintln!("fault profiles: {}", FAULT_PROFILES.join(", "));
+        eprintln!("fault profiles: {}", fault_profile_names().join(", "));
         std::process::exit(2);
     };
 

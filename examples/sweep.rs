@@ -9,55 +9,79 @@
 //! cargo run --release --example sweep -- --workers 4 --out report.json
 //! cargo run --release --example sweep -- --smoke --faults single-link-cut
 //! cargo run --release --example sweep -- --faults none,server-crash-midrun
+//! cargo run --release --example sweep -- --smoke --trace-store traces/
 //! ```
 //!
 //! The JSON report is byte-identical for the same matrix regardless of the
 //! worker count — CI runs the smoke matrix twice and diffs the files as a
-//! determinism gate.
+//! determinism gate. With `--trace-store DIR` every run's full event stream
+//! (gauge readings, violations, repairs, faults, transfers) is additionally
+//! persisted to a `tracestore::TraceStore` at `DIR`, also byte-identical at
+//! any worker count; explore it with the `query` example.
 
 use arch_adapt::report::render_sweep;
-use arch_adapt::sweep::{run_sweep, SweepSpec};
+use arch_adapt::sweep::{run_sweep, run_sweep_traced, SweepSpec};
+
+fn list(value: &str) -> Vec<String> {
+    value.split(',').map(|s| s.trim().to_string()).collect()
+}
 
 fn main() {
-    let mut spec = SweepSpec::default_matrix();
+    let mut preset: fn() -> SweepSpec = SweepSpec::default_matrix;
+    let mut topologies: Option<Vec<String>> = None;
+    let mut workloads: Option<Vec<String>> = None;
+    let mut strategies: Option<Vec<String>> = None;
+    let mut durations: Option<Vec<f64>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut faults: Option<Vec<String>> = None;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "sweep_report.json".to_string();
-    let mut faults: Option<Vec<String>> = None;
+    let mut store_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => spec = SweepSpec::smoke(),
-            "--scale" => spec = SweepSpec::scale_matrix(),
+            "--smoke" => preset = SweepSpec::smoke,
+            "--scale" => preset = SweepSpec::scale_matrix,
             "--topologies" => {
                 let value = args
                     .next()
                     .expect("--topologies takes a comma-separated list of presets");
-                spec.topologies = value.split(',').map(|s| s.trim().to_string()).collect();
+                topologies = Some(list(&value));
+            }
+            "--workloads" => {
+                let value = args
+                    .next()
+                    .expect("--workloads takes a comma-separated list of generators");
+                workloads = Some(list(&value));
             }
             "--strategies" => {
                 let value = args
                     .next()
                     .expect("--strategies takes a comma-separated list of strategy presets");
-                spec.strategies = value.split(',').map(|s| s.trim().to_string()).collect();
+                strategies = Some(list(&value));
             }
             "--durations" => {
                 let value = args
                     .next()
                     .expect("--durations takes a comma-separated list of seconds");
-                spec.durations_secs = value
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("durations are numbers"))
-                    .collect();
+                durations = Some(
+                    list(&value)
+                        .iter()
+                        .map(|s| s.parse().expect("durations are numbers"))
+                        .collect(),
+                );
             }
             "--seeds" => {
                 let value = args
                     .next()
                     .expect("--seeds takes a comma-separated list of integers");
-                spec.seeds = value
-                    .split(',')
-                    .map(|s| s.trim().parse().expect("seeds are integers"))
-                    .collect();
+                seeds = Some(
+                    list(&value)
+                        .iter()
+                        .map(|s| s.parse().expect("seeds are integers"))
+                        .collect(),
+                );
             }
             "--workers" => {
                 let value = args.next().expect("--workers takes a count");
@@ -70,32 +94,72 @@ fn main() {
             "--out" => {
                 out_path = args.next().expect("--out takes a file path");
             }
+            "--trace-store" => {
+                store_path = Some(args.next().expect("--trace-store takes a directory path"));
+            }
             "--faults" => {
                 let value = args
                     .next()
                     .expect("--faults takes a comma-separated list of fault profiles");
-                faults = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+                faults = Some(list(&value));
             }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--strategies S1,S2,...] \
-                     [--durations D1,D2,...] [--seeds N1,N2,...] [--workers N] [--out FILE] [--faults P1,P2,...]"
+                    "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--workloads W1,W2,...] \
+                     [--strategies S1,S2,...] [--durations D1,D2,...] [--seeds N1,N2,...] [--workers N] \
+                     [--out FILE] [--trace-store DIR] [--faults P1,P2,...]"
                 );
-                eprintln!("topology presets: {}", gridapp::TESTBED_PRESETS.join(", "));
+                eprintln!(
+                    "topology presets: {}",
+                    gridapp::testbed_preset_names().join(", ")
+                );
+                eprintln!(
+                    "workload generators: {}",
+                    gridapp::workload_names().join(", ")
+                );
                 eprintln!(
                     "strategy presets: {}",
-                    arch_adapt::STRATEGY_NAMES.join(", ")
+                    arch_adapt::strategy_names().join(", ")
                 );
-                eprintln!("fault profiles: {}", faultsim::FAULT_PROFILES.join(", "));
+                eprintln!(
+                    "fault profiles: {}",
+                    faultsim::fault_profile_names().join(", ")
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    if let Some(faults) = faults {
-        spec.fault_profiles = faults;
+    // Assemble the spec through the builder: start from the chosen preset,
+    // overlay each axis the flags replaced, and let `build` validate every
+    // name (its error lists the valid names for the offending axis).
+    let mut builder = preset().to_builder();
+    if let Some(topologies) = topologies {
+        builder = builder.topologies(topologies);
     }
+    if let Some(workloads) = workloads {
+        builder = builder.workloads(workloads);
+    }
+    if let Some(strategies) = strategies {
+        builder = builder.strategies(strategies);
+    }
+    if let Some(durations) = durations {
+        builder = builder.durations_secs(durations);
+    }
+    if let Some(seeds) = seeds {
+        builder = builder.seeds(seeds);
+    }
+    if let Some(faults) = faults {
+        builder = builder.fault_profiles(faults);
+    }
+    let spec = match builder.build() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("invalid sweep spec: {e}");
+            std::process::exit(2);
+        }
+    };
 
     eprintln!(
         "sweeping {} cells x {} seeds = {} comparison units on {} worker(s)...",
@@ -105,7 +169,12 @@ fn main() {
         workers
     );
     let started = std::time::Instant::now();
-    let report = run_sweep(&spec, workers).expect("sweep runs");
+    let report = match &store_path {
+        Some(dir) => {
+            run_sweep_traced(&spec, workers, std::path::Path::new(dir)).expect("traced sweep runs")
+        }
+        None => run_sweep(&spec, workers).expect("sweep runs"),
+    };
     let elapsed = started.elapsed();
 
     println!("{}", render_sweep(&report));
@@ -118,4 +187,7 @@ fn main() {
         elapsed.as_secs_f64(),
         out_path
     );
+    if let Some(dir) = store_path {
+        eprintln!("trace store written to {dir}");
+    }
 }

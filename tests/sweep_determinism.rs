@@ -5,9 +5,10 @@
 //! nondeterminism in aggregation order, float folding, or serialisation is
 //! caught, not just structural equality.
 
-use arch_adapt::sweep::{run_sweep, SweepSpec};
-use gridapp::{TESTBED_PRESETS, WORKLOAD_NAMES};
+use arch_adapt::sweep::{run_sweep, run_sweep_traced, SweepSpec};
+use gridapp::{testbed_preset_names, workload_names};
 use proptest::prelude::*;
+use std::path::{Path, PathBuf};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(4))]
@@ -22,11 +23,12 @@ proptest! {
         // preset's determinism is exercised by the release-mode large_scale
         // bench instead.
         topology in 0usize..3,
-        workload in 0usize..WORKLOAD_NAMES.len(),
+        workload in 0usize..4,
     ) {
+        let workloads = workload_names();
         let spec = SweepSpec {
-            topologies: vec![TESTBED_PRESETS[topology].to_string()],
-            workloads: vec![WORKLOAD_NAMES[workload].to_string()],
+            topologies: vec![testbed_preset_names()[topology].to_string()],
+            workloads: vec![workloads[workload % workloads.len()].to_string()],
             strategies: vec!["adaptive".to_string()],
             durations_secs: vec![45.0],
             seeds: vec![seed_a, seed_b],
@@ -48,15 +50,17 @@ proptest! {
     fn fault_sweep_report_is_invariant_under_worker_count(
         workers in 2usize..5,
         seed in 0u64..10_000,
-        fault in 1usize..faultsim::FAULT_PROFILES.len(),
+        fault in 1usize..8,
     ) {
+        let profiles = faultsim::fault_profile_names();
+        let fault = 1 + (fault - 1) % (profiles.len() - 1);
         let spec = SweepSpec {
             topologies: vec!["paper".to_string()],
             workloads: vec!["step".to_string()],
             strategies: vec!["adaptive".to_string()],
             durations_secs: vec![60.0],
             seeds: vec![seed, seed.wrapping_add(1)],
-            fault_profiles: vec!["none".into(), faultsim::FAULT_PROFILES[fault].to_string()],
+            fault_profiles: vec!["none".into(), profiles[fault].to_string()],
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -101,6 +105,84 @@ fn planned_repair_sweep_is_worker_count_invariant() {
         planned_cells.iter().any(|c| c.repairs_completed.mean > 0.0),
         "plannedRepair cells repaired nothing"
     );
+}
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let path = std::env::temp_dir().join(format!("sweep-store-{tag}-{}", std::process::id()));
+        if path.exists() {
+            std::fs::remove_dir_all(&path).unwrap();
+        }
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every file in a trace-store directory, as `(name, bytes)` sorted by name
+/// — the whole on-disk state, so a byte-level comparison catches index and
+/// manifest divergence, not just event payloads.
+fn dir_bytes(path: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(path)
+        .unwrap()
+        .map(|entry| {
+            let entry = entry.unwrap();
+            (
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The traced sweep writes a byte-identical store at any worker count, and
+/// its report matches the untraced sweep's exactly: attaching the trace
+/// sinks must not perturb the simulation.
+#[test]
+fn traced_sweep_store_is_worker_count_invariant() {
+    let spec = SweepSpec {
+        topologies: vec!["paper".into()],
+        workloads: vec!["step".into()],
+        strategies: vec!["adaptive".into()],
+        durations_secs: vec![60.0],
+        seeds: vec![1, 2, 3],
+        fault_profiles: vec!["none".into(), "single-link-cut".into()],
+    };
+    let untraced = run_sweep(&spec, 2).unwrap();
+
+    let serial_dir = ScratchDir::new("serial");
+    let serial = run_sweep_traced(&spec, 1, &serial_dir.0).unwrap();
+    assert_eq!(
+        untraced.to_json_string(),
+        serial.to_json_string(),
+        "tracing changed the sweep report"
+    );
+    let serial_bytes = dir_bytes(&serial_dir.0);
+    // Every unit contributed its control and adaptive event streams, and
+    // they are not vacuously empty.
+    let store = tracestore::TraceStore::open(&serial_dir.0).unwrap();
+    assert_eq!(store.runs().len(), spec.total_units() * 2);
+    assert!(store.total_events() > 0, "traced sweep produced no events");
+
+    for workers in [2, 5] {
+        let parallel_dir = ScratchDir::new("parallel");
+        let parallel = run_sweep_traced(&spec, workers, &parallel_dir.0).unwrap();
+        assert_eq!(untraced.to_json_string(), parallel.to_json_string());
+        assert_eq!(
+            serial_bytes,
+            dir_bytes(&parallel_dir.0),
+            "trace store differs at {workers} workers"
+        );
+    }
 }
 
 /// A fixed multi-cell matrix (more units than workers, so the work-stealing
