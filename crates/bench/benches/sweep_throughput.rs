@@ -21,6 +21,7 @@ fn bench_spec() -> SweepSpec {
         durations_secs: vec![120.0],
         seeds: vec![42, 7],
         fault_profiles: vec!["none".into()],
+        collect_metrics: false,
     }
 }
 

@@ -110,6 +110,7 @@ fn bench_traced_sweep_overhead(c: &mut Criterion) {
         durations_secs: vec![120.0],
         seeds: vec![42],
         fault_profiles: vec!["single-link-cut".into()],
+        collect_metrics: false,
     };
     let mut group = c.benchmark_group("traced_sweep_overhead");
     group.sample_size(10);

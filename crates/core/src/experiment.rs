@@ -172,8 +172,25 @@ pub fn run_traced(
     faults: Option<&faultsim::FaultSchedule>,
     sink: tracestore::SharedSink,
 ) -> Result<RunResult, AppError> {
+    run_observed(label, config, schedule, faults, sink, obs::null_metrics())
+}
+
+/// [`run_traced`] with an explicit self-observability metrics sink: per-tick
+/// MAPE phase spans, framework counters, and periodic component-counter
+/// snapshots land in `metrics`, which is also flushed once at end of run.
+/// The default [`obs::null_metrics`] restores the unmetered behaviour
+/// exactly (emission sites short-circuit, nothing is recorded).
+pub fn run_observed(
+    label: &str,
+    config: ExperimentConfig,
+    schedule: Option<&ExperimentSchedule>,
+    faults: Option<&faultsim::FaultSchedule>,
+    sink: tracestore::SharedSink,
+    metrics: obs::SharedMetrics,
+) -> Result<RunResult, AppError> {
     let mut framework = AdaptationFramework::new(config.grid, config.framework)?;
     framework.set_trace_sink(sink);
+    framework.set_metrics(metrics);
     let compiled = match faults {
         Some(faults) if !faults.is_empty() => Some(
             faults
@@ -187,6 +204,9 @@ pub fn run_traced(
         .map(|c| c.onsets.clone())
         .unwrap_or_default();
     framework.run_with_faults(config.duration_secs, schedule, compiled.as_ref());
+    // Flush the components' final counter values so a registry read after
+    // the run sees the whole run, not just the last snapshot cadence.
+    framework.publish_metrics();
     let unserved_demand_secs = framework.app().unserved_demand_secs();
     let metrics = framework.metrics().clone();
     let trace = framework.trace().clone();
@@ -297,12 +317,36 @@ impl Comparison {
         control_sink: tracestore::SharedSink,
         adaptive_sink: tracestore::SharedSink,
     ) -> Result<Comparison, AppError> {
+        Self::run_with_faults_observed(
+            grid,
+            adaptive,
+            schedule,
+            faults,
+            duration_secs,
+            (control_sink, obs::null_metrics()),
+            (adaptive_sink, obs::null_metrics()),
+        )
+    }
+
+    /// [`Comparison::run_with_faults_traced`] with one `(trace sink, metrics
+    /// sink)` pair per run, so the control and adaptive self-observability
+    /// registries stay separable too — the shape the metered sweep and the
+    /// perf-report example consume.
+    pub fn run_with_faults_observed(
+        grid: GridConfig,
+        adaptive: FrameworkConfig,
+        schedule: Option<&ExperimentSchedule>,
+        faults: Option<&faultsim::FaultSchedule>,
+        duration_secs: f64,
+        control_observers: (tracestore::SharedSink, obs::SharedMetrics),
+        adaptive_observers: (tracestore::SharedSink, obs::SharedMetrics),
+    ) -> Result<Comparison, AppError> {
         let control = FrameworkConfig {
             adaptation_enabled: false,
             ..adaptive
         };
         Ok(Comparison {
-            control: run_traced(
+            control: run_observed(
                 "control",
                 ExperimentConfig {
                     grid,
@@ -311,9 +355,10 @@ impl Comparison {
                 },
                 schedule,
                 faults,
-                control_sink,
+                control_observers.0,
+                control_observers.1,
             )?,
-            adaptive: run_traced(
+            adaptive: run_observed(
                 "adaptive",
                 ExperimentConfig {
                     grid,
@@ -322,7 +367,8 @@ impl Comparison {
                 },
                 schedule,
                 faults,
-                adaptive_sink,
+                adaptive_observers.0,
+                adaptive_observers.1,
             )?,
         })
     }

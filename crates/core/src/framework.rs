@@ -20,7 +20,7 @@ use crate::query::AppQuery;
 use crate::task::PerformanceProfile;
 use archmodel::constraint::ConstraintSet;
 use archmodel::style::ClientServerStyle;
-use archmodel::System;
+use archmodel::{Key, System};
 use faultsim::CompiledFaultSchedule;
 use gridapp::{
     sample_flow_probes_from, sample_latency_probe, sample_liveness_probe, sample_queue_probe,
@@ -95,6 +95,14 @@ pub struct FrameworkConfig {
     /// repairs recruited once the group idles at more than its provisioned
     /// count (restart-aware cost reduction).
     pub cost_reduction: bool,
+    /// Minimum seconds between constraint checks. `0.0` (the default)
+    /// checks every adaptation tick, matching the historical behaviour
+    /// bit-for-bit. A positive cadence batches detection: violations then
+    /// surface up to that much later *on top of* the monitoring delivery
+    /// delay (≤ 20 s when monitoring shares a congested network), which is
+    /// why trace queries hunting "violations near a fault" need a window
+    /// like `--within 30` rather than the control period.
+    pub constraint_check_period_secs: f64,
 }
 
 impl Default for FrameworkConfig {
@@ -112,6 +120,7 @@ impl Default for FrameworkConfig {
             bandwidth_first: false,
             group_planner: false,
             cost_reduction: false,
+            constraint_check_period_secs: 0.0,
         }
     }
 }
@@ -174,6 +183,96 @@ impl FrameworkConfig {
     }
 }
 
+/// Sim-time seconds between control-plane metric snapshots: when a metrics
+/// registry *and* a trace sink are attached, the framework publishes its
+/// deterministic counters/gauges and appends them as
+/// [`EventKind::Metric`](tracestore::EventKind::Metric) events at this
+/// cadence, so the trace query engine can aggregate them per run.
+pub const METRIC_SNAPSHOT_PERIOD_SECS: f64 = 60.0;
+
+/// Interned metric names, resolved once at framework construction so the
+/// control loop never touches the key interner's mutex.
+#[derive(Debug, Clone, Copy)]
+struct MetricKeys {
+    // Wall-clock span phases (nondeterministic histograms).
+    phase_tick: Key,
+    phase_advance: Key,
+    phase_gauge_dispatch: Key,
+    phase_constraint_check: Key,
+    phase_plan: Key,
+    phase_translate: Key,
+    phase_execute: Key,
+    phase_commit_replay: Key,
+    // Framework-owned deterministic counters (pushed at event sites).
+    ticks: Key,
+    gauge_readings: Key,
+    violations: Key,
+    repairs_started: Key,
+    repairs_completed: Key,
+    repairs_aborted: Key,
+    plan_ops: Key,
+    planner_plans: Key,
+    // Component counters (pulled wholesale by `publish_metrics`).
+    rate_epochs: Key,
+    probe_queries: Key,
+    probe_solves: Key,
+    probe_memo_hits: Key,
+    agg_rows: Key,
+    agg_aggregated_flows: Key,
+    agg_total_flows: Key,
+    agg_permanent_splits: Key,
+    paths_trees_built: Key,
+    paths_lookups: Key,
+    due_inserts: Key,
+    due_removes: Key,
+    due_collected: Key,
+    flow_memo_hits: Key,
+    flow_memo_misses: Key,
+    // Deterministic gauges.
+    client_classes: Key,
+    server_classes: Key,
+}
+
+impl MetricKeys {
+    fn new() -> Self {
+        MetricKeys {
+            phase_tick: Key::new("phase.tick"),
+            phase_advance: Key::new("phase.advance"),
+            phase_gauge_dispatch: Key::new("phase.gauge_dispatch"),
+            phase_constraint_check: Key::new("phase.constraint_check"),
+            phase_plan: Key::new("phase.plan"),
+            phase_translate: Key::new("phase.translate"),
+            phase_execute: Key::new("phase.execute"),
+            phase_commit_replay: Key::new("phase.commit_replay"),
+            ticks: Key::new("framework.ticks"),
+            gauge_readings: Key::new("framework.gauge_readings"),
+            violations: Key::new("framework.violations"),
+            repairs_started: Key::new("framework.repairs.started"),
+            repairs_completed: Key::new("framework.repairs.completed"),
+            repairs_aborted: Key::new("framework.repairs.aborted"),
+            plan_ops: Key::new("framework.plan_ops"),
+            planner_plans: Key::new("planner.plans"),
+            rate_epochs: Key::new("simnet.rate_epochs"),
+            probe_queries: Key::new("simnet.probe.queries"),
+            probe_solves: Key::new("simnet.probe.solves"),
+            probe_memo_hits: Key::new("simnet.probe.memo_hits"),
+            agg_rows: Key::new("simnet.agg.rows"),
+            agg_aggregated_flows: Key::new("simnet.agg.aggregated_flows"),
+            agg_total_flows: Key::new("simnet.agg.total_flows"),
+            agg_permanent_splits: Key::new("simnet.agg.permanent_splits"),
+            paths_trees_built: Key::new("simnet.paths.trees_built"),
+            paths_lookups: Key::new("simnet.paths.lookups"),
+            due_inserts: Key::new("gridapp.due.inserts"),
+            due_removes: Key::new("gridapp.due.removes"),
+            due_collected: Key::new("gridapp.due.collected"),
+            flow_memo_hits: Key::new("gridapp.flows.memo_hits"),
+            flow_memo_misses: Key::new("gridapp.flows.memo_misses"),
+            client_classes: Key::new("planner.client_classes"),
+            server_classes: Key::new("planner.server_classes"),
+        }
+    }
+}
+
 /// A repair whose execution is in progress.
 #[derive(Debug, Clone)]
 struct PendingRepair {
@@ -223,6 +322,17 @@ pub struct AdaptationFramework {
     /// shares the handle for transfer completions). The default `NullSink`
     /// is disabled, so a run without a collector emits nothing.
     sink: tracestore::SharedSink,
+    /// Self-observability sink: per-phase span timings and control-plane
+    /// counters land here. The default `NullRegistry` is disabled, so every
+    /// emission site short-circuits and an unmetered run is byte-identical
+    /// to one built before the registry existed.
+    metrics: obs::SharedMetrics,
+    keys: MetricKeys,
+    /// Sim time at/after which the next metric snapshot is emitted.
+    next_metric_snapshot_secs: f64,
+    /// Sim time before which constraint checks are skipped (only consulted
+    /// when `constraint_check_period_secs > 0`).
+    next_constraint_check_secs: f64,
     pending: Option<PendingRepair>,
     repair_seq: u64,
     servers_activated: u64,
@@ -285,6 +395,10 @@ impl AdaptationFramework {
             monitor_index,
             trace: Trace::new(),
             sink: tracestore::null_sink(),
+            metrics: obs::null_metrics(),
+            keys: MetricKeys::new(),
+            next_metric_snapshot_secs: 0.0,
+            next_constraint_check_secs: 0.0,
             pending: None,
             repair_seq: 0,
             servers_activated: 0,
@@ -302,6 +416,98 @@ impl AdaptationFramework {
     pub fn set_trace_sink(&mut self, sink: tracestore::SharedSink) {
         self.app.set_trace_sink(sink.clone());
         self.sink = sink;
+    }
+
+    /// Attaches a self-observability metrics sink. Span timings, framework
+    /// counters, and periodic component-counter snapshots are recorded into
+    /// it; the default is a disabled `NullRegistry` that records nothing.
+    pub fn set_metrics(&mut self, metrics: obs::SharedMetrics) {
+        self.metrics = metrics;
+    }
+
+    /// Publishes the components' always-on deterministic counters (probe
+    /// solves, allocation epochs, path-table and due-queue ops, flow-memo
+    /// hits, class census) into the metrics sink as absolute values. Called
+    /// automatically at the metric-snapshot cadence and by the experiment
+    /// driver at end of run; a no-op when metrics are disabled.
+    pub fn publish_metrics(&self) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        let k = &self.keys;
+        let m = &self.metrics;
+        let queries = self.app.probe_query_count();
+        let solves = self.app.probe_solve_count();
+        m.set_counter(k.rate_epochs, self.app.rate_epoch_count());
+        m.set_counter(k.probe_queries, queries);
+        m.set_counter(k.probe_solves, solves);
+        m.set_counter(k.probe_memo_hits, queries.saturating_sub(solves));
+        let agg = self.app.aggregation_stats();
+        m.set_counter(k.agg_rows, agg.rows as u64);
+        m.set_counter(k.agg_aggregated_flows, agg.aggregated_flows as u64);
+        m.set_counter(k.agg_total_flows, agg.total_flows as u64);
+        m.set_counter(k.agg_permanent_splits, agg.permanent_splits as u64);
+        let paths = self.app.path_table_stats();
+        m.set_counter(k.paths_trees_built, paths.trees_built);
+        m.set_counter(k.paths_lookups, paths.lookups);
+        let due = self.app.due_queue_stats();
+        m.set_counter(k.due_inserts, due.inserts);
+        m.set_counter(k.due_removes, due.removes);
+        m.set_counter(k.due_collected, due.collected);
+        let (hits, misses) = self.app.flow_memo_stats();
+        m.set_counter(k.flow_memo_hits, hits);
+        m.set_counter(k.flow_memo_misses, misses);
+        // Class census: the monitoring index at fleet scale, else the group
+        // planner's index when one is active.
+        let index = self
+            .monitor_index
+            .as_ref()
+            .or_else(|| self.planner.as_ref().map(|p| p.index()));
+        if let Some(index) = index {
+            m.set_gauge(k.client_classes, index.client_classes().len() as f64);
+            m.set_gauge(k.server_classes, index.server_classes().len() as f64);
+        }
+    }
+
+    /// At the fixed snapshot cadence: refresh the pulled component counters
+    /// and append every deterministic counter/gauge to the trace sink as an
+    /// [`EventKind::Metric`](tracestore::EventKind::Metric) event. Counter
+    /// values are simulation-deterministic, so the emitted events — and the
+    /// store they land in — stay byte-identical across worker counts.
+    fn maybe_emit_metric_snapshot(&mut self, t: SimTime) {
+        if t.as_secs() < self.next_metric_snapshot_secs {
+            return;
+        }
+        self.next_metric_snapshot_secs = t.as_secs() + METRIC_SNAPSHOT_PERIOD_SECS;
+        self.publish_metrics();
+        if !self.sink.enabled() {
+            return;
+        }
+        let Some(snapshot) = self.metrics.deterministic_snapshot() else {
+            return;
+        };
+        for (name, value) in &snapshot.counters {
+            self.sink.append(
+                tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::Metric,
+                    name.clone(),
+                    "counter",
+                )
+                .with_value(*value as f64),
+            );
+        }
+        for (name, value) in &snapshot.gauges {
+            self.sink.append(
+                tracestore::TraceEvent::new(
+                    t.as_secs(),
+                    tracestore::EventKind::Metric,
+                    name.clone(),
+                    "gauge",
+                )
+                .with_value(*value),
+            );
+        }
     }
 
     /// The architectural model as currently maintained.
@@ -560,52 +766,68 @@ impl AdaptationFramework {
         // network-position equivalence class instead of one per client
         // machine (identical on classic testbeds, where every class is a
         // singleton).
-        self.app.advance(t);
-        let flows = if let Some(index) = &self.monitor_index {
-            // Fleet scale: one probe entry per (class, group) representative
-            // — the only clients carrying gauges.
-            planner::class_rep_flow_snapshot(&self.app, index)
-        } else if let Some(group_planner) = &self.planner {
-            planner::class_flow_snapshot(&self.app, group_planner.index())
-        } else {
-            self.app.flow_snapshot()
+        let _tick_span = obs::Span::start(&self.metrics, self.keys.phase_tick);
+        let flows = {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_advance);
+            self.app.advance(t);
+            let flows = if let Some(index) = &self.monitor_index {
+                // Fleet scale: one probe entry per (class, group)
+                // representative — the only clients carrying gauges.
+                planner::class_rep_flow_snapshot(&self.app, index)
+            } else if let Some(group_planner) = &self.planner {
+                planner::class_flow_snapshot(&self.app, group_planner.index())
+            } else {
+                self.app.flow_snapshot()
+            };
+            self.app.sample_metrics_with_flows(t, &flows);
+            flows
         };
-        self.app.sample_metrics_with_flows(t, &flows);
 
         // 2. Probes observe the system and publish on the probe bus. Every
         // flow-derived consumer (delay model, bandwidth + reachability
         // gauges, figure metrics above) reads the same snapshot — one Remos
         // pass per tick.
-        let delay = self.monitoring_delay(&flows);
-        self.pipeline.set_monitoring_delay(delay);
-        let mut events = sample_latency_probe(&mut self.app);
-        events.extend(sample_queue_probe(&self.app, t));
-        events.extend(sample_flow_probes_from(&flows, t));
-        events.extend(sample_server_probe(&self.app, t));
-        events.extend(sample_liveness_probe(&self.app, t));
-        for event in events {
-            self.pipeline.publish(event);
-        }
-
-        // 3. Gauges interpret probe data; the tick's readings update the
-        // model in one batch (same order, one target resolution per run of
-        // consecutive same-target readings).
-        let readings = self.pipeline.step(t.as_secs(), &mut ());
-        if self.sink.enabled() {
-            for reading in &readings {
-                self.sink.append(
-                    tracestore::TraceEvent::new(
-                        reading.time,
-                        tracestore::EventKind::Gauge,
-                        reading.target.as_str(),
-                        reading.property.as_str(),
-                    )
-                    .with_value(reading.value),
-                );
+        {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_gauge_dispatch);
+            let delay = self.monitoring_delay(&flows);
+            self.pipeline.set_monitoring_delay(delay);
+            let mut events = sample_latency_probe(&mut self.app);
+            events.extend(sample_queue_probe(&self.app, t));
+            events.extend(sample_flow_probes_from(&flows, t));
+            events.extend(sample_server_probe(&self.app, t));
+            events.extend(sample_liveness_probe(&self.app, t));
+            for event in events {
+                self.pipeline.publish(event);
             }
+
+            // 3. Gauges interpret probe data; the tick's readings update the
+            // model in one batch (same order, one target resolution per run
+            // of consecutive same-target readings).
+            let readings = self.pipeline.step(t.as_secs(), &mut ());
+            if self.sink.enabled() {
+                for reading in &readings {
+                    self.sink.append(
+                        tracestore::TraceEvent::new(
+                            reading.time,
+                            tracestore::EventKind::Gauge,
+                            reading.target.as_str(),
+                            reading.property.as_str(),
+                        )
+                        .with_value(reading.value),
+                    );
+                }
+            }
+            if self.metrics.enabled() {
+                self.metrics.add(self.keys.ticks, 1);
+                self.metrics
+                    .add(self.keys.gauge_readings, readings.len() as u64);
+            }
+            ModelUpdater::new(&mut self.model).apply_batch(&readings);
         }
-        ModelUpdater::new(&mut self.model).apply_batch(&readings);
         self.now = t;
+        if self.metrics.enabled() {
+            self.maybe_emit_metric_snapshot(t);
+        }
 
         if !self.config.adaptation_enabled {
             return;
@@ -621,10 +843,24 @@ impl AdaptationFramework {
             return;
         }
 
-        // 5. Check constraints and plan a repair if necessary.
-        let report = self.constraints.check(&self.model);
+        // 5. Check constraints and plan a repair if necessary. A positive
+        // cadence skips whole checks; the default (0.0) checks every tick.
+        if self.config.constraint_check_period_secs > 0.0
+            && t.as_secs() < self.next_constraint_check_secs
+        {
+            return;
+        }
+        self.next_constraint_check_secs = t.as_secs() + self.config.constraint_check_period_secs;
+        let report = {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_constraint_check);
+            self.constraints.check(&self.model)
+        };
         if report.is_clean() {
             return;
+        }
+        if self.metrics.enabled() {
+            self.metrics
+                .add(self.keys.violations, report.violations.len() as u64);
         }
         for violation in &report.violations {
             self.trace.record(
@@ -661,28 +897,31 @@ impl AdaptationFramework {
                 max_server_load: self.profile.max_server_load,
                 max_latency_secs: self.profile.max_latency_secs,
             };
-            let input = {
-                let group_planner = self.planner.as_ref().expect("checked above");
-                planner::PlannerInput::gather(
-                    &self.app,
-                    group_planner.index(),
-                    &self.model,
-                    &report,
-                    thresholds,
-                    t.as_secs(),
-                )
+            let plan = {
+                let _span = obs::Span::start(&self.metrics, self.keys.phase_plan);
+                let input = {
+                    let group_planner = self.planner.as_ref().expect("checked above");
+                    planner::PlannerInput::gather(
+                        &self.app,
+                        group_planner.index(),
+                        &self.model,
+                        &report,
+                        thresholds,
+                        t.as_secs(),
+                    )
+                };
+                self.planner
+                    .as_mut()
+                    .expect("checked above")
+                    .plan(&self.model, &input)
             };
-            let plan = self
-                .planner
-                .as_mut()
-                .expect("checked above")
-                .plan(&self.model, &input);
             if let Some(plan) = plan {
                 self.start_group_repair(t, plan);
                 return;
             }
         }
         let outcome = {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_plan);
             let query = AppQuery::new(&self.app);
             self.engine.plan(&self.model, &report, &query, t.as_secs())
         };
@@ -694,6 +933,9 @@ impl AdaptationFramework {
                     TraceKind::RepairAborted,
                     format!("repair of {invariant} aborted: {reason}"),
                 );
+                if self.metrics.enabled() {
+                    self.metrics.add(self.keys.repairs_aborted, 1);
+                }
                 if self.sink.enabled() {
                     self.sink.append(tracestore::TraceEvent::new(
                         t.as_secs(),
@@ -712,7 +954,11 @@ impl AdaptationFramework {
     }
 
     fn start_repair(&mut self, t: SimTime, plan: RepairPlan) {
-        let runtime_ops = match translate(&self.model, &plan.ops, self.profile.min_bandwidth_bps) {
+        let translated = {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_translate);
+            translate(&self.model, &plan.ops, self.profile.min_bandwidth_bps)
+        };
+        let runtime_ops = match translated {
             Ok(ops) => ops,
             Err(e) => {
                 self.trace.record(
@@ -720,6 +966,9 @@ impl AdaptationFramework {
                     TraceKind::RepairAborted,
                     format!("translation failed: {e}"),
                 );
+                if self.metrics.enabled() {
+                    self.metrics.add(self.keys.repairs_aborted, 1);
+                }
                 if self.sink.enabled() {
                     self.sink.append(tracestore::TraceEvent::new(
                         t.as_secs(),
@@ -732,6 +981,11 @@ impl AdaptationFramework {
             }
         };
         let duration = self.config.cost_model.total_duration(&runtime_ops);
+        if self.metrics.enabled() {
+            self.metrics.add(self.keys.repairs_started, 1);
+            self.metrics
+                .add(self.keys.plan_ops, runtime_ops.len() as u64);
+        }
         self.repair_seq += 1;
         let correlation = self.repair_seq;
         self.trace.record_correlated(
@@ -771,6 +1025,12 @@ impl AdaptationFramework {
     /// ordinary cost model prices the whole batch.
     fn start_group_repair(&mut self, t: SimTime, plan: planner::GroupPlan) {
         let duration = self.config.cost_model.total_duration(&plan.runtime_ops);
+        if self.metrics.enabled() {
+            self.metrics.add(self.keys.repairs_started, 1);
+            self.metrics.add(self.keys.planner_plans, 1);
+            self.metrics
+                .add(self.keys.plan_ops, plan.runtime_ops.len() as u64);
+        }
         self.repair_seq += 1;
         let correlation = self.repair_seq;
         self.trace.record_correlated(
@@ -818,30 +1078,39 @@ impl AdaptationFramework {
 
     fn finish_repair(&mut self, t: SimTime, pending: PendingRepair) {
         // Commit the repair to the architectural model.
-        for op in &pending.plan.ops {
-            if let Err(e) = archmodel::apply_op(&mut self.model, op) {
+        {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_commit_replay);
+            for op in &pending.plan.ops {
+                if let Err(e) = archmodel::apply_op(&mut self.model, op) {
+                    self.trace.record(
+                        t,
+                        TraceKind::Info,
+                        format!("model op could not be committed: {e}"),
+                    );
+                }
+            }
+            let style_violations = ClientServerStyle::validate(&self.model);
+            if !style_violations.is_empty() {
                 self.trace.record(
                     t,
                     TraceKind::Info,
-                    format!("model op could not be committed: {e}"),
+                    format!(
+                        "model has {} style violations after commit",
+                        style_violations.len()
+                    ),
                 );
             }
         }
-        let style_violations = ClientServerStyle::validate(&self.model);
-        if !style_violations.is_empty() {
-            self.trace.record(
-                t,
-                TraceKind::Info,
-                format!(
-                    "model has {} style violations after commit",
-                    style_violations.len()
-                ),
-            );
-        }
         // Propagate the repair to the runtime layer.
-        let ops = pending.runtime_ops.clone();
-        for op in &ops {
-            self.execute_runtime_op(t, op);
+        {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_execute);
+            let ops = pending.runtime_ops.clone();
+            for op in &ops {
+                self.execute_runtime_op(t, op);
+            }
+        }
+        if self.metrics.enabled() {
+            self.metrics.add(self.keys.repairs_completed, 1);
         }
         self.trace.record_correlated(
             t,

@@ -38,11 +38,12 @@ pub mod sweep;
 pub mod task;
 
 pub use experiment::{
-    run_adaptive, run_control, run_experiment, run_traced, Comparison, ExperimentConfig, RunResult,
-    RunSummary,
+    run_adaptive, run_control, run_experiment, run_observed, run_traced, Comparison,
+    ExperimentConfig, RunResult, RunSummary,
 };
 pub use framework::{
-    strategy_names, AdaptationFramework, FrameworkConfig, RepairStats, STRATEGY_REGISTRY,
+    strategy_names, AdaptationFramework, FrameworkConfig, RepairStats, METRIC_SNAPSHOT_PERIOD_SECS,
+    STRATEGY_REGISTRY,
 };
 pub use model::{build_model, ModelUpdater};
 pub use query::AppQuery;

@@ -116,6 +116,28 @@ pub fn render_comparison(comparison: &Comparison) -> String {
 /// no-fault layout is unchanged.
 pub fn render_sweep(report: &SweepReport) -> String {
     let with_faults = report.cells.iter().any(|cell| cell.key.has_faults());
+    // Metered sweeps (`--metrics`) grow three deterministic-counter columns
+    // from the adaptive run; unmetered reports keep their historical layout.
+    let with_metrics = report
+        .cells
+        .iter()
+        .any(|cell| cell.outcomes.iter().any(|o| o.adaptive_counters.is_some()));
+    // Mean of one named adaptive-run counter across a cell's seeds.
+    let mean_counter = |cell: &crate::sweep::CellReport, name: &str| -> Option<f64> {
+        let values: Vec<f64> = cell
+            .outcomes
+            .iter()
+            .filter_map(|o| o.adaptive_counters.as_ref())
+            .filter_map(|counters| {
+                counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v as f64)
+            })
+            .collect();
+        (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+    };
+    let fmt_counter = |value: Option<f64>| value.map_or("n/a".to_string(), |v| format!("{v:.0}"));
     let mut out = String::new();
     out.push_str(&format!(
         "== Scenario sweep: {} cells, {} runs ({} seeds each) ==\n",
@@ -137,6 +159,12 @@ pub fn render_sweep(report: &SweepReport) -> String {
     ));
     if with_faults {
         out.push_str(&format!(" {:<20} {:>6} {:>8}", "fault", "avail", "mttr(s)"));
+    }
+    if with_metrics {
+        out.push_str(&format!(
+            " {:>10} {:>8} {:>9}",
+            "probe-slv", "epochs", "plan-ops"
+        ));
     }
     out.push('\n');
     for cell in &report.cells {
@@ -178,6 +206,14 @@ pub fn render_sweep(report: &SweepReport) -> String {
             out.push_str(&format!(
                 " {:<20} {:>6} {:>8}",
                 cell.key.fault, availability, mttr
+            ));
+        }
+        if with_metrics {
+            out.push_str(&format!(
+                " {:>10} {:>8} {:>9}",
+                fmt_counter(mean_counter(cell, "simnet.probe.solves")),
+                fmt_counter(mean_counter(cell, "simnet.rate_epochs")),
+                fmt_counter(mean_counter(cell, "framework.plan_ops")),
             ));
         }
         out.push_str(&suffix);
@@ -272,6 +308,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let report = crate::sweep::run_sweep(&spec, 1).unwrap();
         let text = render_sweep(&report);
@@ -290,6 +327,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42],
             fault_profiles: vec!["single-link-cut".into()],
+            collect_metrics: false,
         };
         let report = crate::sweep::run_sweep(&spec, 1).unwrap();
         let text = render_sweep(&report);
@@ -300,6 +338,7 @@ mod tests {
         // A no-fault sweep keeps the original header without fault columns.
         let none = crate::sweep::SweepSpec {
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
             ..spec
         };
         let text = render_sweep(&crate::sweep::run_sweep(&none, 1).unwrap());

@@ -98,6 +98,12 @@ pub struct SweepSpec {
     /// `["none"]` injects nothing and keeps the report's serialisation
     /// byte-identical to the pre-faultsim layout.
     pub fault_profiles: Vec<String>,
+    /// When true every unit runs with a self-observability
+    /// [`obs::MetricsRegistry`] attached and its deterministic counters are
+    /// folded into each [`UnitOutcome`]. The default `false` runs with the
+    /// disabled `NullRegistry` and keeps reports byte-identical to the
+    /// pre-metrics layout.
+    pub collect_metrics: bool,
 }
 
 impl Serialize for SweepSpec {
@@ -120,6 +126,12 @@ impl Serialize for SweepSpec {
             fields.push((
                 "fault_profiles".to_string(),
                 self.fault_profiles.to_content(),
+            ));
+        }
+        if self.collect_metrics {
+            fields.push((
+                "collect_metrics".to_string(),
+                self.collect_metrics.to_content(),
             ));
         }
         Content::Map(fields)
@@ -192,6 +204,14 @@ impl SweepSpecBuilder {
         self
     }
 
+    /// Enables (or disables) per-unit metrics collection: when on, every run
+    /// carries a [`obs::MetricsRegistry`] and its deterministic counters are
+    /// attached to the unit outcomes.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.spec.collect_metrics = enabled;
+        self
+    }
+
     /// Validates the assembled spec and returns it.
     pub fn build(self) -> Result<SweepSpec, SweepError> {
         self.spec.validate()?;
@@ -223,6 +243,7 @@ impl SweepSpec {
                 "single-link-cut".into(),
                 "server-crash-midrun".into(),
             ],
+            collect_metrics: false,
         }
     }
 
@@ -242,6 +263,7 @@ impl SweepSpec {
             durations_secs: vec![300.0],
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
+            collect_metrics: false,
         }
     }
 
@@ -255,6 +277,7 @@ impl SweepSpec {
             durations_secs: vec![120.0],
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
+            collect_metrics: false,
         }
     }
 
@@ -439,16 +462,38 @@ impl SweepUnit {
     /// Runs this unit's control/adaptive comparison. The outcome is fully
     /// determined by the cell key and seed.
     pub fn run(&self) -> Result<UnitOutcome, SweepError> {
-        self.run_into(tracestore::null_sink(), tracestore::null_sink())
+        self.run_into(tracestore::null_sink(), tracestore::null_sink(), false)
+    }
+
+    /// [`SweepUnit::run`] with a metrics registry attached to each run: the
+    /// outcome carries the deterministic counter snapshots of both the
+    /// control and the adaptive run (see [`UnitOutcome::control_counters`]).
+    pub fn run_metered(&self) -> Result<UnitOutcome, SweepError> {
+        self.run_into(tracestore::null_sink(), tracestore::null_sink(), true)
     }
 
     /// [`SweepUnit::run`] with the unit's full event streams collected: the
     /// control and adaptive runs each append into their own buffer, returned
     /// alongside the outcome for the harness to persist.
     pub fn run_traced(&self) -> Result<(UnitOutcome, UnitEvents), SweepError> {
+        self.run_unit(true, false)
+    }
+
+    /// The general entry point the sweep harness drives: `traced` collects
+    /// event streams, `metered` attaches metrics registries.
+    fn run_unit(
+        &self,
+        traced: bool,
+        metered: bool,
+    ) -> Result<(UnitOutcome, UnitEvents), SweepError> {
+        if !traced {
+            let outcome =
+                self.run_into(tracestore::null_sink(), tracestore::null_sink(), metered)?;
+            return Ok((outcome, UnitEvents::default()));
+        }
         let (control_buffer, control_sink) = tracestore::shared_buffer();
         let (adaptive_buffer, adaptive_sink) = tracestore::shared_buffer();
-        let outcome = self.run_into(control_sink, adaptive_sink)?;
+        let outcome = self.run_into(control_sink, adaptive_sink, metered)?;
         Ok((
             outcome,
             UnitEvents {
@@ -477,6 +522,7 @@ impl SweepUnit {
         &self,
         control_sink: tracestore::SharedSink,
         adaptive_sink: tracestore::SharedSink,
+        metered: bool,
     ) -> Result<UnitOutcome, SweepError> {
         let testbed = TestbedSpec::by_name(&self.key.topology)
             .ok_or_else(|| SweepError::UnknownTopology(self.key.topology.clone()))?;
@@ -493,27 +539,49 @@ impl SweepUnit {
             .ok_or_else(|| SweepError::UnknownStrategy(self.key.strategy.clone()))?;
         let faults = fault_profile_by_name(&self.key.fault, self.key.duration_secs)
             .ok_or_else(|| SweepError::UnknownFault(self.key.fault.clone()))?;
-        let comparison = Comparison::run_with_faults_traced(
+        // A metered unit carries one registry per run; the snapshots hold
+        // only deterministic counters, so the outcome stays worker-count
+        // invariant even with metrics on.
+        let (control_registry, control_metrics) = if metered {
+            let (registry, handle) = obs::shared_registry();
+            (Some(registry), handle)
+        } else {
+            (None, obs::null_metrics())
+        };
+        let (adaptive_registry, adaptive_metrics) = if metered {
+            let (registry, handle) = obs::shared_registry();
+            (Some(registry), handle)
+        } else {
+            (None, obs::null_metrics())
+        };
+        let comparison = Comparison::run_with_faults_observed(
             grid,
             framework,
             Some(&schedule),
             Some(&faults),
             self.key.duration_secs,
-            control_sink,
-            adaptive_sink,
+            (control_sink, control_metrics),
+            (adaptive_sink, adaptive_metrics),
         )
         .map_err(|e| SweepError::Run {
             unit: self.index,
             message: e.to_string(),
         })?;
-        if !self.key.has_faults() {
-            return Ok(UnitOutcome::of(self.seed, &comparison));
+        let mut outcome = UnitOutcome::of(self.seed, &comparison);
+        if self.key.has_faults() {
+            outcome.resilience = Some(UnitResilience::of(
+                &comparison,
+                self.key.duration_secs,
+                &grid,
+            ));
         }
-        let resilience = UnitResilience::of(&comparison, self.key.duration_secs, &grid);
-        Ok(UnitOutcome {
-            resilience: Some(resilience),
-            ..UnitOutcome::of(self.seed, &comparison)
-        })
+        if let Some(registry) = control_registry {
+            outcome.control_counters = Some(registry.snapshot().counters);
+        }
+        if let Some(registry) = adaptive_registry {
+            outcome.adaptive_counters = Some(registry.snapshot().counters);
+        }
+        Ok(outcome)
     }
 }
 
@@ -626,6 +694,22 @@ pub struct UnitOutcome {
     pub client_moves: u64,
     /// Resilience metrics, present only for fault-injected units.
     pub resilience: Option<UnitResilience>,
+    /// Deterministic control-run counters, present only for metered units
+    /// (see [`SweepSpec::collect_metrics`]). Name-sorted; worker-count
+    /// invariant by construction.
+    pub control_counters: Option<Vec<(String, u64)>>,
+    /// Deterministic adaptive-run counters, present only for metered units.
+    pub adaptive_counters: Option<Vec<(String, u64)>>,
+}
+
+/// Serialises a name-sorted counter list as a JSON object of integers.
+fn counters_to_content(counters: &[(String, u64)]) -> Content {
+    Content::Map(
+        counters
+            .iter()
+            .map(|(name, value)| (name.clone(), Content::U64(*value)))
+            .collect(),
+    )
 }
 
 impl Serialize for UnitOutcome {
@@ -677,6 +761,18 @@ impl Serialize for UnitOutcome {
         if let Some(resilience) = &self.resilience {
             fields.push(("resilience".to_string(), resilience.to_content()));
         }
+        if let Some(counters) = &self.control_counters {
+            fields.push((
+                "control_counters".to_string(),
+                counters_to_content(counters),
+            ));
+        }
+        if let Some(counters) = &self.adaptive_counters {
+            fields.push((
+                "adaptive_counters".to_string(),
+                counters_to_content(counters),
+            ));
+        }
         Content::Map(fields)
     }
 }
@@ -702,6 +798,8 @@ impl UnitOutcome {
             servers_activated: adaptive.servers_activated,
             client_moves: adaptive.client_moves,
             resilience: None,
+            control_counters: None,
+            adaptive_counters: None,
         }
     }
 }
@@ -1021,11 +1119,7 @@ fn run_sweep_inner(
                 if i >= total {
                     break;
                 }
-                let outcome = if traced {
-                    units[i].run_traced()
-                } else {
-                    units[i].run().map(|o| (o, UnitEvents::default()))
-                };
+                let outcome = units[i].run_unit(traced, spec.collect_metrics);
                 slots.lock().expect("no worker panicked")[i] = Some(outcome);
             });
         }
@@ -1067,6 +1161,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
+            collect_metrics: false,
         }
     }
 
@@ -1198,6 +1293,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let report = run_sweep(&spec, 1).unwrap();
         let json = report.to_json_string();
@@ -1218,6 +1314,7 @@ mod tests {
             durations_secs: vec![150.0],
             seeds: vec![42, 7],
             fault_profiles: vec!["none".into(), "server-crash-midrun".into()],
+            collect_metrics: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, 3).unwrap();
@@ -1273,6 +1370,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42, 7],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, 4).unwrap();
@@ -1295,6 +1393,7 @@ mod tests {
             durations_secs: vec![60.0],
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let report = run_sweep(&spec, 1).unwrap();
         let json = report.to_json_string();
@@ -1315,6 +1414,7 @@ mod tests {
             durations_secs: vec![90.0],
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let a1 = run_sweep(&mk("adaptive"), 1).unwrap();
         let a2 = run_sweep(&mk("adaptive"), 2).unwrap();

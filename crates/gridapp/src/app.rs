@@ -175,6 +175,11 @@ pub struct GridApp {
     /// Where transfer-lifecycle observations go; the default `NullSink` is
     /// disabled, so emission costs nothing unless a collector is attached.
     sink: tracestore::SharedSink,
+    /// Lifetime `(machine, group)` memo hits/misses across
+    /// [`flow_snapshot`](Self::flow_snapshot) calls (cells: the snapshot
+    /// takes `&self`). Observability only.
+    flow_memo_hits: std::cell::Cell<u64>,
+    flow_memo_misses: std::cell::Cell<u64>,
 }
 
 impl GridApp {
@@ -310,6 +315,8 @@ impl GridApp {
             sending_index: HashMap::new(),
             idle,
             sink: tracestore::null_sink(),
+            flow_memo_hits: std::cell::Cell::new(0),
+            flow_memo_misses: std::cell::Cell::new(0),
         })
     }
 
@@ -1013,6 +1020,36 @@ impl GridApp {
         self.network.aggregation_stats()
     }
 
+    /// Lifetime number of probe queries (memo hits included) the underlying
+    /// network has answered; minus [`probe_solve_count`](Self::probe_solve_count)
+    /// it gives the per-epoch memo's hit count.
+    pub fn probe_query_count(&self) -> u64 {
+        self.network.probe_query_count()
+    }
+
+    /// Lifetime number of allocation-epoch rebuilds (full max-min re-solves)
+    /// the underlying network has performed.
+    pub fn rate_epoch_count(&self) -> u64 {
+        self.network.rate_epoch_count()
+    }
+
+    /// Usage counters of the network's shortest-path table.
+    pub fn path_table_stats(&self) -> simnet::PathTableStats {
+        self.network.path_table_stats()
+    }
+
+    /// Combined lifetime operation counts of the event loop's two calendar
+    /// queues (pending request dues + busy server dues).
+    pub fn due_queue_stats(&self) -> crate::due::DueQueueStats {
+        self.request_due.stats() + self.service_due.stats()
+    }
+
+    /// Lifetime `(machine, group)` memo hits and misses across
+    /// [`flow_snapshot`](Self::flow_snapshot) calls, as `(hits, misses)`.
+    pub fn flow_memo_stats(&self) -> (u64, u64) {
+        (self.flow_memo_hits.get(), self.flow_memo_misses.get())
+    }
+
     /// `remos_get_flow(clIP, svIP)`: predicted bandwidth between a client and
     /// a server group, taken as the best available bandwidth from any of the
     /// group's active servers to the client.
@@ -1335,8 +1372,12 @@ impl GridApp {
         for (name, client) in &self.clients {
             let key = (client.host, client.group.clone());
             let flow = match memo.get(&key) {
-                Some(&cached) => cached,
+                Some(&cached) => {
+                    self.flow_memo_hits.set(self.flow_memo_hits.get() + 1);
+                    cached
+                }
                 None => {
+                    self.flow_memo_misses.set(self.flow_memo_misses.get() + 1);
                     let value = self.remos_get_flow(name, &client.group).ok();
                     memo.insert(key, value);
                     value

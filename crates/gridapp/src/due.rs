@@ -36,6 +36,36 @@ pub struct DueQueue {
     len: usize,
     /// Cached lexicographic minimum entry, maintained across mutations.
     min: Option<(SimTime, u32)>,
+    /// Lifetime operation counters (observability only, never behaviour).
+    inserts: u64,
+    removes: u64,
+    /// `collect_due` is `&self`, hence the cell.
+    collected: std::cell::Cell<u64>,
+}
+
+/// Lifetime operation counts of a [`DueQueue`]: inserts, successful
+/// removals, and entries yielded by [`collect_due`](DueQueue::collect_due).
+/// Deterministic for a given run; they never influence scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DueQueueStats {
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries successfully removed.
+    pub removes: u64,
+    /// Entries yielded by due-window scans.
+    pub collected: u64,
+}
+
+impl std::ops::Add for DueQueueStats {
+    type Output = DueQueueStats;
+
+    fn add(self, other: DueQueueStats) -> DueQueueStats {
+        DueQueueStats {
+            inserts: self.inserts + other.inserts,
+            removes: self.removes + other.removes,
+            collected: self.collected + other.collected,
+        }
+    }
 }
 
 fn bucket_of(t: SimTime) -> u64 {
@@ -87,6 +117,7 @@ impl DueQueue {
         }
         self.buckets[(b - self.base) as usize].push((due, index));
         self.len += 1;
+        self.inserts += 1;
         if self.min.is_none_or(|m| (due, index) < m) {
             self.min = Some((due, index));
         }
@@ -107,6 +138,7 @@ impl DueQueue {
         };
         bucket.swap_remove(pos);
         self.len -= 1;
+        self.removes += 1;
         if self.min == Some((due, index)) {
             self.recompute_min();
         }
@@ -130,12 +162,24 @@ impl DueQueue {
             return;
         }
         let end = ((last - self.base) as usize + 1).min(self.buckets.len());
+        let before = out.len();
         for bucket in self.buckets.iter().take(end) {
             for &(due, index) in bucket {
                 if due <= t {
                     out.push((due, index));
                 }
             }
+        }
+        self.collected
+            .set(self.collected.get() + (out.len() - before) as u64);
+    }
+
+    /// Lifetime operation counts (observability only).
+    pub fn stats(&self) -> DueQueueStats {
+        DueQueueStats {
+            inserts: self.inserts,
+            removes: self.removes,
+            collected: self.collected.get(),
         }
     }
 

@@ -28,7 +28,7 @@ pub mod workload;
 
 pub use app::{AppError, CompletedRequest, FlowSnapshot, GridApp, SERVER_GROUP_1, SERVER_GROUP_2};
 pub use config::GridConfig;
-pub use due::DueQueue;
+pub use due::{DueQueue, DueQueueStats};
 pub use metrics::Metrics;
 pub use probes::{
     sample_bandwidth_probe, sample_flow_probes, sample_flow_probes_from, sample_latency_probe,

@@ -43,5 +43,7 @@ pub use registry::{Registry, RegistryError};
 pub use rng::SimRng;
 pub use stats::{quantile_of, StepSchedule, Summary, TimeSeries};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Link, LinkId, Node, NodeId, NodeKind, PathTable, Topology, TopologyError};
+pub use topology::{
+    Link, LinkId, Node, NodeId, NodeKind, PathTable, PathTableStats, Topology, TopologyError,
+};
 pub use trace::{Trace, TraceEntry, TraceKind};

@@ -251,6 +251,12 @@ pub struct Network {
     /// Lifetime count of max-min probe *solves* (memo misses) — the unit the
     /// symmetry-aware probe sharing is measured in.
     probe_solves: std::cell::Cell<u64>,
+    /// Lifetime count of probe *queries* (memo hits included); queries minus
+    /// solves is the memo's hit count.
+    probe_queries: std::cell::Cell<u64>,
+    /// Lifetime count of allocation-epoch rebuilds ([`recompute_rates`]
+    /// runs) — the dominant control-plane cost driver at scale.
+    rate_epochs: u64,
     /// Class-aggregation state (inert until classes are injected).
     agg: AggState,
 }
@@ -283,6 +289,8 @@ impl Network {
             link_scratch: RefCell::new(Vec::new()),
             probe_memo: RefCell::new(HashMap::new()),
             probe_solves: std::cell::Cell::new(0),
+            probe_queries: std::cell::Cell::new(0),
+            rate_epochs: 0,
             agg: AggState::default(),
         };
         network.refresh_caps();
@@ -700,6 +708,7 @@ impl Network {
     /// classes, symmetric transfers fold into aggregate rows first — the
     /// rates that come back are bit-identical either way.
     fn recompute_rates(&mut self) {
+        self.rate_epochs += 1;
         if self.caps_dirty {
             self.refresh_caps();
         }
@@ -921,6 +930,7 @@ impl Network {
     /// mutation. Both shortcuts are exact — the answer is bit-identical to a
     /// full re-solve with the probe included.
     pub fn available_bandwidth(&self, src: NodeId, dst: NodeId) -> Result<f64, NetError> {
+        self.probe_queries.set(self.probe_queries.get() + 1);
         if let Some(&cached) = self.probe_memo.borrow().get(&(src, dst)) {
             return Ok(cached);
         }
@@ -952,6 +962,26 @@ impl Network {
     /// this counter; it never influences behaviour.
     pub fn probe_solve_count(&self) -> u64 {
         self.probe_solves.get()
+    }
+
+    /// Lifetime number of probe *queries* (memo hits included). The memo's
+    /// hit count is `probe_query_count() - probe_solve_count()`. Like every
+    /// observability counter, it never influences behaviour.
+    pub fn probe_query_count(&self) -> u64 {
+        self.probe_queries.get()
+    }
+
+    /// Lifetime number of allocation-epoch rebuilds (full max-min
+    /// re-solves). Deterministic for a given run — the rebuild schedule is
+    /// driven entirely by simulated mutations.
+    pub fn rate_epoch_count(&self) -> u64 {
+        self.rate_epochs
+    }
+
+    /// Usage counters of the shortest-path table (trees built lazily vs
+    /// path lookups answered).
+    pub fn path_table_stats(&self) -> crate::topology::PathTableStats {
+        self.paths.borrow().stats()
     }
 
     /// Injects network-position classes for client hosts, enabling aggregate

@@ -447,6 +447,21 @@ pub struct PathTable {
     trees: Vec<Option<SourceTree>>,
     /// Leaf-compressed routing (see [`set_leaf_compressed`](Self::set_leaf_compressed)).
     leaf_compressed: bool,
+    /// Lifetime count of source trees built lazily (cache misses).
+    trees_built: u64,
+    /// Lifetime count of path queries answered.
+    lookups: u64,
+}
+
+/// Usage counters of a [`PathTable`]: how many source trees were built vs
+/// how many path queries they answered. Observability only — the values
+/// never influence routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PathTableStats {
+    /// Shortest-path trees computed on first demand.
+    pub trees_built: u64,
+    /// Path queries answered ([`PathTable::path_into`] calls).
+    pub lookups: u64,
 }
 
 impl PathTable {
@@ -481,8 +496,17 @@ impl PathTable {
         let slot = &mut self.trees[src.0];
         if slot.is_none() {
             *slot = Some(topology.shortest_path_tree(src));
+            self.trees_built += 1;
         }
         slot.as_ref().expect("just computed")
+    }
+
+    /// Usage counters: trees built so far vs lookups answered.
+    pub fn stats(&self) -> PathTableStats {
+        PathTableStats {
+            trees_built: self.trees_built,
+            lookups: self.lookups,
+        }
     }
 
     /// Appends the link sequence of the shortest path from `src` to `dst`
@@ -495,6 +519,7 @@ impl PathTable {
         dst: NodeId,
         out: &mut Vec<LinkId>,
     ) -> Result<(), TopologyError> {
+        self.lookups += 1;
         topology.node(src)?;
         topology.node(dst)?;
         if src == dst {

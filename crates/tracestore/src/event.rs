@@ -36,11 +36,15 @@ pub enum EventKind {
     Transfer = 7,
     /// Anything else worth keeping (deploy notices, planner notes).
     Info = 8,
+    /// A control-plane metric snapshot sample (a deterministic counter or
+    /// gauge from the framework's self-observability registry, emitted at a
+    /// fixed sim-time cadence).
+    Metric = 9,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 10] = [
         EventKind::Gauge,
         EventKind::Violation,
         EventKind::RepairStart,
@@ -50,6 +54,7 @@ impl EventKind {
         EventKind::Fault,
         EventKind::Transfer,
         EventKind::Info,
+        EventKind::Metric,
     ];
 
     /// The stable on-disk code.
@@ -75,6 +80,7 @@ impl EventKind {
             EventKind::Fault => "fault",
             EventKind::Transfer => "transfer",
             EventKind::Info => "info",
+            EventKind::Metric => "metric",
         }
     }
 

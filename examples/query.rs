@@ -44,7 +44,7 @@ fn usage() -> ! {
          \x20 --run SUBSTR                  run id contains SUBSTR\n\
          \x20 --kind K1[,K2,...]            event kinds (gauge, violation, repair-start,\n\
          \x20                               repair-end, repair-aborted, reconfiguration,\n\
-         \x20                               fault, transfer, info)\n\
+         \x20                               fault, transfer, info, metric)\n\
          \x20 --window FROM,UNTIL           inclusive simulated-time window (seconds)\n\
          \x20 --where EXPR                  Armani-style predicate over event fields\n\
          ops: count, mean, min, max, sum, p95; fields: none, run, kind, subject, detail"
@@ -53,18 +53,7 @@ fn usage() -> ! {
 }
 
 fn kind_by_name(name: &str) -> EventKind {
-    let all = [
-        EventKind::Gauge,
-        EventKind::Violation,
-        EventKind::RepairStart,
-        EventKind::RepairEnd,
-        EventKind::RepairAborted,
-        EventKind::Reconfiguration,
-        EventKind::Fault,
-        EventKind::Transfer,
-        EventKind::Info,
-    ];
-    match all.iter().find(|k| k.name() == name) {
+    match EventKind::ALL.iter().find(|k| k.name() == name) {
         Some(kind) => *kind,
         None => {
             eprintln!("unknown event kind: {name}");

@@ -10,6 +10,7 @@
 //! cargo run --release --example sweep -- --smoke --faults single-link-cut
 //! cargo run --release --example sweep -- --faults none,server-crash-midrun
 //! cargo run --release --example sweep -- --smoke --trace-store traces/
+//! cargo run --release --example sweep -- --smoke --metrics
 //! ```
 //!
 //! The JSON report is byte-identical for the same matrix regardless of the
@@ -34,6 +35,7 @@ fn main() {
     let mut durations: Option<Vec<f64>> = None;
     let mut seeds: Option<Vec<u64>> = None;
     let mut faults: Option<Vec<String>> = None;
+    let mut metrics = false;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "sweep_report.json".to_string();
     let mut store_path: Option<String> = None;
@@ -103,12 +105,13 @@ fn main() {
                     .expect("--faults takes a comma-separated list of fault profiles");
                 faults = Some(list(&value));
             }
+            "--metrics" => metrics = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--workloads W1,W2,...] \
                      [--strategies S1,S2,...] [--durations D1,D2,...] [--seeds N1,N2,...] [--workers N] \
-                     [--out FILE] [--trace-store DIR] [--faults P1,P2,...]"
+                     [--out FILE] [--trace-store DIR] [--faults P1,P2,...] [--metrics]"
                 );
                 eprintln!(
                     "topology presets: {}",
@@ -152,6 +155,9 @@ fn main() {
     }
     if let Some(faults) = faults {
         builder = builder.fault_profiles(faults);
+    }
+    if metrics {
+        builder = builder.metrics(true);
     }
     let spec = match builder.build() {
         Ok(spec) => spec,

@@ -68,6 +68,7 @@ fn sweep_flow_runs_renders_and_serialises() {
         durations_secs: vec![60.0],
         seeds: vec![42],
         fault_profiles: vec!["none".into()],
+        collect_metrics: false,
     };
     let report = arch_adapt::sweep::run_sweep(&spec, 2).expect("sweep runs");
     let table = arch_adapt::report::render_sweep(&report);

@@ -33,6 +33,7 @@ proptest! {
             durations_secs: vec![45.0],
             seeds: vec![seed_a, seed_b],
             fault_profiles: vec!["none".into()],
+            collect_metrics: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -61,6 +62,7 @@ proptest! {
             durations_secs: vec![60.0],
             seeds: vec![seed, seed.wrapping_add(1)],
             fault_profiles: vec!["none".into(), profiles[fault].to_string()],
+            collect_metrics: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -83,6 +85,7 @@ fn planned_repair_sweep_is_worker_count_invariant() {
         durations_secs: vec![90.0],
         seeds: vec![42, 7],
         fault_profiles: vec!["none".into()],
+        collect_metrics: false,
     };
     let serial = run_sweep(&spec, 1).unwrap();
     for workers in [2, 5] {
@@ -156,6 +159,7 @@ fn traced_sweep_store_is_worker_count_invariant() {
         durations_secs: vec![60.0],
         seeds: vec![1, 2, 3],
         fault_profiles: vec!["none".into(), "single-link-cut".into()],
+        collect_metrics: false,
     };
     let untraced = run_sweep(&spec, 2).unwrap();
 
@@ -196,6 +200,7 @@ fn multi_cell_sweep_is_worker_count_invariant() {
         durations_secs: vec![60.0],
         seeds: vec![1, 2, 3],
         fault_profiles: vec!["none".into()],
+        collect_metrics: false,
     };
     let serial = run_sweep(&spec, 1).unwrap();
     for workers in [2, 3, 8] {
