@@ -344,16 +344,19 @@ pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
         ModelOp::MoveClientGroup { clients, to_group } => {
             move_client_group_op(system, clients, to_group)
         }
+        // Property ops go through the journaled setters so committed repairs
+        // feed the incremental constraint checker's dirty set.
         ModelOp::SetComponentProperty {
             component,
             property,
             value,
         } => {
             let cid = find_component(system, component)?;
-            system
-                .component_mut(cid)?
-                .properties
-                .set(property.clone(), value.clone());
+            system.set_property(
+                crate::element::ElementRef::Component(cid),
+                property,
+                value.clone(),
+            )?;
             Ok(())
         }
         ModelOp::SetConnectorProperty {
@@ -364,10 +367,11 @@ pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
             let cid = system
                 .connector_by_name(connector)
                 .ok_or_else(|| ChangeError::NotFound(format!("connector {connector}")))?;
-            system
-                .connector_mut(cid)?
-                .properties
-                .set(property.clone(), value.clone());
+            system.set_property(
+                crate::element::ElementRef::Connector(cid),
+                property,
+                value.clone(),
+            )?;
             Ok(())
         }
         ModelOp::SetRoleProperty {
@@ -377,14 +381,15 @@ pub fn apply_op(system: &mut System, op: &ModelOp) -> Result<(), ChangeError> {
             value,
         } => {
             let rid = find_role(system, connector, role)?;
-            system
-                .role_mut(rid)?
-                .properties
-                .set(property.clone(), value.clone());
+            system.set_property(
+                crate::element::ElementRef::Role(rid),
+                property,
+                value.clone(),
+            )?;
             Ok(())
         }
         ModelOp::SetSystemProperty { property, value } => {
-            system.properties.set(property.clone(), value.clone());
+            system.set_system_property(property.as_str(), value.clone());
             Ok(())
         }
     }

@@ -7,8 +7,11 @@
 //! strategy (§3.2).
 
 use crate::element::ElementRef;
-use crate::expr::{eval_bool, parse, Bindings, EvalError, EvalValue, Expr, ParseError};
-use crate::system::System;
+use crate::expr::{
+    eval_bool, parse, Bindings, EvalError, EvalValue, Expr, ParseError, PropertyReadSet,
+};
+use crate::key::Key;
+use crate::system::{ModelDelta, System};
 use serde::{Deserialize, Serialize};
 
 /// What an invariant ranges over.
@@ -69,16 +72,38 @@ pub struct Violation {
 }
 
 /// Result of checking a constraint set against the model.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CheckReport {
     /// Constraints that evaluated to false.
     pub violations: Vec<Violation>,
     /// Constraints that could not be evaluated (e.g. a gauge has not yet
     /// reported the property). These are *not* treated as violations.
     pub errors: Vec<String>,
-    /// How many (invariant, element) pairs were evaluated.
+    /// How many (invariant, element) pairs were actually evaluated.
     pub evaluated: usize,
+    /// How many (invariant, element) pairs were pruned by the dirty set and
+    /// replayed from cache instead of re-evaluated. Always zero for a full
+    /// sweep; `evaluated + skipped` equals the full sweep's `evaluated`.
+    pub skipped: usize,
 }
+
+impl Serialize for CheckReport {
+    // Hand-written so `skipped` is emitted only when non-zero: full-sweep
+    // reports keep their historic serialized shape byte for byte.
+    fn to_content(&self) -> serde::Content {
+        let mut fields = vec![
+            ("violations".to_string(), self.violations.to_content()),
+            ("errors".to_string(), self.errors.to_content()),
+            ("evaluated".to_string(), self.evaluated.to_content()),
+        ];
+        if self.skipped != 0 {
+            fields.push(("skipped".to_string(), self.skipped.to_content()));
+        }
+        serde::Content::Map(fields)
+    }
+}
+
+impl Deserialize for CheckReport {}
 
 impl CheckReport {
     /// True when no constraint was violated.
@@ -144,49 +169,216 @@ impl ConstraintSet {
     }
 
     fn check_one(&self, invariant: &Invariant, system: &System, report: &mut CheckReport) {
-        let subjects: Vec<(Option<ElementRef>, String)> = match &invariant.scope {
-            ConstraintScope::System => vec![(None, system.name.clone())],
-            ConstraintScope::EachComponent(ctype) => system
-                .components_of_type(ctype)
-                .map(|(id, c)| (Some(ElementRef::Component(id)), c.name.clone()))
-                .collect(),
-            ConstraintScope::EachConnector(ctype) => system
-                .connectors()
-                .filter(|(_, c)| &c.ctype == ctype)
-                .map(|(id, c)| (Some(ElementRef::Connector(id)), c.name.clone()))
-                .collect(),
-            ConstraintScope::EachRole(rtype) => system
-                .roles()
-                .filter(|(_, r)| &r.rtype == rtype)
-                .map(|(id, r)| (Some(ElementRef::Role(id)), r.name.clone()))
-                .collect(),
-        };
-
-        for (subject, subject_name) in subjects {
-            let mut bindings = Bindings::new();
-            if let Some(el) = subject {
-                bindings.insert("self".to_string(), EvalValue::Element(el));
-            }
+        for (subject, subject_name) in subjects_of(invariant, system) {
             report.evaluated += 1;
-            match eval_bool(&invariant.expression, system, &bindings) {
-                Ok(true) => {}
-                Ok(false) => report.violations.push(Violation {
-                    invariant: invariant.name.clone(),
+            let outcome = evaluate_pair(invariant, system, subject, &subject_name);
+            outcome.append_to(report);
+        }
+    }
+}
+
+/// The subjects an invariant ranges over, in the order a full sweep visits
+/// them (system, then elements in id order).
+fn subjects_of(invariant: &Invariant, system: &System) -> Vec<(Option<ElementRef>, String)> {
+    match &invariant.scope {
+        ConstraintScope::System => vec![(None, system.name.clone())],
+        ConstraintScope::EachComponent(ctype) => system
+            .components_of_type(ctype)
+            .map(|(id, c)| (Some(ElementRef::Component(id)), c.name.clone()))
+            .collect(),
+        ConstraintScope::EachConnector(ctype) => system
+            .connectors()
+            .filter(|(_, c)| &c.ctype == ctype)
+            .map(|(id, c)| (Some(ElementRef::Connector(id)), c.name.clone()))
+            .collect(),
+        ConstraintScope::EachRole(rtype) => system
+            .roles()
+            .filter(|(_, r)| &r.rtype == rtype)
+            .map(|(id, r)| (Some(ElementRef::Role(id)), r.name.clone()))
+            .collect(),
+    }
+}
+
+/// The cached outcome of evaluating one (invariant, subject) pair. The
+/// incremental checker replays these for pairs the dirty set did not touch,
+/// reproducing the full sweep's report byte for byte — a persisting
+/// violation (or a still-missing gauge property) is re-emitted on every
+/// check, exactly as a full sweep re-detects it.
+#[derive(Debug, Clone, PartialEq)]
+enum PairOutcome {
+    /// The constraint held.
+    Holds,
+    /// The constraint evaluated to false.
+    Violated(Violation),
+    /// Evaluation failed; the formatted report line is cached verbatim.
+    Error(String),
+}
+
+impl PairOutcome {
+    fn append_to(&self, report: &mut CheckReport) {
+        match self {
+            PairOutcome::Holds => {}
+            PairOutcome::Violated(v) => report.violations.push(v.clone()),
+            PairOutcome::Error(e) => report.errors.push(e.clone()),
+        }
+    }
+}
+
+/// Evaluates one (invariant, subject) pair — the single source of truth for
+/// both the full sweep and the incremental checker.
+fn evaluate_pair(
+    invariant: &Invariant,
+    system: &System,
+    subject: Option<ElementRef>,
+    subject_name: &str,
+) -> PairOutcome {
+    let mut bindings = Bindings::new();
+    if let Some(el) = subject {
+        bindings.insert("self".to_string(), EvalValue::Element(el));
+    }
+    match eval_bool(&invariant.expression, system, &bindings) {
+        Ok(true) => PairOutcome::Holds,
+        Ok(false) => PairOutcome::Violated(Violation {
+            invariant: invariant.name.clone(),
+            subject,
+            subject_name: subject_name.to_string(),
+            detail: invariant.source.clone(),
+        }),
+        Err(EvalError::MissingProperty(el, prop)) => PairOutcome::Error(format!(
+            "invariant {}: property {prop} not yet observed on {el}",
+            invariant.name
+        )),
+        Err(e) => PairOutcome::Error(format!("invariant {}: {e}", invariant.name)),
+    }
+}
+
+/// One cached (invariant, subject) pair.
+#[derive(Debug, Clone)]
+struct PairState {
+    subject: Option<ElementRef>,
+    subject_name: String,
+    outcome: PairOutcome,
+}
+
+/// Cached per-invariant state: the read-set (computed once per rebuild) and
+/// the subject list with each pair's last outcome, in sweep order.
+#[derive(Debug, Clone)]
+struct InvariantState {
+    reads: PropertyReadSet,
+    /// `reads.self_props` interned for O(1) dirty-set intersection.
+    self_keys: Vec<Key>,
+    /// `reads.idents` interned for dirty-system-property intersection.
+    ident_keys: Vec<Key>,
+    pairs: Vec<PairState>,
+}
+
+/// Delta-driven constraint checker.
+///
+/// Drains the system's change journal on each check and re-evaluates only
+/// the (invariant, element) pairs whose read-set intersects the dirty set;
+/// every other pair replays its cached outcome in the original sweep order,
+/// so the produced [`CheckReport`] — violations, errors, and their order —
+/// is byte-identical to `ConstraintSet::check` on the same model. Structural
+/// model changes (or a constraint-set change) conservatively invalidate the
+/// cache and trigger a full re-scan.
+///
+/// Soundness rests on every model mutation between checks going through the
+/// journaled paths (`System::set_property` and friends, the change-op
+/// machinery); raw `component_mut`-style access bypasses the journal and is
+/// reserved for model construction.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalChecker {
+    invariants: Vec<InvariantState>,
+    primed: bool,
+}
+
+impl IncrementalChecker {
+    /// Creates a checker with an empty cache; the first check is a full
+    /// sweep.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks `constraints` against `system`, draining its change journal.
+    ///
+    /// Equivalent to `constraints.check(system)` except that untouched pairs
+    /// are counted in `skipped` rather than `evaluated`.
+    pub fn check(&mut self, constraints: &ConstraintSet, system: &mut System) -> CheckReport {
+        let delta = system.drain_changes();
+        if !self.primed || delta.structural || self.invariants.len() != constraints.len() {
+            return self.rebuild(constraints, system);
+        }
+        self.replay(constraints, system, &delta)
+    }
+
+    /// Full sweep that (re)builds the cached subject lists and outcomes.
+    fn rebuild(&mut self, constraints: &ConstraintSet, system: &System) -> CheckReport {
+        self.invariants.clear();
+        let mut report = CheckReport::default();
+        for invariant in constraints.invariants() {
+            let reads = invariant.expression.referenced_properties();
+            let self_keys = reads.self_props.iter().map(|p| Key::new(p)).collect();
+            let ident_keys = reads.idents.iter().map(|p| Key::new(p)).collect();
+            let mut pairs = Vec::new();
+            for (subject, subject_name) in subjects_of(invariant, system) {
+                report.evaluated += 1;
+                let outcome = evaluate_pair(invariant, system, subject, &subject_name);
+                outcome.append_to(&mut report);
+                pairs.push(PairState {
                     subject,
-                    subject_name: subject_name.clone(),
-                    detail: invariant.source.clone(),
-                }),
-                Err(EvalError::MissingProperty(el, prop)) => {
-                    report.errors.push(format!(
-                        "invariant {}: property {prop} not yet observed on {el}",
-                        invariant.name
-                    ));
+                    subject_name,
+                    outcome,
+                });
+            }
+            self.invariants.push(InvariantState {
+                reads,
+                self_keys,
+                ident_keys,
+                pairs,
+            });
+        }
+        self.primed = true;
+        report
+    }
+
+    /// Delta check: re-evaluate dirty pairs, replay the rest from cache.
+    fn replay(
+        &mut self,
+        constraints: &ConstraintSet,
+        system: &System,
+        delta: &ModelDelta,
+    ) -> CheckReport {
+        let mut report = CheckReport::default();
+        for (invariant, state) in constraints.invariants().iter().zip(&mut self.invariants) {
+            // An opaque read-set can observe anything, so any change at all
+            // re-evaluates the whole invariant; a dirty system property in
+            // the ident set likewise affects every pair (thresholds such as
+            // `maxLatency` are compared by each subject).
+            let eval_all = (state.reads.opaque && !delta.is_empty())
+                || state
+                    .ident_keys
+                    .iter()
+                    .any(|k| delta.dirty_system.contains(k));
+            for pair in &mut state.pairs {
+                let dirty = eval_all
+                    || match pair.subject {
+                        Some(el) => state
+                            .self_keys
+                            .iter()
+                            .any(|k| delta.dirty.contains(&(el, *k))),
+                        None => false,
+                    };
+                if dirty {
+                    report.evaluated += 1;
+                    pair.outcome =
+                        evaluate_pair(invariant, system, pair.subject, &pair.subject_name);
+                } else {
+                    report.skipped += 1;
                 }
-                Err(e) => report
-                    .errors
-                    .push(format!("invariant {}: {e}", invariant.name)),
+                pair.outcome.append_to(&mut report);
             }
         }
+        report
     }
 }
 
@@ -312,5 +504,157 @@ mod tests {
     #[test]
     fn parse_error_surfaces() {
         assert!(Invariant::parse("bad", ConstraintScope::System, "a ==").is_err());
+    }
+
+    #[test]
+    fn incremental_check_skips_clean_pairs_and_matches_full_sweep() {
+        let mut sys = system_with_clients();
+        let set = ConstraintSet::new().with(latency_invariant());
+        let mut checker = IncrementalChecker::new();
+
+        // First check primes the cache with a full sweep.
+        let first = checker.check(&set, &mut sys);
+        assert_eq!(first.evaluated, 3);
+        assert_eq!(first.skipped, 0);
+        assert_eq!(
+            CheckReport {
+                skipped: 0,
+                ..first.clone()
+            },
+            set.check(&sys)
+        );
+
+        // Nothing changed: everything replays from cache.
+        let steady = checker.check(&set, &mut sys);
+        assert_eq!(steady.evaluated, 0);
+        assert_eq!(steady.skipped, 3);
+        assert_eq!(steady.violations, first.violations);
+        assert_eq!(steady.errors, first.errors);
+
+        // One client's latency changes: only its pair re-evaluates, and the
+        // report still matches a full sweep exactly.
+        let c3 = sys.component_by_name("User3").unwrap();
+        sys.set_property(
+            ElementRef::Component(c3),
+            "averageLatency",
+            crate::Value::Float(4.2),
+        )
+        .unwrap();
+        let incremental = checker.check(&set, &mut sys);
+        assert_eq!(incremental.evaluated, 1);
+        assert_eq!(incremental.skipped, 2);
+        let full = set.check(&sys);
+        assert_eq!(incremental.violations, full.violations);
+        assert_eq!(incremental.errors, full.errors);
+        assert_eq!(incremental.evaluated + incremental.skipped, full.evaluated);
+        assert_eq!(incremental.violations[0].subject_name, "User3");
+    }
+
+    #[test]
+    fn incremental_check_replays_persisting_violations_and_errors() {
+        let mut sys = system_with_clients();
+        let c3 = sys.component_by_name("User3").unwrap();
+        sys.set_property(
+            ElementRef::Component(c3),
+            "averageLatency",
+            crate::Value::Float(9.9),
+        )
+        .unwrap();
+        // User9 has no averageLatency at all: a persisting eval error.
+        sys.add_component("User9", "ClientT").unwrap();
+        let set = ConstraintSet::new().with(latency_invariant());
+        let mut checker = IncrementalChecker::new();
+        let first = checker.check(&set, &mut sys);
+        assert_eq!(first.violations.len(), 1);
+        assert_eq!(first.errors.len(), 1);
+        // Steady state: the violation and the error are replayed from cache
+        // in their original order, byte for byte.
+        let steady = checker.check(&set, &mut sys);
+        assert_eq!(steady.evaluated, 0);
+        assert_eq!(steady.violations, first.violations);
+        assert_eq!(steady.errors, first.errors);
+    }
+
+    #[test]
+    fn structural_change_rebuilds_the_cache() {
+        let mut sys = system_with_clients();
+        let set = ConstraintSet::new().with(latency_invariant());
+        let mut checker = IncrementalChecker::new();
+        checker.check(&set, &mut sys);
+        let c4 = sys.add_component("User4", "ClientT").unwrap();
+        sys.component_mut(c4)
+            .unwrap()
+            .properties
+            .set("averageLatency", 0.1);
+        let report = checker.check(&set, &mut sys);
+        // The structural change forces a full re-scan over the new subjects.
+        assert_eq!(report.evaluated, 4);
+        assert_eq!(report.skipped, 0);
+        assert_eq!(
+            CheckReport {
+                skipped: 0,
+                ..report
+            },
+            set.check(&sys)
+        );
+    }
+
+    #[test]
+    fn dirty_system_property_reevaluates_the_whole_invariant() {
+        let mut sys = system_with_clients();
+        let set = ConstraintSet::new().with(latency_invariant());
+        let mut checker = IncrementalChecker::new();
+        assert!(checker.check(&set, &mut sys).is_clean());
+        // Tightening the system-level threshold must re-evaluate every pair
+        // even though no per-client property changed.
+        sys.set_system_property("maxLatency", 1.0);
+        let report = checker.check(&set, &mut sys);
+        assert_eq!(report.evaluated, 3);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].subject_name, "User3");
+    }
+
+    #[test]
+    fn opaque_invariants_reevaluate_on_any_change() {
+        let mut sys = system_with_clients();
+        let inv = Invariant::parse(
+            "has-groups",
+            ConstraintScope::System,
+            "size(select g : ServerGroupT in components | g.load >= 0) >= 1",
+        )
+        .unwrap();
+        let set = ConstraintSet::new().with(inv);
+        let mut checker = IncrementalChecker::new();
+        assert_eq!(checker.check(&set, &mut sys).evaluated, 1);
+        // No change: even an opaque invariant replays from cache.
+        assert_eq!(checker.check(&set, &mut sys).skipped, 1);
+        // Any dirty entry re-evaluates it: the read-set is unknowable.
+        let g = sys.component_by_name("ServerGrp1").unwrap();
+        sys.set_property(ElementRef::Component(g), "load", crate::Value::Int(5))
+            .unwrap();
+        let report = checker.check(&set, &mut sys);
+        assert_eq!(report.evaluated, 1);
+        assert_eq!(report.skipped, 0);
+    }
+
+    #[test]
+    fn check_report_serialises_skipped_only_when_nonzero() {
+        let clean = CheckReport {
+            evaluated: 3,
+            ..CheckReport::default()
+        };
+        let serde::Content::Map(fields) = clean.to_content() else {
+            panic!("expected a map");
+        };
+        assert!(fields.iter().all(|(k, _)| k != "skipped"));
+        let pruned = CheckReport {
+            evaluated: 1,
+            skipped: 2,
+            ..CheckReport::default()
+        };
+        let serde::Content::Map(fields) = pruned.to_content() else {
+            panic!("expected a map");
+        };
+        assert!(fields.iter().any(|(k, _)| k == "skipped"));
     }
 }

@@ -28,7 +28,11 @@ pub struct PortId(pub u32);
 pub struct RoleId(pub u32);
 
 /// A reference to any kind of element, used by constraints and violations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (components before connectors before ports before roles, ids
+/// ascending within a kind) so dirty-set iteration in the change journal is
+/// deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ElementRef {
     /// A component.
     Component(ComponentId),

@@ -10,7 +10,7 @@ pub mod eval;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{BinOp, Expr, QuantifierKind, UnaryOp};
+pub use ast::{BinOp, Expr, PropertyReadSet, QuantifierKind, UnaryOp};
 pub use eval::{eval, eval_bool, Bindings, EvalError, EvalValue};
 pub use lexer::{tokenize, LexError, Token};
 pub use parser::{parse, ParseError};

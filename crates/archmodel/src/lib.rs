@@ -29,16 +29,19 @@ pub mod system;
 pub mod value;
 
 pub use changeset::{apply_op, ChangeError, ModelOp, Transaction};
-pub use constraint::{CheckReport, ConstraintScope, ConstraintSet, Invariant, Violation};
+pub use constraint::{
+    CheckReport, ConstraintScope, ConstraintSet, IncrementalChecker, Invariant, Violation,
+};
 pub use element::{
     Attachment, Component, ComponentId, Connector, ConnectorId, ElementRef, Port, PortId, Role,
     RoleId,
 };
 pub use expr::{
-    eval, eval_bool, parse, BinOp, Bindings, EvalError, EvalValue, Expr, QuantifierKind, UnaryOp,
+    eval, eval_bool, parse, BinOp, Bindings, EvalError, EvalValue, Expr, PropertyReadSet,
+    QuantifierKind, UnaryOp,
 };
 pub use key::Key;
 pub use property::PropertyMap;
 pub use style::{ClientServerStyle, StyleViolation};
-pub use system::{ModelError, System};
+pub use system::{ModelDelta, ModelError, System};
 pub use value::Value;

@@ -9,7 +9,54 @@ use crate::key::Key;
 use crate::property::PropertyMap;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The property-change journal carried by a [`System`].
+///
+/// Every property write that goes through the model-update path (the
+/// journaled setters below and the name-addressed change ops built on them)
+/// records a `(element, key)` dirty entry tagged with the current epoch;
+/// structural mutations (add/remove of components, connectors, ports, roles,
+/// attachments) set a conservative *structural* flag instead of tracking
+/// fine-grained entries. Dirty entries live in ordered sets, so iteration —
+/// and everything derived from it — is deterministic.
+///
+/// The journal is bookkeeping, not model state: it is excluded from
+/// equality, comparison and serialization of the owning system.
+#[derive(Debug, Clone, Default)]
+struct ChangeJournal {
+    /// Epoch stamp for the entries currently accumulating; bumped by each
+    /// [`System::drain_changes`].
+    epoch: u64,
+    /// Dirty `(element, property)` pairs, in element-then-key order.
+    dirty: BTreeSet<(ElementRef, Key)>,
+    /// Dirty system-level properties, in name order.
+    dirty_system: BTreeSet<Key>,
+    /// True when a structural mutation happened since the last drain.
+    structural: bool,
+}
+
+/// The batch of changes accumulated since the previous
+/// [`System::drain_changes`] call, tagged with the epoch it covers.
+#[derive(Debug, Clone, Default)]
+pub struct ModelDelta {
+    /// The journal epoch these entries were recorded under.
+    pub epoch: u64,
+    /// Dirty `(element, property)` pairs, in element-then-key order.
+    pub dirty: BTreeSet<(ElementRef, Key)>,
+    /// Dirty system-level properties, in name order.
+    pub dirty_system: BTreeSet<Key>,
+    /// True when any structural mutation happened: consumers must fall back
+    /// to a full re-scan.
+    pub structural: bool,
+}
+
+impl ModelDelta {
+    /// True when nothing changed at all since the previous drain.
+    pub fn is_empty(&self) -> bool {
+        !self.structural && self.dirty.is_empty() && self.dirty_system.is_empty()
+    }
+}
 
 /// Errors raised by model manipulation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +145,10 @@ pub struct System {
     attachments_by_port: HashMap<PortId, Vec<RoleId>>,
     /// Ports attached to each role, in attachment order.
     attachments_by_role: HashMap<RoleId, Vec<PortId>>,
+    /// Change journal feeding incremental constraint checking. Like the name
+    /// indices this is derived bookkeeping: excluded from equality and
+    /// serialization.
+    journal: ChangeJournal,
 }
 
 impl PartialEq for System {
@@ -150,6 +201,39 @@ impl System {
         id
     }
 
+    // ---- change journal --------------------------------------------------
+
+    /// Takes the batch of changes accumulated since the previous drain and
+    /// opens the next journal epoch. The incremental constraint checker
+    /// calls this once per check.
+    pub fn drain_changes(&mut self) -> ModelDelta {
+        let delta = ModelDelta {
+            epoch: self.journal.epoch,
+            dirty: std::mem::take(&mut self.journal.dirty),
+            dirty_system: std::mem::take(&mut self.journal.dirty_system),
+            structural: std::mem::replace(&mut self.journal.structural, false),
+        };
+        self.journal.epoch += 1;
+        delta
+    }
+
+    /// The epoch currently accumulating entries (bumped on each drain).
+    pub fn journal_epoch(&self) -> u64 {
+        self.journal.epoch
+    }
+
+    /// Number of dirty entries (element-level plus system-level) pending in
+    /// the journal. Bounded by elements × properties: entries are sets, so
+    /// repeated writes between drains do not grow the journal.
+    pub fn pending_changes(&self) -> usize {
+        self.journal.dirty.len() + self.journal.dirty_system.len()
+    }
+
+    /// True when a structural mutation happened since the last drain.
+    pub fn has_structural_changes(&self) -> bool {
+        self.journal.structural
+    }
+
     // ---- components ------------------------------------------------------
 
     /// Adds a top-level component of the given type.
@@ -164,6 +248,7 @@ impl System {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ComponentId(self.fresh_id());
+        self.journal.structural = true;
         self.component_names.insert(key, id);
         self.components.insert(
             id,
@@ -202,6 +287,7 @@ impl System {
     /// its children.
     pub fn remove_component(&mut self, id: ComponentId) -> Result<(), ModelError> {
         self.check_component(id)?;
+        self.journal.structural = true;
         // Remove children first.
         let children = self.components[&id].children.clone();
         for child in children {
@@ -295,6 +381,7 @@ impl System {
             return Err(ModelError::DuplicateName(name));
         }
         let id = ConnectorId(self.fresh_id());
+        self.journal.structural = true;
         self.connector_names.insert(key, id);
         self.connectors.insert(
             id,
@@ -314,6 +401,7 @@ impl System {
             .connectors
             .remove(&id)
             .ok_or(ModelError::UnknownConnector(id))?;
+        self.journal.structural = true;
         self.connector_names.remove(&Key::new(&conn.name));
         let mut any_attached = false;
         for role in conn.roles {
@@ -373,6 +461,7 @@ impl System {
     ) -> Result<PortId, ModelError> {
         self.check_component(owner)?;
         let id = PortId(self.fresh_id());
+        self.journal.structural = true;
         self.ports.insert(
             id,
             Port {
@@ -393,6 +482,7 @@ impl System {
     /// Removes a port and any attachment it participates in.
     pub fn remove_port(&mut self, id: PortId) -> Result<(), ModelError> {
         let port = self.ports.remove(&id).ok_or(ModelError::UnknownPort(id))?;
+        self.journal.structural = true;
         if let Some(owner) = self.components.get_mut(&port.owner) {
             owner.ports.retain(|p| *p != id);
         }
@@ -413,6 +503,7 @@ impl System {
         let name = name.into();
         let key = Key::new(&name);
         let id = RoleId(self.fresh_id());
+        self.journal.structural = true;
         // First-wins: lookups return the lowest-id role with a given name,
         // as the pre-index linear scan did. Ids are monotonically assigned,
         // so an existing entry always has the lower id.
@@ -525,6 +616,7 @@ impl System {
     /// Removes a role and any attachment it participates in.
     pub fn remove_role(&mut self, id: RoleId) -> Result<(), ModelError> {
         let role = self.roles.remove(&id).ok_or(ModelError::UnknownRole(id))?;
+        self.journal.structural = true;
         self.unindex_role(id, &role.name);
         if let Some(owner) = self.connectors.get_mut(&role.owner) {
             owner.roles.retain(|r| *r != id);
@@ -598,6 +690,7 @@ impl System {
         {
             return Err(ModelError::AlreadyAttached(port, role));
         }
+        self.journal.structural = true;
         self.attachments.push(Attachment { port, role });
         self.attachments_by_port.entry(port).or_default().push(role);
         self.attachments_by_role.entry(role).or_default().push(port);
@@ -613,6 +706,7 @@ impl System {
         if !exists {
             return Err(ModelError::NotAttached(port, role));
         }
+        self.journal.structural = true;
         self.attachments
             .retain(|a| !(a.port == port && a.role == role));
         if let Some(v) = self.attachments_by_port.get_mut(&port) {
@@ -712,21 +806,78 @@ impl System {
     }
 
     // ---- property helpers ------------------------------------------------
+    //
+    // These setters are the journaled model-update path: they record a dirty
+    // entry for every write (see [`ChangeJournal`]). The raw `*_mut`
+    // accessors above bypass the journal and are intended for model
+    // construction, before any incremental consumer attaches.
 
-    /// Sets a property on any element.
+    /// Sets a property on any element, journaling the write.
     pub fn set_property(
         &mut self,
         element: ElementRef,
         name: &str,
         value: Value,
     ) -> Result<(), ModelError> {
+        let key = Key::new(name);
         match element {
-            ElementRef::Component(id) => self.component_mut(id)?.properties.set(name, value),
-            ElementRef::Connector(id) => self.connector_mut(id)?.properties.set(name, value),
-            ElementRef::Port(id) => self.port_mut(id)?.properties.set(name, value),
-            ElementRef::Role(id) => self.role_mut(id)?.properties.set(name, value),
+            ElementRef::Component(id) => self.component_mut(id)?.properties.set(key, value),
+            ElementRef::Connector(id) => self.connector_mut(id)?.properties.set(key, value),
+            ElementRef::Port(id) => self.port_mut(id)?.properties.set(key, value),
+            ElementRef::Role(id) => self.role_mut(id)?.properties.set(key, value),
         }
+        self.journal.dirty.insert((element, key));
         Ok(())
+    }
+
+    /// Sets a system-level property, journaling the write. Direct writes to
+    /// the public `properties` map bypass the journal (safe only during
+    /// model construction).
+    pub fn set_system_property(&mut self, name: impl Into<Key>, value: impl Into<Value>) {
+        let key = name.into();
+        self.properties.set(key, value);
+        self.journal.dirty_system.insert(key);
+    }
+
+    /// Compare-and-set on a component property: when the stored value is
+    /// strictly equal to `value` the write is suppressed — the model is not
+    /// touched and no dirty entry is recorded. Returns whether the model was
+    /// written. This is the gauge no-op suppression path: at fleet scale
+    /// most per-class representatives sit in steady state, and their
+    /// readings repeat the stored value exactly.
+    pub fn update_component_property(
+        &mut self,
+        id: ComponentId,
+        key: Key,
+        value: Value,
+    ) -> Result<bool, ModelError> {
+        let comp = self
+            .components
+            .get_mut(&id)
+            .ok_or(ModelError::UnknownComponent(id))?;
+        if comp.properties.get(key.as_str()) == Some(&value) {
+            return Ok(false);
+        }
+        comp.properties.set(key, value);
+        self.journal.dirty.insert((ElementRef::Component(id), key));
+        Ok(true)
+    }
+
+    /// Compare-and-set on a role property; see
+    /// [`update_component_property`](Self::update_component_property).
+    pub fn update_role_property(
+        &mut self,
+        id: RoleId,
+        key: Key,
+        value: Value,
+    ) -> Result<bool, ModelError> {
+        let role = self.roles.get_mut(&id).ok_or(ModelError::UnknownRole(id))?;
+        if role.properties.get(key.as_str()) == Some(&value) {
+            return Ok(false);
+        }
+        role.properties.set(key, value);
+        self.journal.dirty.insert((ElementRef::Role(id), key));
+        Ok(true)
     }
 
     /// Gets a property from any element.
@@ -986,5 +1137,63 @@ mod tests {
         let (sys, client, ..) = client_server_system();
         let role = sys.roles_of_component(client)[0];
         assert_eq!(sys.component_attached_to_role(role), Some(client));
+    }
+
+    #[test]
+    fn journal_records_property_writes_and_drains() {
+        let (mut sys, client, ..) = client_server_system();
+        // Construction left structural changes pending; drain them first.
+        assert!(sys.has_structural_changes());
+        let construction = sys.drain_changes();
+        assert!(construction.structural);
+        assert!(!sys.has_structural_changes());
+
+        let element = ElementRef::Component(client);
+        sys.set_property(element, "averageLatency", Value::Float(1.5))
+            .unwrap();
+        sys.set_system_property("maxLatency", 2.0);
+        assert_eq!(sys.pending_changes(), 2);
+        let epoch_before = sys.journal_epoch();
+        let delta = sys.drain_changes();
+        assert_eq!(delta.epoch, epoch_before);
+        assert!(!delta.structural);
+        assert!(delta.dirty.contains(&(element, Key::new("averageLatency"))));
+        assert!(delta.dirty_system.contains(&Key::new("maxLatency")));
+        // Draining clears the journal and bumps the epoch.
+        assert_eq!(sys.pending_changes(), 0);
+        assert!(sys.drain_changes().is_empty());
+        assert!(sys.journal_epoch() > epoch_before);
+    }
+
+    #[test]
+    fn structural_ops_mark_the_journal_structural() {
+        let (mut sys, client, ..) = client_server_system();
+        sys.drain_changes();
+        sys.remove_component(client).unwrap();
+        assert!(sys.has_structural_changes());
+        assert!(sys.drain_changes().structural);
+        assert!(!sys.has_structural_changes());
+    }
+
+    #[test]
+    fn compare_and_set_suppresses_equal_writes() {
+        let (mut sys, client, ..) = client_server_system();
+        sys.drain_changes();
+        let key = Key::new("load");
+        assert!(sys
+            .update_component_property(client, key, Value::Float(3.0))
+            .unwrap());
+        assert_eq!(sys.pending_changes(), 1);
+        sys.drain_changes();
+        // Re-writing the stored value is suppressed: no write, no dirt.
+        assert!(!sys
+            .update_component_property(client, key, Value::Float(3.0))
+            .unwrap());
+        assert_eq!(sys.pending_changes(), 0);
+        // Strict equality: an Int 3 is not a Float 3.0.
+        assert!(sys
+            .update_component_property(client, key, Value::Int(3))
+            .unwrap());
+        assert_eq!(sys.pending_changes(), 1);
     }
 }

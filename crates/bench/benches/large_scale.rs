@@ -18,7 +18,7 @@
 //!
 //! Set `LARGE_SCALE_QUICK=1` (CI does) to collect fewer samples.
 
-use arch_adapt::experiment::Comparison;
+use arch_adapt::experiment::{run_with_schedule_and_faults, Comparison, ExperimentConfig};
 use arch_adapt::framework::{AdaptationFramework, FrameworkConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use gridapp::{ExperimentSchedule, GridApp, GridConfig, TestbedSpec, SERVER_GROUP_1};
@@ -171,9 +171,39 @@ fn assert_probe_sharing() -> (u64, u64) {
     (full_solves, shared_solves)
 }
 
+/// Asserts the incremental constraint checker is report-identical to a full
+/// sweep at every check of a 60 s large-scale adaptive run: with
+/// `verify_constraint_check` on, the framework re-runs the full sweep after
+/// every incremental check and panics on any divergence in violations,
+/// errors, or pair accounting.
+fn assert_incremental_check_equivalence() {
+    let grid = large_grid();
+    let schedule = ExperimentSchedule::by_name("step", &grid, 60.0).expect("step schedule exists");
+    let config = FrameworkConfig {
+        verify_constraint_check: true,
+        ..FrameworkConfig::adaptive()
+    };
+    run_with_schedule_and_faults(
+        "incremental-check-gate",
+        ExperimentConfig {
+            grid,
+            framework: config,
+            duration_secs: 60.0,
+        },
+        Some(&schedule),
+        None,
+    )
+    .expect("verified large-scale run completes");
+    println!(
+        "[large-scale] incremental constraint checks matched full sweeps at every \
+         check of a 60 s adaptive run"
+    );
+}
+
 fn bench_large_scale(c: &mut Criterion) {
     assert_allocator_equivalence();
     assert_aggregate_equivalence();
+    assert_incremental_check_equivalence();
     let (full_solves, shared_solves) = assert_probe_sharing();
 
     let mut group = c.benchmark_group("large_scale");
@@ -302,6 +332,33 @@ fn bench_large_scale(c: &mut Criterion) {
         fleet.adaptive.summary.repairs_completed, fleet.adaptive.summary.client_moves,
     );
 
+    // The 100,000-client gate: the doubled fleet must complete its 300 s
+    // plannedRepair comparison in bounded wall time. Per-tick costs are
+    // class-count-bound, but the class count itself grows with the fleet
+    // (1,563 reps vs 783 at 50k) and the workload generator still draws
+    // per-client arrivals, so the honest gate is a sub-quadratic bound
+    // relative to the 50k run rather than parity with the 2,000-client one.
+    let fleet100k_grid = GridConfig::with_testbed(TestbedSpec::large_scale_100k());
+    let fleet100k_clients = TestbedSpec::large_scale_100k().num_clients();
+    let schedule =
+        ExperimentSchedule::by_name("step", &fleet100k_grid, 300.0).expect("step schedule exists");
+    let fleet100k_config = FrameworkConfig::by_name("plannedRepair").expect("preset exists");
+    let started = std::time::Instant::now();
+    let fleet100k = Comparison::run_with(fleet100k_grid, fleet100k_config, Some(&schedule), 300.0)
+        .expect("100k comparison runs");
+    let fleet100k_wall = started.elapsed().as_secs_f64();
+    assert!(
+        fleet100k_wall < 8.0 * fleet_wall,
+        "the {fleet100k_clients}-client comparison ({fleet100k_wall:.1} s) must stay within \
+         8x the {fleet_clients}-client one ({fleet_wall:.1} s): 2x the clients must not \
+         cost a quadratic blowup"
+    );
+    println!(
+        "[large-scale] 300 s 100k-fleet ({fleet100k_clients} clients) plannedRepair comparison: \
+         {fleet100k_wall:.1} s wall (50k fleet: {fleet_wall:.1} s; {} repairs, {} client moves)",
+        fleet100k.adaptive.summary.repairs_completed, fleet100k.adaptive.summary.client_moves,
+    );
+
     let out = std::env::var("LARGE_SCALE_BENCH_OUT")
         .unwrap_or_else(|_| "large_scale_bench.json".to_string());
     let json = serde_json::json!({
@@ -327,6 +384,11 @@ fn bench_large_scale(c: &mut Criterion) {
         "fleet_violation_fraction": fleet.adaptive.summary.fraction_latency_above_bound,
         "fleet_repairs_completed": fleet.adaptive.summary.repairs_completed,
         "fleet_client_moves": fleet.adaptive.summary.client_moves,
+        "fleet_100k_clients": fleet100k_clients,
+        "fleet_100k_comparison_wall_secs": fleet100k_wall,
+        "fleet_100k_violation_fraction": fleet100k.adaptive.summary.fraction_latency_above_bound,
+        "fleet_100k_repairs_completed": fleet100k.adaptive.summary.repairs_completed,
+        "fleet_100k_client_moves": fleet100k.adaptive.summary.client_moves,
     });
     std::fs::write(
         &out,

@@ -103,6 +103,11 @@ pub struct FrameworkConfig {
     /// why trace queries hunting "violations near a fault" need a window
     /// like `--within 30` rather than the control period.
     pub constraint_check_period_secs: f64,
+    /// Debug/test oracle: after every incremental constraint check, run a
+    /// full sweep and assert the reports agree (violations, errors, and
+    /// `evaluated + skipped` accounting). Off by default — it re-introduces
+    /// the full-sweep cost the incremental checker exists to avoid.
+    pub verify_constraint_check: bool,
 }
 
 impl Default for FrameworkConfig {
@@ -121,6 +126,7 @@ impl Default for FrameworkConfig {
             group_planner: false,
             cost_reduction: false,
             constraint_check_period_secs: 0.0,
+            verify_constraint_check: false,
         }
     }
 }
@@ -212,6 +218,8 @@ struct MetricKeys {
     repairs_aborted: Key,
     plan_ops: Key,
     planner_plans: Key,
+    pairs_skipped: Key,
+    gauge_noop_suppressed: Key,
     // Component counters (pulled wholesale by `publish_metrics`).
     rate_epochs: Key,
     probe_queries: Key,
@@ -252,6 +260,8 @@ impl MetricKeys {
             repairs_aborted: Key::new("framework.repairs.aborted"),
             plan_ops: Key::new("framework.plan_ops"),
             planner_plans: Key::new("planner.plans"),
+            pairs_skipped: Key::new("constraint.pairs_skipped"),
+            gauge_noop_suppressed: Key::new("monitoring.gauge_noop_suppressed"),
             rate_epochs: Key::new("simnet.rate_epochs"),
             probe_queries: Key::new("simnet.probe.queries"),
             probe_solves: Key::new("simnet.probe.solves"),
@@ -333,6 +343,16 @@ pub struct AdaptationFramework {
     /// Sim time before which constraint checks are skipped (only consulted
     /// when `constraint_check_period_secs > 0`).
     next_constraint_check_secs: f64,
+    /// Incremental constraint checker: caches per-(invariant, element)
+    /// outcomes and re-evaluates only pairs whose property read-set
+    /// intersects the model's change journal since the last check.
+    checker: archmodel::IncrementalChecker,
+    /// Always-on counter: (invariant, element) pairs skipped by the
+    /// incremental checker (their cached outcome was replayed).
+    pairs_skipped: u64,
+    /// Always-on counter: gauge readings equal to the stored model value,
+    /// suppressed before touching the model or its change journal.
+    noop_suppressed: u64,
     pending: Option<PendingRepair>,
     repair_seq: u64,
     servers_activated: u64,
@@ -399,6 +419,9 @@ impl AdaptationFramework {
             keys: MetricKeys::new(),
             next_metric_snapshot_secs: 0.0,
             next_constraint_check_secs: 0.0,
+            checker: archmodel::IncrementalChecker::new(),
+            pairs_skipped: 0,
+            noop_suppressed: 0,
             pending: None,
             repair_seq: 0,
             servers_activated: 0,
@@ -457,6 +480,8 @@ impl AdaptationFramework {
         let (hits, misses) = self.app.flow_memo_stats();
         m.set_counter(k.flow_memo_hits, hits);
         m.set_counter(k.flow_memo_misses, misses);
+        m.set_counter(k.pairs_skipped, self.pairs_skipped);
+        m.set_counter(k.gauge_noop_suppressed, self.noop_suppressed);
         // Class census: the monitoring index at fleet scale, else the group
         // planner's index when one is active.
         let index = self
@@ -467,6 +492,18 @@ impl AdaptationFramework {
             m.set_gauge(k.client_classes, index.client_classes().len() as f64);
             m.set_gauge(k.server_classes, index.server_classes().len() as f64);
         }
+    }
+
+    /// Total (invariant, element) pairs the incremental constraint checker
+    /// skipped (replayed from cache) across the run so far.
+    pub fn constraint_pairs_skipped(&self) -> u64 {
+        self.pairs_skipped
+    }
+
+    /// Total gauge readings suppressed as no-op writes (reading equal to the
+    /// stored model value) across the run so far.
+    pub fn gauge_noops_suppressed(&self) -> u64 {
+        self.noop_suppressed
     }
 
     /// At the fixed snapshot cadence: refresh the pulled component counters
@@ -822,7 +859,9 @@ impl AdaptationFramework {
                 self.metrics
                     .add(self.keys.gauge_readings, readings.len() as u64);
             }
-            ModelUpdater::new(&mut self.model).apply_batch(&readings);
+            let mut updater = ModelUpdater::new(&mut self.model);
+            updater.apply_batch(&readings);
+            self.noop_suppressed += updater.suppressed;
         }
         self.now = t;
         if self.metrics.enabled() {
@@ -853,8 +892,25 @@ impl AdaptationFramework {
         self.next_constraint_check_secs = t.as_secs() + self.config.constraint_check_period_secs;
         let report = {
             let _span = obs::Span::start(&self.metrics, self.keys.phase_constraint_check);
-            self.constraints.check(&self.model)
+            self.checker.check(&self.constraints, &mut self.model)
         };
+        self.pairs_skipped += report.skipped as u64;
+        if self.config.verify_constraint_check {
+            let full = self.constraints.check(&self.model);
+            assert_eq!(
+                report.violations, full.violations,
+                "incremental check diverged from full sweep (violations)"
+            );
+            assert_eq!(
+                report.errors, full.errors,
+                "incremental check diverged from full sweep (errors)"
+            );
+            assert_eq!(
+                report.evaluated + report.skipped,
+                full.evaluated,
+                "incremental check pair accounting diverged from full sweep"
+            );
+        }
         if report.is_clean() {
             return;
         }

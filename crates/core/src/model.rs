@@ -7,7 +7,7 @@
 
 use crate::task::PerformanceProfile;
 use archmodel::style::{props, ClientServerStyle};
-use archmodel::{ModelError, System};
+use archmodel::{ModelError, System, Value};
 use gridapp::GridApp;
 use monitoring::{GaugeConsumer, GaugeReading};
 use std::collections::HashMap;
@@ -76,12 +76,21 @@ pub fn build_model(
 /// no string hashing, no cloning. [`apply_batch`](Self::apply_batch) applies
 /// a whole tick's readings with a one-entry resolution memo (readings from
 /// one gauge arrive back-to-back for the same target).
+///
+/// Writes go through the model's journaled compare-and-set path: a reading
+/// strictly equal to the stored value neither touches the model nor dirties
+/// the incremental checker's change journal — it is only counted in
+/// [`suppressed`](Self::suppressed). At fleet scale most per-class
+/// representatives are in steady state, so this shrinks the dirty set to
+/// genuinely changed properties.
 pub struct ModelUpdater<'a> {
     /// The model being maintained.
     pub model: &'a mut System,
     /// Readings that could not be applied (unknown target); surfaced for the
     /// trace.
     pub unmatched: Vec<GaugeReading>,
+    /// No-op writes suppressed (reading equal to the stored model value).
+    pub suppressed: u64,
 }
 
 /// A resolved reading target.
@@ -98,6 +107,7 @@ impl<'a> ModelUpdater<'a> {
         ModelUpdater {
             model,
             unmatched: Vec::new(),
+            suppressed: 0,
         }
     }
 
@@ -114,22 +124,25 @@ impl<'a> ModelUpdater<'a> {
     }
 
     fn apply_resolved(&mut self, resolved: Resolved, reading: &GaugeReading) {
-        match resolved {
-            Resolved::Component(id) => {
-                if let Ok(component) = self.model.component_mut(id) {
-                    component.properties.set(reading.property, reading.value);
-                    return;
-                }
-                self.unmatched.push(reading.clone());
-            }
+        let written = match resolved {
+            Resolved::Component(id) => self.model.update_component_property(
+                id,
+                reading.property,
+                Value::Float(reading.value),
+            ),
             Resolved::Role(id) => {
-                if let Ok(role) = self.model.role_mut(id) {
-                    role.properties.set(reading.property, reading.value);
-                    return;
-                }
-                self.unmatched.push(reading.clone());
+                self.model
+                    .update_role_property(id, reading.property, Value::Float(reading.value))
             }
-            Resolved::Unmatched => self.unmatched.push(reading.clone()),
+            Resolved::Unmatched => {
+                self.unmatched.push(reading.clone());
+                return;
+            }
+        };
+        match written {
+            Ok(true) => {}
+            Ok(false) => self.suppressed += 1,
+            Err(_) => self.unmatched.push(reading.clone()),
         }
     }
 

@@ -1545,11 +1545,15 @@ mod tests {
                 }
             } else {
                 // A web-scale minute should still see substantial aggregate
-                // throughput spread over many distinct clients.
+                // throughput spread over many distinct clients. The aggregate
+                // request rate is sized off the (fixed) server block, not the
+                // population, so the number of distinct completers per minute
+                // saturates as the fleet grows — cap the expectation at the
+                // 50k preset's tenth rather than scaling it forever.
                 let distinct: std::collections::BTreeSet<&str> =
                     completions.iter().map(|c| c.client.as_str()).collect();
                 assert!(
-                    distinct.len() > spec.num_clients() / 10,
+                    distinct.len() > (spec.num_clients() / 10).min(5_000),
                     "{preset}: only {} distinct clients completed",
                     distinct.len()
                 );

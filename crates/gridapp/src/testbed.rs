@@ -22,9 +22,9 @@ pub const LINK_CAPACITY_BPS: f64 = 10.0e6;
 
 /// The built-in topology presets, in scale order — the sweep harness's
 /// scale axis. `large-scale` is the ≥2,000-client deployment with a
-/// multi-tier (aggregation) edge; `large-scale-50k` is the 50,000-client
-/// fleet deployment. [`testbed_preset_names`] lists the names, derived from
-/// this table.
+/// multi-tier (aggregation) edge; `large-scale-50k` and `large-scale-100k`
+/// are the 50,000- and 100,000-client fleet deployments.
+/// [`testbed_preset_names`] lists the names, derived from this table.
 pub static TESTBED_REGISTRY: Registry<fn() -> TestbedSpec> = Registry::new(
     "topology preset",
     &[
@@ -33,6 +33,7 @@ pub static TESTBED_REGISTRY: Registry<fn() -> TestbedSpec> = Registry::new(
         ("congested-core", TestbedSpec::congested_core),
         ("large-scale", TestbedSpec::large_scale),
         ("large-scale-50k", TestbedSpec::large_scale_50k),
+        ("large-scale-100k", TestbedSpec::large_scale_100k),
     ],
 );
 
@@ -223,6 +224,24 @@ impl TestbedSpec {
             clients_per_agg: 64,
             agg_capacity_bps: 100.0e6,
             ..Self::large_scale()
+        }
+    }
+
+    /// The 100,000-client fleet deployment: the
+    /// [`large_scale_50k`](Self::large_scale_50k) client population doubled
+    /// behind the same 64-client aggregation switches. The server block,
+    /// the core, and with them the aggregate request rate all stay at the
+    /// `large_scale_50k` sizing — twice the population sharing the same
+    /// contended substrate — so the step workload still wedges the control
+    /// run and the preset doubles exactly the per-client dimension the
+    /// fleet-scale machinery (class representatives, aggregate rows,
+    /// incremental constraint checking) must keep sublinear.
+    pub fn large_scale_100k() -> Self {
+        TestbedSpec {
+            clients_r1: 40_000,
+            clients_r2: 20_000,
+            clients_r5: 40_000,
+            ..Self::large_scale_50k()
         }
     }
 
@@ -657,7 +676,8 @@ mod tests {
                 "wide-fanout",
                 "congested-core",
                 "large-scale",
-                "large-scale-50k"
+                "large-scale-50k",
+                "large-scale-100k"
             ]
         );
         for &preset in testbed_preset_names() {
@@ -717,6 +737,26 @@ mod tests {
         let tb = Testbed::from_spec(&spec).unwrap();
         // 20k/64 = 313 switches behind R1, 157 behind R2, 313 behind R5.
         assert_eq!(tb.agg_routers.len(), 313 + 157 + 313);
+    }
+
+    #[test]
+    fn hundred_k_preset_doubles_the_fleet_not_the_servers() {
+        let spec = TestbedSpec::large_scale_100k();
+        assert_eq!(spec.num_clients(), 100_000);
+        let fleet = TestbedSpec::large_scale_50k();
+        assert_eq!(spec.sg1_active, fleet.sg1_active);
+        assert_eq!(spec.sg1_spares, fleet.sg1_spares);
+        assert_eq!(spec.sg2_active, fleet.sg2_active);
+        assert_eq!(spec.sg2_spares, fleet.sg2_spares);
+        assert_eq!(spec.clients_per_agg, fleet.clients_per_agg);
+        assert_eq!(spec.agg_capacity_bps, fleet.agg_capacity_bps);
+        assert_eq!(spec.core_capacity_bps, fleet.core_capacity_bps);
+        assert_eq!(spec.name(), "large-scale-100k");
+        assert!(spec.num_clients() >= FLEET_SCALE_MIN_CLIENTS);
+        let tb = Testbed::from_spec(&spec).unwrap();
+        // 40k/64 = 625 switches behind R1, 20k/64 = 313 behind R2, 625
+        // behind R5.
+        assert_eq!(tb.agg_routers.len(), 625 + 313 + 625);
     }
 
     #[test]

@@ -391,6 +391,7 @@ mod tests {
             violations: latency_only,
             errors: vec![],
             evaluated: report.evaluated,
+            skipped: 0,
         };
         let plan_first = match first.plan(&model, &latency_report, &query, 0.0) {
             PlanOutcome::Plan(p) => p,

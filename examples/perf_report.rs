@@ -53,7 +53,9 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--topology" => topology = args.next().expect("--topology takes a preset name"),
+            "--topology" | "--preset" => {
+                topology = args.next().expect("--topology takes a preset name")
+            }
             "--workload" => workload = args.next().expect("--workload takes a generator name"),
             "--strategy" => strategy = args.next().expect("--strategy takes a preset name"),
             "--duration" => {
@@ -81,7 +83,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf_report [--topology T] [--workload W] [--strategy S] \
+                    "usage: perf_report [--topology|--preset T] [--workload W] [--strategy S] \
                      [--duration SECS] [--seed N] [--out FILE] [--top N]"
                 );
                 eprintln!(
