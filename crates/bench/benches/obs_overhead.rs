@@ -28,6 +28,7 @@ fn bench_spec(collect_metrics: bool) -> SweepSpec {
         seeds: if quick() { vec![42] } else { vec![42, 7] },
         fault_profiles: vec!["none".into()],
         collect_metrics,
+        detectors: false,
     }
 }
 

@@ -22,6 +22,7 @@ fn bench_spec() -> SweepSpec {
         seeds: vec![42, 7],
         fault_profiles: vec!["none".into()],
         collect_metrics: false,
+        detectors: false,
     }
 }
 

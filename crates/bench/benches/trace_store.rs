@@ -111,6 +111,7 @@ fn bench_traced_sweep_overhead(c: &mut Criterion) {
         seeds: vec![42],
         fault_profiles: vec!["single-link-cut".into()],
         collect_metrics: false,
+        detectors: false,
     };
     let mut group = c.benchmark_group("traced_sweep_overhead");
     group.sample_size(10);

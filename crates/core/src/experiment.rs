@@ -91,6 +91,10 @@ pub struct RunResult {
     /// report a clean fraction while carrying minutes of stranded work —
     /// this number exposes that.
     pub unserved_demand_secs: f64,
+    /// Online-detector summary: advisory counts and the median advisory →
+    /// violation lead time. `None` unless the run's
+    /// [`FrameworkConfig::detectors`](crate::FrameworkConfig) was set.
+    pub detect: Option<crate::DetectSummary>,
     /// Headline summary.
     pub summary: RunSummary,
 }
@@ -226,6 +230,7 @@ pub fn run_observed(
         fault_onsets,
         repair_stats: stats,
         unserved_demand_secs,
+        detect: framework.detect_summary(),
         summary,
     })
 }

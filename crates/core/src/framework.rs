@@ -108,6 +108,14 @@ pub struct FrameworkConfig {
     /// `evaluated + skipped` accounting). Off by default — it re-introduces
     /// the full-sweep cost the incremental checker exists to avoid.
     pub verify_constraint_check: bool,
+    /// Online anomaly detection on the gauge streams: when set, a
+    /// [`detect::DetectorBank`] watches every (subject, property) series
+    /// and emits [`EventKind::Advisory`](tracestore::EventKind::Advisory)
+    /// trace events *before* invariants trip (observe-and-report only — no
+    /// repair is triggered). `None` (the default) is entirely inert: no
+    /// state, no events, no counters, and every output stays byte-identical
+    /// to a build without the detector layer.
+    pub detectors: Option<detect::DetectorConfig>,
 }
 
 impl Default for FrameworkConfig {
@@ -127,6 +135,7 @@ impl Default for FrameworkConfig {
             cost_reduction: false,
             constraint_check_period_secs: 0.0,
             verify_constraint_check: false,
+            detectors: None,
         }
     }
 }
@@ -209,6 +218,7 @@ struct MetricKeys {
     phase_translate: Key,
     phase_execute: Key,
     phase_commit_replay: Key,
+    phase_detect: Key,
     // Framework-owned deterministic counters (pushed at event sites).
     ticks: Key,
     gauge_readings: Key,
@@ -220,6 +230,8 @@ struct MetricKeys {
     planner_plans: Key,
     pairs_skipped: Key,
     gauge_noop_suppressed: Key,
+    detect_advisories: Key,
+    detect_series_points: Key,
     // Component counters (pulled wholesale by `publish_metrics`).
     rate_epochs: Key,
     probe_queries: Key,
@@ -252,6 +264,7 @@ impl MetricKeys {
             phase_translate: Key::new("phase.translate"),
             phase_execute: Key::new("phase.execute"),
             phase_commit_replay: Key::new("phase.commit_replay"),
+            phase_detect: Key::new("phase.detect"),
             ticks: Key::new("framework.ticks"),
             gauge_readings: Key::new("framework.gauge_readings"),
             violations: Key::new("framework.violations"),
@@ -262,6 +275,8 @@ impl MetricKeys {
             planner_plans: Key::new("planner.plans"),
             pairs_skipped: Key::new("constraint.pairs_skipped"),
             gauge_noop_suppressed: Key::new("monitoring.gauge_noop_suppressed"),
+            detect_advisories: Key::new("detect.advisories"),
+            detect_series_points: Key::new("detect.series_points"),
             rate_epochs: Key::new("simnet.rate_epochs"),
             probe_queries: Key::new("simnet.probe.queries"),
             probe_solves: Key::new("simnet.probe.solves"),
@@ -309,6 +324,144 @@ pub struct RepairStats {
     pub client_moves: u64,
 }
 
+/// Horizon for pairing an advisory with a subsequent violation on the same
+/// subject: an advisory "anticipates" the first violation that follows it
+/// within this many simulated seconds. Shared by the in-run
+/// [`AdaptationFramework::detect_summary`] and the sweep reports so both
+/// agree on what counts as a hit.
+pub const ADVISORY_MATCH_HORIZON_SECS: f64 = 120.0;
+
+/// Summary of the online-detector layer for one run (present only when
+/// [`FrameworkConfig::detectors`] is set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectSummary {
+    /// Advisories emitted (harmful-direction alarms; what the trace holds).
+    pub advisories: u64,
+    /// Raw detector alarms, including harmless-direction ones (e.g. a
+    /// latency stream dropping) that were filtered before emission.
+    pub raw_alarms: u64,
+    /// Distinct (subject, property) series observed.
+    pub series: u64,
+    /// Total gauge readings fed to the detector bank.
+    pub points: u64,
+    /// Median seconds between an advisory and the first violation it
+    /// anticipated on the same subject within
+    /// [`ADVISORY_MATCH_HORIZON_SECS`]; `None` when nothing paired.
+    pub median_lead_secs: Option<f64>,
+}
+
+/// Pre-interned gauge-property keys and the invariant each one predicts
+/// when its stream drifts in the harmful direction.
+#[derive(Debug, Clone, Copy)]
+struct PropertyMap {
+    average_latency: Key,
+    load: Key,
+    bandwidth: Key,
+    is_alive: Key,
+    live_servers: Key,
+    dead_servers: Key,
+    reachable: Key,
+}
+
+impl PropertyMap {
+    fn new() -> Self {
+        PropertyMap {
+            average_latency: Key::new("averageLatency"),
+            load: Key::new("load"),
+            bandwidth: Key::new("bandwidth"),
+            is_alive: Key::new("isAlive"),
+            live_servers: Key::new("liveServers"),
+            dead_servers: Key::new("deadServers"),
+            reachable: Key::new("reachable"),
+        }
+    }
+
+    /// The invariant a harmful drift of `property` predicts, and which
+    /// drift direction is the harmful one. Latency and load hurt rising;
+    /// bandwidth, liveness, and reachability hurt falling (a *rising* dead
+    /// count is the falling-liveness stream seen from the other side).
+    fn predicted(&self, property: Key) -> Option<(&'static str, detect::Direction)> {
+        use detect::Direction::{Down, Up};
+        if property == self.average_latency {
+            Some(("latency", Up))
+        } else if property == self.load {
+            Some(("serverLoad", Up))
+        } else if property == self.bandwidth {
+            Some(("bandwidth", Down))
+        } else if property == self.is_alive
+            || property == self.live_servers
+            || property == self.reachable
+        {
+            Some(("liveness", Down))
+        } else if property == self.dead_servers {
+            Some(("liveness", Up))
+        } else {
+            None
+        }
+    }
+}
+
+/// Run-scoped detector layer: the bank itself plus the advisory/violation
+/// time logs the end-of-run lead-time summary is computed from.
+#[derive(Debug)]
+struct DetectorState {
+    bank: detect::DetectorBank,
+    properties: PropertyMap,
+    /// Harmful-direction alarms actually emitted as trace advisories.
+    emitted: u64,
+    /// (sim time, subject) of every emitted advisory, in emission order.
+    advisory_log: Vec<(f64, Key)>,
+    /// (sim time, subject) of every constraint violation observed.
+    violation_log: Vec<(f64, Key)>,
+    /// Scratch buffer reused across ticks to keep the hot path
+    /// allocation-free.
+    scratch: Vec<detect::Advisory>,
+}
+
+impl DetectorState {
+    fn new(config: detect::DetectorConfig) -> Self {
+        DetectorState {
+            bank: detect::DetectorBank::new(config),
+            properties: PropertyMap::new(),
+            emitted: 0,
+            advisory_log: Vec::new(),
+            violation_log: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Median lead time over all (advisory → first subsequent same-subject
+    /// violation within `horizon_secs`) pairs. Quadratic in log sizes, run
+    /// once at end of run over short, rare-event logs.
+    fn median_lead_secs(&self, horizon_secs: f64) -> Option<f64> {
+        let mut leads: Vec<f64> = self
+            .advisory_log
+            .iter()
+            .filter_map(|&(a_time, subject)| {
+                self.violation_log
+                    .iter()
+                    .filter(|&&(v_time, v_subject)| {
+                        v_subject == subject && v_time >= a_time && v_time - a_time <= horizon_secs
+                    })
+                    .map(|&(v_time, _)| v_time - a_time)
+                    .fold(None, |best: Option<f64>, lead| {
+                        Some(best.map_or(lead, |b| b.min(lead)))
+                    })
+            })
+            .collect();
+        if leads.is_empty() {
+            return None;
+        }
+        leads.sort_by(|a, b| a.partial_cmp(b).expect("lead times are finite"));
+        let mid = leads.len() / 2;
+        Some(if leads.len() % 2 == 1 {
+            leads[mid]
+        } else {
+            (leads[mid - 1] + leads[mid]) / 2.0
+        })
+    }
+}
+
 /// The three-layer adaptation framework driving one run.
 pub struct AdaptationFramework {
     config: FrameworkConfig,
@@ -353,6 +506,8 @@ pub struct AdaptationFramework {
     /// Always-on counter: gauge readings equal to the stored model value,
     /// suppressed before touching the model or its change journal.
     noop_suppressed: u64,
+    /// Online anomaly-detector layer; `None` (the default) is fully inert.
+    detector: Option<DetectorState>,
     pending: Option<PendingRepair>,
     repair_seq: u64,
     servers_activated: u64,
@@ -422,6 +577,7 @@ impl AdaptationFramework {
             checker: archmodel::IncrementalChecker::new(),
             pairs_skipped: 0,
             noop_suppressed: 0,
+            detector: config.detectors.map(DetectorState::new),
             pending: None,
             repair_seq: 0,
             servers_activated: 0,
@@ -482,6 +638,10 @@ impl AdaptationFramework {
         m.set_counter(k.flow_memo_misses, misses);
         m.set_counter(k.pairs_skipped, self.pairs_skipped);
         m.set_counter(k.gauge_noop_suppressed, self.noop_suppressed);
+        if let Some(state) = &self.detector {
+            m.set_counter(k.detect_advisories, state.emitted);
+            m.set_counter(k.detect_series_points, state.bank.points());
+        }
         // Class census: the monitoring index at fleet scale, else the group
         // planner's index when one is active.
         let index = self
@@ -504,6 +664,68 @@ impl AdaptationFramework {
     /// stored model value) across the run so far.
     pub fn gauge_noops_suppressed(&self) -> u64 {
         self.noop_suppressed
+    }
+
+    /// End-of-run summary of the online-detector layer (`None` unless
+    /// [`FrameworkConfig::detectors`] was set).
+    pub fn detect_summary(&self) -> Option<DetectSummary> {
+        let state = self.detector.as_ref()?;
+        Some(DetectSummary {
+            advisories: state.emitted,
+            raw_alarms: state.bank.alarms(),
+            series: state.bank.series_count() as u64,
+            points: state.bank.points(),
+            median_lead_secs: state.median_lead_secs(ADVISORY_MATCH_HORIZON_SECS),
+        })
+    }
+
+    /// Feeds one tick's gauge readings to the detector bank and emits each
+    /// harmful-direction alarm as an
+    /// [`EventKind::Advisory`](tracestore::EventKind::Advisory) trace event.
+    /// Alarms whose drift direction is harmless for the property (latency
+    /// falling, bandwidth recovering) are counted by the bank but not
+    /// emitted — an advisory always names the invariant it predicts.
+    fn observe_gauge_stream(&mut self, readings: &[monitoring::GaugeReading]) {
+        let Some(state) = self.detector.as_mut() else {
+            return;
+        };
+        let mut alarms = std::mem::take(&mut state.scratch);
+        alarms.clear();
+        for reading in readings {
+            state.bank.observe(
+                reading.time,
+                reading.target,
+                reading.property,
+                reading.value,
+                &mut alarms,
+            );
+        }
+        for alarm in &alarms {
+            let Some((invariant, harmful)) = state.properties.predicted(alarm.property) else {
+                continue;
+            };
+            if alarm.direction != harmful {
+                continue;
+            }
+            state.emitted += 1;
+            state.advisory_log.push((alarm.time, alarm.subject));
+            if self.sink.enabled() {
+                self.sink.append(
+                    tracestore::TraceEvent::new(
+                        alarm.time,
+                        tracestore::EventKind::Advisory,
+                        alarm.subject.as_str(),
+                        format!(
+                            "{}/{} predict={invariant}",
+                            alarm.property.as_str(),
+                            alarm.detector.name()
+                        ),
+                    )
+                    .with_value(alarm.score),
+                );
+            }
+        }
+        state.scratch = alarms;
     }
 
     /// At the fixed snapshot cadence: refresh the pulled component counters
@@ -824,7 +1046,7 @@ impl AdaptationFramework {
         // flow-derived consumer (delay model, bandwidth + reachability
         // gauges, figure metrics above) reads the same snapshot — one Remos
         // pass per tick.
-        {
+        let readings = {
             let _span = obs::Span::start(&self.metrics, self.keys.phase_gauge_dispatch);
             let delay = self.monitoring_delay(&flows);
             self.pipeline.set_monitoring_delay(delay);
@@ -862,6 +1084,16 @@ impl AdaptationFramework {
             let mut updater = ModelUpdater::new(&mut self.model);
             updater.apply_batch(&readings);
             self.noop_suppressed += updater.suppressed;
+            readings
+        };
+
+        // 3b. The online detectors score the same readings (control runs
+        // included — an advisory stream with no adaptation is exactly the
+        // baseline the lead-time reports compare against). Advisories are
+        // observe-and-report: nothing here feeds back into planning.
+        if self.detector.is_some() {
+            let _span = obs::Span::start(&self.metrics, self.keys.phase_detect);
+            self.observe_gauge_stream(&readings);
         }
         self.now = t;
         if self.metrics.enabled() {
@@ -934,6 +1166,11 @@ impl AdaptationFramework {
                     violation.subject_name.clone(),
                     violation.invariant.clone(),
                 ));
+            }
+            if let Some(state) = self.detector.as_mut() {
+                state
+                    .violation_log
+                    .push((t.as_secs(), Key::new(&violation.subject_name)));
             }
         }
         // The group planner, when active, gets first claim on the violation

@@ -42,14 +42,15 @@ pub use experiment::{
     ExperimentConfig, RunResult, RunSummary,
 };
 pub use framework::{
-    strategy_names, AdaptationFramework, FrameworkConfig, RepairStats, METRIC_SNAPSHOT_PERIOD_SECS,
-    STRATEGY_REGISTRY,
+    strategy_names, AdaptationFramework, DetectSummary, FrameworkConfig, RepairStats,
+    ADVISORY_MATCH_HORIZON_SECS, METRIC_SNAPSHOT_PERIOD_SECS, STRATEGY_REGISTRY,
 };
 pub use model::{build_model, ModelUpdater};
 pub use query::AppQuery;
 pub use report::{render_comparison, render_run, render_sweep, run_to_json};
 pub use sweep::{
     run_sweep, run_sweep_traced, Aggregate, CellKey, CellReport, ConfidenceInterval, SweepError,
-    SweepReport, SweepSpec, SweepSpecBuilder, SweepUnit, UnitEvents, UnitOutcome, UnitResilience,
+    SweepReport, SweepSpec, SweepSpecBuilder, SweepUnit, UnitDetect, UnitEvents, UnitOutcome,
+    UnitResilience,
 };
 pub use task::PerformanceProfile;

@@ -138,6 +138,30 @@ pub fn render_sweep(report: &SweepReport) -> String {
         (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
     };
     let fmt_counter = |value: Option<f64>| value.map_or("n/a".to_string(), |v| format!("{v:.0}"));
+    // Detector-enabled sweeps (`--detectors`) grow two advisory columns from
+    // the adaptive run; detector-off reports keep their historical layout.
+    let with_detectors = report
+        .cells
+        .iter()
+        .any(|cell| cell.outcomes.iter().any(|o| o.adaptive_detect.is_some()));
+    // Mean adaptive-run advisory count and median lead across a cell's
+    // seeds (lead averaged over the seeds where anything paired).
+    let detect_columns = |cell: &crate::sweep::CellReport| -> (Option<f64>, Option<f64>) {
+        let advisories: Vec<f64> = cell
+            .outcomes
+            .iter()
+            .filter_map(|o| o.adaptive_detect.as_ref())
+            .map(|d| d.advisories as f64)
+            .collect();
+        let leads: Vec<f64> = cell
+            .outcomes
+            .iter()
+            .filter_map(|o| o.adaptive_detect.as_ref())
+            .filter_map(|d| d.median_lead_secs)
+            .collect();
+        let mean = |v: &[f64]| (!v.is_empty()).then(|| v.iter().sum::<f64>() / v.len() as f64);
+        (mean(&advisories), mean(&leads))
+    };
     let mut out = String::new();
     out.push_str(&format!(
         "== Scenario sweep: {} cells, {} runs ({} seeds each) ==\n",
@@ -165,6 +189,9 @@ pub fn render_sweep(report: &SweepReport) -> String {
             " {:>10} {:>8} {:>9}",
             "probe-slv", "epochs", "plan-ops"
         ));
+    }
+    if with_detectors {
+        out.push_str(&format!(" {:>10} {:>8}", "advisories", "lead(s)"));
     }
     out.push('\n');
     for cell in &report.cells {
@@ -214,6 +241,14 @@ pub fn render_sweep(report: &SweepReport) -> String {
                 fmt_counter(mean_counter(cell, "simnet.probe.solves")),
                 fmt_counter(mean_counter(cell, "simnet.rate_epochs")),
                 fmt_counter(mean_counter(cell, "framework.plan_ops")),
+            ));
+        }
+        if with_detectors {
+            let (advisories, lead) = detect_columns(cell);
+            out.push_str(&format!(
+                " {:>10} {:>8}",
+                fmt_counter(advisories),
+                lead.map_or("n/a".to_string(), |l| format!("{l:.1}")),
             ));
         }
         out.push_str(&suffix);
@@ -309,6 +344,7 @@ mod tests {
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let report = crate::sweep::run_sweep(&spec, 1).unwrap();
         let text = render_sweep(&report);
@@ -328,6 +364,7 @@ mod tests {
             seeds: vec![42],
             fault_profiles: vec!["single-link-cut".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let report = crate::sweep::run_sweep(&spec, 1).unwrap();
         let text = render_sweep(&report);
@@ -339,6 +376,7 @@ mod tests {
         let none = crate::sweep::SweepSpec {
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
             ..spec
         };
         let text = render_sweep(&crate::sweep::run_sweep(&none, 1).unwrap());

@@ -104,6 +104,13 @@ pub struct SweepSpec {
     /// disabled `NullRegistry` and keeps reports byte-identical to the
     /// pre-metrics layout.
     pub collect_metrics: bool,
+    /// When true every run (control and adaptive) carries the online
+    /// anomaly-detector bank ([`detect::DetectorConfig::default`]) and each
+    /// [`UnitOutcome`] records advisory counts and the median advisory →
+    /// violation lead time. The default `false` leaves the detector layer
+    /// entirely inert and keeps reports byte-identical to the pre-detector
+    /// layout.
+    pub detectors: bool,
 }
 
 impl Serialize for SweepSpec {
@@ -133,6 +140,9 @@ impl Serialize for SweepSpec {
                 "collect_metrics".to_string(),
                 self.collect_metrics.to_content(),
             ));
+        }
+        if self.detectors {
+            fields.push(("detectors".to_string(), self.detectors.to_content()));
         }
         Content::Map(fields)
     }
@@ -212,6 +222,14 @@ impl SweepSpecBuilder {
         self
     }
 
+    /// Enables (or disables) the online anomaly detectors: when on, every
+    /// run feeds its gauge streams through a [`detect::DetectorBank`] and
+    /// the outcomes (and any collected traces) carry the advisory stream.
+    pub fn detectors(mut self, enabled: bool) -> Self {
+        self.spec.detectors = enabled;
+        self
+    }
+
     /// Validates the assembled spec and returns it.
     pub fn build(self) -> Result<SweepSpec, SweepError> {
         self.spec.validate()?;
@@ -244,6 +262,7 @@ impl SweepSpec {
                 "server-crash-midrun".into(),
             ],
             collect_metrics: false,
+            detectors: false,
         }
     }
 
@@ -264,6 +283,7 @@ impl SweepSpec {
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
             collect_metrics: false,
+            detectors: false,
         }
     }
 
@@ -278,6 +298,7 @@ impl SweepSpec {
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
             collect_metrics: false,
+            detectors: false,
         }
     }
 
@@ -462,38 +483,55 @@ impl SweepUnit {
     /// Runs this unit's control/adaptive comparison. The outcome is fully
     /// determined by the cell key and seed.
     pub fn run(&self) -> Result<UnitOutcome, SweepError> {
-        self.run_into(tracestore::null_sink(), tracestore::null_sink(), false)
+        self.run_into(
+            tracestore::null_sink(),
+            tracestore::null_sink(),
+            false,
+            false,
+        )
     }
 
     /// [`SweepUnit::run`] with a metrics registry attached to each run: the
     /// outcome carries the deterministic counter snapshots of both the
     /// control and the adaptive run (see [`UnitOutcome::control_counters`]).
     pub fn run_metered(&self) -> Result<UnitOutcome, SweepError> {
-        self.run_into(tracestore::null_sink(), tracestore::null_sink(), true)
+        self.run_into(
+            tracestore::null_sink(),
+            tracestore::null_sink(),
+            true,
+            false,
+        )
     }
 
     /// [`SweepUnit::run`] with the unit's full event streams collected: the
     /// control and adaptive runs each append into their own buffer, returned
     /// alongside the outcome for the harness to persist.
     pub fn run_traced(&self) -> Result<(UnitOutcome, UnitEvents), SweepError> {
-        self.run_unit(true, false)
+        self.run_unit(true, false, false)
     }
 
     /// The general entry point the sweep harness drives: `traced` collects
-    /// event streams, `metered` attaches metrics registries.
-    fn run_unit(
+    /// event streams, `metered` attaches metrics registries, and `detectors`
+    /// arms the online anomaly-detector bank in both runs (see
+    /// [`SweepSpec::detectors`]).
+    pub fn run_unit(
         &self,
         traced: bool,
         metered: bool,
+        detectors: bool,
     ) -> Result<(UnitOutcome, UnitEvents), SweepError> {
         if !traced {
-            let outcome =
-                self.run_into(tracestore::null_sink(), tracestore::null_sink(), metered)?;
+            let outcome = self.run_into(
+                tracestore::null_sink(),
+                tracestore::null_sink(),
+                metered,
+                detectors,
+            )?;
             return Ok((outcome, UnitEvents::default()));
         }
         let (control_buffer, control_sink) = tracestore::shared_buffer();
         let (adaptive_buffer, adaptive_sink) = tracestore::shared_buffer();
-        let outcome = self.run_into(control_sink, adaptive_sink, metered)?;
+        let outcome = self.run_into(control_sink, adaptive_sink, metered, detectors)?;
         Ok((
             outcome,
             UnitEvents {
@@ -523,6 +561,7 @@ impl SweepUnit {
         control_sink: tracestore::SharedSink,
         adaptive_sink: tracestore::SharedSink,
         metered: bool,
+        detectors: bool,
     ) -> Result<UnitOutcome, SweepError> {
         let testbed = TestbedSpec::by_name(&self.key.topology)
             .ok_or_else(|| SweepError::UnknownTopology(self.key.topology.clone()))?;
@@ -535,8 +574,13 @@ impl SweepUnit {
         let schedule =
             ExperimentSchedule::by_name(&self.key.workload, &grid, self.key.duration_secs)
                 .ok_or_else(|| SweepError::UnknownWorkload(self.key.workload.clone()))?;
-        let framework = FrameworkConfig::by_name(&self.key.strategy)
+        let mut framework = FrameworkConfig::by_name(&self.key.strategy)
             .ok_or_else(|| SweepError::UnknownStrategy(self.key.strategy.clone()))?;
+        if detectors {
+            // Both runs of the comparison inherit the detector config (the
+            // control framework is derived from this one by struct update).
+            framework.detectors = Some(detect::DetectorConfig::default());
+        }
         let faults = fault_profile_by_name(&self.key.fault, self.key.duration_secs)
             .ok_or_else(|| SweepError::UnknownFault(self.key.fault.clone()))?;
         // A metered unit carries one registry per run; the snapshots hold
@@ -581,6 +625,8 @@ impl SweepUnit {
         if let Some(registry) = adaptive_registry {
             outcome.adaptive_counters = Some(registry.snapshot().counters);
         }
+        outcome.control_detect = comparison.control.detect.map(UnitDetect::of);
+        outcome.adaptive_detect = comparison.adaptive.detect.map(UnitDetect::of);
         Ok(outcome)
     }
 }
@@ -662,6 +708,29 @@ impl UnitResilience {
     }
 }
 
+/// Online-detector numbers of one run within a detector-enabled unit (see
+/// [`SweepSpec::detectors`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitDetect {
+    /// Advisories the run emitted (harmful-direction detector alarms).
+    pub advisories: u64,
+    /// Median seconds between an advisory and the first violation it
+    /// anticipated on the same subject (within
+    /// [`crate::framework::ADVISORY_MATCH_HORIZON_SECS`]); `None` when
+    /// nothing paired — always `None` for control runs, which never check
+    /// constraints.
+    pub median_lead_secs: Option<f64>,
+}
+
+impl UnitDetect {
+    fn of(summary: crate::DetectSummary) -> Self {
+        UnitDetect {
+            advisories: summary.advisories,
+            median_lead_secs: summary.median_lead_secs,
+        }
+    }
+}
+
 /// The headline numbers extracted from one unit's comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UnitOutcome {
@@ -700,6 +769,12 @@ pub struct UnitOutcome {
     pub control_counters: Option<Vec<(String, u64)>>,
     /// Deterministic adaptive-run counters, present only for metered units.
     pub adaptive_counters: Option<Vec<(String, u64)>>,
+    /// Control-run detector numbers, present only for detector-enabled
+    /// units (see [`SweepSpec::detectors`]).
+    pub control_detect: Option<UnitDetect>,
+    /// Adaptive-run detector numbers, present only for detector-enabled
+    /// units.
+    pub adaptive_detect: Option<UnitDetect>,
 }
 
 /// Serialises a name-sorted counter list as a JSON object of integers.
@@ -773,6 +848,12 @@ impl Serialize for UnitOutcome {
                 counters_to_content(counters),
             ));
         }
+        if let Some(detect) = &self.control_detect {
+            fields.push(("control_detect".to_string(), detect.to_content()));
+        }
+        if let Some(detect) = &self.adaptive_detect {
+            fields.push(("adaptive_detect".to_string(), detect.to_content()));
+        }
         Content::Map(fields)
     }
 }
@@ -800,6 +881,8 @@ impl UnitOutcome {
             resilience: None,
             control_counters: None,
             adaptive_counters: None,
+            control_detect: None,
+            adaptive_detect: None,
         }
     }
 }
@@ -1119,7 +1202,7 @@ fn run_sweep_inner(
                 if i >= total {
                     break;
                 }
-                let outcome = units[i].run_unit(traced, spec.collect_metrics);
+                let outcome = units[i].run_unit(traced, spec.collect_metrics, spec.detectors);
                 slots.lock().expect("no worker panicked")[i] = Some(outcome);
             });
         }
@@ -1162,6 +1245,7 @@ mod tests {
             seeds: vec![42, 7],
             fault_profiles: vec![NO_FAULTS.into()],
             collect_metrics: false,
+            detectors: false,
         }
     }
 
@@ -1294,6 +1378,7 @@ mod tests {
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let report = run_sweep(&spec, 1).unwrap();
         let json = report.to_json_string();
@@ -1315,6 +1400,7 @@ mod tests {
             seeds: vec![42, 7],
             fault_profiles: vec!["none".into(), "server-crash-midrun".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, 3).unwrap();
@@ -1371,6 +1457,7 @@ mod tests {
             seeds: vec![42, 7],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, 4).unwrap();
@@ -1394,6 +1481,7 @@ mod tests {
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let report = run_sweep(&spec, 1).unwrap();
         let json = report.to_json_string();
@@ -1415,6 +1503,7 @@ mod tests {
             seeds: vec![42],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let a1 = run_sweep(&mk("adaptive"), 1).unwrap();
         let a2 = run_sweep(&mk("adaptive"), 2).unwrap();

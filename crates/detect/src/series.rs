@@ -1,0 +1,189 @@
+//! Per-series ring buffer with incrementally maintained windowed statistics.
+//!
+//! Every statistic is a pure function of the simulation-time-stamped samples
+//! fed in — no wall clock, no allocation-order dependence — so a replayed
+//! gauge stream reproduces the statistics bit-for-bit.
+
+use std::collections::VecDeque;
+
+/// Pushes between exact recomputations of the windowed sums. The running
+/// sums are maintained incrementally (O(1) per sample); a periodic exact
+/// pass bounds floating-point drift without changing the deterministic
+/// operation sequence.
+const RENORM_STRIDE: u64 = 1024;
+
+/// Windowed statistics of one gauge stream at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesStats {
+    /// Samples currently in the window.
+    pub len: usize,
+    /// Mean of the window.
+    pub mean: f64,
+    /// Population variance of the window (0 for a single sample).
+    pub variance: f64,
+    /// Exponentially weighted moving average of the whole stream.
+    pub ewma: f64,
+    /// EWMA of the squared one-step residuals — the smoothed noise power
+    /// the residual detector normalises against.
+    pub ewma_var: f64,
+    /// Rate of change between the last two samples (value units per
+    /// second; 0 until two samples with distinct times arrive).
+    pub rate_of_change: f64,
+}
+
+/// A fixed-capacity ring of `(time, value)` samples with O(1) windowed
+/// mean/variance, EWMA state, and rate-of-change.
+#[derive(Debug, Clone)]
+pub struct SeriesBuffer {
+    capacity: usize,
+    alpha: f64,
+    samples: VecDeque<(f64, f64)>,
+    sum: f64,
+    sum_sq: f64,
+    ewma: f64,
+    ewma_var: f64,
+    rate_of_change: f64,
+    pushes: u64,
+}
+
+impl SeriesBuffer {
+    /// An empty series with the given window capacity and EWMA smoothing
+    /// factor `alpha` (weight of the newest sample).
+    pub fn new(capacity: usize, alpha: f64) -> Self {
+        SeriesBuffer {
+            capacity: capacity.max(2),
+            alpha: alpha.clamp(0.0, 1.0),
+            samples: VecDeque::new(),
+            sum: 0.0,
+            sum_sq: 0.0,
+            ewma: 0.0,
+            ewma_var: 0.0,
+            rate_of_change: 0.0,
+            pushes: 0,
+        }
+    }
+
+    /// Total samples ever pushed (not just those still in the window).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Appends one sample, evicting the oldest once the window is full.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&(last_t, last_v)) = self.samples.back() {
+            if time > last_t {
+                self.rate_of_change = (value - last_v) / (time - last_t);
+            }
+            self.ewma_var = self.alpha * (value - self.ewma) * (value - self.ewma)
+                + (1.0 - self.alpha) * self.ewma_var;
+            self.ewma = self.alpha * value + (1.0 - self.alpha) * self.ewma;
+        } else {
+            // The first sample seeds the EWMA so early residuals are small.
+            self.ewma = value;
+            self.ewma_var = 0.0;
+        }
+        if self.samples.len() == self.capacity {
+            let (_, evicted) = self.samples.pop_front().expect("window is full");
+            self.sum -= evicted;
+            self.sum_sq -= evicted * evicted;
+        }
+        self.samples.push_back((time, value));
+        self.sum += value;
+        self.sum_sq += value * value;
+        self.pushes += 1;
+        if self.pushes.is_multiple_of(RENORM_STRIDE) {
+            self.sum = self.samples.iter().map(|&(_, v)| v).sum();
+            self.sum_sq = self.samples.iter().map(|&(_, v)| v * v).sum();
+        }
+    }
+
+    /// The current windowed statistics (`None` before any sample).
+    pub fn stats(&self) -> Option<SeriesStats> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.sum / n;
+        let variance = (self.sum_sq / n - mean * mean).max(0.0);
+        Some(SeriesStats {
+            len: self.samples.len(),
+            mean,
+            variance,
+            ewma: self.ewma,
+            ewma_var: self.ewma_var,
+            rate_of_change: self.rate_of_change,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_mean_and_variance_track_the_ring() {
+        let mut s = SeriesBuffer::new(4, 0.2);
+        assert!(s.stats().is_none());
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            s.push(i as f64, *v);
+        }
+        let stats = s.stats().unwrap();
+        assert_eq!(stats.len, 4);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.variance - 1.25).abs() < 1e-12);
+        // Eviction: window becomes [2, 3, 4, 5].
+        s.push(4.0, 5.0);
+        let stats = s.stats().unwrap();
+        assert_eq!(stats.len, 4);
+        assert!((stats.mean - 3.5).abs() < 1e-12);
+        assert!((stats.rate_of_change - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_seeds_on_the_first_sample_and_smooths_afterwards() {
+        let mut s = SeriesBuffer::new(8, 0.5);
+        s.push(0.0, 10.0);
+        assert_eq!(s.stats().unwrap().ewma, 10.0);
+        assert_eq!(s.stats().unwrap().ewma_var, 0.0);
+        s.push(1.0, 14.0);
+        let stats = s.stats().unwrap();
+        assert!((stats.ewma - 12.0).abs() < 1e-12);
+        assert!((stats.ewma_var - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_sums_match_an_exact_recompute_after_many_pushes() {
+        let mut s = SeriesBuffer::new(16, 0.2);
+        // A deterministic pseudo-random-ish walk long enough to cross the
+        // renormalisation stride several times.
+        let mut v = 1.0e6_f64;
+        for i in 0..5000u64 {
+            v = v * 0.999 + ((i * 2654435761) % 1000) as f64;
+            s.push(i as f64, v);
+        }
+        let stats = s.stats().unwrap();
+        let window: Vec<f64> = s.samples.iter().map(|&(_, v)| v).collect();
+        let exact_mean = window.iter().sum::<f64>() / window.len() as f64;
+        let exact_var = window
+            .iter()
+            .map(|v| (v - exact_mean) * (v - exact_mean))
+            .sum::<f64>()
+            / window.len() as f64;
+        assert!((stats.mean - exact_mean).abs() < 1e-6 * exact_mean.abs().max(1.0));
+        assert!((stats.variance - exact_var).abs() < 1e-6 * exact_var.abs().max(1.0));
+    }
+
+    #[test]
+    fn identical_feeds_produce_identical_stats() {
+        let feed = |buf: &mut SeriesBuffer| {
+            for i in 0..300 {
+                buf.push(i as f64 * 5.0, (i % 17) as f64 * 3.25);
+            }
+        };
+        let mut a = SeriesBuffer::new(32, 0.2);
+        let mut b = SeriesBuffer::new(32, 0.2);
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.stats(), b.stats());
+    }
+}

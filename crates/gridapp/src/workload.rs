@@ -40,6 +40,8 @@ pub static WORKLOAD_REGISTRY: Registry<fn(&GridConfig, f64) -> ExperimentSchedul
         ("step", ExperimentSchedule::step),
         ("ramp", ExperimentSchedule::ramp),
         ("flash-crowd", ExperimentSchedule::flash_crowd),
+        ("diurnal", ExperimentSchedule::diurnal),
+        ("autocorrelated", ExperimentSchedule::autocorrelated),
     ],
 );
 
@@ -169,6 +171,88 @@ impl ExperimentSchedule {
         }
     }
 
+    /// A diurnal cycle: two "days" per run, each a staircase approximation
+    /// of a sinusoid on the SG1 path's available bandwidth (peak ≈9 Mbps at
+    /// "night", trough ≈1 Mbps at "midday") with the request rate peaking at
+    /// midday. The second day's trough deepens below the 10 Kbps minimum —
+    /// the violation arrives at the bottom of a long, structured descent, so
+    /// an online drift detector has several cycle steps of warning.
+    pub fn diurnal(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        let day = duration_secs / 2.0;
+        let availability_bps = [9.0e6, 7.0e6, 4.0e6, 2.0e6, 1.0e6, 2.0e6, 4.0e6, 7.0e6];
+        let mut sg1 = StepSchedule::new(throttle(cap, availability_bps[0]));
+        let mut rate = StepSchedule::new(config.request_rate_per_client);
+        for d in 0..2 {
+            for (i, &available) in availability_bps.iter().enumerate() {
+                if d == 0 && i == 0 {
+                    continue;
+                }
+                let at = d as f64 * day + day * i as f64 / availability_bps.len() as f64;
+                // The second day's midday trough breaches the minimum.
+                let available = if d == 1 && i == 4 { 5.0e3 } else { available };
+                sg1 = sg1.step_at(at, throttle(cap, available));
+            }
+            let midday = d as f64 * day;
+            rate = rate
+                .step_at(midday + day * 0.375, 1.5)
+                .step_at(midday + day * 0.625, config.request_rate_per_client);
+        }
+        ExperimentSchedule {
+            competition_sg1: sg1,
+            competition_sg2: StepSchedule::new(throttle(cap, 3.0e6)),
+            request_rate: rate,
+            response_bytes: StepSchedule::new(config.response_bytes),
+        }
+    }
+
+    /// An autocorrelated background ramp: the SG1 path's available bandwidth
+    /// follows a seeded AR(1) random walk (strong memory, small
+    /// innovations) mean-reverting around ≈6 Mbps over the front half of
+    /// the run, then decays multiplicatively with jitter over the back half
+    /// — so the squeeze below the 10 Kbps minimum emerges gradually out of
+    /// in-family noise instead of arriving as a scripted step. The walk is
+    /// derived from `config.seed` alone, so a (config, duration) pair is
+    /// fully reproducible.
+    pub fn autocorrelated(config: &GridConfig, duration_secs: f64) -> Self {
+        let cap = config.testbed.core_capacity_bps;
+        const STEPS: usize = 40;
+        let mut sg1 = StepSchedule::new(throttle(cap, 9.0e6));
+        let mut state = config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        let mut level_bps = 9.0e6_f64;
+        let dt = duration_secs / STEPS as f64;
+        for i in 1..STEPS {
+            // xorshift64* — a self-contained deterministic generator, so the
+            // workload layer needs no external RNG dependency.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let uniform =
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            let progress = i as f64 / STEPS as f64;
+            level_bps = if progress <= 0.5 {
+                // Front half: mean-reverting around ≈6 Mbps — in-family noise.
+                let noise_bps = (uniform - 0.5) * 1.0e6;
+                (0.8 * level_bps + 0.2 * 6.0e6 + noise_bps).clamp(1.0e6, 9.5e6)
+            } else {
+                // Back half: each step keeps a jittered 55–75% of the
+                // remaining bandwidth, so the squeeze compounds gradually
+                // and crosses the 10 Kbps minimum well before run end.
+                (level_bps * (0.55 + 0.2 * uniform)).max(4.0e3)
+            };
+            sg1 = sg1.step_at(dt * i as f64, throttle(cap, level_bps));
+        }
+        ExperimentSchedule {
+            competition_sg1: sg1,
+            competition_sg2: StepSchedule::new(throttle(cap, 3.0e6)),
+            request_rate: StepSchedule::new(config.request_rate_per_client),
+            response_bytes: StepSchedule::new(config.response_bytes),
+        }
+    }
+
     /// Resolves a workload generator by its sweep-matrix name (one of
     /// [`workload_names`]), producing a schedule for a run of the given
     /// length — a thin wrapper over [`WORKLOAD_REGISTRY`].
@@ -251,7 +335,14 @@ mod tests {
         let config = GridConfig::default();
         assert_eq!(
             workload_names(),
-            &["figure7", "step", "ramp", "flash-crowd"]
+            &[
+                "figure7",
+                "step",
+                "ramp",
+                "flash-crowd",
+                "diurnal",
+                "autocorrelated"
+            ]
         );
         for &name in workload_names() {
             let schedule = ExperimentSchedule::by_name(name, &config, 600.0)
@@ -302,6 +393,49 @@ mod tests {
         assert_eq!(schedule.response_bytes.value_at(500.0), 20_480.0);
         assert_eq!(schedule.request_rate.value_at(800.0), 1.0);
         assert!(schedule.competition_sg1.change_points().is_empty());
+    }
+
+    #[test]
+    fn diurnal_cycles_and_breaches_only_on_the_second_day() {
+        let config = GridConfig::default();
+        let cap = config.testbed.core_capacity_bps;
+        let schedule = ExperimentSchedule::diurnal(&config, 1600.0);
+        let available = |t: f64| cap - schedule.competition_sg1.value_at(t);
+        // Day one: midday trough stays at ≈1 Mbps — tight, but no breach.
+        assert!(available(420.0) >= 1.0e6 - 1.0);
+        // Day one evening recovers.
+        assert!(available(760.0) > 5.0e6);
+        // Day two midday: below the 10 Kbps minimum.
+        assert!(available(1220.0) < 10_000.0);
+        // Load peaks at midday on both days.
+        assert_eq!(schedule.request_rate.value_at(350.0), 1.5);
+        assert_eq!(schedule.request_rate.value_at(600.0), 1.0);
+        assert_eq!(schedule.request_rate.value_at(1150.0), 1.5);
+    }
+
+    #[test]
+    fn autocorrelated_is_seed_deterministic_and_ends_squeezed() {
+        let config = GridConfig::default();
+        let cap = config.testbed.core_capacity_bps;
+        let a = ExperimentSchedule::autocorrelated(&config, 1000.0);
+        let b = ExperimentSchedule::autocorrelated(&config, 1000.0);
+        assert_eq!(a, b, "same seed, same walk");
+        let other = GridConfig {
+            seed: config.seed + 1,
+            ..config
+        };
+        assert_ne!(
+            a,
+            ExperimentSchedule::autocorrelated(&other, 1000.0),
+            "the walk depends on the seed"
+        );
+        // The front half stays comfortably above the minimum; the decaying
+        // reversion target drags the back half below it.
+        let available = |t: f64| cap - a.competition_sg1.value_at(t);
+        for t in [100.0, 250.0, 400.0] {
+            assert!(available(t) > 1.0e6, "in-family at t={t}");
+        }
+        assert!(available(990.0) < 10_000.0, "the walk ends breached");
     }
 
     #[test]

@@ -179,6 +179,115 @@ pub fn mttr_rows(rows: &[QueryRow]) -> Vec<AggregateRow> {
         .collect()
 }
 
+/// One run's advisory→violation join: did the online detectors flag trouble
+/// before the constraint checker did, and by how much?
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeadTimeRow {
+    /// The run id.
+    pub run: String,
+    /// Advisory events in the run.
+    pub advisories: usize,
+    /// Violation events in the run.
+    pub violations: usize,
+    /// Advisories followed by a violation on the same subject within the
+    /// horizon — the detectors' true positives.
+    pub matched_advisories: usize,
+    /// Violations preceded (within the horizon) by an advisory on the same
+    /// subject — the violations the detectors anticipated.
+    pub anticipated_violations: usize,
+    /// `matched_advisories / advisories` (`None` with no advisories).
+    pub precision: Option<f64>,
+    /// `anticipated_violations / violations` (`None` with no violations).
+    pub recall: Option<f64>,
+    /// Median of the matched advisories' lead times (first subsequent
+    /// same-subject violation time minus advisory time).
+    pub median_lead_secs: Option<f64>,
+}
+
+/// Median of an unsorted slice (mean of the middle two when even).
+fn median_of(values: &mut [f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("values are not NaN"));
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
+
+/// Joins advisories against subsequent violations on the same subject, per
+/// run: an advisory matches the first violation at or after it on its
+/// subject within `horizon_secs`. `rows` must contain both the advisory and
+/// the violation events (query without a kind filter, or with both kinds).
+/// Runs containing neither kind are omitted; output is sorted by run id.
+pub fn leadtime_rows(rows: &[QueryRow], horizon_secs: f64) -> Vec<LeadTimeRow> {
+    // Per run, per subject: advisory times and violation times.
+    type SubjectTimes = BTreeMap<String, (Vec<f64>, Vec<f64>)>;
+    let mut by_run: BTreeMap<String, SubjectTimes> = BTreeMap::new();
+    for row in rows {
+        let slot = match row.event.kind {
+            EventKind::Advisory => 0,
+            EventKind::Violation => 1,
+            _ => continue,
+        };
+        let entry = by_run
+            .entry(row.run_id.clone())
+            .or_default()
+            .entry(row.event.subject.clone())
+            .or_default();
+        let times = if slot == 0 {
+            &mut entry.0
+        } else {
+            &mut entry.1
+        };
+        times.push(row.event.time_secs);
+    }
+    by_run
+        .into_iter()
+        .map(|(run, subjects)| {
+            let mut advisories = 0;
+            let mut violations = 0;
+            let mut matched_advisories = 0;
+            let mut anticipated_violations = 0;
+            let mut leads = Vec::new();
+            for (advisory_times, mut violation_times) in subjects.into_values() {
+                violation_times.sort_by(|a, b| a.partial_cmp(b).expect("times are not NaN"));
+                advisories += advisory_times.len();
+                violations += violation_times.len();
+                for a in &advisory_times {
+                    if let Some(v) = violation_times.iter().find(|v| **v >= *a) {
+                        if v - a <= horizon_secs {
+                            matched_advisories += 1;
+                            leads.push(v - a);
+                        }
+                    }
+                }
+                for v in &violation_times {
+                    if advisory_times
+                        .iter()
+                        .any(|a| *a <= *v && v - a <= horizon_secs)
+                    {
+                        anticipated_violations += 1;
+                    }
+                }
+            }
+            LeadTimeRow {
+                run,
+                advisories,
+                violations,
+                matched_advisories,
+                anticipated_violations,
+                precision: (advisories > 0).then(|| matched_advisories as f64 / advisories as f64),
+                recall: (violations > 0).then(|| anticipated_violations as f64 / violations as f64),
+                median_lead_secs: median_of(&mut leads),
+            }
+        })
+        .collect()
+}
+
 /// The canned root-cause report: for every fault event, the events of
 /// `kind` (violations by default) within `window_secs` after it, across
 /// runs — "violations within 10 s of each link-cut onset", grouped however
@@ -307,6 +416,65 @@ mod tests {
         let rows = mttr_rows(&unrecovered);
         assert_eq!(rows[0].count, 1);
         assert_eq!(rows[0].value, None);
+    }
+
+    #[test]
+    fn leadtime_joins_advisories_with_subsequent_same_subject_violations() {
+        let rows = vec![
+            // C3: advisory 20 s before its violation — a true positive.
+            row(
+                "a",
+                TraceEvent::new(100.0, EventKind::Advisory, "C3", "latency/ewma").with_value(3.2),
+            ),
+            row(
+                "a",
+                TraceEvent::new(120.0, EventKind::Violation, "C3", "maxLatency"),
+            ),
+            // C4: advisory with no subsequent violation — a false positive.
+            row(
+                "a",
+                TraceEvent::new(50.0, EventKind::Advisory, "C4", "latency/ewma").with_value(2.1),
+            ),
+            // C5: violation nobody anticipated — a miss.
+            row(
+                "a",
+                TraceEvent::new(200.0, EventKind::Violation, "C5", "maxLatency"),
+            ),
+            // Same subjects in another run stay separate.
+            row(
+                "b",
+                TraceEvent::new(10.0, EventKind::Advisory, "C3", "latency/ph").with_value(9.0),
+            ),
+            row(
+                "b",
+                TraceEvent::new(14.0, EventKind::Violation, "C3", "maxLatency"),
+            ),
+        ];
+        let lead = leadtime_rows(&rows, 60.0);
+        assert_eq!(lead.len(), 2);
+        let a = &lead[0];
+        assert_eq!(a.run, "a");
+        assert_eq!((a.advisories, a.violations), (2, 2));
+        assert_eq!(a.matched_advisories, 1);
+        assert_eq!(a.anticipated_violations, 1);
+        assert_eq!(a.precision, Some(0.5));
+        assert_eq!(a.recall, Some(0.5));
+        assert_eq!(a.median_lead_secs, Some(20.0));
+        let b = &lead[1];
+        assert_eq!(b.median_lead_secs, Some(4.0));
+        assert_eq!(b.precision, Some(1.0));
+        assert_eq!(b.recall, Some(1.0));
+
+        // The horizon bounds the join: shrink it and the C3 pair unmatches.
+        let tight = leadtime_rows(&rows, 10.0);
+        assert_eq!(tight[0].matched_advisories, 0);
+        assert_eq!(tight[0].median_lead_secs, None);
+        assert_eq!(tight[0].precision, Some(0.0));
+
+        // An even number of leads reports the midpoint of the middle two.
+        let mut leads = vec![30.0, 10.0, 20.0, 40.0];
+        assert_eq!(median_of(&mut leads), Some(25.0));
+        assert_eq!(median_of(&mut []), None);
     }
 
     #[test]

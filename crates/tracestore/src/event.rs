@@ -40,11 +40,16 @@ pub enum EventKind {
     /// gauge from the framework's self-observability registry, emitted at a
     /// fixed sim-time cadence).
     Metric = 9,
+    /// An online anomaly detector flagged a gauge stream *before* any
+    /// invariant tripped: subject is the observed element, detail names the
+    /// property, detector, and predicted invariant, and the value carries
+    /// the detector score. Advisories are observations, never actions.
+    Advisory = 10,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 10] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::Gauge,
         EventKind::Violation,
         EventKind::RepairStart,
@@ -55,6 +60,7 @@ impl EventKind {
         EventKind::Transfer,
         EventKind::Info,
         EventKind::Metric,
+        EventKind::Advisory,
     ];
 
     /// The stable on-disk code.
@@ -81,6 +87,7 @@ impl EventKind {
             EventKind::Transfer => "transfer",
             EventKind::Info => "info",
             EventKind::Metric => "metric",
+            EventKind::Advisory => "advisory",
         }
     }
 

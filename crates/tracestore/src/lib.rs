@@ -18,7 +18,8 @@
 //! * [`query`] — filter by an `archmodel::expr` predicate over event
 //!   fields, time-window, and group-by;
 //! * [`aggregate`] — count / mean / p95 / MTTR reductions over query
-//!   results, plus the canned near-fault root-cause report.
+//!   results, plus the canned near-fault root-cause report and the
+//!   advisory→violation lead-time join behind `query leadtime`.
 //!
 //! The store layout is a directory: a text `MANIFEST` (one line per run, in
 //! append order) plus one binary segment file and one per-kind offset index
@@ -35,7 +36,8 @@ pub mod sink;
 pub mod store;
 
 pub use aggregate::{
-    aggregate_rows, mttr_rows, near_fault_rows, AggregateOp, AggregateRow, GroupBy,
+    aggregate_rows, leadtime_rows, mttr_rows, near_fault_rows, AggregateOp, AggregateRow, GroupBy,
+    LeadTimeRow,
 };
 pub use event::{EventKind, TraceEvent};
 pub use query::{Query, QueryError, QueryRow};

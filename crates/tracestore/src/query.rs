@@ -145,9 +145,14 @@ impl Query {
             }
             // A single-kind query without a predicate over other kinds can
             // seek through the per-kind index instead of decoding the whole
-            // segment; anything else scans the run in replay order.
+            // segment; a windowed query binary-seeks the coarse time
+            // checkpoints to the window start (every record the seek skips
+            // has `time < from`, so the filtered rows are identical to a
+            // full scan's); anything else scans the run in replay order.
             let events = if self.kinds.len() == 1 {
                 store.read_run_kind(&meta.run_id, self.kinds[0])?
+            } else if let Some((from, _)) = self.window {
+                store.read_run_from(&meta.run_id, from)?
             } else {
                 store.read_run(&meta.run_id)?
             };
@@ -286,6 +291,51 @@ mod tests {
         assert_eq!(has.len(), 2);
 
         assert!(Query::new().predicate("kind ==").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The windowed execution path (checkpoint seek) returns exactly what a
+    /// full scan filtered by the same query returns — the gate behind the
+    /// `.idx` time-offset section.
+    #[test]
+    fn windowed_queries_match_full_scans() {
+        let dir =
+            std::env::temp_dir().join(format!("tracestore-query-window-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = TraceStore::open(&dir).unwrap();
+        let events: Vec<TraceEvent> = (0..500)
+            .map(|i| {
+                TraceEvent::new(
+                    i as f64 * 2.0,
+                    EventKind::Gauge,
+                    format!("C{}", i % 5),
+                    "latency",
+                )
+                .with_value(i as f64)
+            })
+            .collect();
+        store.append_run("long-run", &events).unwrap();
+        for (from, until) in [
+            (0.0, 1000.0),
+            (333.0, 500.0),
+            (900.0, 950.0),
+            (999.5, 999.6),
+        ] {
+            let query = Query::new().window(from, until);
+            let seeked = query.execute(&store).unwrap();
+            let mut scanned = Vec::new();
+            for meta in store.runs() {
+                for event in store.read_run(&meta.run_id).unwrap() {
+                    if query.matches(&meta.run_id, &event).unwrap() {
+                        scanned.push(QueryRow {
+                            run_id: meta.run_id.clone(),
+                            event,
+                        });
+                    }
+                }
+            }
+            assert_eq!(seeked, scanned, "window [{from}, {until}]");
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

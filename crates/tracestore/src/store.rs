@@ -19,6 +19,15 @@
 //! output. The per-kind index makes single-kind scans (`gauge` readings in
 //! a long run, say) seek straight to their records instead of decoding the
 //! whole segment.
+//!
+//! The index file carries a second, optional section after the per-kind
+//! offsets: coarse *time checkpoints* — every [`TIME_CHECKPOINT_STRIDE`]
+//! records, the record's index, byte offset, and the maximum event time seen
+//! strictly before it. Time-window reads binary-search the checkpoints and
+//! seek straight to the window start instead of decoding the whole prefix.
+//! Readers of older stores (no checkpoint section) fall back to a full scan,
+//! and older readers ignore the section entirely (the kind reader consumes
+//! exactly the entries it declares).
 
 use crate::event::{EventKind, TraceEvent};
 use std::collections::BTreeMap;
@@ -29,6 +38,23 @@ use std::path::{Path, PathBuf};
 
 /// The manifest file name inside a store directory.
 pub const MANIFEST: &str = "MANIFEST";
+
+/// Records between consecutive time checkpoints in an index file. Events are
+/// near-sorted by simulation time (gauge batches share a tick time), so a
+/// coarse stride keeps the index tiny while a window seek still skips the
+/// bulk of a long run's prefix.
+pub const TIME_CHECKPOINT_STRIDE: u64 = 64;
+
+/// One coarse time checkpoint: "the first `record_index` records all have
+/// `time_secs < prefix_max_secs + ε`" — precisely, `prefix_max_secs` is the
+/// maximum time among records `[0, record_index)`, and `byte_offset` is where
+/// record `record_index` starts in the segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeCheckpoint {
+    record_index: u64,
+    byte_offset: u64,
+    prefix_max_secs: f64,
+}
 
 /// One run recorded in the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,15 +201,26 @@ impl TraceStore {
         let idx_path = seg_path.with_extension("idx");
 
         // Segment: append-order records, tracking each record's offset for
-        // the per-kind index.
+        // the per-kind index and coarse time checkpoints for window seeks.
         let mut offsets: BTreeMap<u8, Vec<u64>> = BTreeMap::new();
+        let mut checkpoints: Vec<TimeCheckpoint> = Vec::new();
         {
             let file = File::create(&seg_path).map_err(io_err(&seg_path))?;
             let mut w = CountingWriter {
                 inner: BufWriter::new(file),
                 written: 0,
             };
-            for ev in events {
+            let mut prefix_max_secs = f64::NEG_INFINITY;
+            for (i, ev) in events.iter().enumerate() {
+                let i = i as u64;
+                if i > 0 && i.is_multiple_of(TIME_CHECKPOINT_STRIDE) {
+                    checkpoints.push(TimeCheckpoint {
+                        record_index: i,
+                        byte_offset: w.written,
+                        prefix_max_secs,
+                    });
+                }
+                prefix_max_secs = prefix_max_secs.max(ev.time_secs);
                 offsets.entry(ev.kind.code()).or_default().push(w.written);
                 ev.write_to(&mut w).map_err(io_err(&seg_path))?;
             }
@@ -191,7 +228,9 @@ impl TraceStore {
         }
 
         // Index: kind count, then per kind (code, record count, offsets),
-        // kinds in code order.
+        // kinds in code order; then the time-checkpoint section (count, then
+        // per checkpoint: record index, byte offset, prefix max time). Old
+        // readers stop after the kind entries and never see the checkpoints.
         {
             let file = File::create(&idx_path).map_err(io_err(&idx_path))?;
             let mut w = BufWriter::new(file);
@@ -205,6 +244,15 @@ impl TraceStore {
                 for off in offs {
                     write(&mut w, &off.to_le_bytes())?;
                 }
+            }
+            write(
+                &mut w,
+                &u32::try_from(checkpoints.len()).unwrap().to_le_bytes(),
+            )?;
+            for cp in &checkpoints {
+                write(&mut w, &cp.record_index.to_le_bytes())?;
+                write(&mut w, &cp.byte_offset.to_le_bytes())?;
+                write(&mut w, &cp.prefix_max_secs.to_le_bytes())?;
             }
             w.flush().map_err(io_err(&idx_path))?;
         }
@@ -246,6 +294,51 @@ impl TraceStore {
                 "{}: trailing bytes after {} records",
                 meta.segment, meta.count
             )));
+        }
+        Ok(events)
+    }
+
+    /// Reads the suffix of a run relevant to a time window starting at
+    /// `from_secs`: binary-seeks the index's coarse time checkpoints to the
+    /// last point where every earlier record is provably before the window
+    /// (`prefix max time < from_secs`), then decodes from there in append
+    /// order. The result is always a suffix of [`read_run`](Self::read_run)
+    /// and every skipped record has `time_secs < from_secs`, so filtering
+    /// the suffix by the window yields byte-identical results to filtering
+    /// the full scan. Stores written before the checkpoint section existed
+    /// fall back to the full scan.
+    pub fn read_run_from(
+        &self,
+        run_id: &str,
+        from_secs: f64,
+    ) -> Result<Vec<TraceEvent>, StoreError> {
+        let meta = self
+            .run(run_id)
+            .ok_or_else(|| StoreError::UnknownRun(run_id.to_string()))?;
+        let idx_path = self.root.join(&meta.segment).with_extension("idx");
+        let (start_index, start_offset) = match read_time_checkpoints(&idx_path)? {
+            Some(checkpoints) => {
+                // Prefix max times are non-decreasing, so the checkpoints
+                // usable for this window form a prefix: take the last one.
+                let usable = checkpoints.partition_point(|cp| cp.prefix_max_secs < from_secs);
+                match usable.checked_sub(1).map(|i| checkpoints[i]) {
+                    Some(cp) => (cp.record_index, cp.byte_offset),
+                    None => (0, 0),
+                }
+            }
+            None => (0, 0),
+        };
+        let seg_path = self.root.join(&meta.segment);
+        let file = File::open(&seg_path).map_err(io_err(&seg_path))?;
+        let mut r = BufReader::new(file);
+        r.seek(SeekFrom::Start(start_offset))
+            .map_err(io_err(&seg_path))?;
+        let remaining = meta.count.saturating_sub(start_index);
+        let mut events = Vec::with_capacity(remaining as usize);
+        for i in start_index..meta.count {
+            let ev = TraceEvent::read_from(&mut r)
+                .map_err(|e| StoreError::Corrupt(format!("{}: record {i}: {e}", meta.segment)))?;
+            events.push(ev);
         }
         Ok(events)
     }
@@ -314,6 +407,57 @@ fn read_index(idx_path: &Path) -> Result<BTreeMap<u8, Vec<u64>>, StoreError> {
         }
     }
     Ok(index)
+}
+
+/// Reads the optional time-checkpoint section that follows the per-kind
+/// entries in an index file. `Ok(None)` means the section is absent (a store
+/// written before it existed); a partially present section is corruption.
+fn read_time_checkpoints(idx_path: &Path) -> Result<Option<Vec<TimeCheckpoint>>, StoreError> {
+    let file = File::open(idx_path).map_err(io_err(idx_path))?;
+    let mut r = BufReader::new(file);
+    let corrupt = |what: &str| StoreError::Corrupt(format!("{}: {what}", idx_path.display()));
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf)
+        .map_err(|_| corrupt("truncated kind count"))?;
+    let kinds = u32::from_le_bytes(u32buf);
+    for _ in 0..kinds {
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)
+            .map_err(|_| corrupt("truncated kind code"))?;
+        r.read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated offset count"))?;
+        let n = u64::from_le_bytes(u64buf);
+        let skip = n
+            .checked_mul(8)
+            .ok_or_else(|| corrupt("offset count overflows"))?;
+        r.seek(SeekFrom::Current(skip as i64))
+            .map_err(|_| corrupt("truncated offsets"))?;
+    }
+    match r.read_exact(&mut u32buf) {
+        Ok(()) => {}
+        // Clean EOF right after the kind section: an older index.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(_) => return Err(corrupt("unreadable checkpoint count")),
+    }
+    let count = u32::from_le_bytes(u32buf);
+    let mut checkpoints = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        r.read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated checkpoint record index"))?;
+        let record_index = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated checkpoint byte offset"))?;
+        let byte_offset = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)
+            .map_err(|_| corrupt("truncated checkpoint prefix time"))?;
+        checkpoints.push(TimeCheckpoint {
+            record_index,
+            byte_offset,
+            prefix_max_secs: f64::from_le_bytes(u64buf),
+        });
+    }
+    Ok(Some(checkpoints))
 }
 
 struct CountingWriter<W: Write> {
@@ -417,6 +561,93 @@ mod tests {
             store.append_run("", &[]),
             Err(StoreError::InvalidRunId(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A long near-sorted run with tick-time ties, long enough for several
+    /// checkpoint strides.
+    fn long_run() -> Vec<TraceEvent> {
+        let mut events = Vec::new();
+        for tick in 0..200u64 {
+            let t = tick as f64 * 5.0;
+            for g in 0..3 {
+                events.push(
+                    TraceEvent::new(t, EventKind::Gauge, format!("C{g}"), "latency")
+                        .with_value(t / 100.0 + g as f64),
+                );
+            }
+            if tick % 7 == 0 {
+                // Slightly stale delivery: an event timestamped before the
+                // tick, exercising the prefix-max (not last-time) invariant.
+                events.push(TraceEvent::new(
+                    (t - 2.5).max(0.0),
+                    EventKind::Info,
+                    "probe",
+                    "late delivery",
+                ));
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn window_seek_is_equivalent_to_a_full_scan() {
+        let dir = tmpdir("window-seek");
+        let events = long_run();
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.append_run("run-a", &events).unwrap();
+        let full = store.read_run("run-a").unwrap();
+        assert_eq!(full, events);
+        for from in [-1.0, 0.0, 2.5, 123.0, 500.0, 997.5, 5000.0] {
+            let suffix = store.read_run_from("run-a", from).unwrap();
+            // The seek returns a suffix of the full scan…
+            assert_eq!(suffix, full[full.len() - suffix.len()..], "from={from}");
+            // …whose skipped prefix lies entirely before the window…
+            assert!(
+                full[..full.len() - suffix.len()]
+                    .iter()
+                    .all(|e| e.time_secs < from),
+                "from={from}"
+            );
+            // …so window-filtering both yields identical results.
+            let filter = |evs: &[TraceEvent]| -> Vec<TraceEvent> {
+                evs.iter()
+                    .filter(|e| e.time_secs >= from)
+                    .cloned()
+                    .collect()
+            };
+            assert_eq!(filter(&suffix), filter(&full), "from={from}");
+        }
+        // A late window actually skips records (the index is doing work).
+        assert!(store.read_run_from("run-a", 900.0).unwrap().len() < full.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stores_without_a_checkpoint_section_fall_back_to_full_scans() {
+        let dir = tmpdir("legacy-idx");
+        let events = long_run();
+        let mut store = TraceStore::open(&dir).unwrap();
+        store.append_run("run-a", &events).unwrap();
+        // Truncate the index to the kind section alone, reproducing a store
+        // written before time checkpoints existed.
+        let idx_path = dir.join("000000.idx");
+        let bytes = std::fs::read(&idx_path).unwrap();
+        let mut pos = 4usize;
+        let kinds = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        for _ in 0..kinds {
+            let n = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap());
+            pos += 1 + 8 + n as usize * 8;
+        }
+        assert!(pos < bytes.len(), "the checkpoint section exists");
+        std::fs::write(&idx_path, &bytes[..pos]).unwrap();
+        // Kind reads are untouched and window reads degrade to full scans.
+        let store = TraceStore::open(&dir).unwrap();
+        assert_eq!(
+            store.read_run_kind("run-a", EventKind::Info).unwrap().len(),
+            events.iter().filter(|e| e.kind == EventKind::Info).count()
+        );
+        assert_eq!(store.read_run_from("run-a", 900.0).unwrap(), events);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

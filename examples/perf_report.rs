@@ -12,6 +12,7 @@
 //! cargo run --release --example perf_report -- --topology large-scale-50k \
 //!     --workload step --strategy plannedRepair --duration 120 --seed 42 \
 //!     --out perf_report.json --top 12
+//! cargo run --release --example perf_report -- --detectors
 //! ```
 //!
 //! The JSON output carries wall-clock timings and is **nondeterministic** —
@@ -49,6 +50,7 @@ fn main() {
     let mut seed = 42u64;
     let mut out_path = "perf_report.json".to_string();
     let mut top = 12usize;
+    let mut detectors = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -80,11 +82,12 @@ fn main() {
                     .parse()
                     .expect("top is an integer");
             }
+            "--detectors" => detectors = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: perf_report [--topology|--preset T] [--workload W] [--strategy S] \
-                     [--duration SECS] [--seed N] [--out FILE] [--top N]"
+                     [--duration SECS] [--seed N] [--out FILE] [--top N] [--detectors]"
                 );
                 eprintln!(
                     "topology presets: {}",
@@ -114,13 +117,18 @@ fn main() {
             );
             std::process::exit(2);
         });
-    let framework = FrameworkConfig::by_name(&strategy).unwrap_or_else(|| {
+    let mut framework = FrameworkConfig::by_name(&strategy).unwrap_or_else(|| {
         eprintln!(
             "unknown strategy preset: {strategy} (valid: {})",
             arch_adapt::strategy_names().join(", ")
         );
         std::process::exit(2);
     });
+    if detectors {
+        // Puts the online anomaly detectors in the profiled loop: the
+        // `phase.detect` span and `detect.*` counters then show their cost.
+        framework.detectors = Some(detect::DetectorConfig::default());
+    }
 
     eprintln!(
         "profiling {topology}/{workload}/{strategy} for {duration_secs:.0} simulated seconds \

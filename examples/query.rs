@@ -14,6 +14,8 @@
 //! cargo run --release --example query -- STORE mttr --run single-link-cut
 //! cargo run --release --example query -- STORE near-fault --within 10 --by subject
 //! cargo run --release --example query -- STORE diff /control /adaptive --op p95 --kind transfer
+//! cargo run --release --example query -- STORE leadtime --run server-crash-midrun
+//! cargo run --release --example query -- STORE advisories --within 30 --by subject
 //! ```
 //!
 //! The `--where` predicate is the same Armani-style expression language the
@@ -23,8 +25,8 @@
 //! `correlation` (integer, -1 when absent).
 
 use tracestore::{
-    aggregate_rows, mttr_rows, near_fault_rows, AggregateOp, AggregateRow, EventKind, GroupBy,
-    Query, QueryRow, TraceStore,
+    aggregate_rows, leadtime_rows, mttr_rows, near_fault_rows, AggregateOp, AggregateRow,
+    EventKind, GroupBy, LeadTimeRow, Query, QueryRow, TraceStore,
 };
 
 fn usage() -> ! {
@@ -40,11 +42,16 @@ fn usage() -> ! {
          \x20                               events within SECS after each fault onset\n\
          \x20 diff A B --op OP [--by FIELD] [FILTERS]\n\
          \x20                               aggregate runs matching A vs runs matching B\n\
+         \x20 leadtime [--horizon SECS] [FILTERS]\n\
+         \x20                               advisory -> violation join, per run: precision,\n\
+         \x20                               recall, median lead time\n\
+         \x20 advisories [--within SECS] [--by FIELD] [FILTERS]\n\
+         \x20                               advisories within SECS after each fault onset\n\
          filters:\n\
          \x20 --run SUBSTR                  run id contains SUBSTR\n\
          \x20 --kind K1[,K2,...]            event kinds (gauge, violation, repair-start,\n\
          \x20                               repair-end, repair-aborted, reconfiguration,\n\
-         \x20                               fault, transfer, info, metric)\n\
+         \x20                               fault, transfer, info, metric, advisory)\n\
          \x20 --window FROM,UNTIL           inclusive simulated-time window (seconds)\n\
          \x20 --where EXPR                  Armani-style predicate over event fields\n\
          ops: count, mean, min, max, sum, p95; fields: none, run, kind, subject, detail"
@@ -110,6 +117,23 @@ fn print_aggregates(rows: &[AggregateRow]) {
     }
 }
 
+fn print_leadtime(rows: &[LeadTimeRow]) {
+    println!("run\tadvisories\tviolations\tmatched\tanticipated\tprecision\trecall\tmedian_lead_s");
+    for row in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            row.run,
+            row.advisories,
+            row.violations,
+            row.matched_advisories,
+            row.anticipated_violations,
+            row.precision.map_or("-".to_string(), num),
+            row.recall.map_or("-".to_string(), num),
+            row.median_lead_secs.map_or("-".to_string(), num),
+        );
+    }
+}
+
 struct Flags {
     run: Option<String>,
     kinds: Vec<EventKind>,
@@ -119,6 +143,7 @@ struct Flags {
     by: GroupBy,
     within: f64,
     near_kind: EventKind,
+    horizon: f64,
     limit: Option<usize>,
     positional: Vec<String>,
 }
@@ -133,6 +158,7 @@ fn parse_flags(args: &[String]) -> Flags {
         by: GroupBy::None,
         within: 10.0,
         near_kind: EventKind::Violation,
+        horizon: 120.0,
         limit: None,
         positional: Vec::new(),
     };
@@ -196,6 +222,13 @@ fn parse_flags(args: &[String]) -> Flags {
             "--near-kind" => {
                 let v = value("--near-kind");
                 flags.near_kind = kind_by_name(&v);
+            }
+            "--horizon" => {
+                let v = value("--horizon");
+                flags.horizon = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--horizon takes seconds");
+                    usage();
+                });
             }
             "--limit" => {
                 let v = value("--limit");
@@ -299,6 +332,27 @@ fn main() {
             print_aggregates(&near_fault_rows(
                 &rows,
                 flags.near_kind,
+                flags.within,
+                flags.by,
+            ));
+        }
+        "leadtime" => {
+            // The advisory -> violation join needs both event kinds no matter
+            // what --kind narrowing was passed; other filters still apply.
+            let mut flags = flags;
+            flags.kinds.clear();
+            let rows = execute(&build_query(&flags, None), &store);
+            print_leadtime(&leadtime_rows(&rows, flags.horizon));
+        }
+        "advisories" => {
+            // Advisory timeline near faults: detector alarms raised within
+            // `--within` seconds after each fault onset, grouped by `--by`.
+            let mut flags = flags;
+            flags.kinds.clear();
+            let rows = execute(&build_query(&flags, None), &store);
+            print_aggregates(&near_fault_rows(
+                &rows,
+                EventKind::Advisory,
                 flags.within,
                 flags.by,
             ));

@@ -11,6 +11,7 @@
 //! cargo run --release --example sweep -- --faults none,server-crash-midrun
 //! cargo run --release --example sweep -- --smoke --trace-store traces/
 //! cargo run --release --example sweep -- --smoke --metrics
+//! cargo run --release --example sweep -- --smoke --detectors --trace-store traces/
 //! ```
 //!
 //! The JSON report is byte-identical for the same matrix regardless of the
@@ -36,6 +37,7 @@ fn main() {
     let mut seeds: Option<Vec<u64>> = None;
     let mut faults: Option<Vec<String>> = None;
     let mut metrics = false;
+    let mut detectors = false;
     let mut workers = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut out_path = "sweep_report.json".to_string();
     let mut store_path: Option<String> = None;
@@ -106,12 +108,13 @@ fn main() {
                 faults = Some(list(&value));
             }
             "--metrics" => metrics = true,
+            "--detectors" => detectors = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: sweep [--smoke] [--scale] [--topologies T1,T2,...] [--workloads W1,W2,...] \
                      [--strategies S1,S2,...] [--durations D1,D2,...] [--seeds N1,N2,...] [--workers N] \
-                     [--out FILE] [--trace-store DIR] [--faults P1,P2,...] [--metrics]"
+                     [--out FILE] [--trace-store DIR] [--faults P1,P2,...] [--metrics] [--detectors]"
                 );
                 eprintln!(
                     "topology presets: {}",
@@ -158,6 +161,9 @@ fn main() {
     }
     if metrics {
         builder = builder.metrics(true);
+    }
+    if detectors {
+        builder = builder.detectors(true);
     }
     let spec = match builder.build() {
         Ok(spec) => spec,

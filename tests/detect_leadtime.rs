@@ -1,0 +1,194 @@
+//! Regression tests for the online gauge-stream anomaly detectors.
+//!
+//! Three invariants hold the feature together:
+//!
+//! 1. **Detection is pure observation.** Enabling the detectors must not
+//!    perturb the simulation: a detector-enabled sweep's outcomes, stripped
+//!    of their `*_detect` sections, equal the detector-off sweep's outcomes,
+//!    and a detector-off report's JSON carries no detect keys at all — the
+//!    layout is byte-identical to the pre-detector harness.
+//! 2. **The advisory stream is deterministic.** Advisories are keyed to sim
+//!    time, so a detector-enabled traced sweep writes a byte-identical store
+//!    at any worker count and across replays.
+//! 3. **Advisories lead violations.** On the structured fault profiles the
+//!    detectors fire before the constraint checker does: the per-run
+//!    advisory→violation join reports a positive median lead time.
+
+use arch_adapt::sweep::{run_sweep, run_sweep_traced, SweepSpec};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use tracestore::{EventKind, Query, TraceStore};
+
+fn detect_spec(detectors: bool) -> SweepSpec {
+    SweepSpec {
+        topologies: vec!["paper".to_string()],
+        workloads: vec!["step".to_string()],
+        strategies: vec!["adaptive".to_string()],
+        durations_secs: vec![90.0],
+        seeds: vec![42, 7],
+        fault_profiles: vec!["none".to_string(), "server-crash-midrun".to_string()],
+        collect_metrics: false,
+        detectors,
+    }
+}
+
+/// Detection must not perturb the simulation: strip the detect sections off
+/// a detector-enabled report and it equals the detector-off report exactly.
+#[test]
+fn detector_sweep_equals_plain_sweep_modulo_detect_sections() {
+    let plain = run_sweep(&detect_spec(false), 2).unwrap();
+    let detected = run_sweep(&detect_spec(true), 2).unwrap();
+    assert_eq!(plain.cells.len(), detected.cells.len());
+    for (plain, detected) in plain.cells.iter().zip(&detected.cells) {
+        for (plain, detected) in plain.outcomes.iter().zip(&detected.outcomes) {
+            assert!(detected.control_detect.is_some());
+            assert!(detected.adaptive_detect.is_some());
+            let mut stripped = detected.clone();
+            stripped.control_detect = None;
+            stripped.adaptive_detect = None;
+            assert_eq!(plain, &stripped);
+        }
+    }
+}
+
+/// With detectors off (the default), no detect key appears anywhere in the
+/// report JSON: the layout is byte-identical to the pre-detector harness.
+#[test]
+fn detector_off_report_carries_no_detect_keys() {
+    let json = run_sweep(&detect_spec(false), 2).unwrap().to_json_string();
+    assert!(!json.contains("detectors"));
+    assert!(!json.contains("control_detect"));
+    assert!(!json.contains("adaptive_detect"));
+    assert!(!json.contains("median_lead_secs"));
+}
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let path = std::env::temp_dir().join(format!("detect-store-{tag}-{}", std::process::id()));
+        if path.exists() {
+            std::fs::remove_dir_all(&path).unwrap();
+        }
+        ScratchDir(path)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Every file in a trace-store directory, as `(name, bytes)` sorted by name.
+fn dir_bytes(path: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(path)
+        .unwrap()
+        .map(|entry| {
+            let entry = entry.unwrap();
+            (
+                entry.file_name().to_string_lossy().into_owned(),
+                std::fs::read(entry.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The advisory stream is sim-time keyed: a detector-enabled traced
+    /// sweep writes a byte-identical store (advisory events included) on a
+    /// replay and at any worker count, for arbitrary seeds.
+    #[test]
+    fn advisory_stream_is_replay_and_worker_count_invariant(
+        workers in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let spec = SweepSpec {
+            topologies: vec!["paper".to_string()],
+            workloads: vec!["step".to_string()],
+            strategies: vec!["adaptive".to_string()],
+            durations_secs: vec![180.0],
+            seeds: vec![seed, seed.wrapping_add(1)],
+            fault_profiles: vec!["server-crash-midrun".to_string()],
+            collect_metrics: false,
+            detectors: true,
+        };
+        let serial_dir = ScratchDir::new("serial");
+        let serial = run_sweep_traced(&spec, 1, &serial_dir.0).unwrap();
+        let serial_bytes = dir_bytes(&serial_dir.0);
+
+        // Replay: same spec, same worker count, fresh store.
+        let replay_dir = ScratchDir::new("replay");
+        let replay = run_sweep_traced(&spec, 1, &replay_dir.0).unwrap();
+        prop_assert_eq!(serial.to_json_string(), replay.to_json_string());
+        prop_assert_eq!(&serial_bytes, &dir_bytes(&replay_dir.0));
+
+        // Worker-count invariance.
+        let parallel_dir = ScratchDir::new("parallel");
+        let parallel = run_sweep_traced(&spec, workers, &parallel_dir.0).unwrap();
+        prop_assert_eq!(serial.to_json_string(), parallel.to_json_string());
+        prop_assert_eq!(&serial_bytes, &dir_bytes(&parallel_dir.0));
+
+        // The stream is not vacuously advisory-free: the midrun crash is a
+        // step change every detector family is built to flag.
+        let store = TraceStore::open(&serial_dir.0).unwrap();
+        let advisories = Query::new()
+            .kind(EventKind::Advisory)
+            .execute(&store)
+            .unwrap();
+        prop_assert!(!advisories.is_empty(), "traced detector sweep emitted no advisories");
+    }
+}
+
+/// On the structured fault profiles the detectors anticipate the constraint
+/// checker: every faulted adaptive run reports advisories, and the
+/// advisory→violation join yields a positive median lead time.
+#[test]
+fn detectors_lead_violations_on_fault_profiles() {
+    let spec = SweepSpec {
+        topologies: vec!["paper".to_string()],
+        workloads: vec!["step".to_string()],
+        strategies: vec!["adaptive".to_string()],
+        durations_secs: vec![240.0],
+        seeds: vec![42],
+        fault_profiles: vec![
+            "server-crash-midrun".to_string(),
+            "correlated-degrade".to_string(),
+        ],
+        collect_metrics: false,
+        detectors: true,
+    };
+    let report = run_sweep(&spec, 2).unwrap();
+    assert_eq!(report.cells.len(), 2);
+    for cell in &report.cells {
+        for outcome in &cell.outcomes {
+            let adaptive = outcome
+                .adaptive_detect
+                .as_ref()
+                .expect("detector-enabled sweep carries an adaptive detect section");
+            assert!(
+                adaptive.advisories > 0,
+                "{}: no advisories under fault profile {:?}",
+                cell.key.topology,
+                cell.key.fault
+            );
+            let lead = adaptive
+                .median_lead_secs
+                .unwrap_or_else(|| panic!("{:?}: no advisory matched a violation", cell.key));
+            assert!(
+                lead > 0.0,
+                "{:?}: median lead time {lead} is not positive",
+                cell.key
+            );
+            // Control runs never evaluate constraints, so their join side is
+            // empty by construction — but they still observe the stream.
+            let control = outcome.control_detect.as_ref().unwrap();
+            assert!(control.median_lead_secs.is_none());
+        }
+    }
+}

@@ -69,6 +69,7 @@ fn sweep_flow_runs_renders_and_serialises() {
         seeds: vec![42],
         fault_profiles: vec!["none".into()],
         collect_metrics: false,
+        detectors: false,
     };
     let report = arch_adapt::sweep::run_sweep(&spec, 2).expect("sweep runs");
     let table = arch_adapt::report::render_sweep(&report);

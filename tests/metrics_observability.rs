@@ -27,6 +27,7 @@ fn small_spec(collect_metrics: bool) -> SweepSpec {
         seeds: vec![42, 7],
         fault_profiles: vec!["none".to_string()],
         collect_metrics,
+        detectors: false,
     }
 }
 

@@ -34,6 +34,7 @@ proptest! {
             seeds: vec![seed_a, seed_b],
             fault_profiles: vec!["none".into()],
             collect_metrics: false,
+            detectors: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -63,6 +64,7 @@ proptest! {
             seeds: vec![seed, seed.wrapping_add(1)],
             fault_profiles: vec!["none".into(), profiles[fault].to_string()],
             collect_metrics: false,
+            detectors: false,
         };
         let serial = run_sweep(&spec, 1).unwrap();
         let parallel = run_sweep(&spec, workers).unwrap();
@@ -86,6 +88,7 @@ fn planned_repair_sweep_is_worker_count_invariant() {
         seeds: vec![42, 7],
         fault_profiles: vec!["none".into()],
         collect_metrics: false,
+        detectors: false,
     };
     let serial = run_sweep(&spec, 1).unwrap();
     for workers in [2, 5] {
@@ -160,6 +163,7 @@ fn traced_sweep_store_is_worker_count_invariant() {
         seeds: vec![1, 2, 3],
         fault_profiles: vec!["none".into(), "single-link-cut".into()],
         collect_metrics: false,
+        detectors: false,
     };
     let untraced = run_sweep(&spec, 2).unwrap();
 
@@ -201,6 +205,7 @@ fn multi_cell_sweep_is_worker_count_invariant() {
         seeds: vec![1, 2, 3],
         fault_profiles: vec!["none".into()],
         collect_metrics: false,
+        detectors: false,
     };
     let serial = run_sweep(&spec, 1).unwrap();
     for workers in [2, 3, 8] {
